@@ -1,0 +1,50 @@
+//! Index construction costs: FSG vs temporal bins vs bins×subbins vs R-tree.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tdts_data::RandomWalkConfig;
+use tdts_geom::SegmentStore;
+use tdts_index_spatial::{Fsg, FsgConfig};
+use tdts_index_spatiotemporal::{SpatioTemporalIndex, SpatioTemporalIndexConfig};
+use tdts_index_temporal::{TemporalIndex, TemporalIndexConfig};
+use tdts_rtree::{RTree, RTreeConfig};
+
+fn dataset(trajectories: usize) -> SegmentStore {
+    let mut s = RandomWalkConfig {
+        trajectories,
+        timesteps: 50,
+        ..Default::default()
+    }
+    .generate();
+    s.sort_by_t_start();
+    s
+}
+
+fn bench_builds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    for trajs in [50usize, 200] {
+        let store = dataset(trajs);
+        let n = store.len();
+        group.bench_with_input(BenchmarkId::new("fsg", n), &store, |b, s| {
+            b.iter(|| black_box(Fsg::build(s, FsgConfig { cells_per_dim: 20 })))
+        });
+        group.bench_with_input(BenchmarkId::new("temporal", n), &store, |b, s| {
+            b.iter(|| black_box(TemporalIndex::build(s, TemporalIndexConfig { bins: 1_000 })))
+        });
+        group.bench_with_input(BenchmarkId::new("spatiotemporal", n), &store, |b, s| {
+            b.iter(|| {
+                black_box(SpatioTemporalIndex::build(
+                    s,
+                    SpatioTemporalIndexConfig { bins: 200, subbins: 4, sort_by_selector: true },
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rtree", n), &store, |b, s| {
+            b.iter(|| black_box(RTree::build(s, RTreeConfig::default())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_builds);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Host-side schedule construction costs (the paper argues these are a
+//! negligible portion of response time — §IV-B2/§IV-C2; these benches are
+//! the evidence for this implementation).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tdts_data::RandomWalkConfig;
+use tdts_geom::SegmentStore;
+use tdts_index_spatiotemporal::{SpatioTemporalIndex, SpatioTemporalIndexConfig};
+use tdts_index_temporal::search::{SortedQueries, TemporalSchedule};
+use tdts_index_temporal::{TemporalIndex, TemporalIndexConfig};
+use tdts_rtree::{RTree, RTreeConfig};
+
+fn world() -> (SegmentStore, SegmentStore) {
+    let mut store = RandomWalkConfig {
+        trajectories: 100,
+        timesteps: 50,
+        ..Default::default()
+    }
+    .generate();
+    store.sort_by_t_start();
+    let queries = RandomWalkConfig {
+        trajectories: 20,
+        timesteps: 50,
+        seed: 3,
+        ..Default::default()
+    }
+    .generate();
+    (store, queries)
+}
+
+fn bench_schedules(c: &mut Criterion) {
+    let (store, queries) = world();
+    let temporal = TemporalIndex::build(&store, TemporalIndexConfig { bins: 1_000 });
+    let st = SpatioTemporalIndex::build(
+        &store,
+        SpatioTemporalIndexConfig { bins: 200, subbins: 4, sort_by_selector: true },
+    );
+
+    c.bench_function("sort_queries", |b| {
+        b.iter(|| black_box(SortedQueries::from_store(&queries)))
+    });
+
+    let sorted = SortedQueries::from_store(&queries);
+    c.bench_function("temporal_schedule", |b| {
+        b.iter(|| black_box(TemporalSchedule::build(&temporal, &sorted)))
+    });
+
+    c.bench_function("spatiotemporal_schedule", |b| {
+        b.iter(|| {
+            let entries: Vec<_> = sorted
+                .segments
+                .iter()
+                .map(|q| st.schedule_for(q, 10.0))
+                .collect();
+            black_box(entries)
+        })
+    });
+}
+
+fn bench_rtree_r_sweep(c: &mut Criterion) {
+    let (store, queries) = world();
+    let mut group = c.benchmark_group("rtree_r");
+    group.sample_size(10);
+    for r in [1usize, 4, 16] {
+        let tree = RTree::build(&store, RTreeConfig { segments_per_mbb: r, node_capacity: 16 });
+        group.bench_function(format!("r={r}"), |b| {
+            b.iter(|| black_box(tree.search(&store, &queries, 10.0).1.candidates))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedules, bench_rtree_r_sweep);
+criterion_main!(benches);

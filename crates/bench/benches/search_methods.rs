@@ -1,0 +1,79 @@
+//! End-to-end search benchmarks: the four methods over small versions of
+//! the three scenarios, swept over query distance. These are the
+//! Criterion-level counterparts of Figures 4–6 (the `figures` binary runs
+//! the full-size sweeps).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use tdts_core::{Method, PreparedDataset, SearchEngine};
+use tdts_data::{Scenario, ScenarioKind};
+use tdts_gpu_sim::{Device, DeviceConfig};
+use tdts_index_spatial::{FsgConfig, GpuSpatialConfig};
+use tdts_index_spatiotemporal::SpatioTemporalIndexConfig;
+use tdts_index_temporal::TemporalIndexConfig;
+use tdts_rtree::RTreeConfig;
+
+const SCALE: f64 = 1.0 / 512.0;
+
+fn bench_scenario(c: &mut Criterion, kind: ScenarioKind, distances: &[f64]) {
+    let scenario = Scenario::new(kind, SCALE);
+    let dataset = PreparedDataset::new(scenario.dataset());
+    let queries = scenario.queries();
+    let device = Device::new(DeviceConfig::tesla_c2075()).unwrap();
+    let params = scenario.params();
+    let methods = [
+        Method::CpuRTree(RTreeConfig::default()),
+        Method::GpuSpatial(GpuSpatialConfig {
+            fsg: FsgConfig { cells_per_dim: 10 },
+            total_scratch: 2_000_000,
+        }),
+        Method::GpuTemporal(TemporalIndexConfig { bins: params.temporal_bins.min(200) }),
+        Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {
+            bins: params.temporal_bins.min(200),
+            subbins: params.subbins,
+            sort_by_selector: true,
+        }),
+    ];
+    let engines: Vec<SearchEngine> = methods
+        .into_iter()
+        .map(|m| SearchEngine::build(&dataset, m, Arc::clone(&device)).unwrap())
+        .collect();
+
+    let mut group = c.benchmark_group(scenario.name());
+    group.sample_size(10);
+    for engine in &engines {
+        for &d in distances {
+            group.bench_with_input(
+                BenchmarkId::new(engine.method().name(), d),
+                &d,
+                |b, &d| {
+                    b.iter(|| {
+                        black_box(
+                            engine
+                                .search(&queries, d, 2_000_000)
+                                .expect("search")
+                                .1
+                                .comparisons,
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_s1(c: &mut Criterion) {
+    bench_scenario(c, ScenarioKind::S1Random, &[1.0, 10.0, 50.0]);
+}
+
+fn bench_s2(c: &mut Criterion) {
+    bench_scenario(c, ScenarioKind::S2Merger, &[0.1, 1.5, 5.0]);
+}
+
+fn bench_s3(c: &mut Criterion) {
+    bench_scenario(c, ScenarioKind::S3RandomDense, &[0.01, 0.05, 0.09]);
+}
+
+criterion_group!(benches, bench_s1, bench_s2, bench_s3);
+criterion_main!(benches);

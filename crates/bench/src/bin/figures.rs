@@ -1,0 +1,91 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```sh
+//! cargo run --release -p tdts-bench --bin figures -- [options] <target>...
+//!
+//! targets: fig4 fig5 fig6 fig7 sweep-fsg sweep-bins sweep-subbins
+//!          ablation-indirection ablation-buffer fallback-rate all
+//! options: --scale <f>   dataset scale vs the paper (default 1/16)
+//!          --no-verify   skip cross-method result-set verification
+//! ```
+
+use tdts_bench::{RunConfig, Runner};
+
+fn main() {
+    let mut cfg = RunConfig::default();
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().expect("--scale needs a value");
+                cfg.scale = v.parse().expect("--scale must be a float in (0, 1]");
+            }
+            "--no-verify" => cfg.verify = false,
+            other if other.starts_with("--") => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+            target => targets.push(target.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        eprintln!(
+            "usage: figures [--scale f] [--no-verify] \
+             <fig4|fig5|fig6|fig7|sweep-fsg|sweep-bins|sweep-subbins|\
+             ablation-indirection|ablation-buffer|fallback-rate|future-trends|batched|ablation-sort|crossover|ablation-write|all>..."
+        );
+        std::process::exit(2);
+    }
+    if targets.iter().any(|t| t == "all") {
+        targets = [
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "sweep-fsg",
+            "sweep-bins",
+            "sweep-subbins",
+            "ablation-indirection",
+            "ablation-buffer",
+            "fallback-rate",
+            "future-trends",
+            "batched",
+            "ablation-sort",
+            "crossover",
+            "ablation-write",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    println!(
+        "# tdts figures — scale {:.5} of paper sizes, device: {}",
+        cfg.scale, cfg.device.name
+    );
+    let runner = Runner::new(cfg);
+    for t in &targets {
+        match t.as_str() {
+            "fig4" => drop(runner.fig4()),
+            "fig5" => drop(runner.fig5()),
+            "fig6" => drop(runner.fig6()),
+            "fig7" => drop(runner.fig7()),
+            "sweep-fsg" => drop(runner.sweep_fsg()),
+            "sweep-bins" => drop(runner.sweep_bins()),
+            "sweep-subbins" => drop(runner.sweep_subbins()),
+            "ablation-indirection" => drop(runner.ablation_indirection()),
+            "ablation-buffer" => drop(runner.ablation_buffer()),
+            "fallback-rate" => drop(runner.fallback_rate()),
+            "future-trends" => drop(runner.future_trends()),
+            "batched" => drop(runner.batched()),
+            "ablation-sort" => drop(runner.ablation_sort()),
+            "crossover" => drop(runner.crossover()),
+            "ablation-write" => drop(runner.ablation_write()),
+            other => {
+                eprintln!("unknown target {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§V). See DESIGN.md §4 for the experiment index and
+//! EXPERIMENTS.md for recorded paper-vs-measured results.
+
+pub mod harness;
+
+pub use harness::{RunConfig, Runner};

@@ -1,0 +1,220 @@
+//! Multi-device (cluster) partitioning — the paper's intended deployment:
+//! "our intended use case is when `D` is partitioned across multiple
+//! GPU-equipped compute nodes in a cluster so that aggregate GPU memory is
+//! large" (§III). "Spatiotemporal trajectory datasets can trivially be
+//! partitioned and queried in-memory across multiple hosts in parallel"
+//! (§I).
+//!
+//! The database is range-partitioned on time (each shard takes a contiguous
+//! slice of the `t_start`-sorted store), every node indexes its shard with
+//! the same method, and the full query set is broadcast to all nodes. A
+//! query only does work on nodes whose shard overlaps it temporally, so the
+//! broadcast costs little. Results come back with shard-local entry
+//! positions and are remapped to the canonical global positions before the
+//! final merge; since nodes run concurrently, the cluster's response time is
+//! the maximum over nodes plus the merge.
+
+use crate::engine::{Method, PreparedDataset, SearchEngine};
+use std::time::Instant;
+use tdts_geom::{dedup_matches, MatchRecord, SegmentStore};
+use tdts_gpu_sim::{Device, DeviceConfig, SearchError, SearchReport};
+
+/// Cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of GPU-equipped nodes.
+    pub nodes: usize,
+    /// The search method every node runs.
+    pub method: Method,
+    /// Per-node simulated device.
+    pub device: DeviceConfig,
+}
+
+/// Report of a cluster search.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// Per-node reports, in shard order.
+    pub nodes: Vec<SearchReport>,
+    /// Response time: slowest node plus the host-side merge.
+    pub response_seconds: f64,
+    /// Total matches after the global merge.
+    pub matches: u64,
+}
+
+struct Shard {
+    engine: SearchEngine,
+    /// Global position of this shard's first entry.
+    offset: u32,
+}
+
+/// A cluster of identical engines over temporal shards of one database.
+pub struct ClusterSearch {
+    shards: Vec<Shard>,
+}
+
+impl ClusterSearch {
+    /// Partition `dataset` into `config.nodes` contiguous temporal shards
+    /// and build one engine (with its own device) per shard.
+    pub fn build(dataset: &PreparedDataset, config: ClusterConfig) -> Result<ClusterSearch, SearchError> {
+        assert!(config.nodes >= 1, "need at least one node");
+        let store = dataset.store();
+        assert!(!store.is_empty(), "cannot shard an empty dataset");
+        let n = store.len();
+        let per = n.div_ceil(config.nodes);
+        let mut shards = Vec::new();
+        for node in 0..config.nodes {
+            let lo = node * per;
+            if lo >= n {
+                break; // more nodes than entries: trailing nodes idle
+            }
+            let hi = ((node + 1) * per).min(n);
+            let shard_store: SegmentStore =
+                store.segments()[lo..hi].iter().copied().collect();
+            // Shard stores inherit the canonical t_start order, so preparing
+            // them again is a no-op reorder.
+            let shard_dataset = PreparedDataset::new(shard_store);
+            let device = Device::new(config.device.clone()).expect("valid device config");
+            let engine = SearchEngine::build(&shard_dataset, config.method, device)?;
+            shards.push(Shard { engine, offset: lo as u32 });
+        }
+        Ok(ClusterSearch { shards })
+    }
+
+    /// Number of active shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Broadcast the query set, search all shards concurrently, and merge.
+    pub fn search(
+        &self,
+        queries: &SegmentStore,
+        d: f64,
+        result_capacity_per_node: usize,
+    ) -> Result<(Vec<MatchRecord>, ClusterReport), SearchError> {
+        // Run shards concurrently; each returns shard-local results.
+        let results: Vec<Result<(Vec<MatchRecord>, SearchReport), SearchError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter()
+                    .map(|shard| {
+                        scope.spawn(move || {
+                            shard.engine.search(queries, d, result_capacity_per_node)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("shard panicked")).collect()
+            });
+
+        let merge_start = Instant::now();
+        let mut matches = Vec::new();
+        let mut reports = Vec::new();
+        let mut slowest = 0.0f64;
+        for (shard, res) in self.shards.iter().zip(results) {
+            let (shard_matches, report) = res?;
+            slowest = slowest.max(report.response_seconds());
+            reports.push(report);
+            matches.extend(shard_matches.into_iter().map(|mut m| {
+                m.entry += shard.offset; // shard-local → global position
+                m
+            }));
+        }
+        dedup_matches(&mut matches);
+        let merge_seconds = merge_start.elapsed().as_secs_f64();
+
+        let report = ClusterReport {
+            nodes: reports,
+            response_seconds: slowest + merge_seconds,
+            matches: matches.len() as u64,
+        };
+        Ok((matches, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::brute_force_search;
+    use tdts_geom::{Point3, SegId, Segment, TrajId};
+    use tdts_index_temporal::TemporalIndexConfig;
+    use tdts_rtree::RTreeConfig;
+
+    fn store(n: usize) -> SegmentStore {
+        (0..n)
+            .map(|i| {
+                Segment::new(
+                    Point3::new((i % 13) as f64, (i % 7) as f64, (i % 3) as f64),
+                    Point3::new((i % 13) as f64 + 1.0, (i % 7) as f64 + 1.0, (i % 3) as f64 + 1.0),
+                    (i % 29) as f64 * 0.5,
+                    (i % 29) as f64 * 0.5 + 1.0,
+                    SegId(i as u32),
+                    TrajId(i as u32),
+                )
+            })
+            .collect()
+    }
+
+    fn config(nodes: usize) -> ClusterConfig {
+        ClusterConfig {
+            nodes,
+            method: Method::GpuTemporal(TemporalIndexConfig { bins: 8 }),
+            device: tdts_gpu_sim::DeviceConfig::test_tiny(),
+        }
+    }
+
+    #[test]
+    fn cluster_matches_oracle_for_any_node_count() {
+        let dataset = PreparedDataset::new(store(120));
+        let queries = store(25);
+        let expect = brute_force_search(dataset.store(), &queries, 3.0);
+        for nodes in [1, 2, 3, 7] {
+            let cluster = ClusterSearch::build(&dataset, config(nodes)).unwrap();
+            assert_eq!(cluster.shard_count(), nodes);
+            let (got, report) = cluster.search(&queries, 3.0, 8_000).unwrap();
+            assert_eq!(got, expect, "nodes = {nodes}");
+            assert_eq!(report.matches as usize, got.len());
+            assert_eq!(report.nodes.len(), nodes);
+            assert!(report.response_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn more_nodes_than_entries() {
+        let dataset = PreparedDataset::new(store(3));
+        let cluster = ClusterSearch::build(&dataset, config(10)).unwrap();
+        assert!(cluster.shard_count() <= 3);
+        let queries = store(3);
+        let expect = brute_force_search(dataset.store(), &queries, 5.0);
+        let (got, _) = cluster.search(&queries, 5.0, 10_000).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn cluster_works_with_cpu_method_too() {
+        let dataset = PreparedDataset::new(store(60));
+        let queries = store(10);
+        let cfg = ClusterConfig {
+            nodes: 3,
+            method: Method::CpuRTree(RTreeConfig::default()),
+            device: tdts_gpu_sim::DeviceConfig::test_tiny(),
+        };
+        let cluster = ClusterSearch::build(&dataset, cfg).unwrap();
+        let expect = brute_force_search(dataset.store(), &queries, 4.0);
+        let (got, _) = cluster.search(&queries, 4.0, 10_000).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn sharding_extends_aggregate_memory() {
+        // A database too big for one tiny device fits when sharded.
+        let dataset = PreparedDataset::new(store(20_000)); // ~1.4 MiB of segments
+        let one = ClusterSearch::build(&dataset, config(1));
+        assert!(one.is_err(), "single tiny device must be out of memory");
+        let four = ClusterSearch::build(&dataset, config(4)).unwrap();
+        let queries = store(5);
+        let expect = brute_force_search(dataset.store(), &queries, 2.0);
+        let (got, _) = four.search(&queries, 2.0, 8_000).unwrap();
+        assert_eq!(got, expect);
+    }
+}

@@ -1,0 +1,240 @@
+//! Unified engine over the four search implementations.
+
+use std::sync::Arc;
+use std::time::Instant;
+use tdts_geom::{MatchRecord, SegmentStore};
+use tdts_gpu_sim::{Device, Phase, SearchError, SearchReport};
+use tdts_index_spatial::{GpuSpatialConfig, GpuSpatialSearch};
+use tdts_index_spatiotemporal::{GpuSpatioTemporalSearch, SpatioTemporalIndexConfig};
+use tdts_index_temporal::{GpuTemporalSearch, TemporalIndexConfig};
+use tdts_rtree::{RTree, RTreeConfig};
+
+/// A search method with its configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Method {
+    /// The paper's CPU baseline: multithreaded in-memory R-tree.
+    CpuRTree(RTreeConfig),
+    /// `GPUSpatial`: flatly structured grid (§IV-A).
+    GpuSpatial(GpuSpatialConfig),
+    /// `GPUTemporal`: temporal bins (§IV-B).
+    GpuTemporal(TemporalIndexConfig),
+    /// `GPUSpatioTemporal`: temporal bins with spatial subbins (§IV-C).
+    GpuSpatioTemporal(SpatioTemporalIndexConfig),
+}
+
+impl Method {
+    /// The paper's name for this implementation.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::CpuRTree(_) => "CPU-RTree",
+            Method::GpuSpatial(_) => "GPUSpatial",
+            Method::GpuTemporal(_) => "GPUTemporal",
+            Method::GpuSpatioTemporal(_) => "GPUSpatioTemporal",
+        }
+    }
+}
+
+/// An entry database canonicalised for searching: sorted by `t_start`
+/// (required by the temporal indexes; harmless for the others).
+///
+/// Every [`SearchEngine`] built from the same prepared dataset reports
+/// result records against the same entry positions, so result sets are
+/// directly comparable across methods.
+#[derive(Debug, Clone)]
+pub struct PreparedDataset {
+    store: Arc<SegmentStore>,
+}
+
+impl PreparedDataset {
+    /// Sort (a copy of) the store by `t_start`.
+    pub fn new(mut store: SegmentStore) -> PreparedDataset {
+        store.sort_by_t_start();
+        PreparedDataset { store: Arc::new(store) }
+    }
+
+    /// The canonical (sorted) store result positions refer to.
+    pub fn store(&self) -> &SegmentStore {
+        &self.store
+    }
+
+    /// Shared handle to the store.
+    pub fn store_arc(&self) -> Arc<SegmentStore> {
+        Arc::clone(&self.store)
+    }
+}
+
+enum EngineImpl {
+    Rtree(RTree),
+    Spatial(GpuSpatialSearch),
+    Temporal(GpuTemporalSearch),
+    SpatioTemporal(GpuSpatioTemporalSearch),
+}
+
+/// One search implementation, fully built (index constructed, database
+/// resident on the device for the GPU methods) and ready to serve queries.
+pub struct SearchEngine {
+    store: Arc<SegmentStore>,
+    method: Method,
+    inner: EngineImpl,
+}
+
+impl SearchEngine {
+    /// Build the index for `method` over `dataset`. GPU methods place the
+    /// database and index into `device` memory (offline — excluded from
+    /// response time, as in the paper).
+    pub fn build(
+        dataset: &PreparedDataset,
+        method: Method,
+        device: Arc<Device>,
+    ) -> Result<SearchEngine, SearchError> {
+        let store = dataset.store_arc();
+        let inner = match method {
+            Method::CpuRTree(cfg) => EngineImpl::Rtree(RTree::build(&store, cfg)),
+            Method::GpuSpatial(cfg) => {
+                EngineImpl::Spatial(GpuSpatialSearch::new(device, &store, cfg)?)
+            }
+            Method::GpuTemporal(cfg) => {
+                EngineImpl::Temporal(GpuTemporalSearch::new(device, &store, cfg)?)
+            }
+            Method::GpuSpatioTemporal(cfg) => {
+                EngineImpl::SpatioTemporal(GpuSpatioTemporalSearch::new(device, &store, cfg)?)
+            }
+        };
+        Ok(SearchEngine { store, method, inner })
+    }
+
+    /// The method this engine implements.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// The canonical entry store result positions refer to.
+    pub fn store(&self) -> &SegmentStore {
+        &self.store
+    }
+
+    /// Run the distance threshold search.
+    ///
+    /// `result_capacity` bounds the GPU result buffer (the paper's fixed
+    /// 5×10⁷-element buffer); the CPU baseline ignores it (host memory is
+    /// dynamic, §III). Returns the canonical result set and a report whose
+    /// `response` is simulated time for GPU methods and measured wall time
+    /// (charged to [`Phase::HostCompute`]) for the CPU baseline.
+    pub fn search(
+        &self,
+        queries: &SegmentStore,
+        d: f64,
+        result_capacity: usize,
+    ) -> Result<(Vec<MatchRecord>, SearchReport), SearchError> {
+        match &self.inner {
+            EngineImpl::Rtree(tree) => {
+                let start = Instant::now();
+                let (matches, stats) = tree.search(&self.store, queries, d);
+                let wall = start.elapsed().as_secs_f64();
+                let mut report = SearchReport {
+                    comparisons: stats.candidates,
+                    raw_matches: stats.matches,
+                    matches: matches.len() as u64,
+                    wall_seconds: wall,
+                    ..SearchReport::default()
+                };
+                report.response.add(Phase::HostCompute, wall);
+                Ok((matches, report))
+            }
+            EngineImpl::Spatial(s) => s.search(queries, d, result_capacity),
+            EngineImpl::Temporal(s) => s.search(queries, d, result_capacity),
+            EngineImpl::SpatioTemporal(s) => s.search(queries, d, result_capacity),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdts_geom::{Point3, SegId, Segment, TrajId};
+    use tdts_gpu_sim::DeviceConfig;
+    use tdts_index_spatial::FsgConfig;
+
+    fn store(n: usize) -> SegmentStore {
+        (0..n)
+            .map(|i| {
+                // Deliberately unsorted in time.
+                let t = ((i * 7) % n) as f64 * 0.3;
+                Segment::new(
+                    Point3::new(i as f64, (i % 5) as f64, 0.0),
+                    Point3::new(i as f64 + 1.0, (i % 5) as f64 + 1.0, 1.0),
+                    t,
+                    t + 1.0,
+                    SegId(i as u32),
+                    TrajId(i as u32),
+                )
+            })
+            .collect()
+    }
+
+    fn device() -> Arc<Device> {
+        Device::new(DeviceConfig::test_tiny()).unwrap()
+    }
+
+    fn all_methods() -> Vec<Method> {
+        vec![
+            Method::CpuRTree(RTreeConfig::default()),
+            Method::GpuSpatial(GpuSpatialConfig {
+                fsg: FsgConfig { cells_per_dim: 6 },
+                total_scratch: 50_000,
+            }),
+            Method::GpuTemporal(TemporalIndexConfig { bins: 8 }),
+            Method::GpuSpatioTemporal(SpatioTemporalIndexConfig { bins: 8, subbins: 4, sort_by_selector: true }),
+        ]
+    }
+
+    #[test]
+    fn prepared_dataset_sorts() {
+        let p = PreparedDataset::new(store(20));
+        assert!(p.store().is_sorted_by_t_start());
+        assert_eq!(p.store().len(), 20);
+    }
+
+    #[test]
+    fn all_methods_agree() {
+        let dataset = PreparedDataset::new(store(60));
+        let queries = store(20);
+        let mut reference: Option<Vec<MatchRecord>> = None;
+        for method in all_methods() {
+            let engine = SearchEngine::build(&dataset, method, device()).unwrap();
+            let (matches, report) = engine.search(&queries, 3.0, 20_000).unwrap();
+            assert_eq!(report.matches as usize, matches.len(), "{}", method.name());
+            match &reference {
+                None => reference = Some(matches),
+                Some(r) => assert_eq!(
+                    &matches,
+                    r,
+                    "{} disagrees with CPU-RTree",
+                    method.name()
+                ),
+            }
+        }
+        assert!(!reference.unwrap().is_empty());
+    }
+
+    #[test]
+    fn method_names() {
+        assert_eq!(Method::CpuRTree(RTreeConfig::default()).name(), "CPU-RTree");
+        assert_eq!(
+            Method::GpuTemporal(TemporalIndexConfig::default()).name(),
+            "GPUTemporal"
+        );
+    }
+
+    #[test]
+    fn cpu_report_uses_host_phase() {
+        let dataset = PreparedDataset::new(store(30));
+        let engine =
+            SearchEngine::build(&dataset, Method::CpuRTree(RTreeConfig::default()), device())
+                .unwrap();
+        let (_, report) = engine.search(&store(5), 2.0, 1_000).unwrap();
+        assert!(report.response.get(Phase::HostCompute) > 0.0);
+        assert_eq!(report.response.get(Phase::KernelExec), 0.0);
+        assert_eq!(report.response.kernel_invocations, 0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Hybrid CPU + GPU distance threshold search — the paper's stated future
+//! direction ("investigating hybrid implementations of the distance
+//! threshold search that uses the CPU and the GPU concurrently", §VI).
+//!
+//! The query set is split: a fraction goes to a GPU engine, the rest to the
+//! CPU R-tree, and both halves run concurrently. Because the two resources
+//! work in parallel, the hybrid's response time is the *maximum* of the two
+//! parts, minimised when both finish together. The split can be fixed or
+//! auto-calibrated from a small probe batch.
+
+use crate::engine::{Method, PreparedDataset, SearchEngine};
+use std::sync::Arc;
+use std::time::Instant;
+use tdts_geom::{dedup_matches, MatchRecord, SegmentStore};
+use tdts_gpu_sim::{Device, Phase, SearchError, SearchReport};
+
+/// Hybrid configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridConfig {
+    /// Fraction of queries sent to the GPU, in `[0, 1]`; `None`
+    /// auto-calibrates with a probe batch.
+    pub gpu_fraction: Option<f64>,
+    /// The GPU method to pair with the CPU R-tree.
+    pub gpu_method: Method,
+    /// The CPU method (must be `Method::CpuRTree`).
+    pub cpu_method: Method,
+    /// Queries used per resource when auto-calibrating.
+    pub probe_queries: usize,
+}
+
+impl HybridConfig {
+    /// A sensible default pairing: auto-calibrated split between the CPU
+    /// R-tree and `GPUSpatioTemporal`.
+    pub fn auto(gpu_method: Method, cpu_method: Method) -> HybridConfig {
+        HybridConfig { gpu_fraction: None, gpu_method, cpu_method, probe_queries: 32 }
+    }
+}
+
+/// Report of a hybrid search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridReport {
+    /// Fraction of queries actually sent to the GPU.
+    pub gpu_fraction: f64,
+    /// The GPU part's report.
+    pub gpu: SearchReport,
+    /// The CPU part's report.
+    pub cpu: SearchReport,
+    /// Response time: max of both concurrent parts (plus the split cost).
+    pub response_seconds: f64,
+}
+
+/// A hybrid engine: one CPU and one GPU engine over the same dataset.
+pub struct HybridSearch {
+    cpu: SearchEngine,
+    gpu: SearchEngine,
+    config: HybridConfig,
+}
+
+impl HybridSearch {
+    /// Build both engines over `dataset`.
+    pub fn build(
+        dataset: &PreparedDataset,
+        config: HybridConfig,
+        device: Arc<Device>,
+    ) -> Result<HybridSearch, SearchError> {
+        assert!(
+            matches!(config.cpu_method, Method::CpuRTree(_)),
+            "hybrid CPU side must be CpuRTree"
+        );
+        if let Some(f) = config.gpu_fraction {
+            assert!((0.0..=1.0).contains(&f), "gpu_fraction {f} out of [0, 1]");
+        }
+        let cpu = SearchEngine::build(dataset, config.cpu_method, Arc::clone(&device))?;
+        let gpu = SearchEngine::build(dataset, config.gpu_method, device)?;
+        Ok(HybridSearch { cpu, gpu, config })
+    }
+
+    /// Estimate per-query response time of `engine` with a strided sample
+    /// (a prefix would bias the estimate when query cost correlates with
+    /// position, e.g. temporally sorted query sets).
+    fn probe(
+        engine: &SearchEngine,
+        queries: &SegmentStore,
+        d: f64,
+        capacity: usize,
+        n: usize,
+    ) -> Result<f64, SearchError> {
+        let n = n.min(queries.len()).max(1);
+        let stride = (queries.len() / n).max(1);
+        let probe: SegmentStore = queries.iter().step_by(stride).copied().collect();
+        let (_, report) = engine.search(&probe, d, capacity)?;
+        Ok(report.response_seconds() / probe.len().max(1) as f64)
+    }
+
+    /// Run the hybrid search. Returns the merged canonical result set.
+    pub fn search(
+        &self,
+        queries: &SegmentStore,
+        d: f64,
+        result_capacity: usize,
+    ) -> Result<(Vec<MatchRecord>, HybridReport), SearchError> {
+        let fraction = match self.config.gpu_fraction {
+            Some(f) => f,
+            None => {
+                // Probe both resources; split inversely to per-query cost so
+                // both halves finish together: f_gpu = c_cpu / (c_cpu + c_gpu).
+                let c_gpu =
+                    Self::probe(&self.gpu, queries, d, result_capacity, self.config.probe_queries)?;
+                let c_cpu =
+                    Self::probe(&self.cpu, queries, d, result_capacity, self.config.probe_queries)?;
+                if c_gpu + c_cpu > 0.0 {
+                    (c_cpu / (c_gpu + c_cpu)).clamp(0.0, 1.0)
+                } else {
+                    0.5
+                }
+            }
+        };
+
+        // Split Q: the GPU takes the first ceil(f·|Q|) queries. (Queries are
+        // in caller order; each engine canonicalises internally.)
+        let split_start = Instant::now();
+        let n_gpu = ((queries.len() as f64 * fraction).ceil() as usize).min(queries.len());
+        let gpu_queries: SegmentStore = queries.iter().take(n_gpu).copied().collect();
+        let cpu_queries: SegmentStore = queries.iter().skip(n_gpu).copied().collect();
+        let split_seconds = split_start.elapsed().as_secs_f64();
+
+        // Run both halves concurrently (both sides use the shared rayon
+        // pool; the GPU side's *simulated* time is scheduler-independent).
+        let (gpu_res, cpu_res) = std::thread::scope(|scope| {
+            let gpu_handle = scope.spawn(|| {
+                if gpu_queries.is_empty() {
+                    Ok((Vec::new(), SearchReport::default()))
+                } else {
+                    self.gpu.search(&gpu_queries, d, result_capacity)
+                }
+            });
+            let cpu_res = if cpu_queries.is_empty() {
+                Ok((Vec::new(), SearchReport::default()))
+            } else {
+                self.cpu.search(&cpu_queries, d, result_capacity)
+            };
+            (gpu_handle.join().expect("gpu thread panicked"), cpu_res)
+        });
+        let (mut gpu_matches, gpu_report) = gpu_res?;
+        let (cpu_matches, cpu_report) = cpu_res?;
+
+        // Merge: CPU query positions are offset by the split point.
+        let mut matches = Vec::with_capacity(gpu_matches.len() + cpu_matches.len());
+        matches.append(&mut gpu_matches);
+        matches.extend(cpu_matches.into_iter().map(|mut m| {
+            m.query += n_gpu as u32;
+            m
+        }));
+        dedup_matches(&mut matches);
+
+        let response_seconds = split_seconds
+            + gpu_report.response_seconds().max(cpu_report.response.get(Phase::HostCompute));
+        let report = HybridReport {
+            gpu_fraction: if queries.is_empty() { 0.0 } else { n_gpu as f64 / queries.len() as f64 },
+            gpu: gpu_report,
+            cpu: cpu_report,
+            response_seconds,
+        };
+        Ok((matches, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::brute_force_search;
+    use tdts_geom::{Point3, SegId, Segment, TrajId};
+    use tdts_gpu_sim::DeviceConfig;
+    use tdts_index_temporal::TemporalIndexConfig;
+    use tdts_rtree::RTreeConfig;
+
+    fn store(n: usize) -> SegmentStore {
+        (0..n)
+            .map(|i| {
+                Segment::new(
+                    Point3::new((i % 17) as f64, (i % 5) as f64, 0.0),
+                    Point3::new((i % 17) as f64 + 1.0, (i % 5) as f64 + 1.0, 1.0),
+                    (i % 11) as f64 * 0.4,
+                    (i % 11) as f64 * 0.4 + 1.0,
+                    SegId(i as u32),
+                    TrajId(i as u32),
+                )
+            })
+            .collect()
+    }
+
+    fn device() -> Arc<Device> {
+        Device::new(DeviceConfig::test_tiny()).unwrap()
+    }
+
+    fn config(fraction: Option<f64>) -> HybridConfig {
+        HybridConfig {
+            gpu_fraction: fraction,
+            gpu_method: Method::GpuTemporal(TemporalIndexConfig { bins: 8 }),
+            cpu_method: Method::CpuRTree(RTreeConfig::default()),
+            probe_queries: 4,
+        }
+    }
+
+    #[test]
+    fn fixed_split_matches_oracle() {
+        let dataset = PreparedDataset::new(store(80));
+        let queries = store(30);
+        for f in [0.0, 0.3, 0.7, 1.0] {
+            let hybrid = HybridSearch::build(&dataset, config(Some(f)), device()).unwrap();
+            let (got, report) = hybrid.search(&queries, 3.0, 20_000).unwrap();
+            let expect = brute_force_search(dataset.store(), &queries, 3.0);
+            assert_eq!(got, expect, "fraction {f}");
+            assert!((report.gpu_fraction - f).abs() < 0.1);
+            assert!(report.response_seconds > 0.0);
+        }
+    }
+
+    #[test]
+    fn auto_calibration_matches_oracle() {
+        let dataset = PreparedDataset::new(store(80));
+        let queries = store(40);
+        let hybrid = HybridSearch::build(&dataset, config(None), device()).unwrap();
+        let (got, report) = hybrid.search(&queries, 3.0, 20_000).unwrap();
+        let expect = brute_force_search(dataset.store(), &queries, 3.0);
+        assert_eq!(got, expect);
+        assert!((0.0..=1.0).contains(&report.gpu_fraction));
+    }
+
+    #[test]
+    fn empty_queries() {
+        let dataset = PreparedDataset::new(store(10));
+        let hybrid = HybridSearch::build(&dataset, config(Some(0.5)), device()).unwrap();
+        let (got, report) = hybrid.search(&SegmentStore::new(), 1.0, 100).unwrap();
+        assert!(got.is_empty());
+        assert_eq!(report.gpu_fraction, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hybrid CPU side")]
+    fn rejects_gpu_only_pairing() {
+        let dataset = PreparedDataset::new(store(10));
+        let bad = HybridConfig {
+            cpu_method: Method::GpuTemporal(TemporalIndexConfig { bins: 2 }),
+            ..config(Some(0.5))
+        };
+        let _ = HybridSearch::build(&dataset, bad, device());
+    }
+}

@@ -1,0 +1,29 @@
+//! The unified distance threshold search engine.
+//!
+//! This crate ties the paper's four implementations behind one interface:
+//!
+//! * [`Method::CpuRTree`] — the multithreaded CPU baseline (`tdts-rtree`);
+//! * [`Method::GpuSpatial`] — the flatly structured grid (`tdts-index-spatial`);
+//! * [`Method::GpuTemporal`] — temporal bins (`tdts-index-temporal`);
+//! * [`Method::GpuSpatioTemporal`] — bins × subbins
+//!   (`tdts-index-spatiotemporal`).
+//!
+//! A [`PreparedDataset`] canonicalises the entry database (sorted by
+//! `t_start`, the order the temporal indexes require), so result records
+//! from every method refer to the same entry positions and can be compared
+//! directly — which [`oracle`] and [`verify_against_oracle`] do against an
+//! exhaustive parallel reference search.
+
+pub mod cluster;
+pub mod engine;
+pub mod hybrid;
+pub mod knn;
+pub mod oracle;
+pub mod resolve;
+
+pub use cluster::{ClusterConfig, ClusterReport, ClusterSearch};
+pub use engine::{Method, PreparedDataset, SearchEngine};
+pub use hybrid::{HybridConfig, HybridReport, HybridSearch};
+pub use knn::{knn_search, KnnConfig, Neighbor};
+pub use oracle::{brute_force_search, verify_against_oracle};
+pub use resolve::{resolve_matches, ResolvedMatch};

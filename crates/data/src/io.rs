@@ -1,0 +1,195 @@
+//! Reading and writing segment databases as CSV.
+//!
+//! Format (one header line, then one line per segment):
+//!
+//! ```csv
+//! traj_id,seg_id,t_start,t_end,x0,y0,z0,x1,y1,z1
+//! ```
+//!
+//! This is the interchange format of the `tdts-cli generate` command and the
+//! way to bring *real* trajectory data (GPS tracks, N-body outputs) into the
+//! engines.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use tdts_geom::{Point3, SegId, Segment, SegmentStore, TrajId};
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    Io(std::io::Error),
+    /// Line number (1-based, including header) and description.
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "I/O error: {e}"),
+            CsvError::Parse(line, msg) => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+const HEADER: &str = "traj_id,seg_id,t_start,t_end,x0,y0,z0,x1,y1,z1";
+
+/// Write a segment store as CSV.
+pub fn write_csv<W: Write>(store: &SegmentStore, writer: W) -> Result<(), CsvError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "{HEADER}")?;
+    for s in store.iter() {
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{},{},{},{}",
+            s.traj_id.0,
+            s.seg_id.0,
+            s.t_start,
+            s.t_end,
+            s.start.x,
+            s.start.y,
+            s.start.z,
+            s.end.x,
+            s.end.y,
+            s.end.z
+        )?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a segment store from CSV (header required; fields validated).
+pub fn read_csv<R: Read>(reader: R) -> Result<SegmentStore, CsvError> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| CsvError::Parse(1, "empty input".into()))??;
+    if header.trim() != HEADER {
+        return Err(CsvError::Parse(1, format!("expected header `{HEADER}`")));
+    }
+    let mut store = SegmentStore::new();
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 10 {
+            return Err(CsvError::Parse(
+                line_no,
+                format!("expected 10 fields, found {}", fields.len()),
+            ));
+        }
+        let parse_u32 = |s: &str, what: &str| {
+            s.trim()
+                .parse::<u32>()
+                .map_err(|e| CsvError::Parse(line_no, format!("bad {what} `{s}`: {e}")))
+        };
+        let parse_f64 = |s: &str, what: &str| {
+            let v = s
+                .trim()
+                .parse::<f64>()
+                .map_err(|e| CsvError::Parse(line_no, format!("bad {what} `{s}`: {e}")))?;
+            if !v.is_finite() {
+                return Err(CsvError::Parse(line_no, format!("non-finite {what} `{s}`")));
+            }
+            Ok(v)
+        };
+        let traj = parse_u32(fields[0], "traj_id")?;
+        let seg = parse_u32(fields[1], "seg_id")?;
+        let t0 = parse_f64(fields[2], "t_start")?;
+        let t1 = parse_f64(fields[3], "t_end")?;
+        if t1 < t0 {
+            return Err(CsvError::Parse(line_no, format!("t_end {t1} < t_start {t0}")));
+        }
+        let p0 = Point3::new(
+            parse_f64(fields[4], "x0")?,
+            parse_f64(fields[5], "y0")?,
+            parse_f64(fields[6], "z0")?,
+        );
+        let p1 = Point3::new(
+            parse_f64(fields[7], "x1")?,
+            parse_f64(fields[8], "y1")?,
+            parse_f64(fields[9], "z1")?,
+        );
+        store.push(Segment::new(p0, p1, t0, t1, SegId(seg), TrajId(traj)));
+    }
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RandomWalkConfig;
+
+    #[test]
+    fn roundtrip() {
+        let store = RandomWalkConfig {
+            trajectories: 5,
+            timesteps: 8,
+            ..Default::default()
+        }
+        .generate();
+        let mut buf = Vec::new();
+        write_csv(&store, &mut buf).unwrap();
+        let back = read_csv(&buf[..]).unwrap();
+        assert_eq!(store.len(), back.len());
+        for (a, b) in store.iter().zip(back.iter()) {
+            assert_eq!(a.traj_id, b.traj_id);
+            assert_eq!(a.seg_id, b.seg_id);
+            assert_eq!(a.t_start, b.t_start);
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.end, b.end);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = read_csv("wrong,header\n1,2".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected header"));
+    }
+
+    #[test]
+    fn rejects_bad_fields() {
+        let input = format!("{HEADER}\n1,2,0.0,1.0,0,0,0,1,1\n");
+        let err = read_csv(input.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected 10 fields"), "{err}");
+
+        let input = format!("{HEADER}\nx,2,0.0,1.0,0,0,0,1,1,1\n");
+        let err = read_csv(input.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad traj_id"), "{err}");
+
+        let input = format!("{HEADER}\n1,2,5.0,1.0,0,0,0,1,1,1\n");
+        let err = read_csv(input.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("t_end"), "{err}");
+
+        let input = format!("{HEADER}\n1,2,0.0,1.0,NaN,0,0,1,1,1\n");
+        let err = read_csv(input.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn skips_blank_lines_and_reports_line_numbers() {
+        let input = format!("{HEADER}\n\n1,2,0.0,1.0,0,0,0,1,1,1\n\nbad\n");
+        let err = read_csv(input.as_bytes()).unwrap_err();
+        match err {
+            CsvError::Parse(line, _) => assert_eq!(line, 5),
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(read_csv("".as_bytes()).is_err());
+        let just_header = format!("{HEADER}\n");
+        let store = read_csv(just_header.as_bytes()).unwrap();
+        assert!(store.is_empty());
+    }
+}

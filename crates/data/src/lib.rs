@@ -1,0 +1,42 @@
+//! Dataset generators for the paper's three evaluation workloads.
+//!
+//! The paper evaluates on:
+//!
+//! * **Random** — 2,500 random-walk trajectories over 400 timesteps
+//!   (997,500 entry segments), trajectory start times uniform in `[0, 100]`.
+//!   Reimplemented directly in [`random_walk`].
+//! * **Merger** — a real galaxy-merger N-body output (131,072 particles ×
+//!   193 timesteps = 25,165,824 segments). The original data is not
+//!   available, so [`merger`] generates a synthetic two-disk merger with the
+//!   same particle/step counts and the statistics that drive index
+//!   selectivity: strong central clustering, coherent rotation, shrinking
+//!   mutual orbit.
+//! * **Random-dense** — 65,536 random walks × 193 timesteps at the solar
+//!   neighbourhood stellar density (0.112 stars/pc³ ⇒ a cube of
+//!   65,536 / 0.112 ≈ 585,142 pc³). Reimplemented directly in
+//!   [`random_dense`].
+//!
+//! Every generator takes an explicit seed and produces a deterministic
+//! [`SegmentStore`]; a `scale` parameter shrinks particle counts (keeping
+//! density) so experiments can run on small hosts. [`scenario`] bundles each
+//! dataset with its paper query set (S1–S3).
+//!
+//! [`SegmentStore`]: tdts_geom::SegmentStore
+
+pub mod builder;
+pub mod gaussian_cluster;
+pub mod io;
+pub mod merger;
+pub mod random_dense;
+pub mod random_walk;
+pub mod scenario;
+pub mod stats;
+
+pub use builder::TrajectoryBuilder;
+pub use gaussian_cluster::GaussianClusterConfig;
+pub use io::{read_csv, write_csv, CsvError};
+pub use merger::MergerConfig;
+pub use random_dense::RandomDenseConfig;
+pub use random_walk::RandomWalkConfig;
+pub use scenario::{Scenario, ScenarioKind};
+pub use stats::{selectivity, selectivity_sweep, SelectivityPoint};

@@ -1,0 +1,35 @@
+//! Spatiotemporal geometry primitives for trajectory distance threshold searches.
+//!
+//! This crate provides the data model shared by every index implementation in
+//! the workspace:
+//!
+//! * [`Point3`] — a 3-D spatial point with the usual vector operations.
+//! * [`TimeInterval`] — a closed interval on the temporal axis.
+//! * [`Segment`] — a 4-D (three spatial + one temporal dimension) trajectory
+//!   line segment: the position of a moving object between two timestamps,
+//!   interpolated linearly.
+//! * [`Mbb`] — a spatial minimum bounding box.
+//! * [`continuous::within_distance`] — the *continuous* distance threshold
+//!   test: the exact sub-interval of the temporal overlap of two segments
+//!   during which the two moving points are within a Euclidean distance `d`
+//!   of each other. This is the `compare()` primitive of Algorithms 1–3 in
+//!   the paper.
+//! * [`SegmentStore`] — an in-memory segment database with the global
+//!   statistics (spatial bounds, temporal extent, maximum segment spatial
+//!   extent) that the indexing schemes are built from.
+
+pub mod continuous;
+pub mod interval;
+pub mod mbb;
+pub mod point;
+pub mod result;
+pub mod segment;
+pub mod store;
+
+pub use continuous::{within_distance, ClosestApproach};
+pub use result::{dedup_matches, diff_matches, MatchRecord};
+pub use interval::TimeInterval;
+pub use mbb::Mbb;
+pub use point::Point3;
+pub use segment::{SegId, Segment, TrajId};
+pub use store::{SegmentStore, StoreStats};

@@ -1,0 +1,104 @@
+//! Result records of a distance threshold search.
+
+use crate::TimeInterval;
+use serde::{Deserialize, Serialize};
+
+/// One element of the final result set: a query/entry pair annotated with
+/// the time interval during which the two segments are within the threshold
+/// distance (e.g. the paper's `(q1, l1, [0.1, 0.3])`).
+///
+/// `query` and `entry` are *positions* in the query set and entry database
+/// respectively (not segment ids), because that is what kernels naturally
+/// produce; translate via the stores when ids are needed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatchRecord {
+    pub query: u32,
+    pub entry: u32,
+    pub interval: TimeInterval,
+}
+
+impl MatchRecord {
+    pub fn new(query: u32, entry: u32, interval: TimeInterval) -> Self {
+        MatchRecord { query, entry, interval }
+    }
+
+    /// Ordering key for canonicalisation: (query, entry).
+    #[inline]
+    pub fn key(&self) -> (u32, u32) {
+        (self.query, self.entry)
+    }
+}
+
+/// Canonicalise a result set: sort by (query, entry) and remove duplicate
+/// pairs (the paper's host-side duplicate filtering for `GPUSpatial`).
+/// Duplicates report the same interval, so keeping the first is enough.
+pub fn dedup_matches(matches: &mut Vec<MatchRecord>) {
+    matches.sort_by(|a, b| {
+        a.key()
+            .cmp(&b.key())
+            .then(a.interval.start.partial_cmp(&b.interval.start).expect("NaN interval"))
+    });
+    matches.dedup_by_key(|m| m.key());
+}
+
+/// Compare two *canonicalised* result sets for equality up to interval
+/// rounding `eps`. Returns a human-readable description of the first
+/// difference, or `None` when equal. Used by tests and the verification
+/// oracle.
+pub fn diff_matches(a: &[MatchRecord], b: &[MatchRecord], eps: f64) -> Option<String> {
+    if a.len() != b.len() {
+        return Some(format!("lengths differ: {} vs {}", a.len(), b.len()));
+    }
+    for (x, y) in a.iter().zip(b.iter()) {
+        if x.key() != y.key() {
+            return Some(format!("pair mismatch: {:?} vs {:?}", x.key(), y.key()));
+        }
+        if !x.interval.approx_eq(&y.interval, eps) {
+            return Some(format!(
+                "interval mismatch for {:?}: {:?} vs {:?}",
+                x.key(),
+                x.interval,
+                y.interval
+            ));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(q: u32, e: u32, s: f64, t: f64) -> MatchRecord {
+        MatchRecord::new(q, e, TimeInterval::new(s, t))
+    }
+
+    #[test]
+    fn dedup_sorts_and_removes_duplicates() {
+        let mut v = vec![m(1, 2, 0.0, 1.0), m(0, 5, 0.0, 1.0), m(1, 2, 0.0, 1.0), m(1, 1, 0.5, 0.6)];
+        dedup_matches(&mut v);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0].key(), (0, 5));
+        assert_eq!(v[1].key(), (1, 1));
+        assert_eq!(v[2].key(), (1, 2));
+    }
+
+    #[test]
+    fn diff_detects_differences() {
+        let a = vec![m(0, 1, 0.0, 1.0)];
+        assert!(diff_matches(&a, &a, 1e-9).is_none());
+        let b = vec![m(0, 2, 0.0, 1.0)];
+        assert!(diff_matches(&a, &b, 1e-9).unwrap().contains("pair mismatch"));
+        let c = vec![m(0, 1, 0.0, 2.0)];
+        assert!(diff_matches(&a, &c, 1e-9).unwrap().contains("interval mismatch"));
+        let d = vec![m(0, 1, 0.0, 1.0), m(1, 1, 0.0, 1.0)];
+        assert!(diff_matches(&a, &d, 1e-9).unwrap().contains("lengths differ"));
+    }
+
+    #[test]
+    fn diff_tolerates_rounding() {
+        let a = vec![m(0, 1, 0.0, 1.0)];
+        let b = vec![m(0, 1, 1e-12, 1.0 - 1e-12)];
+        assert!(diff_matches(&a, &b, 1e-9).is_none());
+    }
+}

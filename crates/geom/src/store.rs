@@ -1,0 +1,205 @@
+//! In-memory segment databases.
+
+use crate::{Mbb, Segment, TimeInterval};
+use serde::{Deserialize, Serialize};
+
+/// Global statistics of a segment database, computed once at load time.
+///
+/// Every indexing scheme is parameterised by some of these: the temporal
+/// index needs the temporal extent, the spatial grid needs the spatial
+/// bounds, and the spatiotemporal subbins are constrained by the maximum
+/// per-dimension spatial extent of any single segment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Spatial bounds over all segment endpoints.
+    pub bounds: Mbb,
+    /// `[min t_start, max t_end]` over all segments.
+    pub time_span: TimeInterval,
+    /// Maximum spatial extent of any single segment, per dimension.
+    pub max_segment_extent: [f64; 3],
+    /// Mean temporal extent of a segment.
+    pub mean_duration: f64,
+}
+
+/// An in-memory spatiotemporal segment database (the paper's `D`, and also
+/// the representation of a query set `Q`).
+///
+/// The store owns a flat `Vec<Segment>`; indexes reference entries by their
+/// *position* in this vector, so reordering methods ([`sort_by_t_start`])
+/// change those positions but never the segments' own ids.
+///
+/// [`sort_by_t_start`]: SegmentStore::sort_by_t_start
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SegmentStore {
+    segments: Vec<Segment>,
+}
+
+impl SegmentStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        SegmentStore { segments: Vec::new() }
+    }
+
+    /// Build from a vector of segments.
+    pub fn from_segments(segments: Vec<Segment>) -> Self {
+        SegmentStore { segments }
+    }
+
+    /// Number of segments.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True if the store holds no segments.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Append a segment.
+    #[inline]
+    pub fn push(&mut self, seg: Segment) {
+        self.segments.push(seg);
+    }
+
+    /// Immutable view of the segments.
+    #[inline]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Segment at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> &Segment {
+        &self.segments[i]
+    }
+
+    /// Sort segments by ascending `t_start` (stable). The temporal and
+    /// spatiotemporal indexes require this ordering.
+    pub fn sort_by_t_start(&mut self) {
+        self.segments
+            .sort_by(|a, b| a.t_start.partial_cmp(&b.t_start).expect("NaN t_start"));
+    }
+
+    /// True if segments are sorted by non-decreasing `t_start`.
+    pub fn is_sorted_by_t_start(&self) -> bool {
+        self.segments.windows(2).all(|w| w[0].t_start <= w[1].t_start)
+    }
+
+    /// Compute the global statistics. Returns `None` for an empty store.
+    pub fn stats(&self) -> Option<StoreStats> {
+        if self.segments.is_empty() {
+            return None;
+        }
+        let mut bounds = Mbb::empty();
+        let mut t_min = f64::INFINITY;
+        let mut t_max = f64::NEG_INFINITY;
+        let mut max_ext = [0.0f64; 3];
+        let mut dur_sum = 0.0;
+        for s in &self.segments {
+            bounds.expand_to_point(&s.start);
+            bounds.expand_to_point(&s.end);
+            t_min = t_min.min(s.t_start);
+            t_max = t_max.max(s.t_end);
+            for (dim, ext) in max_ext.iter_mut().enumerate() {
+                *ext = ext.max(s.spatial_extent(dim));
+            }
+            dur_sum += s.duration();
+        }
+        Some(StoreStats {
+            bounds,
+            time_span: TimeInterval::new(t_min, t_max),
+            max_segment_extent: max_ext,
+            mean_duration: dur_sum / self.segments.len() as f64,
+        })
+    }
+
+    /// Number of distinct trajectory ids (O(n log n)).
+    pub fn trajectory_count(&self) -> usize {
+        let mut ids: Vec<u32> = self.segments.iter().map(|s| s.traj_id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Iterate over the segments.
+    pub fn iter(&self) -> std::slice::Iter<'_, Segment> {
+        self.segments.iter()
+    }
+}
+
+impl FromIterator<Segment> for SegmentStore {
+    fn from_iter<I: IntoIterator<Item = Segment>>(iter: I) -> Self {
+        SegmentStore { segments: iter.into_iter().collect() }
+    }
+}
+
+impl<'a> IntoIterator for &'a SegmentStore {
+    type Item = &'a Segment;
+    type IntoIter = std::slice::Iter<'a, Segment>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.segments.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Point3, SegId, TrajId};
+
+    fn seg(t0: f64, t1: f64, lo: f64, hi: f64, traj: u32) -> Segment {
+        Segment::new(
+            Point3::splat(lo),
+            Point3::splat(hi),
+            t0,
+            t1,
+            SegId(0),
+            TrajId(traj),
+        )
+    }
+
+    #[test]
+    fn empty_store() {
+        let s = SegmentStore::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert!(s.stats().is_none());
+        assert_eq!(s.trajectory_count(), 0);
+        assert!(s.is_sorted_by_t_start());
+    }
+
+    #[test]
+    fn stats_cover_all_segments() {
+        let store: SegmentStore = vec![
+            seg(0.0, 1.0, 0.0, 2.0, 0),
+            seg(0.5, 2.0, -1.0, 1.0, 1),
+            seg(1.5, 3.0, 4.0, 5.0, 1),
+        ]
+        .into_iter()
+        .collect();
+        let st = store.stats().unwrap();
+        assert_eq!(st.time_span, TimeInterval::new(0.0, 3.0));
+        assert_eq!(st.bounds.lo, Point3::splat(-1.0));
+        assert_eq!(st.bounds.hi, Point3::splat(5.0));
+        assert_eq!(st.max_segment_extent, [2.0, 2.0, 2.0]);
+        assert!((st.mean_duration - (1.0 + 1.5 + 1.5) / 3.0).abs() < 1e-12);
+        assert_eq!(store.trajectory_count(), 2);
+    }
+
+    #[test]
+    fn sorting() {
+        let mut store: SegmentStore = vec![
+            seg(2.0, 3.0, 0.0, 0.0, 0),
+            seg(0.0, 1.0, 0.0, 0.0, 0),
+            seg(1.0, 2.0, 0.0, 0.0, 0),
+        ]
+        .into_iter()
+        .collect();
+        assert!(!store.is_sorted_by_t_start());
+        store.sort_by_t_start();
+        assert!(store.is_sorted_by_t_start());
+        assert_eq!(store.get(0).t_start, 0.0);
+        assert_eq!(store.get(2).t_start, 2.0);
+    }
+}

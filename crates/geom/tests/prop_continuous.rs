@@ -1,0 +1,140 @@
+//! Property-based tests for the continuous distance solver and MBB algebra.
+
+use proptest::prelude::*;
+use tdts_geom::{within_distance, Mbb, Point3, SegId, Segment, TrajId};
+
+fn arb_point() -> impl Strategy<Value = Point3> {
+    (-50.0f64..50.0, -50.0f64..50.0, -50.0f64..50.0).prop_map(|(x, y, z)| Point3::new(x, y, z))
+}
+
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    (arb_point(), arb_point(), 0.0f64..10.0, 0.001f64..5.0).prop_map(|(a, b, t0, dt)| {
+        Segment::new(a, b, t0, t0 + dt, SegId(0), TrajId(0))
+    })
+}
+
+proptest! {
+    /// Any time inside the returned interval must actually satisfy the
+    /// distance condition (up to rounding), and any time strictly outside it
+    /// (within the overlap) must not.
+    #[test]
+    fn interval_is_sound(a in arb_segment(), b in arb_segment(), d in 0.1f64..30.0) {
+        let d2 = d * d;
+        if let Some(iv) = within_distance(&a, &b, d) {
+            // Sample inside the interval.
+            for k in 0..=10 {
+                let t = iv.start + iv.length() * (k as f64) / 10.0;
+                let sep = a.position_at(t).dist2(&b.position_at(t));
+                prop_assert!(sep <= d2 * (1.0 + 1e-6) + 1e-9,
+                    "inside t={t}: sep2 {sep} > d2 {d2}");
+            }
+            // Interval lies inside the temporal overlap.
+            let ov = a.time_span().intersect(&b.time_span()).unwrap();
+            prop_assert!(iv.start >= ov.start - 1e-9);
+            prop_assert!(iv.end <= ov.end + 1e-9);
+            // Just outside the interval (but inside the overlap) must violate
+            // the condition, unless the interval endpoint is clamped to the
+            // overlap boundary.
+            let eps = 1e-4 * (1.0 + iv.length());
+            if iv.start - eps > ov.start {
+                let t = iv.start - eps;
+                let sep = a.position_at(t).dist2(&b.position_at(t));
+                prop_assert!(sep >= d2 * (1.0 - 1e-6) - 1e-9,
+                    "before start t={t}: sep2 {sep} < d2 {d2}");
+            }
+            if iv.end + eps < ov.end {
+                let t = iv.end + eps;
+                let sep = a.position_at(t).dist2(&b.position_at(t));
+                prop_assert!(sep >= d2 * (1.0 - 1e-6) - 1e-9,
+                    "after end t={t}: sep2 {sep} < d2 {d2}");
+            }
+        } else if let Some(ov) = a.time_span().intersect(&b.time_span()) {
+            // No interval: no sampled time may satisfy the condition strictly.
+            for k in 0..=20 {
+                let t = ov.start + ov.length() * (k as f64) / 20.0;
+                let sep = a.position_at(t).dist2(&b.position_at(t));
+                prop_assert!(sep >= d2 * (1.0 - 1e-9) - 1e-9,
+                    "no-interval but t={t} has sep2 {sep} < d2 {d2}");
+            }
+        }
+    }
+
+    /// The test is symmetric in its segment arguments.
+    #[test]
+    fn symmetry(a in arb_segment(), b in arb_segment(), d in 0.1f64..30.0) {
+        let ab = within_distance(&a, &b, d);
+        let ba = within_distance(&b, &a, d);
+        match (ab, ba) {
+            (Some(x), Some(y)) => prop_assert!(x.approx_eq(&y, 1e-9)),
+            (None, None) => {}
+            other => prop_assert!(false, "asymmetric result {other:?}"),
+        }
+    }
+
+    /// Monotonicity: a larger threshold can only widen the interval.
+    #[test]
+    fn monotone_in_d(a in arb_segment(), b in arb_segment(), d in 0.1f64..20.0) {
+        let small = within_distance(&a, &b, d);
+        let large = within_distance(&a, &b, d * 2.0);
+        if let Some(s) = small {
+            let l = large.expect("interval disappeared when d grew");
+            prop_assert!(l.start <= s.start + 1e-9);
+            prop_assert!(l.end >= s.end - 1e-9);
+        }
+    }
+
+    /// A segment is always within any non-negative distance of itself over
+    /// its whole extent.
+    #[test]
+    fn reflexive(a in arb_segment(), d in 0.0f64..10.0) {
+        let iv = within_distance(&a, &a, d).expect("segment not within d of itself");
+        prop_assert!(iv.approx_eq(&a.time_span(), 1e-9));
+    }
+
+    /// MBB of a segment contains every interpolated position.
+    #[test]
+    fn mbb_contains_positions(a in arb_segment(), s in 0.0f64..1.0) {
+        let t = a.t_start + a.duration() * s;
+        let p = a.position_at(t);
+        prop_assert!(a.mbb().contains_point(&p));
+    }
+
+    /// Inflating an MBB by the distance between boxes makes them overlap.
+    #[test]
+    fn inflate_by_gap_overlaps(a in arb_segment(), b in arb_segment()) {
+        let (ma, mb) = (a.mbb(), b.mbb());
+        let gap = ma.min_dist2_to_box(&mb).sqrt();
+        prop_assert!(ma.inflate(gap + 1e-9).overlaps(&mb));
+    }
+
+    /// Merge is commutative and contains both inputs.
+    #[test]
+    fn mbb_merge_properties(a in arb_segment(), b in arb_segment()) {
+        let (ma, mb) = (a.mbb(), b.mbb());
+        let m1 = ma.merge(&mb);
+        let m2 = mb.merge(&ma);
+        prop_assert_eq!(m1, m2);
+        prop_assert!(m1.contains_box(&ma));
+        prop_assert!(m1.contains_box(&mb));
+    }
+
+    /// min_dist2_to_box is zero iff the boxes overlap.
+    #[test]
+    fn mbb_distance_consistency(a in arb_segment(), b in arb_segment()) {
+        let (ma, mb) = (a.mbb(), b.mbb());
+        let d2 = ma.min_dist2_to_box(&mb);
+        if ma.overlaps(&mb) {
+            prop_assert_eq!(d2, 0.0);
+        } else {
+            prop_assert!(d2 > 0.0);
+        }
+    }
+}
+
+#[test]
+fn mbb_empty_identities() {
+    let e = Mbb::empty();
+    let a = Mbb::new(Point3::ZERO, Point3::splat(1.0));
+    assert_eq!(e.merge(&a), a);
+    assert_eq!(a.merge(&e), a);
+}

@@ -1,0 +1,222 @@
+//! Device configuration and the cost-model parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the simulated device.
+///
+/// The defaults ([`DeviceConfig::tesla_c2075`]) approximate the NVIDIA Tesla
+/// C2075 used in the paper: 14 streaming multiprocessors × 32 cores =
+/// 448 CUDA cores at 1.15 GHz, 6 GiB of global memory, on a PCI Express 2.0
+/// x16 bus (~6 GB/s effective). Cost-model parameters (cycles per
+/// instruction/transaction/atomic, occupancy) are first-order estimates; the
+/// paper's comparative results depend on *relative* costs, which these
+/// preserve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Human-readable device name (appears in reports).
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Lanes per warp (CUDA fixes this at 32).
+    pub warp_size: usize,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// Global memory capacity in bytes; allocations beyond it fail.
+    pub global_mem_bytes: usize,
+    /// Host→device bandwidth in bytes/second.
+    pub h2d_bandwidth: f64,
+    /// Device→host bandwidth in bytes/second.
+    pub d2h_bandwidth: f64,
+    /// Fixed per-transfer latency in seconds (DMA setup + driver).
+    pub transfer_latency: f64,
+    /// Fixed per-launch overhead in seconds (driver + scheduling).
+    pub kernel_launch_overhead: f64,
+    /// Cycles per scalar ALU instruction.
+    pub cycles_per_instr: f64,
+    /// Cycles per 128-byte global-memory transaction.
+    pub cycles_per_gmem_transaction: f64,
+    /// Bytes served by one coalesced global-memory transaction.
+    pub gmem_transaction_bytes: f64,
+    /// Multiplier on memory transactions when a warp's lanes take different
+    /// control paths (uncoalesced access pattern).
+    pub uncoalesced_factor: f64,
+    /// Cycles per global atomic operation (includes typical contention).
+    pub cycles_per_atomic: f64,
+    /// Latency-hiding factor: how many warps an SM overlaps effectively.
+    /// SM time = (sum of its warp costs) / occupancy_factor.
+    pub occupancy_factor: f64,
+}
+
+impl DeviceConfig {
+    /// Configuration approximating the paper's NVIDIA Tesla C2075.
+    pub fn tesla_c2075() -> Self {
+        DeviceConfig {
+            name: "Tesla C2075 (simulated)".to_string(),
+            num_sms: 14,
+            warp_size: 32,
+            clock_hz: 1.15e9,
+            global_mem_bytes: 6 * 1024 * 1024 * 1024,
+            // PCIe 2.0 x16: 8 GB/s theoretical, ~6 GB/s effective.
+            h2d_bandwidth: 6.0e9,
+            d2h_bandwidth: 6.0e9,
+            transfer_latency: 15e-6,
+            kernel_launch_overhead: 10e-6,
+            cycles_per_instr: 1.0,
+            // Fermi global-memory latency is 400–800 cycles and the random
+            // per-lane segment reads of these kernels coalesce poorly, so a
+            // transaction costs far more than its pipelined minimum. 320
+            // cycles/transaction with an effective 2-warp overlap calibrates
+            // the model to the paper's observed ~1.7e8 segment comparisons
+            // per second on this card (Fig. 4–6 response times).
+            cycles_per_gmem_transaction: 320.0,
+            gmem_transaction_bytes: 128.0,
+            uncoalesced_factor: 4.0,
+            cycles_per_atomic: 120.0,
+            occupancy_factor: 2.0,
+        }
+    }
+
+    /// A configuration sketching a modern data-centre GPU (A100-class):
+    /// more SMs, faster clock and memory, PCIe 4.0, much larger global
+    /// memory. Used to evaluate the paper's closing claim that "future
+    /// trends for GPU technology (faster host–GPU bandwidth, increased
+    /// memory, etc.) will be a further advantage" (§VI).
+    pub fn modern_gpu() -> Self {
+        DeviceConfig {
+            name: "modern GPU (simulated, A100-class)".to_string(),
+            num_sms: 108,
+            warp_size: 32,
+            clock_hz: 1.41e9,
+            global_mem_bytes: 40 * 1024 * 1024 * 1024,
+            // PCIe 4.0 x16: ~25 GB/s effective.
+            h2d_bandwidth: 25.0e9,
+            d2h_bandwidth: 25.0e9,
+            transfer_latency: 8e-6,
+            kernel_launch_overhead: 5e-6,
+            cycles_per_instr: 1.0,
+            // HBM2 latency is similar in cycles but far better hidden:
+            // higher occupancy and many more concurrent transactions.
+            cycles_per_gmem_transaction: 160.0,
+            gmem_transaction_bytes: 128.0,
+            uncoalesced_factor: 3.0,
+            cycles_per_atomic: 60.0,
+            occupancy_factor: 4.0,
+        }
+    }
+
+    /// A tiny device for unit tests: 2 SMs, 4-lane warps, small memory, so
+    /// overflow and divergence paths are easy to exercise deterministically.
+    pub fn test_tiny() -> Self {
+        DeviceConfig {
+            name: "test-tiny".to_string(),
+            num_sms: 2,
+            warp_size: 4,
+            clock_hz: 1.0e6,
+            global_mem_bytes: 1024 * 1024,
+            h2d_bandwidth: 1.0e6,
+            d2h_bandwidth: 1.0e6,
+            transfer_latency: 1e-3,
+            kernel_launch_overhead: 2e-3,
+            cycles_per_instr: 1.0,
+            cycles_per_gmem_transaction: 10.0,
+            gmem_transaction_bytes: 16.0,
+            uncoalesced_factor: 2.0,
+            cycles_per_atomic: 20.0,
+            occupancy_factor: 1.0,
+        }
+    }
+
+    /// Total core count (`num_sms * warp_size` in this simplified model).
+    pub fn total_cores(&self) -> usize {
+        self.num_sms * self.warp_size
+    }
+
+    /// Simulated duration of a host→device transfer of `bytes`.
+    pub fn h2d_seconds(&self, bytes: usize) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.transfer_latency + bytes as f64 / self.h2d_bandwidth
+    }
+
+    /// Simulated duration of a device→host transfer of `bytes`.
+    pub fn d2h_seconds(&self, bytes: usize) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.transfer_latency + bytes as f64 / self.d2h_bandwidth
+    }
+
+    /// Validate parameter sanity; used by constructors of [`crate::Device`].
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_sms == 0 || self.warp_size == 0 {
+            return Err("device must have at least one SM and one lane".into());
+        }
+        if !(self.clock_hz > 0.0) {
+            return Err("clock must be positive".into());
+        }
+        if !(self.h2d_bandwidth > 0.0 && self.d2h_bandwidth > 0.0) {
+            return Err("bandwidths must be positive".into());
+        }
+        if !(self.occupancy_factor > 0.0) {
+            return Err("occupancy factor must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig::tesla_c2075()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c2075_shape() {
+        let c = DeviceConfig::tesla_c2075();
+        assert_eq!(c.total_cores(), 448);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn modern_gpu_is_strictly_better() {
+        let old = DeviceConfig::tesla_c2075();
+        let new = DeviceConfig::modern_gpu();
+        assert!(new.validate().is_ok());
+        assert!(new.total_cores() > old.total_cores());
+        assert!(new.h2d_bandwidth > old.h2d_bandwidth);
+        assert!(new.global_mem_bytes > old.global_mem_bytes);
+        assert!(new.kernel_launch_overhead < old.kernel_launch_overhead);
+        // Same workload must be simulated faster end to end.
+        assert!(new.h2d_seconds(1 << 20) < old.h2d_seconds(1 << 20));
+    }
+
+    #[test]
+    fn transfer_costs() {
+        let c = DeviceConfig::test_tiny();
+        assert_eq!(c.h2d_seconds(0), 0.0);
+        // latency + 1e6 bytes / 1e6 B/s = 1e-3 + 1.0
+        assert!((c.h2d_seconds(1_000_000) - 1.001).abs() < 1e-12);
+        assert!((c.d2h_seconds(500_000) - 0.501).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let mut c = DeviceConfig::test_tiny();
+        c.num_sms = 0;
+        assert!(c.validate().is_err());
+        let mut c = DeviceConfig::test_tiny();
+        c.clock_hz = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = DeviceConfig::test_tiny();
+        c.occupancy_factor = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = DeviceConfig::test_tiny();
+        c.h2d_bandwidth = -1.0;
+        assert!(c.validate().is_err());
+    }
+}

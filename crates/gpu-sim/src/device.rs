@@ -1,0 +1,281 @@
+//! The simulated device: memory accounting, transfers, and the response-time
+//! ledger.
+
+use crate::config::DeviceConfig;
+use crate::launch::{run_launch, LaunchReport};
+use crate::ledger::{Phase, ResponseTime};
+use crate::memory::{
+    DeviceBuffer, OutOfDeviceMemory, PartitionedScratch, Reservation, ResultBuffer,
+};
+use crate::Lane;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A simulated GPU.
+///
+/// All allocation, transfer, and launch operations go through the device,
+/// which keeps simulated-memory accounting and the [`ResponseTime`] ledger.
+///
+/// ```
+/// use tdts_gpu_sim::{Device, DeviceConfig};
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let device = Device::new(DeviceConfig::tesla_c2075()).unwrap();
+/// let data = device.alloc_from_host((0..1024u64).collect()).unwrap();
+///
+/// // A kernel summing the buffer: one thread per element.
+/// let sum = AtomicU64::new(0);
+/// let report = device.launch(data.len(), |lane| {
+///     let v = data.read(lane, lane.global_id); // charges the memory counter
+///     lane.instr(1);
+///     sum.fetch_add(v, Ordering::Relaxed);
+/// });
+/// assert_eq!(sum.into_inner(), 1024 * 1023 / 2);
+/// assert_eq!(report.warps, 1024 / 32);
+/// assert!(report.sim_exec_seconds > 0.0); // deterministic simulated time
+/// ```
+/// Two families of operations exist:
+///
+/// * **Offline** ([`Device::alloc_from_host`]) — used while building indexes
+///   and storing the database `D`; the paper excludes these from response
+///   time, so no ledger entry is made.
+/// * **Online** ([`Device::upload`], [`Device::download_cost`],
+///   [`Device::launch`], [`Device::charge_host`]) — everything between query
+///   arrival and the final result set; each records its simulated duration.
+pub struct Device {
+    config: DeviceConfig,
+    mem_used: AtomicUsize,
+    ledger: Mutex<ResponseTime>,
+}
+
+impl Device {
+    /// Create a device, validating the configuration.
+    pub fn new(config: DeviceConfig) -> Result<Arc<Device>, String> {
+        config.validate()?;
+        Ok(Arc::new(Device {
+            config,
+            mem_used: AtomicUsize::new(0),
+            ledger: Mutex::new(ResponseTime::new()),
+        }))
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Bytes of simulated global memory currently allocated.
+    pub fn mem_used(&self) -> usize {
+        self.mem_used.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of simulated global memory still free.
+    pub fn mem_available(&self) -> usize {
+        self.config.global_mem_bytes - self.mem_used()
+    }
+
+    pub(crate) fn reserve(&self, bytes: usize) -> Result<(), OutOfDeviceMemory> {
+        let mut used = self.mem_used.load(Ordering::Relaxed);
+        loop {
+            let available = self.config.global_mem_bytes.saturating_sub(used);
+            if bytes > available {
+                return Err(OutOfDeviceMemory { requested: bytes, available });
+            }
+            match self.mem_used.compare_exchange_weak(
+                used,
+                used + bytes,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(actual) => used = actual,
+            }
+        }
+    }
+
+    pub(crate) fn release(&self, bytes: usize) {
+        self.mem_used.fetch_sub(bytes, Ordering::Relaxed);
+    }
+
+    /// Allocate a read-only device buffer *offline* (no ledger entry).
+    /// Used for the database `D` and index structures, which the paper
+    /// stores on the GPU before the search begins.
+    pub fn alloc_from_host<T: Copy>(
+        self: &Arc<Self>,
+        data: Vec<T>,
+    ) -> Result<DeviceBuffer<T>, OutOfDeviceMemory> {
+        let bytes = data.len() * std::mem::size_of::<T>();
+        let reservation = Reservation::new(self, bytes)?;
+        Ok(DeviceBuffer::new(data, reservation))
+    }
+
+    /// Allocate and transfer a buffer *online*, charging the host→device
+    /// transfer to the ledger. Used for query sets, schedules, redo lists.
+    pub fn upload<T: Copy>(
+        self: &Arc<Self>,
+        data: Vec<T>,
+    ) -> Result<DeviceBuffer<T>, OutOfDeviceMemory> {
+        let bytes = data.len() * std::mem::size_of::<T>();
+        self.ledger.lock().add(Phase::HostToDevice, self.config.h2d_seconds(bytes));
+        self.alloc_from_host(data)
+    }
+
+    /// Allocate a fixed-capacity atomic-append result buffer (offline — the
+    /// paper pre-allocates the result buffer before searching).
+    pub fn alloc_result<T>(
+        self: &Arc<Self>,
+        capacity: usize,
+    ) -> Result<ResultBuffer<T>, OutOfDeviceMemory> {
+        let bytes = capacity * std::mem::size_of::<T>();
+        let reservation = Reservation::new(self, bytes)?;
+        Ok(ResultBuffer::with_capacity(capacity, reservation))
+    }
+
+    /// Allocate a scatter buffer (offline): kernels write at explicit,
+    /// disjoint indices computed from a host-side prefix sum — the two-pass
+    /// alternative to atomic result appends.
+    pub fn alloc_scatter<T>(
+        self: &Arc<Self>,
+        capacity: usize,
+    ) -> Result<crate::memory::ScatterBuffer<T>, OutOfDeviceMemory> {
+        let bytes = capacity * std::mem::size_of::<T>();
+        let reservation = Reservation::new(self, bytes)?;
+        Ok(crate::memory::ScatterBuffer::with_capacity(capacity, reservation))
+    }
+
+    /// Allocate per-thread scratch partitions (offline): `partitions` areas
+    /// of `per_thread` elements each — the paper's buffer `U` split as
+    /// `|U_k| = s/|Q|`.
+    pub fn alloc_scratch<T: Copy + Default>(
+        self: &Arc<Self>,
+        partitions: usize,
+        per_thread: usize,
+    ) -> Result<PartitionedScratch<T>, OutOfDeviceMemory> {
+        let bytes = partitions * per_thread * std::mem::size_of::<T>();
+        let reservation = Reservation::new(self, bytes)?;
+        Ok(PartitionedScratch::new(partitions, per_thread, reservation))
+    }
+
+    /// Launch a kernel over `threads` GPU threads and charge launch overhead
+    /// plus simulated execution time to the ledger.
+    ///
+    /// The kernel closure runs once per thread (in parallel over warps on the
+    /// host thread pool) and records its costs on the [`Lane`].
+    pub fn launch<K>(&self, threads: usize, kernel: K) -> LaunchReport
+    where
+        K: Fn(&mut Lane) + Sync,
+    {
+        let report = run_launch(&self.config, threads, &kernel);
+        let mut ledger = self.ledger.lock();
+        ledger.add(Phase::KernelLaunch, report.launch_overhead_seconds);
+        ledger.add(Phase::KernelExec, report.sim_exec_seconds);
+        ledger.kernel_invocations += 1;
+        report
+    }
+
+    /// Charge a device→host transfer of `bytes` (draining result buffers,
+    /// reading back redo queues).
+    pub fn charge_download(&self, bytes: usize) {
+        self.ledger.lock().add(Phase::DeviceToHost, self.config.d2h_seconds(bytes));
+    }
+
+    /// Charge host-side computation time (schedule construction, sorting,
+    /// duplicate filtering). The engine measures these with a wall clock and
+    /// records them here so the total response time includes them.
+    pub fn charge_host(&self, seconds: f64) {
+        self.ledger.lock().add(Phase::HostCompute, seconds);
+    }
+
+    /// Snapshot of the response-time ledger.
+    pub fn ledger(&self) -> ResponseTime {
+        *self.ledger.lock()
+    }
+
+    /// Reset the ledger (start of a new timed search).
+    pub fn reset_ledger(&self) {
+        *self.ledger.lock() = ResponseTime::new();
+    }
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Device")
+            .field("config", &self.config.name)
+            .field("mem_used", &self.mem_used())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Arc<Device> {
+        Device::new(DeviceConfig::test_tiny()).unwrap()
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        let mut c = DeviceConfig::test_tiny();
+        c.warp_size = 0;
+        assert!(Device::new(c).is_err());
+    }
+
+    #[test]
+    fn offline_alloc_not_charged() {
+        let dev = tiny();
+        let _d = dev.alloc_from_host(vec![0u8; 1000]).unwrap();
+        assert_eq!(dev.ledger().total(), 0.0);
+    }
+
+    #[test]
+    fn upload_charges_h2d() {
+        let dev = tiny();
+        let _q = dev.upload(vec![0u8; 1000]).unwrap();
+        let t = dev.ledger().get(Phase::HostToDevice);
+        // latency 1e-3 + 1000/1e6 = 2e-3
+        assert!((t - 2e-3).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn download_and_host_charges() {
+        let dev = tiny();
+        dev.charge_download(500_000);
+        dev.charge_host(0.25);
+        let l = dev.ledger();
+        assert!((l.get(Phase::DeviceToHost) - 0.501).abs() < 1e-9);
+        assert_eq!(l.get(Phase::HostCompute), 0.25);
+        dev.reset_ledger();
+        assert_eq!(dev.ledger().total(), 0.0);
+    }
+
+    #[test]
+    fn launch_counts_invocations() {
+        let dev = tiny();
+        dev.launch(8, |lane| {
+            lane.instr(1);
+        });
+        dev.launch(8, |lane| {
+            lane.instr(1);
+        });
+        let l = dev.ledger();
+        assert_eq!(l.kernel_invocations, 2);
+        assert!(l.get(Phase::KernelLaunch) > 0.0);
+        assert!(l.get(Phase::KernelExec) > 0.0);
+    }
+
+    #[test]
+    fn memory_accounting_is_exact() {
+        let dev = tiny();
+        let a = dev.alloc_from_host(vec![0u64; 100]).unwrap();
+        assert_eq!(dev.mem_used(), 800);
+        let b = dev.alloc_result::<u32>(50).unwrap();
+        assert_eq!(dev.mem_used(), 1000);
+        drop(a);
+        assert_eq!(dev.mem_used(), 200);
+        drop(b);
+        assert_eq!(dev.mem_used(), 0);
+        assert_eq!(dev.mem_available(), 1024 * 1024);
+    }
+}

@@ -1,0 +1,284 @@
+//! Kernel launch machinery and the SIMT cost model.
+//!
+//! # Execution
+//!
+//! A launch of `n` threads is partitioned into warps of
+//! [`DeviceConfig::warp_size`] consecutive global ids. Warps execute in
+//! parallel on the host's rayon thread pool; within a warp, lanes run
+//! sequentially (their *results* are identical to lock-step execution
+//! because lanes only communicate through device atomics).
+//!
+//! # Cost model
+//!
+//! For each warp, with `k` = number of distinct control-path tags among its
+//! lanes (see [`Lane::set_path`]):
+//!
+//! ```text
+//! alu_cycles   = k * max_over_lanes(instructions) * cycles_per_instr
+//! mem_cycles   = ceil(sum_bytes / gmem_transaction_bytes)
+//!                  * cycles_per_gmem_transaction
+//!                  * (uncoalesced_factor if k > 1 else 1)
+//! atom_cycles  = sum_over_lanes(atomics) * cycles_per_atomic
+//! warp_cycles  = alu_cycles + mem_cycles + atom_cycles
+//! ```
+//!
+//! The `k` multiplier models serialisation of divergent paths; atomics use
+//! the *sum* because contended atomics to shared cursors serialise across
+//! lanes. Warps are assigned round-robin to SMs; an SM's cycles are the sum
+//! of its warps' cycles divided by the occupancy (latency-hiding) factor, and
+//! the kernel's execution time is the maximum over SMs divided by the clock.
+//! Every quantity is a deterministic function of the recorded counters.
+
+use crate::config::DeviceConfig;
+use crate::counters::{Counters, Lane};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Cost summary of one warp.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub(crate) struct WarpCost {
+    pub cycles: f64,
+    pub divergent: bool,
+    pub totals: Counters,
+}
+
+/// Report returned by [`crate::Device::launch`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaunchReport {
+    /// Number of GPU threads launched.
+    pub threads: usize,
+    /// Number of warps executed.
+    pub warps: usize,
+    /// Warps whose lanes took more than one control path.
+    pub divergent_warps: usize,
+    /// Counters summed over all lanes.
+    pub totals: Counters,
+    /// Simulated kernel execution time in seconds.
+    pub sim_exec_seconds: f64,
+    /// Fixed launch overhead in seconds.
+    pub launch_overhead_seconds: f64,
+    /// Host wall-clock time actually spent executing the kernel closures.
+    pub wall_seconds: f64,
+}
+
+impl LaunchReport {
+    /// Execution plus launch overhead.
+    pub fn sim_total_seconds(&self) -> f64 {
+        self.sim_exec_seconds + self.launch_overhead_seconds
+    }
+}
+
+/// Compute the simulated cost of one warp from its lanes' counters and paths.
+pub(crate) fn warp_cost(config: &DeviceConfig, lanes: &[(Counters, u64)]) -> WarpCost {
+    debug_assert!(!lanes.is_empty());
+    let mut max = Counters::default();
+    let mut totals = Counters::default();
+    for (c, _) in lanes {
+        max = max.max(c);
+        totals.add(c);
+    }
+    // Count distinct path tags (warp sizes are small; O(k^2) is fine and
+    // avoids allocation).
+    let mut distinct: Vec<u64> = Vec::with_capacity(4);
+    for (_, p) in lanes {
+        if !distinct.contains(p) {
+            distinct.push(*p);
+        }
+    }
+    let k = distinct.len() as f64;
+    let divergent = distinct.len() > 1;
+
+    let alu = k * max.instructions as f64 * config.cycles_per_instr;
+    let bytes = (totals.gmem_read_bytes + totals.gmem_write_bytes) as f64;
+    let transactions = (bytes / config.gmem_transaction_bytes).ceil();
+    let mem_penalty = if divergent { config.uncoalesced_factor } else { 1.0 };
+    let mem = transactions * config.cycles_per_gmem_transaction * mem_penalty;
+    let atom = totals.atomics as f64 * config.cycles_per_atomic;
+
+    WarpCost { cycles: alu + mem + atom, divergent, totals }
+}
+
+/// Execute a kernel over `threads` threads and compute the launch report.
+pub(crate) fn run_launch<K>(config: &DeviceConfig, threads: usize, kernel: &K) -> LaunchReport
+where
+    K: Fn(&mut Lane) + Sync,
+{
+    let warp_size = config.warp_size;
+    let warps = threads.div_ceil(warp_size);
+    let start = std::time::Instant::now();
+
+    let costs: Vec<WarpCost> = (0..warps)
+        .into_par_iter()
+        .map(|w| {
+            let first = w * warp_size;
+            let last = ((w + 1) * warp_size).min(threads);
+            let mut lanes = Vec::with_capacity(last - first);
+            for gid in first..last {
+                let mut lane = Lane::new(gid);
+                kernel(&mut lane);
+                lanes.push((lane.counters, lane.path));
+            }
+            warp_cost(config, &lanes)
+        })
+        .collect();
+
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    // Round-robin warp → SM assignment; SM time = sum of its warps' cycles
+    // divided by the occupancy factor.
+    let mut sm_cycles = vec![0.0f64; config.num_sms];
+    let mut totals = Counters::default();
+    let mut divergent_warps = 0usize;
+    for (w, cost) in costs.iter().enumerate() {
+        sm_cycles[w % config.num_sms] += cost.cycles;
+        totals.add(&cost.totals);
+        divergent_warps += cost.divergent as usize;
+    }
+    let max_sm = sm_cycles.iter().cloned().fold(0.0, f64::max);
+    let sim_exec_seconds = max_sm / config.occupancy_factor / config.clock_hz;
+
+    LaunchReport {
+        threads,
+        warps,
+        divergent_warps,
+        totals,
+        sim_exec_seconds,
+        launch_overhead_seconds: config.kernel_launch_overhead,
+        wall_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Device, DeviceConfig};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tiny() -> std::sync::Arc<Device> {
+        Device::new(DeviceConfig::test_tiny()).unwrap()
+    }
+
+    #[test]
+    fn every_thread_runs_exactly_once() {
+        let dev = tiny();
+        let n = 1003; // not a multiple of the warp size
+        let sum = AtomicU64::new(0);
+        let report = dev.launch(n, |lane| {
+            sum.fetch_add(lane.global_id as u64 + 1, Ordering::Relaxed);
+        });
+        assert_eq!(report.threads, n);
+        assert_eq!(report.warps, n.div_ceil(4));
+        let expect: u64 = (1..=n as u64).sum();
+        assert_eq!(sum.load(Ordering::Relaxed), expect);
+    }
+
+    #[test]
+    fn zero_thread_launch() {
+        let dev = tiny();
+        let report = dev.launch(0, |_| panic!("must not run"));
+        assert_eq!(report.threads, 0);
+        assert_eq!(report.warps, 0);
+        assert_eq!(report.sim_exec_seconds, 0.0);
+        assert!(report.launch_overhead_seconds > 0.0);
+    }
+
+    #[test]
+    fn exec_time_scales_with_work() {
+        let dev = tiny();
+        let light = dev.launch(64, |lane| lane.instr(10));
+        let heavy = dev.launch(64, |lane| lane.instr(10_000));
+        assert!(heavy.sim_exec_seconds > light.sim_exec_seconds * 100.0);
+    }
+
+    #[test]
+    fn divergence_costs_more() {
+        let dev = tiny();
+        let uniform = dev.launch(64, |lane| {
+            lane.set_path(0);
+            lane.instr(1000);
+        });
+        let divergent = dev.launch(64, |lane| {
+            lane.set_path((lane.global_id % 4) as u64);
+            lane.instr(1000);
+        });
+        assert_eq!(uniform.divergent_warps, 0);
+        assert_eq!(divergent.divergent_warps, 16);
+        // 4 distinct paths per warp => ~4x the ALU cycles.
+        assert!(divergent.sim_exec_seconds > uniform.sim_exec_seconds * 3.0);
+    }
+
+    #[test]
+    fn imbalance_costs_like_the_slowest_lane() {
+        // SIMT max-over-lanes: one busy lane in a warp costs as much as all
+        // lanes busy.
+        let dev = tiny();
+        let one_busy = dev.launch(4, |lane| {
+            if lane.global_id == 0 {
+                lane.instr(10_000);
+            }
+        });
+        let all_busy = dev.launch(4, |lane| {
+            let _ = lane.global_id;
+            lane.instr(10_000);
+        });
+        assert!((one_busy.sim_exec_seconds - all_busy.sim_exec_seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn totals_aggregate_all_lanes() {
+        let dev = tiny();
+        let report = dev.launch(10, |lane| {
+            lane.instr(2);
+            lane.gmem_read(8);
+        });
+        assert_eq!(report.totals.instructions, 20);
+        assert_eq!(report.totals.gmem_read_bytes, 80);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let dev = tiny();
+        let r1 = dev.launch(1000, |lane| {
+            lane.instr((lane.global_id % 17) as u64);
+            lane.gmem_read((lane.global_id % 5) as u64 * 8);
+            lane.set_path((lane.global_id % 3) as u64);
+        });
+        let r2 = dev.launch(1000, |lane| {
+            lane.instr((lane.global_id % 17) as u64);
+            lane.gmem_read((lane.global_id % 5) as u64 * 8);
+            lane.set_path((lane.global_id % 3) as u64);
+        });
+        assert_eq!(r1.sim_exec_seconds, r2.sim_exec_seconds);
+        assert_eq!(r1.totals, r2.totals);
+        assert_eq!(r1.divergent_warps, r2.divergent_warps);
+    }
+
+    #[test]
+    fn warp_cost_formula() {
+        let c = DeviceConfig::test_tiny();
+        // Uniform warp: 2 lanes, 10 instr each, 16 bytes read total, 1 atomic.
+        let lanes = vec![
+            (
+                Counters { instructions: 10, gmem_read_bytes: 8, gmem_write_bytes: 0, atomics: 1 },
+                0u64,
+            ),
+            (
+                Counters { instructions: 10, gmem_read_bytes: 8, gmem_write_bytes: 0, atomics: 0 },
+                0u64,
+            ),
+        ];
+        let cost = warp_cost(&c, &lanes);
+        // alu = 1 * 10 * 1 = 10; mem = ceil(16/16)=1 txn * 10 = 10; atomics = 1*20.
+        assert_eq!(cost.cycles, 40.0);
+        assert!(!cost.divergent);
+
+        // Divergent version: distinct paths double ALU and apply the
+        // uncoalesced factor.
+        let lanes_div =
+            vec![(lanes[0].0, 1u64), (lanes[1].0, 2u64)];
+        let cost_div = warp_cost(&c, &lanes_div);
+        // alu = 2 * 10 = 20; mem = 1 * 10 * 2 = 20; atomics = 20.
+        assert_eq!(cost_div.cycles, 60.0);
+        assert!(cost_div.divergent);
+    }
+}

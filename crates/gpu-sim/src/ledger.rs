@@ -1,0 +1,213 @@
+//! Response-time accounting.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Phases of a distance threshold search that contribute to response time.
+///
+/// The paper's response time excludes index construction and the initial
+/// storage of the database `D` on the GPU (§V-B); the engine therefore only
+/// records phases that occur between receiving the query set and returning
+/// the final result set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Host-side computation (query sorting, schedule construction, dedup).
+    HostCompute,
+    /// Host→device transfers of the query set, schedules, redo lists.
+    HostToDevice,
+    /// Fixed driver overhead per kernel invocation.
+    KernelLaunch,
+    /// Simulated kernel execution time.
+    KernelExec,
+    /// Device→host transfers of result sets and redo queues.
+    DeviceToHost,
+}
+
+impl Phase {
+    /// All phases, in pipeline order.
+    pub const ALL: [Phase; 5] = [
+        Phase::HostCompute,
+        Phase::HostToDevice,
+        Phase::KernelLaunch,
+        Phase::KernelExec,
+        Phase::DeviceToHost,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Phase::HostCompute => 0,
+            Phase::HostToDevice => 1,
+            Phase::KernelLaunch => 2,
+            Phase::KernelExec => 3,
+            Phase::DeviceToHost => 4,
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::HostCompute => "host-compute",
+            Phase::HostToDevice => "h2d",
+            Phase::KernelLaunch => "kernel-launch",
+            Phase::KernelExec => "kernel-exec",
+            Phase::DeviceToHost => "d2h",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Accumulated simulated response time, broken down by [`Phase`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResponseTime {
+    seconds: [f64; 5],
+    /// Number of kernel invocations recorded (the paper reports re-invocation
+    /// counts for `GPUSpatial` and incremental processing).
+    pub kernel_invocations: u32,
+}
+
+impl ResponseTime {
+    /// Zeroed ledger.
+    pub fn new() -> Self {
+        ResponseTime::default()
+    }
+
+    /// Add `secs` to `phase`.
+    pub fn add(&mut self, phase: Phase, secs: f64) {
+        debug_assert!(secs >= 0.0, "negative duration {secs} for {phase}");
+        self.seconds[phase.index()] += secs;
+    }
+
+    /// Seconds recorded for `phase`.
+    pub fn get(&self, phase: Phase) -> f64 {
+        self.seconds[phase.index()]
+    }
+
+    /// Total simulated response time.
+    pub fn total(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+
+    /// Component-wise sum of two ledgers.
+    pub fn merge(&mut self, other: &ResponseTime) {
+        for (a, b) in self.seconds.iter_mut().zip(other.seconds.iter()) {
+            *a += b;
+        }
+        self.kernel_invocations += other.kernel_invocations;
+    }
+
+    /// Total minus kernel-launch overhead — the paper's "optimistic" curve
+    /// for `GPUSpatial` in Fig. 4 discounts re-invocation overhead.
+    pub fn total_discounting_launches(&self) -> f64 {
+        self.total() - self.get(Phase::KernelLaunch)
+    }
+}
+
+impl fmt::Display for ResponseTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "total {:.6}s (", self.total())?;
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p} {:.6}s", self.get(*p))?;
+        }
+        write!(f, ", {} kernel invocations)", self.kernel_invocations)
+    }
+}
+
+/// Makespan of a linear pipeline: `jobs[i]` holds the per-stage durations
+/// of job `i`; stages are executed in order, a job cannot enter a stage
+/// before the previous job left it, and stages work on different jobs
+/// concurrently (classic flow-shop with unit buffers).
+///
+/// Used to model the predecessor algorithm of the paper's [22], which
+/// streams query batches through upload → kernel → download with
+/// overlapped transfers; this paper's schemes avoid that pipeline by
+/// keeping `Q` resident.
+pub fn pipeline_makespan(jobs: &[[f64; 3]]) -> f64 {
+    let mut stage_free = [0.0f64; 3];
+    for job in jobs {
+        let mut t = 0.0f64; // time this job enters stage 0
+        for (s, &dur) in job.iter().enumerate() {
+            debug_assert!(dur >= 0.0, "negative stage duration");
+            let start = t.max(stage_free[s]);
+            let end = start + dur;
+            stage_free[s] = end;
+            t = end;
+        }
+    }
+    stage_free[2].max(stage_free[1]).max(stage_free[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_single_job_is_sum() {
+        assert_eq!(pipeline_makespan(&[[1.0, 2.0, 3.0]]), 6.0);
+        assert_eq!(pipeline_makespan(&[]), 0.0);
+    }
+
+    #[test]
+    fn pipeline_overlaps_stages() {
+        // Two identical jobs: second job's stage 0 overlaps first job's
+        // stage 1, so makespan < 2 * sum.
+        let jobs = [[1.0, 1.0, 1.0], [1.0, 1.0, 1.0]];
+        let m = pipeline_makespan(&jobs);
+        assert_eq!(m, 4.0); // 3 + 1, perfect overlap
+        assert!(m < 6.0);
+    }
+
+    #[test]
+    fn pipeline_bottleneck_stage_dominates() {
+        // Kernel (stage 1) is the bottleneck: makespan ≈ n * kernel.
+        let jobs = vec![[0.1, 5.0, 0.1]; 4];
+        let m = pipeline_makespan(&jobs);
+        assert!((m - (0.1 + 4.0 * 5.0 + 0.1)).abs() < 1e-9, "m = {m}");
+    }
+
+    #[test]
+    fn accumulate_and_total() {
+        let mut r = ResponseTime::new();
+        r.add(Phase::HostCompute, 0.5);
+        r.add(Phase::KernelExec, 1.0);
+        r.add(Phase::KernelExec, 0.25);
+        assert_eq!(r.get(Phase::KernelExec), 1.25);
+        assert_eq!(r.get(Phase::HostCompute), 0.5);
+        assert_eq!(r.get(Phase::DeviceToHost), 0.0);
+        assert!((r.total() - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = ResponseTime::new();
+        a.add(Phase::HostToDevice, 1.0);
+        a.kernel_invocations = 2;
+        let mut b = ResponseTime::new();
+        b.add(Phase::HostToDevice, 2.0);
+        b.add(Phase::DeviceToHost, 3.0);
+        b.kernel_invocations = 1;
+        a.merge(&b);
+        assert_eq!(a.get(Phase::HostToDevice), 3.0);
+        assert_eq!(a.get(Phase::DeviceToHost), 3.0);
+        assert_eq!(a.kernel_invocations, 3);
+    }
+
+    #[test]
+    fn optimistic_discounts_launch_overhead() {
+        let mut r = ResponseTime::new();
+        r.add(Phase::KernelLaunch, 0.4);
+        r.add(Phase::KernelExec, 1.0);
+        assert!((r.total_discounting_launches() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut r = ResponseTime::new();
+        r.add(Phase::KernelExec, 0.125);
+        let s = r.to_string();
+        assert!(s.contains("kernel-exec 0.125"));
+    }
+}

@@ -1,0 +1,562 @@
+//! Simulated device global memory: read-only buffers, atomic-append result
+//! buffers, and per-thread scratch partitions.
+
+use crate::counters::Lane;
+use crate::device::Device;
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Error returned when a device allocation exceeds the remaining simulated
+/// global memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfDeviceMemory {
+    pub requested: usize,
+    pub available: usize,
+}
+
+impl fmt::Display for OutOfDeviceMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of device memory: requested {} bytes, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfDeviceMemory {}
+
+/// Accounting guard: holds the number of bytes reserved on a device and
+/// releases them when dropped.
+#[derive(Debug)]
+pub(crate) struct Reservation {
+    device: Arc<Device>,
+    bytes: usize,
+}
+
+impl Reservation {
+    pub(crate) fn new(device: &Arc<Device>, bytes: usize) -> Result<Self, OutOfDeviceMemory> {
+        device.reserve(bytes)?;
+        Ok(Reservation { device: Arc::clone(device), bytes })
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        self.device.release(self.bytes);
+    }
+}
+
+/// A buffer resident in simulated device global memory, read-only from
+/// kernels.
+///
+/// Host-side writes go through [`Device::alloc_from_host`], which charges the
+/// host→device transfer to the response-time ledger. Kernel lanes read
+/// elements through [`DeviceBuffer::read`], which charges the lane's
+/// global-memory counter.
+#[derive(Debug)]
+pub struct DeviceBuffer<T> {
+    data: Vec<T>,
+    _reservation: Reservation,
+}
+
+impl<T: Copy> DeviceBuffer<T> {
+    pub(crate) fn new(data: Vec<T>, reservation: Reservation) -> Self {
+        DeviceBuffer { data, _reservation: reservation }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the buffer holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Size in bytes.
+    #[inline]
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<T>()
+    }
+
+    /// Read element `i` from a kernel lane, charging the memory counter.
+    #[inline]
+    pub fn read(&self, lane: &mut Lane, i: usize) -> T {
+        lane.gmem_read(std::mem::size_of::<T>() as u64);
+        self.data[i]
+    }
+
+    /// Raw slice access *without* cost accounting. Use only on the host
+    /// (index construction, verification); kernels should use [`read`].
+    ///
+    /// [`read`]: DeviceBuffer::read
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+}
+
+/// A fixed-capacity device buffer that kernels append to through an atomic
+/// cursor — the simulated equivalent of
+/// `resultSet[atomicAdd(&cursor, 1)] = item`.
+///
+/// Appends past capacity are discarded and set the overflow flag; the host
+/// driver reacts by re-invoking the kernel or processing the query set
+/// incrementally, exactly as in the paper (§III, §V-E).
+pub struct ResultBuffer<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    cursor: AtomicUsize,
+    overflowed: AtomicBool,
+    _reservation: Reservation,
+}
+
+// SAFETY: slots are only written through unique indices handed out by the
+// atomic cursor, and only read after all kernel threads have completed
+// (`&mut self` methods), so concurrent access to one slot never occurs.
+unsafe impl<T: Send> Sync for ResultBuffer<T> {}
+unsafe impl<T: Send> Send for ResultBuffer<T> {}
+
+impl<T> ResultBuffer<T> {
+    pub(crate) fn with_capacity(capacity: usize, reservation: Reservation) -> Self {
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || UnsafeCell::new(MaybeUninit::uninit()));
+        ResultBuffer {
+            slots: slots.into_boxed_slice(),
+            cursor: AtomicUsize::new(0),
+            overflowed: AtomicBool::new(false),
+            _reservation: reservation,
+        }
+    }
+
+    /// Capacity in elements.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Append `item` from a kernel lane. Returns `true` on success, `false`
+    /// when the buffer is full (the overflow flag is then set and the item
+    /// dropped). Charges one atomic plus the write bytes on success.
+    #[inline]
+    pub fn push(&self, lane: &mut Lane, item: T) -> bool {
+        lane.atomic();
+        let idx = self.cursor.fetch_add(1, Ordering::Relaxed);
+        if idx < self.slots.len() {
+            lane.gmem_write(std::mem::size_of::<T>() as u64);
+            // SAFETY: `idx` was obtained from the atomic cursor, so no other
+            // thread writes this slot; reads happen only after the launch.
+            unsafe { (*self.slots[idx].get()).write(item) };
+            true
+        } else {
+            self.overflowed.store(true, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// True if any append was rejected.
+    pub fn overflowed(&self) -> bool {
+        self.overflowed.load(Ordering::Relaxed)
+    }
+
+    /// Number of successfully stored elements.
+    pub fn len(&self) -> usize {
+        self.cursor.load(Ordering::Relaxed).min(self.slots.len())
+    }
+
+    /// True if no element was stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of append attempts (exceeds `capacity()` on overflow).
+    pub fn attempted(&self) -> usize {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Drain the stored elements to the host, resetting the buffer for the
+    /// next kernel invocation. Requires `&mut self`, i.e. no kernel running.
+    pub fn drain_to_host(&mut self) -> Vec<T> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(n);
+        for slot in &mut self.slots[..n] {
+            // SAFETY: slots [0, n) were initialised by `push`; after this
+            // drain the cursor is reset so they are treated as uninit again.
+            out.push(unsafe { slot.get_mut().assume_init_read() });
+        }
+        self.cursor.store(0, Ordering::Relaxed);
+        self.overflowed.store(false, Ordering::Relaxed);
+        out
+    }
+}
+
+impl<T> Drop for ResultBuffer<T> {
+    fn drop(&mut self) {
+        if std::mem::needs_drop::<T>() {
+            let n = self.len();
+            for slot in &mut self.slots[..n] {
+                // SAFETY: slots [0, n) are initialised and never read again.
+                unsafe { slot.get_mut().assume_init_drop() };
+            }
+        }
+    }
+}
+
+/// A device buffer kernels write at *explicit, caller-disjoint* indices —
+/// the write side of a two-pass (count → prefix-sum → scatter) output
+/// scheme, which avoids result-buffer atomics entirely.
+///
+/// Each slot must be written at most once per launch (enforced with a
+/// per-slot flag: double writes are data races on real hardware).
+pub struct ScatterBuffer<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    written: Box<[AtomicBool]>,
+    _reservation: Reservation,
+}
+
+// SAFETY: each slot accepts exactly one write per launch (checked via
+// `written`), and reads happen only after the launch through `&mut self`.
+unsafe impl<T: Send> Sync for ScatterBuffer<T> {}
+unsafe impl<T: Send> Send for ScatterBuffer<T> {}
+
+impl<T> ScatterBuffer<T> {
+    pub(crate) fn with_capacity(capacity: usize, reservation: Reservation) -> Self {
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || UnsafeCell::new(MaybeUninit::uninit()));
+        let mut written = Vec::with_capacity(capacity);
+        written.resize_with(capacity, || AtomicBool::new(false));
+        ScatterBuffer {
+            slots: slots.into_boxed_slice(),
+            written: written.into_boxed_slice(),
+            _reservation: reservation,
+        }
+    }
+
+    /// Capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Write `item` at `idx` from a kernel lane (plain global write, no
+    /// atomic). Panics on out-of-bounds or double writes.
+    #[inline]
+    pub fn write(&self, lane: &mut Lane, idx: usize, item: T) {
+        assert!(idx < self.slots.len(), "scatter write {idx} out of bounds");
+        assert!(
+            !self.written[idx].swap(true, Ordering::AcqRel),
+            "scatter slot {idx} written twice in one launch"
+        );
+        lane.gmem_write(std::mem::size_of::<T>() as u64);
+        // SAFETY: the flag above guarantees this slot is written exactly
+        // once; reads require `&mut self` (post-launch).
+        unsafe { (*self.slots[idx].get()).write(item) };
+    }
+
+    /// Drain the first `len` slots to the host (all must have been written)
+    /// and reset for the next launch.
+    pub fn drain_to_host(&mut self, len: usize) -> Vec<T> {
+        assert!(len <= self.slots.len());
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len {
+            assert!(
+                *self.written[i].get_mut(),
+                "scatter slot {i} was never written"
+            );
+            // SAFETY: flagged as written; consumed exactly once here.
+            out.push(unsafe { self.slots[i].get_mut().assume_init_read() });
+        }
+        for w in self.written.iter_mut() {
+            *w.get_mut() = false;
+        }
+        out
+    }
+}
+
+impl<T> Drop for ScatterBuffer<T> {
+    fn drop(&mut self) {
+        if std::mem::needs_drop::<T>() {
+            for (slot, written) in self.slots.iter_mut().zip(self.written.iter_mut()) {
+                if *written.get_mut() {
+                    // SAFETY: written slots hold initialised values.
+                    unsafe { slot.get_mut().assume_init_drop() };
+                }
+            }
+        }
+    }
+}
+
+/// Device memory partitioned into equal per-thread scratch areas — the
+/// paper's candidate buffers `U_k` with `|U_k| = s / |Q|` (§IV-A).
+///
+/// Each kernel thread takes its own partition with [`take_partition`]; the
+/// runtime check guarantees a partition is handed out at most once per
+/// launch, making the aliasing-free access pattern explicit.
+///
+/// [`take_partition`]: PartitionedScratch::take_partition
+pub struct PartitionedScratch<T> {
+    data: Box<[UnsafeCell<T>]>,
+    per_thread: usize,
+    taken: Box<[AtomicBool]>,
+    _reservation: Reservation,
+}
+
+// SAFETY: partitions are disjoint slices and each is handed out at most once
+// per launch (enforced by the `taken` flags), so no two threads alias.
+unsafe impl<T: Send> Sync for PartitionedScratch<T> {}
+unsafe impl<T: Send> Send for PartitionedScratch<T> {}
+
+impl<T: Copy + Default> PartitionedScratch<T> {
+    pub(crate) fn new(partitions: usize, per_thread: usize, reservation: Reservation) -> Self {
+        let mut data = Vec::with_capacity(partitions * per_thread);
+        data.resize_with(partitions * per_thread, || UnsafeCell::new(T::default()));
+        let mut taken = Vec::with_capacity(partitions);
+        taken.resize_with(partitions, || AtomicBool::new(false));
+        PartitionedScratch {
+            data: data.into_boxed_slice(),
+            per_thread,
+            taken: taken.into_boxed_slice(),
+            _reservation: reservation,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.taken.len()
+    }
+
+    /// Capacity of each partition in elements.
+    pub fn partition_len(&self) -> usize {
+        self.per_thread
+    }
+
+    /// Take exclusive access to partition `idx` for the current kernel
+    /// thread. Panics if the partition was already taken this launch —
+    /// that would be a data race on a real GPU too.
+    pub fn take_partition(&self, idx: usize) -> ScratchPartition<'_, T> {
+        assert!(
+            !self.taken[idx].swap(true, Ordering::AcqRel),
+            "scratch partition {idx} taken twice in one launch"
+        );
+        let start = idx * self.per_thread;
+        ScratchPartition { scratch: self, start, len: 0 }
+    }
+
+    /// Reset all partitions for the next launch. `&mut self` guarantees no
+    /// kernel thread still holds a partition.
+    pub fn reset(&mut self) {
+        for t in self.taken.iter() {
+            t.store(false, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Exclusive view of one scratch partition, used as an append buffer.
+pub struct ScratchPartition<'a, T> {
+    scratch: &'a PartitionedScratch<T>,
+    start: usize,
+    len: usize,
+}
+
+impl<'a, T: Copy + Default> ScratchPartition<'a, T> {
+    /// Append `item`; returns `false` (buffer full) when the partition's
+    /// capacity is exceeded — the paper's `U_k` overflow condition.
+    #[inline]
+    pub fn push(&mut self, lane: &mut Lane, item: T) -> bool {
+        if self.len >= self.scratch.per_thread {
+            return false;
+        }
+        lane.gmem_write(std::mem::size_of::<T>() as u64);
+        // SAFETY: this partition is exclusively owned (enforced by
+        // `take_partition`), and `start + len` stays within it.
+        unsafe {
+            *self.scratch.data[self.start + self.len].get() = item;
+        }
+        self.len += 1;
+        true
+    }
+
+    /// Number of elements appended so far.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing was appended.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read back element `i`, charging the lane's memory counter.
+    #[inline]
+    pub fn read(&self, lane: &mut Lane, i: usize) -> T {
+        assert!(i < self.len, "scratch read {i} out of bounds {}", self.len);
+        lane.gmem_read(std::mem::size_of::<T>() as u64);
+        // SAFETY: exclusive partition; index checked above.
+        unsafe { *self.scratch.data[self.start + i].get() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DeviceConfig;
+
+    fn device() -> Arc<Device> {
+        Device::new(DeviceConfig::test_tiny()).unwrap()
+    }
+
+    #[test]
+    fn result_buffer_push_and_drain() {
+        let dev = device();
+        let mut buf: ResultBuffer<u32> = dev.alloc_result(4).unwrap();
+        let mut lane = Lane::new(0);
+        for i in 0..4 {
+            assert!(buf.push(&mut lane, i));
+        }
+        assert!(!buf.push(&mut lane, 99));
+        assert!(buf.overflowed());
+        assert_eq!(buf.len(), 4);
+        assert_eq!(buf.attempted(), 5);
+        let got = buf.drain_to_host();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        assert!(!buf.overflowed());
+        assert_eq!(buf.len(), 0);
+        // Reusable after drain.
+        assert!(buf.push(&mut lane, 7));
+        assert_eq!(buf.drain_to_host(), vec![7]);
+    }
+
+    #[test]
+    fn result_buffer_charges_counters() {
+        let dev = device();
+        let buf: ResultBuffer<u64> = dev.alloc_result(2).unwrap();
+        let mut lane = Lane::new(0);
+        buf.push(&mut lane, 1);
+        assert_eq!(lane.counters().atomics, 1);
+        assert_eq!(lane.counters().gmem_write_bytes, 8);
+        // Overflowing push charges the atomic but not the write.
+        buf.push(&mut lane, 2);
+        buf.push(&mut lane, 3);
+        assert_eq!(lane.counters().atomics, 3);
+        assert_eq!(lane.counters().gmem_write_bytes, 16);
+    }
+
+    #[test]
+    fn scratch_partitions_are_disjoint() {
+        let dev = device();
+        let mut scratch: PartitionedScratch<u32> = dev.alloc_scratch(4, 3).unwrap();
+        let mut lane = Lane::new(0);
+        {
+            let mut p0 = scratch.take_partition(0);
+            let mut p1 = scratch.take_partition(1);
+            assert!(p0.push(&mut lane, 10));
+            assert!(p1.push(&mut lane, 20));
+            assert!(p0.push(&mut lane, 11));
+            assert_eq!(p0.len(), 2);
+            assert_eq!(p0.read(&mut lane, 0), 10);
+            assert_eq!(p0.read(&mut lane, 1), 11);
+            assert_eq!(p1.read(&mut lane, 0), 20);
+        }
+        scratch.reset();
+        let mut p0 = scratch.take_partition(0);
+        assert!(p0.is_empty());
+        assert!(p0.push(&mut lane, 1));
+    }
+
+    #[test]
+    fn scratch_overflow_returns_false() {
+        let dev = device();
+        let scratch: PartitionedScratch<u32> = dev.alloc_scratch(1, 2).unwrap();
+        let mut lane = Lane::new(0);
+        let mut p = scratch.take_partition(0);
+        assert!(p.push(&mut lane, 1));
+        assert!(p.push(&mut lane, 2));
+        assert!(!p.push(&mut lane, 3));
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "taken twice")]
+    fn scratch_double_take_panics() {
+        let dev = device();
+        let scratch: PartitionedScratch<u32> = dev.alloc_scratch(2, 2).unwrap();
+        let _a = scratch.take_partition(0);
+        let _b = scratch.take_partition(0);
+    }
+
+    #[test]
+    fn scatter_buffer_write_and_drain() {
+        let dev = device();
+        let mut buf: ScatterBuffer<u32> = dev.alloc_scatter(4).unwrap();
+        let mut lane = Lane::new(0);
+        // Write out of order at disjoint indices.
+        buf.write(&mut lane, 2, 22);
+        buf.write(&mut lane, 0, 10);
+        buf.write(&mut lane, 1, 11);
+        assert_eq!(lane.counters().gmem_write_bytes, 12);
+        assert_eq!(lane.counters().atomics, 0, "two-pass writes use no atomics");
+        assert_eq!(buf.drain_to_host(3), vec![10, 11, 22]);
+        // Reusable after drain.
+        buf.write(&mut lane, 0, 99);
+        assert_eq!(buf.drain_to_host(1), vec![99]);
+    }
+
+    #[test]
+    #[should_panic(expected = "written twice")]
+    fn scatter_double_write_panics() {
+        let dev = device();
+        let buf: ScatterBuffer<u32> = dev.alloc_scatter(2).unwrap();
+        let mut lane = Lane::new(0);
+        buf.write(&mut lane, 0, 1);
+        buf.write(&mut lane, 0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "never written")]
+    fn scatter_drain_unwritten_panics() {
+        let dev = device();
+        let mut buf: ScatterBuffer<u32> = dev.alloc_scatter(2).unwrap();
+        let mut lane = Lane::new(0);
+        buf.write(&mut lane, 1, 1);
+        let _ = buf.drain_to_host(2);
+    }
+
+    #[test]
+    fn device_buffer_read_charges() {
+        let dev = device();
+        let buf = dev.alloc_from_host(vec![1.0f64, 2.0, 3.0]).unwrap();
+        let mut lane = Lane::new(0);
+        assert_eq!(buf.read(&mut lane, 1), 2.0);
+        assert_eq!(lane.counters().gmem_read_bytes, 8);
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.size_bytes(), 24);
+        assert_eq!(buf.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn out_of_memory() {
+        let dev = device(); // 1 MiB
+        let big = vec![0u8; 2 * 1024 * 1024];
+        let err = dev.alloc_from_host(big).unwrap_err();
+        assert_eq!(err.requested, 2 * 1024 * 1024);
+        assert!(err.to_string().contains("out of device memory"));
+    }
+
+    #[test]
+    fn memory_released_on_drop() {
+        let dev = device();
+        assert_eq!(dev.mem_used(), 0);
+        {
+            let _buf = dev.alloc_from_host(vec![0u8; 1024]).unwrap();
+            assert_eq!(dev.mem_used(), 1024);
+        }
+        assert_eq!(dev.mem_used(), 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Common search-report structure shared by the GPU search implementations.
+
+use crate::ledger::ResponseTime;
+use crate::memory::OutOfDeviceMemory;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Summary of one distance threshold search execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SearchReport {
+    /// Simulated response-time breakdown.
+    pub response: ResponseTime,
+    /// Query/entry segment comparisons performed (candidate refinements).
+    pub comparisons: u64,
+    /// Final result records (before host dedup).
+    pub raw_matches: u64,
+    /// Result records after host dedup.
+    pub matches: u64,
+    /// Kernel re-invocation rounds beyond the first (buffer overflow redo).
+    pub redo_rounds: u32,
+    /// Queries that fell back to the purely temporal scheme
+    /// (GPUSpatioTemporal only; 0 elsewhere).
+    pub fallback_queries: u64,
+    /// Warps that diverged (distinct control paths within a warp).
+    pub divergent_warps: u64,
+    /// Host wall-clock seconds actually spent (all phases).
+    pub wall_seconds: f64,
+}
+
+impl SearchReport {
+    /// Total simulated response time in seconds.
+    pub fn response_seconds(&self) -> f64 {
+        self.response.total()
+    }
+}
+
+/// Errors a GPU search can hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchError {
+    /// A device allocation failed.
+    OutOfDeviceMemory(OutOfDeviceMemory),
+    /// The result buffer is too small for even a single query's results, so
+    /// the redo protocol cannot make progress.
+    ResultCapacityTooSmall { capacity: usize },
+    /// The per-query candidate buffer is too small for even one query when
+    /// processed alone (GPUSpatial).
+    ScratchCapacityTooSmall { capacity: usize },
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::OutOfDeviceMemory(e) => write!(f, "{e}"),
+            SearchError::ResultCapacityTooSmall { capacity } => write!(
+                f,
+                "result buffer of {capacity} elements cannot hold a single query's results"
+            ),
+            SearchError::ScratchCapacityTooSmall { capacity } => write!(
+                f,
+                "candidate buffer of {capacity} elements cannot hold one query's candidates"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+impl From<OutOfDeviceMemory> for SearchError {
+    fn from(e: OutOfDeviceMemory) -> Self {
+        SearchError::OutOfDeviceMemory(e)
+    }
+}

@@ -1,0 +1,312 @@
+//! The flatly structured grid (FSG).
+
+use serde::{Deserialize, Serialize};
+use tdts_geom::{Mbb, Point3, SegmentStore};
+
+/// FSG resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FsgConfig {
+    /// Grid cells per dimension (the paper found 50 best for the Random
+    /// dataset, §V-C).
+    pub cells_per_dim: usize,
+}
+
+impl Default for FsgConfig {
+    fn default() -> Self {
+        FsgConfig { cells_per_dim: 50 }
+    }
+}
+
+/// Inclusive cell-coordinate ranges per dimension, produced by rasterising
+/// a box to the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellRange {
+    pub lo: [usize; 3],
+    pub hi: [usize; 3],
+}
+
+impl CellRange {
+    /// Number of cells covered.
+    pub fn cell_count(&self) -> usize {
+        (0..3).map(|d| self.hi[d] - self.lo[d] + 1).product()
+    }
+
+    /// Iterate all (ix, iy, iz) triples in the range, row-major.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        let (lo, hi) = (self.lo, self.hi);
+        (lo[0]..=hi[0]).flat_map(move |x| {
+            (lo[1]..=hi[1]).flat_map(move |y| (lo[2]..=hi[2]).map(move |z| (x, y, z)))
+        })
+    }
+}
+
+/// The host-side FSG: sparse sorted cell array `G` plus lookup array `A`.
+///
+/// Cell spatial coordinates are never stored — they are recomputed from the
+/// linearised coordinate whenever needed, the paper's memory-footprint
+/// optimisation.
+///
+/// ```
+/// use tdts_geom::{Point3, SegId, Segment, SegmentStore, TrajId};
+/// use tdts_index_spatial::{Fsg, FsgConfig};
+///
+/// let store: SegmentStore = (0..8)
+///     .map(|i| Segment::new(
+///         Point3::splat(i as f64), Point3::splat(i as f64 + 0.5),
+///         0.0, 1.0, SegId(i), TrajId(i)))
+///     .collect();
+/// let fsg = Fsg::build(&store, FsgConfig { cells_per_dim: 4 });
+///
+/// // Only occupied cells are stored, and each segment is reachable through
+/// // the cells its MBB rasterises to.
+/// assert!(fsg.non_empty_cells() <= 4 * 4 * 4);
+/// let range = fsg.rasterise(&store.get(0).mbb());
+/// let (x, y, z) = range.iter().next().unwrap();
+/// let cell = fsg.find_cell(fsg.linear(x, y, z)).unwrap();
+/// let [a_min, a_max] = fsg.cell_ranges[cell];
+/// assert!(fsg.lookup[a_min as usize..a_max as usize].contains(&0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fsg {
+    bounds: Mbb,
+    cells_per_dim: usize,
+    cell_size: Point3,
+    /// Sorted linearised coordinates of non-empty cells (the array `G`).
+    pub cell_ids: Vec<u64>,
+    /// `cell_ranges[i]` = half-open range into `lookup` for `cell_ids[i]`
+    /// (the `[A_min, A_max]` pair, stored half-open).
+    pub cell_ranges: Vec<[u32; 2]>,
+    /// The lookup array `A`: entry positions, grouped by cell, duplicates
+    /// allowed (an entry MBB can overlap many cells).
+    pub lookup: Vec<u32>,
+}
+
+impl Fsg {
+    /// Rasterise every entry's MBB to the grid and build the sparse arrays.
+    pub fn build(store: &SegmentStore, config: FsgConfig) -> Fsg {
+        assert!(config.cells_per_dim >= 1, "need at least one cell per dimension");
+        assert!(!store.is_empty(), "cannot index an empty store");
+        let stats = store.stats().expect("non-empty store");
+        let bounds = stats.bounds;
+        let n = config.cells_per_dim;
+        let extent = bounds.extent();
+        let cell_size = Point3::new(
+            positive(extent.x / n as f64),
+            positive(extent.y / n as f64),
+            positive(extent.z / n as f64),
+        );
+
+        let mut grid = Fsg {
+            bounds,
+            cells_per_dim: n,
+            cell_size,
+            cell_ids: Vec::new(),
+            cell_ranges: Vec::new(),
+            lookup: Vec::new(),
+        };
+
+        // (cell, entry) pairs; entries can map to several cells.
+        let mut pairs: Vec<(u64, u32)> = Vec::with_capacity(store.len());
+        for (pos, seg) in store.iter().enumerate() {
+            let range = grid.rasterise(&seg.mbb());
+            for (x, y, z) in range.iter() {
+                pairs.push((grid.linear(x, y, z), pos as u32));
+            }
+        }
+        pairs.sort_unstable();
+
+        let mut i = 0usize;
+        while i < pairs.len() {
+            let h = pairs[i].0;
+            let start = grid.lookup.len() as u32;
+            while i < pairs.len() && pairs[i].0 == h {
+                grid.lookup.push(pairs[i].1);
+                i += 1;
+            }
+            grid.cell_ids.push(h);
+            grid.cell_ranges.push([start, grid.lookup.len() as u32]);
+        }
+        grid
+    }
+
+    fn clamp_cell(&self, v: f64, dim: usize) -> usize {
+        let lo = self.bounds.lo.coord(dim);
+        let size = self.cell_size.coord(dim);
+        let c = ((v - lo) / size).floor();
+        (c.max(0.0) as usize).min(self.cells_per_dim - 1)
+    }
+
+    /// Cell-coordinate ranges overlapped by `mbb` (clamped to the grid).
+    pub fn rasterise(&self, mbb: &Mbb) -> CellRange {
+        let mut lo = [0usize; 3];
+        let mut hi = [0usize; 3];
+        for d in 0..3 {
+            lo[d] = self.clamp_cell(mbb.lo.coord(d), d);
+            hi[d] = self.clamp_cell(mbb.hi.coord(d), d);
+        }
+        CellRange { lo, hi }
+    }
+
+    /// True if `mbb` lies entirely outside the grid volume.
+    pub fn outside(&self, mbb: &Mbb) -> bool {
+        !self.bounds.overlaps(mbb)
+    }
+
+    /// Row-major linearised cell coordinate (the `h` of the paper).
+    #[inline]
+    pub fn linear(&self, x: usize, y: usize, z: usize) -> u64 {
+        let n = self.cells_per_dim as u64;
+        (x as u64 * n + y as u64) * n + z as u64
+    }
+
+    /// Host-side binary search for cell `h` in `G`; returns the index into
+    /// `cell_ids` / `cell_ranges`.
+    pub fn find_cell(&self, h: u64) -> Option<usize> {
+        self.cell_ids.binary_search(&h).ok()
+    }
+
+    /// Number of non-empty cells.
+    pub fn non_empty_cells(&self) -> usize {
+        self.cell_ids.len()
+    }
+
+    /// Grid resolution per dimension.
+    pub fn cells_per_dim(&self) -> usize {
+        self.cells_per_dim
+    }
+
+    /// Total `A` entries (≥ store length; the excess measures duplication).
+    pub fn lookup_len(&self) -> usize {
+        self.lookup.len()
+    }
+
+    /// Grid bounds.
+    pub fn bounds(&self) -> &Mbb {
+        &self.bounds
+    }
+}
+
+/// Guard against degenerate (zero-extent) dimensions.
+fn positive(v: f64) -> f64 {
+    if v > 0.0 {
+        v
+    } else {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdts_geom::{Point3, SegId, Segment, TrajId};
+
+    fn seg(lo: (f64, f64, f64), hi: (f64, f64, f64), id: u32) -> Segment {
+        Segment::new(
+            Point3::new(lo.0, lo.1, lo.2),
+            Point3::new(hi.0, hi.1, hi.2),
+            0.0,
+            1.0,
+            SegId(id),
+            TrajId(id),
+        )
+    }
+
+    fn store() -> SegmentStore {
+        // A 10×10×10 world with segments in two corners.
+        vec![
+            seg((0.0, 0.0, 0.0), (1.0, 1.0, 1.0), 0),
+            seg((0.5, 0.5, 0.5), (1.5, 1.5, 1.5), 1),
+            seg((9.0, 9.0, 9.0), (10.0, 10.0, 10.0), 2),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn build_sparse_arrays() {
+        let fsg = Fsg::build(&store(), FsgConfig { cells_per_dim: 5 });
+        assert!(fsg.non_empty_cells() > 0);
+        // Sorted cell ids.
+        assert!(fsg.cell_ids.windows(2).all(|w| w[0] < w[1]));
+        // Ranges partition the lookup array.
+        assert_eq!(fsg.cell_ranges.first().unwrap()[0], 0);
+        assert_eq!(fsg.cell_ranges.last().unwrap()[1] as usize, fsg.lookup_len());
+        for w in fsg.cell_ranges.windows(2) {
+            assert_eq!(w[0][1], w[1][0]);
+        }
+        // Every entry appears at least once.
+        let mut seen = [false; 3];
+        for &e in &fsg.lookup {
+            seen[e as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn rasterise_covers_cells() {
+        let fsg = Fsg::build(&store(), FsgConfig { cells_per_dim: 5 });
+        // Cell size = 2 per dim. A box spanning (0..3) covers cells 0..1.
+        let r = fsg.rasterise(&Mbb::new(Point3::splat(0.0), Point3::splat(3.0)));
+        assert_eq!(r.lo, [0, 0, 0]);
+        assert_eq!(r.hi, [1, 1, 1]);
+        assert_eq!(r.cell_count(), 8);
+        assert_eq!(r.iter().count(), 8);
+        // Clamped outside.
+        let r = fsg.rasterise(&Mbb::new(Point3::splat(-100.0), Point3::splat(-50.0)));
+        assert_eq!(r.lo, [0, 0, 0]);
+        assert_eq!(r.hi, [0, 0, 0]);
+        assert!(fsg.outside(&Mbb::new(Point3::splat(-100.0), Point3::splat(-50.0))));
+    }
+
+    #[test]
+    fn finer_grid_more_duplication() {
+        let mut segs = Vec::new();
+        for i in 0..50u32 {
+            let x = i as f64 * 0.2;
+            segs.push(seg((x, 0.0, 0.0), (x + 3.0, 3.0, 3.0), i));
+        }
+        let s: SegmentStore = segs.into_iter().collect();
+        let coarse = Fsg::build(&s, FsgConfig { cells_per_dim: 2 });
+        let fine = Fsg::build(&s, FsgConfig { cells_per_dim: 20 });
+        assert!(fine.lookup_len() > coarse.lookup_len());
+        assert!(fine.lookup_len() >= s.len());
+    }
+
+    #[test]
+    fn find_cell_binary_search() {
+        let fsg = Fsg::build(&store(), FsgConfig { cells_per_dim: 5 });
+        let h = fsg.cell_ids[0];
+        assert_eq!(fsg.find_cell(h), Some(0));
+        // A cell id that cannot exist.
+        assert_eq!(fsg.find_cell(u64::MAX), None);
+    }
+
+    #[test]
+    fn degenerate_flat_store() {
+        // All segments on a plane: z extent is zero.
+        let s: SegmentStore = vec![
+            seg((0.0, 0.0, 0.0), (1.0, 1.0, 0.0), 0),
+            seg((5.0, 5.0, 0.0), (6.0, 6.0, 0.0), 1),
+        ]
+        .into_iter()
+        .collect();
+        let fsg = Fsg::build(&s, FsgConfig { cells_per_dim: 4 });
+        assert!(fsg.non_empty_cells() >= 2);
+    }
+
+    #[test]
+    fn linear_is_row_major_and_injective() {
+        let fsg = Fsg::build(&store(), FsgConfig { cells_per_dim: 5 });
+        let mut ids = std::collections::BTreeSet::new();
+        for x in 0..5 {
+            for y in 0..5 {
+                for z in 0..5 {
+                    assert!(ids.insert(fsg.linear(x, y, z)));
+                }
+            }
+        }
+        assert_eq!(fsg.linear(0, 0, 1), 1);
+        assert_eq!(fsg.linear(0, 1, 0), 5);
+        assert_eq!(fsg.linear(1, 0, 0), 25);
+    }
+}

@@ -1,0 +1,398 @@
+//! The `GPUSpatial` search driver and kernel (Algorithm 1).
+
+use crate::fsg::{Fsg, FsgConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use tdts_geom::{dedup_matches, within_distance, MatchRecord, Segment, SegmentStore};
+use tdts_gpu_sim::{Device, DeviceBuffer, Lane, NextBatch, RedoSchedule, SearchError, SearchReport};
+
+/// `GPUSpatial` parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GpuSpatialConfig {
+    /// Grid resolution.
+    pub fsg: FsgConfig,
+    /// Total candidate-buffer budget `s` in entries; each query gets
+    /// `s / |Q|` slots (`U_k`), growing as re-invocations shrink the batch.
+    pub total_scratch: usize,
+}
+
+impl Default for GpuSpatialConfig {
+    fn default() -> Self {
+        GpuSpatialConfig { fsg: FsgConfig::default(), total_scratch: 2_000_000 }
+    }
+}
+
+/// `GPUSpatial`: FSG index + device-resident arrays + search driver.
+pub struct GpuSpatialSearch {
+    device: Arc<Device>,
+    fsg: Fsg,
+    config: GpuSpatialConfig,
+    dev_entries: DeviceBuffer<Segment>,
+    /// `G`: sorted linearised coordinates of non-empty cells.
+    dev_cell_ids: DeviceBuffer<u64>,
+    /// Per-cell half-open ranges into the lookup array.
+    dev_cell_ranges: DeviceBuffer<[u32; 2]>,
+    /// `A`: entry positions grouped by cell.
+    dev_lookup: DeviceBuffer<u32>,
+}
+
+impl GpuSpatialSearch {
+    /// Build the FSG over `store` (any order — the index is purely spatial)
+    /// and place the database and index in device memory (offline).
+    pub fn new(
+        device: Arc<Device>,
+        store: &SegmentStore,
+        config: GpuSpatialConfig,
+    ) -> Result<GpuSpatialSearch, SearchError> {
+        let fsg = Fsg::build(store, config.fsg);
+        let dev_entries = device.alloc_from_host(store.segments().to_vec())?;
+        let dev_cell_ids = device.alloc_from_host(fsg.cell_ids.clone())?;
+        let dev_cell_ranges = device.alloc_from_host(fsg.cell_ranges.clone())?;
+        let dev_lookup = device.alloc_from_host(fsg.lookup.clone())?;
+        Ok(GpuSpatialSearch {
+            device,
+            fsg,
+            config,
+            dev_entries,
+            dev_cell_ids,
+            dev_cell_ranges,
+            dev_lookup,
+        })
+    }
+
+    /// The grid.
+    pub fn fsg(&self) -> &Fsg {
+        &self.fsg
+    }
+
+    /// The device this search runs on.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// Device-side binary search of cell `h` in `G`, charging one global
+    /// read per probe (the paper's `O(log |G|)` step).
+    fn find_cell_device(&self, lane: &mut Lane, h: u64) -> Option<usize> {
+        let n = self.dev_cell_ids.len();
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let v = self.dev_cell_ids.read(lane, mid);
+            lane.instr(2);
+            match v.cmp(&h) {
+                std::cmp::Ordering::Equal => return Some(mid),
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+            }
+        }
+        None
+    }
+
+    /// Run the distance threshold search. Queries are *not* sorted (§IV-A2:
+    /// sorting by one spatial dimension would not help 3-D data), so results
+    /// already refer to the caller's ordering.
+    pub fn search(
+        &self,
+        queries: &SegmentStore,
+        d: f64,
+        result_capacity: usize,
+    ) -> Result<(Vec<MatchRecord>, SearchReport), SearchError> {
+        let wall_start = Instant::now();
+        self.device.reset_ledger();
+        let mut report = SearchReport::default();
+
+        if queries.is_empty() {
+            report.response = self.device.ledger();
+            report.wall_seconds = wall_start.elapsed().as_secs_f64();
+            return Ok((Vec::new(), report));
+        }
+
+        // Online transfer: the query set.
+        let dev_queries = self.device.upload(queries.segments().to_vec())?;
+        let mut results = self.device.alloc_result::<MatchRecord>(result_capacity)?;
+        let mut redo = self.device.alloc_result::<u32>(queries.len())?;
+
+        let mut matches: Vec<MatchRecord> = Vec::new();
+        let mut batch: Option<DeviceBuffer<u32>> = None;
+        let mut batch_len = queries.len();
+        let mut redo_schedule = RedoSchedule::new();
+        let comparisons = AtomicU64::new(0);
+
+        loop {
+            // Candidate buffers: the budget `s` split across this batch.
+            let per_thread = (self.config.total_scratch / batch_len).max(1);
+            let scratch = self.device.alloc_scratch::<u32>(batch_len, per_thread)?;
+            let scratch_overflow = AtomicBool::new(false);
+
+            let launch = self.device.launch(batch_len, |lane| {
+                let qid = match &batch {
+                    None => lane.global_id as u32,
+                    Some(ids) => ids.read(lane, lane.global_id),
+                };
+                let q = dev_queries.read(lane, qid as usize);
+                lane.instr(12); // MBB + inflation + cell-range setup
+
+                // getCandidates: rasterise the inflated MBB and gather
+                // entry positions into U_k.
+                let mut uk = scratch.take_partition(lane.global_id);
+                let search_box = q.mbb().inflate(d);
+                let mut overflow = false;
+                if !self.fsg.outside(&search_box) {
+                    let range = self.fsg.rasterise(&search_box);
+                    'cells: for (x, y, z) in range.iter() {
+                        let h = self.fsg.linear(x, y, z);
+                        lane.instr(4);
+                        if let Some(ci) = self.find_cell_device(lane, h) {
+                            let r = self.dev_cell_ranges.read(lane, ci);
+                            for ai in r[0]..r[1] {
+                                let entry_pos = self.dev_lookup.read(lane, ai as usize);
+                                lane.instr(1);
+                                if !uk.push(lane, entry_pos) {
+                                    overflow = true;
+                                    break 'cells;
+                                }
+                            }
+                        }
+                    }
+                }
+                if overflow {
+                    // Buffer exceeded: abandon; host will re-invoke with a
+                    // larger per-query buffer (lines 10–12 of Algorithm 1).
+                    scratch_overflow.store(true, Ordering::Relaxed);
+                    redo.push(lane, qid);
+                    return;
+                }
+
+                // Refinement over the candidate set (duplicates included).
+                let mut compared = 0u64;
+                for i in 0..uk.len() {
+                    let entry_pos = uk.read(lane, i);
+                    let entry = self.dev_entries.read(lane, entry_pos as usize);
+                    lane.instr(crate::search::COMPARE_INSTR);
+                    compared += 1;
+                    if let Some(interval) = within_distance(&q, &entry, d) {
+                        if !results.push(lane, MatchRecord::new(qid, entry_pos, interval)) {
+                            redo.push(lane, qid);
+                            break;
+                        }
+                    }
+                }
+                comparisons.fetch_add(compared, Ordering::Relaxed);
+            });
+            report.divergent_warps += launch.divergent_warps as u64;
+
+            let produced = results.len();
+            self.device.charge_download(produced * std::mem::size_of::<MatchRecord>());
+            matches.extend(results.drain_to_host());
+            let redo_ids = redo.drain_to_host();
+            self.device.charge_download(redo_ids.len() * std::mem::size_of::<u32>());
+
+            match redo_schedule.next(redo_ids, batch_len) {
+                NextBatch::Done => break,
+                NextBatch::Stuck => {
+                    // A single query alone cannot complete: the batch was 1,
+                    // so its candidate buffer was the entire budget `s`.
+                    return Err(if scratch_overflow.load(Ordering::Relaxed) {
+                        SearchError::ScratchCapacityTooSmall {
+                            capacity: self.config.total_scratch,
+                        }
+                    } else {
+                        SearchError::ResultCapacityTooSmall { capacity: result_capacity }
+                    });
+                }
+                NextBatch::Ids(ids) => {
+                    report.redo_rounds += 1;
+                    batch_len = ids.len();
+                    batch = Some(self.device.upload(ids)?);
+                }
+            }
+        }
+
+        // Host: duplicate filtering (an entry can be rasterised to several
+        // cells, so the same pair can be reported more than once).
+        let host_start = Instant::now();
+        report.raw_matches = matches.len() as u64;
+        dedup_matches(&mut matches);
+        self.device.charge_host(host_start.elapsed().as_secs_f64());
+
+        report.comparisons = comparisons.into_inner();
+        report.matches = matches.len() as u64;
+        report.response = self.device.ledger();
+        report.wall_seconds = wall_start.elapsed().as_secs_f64();
+        Ok((matches, report))
+    }
+}
+
+/// Instruction cost of one continuous distance comparison (matches
+/// `tdts-index-temporal`'s kernel cost so schemes are comparable).
+pub(crate) const COMPARE_INSTR: u64 = 48;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdts_geom::{Point3, SegId, TrajId};
+    use tdts_gpu_sim::DeviceConfig;
+
+    fn seg(x: f64, y: f64, t0: f64, id: u32) -> Segment {
+        Segment::new(
+            Point3::new(x, y, 0.0),
+            Point3::new(x + 1.0, y + 0.5, 0.0),
+            t0,
+            t0 + 1.0,
+            SegId(id),
+            TrajId(id),
+        )
+    }
+
+    fn grid_store(n_side: usize) -> SegmentStore {
+        let mut s = SegmentStore::new();
+        let mut id = 0u32;
+        for i in 0..n_side {
+            for j in 0..n_side {
+                s.push(seg(i as f64 * 5.0, j as f64 * 5.0, (i + j) as f64 * 0.1, id));
+                id += 1;
+            }
+        }
+        s
+    }
+
+    fn brute(store: &SegmentStore, queries: &SegmentStore, d: f64) -> Vec<MatchRecord> {
+        let mut out = Vec::new();
+        for (qi, q) in queries.iter().enumerate() {
+            for (ei, e) in store.iter().enumerate() {
+                if let Some(iv) = within_distance(q, e, d) {
+                    out.push(MatchRecord::new(qi as u32, ei as u32, iv));
+                }
+            }
+        }
+        dedup_matches(&mut out);
+        out
+    }
+
+    fn device() -> Arc<Device> {
+        Device::new(DeviceConfig::test_tiny()).unwrap()
+    }
+
+    fn cfg(cells: usize, scratch: usize) -> GpuSpatialConfig {
+        GpuSpatialConfig { fsg: FsgConfig { cells_per_dim: cells }, total_scratch: scratch }
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let store = grid_store(8);
+        let queries: SegmentStore =
+            (0..12).map(|i| seg(i as f64 * 3.3, i as f64 * 2.7, i as f64 * 0.15, i)).collect();
+        let search = GpuSpatialSearch::new(device(), &store, cfg(6, 100_000)).unwrap();
+        for d in [0.5, 3.0, 12.0] {
+            let (got, report) = search.search(&queries, d, 20_000).unwrap();
+            let expect = brute(&store, &queries, d);
+            assert_eq!(got, expect, "d = {d}");
+            assert!(report.comparisons >= report.matches);
+        }
+    }
+
+    #[test]
+    fn temporal_misses_are_filtered_by_refinement() {
+        // Same place, disjoint times: FSG (spatial only) produces the
+        // candidate, refinement must reject it.
+        let mut store = SegmentStore::new();
+        store.push(seg(0.0, 0.0, 0.0, 0));
+        let mut queries = SegmentStore::new();
+        queries.push(seg(0.0, 0.0, 100.0, 1));
+        let search = GpuSpatialSearch::new(device(), &store, cfg(4, 1_000)).unwrap();
+        let (got, report) = search.search(&queries, 10.0, 1_000).unwrap();
+        assert!(got.is_empty());
+        assert!(report.comparisons >= 1, "candidate must have been compared");
+    }
+
+    #[test]
+    fn scratch_overflow_triggers_reinvocation() {
+        let store = grid_store(8); // 64 entries
+        let queries = grid_store(4); // 16 queries, co-located with entries
+        // Scratch so small that the first round (16 threads) overflows but a
+        // later round with fewer queries succeeds: 64 entries all in range at
+        // large d means up to 64+ candidates per query.
+        let search = GpuSpatialSearch::new(device(), &store, cfg(4, 256)).unwrap();
+        let (got, report) = search.search(&queries, 50.0, 10_000).unwrap();
+        let expect = brute(&store, &queries, 50.0);
+        assert_eq!(got, expect);
+        assert!(report.redo_rounds > 0, "expected re-invocation");
+        assert!(report.response.kernel_invocations > 1);
+    }
+
+    #[test]
+    fn impossible_scratch_errors() {
+        let store = grid_store(6);
+        let queries = grid_store(2);
+        // One query alone needs more candidates than the whole budget.
+        let search = GpuSpatialSearch::new(device(), &store, cfg(3, 4)).unwrap();
+        let err = search.search(&queries, 100.0, 10_000).unwrap_err();
+        assert!(
+            matches!(err, SearchError::ScratchCapacityTooSmall { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn result_overflow_redo_produces_same_results() {
+        let store = grid_store(6);
+        let queries = grid_store(6);
+        let search = GpuSpatialSearch::new(device(), &store, cfg(4, 100_000)).unwrap();
+        let (full, _) = search.search(&queries, 10.0, 20_000).unwrap();
+        assert!(!full.is_empty());
+        let (constrained, report) =
+            search.search(&queries, 10.0, (full.len() / 3).max(2)).unwrap();
+        assert_eq!(constrained, full);
+        assert!(report.redo_rounds > 0);
+    }
+
+    #[test]
+    fn far_away_queries_cost_nothing() {
+        let store = grid_store(4);
+        let mut queries = SegmentStore::new();
+        queries.push(seg(1e6, 1e6, 0.0, 0));
+        let search = GpuSpatialSearch::new(device(), &store, cfg(4, 1_000)).unwrap();
+        let (got, report) = search.search(&queries, 1.0, 100).unwrap();
+        assert!(got.is_empty());
+        assert_eq!(report.comparisons, 0);
+    }
+
+    #[test]
+    fn empty_queries() {
+        let store = grid_store(3);
+        let search = GpuSpatialSearch::new(device(), &store, cfg(4, 1_000)).unwrap();
+        let (got, report) = search.search(&SegmentStore::new(), 1.0, 100).unwrap();
+        assert!(got.is_empty());
+        assert_eq!(report.response.kernel_invocations, 0);
+    }
+
+    #[test]
+    fn duplicates_removed_on_host() {
+        // An entry spanning many cells is reported once despite appearing in
+        // multiple cells of the candidate set.
+        let mut store = SegmentStore::new();
+        store.push(Segment::new(
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(20.0, 20.0, 20.0),
+            0.0,
+            1.0,
+            SegId(0),
+            TrajId(0),
+        ));
+        store.push(seg(0.0, 0.0, 0.0, 1)); // second entry so the grid isn't trivial
+        let mut queries = SegmentStore::new();
+        queries.push(Segment::new(
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(20.0, 20.0, 20.0),
+            0.0,
+            1.0,
+            SegId(0),
+            TrajId(9),
+        ));
+        let search = GpuSpatialSearch::new(device(), &store, cfg(5, 1_000)).unwrap();
+        let (got, report) = search.search(&queries, 1.0, 1_000).unwrap();
+        assert_eq!(got.iter().filter(|m| m.entry == 0).count(), 1);
+        assert!(report.raw_matches > report.matches, "dedup must have removed duplicates");
+    }
+}

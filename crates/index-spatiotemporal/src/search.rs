@@ -1,0 +1,322 @@
+//! The `GPUSpatioTemporal` search driver and kernel (Algorithm 3).
+
+use crate::index::{ScheduleEntry, Selector, SpatioTemporalIndex, SpatioTemporalIndexConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use tdts_geom::{dedup_matches, MatchRecord, Segment, SegmentStore};
+use tdts_gpu_sim::{Device, DeviceBuffer, NextBatch, RedoSchedule, SearchError, SearchReport};
+use tdts_index_temporal::search::SortedQueries;
+use tdts_index_temporal::kernel::{compare_and_push, load_query, PushOutcome, SCHEDULE_INSTR};
+
+/// `GPUSpatioTemporal`: index + device-resident arrays + search driver.
+pub struct GpuSpatioTemporalSearch {
+    device: Arc<Device>,
+    index: SpatioTemporalIndex,
+    config: SpatioTemporalIndexConfig,
+    dev_entries: DeviceBuffer<Segment>,
+    /// The `X`, `Y`, `Z` id arrays on the device.
+    dev_arrays: [DeviceBuffer<u32>; 3],
+}
+
+impl GpuSpatioTemporalSearch {
+    /// Build the index over `store` (must be sorted by `t_start`) and place
+    /// the database plus the three id arrays in device memory (offline).
+    pub fn new(
+        device: Arc<Device>,
+        store: &SegmentStore,
+        config: SpatioTemporalIndexConfig,
+    ) -> Result<GpuSpatioTemporalSearch, SearchError> {
+        let index = SpatioTemporalIndex::build(store, config);
+        let dev_entries = device.alloc_from_host(store.segments().to_vec())?;
+        let dev_arrays = [
+            device.alloc_from_host(index.arrays[0].clone())?,
+            device.alloc_from_host(index.arrays[1].clone())?,
+            device.alloc_from_host(index.arrays[2].clone())?,
+        ];
+        Ok(GpuSpatioTemporalSearch { device, index, config, dev_entries, dev_arrays })
+    }
+
+    /// The index.
+    pub fn index(&self) -> &SpatioTemporalIndex {
+        &self.index
+    }
+
+    /// The device this search runs on.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// Run the distance threshold search at distance `d` with a result
+    /// buffer of `result_capacity` records.
+    pub fn search(
+        &self,
+        queries: &SegmentStore,
+        d: f64,
+        result_capacity: usize,
+    ) -> Result<(Vec<MatchRecord>, SearchReport), SearchError> {
+        let wall_start = Instant::now();
+        self.device.reset_ledger();
+        let mut report = SearchReport::default();
+
+        // Host: sort Q, compute the schedule, and order query execution by
+        // array selector to reduce warp divergence (§IV-C2).
+        let host_start = Instant::now();
+        let sorted = SortedQueries::from_store(queries);
+        let mut schedule: Vec<[u32; 4]> = Vec::with_capacity(sorted.len());
+        let mut fallback = 0u64;
+        for q in &sorted.segments {
+            let entry: ScheduleEntry = self.index.schedule_for(q, d);
+            if entry.selector == Selector::Temporal {
+                fallback += 1;
+            }
+            schedule.push(entry.encode());
+        }
+        let mut exec_order: Vec<u32> = (0..sorted.len() as u32).collect();
+        if self.config.sort_by_selector {
+            exec_order.sort_by_key(|&qi| schedule[qi as usize][0]);
+        }
+        self.device.charge_host(host_start.elapsed().as_secs_f64());
+        report.fallback_queries = fallback;
+
+        if sorted.is_empty() {
+            report.response = self.device.ledger();
+            report.wall_seconds = wall_start.elapsed().as_secs_f64();
+            return Ok((Vec::new(), report));
+        }
+
+        // Online transfers: Q, S, and the execution order.
+        let dev_queries = self.device.upload(sorted.segments.clone())?;
+        let dev_schedule = self.device.upload(schedule.clone())?;
+        let dev_exec = self.device.upload(exec_order.clone())?;
+        let mut results = self.device.alloc_result::<MatchRecord>(result_capacity)?;
+        let mut redo = self.device.alloc_result::<u32>(sorted.len())?;
+
+        let mut matches: Vec<MatchRecord> = Vec::new();
+        let mut batch: Option<DeviceBuffer<u32>> = None;
+        let mut batch_len = sorted.len();
+        let mut redo_schedule = RedoSchedule::new();
+        let comparisons = AtomicU64::new(0);
+
+        loop {
+            let launch = self.device.launch(batch_len, |lane| {
+                let qid = match &batch {
+                    None => dev_exec.read(lane, lane.global_id),
+                    Some(ids) => ids.read(lane, lane.global_id),
+                };
+                let entry = dev_schedule.read(lane, qid as usize);
+                lane.instr(SCHEDULE_INSTR);
+                let selector = entry[0];
+                // Control-flow divergence: lanes with different selectors
+                // serialise (the reason the schedule is selector-sorted).
+                lane.set_path(selector as u64);
+                if selector == 4 {
+                    return; // no temporally overlapping entries
+                }
+                let q = load_query(lane, &dev_queries, qid);
+                let mut compared = 0u64;
+                let mut overflow = false;
+                for i in entry[1]..entry[2] {
+                    // Selector 0–2: one indirection through X/Y/Z.
+                    // Selector 3: positions are direct (temporal fallback).
+                    let entry_pos = if selector <= 2 {
+                        self.dev_arrays[selector as usize].read(lane, i as usize)
+                    } else {
+                        i
+                    };
+                    compared += 1;
+                    if compare_and_push(lane, &self.dev_entries, entry_pos, &q, qid, d, &results)
+                        == PushOutcome::Overflow
+                    {
+                        overflow = true;
+                        break;
+                    }
+                }
+                comparisons.fetch_add(compared, Ordering::Relaxed);
+                if overflow {
+                    redo.push(lane, qid);
+                }
+            });
+            report.divergent_warps += launch.divergent_warps as u64;
+
+            let produced = results.len();
+            self.device.charge_download(produced * std::mem::size_of::<MatchRecord>());
+            matches.extend(results.drain_to_host());
+            let redo_ids = redo.drain_to_host();
+            self.device.charge_download(redo_ids.len() * std::mem::size_of::<u32>());
+
+            match redo_schedule.next(redo_ids, batch_len) {
+                NextBatch::Done => break,
+                NextBatch::Stuck => {
+                    return Err(SearchError::ResultCapacityTooSmall {
+                        capacity: result_capacity,
+                    })
+                }
+                NextBatch::Ids(ids) => {
+                    report.redo_rounds += 1;
+                    batch_len = ids.len();
+                    batch = Some(self.device.upload(ids)?);
+                }
+            }
+        }
+
+        // Host postprocessing. Single-subbin lookups produce no duplicates;
+        // dedup still runs to canonicalise order and to collapse duplicates
+        // from redone queries.
+        let host_start = Instant::now();
+        report.raw_matches = matches.len() as u64;
+        sorted.unpermute(&mut matches);
+        dedup_matches(&mut matches);
+        self.device.charge_host(host_start.elapsed().as_secs_f64());
+
+        report.comparisons = comparisons.into_inner();
+        report.matches = matches.len() as u64;
+        report.response = self.device.ledger();
+        report.wall_seconds = wall_start.elapsed().as_secs_f64();
+        Ok((matches, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdts_geom::{within_distance, Point3, SegId, TrajId};
+    use tdts_gpu_sim::DeviceConfig;
+
+    fn seg(x: f64, t0: f64, id: u32) -> Segment {
+        Segment::new(
+            Point3::new(x, x * 0.3, -x * 0.2),
+            Point3::new(x + 1.0, x * 0.3 + 0.7, -x * 0.2 + 0.4),
+            t0,
+            t0 + 1.0,
+            SegId(id),
+            TrajId(id),
+        )
+    }
+
+    fn sorted_store(n: usize) -> SegmentStore {
+        (0..n).map(|i| seg(i as f64 * 2.0, i as f64 * 0.4, i as u32)).collect()
+    }
+
+    fn brute(store: &SegmentStore, queries: &SegmentStore, d: f64) -> Vec<MatchRecord> {
+        let mut out = Vec::new();
+        for (qi, q) in queries.iter().enumerate() {
+            for (ei, e) in store.iter().enumerate() {
+                if let Some(iv) = within_distance(q, e, d) {
+                    out.push(MatchRecord::new(qi as u32, ei as u32, iv));
+                }
+            }
+        }
+        dedup_matches(&mut out);
+        out
+    }
+
+    fn device() -> Arc<Device> {
+        Device::new(DeviceConfig::test_tiny()).unwrap()
+    }
+
+    #[test]
+    fn matches_brute_force_across_distances() {
+        let store = sorted_store(50);
+        let queries: SegmentStore =
+            (0..15).map(|i| seg(i as f64 * 5.0 + 0.3, i as f64 * 1.1, 100 + i as u32)).collect();
+        let search = GpuSpatioTemporalSearch::new(
+            device(),
+            &store,
+            SpatioTemporalIndexConfig { bins: 8, subbins: 4, sort_by_selector: true },
+        )
+        .unwrap();
+        // Sweep d across regimes: subbin-selective, mixed, all-fallback.
+        for d in [0.3, 2.0, 15.0, 200.0] {
+            let (got, report) = search.search(&queries, d, 20_000).unwrap();
+            let expect = brute(&store, &queries, d);
+            assert_eq!(got, expect, "d = {d}");
+            assert!(report.comparisons >= report.matches);
+        }
+    }
+
+    #[test]
+    fn fallback_grows_with_d() {
+        let store = sorted_store(60);
+        let queries = sorted_store(20);
+        let search = GpuSpatioTemporalSearch::new(
+            device(),
+            &store,
+            SpatioTemporalIndexConfig { bins: 6, subbins: 4, sort_by_selector: true },
+        )
+        .unwrap();
+        let (_, small) = search.search(&queries, 0.1, 20_000).unwrap();
+        let (_, large) = search.search(&queries, 1_000.0, 20_000).unwrap();
+        assert!(small.fallback_queries < large.fallback_queries);
+        assert_eq!(large.fallback_queries, queries.len() as u64);
+    }
+
+    #[test]
+    fn no_duplicates_without_redo() {
+        let store = sorted_store(40);
+        let queries = sorted_store(40);
+        let search = GpuSpatioTemporalSearch::new(
+            device(),
+            &store,
+            SpatioTemporalIndexConfig { bins: 8, subbins: 4, sort_by_selector: true },
+        )
+        .unwrap();
+        let (_, report) = search.search(&queries, 1.5, 20_000).unwrap();
+        assert_eq!(report.redo_rounds, 0);
+        assert_eq!(
+            report.raw_matches, report.matches,
+            "single-subbin scheme must not produce duplicates"
+        );
+    }
+
+    #[test]
+    fn result_overflow_redo_same_results() {
+        let store = sorted_store(40);
+        let queries = sorted_store(40);
+        let search = GpuSpatioTemporalSearch::new(
+            device(),
+            &store,
+            SpatioTemporalIndexConfig { bins: 4, subbins: 2, sort_by_selector: true },
+        )
+        .unwrap();
+        let (full, _) = search.search(&queries, 4.0, 20_000).unwrap();
+        assert!(!full.is_empty());
+        let (constrained, report) =
+            search.search(&queries, 4.0, (full.len() / 4).max(2)).unwrap();
+        assert_eq!(constrained, full);
+        assert!(report.redo_rounds > 0);
+    }
+
+    #[test]
+    fn divergence_is_visible_with_mixed_selectors() {
+        // A d in the mixed regime gives different selectors to different
+        // queries; the simulator should report divergent warps only when the
+        // selector-sorted order still mixes paths inside one warp.
+        let store = sorted_store(100);
+        let queries = sorted_store(64);
+        let search = GpuSpatioTemporalSearch::new(
+            device(),
+            &store,
+            SpatioTemporalIndexConfig { bins: 8, subbins: 4, sort_by_selector: true },
+        )
+        .unwrap();
+        let (_, report) = search.search(&queries, 5.0, 20_000).unwrap();
+        // Sorting by selector bounds divergence: at most 3 boundary warps
+        // (one per selector transition) can diverge.
+        assert!(report.divergent_warps <= 3, "divergent warps {}", report.divergent_warps);
+    }
+
+    #[test]
+    fn empty_queries() {
+        let store = sorted_store(5);
+        let search = GpuSpatioTemporalSearch::new(
+            device(),
+            &store,
+            SpatioTemporalIndexConfig { bins: 2, subbins: 2, sort_by_selector: true },
+        )
+        .unwrap();
+        let (m, report) = search.search(&SegmentStore::new(), 1.0, 100).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(report.matches, 0);
+    }
+}

@@ -1,0 +1,315 @@
+//! The temporal bin index.
+
+use serde::{Deserialize, Serialize};
+use tdts_geom::{Segment, SegmentStore};
+
+/// Temporal index parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TemporalIndexConfig {
+    /// Number of logical bins `m` the temporal extent is partitioned into.
+    pub bins: usize,
+}
+
+impl Default for TemporalIndexConfig {
+    fn default() -> Self {
+        // §V-D: 1,000 bins gives the lowest response time on the large
+        // datasets; the Random experiments use 10,000.
+        TemporalIndexConfig { bins: 1_000 }
+    }
+}
+
+/// The temporal bin index over a `t_start`-sorted segment database.
+///
+/// Bin `j` covers start times `[t_min + j·b, t_min + (j+1)·b)` where
+/// `b = (t_max − t_min)/m`. Because entries are assigned by *start* time,
+/// an entry can extend past its bin: each bin's *reach* (the latest `t_end`
+/// of any entry in it or any earlier bin) is precomputed so that the lower
+/// bound of a candidate range can be found with one binary search.
+///
+/// ```
+/// use tdts_geom::{Point3, SegId, Segment, SegmentStore, TrajId};
+/// use tdts_index_temporal::{TemporalIndex, TemporalIndexConfig};
+///
+/// // Ten unit-length segments starting at t = 0, 1, ..., 9.
+/// let store: SegmentStore = (0..10)
+///     .map(|i| Segment::new(Point3::ZERO, Point3::ZERO, i as f64, i as f64 + 1.0,
+///                           SegId(i), TrajId(i)))
+///     .collect();
+/// let index = TemporalIndex::build(&store, TemporalIndexConfig { bins: 5 });
+///
+/// // A query over [4.5, 5.5] gets a tight contiguous candidate range.
+/// let q = Segment::new(Point3::ZERO, Point3::ZERO, 4.5, 5.5, SegId(0), TrajId(99));
+/// let (lo, hi) = index.candidate_range(&q).unwrap();
+/// assert!(lo <= 4 && 6 <= hi, "range [{lo}, {hi}) must cover entries 4 and 5");
+/// assert!(index.validate(&store).is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TemporalIndex {
+    /// `bin_start_pos[j]` = position of the first entry whose start time
+    /// falls in bin `j` or later; length `m + 1` (last element = n).
+    bin_start_pos: Vec<u32>,
+    /// `reach[j]` = max `t_end` over all entries in bins `0..=j` (monotone
+    /// non-decreasing), or `-inf` while empty.
+    reach: Vec<f64>,
+    t_min: f64,
+    t_max: f64,
+    bin_width: f64,
+    entries: usize,
+}
+
+impl TemporalIndex {
+    /// Build the index. `store` must be sorted by non-decreasing `t_start`
+    /// (checked) and non-empty; `bins >= 1`.
+    pub fn build(store: &SegmentStore, config: TemporalIndexConfig) -> TemporalIndex {
+        assert!(config.bins >= 1, "need at least one temporal bin");
+        assert!(!store.is_empty(), "cannot index an empty store");
+        assert!(
+            store.is_sorted_by_t_start(),
+            "temporal index requires the store sorted by t_start"
+        );
+        let m = config.bins;
+        let stats = store.stats().expect("non-empty store");
+        let t_min = stats.time_span.start;
+        let t_max = stats.time_span.end;
+        // Degenerate span: all entries in one bin of nominal width 1.
+        let bin_width = if t_max > t_min { (t_max - t_min) / m as f64 } else { 1.0 };
+
+        let segs = store.segments();
+        let mut bin_start_pos = Vec::with_capacity(m + 1);
+        let mut pos = 0usize;
+        for j in 0..m {
+            let bin_start = t_min + j as f64 * bin_width;
+            // First entry with t_start >= bin_start; entries before `pos`
+            // are already assigned, and t_start is sorted.
+            while pos < segs.len() && segs[pos].t_start < bin_start {
+                pos += 1;
+            }
+            bin_start_pos.push(pos as u32);
+        }
+        bin_start_pos[0] = 0; // bin 0 always starts at the first entry
+        bin_start_pos.push(segs.len() as u32);
+
+        // Prefix-max reach.
+        let mut reach = vec![f64::NEG_INFINITY; m];
+        let mut current = f64::NEG_INFINITY;
+        for j in 0..m {
+            let lo = bin_start_pos[j] as usize;
+            let hi = bin_start_pos[j + 1] as usize;
+            for s in &segs[lo..hi] {
+                current = current.max(s.t_end);
+            }
+            reach[j] = current;
+        }
+
+        TemporalIndex { bin_start_pos, reach, t_min, t_max, bin_width, entries: segs.len() }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.reach.len()
+    }
+
+    /// Number of indexed entries.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Temporal extent `[t_min, t_max]` of the database.
+    pub fn time_span(&self) -> (f64, f64) {
+        (self.t_min, self.t_max)
+    }
+
+    /// Entry position range (half-open) of bin `j`.
+    pub fn bin_range(&self, j: usize) -> (u32, u32) {
+        (self.bin_start_pos[j], self.bin_start_pos[j + 1])
+    }
+
+    /// Bin index containing time `t`, clamped to `[0, m-1]`.
+    #[inline]
+    pub fn bin_of(&self, t: f64) -> usize {
+        if t <= self.t_min {
+            return 0;
+        }
+        (((t - self.t_min) / self.bin_width) as usize).min(self.bins() - 1)
+    }
+
+    /// The candidate entry range `E_k` (half-open positions) for a query
+    /// segment: a superset of all entries that temporally overlap it,
+    /// `None` when provably empty.
+    ///
+    /// Also returns the contiguous bin range `[j_lo, j_hi]` used, which the
+    /// spatiotemporal index needs for its subbin lookup.
+    pub fn candidate_bins(&self, q: &Segment) -> Option<(usize, usize)> {
+        if q.t_end < self.t_min || q.t_start > self.t_max {
+            return None;
+        }
+        // Last bin whose start-time interval begins no later than q.t_end.
+        let j_hi = self.bin_of(q.t_end);
+        // First bin that reaches q.t_start (reach is monotone).
+        let j_lo = self.reach.partition_point(|&r| r < q.t_start);
+        if j_lo >= self.bins() || j_lo > j_hi {
+            return None;
+        }
+        Some((j_lo, j_hi))
+    }
+
+    /// Check structural invariants against the store the index was built
+    /// from; returns a description of the first violation. Used by tests
+    /// and recommended after deserialising an index.
+    pub fn validate(&self, store: &SegmentStore) -> Result<(), String> {
+        if store.len() != self.entries {
+            return Err(format!(
+                "store has {} entries, index was built over {}",
+                store.len(),
+                self.entries
+            ));
+        }
+        if self.bin_start_pos.len() != self.bins() + 1 {
+            return Err("bin_start_pos length mismatch".into());
+        }
+        if self.bin_start_pos[0] != 0 || *self.bin_start_pos.last().unwrap() as usize != self.entries
+        {
+            return Err("bin_start_pos does not span the store".into());
+        }
+        if self.bin_start_pos.windows(2).any(|w| w[0] > w[1]) {
+            return Err("bin_start_pos not monotone".into());
+        }
+        if self.reach.windows(2).any(|w| w[0] > w[1]) {
+            return Err("reach not monotone".into());
+        }
+        for j in 0..self.bins() {
+            let (lo, hi) = self.bin_range(j);
+            for pos in lo..hi {
+                let s = store.get(pos as usize);
+                if s.t_end > self.reach[j] {
+                    return Err(format!("entry {pos} exceeds reach of bin {j}"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The candidate entry position range `E_k` (half-open) for a query.
+    pub fn candidate_range(&self, q: &Segment) -> Option<(u32, u32)> {
+        let (j_lo, j_hi) = self.candidate_bins(q)?;
+        let lo = self.bin_start_pos[j_lo];
+        let hi = self.bin_start_pos[j_hi + 1];
+        if lo < hi {
+            Some((lo, hi))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdts_geom::{Point3, SegId, TrajId};
+
+    fn seg(t0: f64, t1: f64) -> Segment {
+        Segment::new(Point3::ZERO, Point3::ZERO, t0, t1, SegId(0), TrajId(0))
+    }
+
+    fn store(times: &[(f64, f64)]) -> SegmentStore {
+        times.iter().map(|&(a, b)| seg(a, b)).collect()
+    }
+
+    #[test]
+    fn build_and_bin_ranges() {
+        // 10 unit segments starting at t = 0..9, 5 bins of width 2.
+        let s = store(&(0..10).map(|i| (i as f64, i as f64 + 1.0)).collect::<Vec<_>>());
+        let idx = TemporalIndex::build(&s, TemporalIndexConfig { bins: 5 });
+        assert_eq!(idx.bins(), 5);
+        assert_eq!(idx.entries(), 10);
+        assert_eq!(idx.time_span(), (0.0, 10.0));
+        assert_eq!(idx.bin_range(0), (0, 2));
+        assert_eq!(idx.bin_range(4), (8, 10));
+    }
+
+    #[test]
+    fn candidate_range_is_superset_of_overlaps() {
+        let s = store(&(0..100).map(|i| (i as f64 * 0.5, i as f64 * 0.5 + 1.0)).collect::<Vec<_>>());
+        let idx = TemporalIndex::build(&s, TemporalIndexConfig { bins: 16 });
+        for qi in 0..40 {
+            let q = seg(qi as f64, qi as f64 + 2.0);
+            let (lo, hi) = idx.candidate_range(&q).expect("queries overlap the span");
+            for (pos, e) in s.iter().enumerate() {
+                let overlaps = e.t_start <= q.t_end && e.t_end >= q.t_start;
+                if overlaps {
+                    assert!(
+                        (lo as usize..hi as usize).contains(&pos),
+                        "entry {pos} ({},{}) missed for query [{},{}] range [{lo},{hi})",
+                        e.t_start,
+                        e.t_end,
+                        q.t_start,
+                        q.t_end
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_queries_yield_none() {
+        let s = store(&[(0.0, 1.0), (1.0, 2.0)]);
+        let idx = TemporalIndex::build(&s, TemporalIndexConfig { bins: 4 });
+        assert_eq!(idx.candidate_range(&seg(5.0, 6.0)), None);
+        assert_eq!(idx.candidate_range(&seg(-3.0, -2.0)), None);
+        // Touching is not disjoint.
+        assert!(idx.candidate_range(&seg(2.0, 3.0)).is_some());
+    }
+
+    #[test]
+    fn long_entries_extend_bin_reach() {
+        // One early entry spans the whole time axis; it must appear in the
+        // candidate range of a late query.
+        let s = store(&[(0.0, 100.0), (1.0, 2.0), (50.0, 51.0), (98.0, 99.0)]);
+        let idx = TemporalIndex::build(&s, TemporalIndexConfig { bins: 10 });
+        let (lo, hi) = idx.candidate_range(&seg(97.0, 98.5)).unwrap();
+        assert_eq!(lo, 0, "long first entry must be included");
+        assert_eq!(hi, 4);
+    }
+
+    #[test]
+    fn single_bin_and_degenerate_span() {
+        let s = store(&[(1.0, 1.0), (1.0, 1.0)]);
+        let idx = TemporalIndex::build(&s, TemporalIndexConfig { bins: 3 });
+        assert_eq!(idx.candidate_range(&seg(1.0, 1.0)), Some((0, 2)));
+        assert_eq!(idx.candidate_range(&seg(2.0, 3.0)), None);
+    }
+
+    #[test]
+    fn more_bins_tighter_ranges() {
+        let times: Vec<(f64, f64)> = (0..1000).map(|i| (i as f64 * 0.1, i as f64 * 0.1 + 1.0)).collect();
+        let s = store(&times);
+        let coarse = TemporalIndex::build(&s, TemporalIndexConfig { bins: 4 });
+        let fine = TemporalIndex::build(&s, TemporalIndexConfig { bins: 256 });
+        let q = seg(50.0, 51.0);
+        let (cl, ch) = coarse.candidate_range(&q).unwrap();
+        let (fl, fh) = fine.candidate_range(&q).unwrap();
+        assert!((fh - fl) < (ch - cl), "fine {fl}..{fh} vs coarse {cl}..{ch}");
+    }
+
+    #[test]
+    fn validate_accepts_own_store_and_rejects_others() {
+        let s = store(&(0..50).map(|i| (i as f64 * 0.3, i as f64 * 0.3 + 1.0)).collect::<Vec<_>>());
+        let idx = TemporalIndex::build(&s, TemporalIndexConfig { bins: 7 });
+        assert!(idx.validate(&s).is_ok());
+        let other = store(&[(0.0, 1.0)]);
+        assert!(idx.validate(&other).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_store_rejected() {
+        let s = store(&[(5.0, 6.0), (0.0, 1.0)]);
+        TemporalIndex::build(&s, TemporalIndexConfig { bins: 2 });
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_store_rejected() {
+        TemporalIndex::build(&SegmentStore::new(), TemporalIndexConfig { bins: 2 });
+    }
+}

@@ -1,0 +1,124 @@
+//! Device-side helpers shared by the GPU search kernels.
+//!
+//! These wrap the `compare()` refinement of Algorithms 1–3 with the cost
+//! accounting the simulator needs: reading a segment charges global memory,
+//! the quadratic solve charges a fixed instruction count, and a match
+//! charges the atomic result-buffer append.
+
+use tdts_geom::{within_distance, MatchRecord, Segment};
+use tdts_gpu_sim::{DeviceBuffer, Lane, ResultBuffer};
+
+/// Instruction cost of one continuous distance comparison (quadratic
+/// coefficient computation + root solve + interval clamp).
+pub const COMPARE_INSTR: u64 = 48;
+
+/// Instruction cost of reading a schedule entry / index arithmetic.
+pub const SCHEDULE_INSTR: u64 = 4;
+
+/// Outcome of [`compare_and_push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Within distance; result stored.
+    Stored,
+    /// Within distance but the result buffer was full.
+    Overflow,
+    /// Not within distance.
+    NoMatch,
+}
+
+/// Read the query segment assigned to this thread, charging the access.
+#[inline]
+pub fn load_query(lane: &mut Lane, queries: &DeviceBuffer<Segment>, query_pos: u32) -> Segment {
+    queries.read(lane, query_pos as usize)
+}
+
+/// Compare entry `entry_pos` against query `q` and append a result record on
+/// a hit — one iteration of the refinement loop of Algorithms 1–3.
+#[inline]
+pub fn compare_and_push(
+    lane: &mut Lane,
+    entries: &DeviceBuffer<Segment>,
+    entry_pos: u32,
+    q: &Segment,
+    query_pos: u32,
+    d: f64,
+    results: &ResultBuffer<MatchRecord>,
+) -> PushOutcome {
+    let entry = entries.read(lane, entry_pos as usize);
+    lane.instr(COMPARE_INSTR);
+    match within_distance(q, &entry, d) {
+        Some(interval) => {
+            if results.push(lane, MatchRecord::new(query_pos, entry_pos, interval)) {
+                PushOutcome::Stored
+            } else {
+                PushOutcome::Overflow
+            }
+        }
+        None => PushOutcome::NoMatch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tdts_geom::{Point3, SegId, TrajId};
+    use tdts_gpu_sim::{Device, DeviceConfig};
+
+    fn seg(x: f64) -> Segment {
+        Segment::new(
+            Point3::new(x, 0.0, 0.0),
+            Point3::new(x + 1.0, 0.0, 0.0),
+            0.0,
+            1.0,
+            SegId(0),
+            TrajId(0),
+        )
+    }
+
+    fn device() -> Arc<Device> {
+        Device::new(DeviceConfig::test_tiny()).unwrap()
+    }
+
+    #[test]
+    fn outcomes() {
+        let dev = device();
+        let entries = dev.alloc_from_host(vec![seg(0.0), seg(100.0)]).unwrap();
+        let results = dev.alloc_result::<MatchRecord>(1).unwrap();
+        let mut lane = Lane::new(0);
+        let q = seg(0.5);
+        assert_eq!(
+            compare_and_push(&mut lane, &entries, 0, &q, 7, 2.0, &results),
+            PushOutcome::Stored
+        );
+        assert_eq!(
+            compare_and_push(&mut lane, &entries, 1, &q, 7, 2.0, &results),
+            PushOutcome::NoMatch
+        );
+        // Buffer now full; a second hit overflows.
+        assert_eq!(
+            compare_and_push(&mut lane, &entries, 0, &q, 7, 2.0, &results),
+            PushOutcome::Overflow
+        );
+        assert!(results.overflowed());
+        // Costs were charged.
+        assert!(lane.counters().instructions >= 3 * COMPARE_INSTR);
+        assert!(lane.counters().gmem_read_bytes >= 3 * std::mem::size_of::<Segment>() as u64);
+        assert_eq!(lane.counters().atomics, 2);
+    }
+
+    #[test]
+    fn stored_record_is_correct() {
+        let dev = device();
+        let entries = dev.alloc_from_host(vec![seg(0.0)]).unwrap();
+        let mut results = dev.alloc_result::<MatchRecord>(8).unwrap();
+        let mut lane = Lane::new(0);
+        let q = seg(0.0);
+        compare_and_push(&mut lane, &entries, 0, &q, 3, 0.5, &results);
+        let got = results.drain_to_host();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].query, 3);
+        assert_eq!(got[0].entry, 0);
+        assert_eq!(got[0].interval, tdts_geom::TimeInterval::new(0.0, 1.0));
+    }
+}

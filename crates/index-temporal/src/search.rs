@@ -1,0 +1,480 @@
+//! The `GPUTemporal` search driver (host side) and kernel (Algorithm 2).
+
+use crate::index::{TemporalIndex, TemporalIndexConfig};
+use crate::kernel::{compare_and_push, load_query, PushOutcome, SCHEDULE_INSTR};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use tdts_geom::{dedup_matches, MatchRecord, Segment, SegmentStore};
+use tdts_gpu_sim::{Device, DeviceBuffer, NextBatch, RedoSchedule, SearchError, SearchReport};
+
+/// A query set sorted by non-decreasing `t_start`, with the permutation
+/// back to original positions (results are reported against the caller's
+/// ordering). Shared by the temporal and spatiotemporal drivers.
+#[derive(Debug, Clone)]
+pub struct SortedQueries {
+    /// Query segments in sorted order.
+    pub segments: Vec<Segment>,
+    /// `original_pos[sorted_idx]` = position in the caller's query store.
+    pub original_pos: Vec<u32>,
+}
+
+impl SortedQueries {
+    /// Sort a query store by `t_start` (stable).
+    pub fn from_store(queries: &SegmentStore) -> SortedQueries {
+        let mut order: Vec<u32> = (0..queries.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            queries
+                .get(a as usize)
+                .t_start
+                .partial_cmp(&queries.get(b as usize).t_start)
+                .expect("NaN t_start in query set")
+        });
+        let segments = order.iter().map(|&i| *queries.get(i as usize)).collect();
+        SortedQueries { segments, original_pos: order }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True if there are no queries.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Rewrite `query` fields of `matches` from sorted positions back to the
+    /// caller's original positions.
+    pub fn unpermute(&self, matches: &mut [MatchRecord]) {
+        for m in matches {
+            m.query = self.original_pos[m.query as usize];
+        }
+    }
+}
+
+/// The host-computed schedule `S`: one candidate entry range per (sorted)
+/// query segment (§IV-B2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemporalSchedule {
+    /// Half-open entry position ranges, one per query ( `(0, 0)` = none).
+    pub ranges: Vec<[u32; 2]>,
+    /// Sum of range lengths (scheduled candidate comparisons).
+    pub total_candidates: u64,
+}
+
+impl TemporalSchedule {
+    /// Compute the schedule for sorted queries. The paper does this on the
+    /// host (a negligible portion of response time) because the incremental
+    /// bin search does not parallelise across thread blocks.
+    pub fn build(index: &TemporalIndex, queries: &SortedQueries) -> TemporalSchedule {
+        let mut ranges = Vec::with_capacity(queries.len());
+        let mut total = 0u64;
+        for q in &queries.segments {
+            let r = index.candidate_range(q).unwrap_or((0, 0));
+            total += (r.1 - r.0) as u64;
+            ranges.push([r.0, r.1]);
+        }
+        TemporalSchedule { ranges, total_candidates: total }
+    }
+}
+
+/// `GPUTemporal`: the complete search implementation (index + device state).
+///
+/// Constructing it sorts nothing and transfers the database *offline* (the
+/// paper stores `D` and the index on the GPU before the timed search).
+pub struct GpuTemporalSearch {
+    device: Arc<Device>,
+    index: TemporalIndex,
+    dev_entries: DeviceBuffer<Segment>,
+}
+
+impl GpuTemporalSearch {
+    /// Build the index over `store` (must be sorted by `t_start`) and place
+    /// the database in device memory.
+    pub fn new(
+        device: Arc<Device>,
+        store: &SegmentStore,
+        config: TemporalIndexConfig,
+    ) -> Result<GpuTemporalSearch, SearchError> {
+        let index = TemporalIndex::build(store, config);
+        let dev_entries = device.alloc_from_host(store.segments().to_vec())?;
+        Ok(GpuTemporalSearch { device, index, dev_entries })
+    }
+
+    /// The temporal index.
+    pub fn index(&self) -> &TemporalIndex {
+        &self.index
+    }
+
+    /// The device this search runs on.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// Run the distance threshold search for `queries` at distance `d`,
+    /// with a result buffer of `result_capacity` records.
+    ///
+    /// Returns the canonical (sorted, deduplicated) result set and the
+    /// search report. The device ledger is reset at entry, so the report's
+    /// response time covers exactly this search.
+    pub fn search(
+        &self,
+        queries: &SegmentStore,
+        d: f64,
+        result_capacity: usize,
+    ) -> Result<(Vec<MatchRecord>, SearchReport), SearchError> {
+        let wall_start = Instant::now();
+        self.device.reset_ledger();
+        let mut report = SearchReport::default();
+
+        // Host: sort Q and compute the schedule S.
+        let host_start = Instant::now();
+        let sorted = SortedQueries::from_store(queries);
+        let schedule = TemporalSchedule::build(&self.index, &sorted);
+        self.device.charge_host(host_start.elapsed().as_secs_f64());
+
+        if sorted.is_empty() {
+            report.response = self.device.ledger();
+            report.wall_seconds = wall_start.elapsed().as_secs_f64();
+            return Ok((Vec::new(), report));
+        }
+
+        // Online transfers: Q and S.
+        let dev_queries = self.device.upload(sorted.segments.clone())?;
+        let dev_schedule = self.device.upload(schedule.ranges.clone())?;
+        let mut results = self.device.alloc_result::<MatchRecord>(result_capacity)?;
+        let mut redo = self.device.alloc_result::<u32>(sorted.len())?;
+
+        let mut matches: Vec<MatchRecord> = Vec::new();
+        let mut batch: Option<DeviceBuffer<u32>> = None; // None = all queries
+        let mut batch_len = sorted.len();
+        let mut redo_schedule = RedoSchedule::new();
+        let comparisons = AtomicU64::new(0);
+
+        loop {
+            let launch = self.device.launch(batch_len, |lane| {
+                let qid = match &batch {
+                    None => lane.global_id as u32,
+                    Some(ids) => ids.read(lane, lane.global_id),
+                };
+                let range = dev_schedule.read(lane, qid as usize);
+                lane.instr(SCHEDULE_INSTR);
+                let q = load_query(lane, &dev_queries, qid);
+                let mut compared = 0u64;
+                let mut overflow = false;
+                for pos in range[0]..range[1] {
+                    compared += 1;
+                    if compare_and_push(lane, &self.dev_entries, pos, &q, qid, d, &results)
+                        == PushOutcome::Overflow
+                    {
+                        // Result buffer exhausted: stop and ask the host to
+                        // re-run this query (the paper's incremental
+                        // processing of Q, §V-E).
+                        overflow = true;
+                        break;
+                    }
+                }
+                comparisons.fetch_add(compared, Ordering::Relaxed);
+                if overflow {
+                    redo.push(lane, qid);
+                }
+            });
+            report.divergent_warps += launch.divergent_warps as u64;
+
+            let produced = results.len();
+            self.device.charge_download(produced * std::mem::size_of::<MatchRecord>());
+            matches.extend(results.drain_to_host());
+            let redo_ids = redo.drain_to_host();
+            self.device.charge_download(redo_ids.len() * std::mem::size_of::<u32>());
+
+            match redo_schedule.next(redo_ids, batch_len) {
+                NextBatch::Done => break,
+                NextBatch::Stuck => {
+                    return Err(SearchError::ResultCapacityTooSmall {
+                        capacity: result_capacity,
+                    })
+                }
+                NextBatch::Ids(ids) => {
+                    report.redo_rounds += 1;
+                    batch_len = ids.len();
+                    batch = Some(self.device.upload(ids)?);
+                }
+            }
+        }
+
+        // Host postprocessing: map back to caller ordering and dedup
+        // (duplicates arise only from redone queries).
+        let host_start = Instant::now();
+        report.raw_matches = matches.len() as u64;
+        sorted.unpermute(&mut matches);
+        dedup_matches(&mut matches);
+        self.device.charge_host(host_start.elapsed().as_secs_f64());
+
+        report.comparisons = comparisons.into_inner();
+        report.matches = matches.len() as u64;
+        report.response = self.device.ledger();
+        report.wall_seconds = wall_start.elapsed().as_secs_f64();
+        Ok((matches, report))
+    }
+}
+
+impl GpuTemporalSearch {
+    /// Two-pass variant of [`GpuTemporalSearch::search`]: pass 1 counts each
+    /// thread's matches, the host prefix-sums the counts into exclusive
+    /// offsets, and pass 2 recomputes the matches and *scatters* them to
+    /// those offsets — no result-buffer atomics and an exactly-sized output
+    /// allocation, at the price of running every comparison twice. The
+    /// classic GPU alternative to the paper's atomic-append result buffer;
+    /// see the `ablation-write` harness target for the trade-off.
+    pub fn search_two_pass(
+        &self,
+        queries: &SegmentStore,
+        d: f64,
+    ) -> Result<(Vec<MatchRecord>, SearchReport), SearchError> {
+        let wall_start = Instant::now();
+        self.device.reset_ledger();
+        let mut report = SearchReport::default();
+
+        let host_start = Instant::now();
+        let sorted = SortedQueries::from_store(queries);
+        let schedule = TemporalSchedule::build(&self.index, &sorted);
+        self.device.charge_host(host_start.elapsed().as_secs_f64());
+
+        if sorted.is_empty() {
+            report.response = self.device.ledger();
+            report.wall_seconds = wall_start.elapsed().as_secs_f64();
+            return Ok((Vec::new(), report));
+        }
+
+        let n = sorted.len();
+        let dev_queries = self.device.upload(sorted.segments.clone())?;
+        let dev_schedule = self.device.upload(schedule.ranges.clone())?;
+        let mut counts = self.device.alloc_scatter::<u32>(n)?;
+        let comparisons = AtomicU64::new(0);
+
+        // Pass 1: count.
+        let launch1 = self.device.launch(n, |lane| {
+            let qid = lane.global_id;
+            let range = dev_schedule.read(lane, qid);
+            lane.instr(SCHEDULE_INSTR);
+            let q = load_query(lane, &dev_queries, qid as u32);
+            let mut count = 0u32;
+            let mut compared = 0u64;
+            for pos in range[0]..range[1] {
+                let entry = self.dev_entries.read(lane, pos as usize);
+                lane.instr(crate::kernel::COMPARE_INSTR);
+                compared += 1;
+                count += tdts_geom::within_distance(&q, &entry, d).is_some() as u32;
+            }
+            comparisons.fetch_add(compared, Ordering::Relaxed);
+            counts.write(lane, qid, count);
+        });
+        report.divergent_warps += launch1.divergent_warps as u64;
+
+        // Host: exclusive prefix sum of the counts.
+        let host_counts = counts.drain_to_host(n);
+        self.device.charge_download(n * std::mem::size_of::<u32>());
+        let host_start = Instant::now();
+        let mut offsets = Vec::with_capacity(n);
+        let mut total = 0u32;
+        for &c in &host_counts {
+            offsets.push(total);
+            total += c;
+        }
+        self.device.charge_host(host_start.elapsed().as_secs_f64());
+
+        // Pass 2: scatter into an exactly-sized buffer.
+        let dev_offsets = self.device.upload(offsets)?;
+        let mut results = self.device.alloc_scatter::<MatchRecord>(total as usize)?;
+        let launch2 = self.device.launch(n, |lane| {
+            let qid = lane.global_id;
+            let range = dev_schedule.read(lane, qid);
+            lane.instr(SCHEDULE_INSTR);
+            let q = load_query(lane, &dev_queries, qid as u32);
+            let base = dev_offsets.read(lane, qid);
+            let mut k = 0u32;
+            let mut compared = 0u64;
+            for pos in range[0]..range[1] {
+                let entry = self.dev_entries.read(lane, pos as usize);
+                lane.instr(crate::kernel::COMPARE_INSTR);
+                compared += 1;
+                if let Some(interval) = tdts_geom::within_distance(&q, &entry, d) {
+                    results.write(
+                        lane,
+                        (base + k) as usize,
+                        MatchRecord::new(qid as u32, pos, interval),
+                    );
+                    k += 1;
+                }
+            }
+            comparisons.fetch_add(compared, Ordering::Relaxed);
+        });
+        report.divergent_warps += launch2.divergent_warps as u64;
+
+        let mut matches = results.drain_to_host(total as usize);
+        self.device.charge_download(total as usize * std::mem::size_of::<MatchRecord>());
+
+        let host_start = Instant::now();
+        report.raw_matches = matches.len() as u64;
+        sorted.unpermute(&mut matches);
+        dedup_matches(&mut matches); // canonical order (no duplicates exist)
+        self.device.charge_host(host_start.elapsed().as_secs_f64());
+
+        report.comparisons = comparisons.into_inner();
+        report.matches = matches.len() as u64;
+        report.response = self.device.ledger();
+        report.wall_seconds = wall_start.elapsed().as_secs_f64();
+        Ok((matches, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tdts_geom::{within_distance, Point3, SegId, TrajId};
+    use tdts_gpu_sim::DeviceConfig;
+
+    fn seg(x: f64, t0: f64, id: u32) -> Segment {
+        Segment::new(
+            Point3::new(x, 0.0, 0.0),
+            Point3::new(x + 1.0, 0.0, 0.0),
+            t0,
+            t0 + 1.0,
+            SegId(id),
+            TrajId(id),
+        )
+    }
+
+    fn sorted_store(n: usize) -> SegmentStore {
+        (0..n).map(|i| seg(i as f64 * 3.0, i as f64 * 0.5, i as u32)).collect()
+    }
+
+    fn brute(store: &SegmentStore, queries: &SegmentStore, d: f64) -> Vec<MatchRecord> {
+        let mut out = Vec::new();
+        for (qi, q) in queries.iter().enumerate() {
+            for (ei, e) in store.iter().enumerate() {
+                if let Some(iv) = within_distance(q, e, d) {
+                    out.push(MatchRecord::new(qi as u32, ei as u32, iv));
+                }
+            }
+        }
+        dedup_matches(&mut out);
+        out
+    }
+
+    fn device() -> Arc<Device> {
+        Device::new(DeviceConfig::test_tiny()).unwrap()
+    }
+
+    #[test]
+    fn sorted_queries_roundtrip() {
+        let mut store = SegmentStore::new();
+        store.push(seg(0.0, 5.0, 0));
+        store.push(seg(0.0, 1.0, 1));
+        store.push(seg(0.0, 3.0, 2));
+        let sq = SortedQueries::from_store(&store);
+        assert_eq!(sq.original_pos, vec![1, 2, 0]);
+        let mut ms = vec![MatchRecord::new(0, 9, tdts_geom::TimeInterval::new(0.0, 1.0))];
+        sq.unpermute(&mut ms);
+        assert_eq!(ms[0].query, 1);
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let store = sorted_store(60);
+        let queries: SegmentStore =
+            (0..20).map(|i| seg(i as f64 * 7.0 + 0.3, i as f64 * 1.3, 100 + i as u32)).collect();
+        let search = GpuTemporalSearch::new(
+            device(),
+            &store,
+            TemporalIndexConfig { bins: 8 },
+        )
+        .unwrap();
+        for d in [0.5, 2.0, 10.0] {
+            let (got, report) = search.search(&queries, d, 10_000).unwrap();
+            let expect = brute(&store, &queries, d);
+            assert_eq!(got, expect, "d = {d}");
+            assert_eq!(report.matches as usize, got.len());
+            assert!(report.comparisons >= report.matches);
+            assert_eq!(report.redo_rounds, 0);
+            assert!(report.response.total() > 0.0);
+        }
+    }
+
+    #[test]
+    fn tiny_result_buffer_triggers_redo_but_same_results() {
+        let store = sorted_store(40);
+        let queries = sorted_store(40); // queries = entries → many matches
+        let search =
+            GpuTemporalSearch::new(device(), &store, TemporalIndexConfig { bins: 4 }).unwrap();
+        let (full, _) = search.search(&queries, 5.0, 20_000).unwrap();
+        assert!(!full.is_empty());
+        // Small-but-sufficient-for-one-query buffer: forces redo rounds.
+        let (constrained, report) = search.search(&queries, 5.0, full.len().max(4) / 4).unwrap();
+        assert_eq!(constrained, full);
+        assert!(report.redo_rounds > 0, "expected redo rounds");
+        assert!(report.response.kernel_invocations > 1);
+    }
+
+    #[test]
+    fn impossible_result_capacity_errors() {
+        let store = sorted_store(10);
+        let queries = sorted_store(10);
+        let search =
+            GpuTemporalSearch::new(device(), &store, TemporalIndexConfig { bins: 2 }).unwrap();
+        // Capacity 0: nothing can ever be stored.
+        let err = search.search(&queries, 5.0, 0).unwrap_err();
+        assert!(matches!(err, SearchError::ResultCapacityTooSmall { .. }));
+    }
+
+    #[test]
+    fn empty_query_set() {
+        let store = sorted_store(5);
+        let search =
+            GpuTemporalSearch::new(device(), &store, TemporalIndexConfig { bins: 2 }).unwrap();
+        let (m, report) = search.search(&SegmentStore::new(), 1.0, 100).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(report.matches, 0);
+    }
+
+    #[test]
+    fn two_pass_equals_atomic_append() {
+        let store = sorted_store(60);
+        let queries: SegmentStore =
+            (0..25).map(|i| seg(i as f64 * 5.0 + 0.2, i as f64 * 1.1, 200 + i as u32)).collect();
+        let search =
+            GpuTemporalSearch::new(device(), &store, TemporalIndexConfig { bins: 8 }).unwrap();
+        for d in [0.5, 3.0, 12.0] {
+            let (atomic, ra) = search.search(&queries, d, 20_000).unwrap();
+            let (two_pass, rt) = search.search_two_pass(&queries, d).unwrap();
+            assert_eq!(atomic, two_pass, "d = {d}");
+            // Two passes compare everything twice and use no atomics.
+            assert_eq!(rt.comparisons, 2 * ra.comparisons, "d = {d}");
+            assert_eq!(rt.response.kernel_invocations, 2);
+            assert_eq!(rt.raw_matches, rt.matches, "scatter produces no duplicates");
+        }
+    }
+
+    #[test]
+    fn two_pass_empty_queries() {
+        let store = sorted_store(5);
+        let search =
+            GpuTemporalSearch::new(device(), &store, TemporalIndexConfig { bins: 2 }).unwrap();
+        let (m, _) = search.search_two_pass(&SegmentStore::new(), 1.0).unwrap();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn response_time_independent_of_d() {
+        // The defining property of GPUTemporal: candidates are selected
+        // purely temporally, so simulated comparisons don't change with d.
+        let store = sorted_store(100);
+        let queries = sorted_store(30);
+        let search =
+            GpuTemporalSearch::new(device(), &store, TemporalIndexConfig { bins: 16 }).unwrap();
+        let (_, small_d) = search.search(&queries, 0.01, 20_000).unwrap();
+        let (_, large_d) = search.search(&queries, 50.0, 20_000).unwrap();
+        assert_eq!(small_d.comparisons, large_d.comparisons);
+    }
+}

@@ -1,0 +1,91 @@
+//! The paper's future-work direction: a hybrid search that uses the CPU and
+//! the (simulated) GPU concurrently, splitting the query set so both finish
+//! together.
+//!
+//! ```sh
+//! cargo run --release --example hybrid_search
+//! ```
+
+use std::sync::Arc;
+use tdts::prelude::*;
+
+fn main() {
+    let store = RandomDenseConfig {
+        particles: 2_048,
+        timesteps: 49,
+        ..Default::default()
+    }
+    .generate();
+    let queries = RandomWalkConfig {
+        trajectories: 40,
+        timesteps: 49,
+        box_side: RandomDenseConfig {
+            particles: 2_048,
+            ..Default::default()
+        }
+        .box_side(),
+        step_sigma: 0.05,
+        start_time_min: 0.0,
+        start_time_max: 0.0,
+        dt: 1.0,
+        seed: 7,
+    }
+    .generate();
+    println!("|D| = {}, |Q| = {}", store.len(), queries.len());
+
+    let dataset = PreparedDataset::new(store);
+    let device = Device::new(DeviceConfig::tesla_c2075()).expect("device");
+    let d = 2.0;
+    let cap = 5_000_000;
+
+    // Pure CPU, pure GPU, then the hybrid with several splits.
+    let cpu = SearchEngine::build(
+        &dataset,
+        Method::CpuRTree(RTreeConfig::default()),
+        Arc::clone(&device),
+    )
+    .expect("cpu engine");
+    let (cpu_matches, cpu_report) = cpu.search(&queries, d, cap).expect("cpu");
+    println!(
+        "\npure CPU-RTree:          {:>9.4}s  ({} matches)",
+        cpu_report.response_seconds(),
+        cpu_matches.len()
+    );
+
+    let gpu_method = Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {
+        bins: 49,
+        subbins: 4,
+        sort_by_selector: true,
+    });
+    let gpu = SearchEngine::build(&dataset, gpu_method, Arc::clone(&device)).expect("gpu engine");
+    let (gpu_matches, gpu_report) = gpu.search(&queries, d, cap).expect("gpu");
+    assert_eq!(cpu_matches, gpu_matches);
+    println!(
+        "pure GPUSpatioTemporal:  {:>9.4}s",
+        gpu_report.response_seconds()
+    );
+
+    for fraction in [Some(0.25), Some(0.5), Some(0.75), None] {
+        let hybrid = HybridSearch::build(
+            &dataset,
+            HybridConfig {
+                gpu_fraction: fraction,
+                gpu_method,
+                cpu_method: Method::CpuRTree(RTreeConfig::default()),
+                probe_queries: 64,
+            },
+            Arc::clone(&device),
+        )
+        .expect("hybrid engine");
+        let (matches, report) = hybrid.search(&queries, d, cap).expect("hybrid");
+        assert_eq!(matches, cpu_matches, "hybrid must not change results");
+        let label = match fraction {
+            Some(f) => format!("fixed {f:.2}"),
+            None => "auto-calibrated".to_string(),
+        };
+        println!(
+            "hybrid ({label:>15}): {:>9.4}s  (gpu fraction {:.2})",
+            report.response_seconds, report.gpu_fraction
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! k-nearest-neighbour trajectory search built on the distance threshold
+//! engines: for each of a few stars, find the `k` trajectories that make
+//! the closest approach to it (flyby candidates).
+//!
+//! ```sh
+//! cargo run --release --example knn_flybys
+//! ```
+
+use std::sync::Arc;
+use tdts::prelude::*;
+
+fn main() {
+    let cfg = RandomDenseConfig {
+        particles: 1_024,
+        timesteps: 33,
+        ..Default::default()
+    };
+    let stars = cfg.generate();
+    println!("database: {} segments from {} stars", stars.len(), stars.trajectory_count());
+
+    // Query with three stars' own first segments' trajectories.
+    let queries: SegmentStore = stars.iter().filter(|s| s.traj_id.0 < 3).copied().collect();
+
+    let dataset = PreparedDataset::new(stars);
+    let device = Device::new(DeviceConfig::tesla_c2075()).expect("device");
+    let engine = SearchEngine::build(
+        &dataset,
+        Method::GpuTemporal(TemporalIndexConfig { bins: 33 }),
+        Arc::clone(&device),
+    )
+    .expect("engine");
+
+    let k = 4;
+    let neighbours = knn_search(
+        &engine,
+        &queries,
+        KnnConfig { k, initial_radius: 0.5, max_doublings: 30 },
+        5_000_000,
+    )
+    .expect("knn");
+
+    // Aggregate per query trajectory: nearest distinct other stars.
+    for star in 0..3u32 {
+        let mut best: Vec<(u32, f64, f64)> = Vec::new(); // (other star, dist, t)
+        for (qi, q) in queries.iter().enumerate() {
+            if q.traj_id.0 != star {
+                continue;
+            }
+            for n in &neighbours[qi] {
+                let other = dataset.store().get(n.entry as usize).traj_id.0;
+                if other == star {
+                    continue; // its own segments
+                }
+                match best.iter_mut().find(|(s, ..)| *s == other) {
+                    Some(e) if e.1 > n.distance => *e = (other, n.distance, n.t_min),
+                    Some(_) => {}
+                    None => best.push((other, n.distance, n.t_min)),
+                }
+            }
+        }
+        best.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        best.truncate(k);
+        println!("\nstar {star}: closest flyby candidates");
+        for (other, dist, t) in best {
+            println!("  star {other:>5} at {dist:.3} pc (t = {t:.2})");
+        }
+    }
+}

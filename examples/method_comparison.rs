@@ -1,0 +1,80 @@
+//! Mini reproduction of the paper's headline comparison (Figure 7): the
+//! ratio of GPU to CPU response time across the three datasets, at a small
+//! scale suitable for a laptop.
+//!
+//! ```sh
+//! cargo run --release --example method_comparison
+//! ```
+
+use std::sync::Arc;
+use tdts::prelude::*;
+
+fn main() {
+    let device = Device::new(DeviceConfig::tesla_c2075()).expect("device");
+    let scale = 1.0 / 64.0;
+
+    for kind in [
+        ScenarioKind::S1Random,
+        ScenarioKind::S2Merger,
+        ScenarioKind::S3RandomDense,
+    ] {
+        let scenario = Scenario::new(kind, scale);
+        let store = scenario.dataset();
+        let queries = scenario.queries();
+        let params = scenario.params();
+        println!(
+            "\n=== {} (scale {:.4}): |D| = {}, |Q| = {} ===",
+            scenario.name(),
+            scale,
+            store.len(),
+            queries.len()
+        );
+
+        let dataset = PreparedDataset::new(store);
+        let rtree = SearchEngine::build(
+            &dataset,
+            Method::CpuRTree(RTreeConfig::default()),
+            Arc::clone(&device),
+        )
+        .expect("rtree");
+        let temporal = SearchEngine::build(
+            &dataset,
+            Method::GpuTemporal(TemporalIndexConfig { bins: params.temporal_bins }),
+            Arc::clone(&device),
+        )
+        .expect("temporal");
+        let spatiotemporal = SearchEngine::build(
+            &dataset,
+            Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {
+                bins: params.temporal_bins,
+                subbins: params.subbins,
+                sort_by_selector: true,
+            }),
+            Arc::clone(&device),
+        )
+        .expect("spatiotemporal");
+
+        println!(
+            "{:>8} {:>14} {:>14} {:>14} {:>10}",
+            "d", "CPU-RTree (s)", "GPUTemp (s)", "GPUSpTemp (s)", "ratio"
+        );
+        for &d in &scenario.query_distances() {
+            let cap = params.result_buffer_capacity;
+            let (m_cpu, r_cpu) = rtree.search(&queries, d, cap).expect("cpu search");
+            let (m_t, r_t) = temporal.search(&queries, d, cap).expect("temporal search");
+            let (m_st, r_st) = spatiotemporal.search(&queries, d, cap).expect("st search");
+            assert_eq!(m_cpu, m_t, "GPUTemporal result mismatch at d = {d}");
+            assert_eq!(m_cpu, m_st, "GPUSpatioTemporal result mismatch at d = {d}");
+            let best_gpu = r_t.response_seconds().min(r_st.response_seconds());
+            println!(
+                "{:>8.3} {:>14.4} {:>14.4} {:>14.4} {:>10.2}",
+                d,
+                r_cpu.response_seconds(),
+                r_t.response_seconds(),
+                r_st.response_seconds(),
+                best_gpu / r_cpu.response_seconds(),
+            );
+        }
+        println!("(ratio < 1 means the GPU outperforms the CPU baseline)");
+    }
+}

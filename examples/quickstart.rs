@@ -1,0 +1,75 @@
+//! Quickstart: index a small random-walk trajectory database and run one
+//! distance threshold search with each implementation.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+use tdts::prelude::*;
+
+fn main() {
+    // 1. Generate a small trajectory database and a query set.
+    let data_cfg = RandomWalkConfig {
+        trajectories: 200,
+        timesteps: 60,
+        ..Default::default()
+    };
+    let store = data_cfg.generate();
+    let queries = RandomWalkConfig {
+        trajectories: 10,
+        timesteps: 60,
+        seed: data_cfg.seed ^ 1,
+        ..data_cfg
+    }
+    .generate();
+    println!(
+        "database: {} segments in {} trajectories; query set: {} segments",
+        store.len(),
+        store.trajectory_count(),
+        queries.len()
+    );
+
+    // 2. Prepare the dataset (canonical t_start order) and a simulated GPU.
+    let dataset = PreparedDataset::new(store);
+    let device = Device::new(DeviceConfig::tesla_c2075()).expect("valid device config");
+
+    // 3. Search with every implementation and show they agree.
+    let d = 25.0;
+    let methods = [
+        Method::CpuRTree(RTreeConfig::default()),
+        Method::GpuSpatial(GpuSpatialConfig::default()),
+        Method::GpuTemporal(TemporalIndexConfig { bins: 500 }),
+        Method::GpuSpatioTemporal(SpatioTemporalIndexConfig { bins: 500, subbins: 4, sort_by_selector: true }),
+    ];
+    let mut first: Option<Vec<MatchRecord>> = None;
+    println!("\nd = {d}");
+    println!("{:<18} {:>10} {:>12} {:>14}", "method", "matches", "comparisons", "response (s)");
+    for method in methods {
+        let engine = SearchEngine::build(&dataset, method, Arc::clone(&device))
+            .expect("index construction");
+        let (matches, report) = engine.search(&queries, d, 1_000_000).expect("search");
+        println!(
+            "{:<18} {:>10} {:>12} {:>14.6}",
+            method.name(),
+            matches.len(),
+            report.comparisons,
+            report.response_seconds()
+        );
+        match &first {
+            None => first = Some(matches),
+            Some(f) => assert_eq!(&matches, f, "{} disagrees", method.name()),
+        }
+    }
+
+    // 4. Resolve a few records to application-level ids.
+    let matches = first.unwrap();
+    let resolved = resolve_matches(&matches, dataset.store(), &queries);
+    println!("\nfirst results (query traj, entry traj, interval):");
+    for r in resolved.iter().take(5) {
+        println!(
+            "  query {:>3}  entry {:>4}  within d during [{:.3}, {:.3}]",
+            r.query_traj.0, r.entry_traj.0, r.interval.start, r.interval.end
+        );
+    }
+}

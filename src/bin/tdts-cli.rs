@@ -1,0 +1,262 @@
+//! Command-line interface to the trajectory distance threshold search.
+//!
+//! ```sh
+//! tdts-cli generate --dataset random --scale 0.01 --out /tmp/d.csv
+//! tdts-cli search   --dataset random --scale 0.01 --method spatiotemporal --d 10
+//! tdts-cli knn      --dataset dense  --scale 0.001 --k 5
+//! tdts-cli info     --dataset merger --scale 0.01
+//! ```
+
+use tdts::prelude::*;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tdts-cli <command> [options]\n\
+         \n\
+         commands:\n\
+         \u{20}  generate   generate a dataset and write it as CSV\n\
+         \u{20}  search     run a distance threshold search\n\
+         \u{20}  knn        run a k-nearest-neighbour search\n\
+         \u{20}  info       print dataset statistics\n\
+         \n\
+         options:\n\
+         \u{20}  --dataset <random|dense|merger>   (default random)\n\
+         \u{20}  --scale <f>                       dataset scale (default 0.01)\n\
+         \u{20}  --method <rtree|spatial|temporal|spatiotemporal|hybrid>\n\
+         \u{20}                                    (default spatiotemporal)\n\
+         \u{20}  --d <f>                           query distance (default 10)\n\
+         \u{20}  --k <n>                           neighbours for knn (default 5)\n\
+         \u{20}  --queries <n>                     query trajectories (default 10)\n\
+         \u{20}  --bins <n>                        temporal bins (default 1000)\n\
+         \u{20}  --subbins <n>                     spatial subbins (default 4)\n\
+         \u{20}  --out <path>                      output file for generate\n\
+         \u{20}  --verify                          check results against brute force"
+    );
+    std::process::exit(2);
+}
+
+struct Opts {
+    command: String,
+    dataset: String,
+    scale: f64,
+    method: String,
+    d: f64,
+    k: usize,
+    queries: usize,
+    bins: usize,
+    subbins: usize,
+    out: Option<String>,
+    verify: bool,
+}
+
+fn parse() -> Opts {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| usage());
+    let mut o = Opts {
+        command,
+        dataset: "random".into(),
+        scale: 0.01,
+        method: "spatiotemporal".into(),
+        d: 10.0,
+        k: 5,
+        queries: 10,
+        bins: 1_000,
+        subbins: 4,
+        out: None,
+        verify: false,
+    };
+    while let Some(a) = args.next() {
+        let val = |args: &mut dyn Iterator<Item = String>| {
+            args.next().unwrap_or_else(|| usage())
+        };
+        match a.as_str() {
+            "--dataset" => o.dataset = val(&mut args),
+            "--scale" => o.scale = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--method" => o.method = val(&mut args),
+            "--d" => o.d = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--k" => o.k = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--queries" => o.queries = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--bins" => o.bins = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--subbins" => o.subbins = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--out" => o.out = Some(val(&mut args)),
+            "--verify" => o.verify = true,
+            _ => usage(),
+        }
+    }
+    o
+}
+
+fn main() {
+    let o = parse();
+
+    // Dataset + queries.
+    let (store, queries): (SegmentStore, SegmentStore) = match o.dataset.as_str() {
+        "random" => {
+            let cfg = RandomWalkConfig::default().scaled(o.scale);
+            let q = RandomWalkConfig {
+                trajectories: o.queries,
+                seed: cfg.seed ^ 0x51,
+                ..cfg.clone()
+            }
+            .generate();
+            (cfg.generate(), q)
+        }
+        "dense" => {
+            let cfg = RandomDenseConfig::default().scaled(o.scale);
+            let q = RandomWalkConfig {
+                trajectories: o.queries,
+                timesteps: cfg.timesteps,
+                box_side: cfg.box_side(),
+                step_sigma: cfg.step_sigma,
+                start_time_min: 0.0,
+                start_time_max: 0.0,
+                dt: cfg.dt,
+                seed: cfg.seed ^ 0x51,
+            }
+            .generate();
+            (cfg.generate(), q)
+        }
+        "merger" => {
+            let cfg = MergerConfig::default().scaled(o.scale);
+            let q = MergerConfig {
+                particles: o.queries.max(2),
+                seed: cfg.seed ^ 0x51,
+                ..cfg.clone()
+            }
+            .generate();
+            (cfg.generate(), q)
+        }
+        other => {
+            eprintln!("unknown dataset {other}");
+            usage()
+        }
+    };
+
+    match o.command.as_str() {
+        "info" => {
+            let stats = store.stats().expect("non-empty dataset");
+            println!("dataset:        {}", o.dataset);
+            println!("segments:       {}", store.len());
+            println!("trajectories:   {}", store.trajectory_count());
+            println!(
+                "spatial bounds: [{:.2}, {:.2}] x [{:.2}, {:.2}] x [{:.2}, {:.2}]",
+                stats.bounds.lo.x,
+                stats.bounds.hi.x,
+                stats.bounds.lo.y,
+                stats.bounds.hi.y,
+                stats.bounds.lo.z,
+                stats.bounds.hi.z
+            );
+            println!(
+                "time span:      [{:.2}, {:.2}]",
+                stats.time_span.start, stats.time_span.end
+            );
+            println!(
+                "max segment extent: [{:.3}, {:.3}, {:.3}]",
+                stats.max_segment_extent[0],
+                stats.max_segment_extent[1],
+                stats.max_segment_extent[2]
+            );
+        }
+        "generate" => {
+            // CSV: traj_id,seg_id,t_start,t_end,x0,y0,z0,x1,y1,z1
+            use std::io::Write;
+            let out = o.out.as_deref().unwrap_or("dataset.csv");
+            let f = std::fs::File::create(out).expect("create output file");
+            let mut w = std::io::BufWriter::new(f);
+            writeln!(w, "traj_id,seg_id,t_start,t_end,x0,y0,z0,x1,y1,z1").unwrap();
+            for s in store.iter() {
+                writeln!(
+                    w,
+                    "{},{},{},{},{},{},{},{},{},{}",
+                    s.traj_id.0,
+                    s.seg_id.0,
+                    s.t_start,
+                    s.t_end,
+                    s.start.x,
+                    s.start.y,
+                    s.start.z,
+                    s.end.x,
+                    s.end.y,
+                    s.end.z
+                )
+                .unwrap();
+            }
+            w.flush().unwrap();
+            println!("wrote {} segments to {out}", store.len());
+        }
+        "search" | "knn" => {
+            let device = Device::new(DeviceConfig::tesla_c2075()).expect("device");
+            let dataset = PreparedDataset::new(store);
+            let method = match o.method.as_str() {
+                "rtree" => Method::CpuRTree(RTreeConfig::default()),
+                "spatial" => Method::GpuSpatial(GpuSpatialConfig::default()),
+                "temporal" => Method::GpuTemporal(TemporalIndexConfig { bins: o.bins }),
+                "spatiotemporal" | "hybrid" => Method::GpuSpatioTemporal(
+                    SpatioTemporalIndexConfig { bins: o.bins, subbins: o.subbins, sort_by_selector: true },
+                ),
+                other => {
+                    eprintln!("unknown method {other}");
+                    usage()
+                }
+            };
+            let cap = 5_000_000;
+
+            if o.command == "knn" {
+                let engine =
+                    SearchEngine::build(&dataset, method, device).expect("engine build");
+                let res = knn_search(
+                    &engine,
+                    &queries,
+                    KnnConfig { k: o.k, initial_radius: o.d.max(1e-6), max_doublings: 40 },
+                    cap,
+                )
+                .expect("knn search");
+                let found: usize = res.iter().map(|v| v.len()).sum();
+                println!("{} neighbours over {} query segments", found, queries.len());
+                for (qi, ns) in res.iter().enumerate().take(3) {
+                    println!("query segment {qi}:");
+                    for n in ns {
+                        println!("  entry {:>6} at distance {:.4} (t = {:.2})", n.entry, n.distance, n.t_min);
+                    }
+                }
+                return;
+            }
+
+            if o.method == "hybrid" {
+                let hybrid = HybridSearch::build(
+                    &dataset,
+                    HybridConfig::auto(method, Method::CpuRTree(RTreeConfig::default())),
+                    device,
+                )
+                .expect("hybrid build");
+                let (matches, report) = hybrid.search(&queries, o.d, cap).expect("search");
+                println!(
+                    "{} matches; {:.4}s response (gpu fraction {:.2})",
+                    matches.len(),
+                    report.response_seconds,
+                    report.gpu_fraction
+                );
+                return;
+            }
+
+            let engine = SearchEngine::build(&dataset, method, device).expect("engine build");
+            let (matches, report) = engine.search(&queries, o.d, cap).expect("search");
+            println!("method:       {}", engine.method().name());
+            println!("matches:      {}", matches.len());
+            println!("comparisons:  {}", report.comparisons);
+            println!("response:     {:.6}s simulated ({})", report.response_seconds(), report.response);
+            println!("wall:         {:.3}s", report.wall_seconds);
+            if o.verify {
+                match verify_against_oracle(dataset.store(), &queries, o.d, &matches, 1e-9) {
+                    None => println!("verification: OK (matches brute force)"),
+                    Some(diff) => {
+                        eprintln!("verification FAILED: {diff}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

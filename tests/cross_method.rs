@@ -1,0 +1,112 @@
+//! Integration: all four implementations must return identical result sets,
+//! equal to the brute-force oracle, on every dataset generator.
+
+use std::sync::Arc;
+use tdts::prelude::*;
+
+fn device() -> Arc<Device> {
+    Device::new(DeviceConfig::tesla_c2075()).unwrap()
+}
+
+fn methods(bins: usize, subbins: usize, cells: usize) -> Vec<Method> {
+    vec![
+        Method::CpuRTree(RTreeConfig::default()),
+        Method::CpuRTree(RTreeConfig { segments_per_mbb: 1, node_capacity: 4 }),
+        Method::GpuSpatial(GpuSpatialConfig {
+            fsg: FsgConfig { cells_per_dim: cells },
+            total_scratch: 500_000,
+        }),
+        Method::GpuTemporal(TemporalIndexConfig { bins }),
+        Method::GpuSpatioTemporal(SpatioTemporalIndexConfig { bins, subbins, sort_by_selector: true }),
+        Method::GpuSpatioTemporal(SpatioTemporalIndexConfig { bins, subbins: 1, sort_by_selector: true }),
+    ]
+}
+
+fn check_all(store: SegmentStore, queries: SegmentStore, distances: &[f64], label: &str) {
+    let dataset = PreparedDataset::new(store);
+    let engines: Vec<SearchEngine> = methods(50, 4, 10)
+        .into_iter()
+        .map(|m| SearchEngine::build(&dataset, m, device()).expect("build"))
+        .collect();
+    for &d in distances {
+        let expect = brute_force_search(dataset.store(), &queries, d);
+        for engine in &engines {
+            let (got, report) = engine.search(&queries, d, 2_000_000).expect("search");
+            assert_eq!(
+                got.len(),
+                expect.len(),
+                "{label}: {} at d = {d}: {} vs oracle {}",
+                engine.method().name(),
+                got.len(),
+                expect.len()
+            );
+            assert!(
+                tdts::geom::diff_matches(&got, &expect, 1e-9).is_none(),
+                "{label}: {} differs from oracle at d = {d}",
+                engine.method().name()
+            );
+            assert_eq!(report.matches as usize, got.len());
+        }
+    }
+}
+
+#[test]
+fn random_walk_dataset() {
+    let store = RandomWalkConfig {
+        trajectories: 40,
+        timesteps: 30,
+        ..Default::default()
+    }
+    .generate();
+    let queries = RandomWalkConfig {
+        trajectories: 10,
+        timesteps: 30,
+        seed: 999,
+        ..Default::default()
+    }
+    .generate();
+    check_all(store, queries, &[1.0, 20.0, 100.0], "random");
+}
+
+#[test]
+fn merger_dataset() {
+    let store = MergerConfig { particles: 60, timesteps: 25, ..Default::default() }.generate();
+    let queries =
+        MergerConfig { particles: 12, timesteps: 25, seed: 77, ..Default::default() }.generate();
+    check_all(store, queries, &[0.5, 3.0, 15.0], "merger");
+}
+
+#[test]
+fn random_dense_dataset() {
+    let store =
+        RandomDenseConfig { particles: 64, timesteps: 20, ..Default::default() }.generate();
+    let queries =
+        RandomDenseConfig { particles: 12, timesteps: 20, seed: 55, ..Default::default() }
+            .generate();
+    check_all(store, queries, &[1.0, 10.0, 40.0], "dense");
+}
+
+#[test]
+fn queries_from_dataset_itself() {
+    // Use case (ii): query the database with its own trajectories.
+    let store = RandomWalkConfig {
+        trajectories: 30,
+        timesteps: 20,
+        ..Default::default()
+    }
+    .generate();
+    let queries: SegmentStore = store.iter().filter(|s| s.traj_id.0 < 5).copied().collect();
+    check_all(store, queries, &[5.0, 50.0], "self-query");
+}
+
+#[test]
+fn degenerate_single_trajectory() {
+    let store = RandomWalkConfig {
+        trajectories: 1,
+        timesteps: 10,
+        ..Default::default()
+    }
+    .generate();
+    let queries = store.clone();
+    check_all(store, queries, &[0.1, 10.0], "single-trajectory");
+}
