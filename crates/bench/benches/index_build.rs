@@ -9,12 +9,7 @@ use tdts_index_temporal::{TemporalIndex, TemporalIndexConfig};
 use tdts_rtree::{RTree, RTreeConfig};
 
 fn dataset(trajectories: usize) -> SegmentStore {
-    let mut s = RandomWalkConfig {
-        trajectories,
-        timesteps: 50,
-        ..Default::default()
-    }
-    .generate();
+    let mut s = RandomWalkConfig { trajectories, timesteps: 50, ..Default::default() }.generate();
     s.sort_by_t_start();
     s
 }

@@ -1,0 +1,75 @@
+//! Microbenchmark of the result-write path: per-lane atomic appends vs
+//! warp-aggregated stash commits. The first group isolates the write path
+//! (a launch whose lanes only append records); the second runs the full
+//! GPUTemporal search in both modes on a small S1 (Random) scenario.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use tdts_core::PreparedDataset;
+use tdts_data::{Scenario, ScenarioKind};
+use tdts_gpu_sim::{Device, DeviceConfig, ResultWriteMode};
+use tdts_index_temporal::{GpuTemporalSearch, TemporalIndexConfig};
+
+fn device(mode: ResultWriteMode) -> Arc<Device> {
+    let mut c = DeviceConfig::tesla_c2075();
+    c.result_write_mode = mode;
+    Device::new(c).unwrap()
+}
+
+const MODES: [ResultWriteMode; 2] = [ResultWriteMode::PerLane, ResultWriteMode::WarpAggregated];
+
+fn bench_result_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("result_write");
+    group.sample_size(10);
+    for &(threads, items) in &[(1usize << 12, 4u64), (1usize << 14, 16u64)] {
+        for mode in MODES {
+            let dev = device(mode);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{mode:?}"), format!("{threads}x{items}")),
+                &items,
+                |b, &items| {
+                    b.iter(|| {
+                        let mut results =
+                            dev.alloc_result::<u64>(threads * items as usize).unwrap();
+                        let launch = dev.launch_warps(threads, |warp| {
+                            let mut stash = results.warp_stash();
+                            warp.for_each_lane(|lane| {
+                                for k in 0..items {
+                                    stash.stage(lane, lane.global_id as u64 ^ k);
+                                }
+                            });
+                            stash.commit(warp);
+                        });
+                        black_box((results.drain_to_host().len(), launch.totals.atomics))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_temporal_search(c: &mut Criterion) {
+    let scenario = Scenario::new(ScenarioKind::S1Random, 1.0 / 512.0);
+    let dataset = PreparedDataset::new(scenario.dataset());
+    let queries = scenario.queries();
+    let bins = scenario.params().temporal_bins.min(200);
+
+    let mut group = c.benchmark_group("gpu_temporal_by_write_mode");
+    group.sample_size(10);
+    for mode in MODES {
+        let search =
+            GpuTemporalSearch::new(device(mode), dataset.store(), TemporalIndexConfig { bins })
+                .unwrap();
+        group.bench_with_input(BenchmarkId::new(format!("{mode:?}"), 10.0), &10.0, |b, &d| {
+            b.iter(|| {
+                let (matches, report) = search.search(&queries, d, 2_000_000).expect("search");
+                black_box((matches.len(), report.totals.atomics))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_result_write, bench_temporal_search);
+criterion_main!(benches);

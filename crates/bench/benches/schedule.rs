@@ -11,20 +11,12 @@ use tdts_index_temporal::{TemporalIndex, TemporalIndexConfig};
 use tdts_rtree::{RTree, RTreeConfig};
 
 fn world() -> (SegmentStore, SegmentStore) {
-    let mut store = RandomWalkConfig {
-        trajectories: 100,
-        timesteps: 50,
-        ..Default::default()
-    }
-    .generate();
+    let mut store =
+        RandomWalkConfig { trajectories: 100, timesteps: 50, ..Default::default() }.generate();
     store.sort_by_t_start();
-    let queries = RandomWalkConfig {
-        trajectories: 20,
-        timesteps: 50,
-        seed: 3,
-        ..Default::default()
-    }
-    .generate();
+    let queries =
+        RandomWalkConfig { trajectories: 20, timesteps: 50, seed: 3, ..Default::default() }
+            .generate();
     (store, queries)
 }
 
@@ -36,9 +28,7 @@ fn bench_schedules(c: &mut Criterion) {
         SpatioTemporalIndexConfig { bins: 200, subbins: 4, sort_by_selector: true },
     );
 
-    c.bench_function("sort_queries", |b| {
-        b.iter(|| black_box(SortedQueries::from_store(&queries)))
-    });
+    c.bench_function("sort_queries", |b| b.iter(|| black_box(SortedQueries::from_store(&queries))));
 
     let sorted = SortedQueries::from_store(&queries);
     c.bench_function("temporal_schedule", |b| {
@@ -47,11 +37,8 @@ fn bench_schedules(c: &mut Criterion) {
 
     c.bench_function("spatiotemporal_schedule", |b| {
         b.iter(|| {
-            let entries: Vec<_> = sorted
-                .segments
-                .iter()
-                .map(|q| st.schedule_for(q, 10.0))
-                .collect();
+            let entries: Vec<_> =
+                sorted.segments.iter().map(|q| st.schedule_for(q, 10.0)).collect();
             black_box(entries)
         })
     });

@@ -43,21 +43,11 @@ fn bench_scenario(c: &mut Criterion, kind: ScenarioKind, distances: &[f64]) {
     group.sample_size(10);
     for engine in &engines {
         for &d in distances {
-            group.bench_with_input(
-                BenchmarkId::new(engine.method().name(), d),
-                &d,
-                |b, &d| {
-                    b.iter(|| {
-                        black_box(
-                            engine
-                                .search(&queries, d, 2_000_000)
-                                .expect("search")
-                                .1
-                                .comparisons,
-                        )
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(engine.method().name(), d), &d, |b, &d| {
+                b.iter(|| {
+                    black_box(engine.search(&queries, d, 2_000_000).expect("search").1.comparisons)
+                })
+            });
         }
     }
     group.finish();

@@ -4,7 +4,8 @@
 //! cargo run --release -p tdts-bench --bin figures -- [options] <target>...
 //!
 //! targets: fig4 fig5 fig6 fig7 sweep-fsg sweep-bins sweep-subbins
-//!          ablation-indirection ablation-buffer fallback-rate all
+//!          ablation-indirection ablation-buffer fallback-rate
+//!          ablation-warp-agg all
 //! options: --scale <f>   dataset scale vs the paper (default 1/16)
 //!          --no-verify   skip cross-method result-set verification
 //! ```
@@ -33,7 +34,7 @@ fn main() {
         eprintln!(
             "usage: figures [--scale f] [--no-verify] \
              <fig4|fig5|fig6|fig7|sweep-fsg|sweep-bins|sweep-subbins|\
-             ablation-indirection|ablation-buffer|fallback-rate|future-trends|batched|ablation-sort|crossover|ablation-write|all>..."
+             ablation-indirection|ablation-buffer|fallback-rate|future-trends|batched|ablation-sort|crossover|ablation-write|ablation-warp-agg|all>..."
         );
         std::process::exit(2);
     }
@@ -54,16 +55,14 @@ fn main() {
             "ablation-sort",
             "crossover",
             "ablation-write",
+            "ablation-warp-agg",
         ]
         .iter()
         .map(|s| s.to_string())
         .collect();
     }
 
-    println!(
-        "# tdts figures — scale {:.5} of paper sizes, device: {}",
-        cfg.scale, cfg.device.name
-    );
+    println!("# tdts figures — scale {:.5} of paper sizes, device: {}", cfg.scale, cfg.device.name);
     let runner = Runner::new(cfg);
     for t in &targets {
         match t.as_str() {
@@ -82,6 +81,7 @@ fn main() {
             "ablation-sort" => drop(runner.ablation_sort()),
             "crossover" => drop(runner.crossover()),
             "ablation-write" => drop(runner.ablation_write()),
+            "ablation-warp-agg" => drop(runner.ablation_warp_agg()),
             other => {
                 eprintln!("unknown target {other}");
                 std::process::exit(2);

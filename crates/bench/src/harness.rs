@@ -96,9 +96,8 @@ impl Runner {
         let mut best: Option<(Vec<MatchRecord>, SearchReport)> = None;
         for _ in 0..self.cfg.trials.max(1) {
             let (matches, report) = engine.search(queries, d, capacity).expect("search");
-            let better = best
-                .as_ref()
-                .map_or(true, |(_, b)| report.response_seconds() < b.response_seconds());
+            let better =
+                best.as_ref().is_none_or(|(_, b)| report.response_seconds() < b.response_seconds());
             if better {
                 best = Some((matches, report));
             }
@@ -234,19 +233,18 @@ impl Runner {
     /// middle / high query distances of each sweep.
     pub fn fig7(&self) -> Vec<Measurement> {
         println!("\n## Figure 7 — GPU/CPU response-time ratio (best GPU method)");
-        println!("{:>18} {:>10} {:>14} {:>14} {:>10}", "dataset", "d", "CPU (s)", "GPU (s)", "ratio");
+        println!(
+            "{:>18} {:>10} {:>14} {:>14} {:>10}",
+            "dataset", "d", "CPU (s)", "GPU (s)", "ratio"
+        );
         let mut out = Vec::new();
-        for kind in [
-            ScenarioKind::S1Random,
-            ScenarioKind::S2Merger,
-            ScenarioKind::S3RandomDense,
-        ] {
+        for kind in [ScenarioKind::S1Random, ScenarioKind::S2Merger, ScenarioKind::S3RandomDense] {
             let p = self.prepare(kind);
             let params = p.scenario.params();
             let cap = params.result_buffer_capacity;
             let cpu = self.build(&p, Method::CpuRTree(RTreeConfig::default()));
-            let gpu_t =
-                self.build(&p, Method::GpuTemporal(TemporalIndexConfig { bins: params.temporal_bins }));
+            let gpu_t = self
+                .build(&p, Method::GpuTemporal(TemporalIndexConfig { bins: params.temporal_bins }));
             let gpu_st = self.build(
                 &p,
                 Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {
@@ -261,8 +259,7 @@ impl Runner {
                 let (_, mc) = self.run_one(&cpu, &p.queries, d, cap);
                 let (_, mt) = self.run_one(&gpu_t, &p.queries, d, cap);
                 let (_, ms) = self.run_one(&gpu_st, &p.queries, d, cap);
-                let gpu_best =
-                    mt.report.response_seconds().min(ms.report.response_seconds());
+                let gpu_best = mt.report.response_seconds().min(ms.report.response_seconds());
                 println!(
                     "{:>18} {:>10.3} {:>14.6} {:>14.6} {:>10.3}",
                     p.scenario.name(),
@@ -337,17 +334,13 @@ impl Runner {
     /// across distances) and on Merger (paper: v = 16 best for most d).
     pub fn sweep_subbins(&self) -> Vec<Measurement> {
         let mut out = Vec::new();
-        for (kind, distances) in [
-            (ScenarioKind::S1Random, [1.0, 10.0, 50.0]),
-            (ScenarioKind::S2Merger, [0.1, 1.0, 5.0]),
-        ] {
+        for (kind, distances) in
+            [(ScenarioKind::S1Random, [1.0, 10.0, 50.0]), (ScenarioKind::S2Merger, [0.1, 1.0, 5.0])]
+        {
             let p = self.prepare(kind);
             let params = p.scenario.params();
             let cap = params.result_buffer_capacity;
-            println!(
-                "\n## T-C — GPUSpatioTemporal subbin sweep ({})",
-                p.scenario.name()
-            );
+            println!("\n## T-C — GPUSpatioTemporal subbin sweep ({})", p.scenario.name());
             println!(
                 "{:>8} {:>8} {:>16} {:>14} {:>14}",
                 "v", "d", "response (s)", "comparisons", "fallback"
@@ -428,14 +421,10 @@ impl Runner {
         let (matches, m_large) = self.run_one(&engine, &p.queries, d, large);
         let small = (matches.len() / 4).max(2).min(large);
         let (_, m_small) = self.run_one(&engine, &p.queries, d, small);
-        let reduction = (1.0
-            - m_large.report.response_seconds() / m_small.report.response_seconds())
-            * 100.0;
+        let reduction =
+            (1.0 - m_large.report.response_seconds() / m_small.report.response_seconds()) * 100.0;
         println!("\n## T-E — result-buffer ablation (S3 Random-dense, d = {d})");
-        println!(
-            "{:>14} {:>16} {:>12}",
-            "capacity", "response (s)", "invocations"
-        );
+        println!("{:>14} {:>16} {:>12}", "capacity", "response (s)", "invocations");
         println!(
             "{:>14} {:>16.6} {:>12}",
             small,
@@ -463,10 +452,7 @@ impl Runner {
             let p = self.prepare(kind);
             let params = p.scenario.params();
             let cap = params.result_buffer_capacity;
-            println!(
-                "\n## T-F — GPUSpatioTemporal fallback rate ({})",
-                p.scenario.name()
-            );
+            println!("\n## T-F — GPUSpatioTemporal fallback rate ({})", p.scenario.name());
             println!("{:>8} {:>10} {:>14} {:>12}", "v", "d", "fallback", "of |Q|");
             for v in [2, 4, 8] {
                 let engine = self.build(
@@ -516,11 +502,17 @@ impl Runner {
             assert_eq!(ma, mt, "strategies disagree at d = {d}");
             println!(
                 "{:>10.3} {:>12} {:>16.6} {:>14}",
-                d, "atomic", ra.response_seconds(), ra.comparisons
+                d,
+                "atomic",
+                ra.response_seconds(),
+                ra.comparisons
             );
             println!(
                 "{:>10.3} {:>12} {:>16.6} {:>14}",
-                d, "two-pass", rt.response_seconds(), rt.comparisons
+                d,
+                "two-pass",
+                rt.response_seconds(),
+                rt.comparisons
             );
             out.push(Measurement {
                 method: "GPUTemporal/atomic".into(),
@@ -534,6 +526,81 @@ impl Runner {
                 matches: mt.len(),
                 report: rt,
             });
+        }
+        out
+    }
+
+    /// Result-write ablation: per-lane atomic appends vs warp-aggregated
+    /// stash commits, across all three GPU methods on S1 (Random). The
+    /// warp path stages matches per lane and advances the result cursor
+    /// with one `fetch_add` per stash flush, so `totals.atomics` — the
+    /// headline column — collapses while result sets stay identical.
+    pub fn ablation_warp_agg(&self) -> Vec<Measurement> {
+        use tdts_gpu_sim::ResultWriteMode;
+        let p = self.prepare(ScenarioKind::S1Random);
+        let params = p.scenario.params();
+        let cap = params.result_buffer_capacity;
+        let methods = [
+            Method::GpuSpatial(GpuSpatialConfig {
+                fsg: FsgConfig { cells_per_dim: params.fsg_cells_per_dim },
+                total_scratch: 4_000_000,
+            }),
+            Method::GpuTemporal(TemporalIndexConfig { bins: params.temporal_bins }),
+            Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {
+                bins: params.temporal_bins,
+                subbins: params.subbins,
+                sort_by_selector: true,
+            }),
+        ];
+        println!(
+            "\n## Result-write ablation — per-lane atomics vs warp-aggregated commits (S1 Random)"
+        );
+        println!(
+            "{:>22} {:>10} {:>12} {:>16} {:>14} {:>10}",
+            "method", "d", "mode", "response (s)", "atomics", "ratio"
+        );
+        let mut out = Vec::new();
+        for method in methods {
+            let engines: Vec<SearchEngine> =
+                [ResultWriteMode::PerLane, ResultWriteMode::WarpAggregated]
+                    .into_iter()
+                    .map(|mode| {
+                        let mut dc = self.cfg.device.clone();
+                        dc.result_write_mode = mode;
+                        let device = Device::new(dc).expect("valid device config");
+                        eprintln!("[harness] building {} ({mode:?}) ...", method.name());
+                        SearchEngine::build(&p.dataset, method, device).expect("engine build")
+                    })
+                    .collect();
+            for &d in &p.scenario.query_distances() {
+                let (m_pl, mut meas_pl) = self.run_one(&engines[0], &p.queries, d, cap);
+                let (m_wa, mut meas_wa) = self.run_one(&engines[1], &p.queries, d, cap);
+                assert_eq!(m_pl, m_wa, "{}: write modes disagree at d = {d}", method.name());
+                meas_pl.method = format!("{}/per-lane", method.name());
+                meas_wa.method = format!("{}/warp-agg", method.name());
+                let (a_pl, a_wa) = (meas_pl.report.totals.atomics, meas_wa.report.totals.atomics);
+                let ratio = a_pl as f64 / (a_wa.max(1)) as f64;
+                println!(
+                    "{:>22} {:>10.3} {:>12} {:>16.6} {:>14} {:>10}",
+                    method.name(),
+                    d,
+                    "per-lane",
+                    meas_pl.report.response_seconds(),
+                    a_pl,
+                    ""
+                );
+                println!(
+                    "{:>22} {:>10.3} {:>12} {:>16.6} {:>14} {:>9.1}x",
+                    method.name(),
+                    d,
+                    "warp-agg",
+                    meas_wa.report.response_seconds(),
+                    a_wa,
+                    ratio
+                );
+                out.push(meas_pl);
+                out.push(meas_wa);
+            }
         }
         out
     }
@@ -600,10 +667,7 @@ impl Runner {
         let params = p.scenario.params();
         let cap = params.result_buffer_capacity;
         println!("\n## Divergence ablation — selector-sorted vs unsorted schedule (S2 Merger)");
-        println!(
-            "{:>10} {:>10} {:>16} {:>16}",
-            "d", "sorted", "response (s)", "divergent warps"
-        );
+        println!("{:>10} {:>10} {:>16} {:>16}", "d", "sorted", "response (s)", "divergent warps");
         let mut out = Vec::new();
         for sort in [true, false] {
             let engine = self.build(
@@ -696,8 +760,7 @@ impl Runner {
             sort_by_selector: true,
         });
         let old = self.build(&p, method);
-        let modern_device =
-            Device::new(DeviceConfig::modern_gpu()).expect("valid modern config");
+        let modern_device = Device::new(DeviceConfig::modern_gpu()).expect("valid modern config");
         eprintln!("[harness] building GPUSpatioTemporal on modern GPU ...");
         let modern = SearchEngine::build(&p.dataset, method, modern_device).expect("build");
         println!("\n## Future trends (§VI) — Tesla C2075 vs modern GPU (S2 Merger)");

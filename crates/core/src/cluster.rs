@@ -55,7 +55,10 @@ pub struct ClusterSearch {
 impl ClusterSearch {
     /// Partition `dataset` into `config.nodes` contiguous temporal shards
     /// and build one engine (with its own device) per shard.
-    pub fn build(dataset: &PreparedDataset, config: ClusterConfig) -> Result<ClusterSearch, SearchError> {
+    pub fn build(
+        dataset: &PreparedDataset,
+        config: ClusterConfig,
+    ) -> Result<ClusterSearch, SearchError> {
         assert!(config.nodes >= 1, "need at least one node");
         let store = dataset.store();
         assert!(!store.is_empty(), "cannot shard an empty dataset");
@@ -68,8 +71,7 @@ impl ClusterSearch {
                 break; // more nodes than entries: trailing nodes idle
             }
             let hi = ((node + 1) * per).min(n);
-            let shard_store: SegmentStore =
-                store.segments()[lo..hi].iter().copied().collect();
+            let shard_store: SegmentStore = store.segments()[lo..hi].iter().copied().collect();
             // Shard stores inherit the canonical t_start order, so preparing
             // them again is a no-op reorder.
             let shard_dataset = PreparedDataset::new(shard_store);

@@ -184,7 +184,11 @@ mod tests {
                 total_scratch: 50_000,
             }),
             Method::GpuTemporal(TemporalIndexConfig { bins: 8 }),
-            Method::GpuSpatioTemporal(SpatioTemporalIndexConfig { bins: 8, subbins: 4, sort_by_selector: true }),
+            Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {
+                bins: 8,
+                subbins: 4,
+                sort_by_selector: true,
+            }),
         ]
     }
 
@@ -206,12 +210,7 @@ mod tests {
             assert_eq!(report.matches as usize, matches.len(), "{}", method.name());
             match &reference {
                 None => reference = Some(matches),
-                Some(r) => assert_eq!(
-                    &matches,
-                    r,
-                    "{} disagrees with CPU-RTree",
-                    method.name()
-                ),
+                Some(r) => assert_eq!(&matches, r, "{} disagrees with CPU-RTree", method.name()),
             }
         }
         assert!(!reference.unwrap().is_empty());
@@ -220,10 +219,7 @@ mod tests {
     #[test]
     fn method_names() {
         assert_eq!(Method::CpuRTree(RTreeConfig::default()).name(), "CPU-RTree");
-        assert_eq!(
-            Method::GpuTemporal(TemporalIndexConfig::default()).name(),
-            "GPUTemporal"
-        );
+        assert_eq!(Method::GpuTemporal(TemporalIndexConfig::default()).name(), "GPUTemporal");
     }
 
     #[test]

@@ -156,7 +156,11 @@ impl HybridSearch {
         let response_seconds = split_seconds
             + gpu_report.response_seconds().max(cpu_report.response.get(Phase::HostCompute));
         let report = HybridReport {
-            gpu_fraction: if queries.is_empty() { 0.0 } else { n_gpu as f64 / queries.len() as f64 },
+            gpu_fraction: if queries.is_empty() {
+                0.0
+            } else {
+                n_gpu as f64 / queries.len() as f64
+            },
             gpu: gpu_report,
             cpu: cpu_report,
             response_seconds,

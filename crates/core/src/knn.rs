@@ -135,16 +135,9 @@ mod tests {
     }
 
     fn origin_query() -> SegmentStore {
-        vec![Segment::new(
-            Point3::ZERO,
-            Point3::ZERO,
-            0.0,
-            1.0,
-            SegId(0),
-            TrajId(100),
-        )]
-        .into_iter()
-        .collect()
+        vec![Segment::new(Point3::ZERO, Point3::ZERO, 0.0, 1.0, SegId(0), TrajId(100))]
+            .into_iter()
+            .collect()
     }
 
     #[test]

@@ -17,8 +17,7 @@ pub fn brute_force_search(
         .flat_map_iter(|qi| {
             let q = *queries.get(qi);
             store.iter().enumerate().filter_map(move |(ei, e)| {
-                within_distance(&q, e, d)
-                    .map(|iv| MatchRecord::new(qi as u32, ei as u32, iv))
+                within_distance(&q, e, d).map(|iv| MatchRecord::new(qi as u32, ei as u32, iv))
             })
         })
         .collect();

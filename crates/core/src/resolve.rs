@@ -44,26 +44,14 @@ mod tests {
 
     #[test]
     fn resolves_ids() {
-        let store: SegmentStore = vec![Segment::new(
-            Point3::ZERO,
-            Point3::ZERO,
-            0.0,
-            1.0,
-            SegId(42),
-            TrajId(7),
-        )]
-        .into_iter()
-        .collect();
-        let queries: SegmentStore = vec![Segment::new(
-            Point3::ZERO,
-            Point3::ZERO,
-            0.0,
-            1.0,
-            SegId(5),
-            TrajId(1),
-        )]
-        .into_iter()
-        .collect();
+        let store: SegmentStore =
+            vec![Segment::new(Point3::ZERO, Point3::ZERO, 0.0, 1.0, SegId(42), TrajId(7))]
+                .into_iter()
+                .collect();
+        let queries: SegmentStore =
+            vec![Segment::new(Point3::ZERO, Point3::ZERO, 0.0, 1.0, SegId(5), TrajId(1))]
+                .into_iter()
+                .collect();
         let m = vec![MatchRecord::new(0, 0, TimeInterval::new(0.25, 0.5))];
         let resolved = resolve_matches(&m, &store, &queries);
         assert_eq!(resolved.len(), 1);

@@ -31,14 +31,7 @@ impl TrajectoryBuilder {
         self.next_traj += 1;
         for (i, w) in positions.windows(2).enumerate() {
             let t0 = t_start + i as f64 * dt;
-            self.store.push(Segment::new(
-                w[0],
-                w[1],
-                t0,
-                t0 + dt,
-                SegId(self.next_seg),
-                traj,
-            ));
+            self.store.push(Segment::new(w[0], w[1], t0, t0 + dt, SegId(self.next_seg), traj));
             self.next_seg += 1;
         }
         traj

@@ -70,7 +70,7 @@ impl GaussianClusterConfig {
         let mut positions = Vec::with_capacity(self.timesteps);
         // Sum of 4 uniforms ≈ Gaussian; matches the walk-step idiom used by
         // the other generators (deterministic, cheap).
-        let mut gauss = |rng: &mut ChaCha8Rng, sigma: f64| -> f64 {
+        let gauss = |rng: &mut ChaCha8Rng, sigma: f64| -> f64 {
             let s: f64 = (0..4).map(|_| rng.gen_range(-1.0f64..1.0)).sum();
             s * sigma * 0.8660 // var(sum of 4 U(-1,1)) = 4/3
         };
@@ -152,27 +152,14 @@ mod tests {
             .iter()
             .filter(|s| s.start.norm() < 0.5 * cfg.core_sigma)
             .take(50)
-            .map(|q| {
-                store
-                    .iter()
-                    .filter(|e| tdts_geom::within_distance(q, e, d).is_some())
-                    .count()
-            })
+            .map(|q| store.iter().filter(|e| tdts_geom::within_distance(q, e, d).is_some()).count())
             .sum::<usize>() as f64;
         let in_halo = store
             .iter()
-            .filter(|s| s.start.norm() > 2.0 * cfg.core_sigma)
+            .filter(|s| s.start.norm() > 2.5 * cfg.core_sigma)
             .take(50)
-            .map(|q| {
-                store
-                    .iter()
-                    .filter(|e| tdts_geom::within_distance(q, e, d).is_some())
-                    .count()
-            })
+            .map(|q| store.iter().filter(|e| tdts_geom::within_distance(q, e, d).is_some()).count())
             .sum::<usize>() as f64;
-        assert!(
-            near_core > in_halo * 3.0,
-            "core {near_core} vs halo {in_halo}"
-        );
+        assert!(near_core > in_halo * 3.0, "core {near_core} vs halo {in_halo}");
     }
 }

@@ -67,9 +67,7 @@ pub fn write_csv<W: Write>(store: &SegmentStore, writer: W) -> Result<(), CsvErr
 /// Read a segment store from CSV (header required; fields validated).
 pub fn read_csv<R: Read>(reader: R) -> Result<SegmentStore, CsvError> {
     let mut lines = BufReader::new(reader).lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| CsvError::Parse(1, "empty input".into()))??;
+    let header = lines.next().ok_or_else(|| CsvError::Parse(1, "empty input".into()))??;
     if header.trim() != HEADER {
         return Err(CsvError::Parse(1, format!("expected header `{HEADER}`")));
     }
@@ -131,12 +129,8 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let store = RandomWalkConfig {
-            trajectories: 5,
-            timesteps: 8,
-            ..Default::default()
-        }
-        .generate();
+        let store =
+            RandomWalkConfig { trajectories: 5, timesteps: 8, ..Default::default() }.generate();
         let mut buf = Vec::new();
         write_csv(&store, &mut buf).unwrap();
         let back = read_csv(&buf[..]).unwrap();

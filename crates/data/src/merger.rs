@@ -175,11 +175,13 @@ mod tests {
     fn disks_approach_and_merge() {
         let cfg = small();
         let start = cfg.disk_center(0, 0).dist(&cfg.disk_center(1, 0));
-        let end = cfg.disk_center(0, cfg.timesteps - 1).dist(&cfg.disk_center(1, cfg.timesteps - 1));
+        let end =
+            cfg.disk_center(0, cfg.timesteps - 1).dist(&cfg.disk_center(1, cfg.timesteps - 1));
         assert!(start > 50.0, "initial separation {start}");
         assert!(end < 1.0, "final separation {end}");
         // Monotone-ish decay.
-        let mid = cfg.disk_center(0, cfg.timesteps / 2).dist(&cfg.disk_center(1, cfg.timesteps / 2));
+        let mid =
+            cfg.disk_center(0, cfg.timesteps / 2).dist(&cfg.disk_center(1, cfg.timesteps / 2));
         assert!(mid < start && mid > end);
     }
 

@@ -130,11 +130,7 @@ mod tests {
 
     #[test]
     fn generated_counts_and_bounds() {
-        let cfg = RandomWalkConfig {
-            trajectories: 20,
-            timesteps: 50,
-            ..Default::default()
-        };
+        let cfg = RandomWalkConfig { trajectories: 20, timesteps: 50, ..Default::default() };
         let store = cfg.generate();
         assert_eq!(store.len(), 20 * 49);
         assert_eq!(store.trajectory_count(), 20);
@@ -175,11 +171,8 @@ mod tests {
             ..Default::default()
         };
         let store = cfg.generate();
-        let mean_sq: f64 = store
-            .iter()
-            .map(|s| (s.end - s.start).norm2())
-            .sum::<f64>()
-            / store.len() as f64;
+        let mean_sq: f64 =
+            store.iter().map(|s| (s.end - s.start).norm2()).sum::<f64>() / store.len() as f64;
         // 3 axes * sigma^2 = 75; allow generous tolerance.
         assert!((40.0..120.0).contains(&mean_sq), "mean square step {mean_sq}");
     }

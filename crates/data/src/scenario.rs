@@ -165,11 +165,7 @@ mod tests {
 
     #[test]
     fn small_scale_generates_consistent_sets() {
-        for kind in [
-            ScenarioKind::S1Random,
-            ScenarioKind::S2Merger,
-            ScenarioKind::S3RandomDense,
-        ] {
+        for kind in [ScenarioKind::S1Random, ScenarioKind::S2Merger, ScenarioKind::S3RandomDense] {
             let sc = Scenario::new(kind, 0.01);
             let d = sc.dataset();
             let q = sc.queries();
@@ -178,17 +174,9 @@ mod tests {
             // Queries overlap the dataset temporally (else searches are trivial).
             let ds = d.stats().unwrap();
             let qs = q.stats().unwrap();
-            assert!(
-                ds.time_span.overlaps(&qs.time_span),
-                "{:?}: no temporal overlap",
-                kind
-            );
+            assert!(ds.time_span.overlaps(&qs.time_span), "{:?}: no temporal overlap", kind);
             // And spatially.
-            assert!(
-                ds.bounds.overlaps(&qs.bounds.inflate(1.0)),
-                "{:?}: no spatial overlap",
-                kind
-            );
+            assert!(ds.bounds.overlaps(&qs.bounds.inflate(1.0)), "{:?}: no spatial overlap", kind);
             assert!(!sc.query_distances().is_empty());
             assert!(sc.params().result_buffer_capacity >= 10_000);
         }

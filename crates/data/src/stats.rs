@@ -96,11 +96,7 @@ mod tests {
     use crate::RandomWalkConfig;
 
     fn world() -> (SegmentStore, SegmentStore) {
-        let cfg = RandomWalkConfig {
-            trajectories: 30,
-            timesteps: 20,
-            ..Default::default()
-        };
+        let cfg = RandomWalkConfig { trajectories: 30, timesteps: 20, ..Default::default() };
         let q = RandomWalkConfig { trajectories: 5, seed: 9, ..cfg.clone() }.generate();
         (cfg.generate(), q)
     }

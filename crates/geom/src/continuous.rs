@@ -186,10 +186,7 @@ mod tests {
         let a = seg((0.0, 0.0, 0.0), (1.0, 0.0, 0.0), 0.0, 1.0);
         let b = seg((0.0, 3.0, 0.0), (1.0, 3.0, 0.0), 0.0, 1.0);
         assert_eq!(within_distance(&a, &b, 2.9), None);
-        assert_eq!(
-            within_distance(&a, &b, 3.0),
-            Some(TimeInterval::new(0.0, 1.0))
-        );
+        assert_eq!(within_distance(&a, &b, 3.0), Some(TimeInterval::new(0.0, 1.0)));
         let ca = closest_approach(&a, &b).unwrap();
         assert!((ca.dist2 - 9.0).abs() < 1e-12);
     }
@@ -260,18 +257,8 @@ mod tests {
             ((state >> 33) as f64) / (u32::MAX as f64) * 10.0 - 5.0
         };
         for _ in 0..200 {
-            let a = seg(
-                (next(), next(), next()),
-                (next(), next(), next()),
-                0.0,
-                1.0,
-            );
-            let b = seg(
-                (next(), next(), next()),
-                (next(), next(), next()),
-                0.0,
-                1.0,
-            );
+            let a = seg((next(), next(), next()), (next(), next(), next()), 0.0, 1.0);
+            let b = seg((next(), next(), next()), (next(), next(), next()), 0.0, 1.0);
             let d = 2.0;
             let analytic = within_distance(&a, &b, d);
             let sampled = within_distance_sampled(&a, &b, d, 20_000);

@@ -64,10 +64,7 @@ impl TimeInterval {
     /// Smallest interval containing both.
     #[inline]
     pub fn hull(&self, other: &TimeInterval) -> TimeInterval {
-        TimeInterval {
-            start: self.start.min(other.start),
-            end: self.end.max(other.end),
-        }
+        TimeInterval { start: self.start.min(other.start), end: self.end.max(other.end) }
     }
 
     /// True if `other` is entirely inside `self`.

@@ -27,9 +27,9 @@ pub mod segment;
 pub mod store;
 
 pub use continuous::{within_distance, ClosestApproach};
-pub use result::{dedup_matches, diff_matches, MatchRecord};
 pub use interval::TimeInterval;
 pub use mbb::Mbb;
 pub use point::Point3;
+pub use result::{dedup_matches, diff_matches, MatchRecord};
 pub use segment::{SegId, Segment, TrajId};
 pub use store::{SegmentStore, StoreStats};

@@ -28,10 +28,7 @@ impl Mbb {
     /// The empty box: any `expand_to_point` or `merge` resets it.
     #[inline]
     pub fn empty() -> Self {
-        Mbb {
-            lo: Point3::splat(f64::INFINITY),
-            hi: Point3::splat(f64::NEG_INFINITY),
-        }
+        Mbb { lo: Point3::splat(f64::INFINITY), hi: Point3::splat(f64::NEG_INFINITY) }
     }
 
     /// True if no point has been added yet.
@@ -71,10 +68,7 @@ impl Mbb {
     #[inline]
     pub fn inflate(&self, d: f64) -> Mbb {
         debug_assert!(d >= 0.0);
-        Mbb {
-            lo: self.lo - Point3::splat(d),
-            hi: self.hi + Point3::splat(d),
-        }
+        Mbb { lo: self.lo - Point3::splat(d), hi: self.hi + Point3::splat(d) }
     }
 
     /// True if the closed boxes share at least one point.
@@ -117,9 +111,8 @@ impl Mbb {
     /// Squared minimum distance between two boxes (0 if they overlap).
     #[inline]
     pub fn min_dist2_to_box(&self, other: &Mbb) -> f64 {
-        let gap = |alo: f64, ahi: f64, blo: f64, bhi: f64| -> f64 {
-            (blo - ahi).max(0.0).max(alo - bhi)
-        };
+        let gap =
+            |alo: f64, ahi: f64, blo: f64, bhi: f64| -> f64 { (blo - ahi).max(0.0).max(alo - bhi) };
         let dx = gap(self.lo.x, self.hi.x, other.lo.x, other.hi.x);
         let dy = gap(self.lo.y, self.hi.y, other.lo.y, other.hi.y);
         let dz = gap(self.lo.z, self.hi.z, other.lo.z, other.hi.z);

@@ -78,8 +78,7 @@ impl SegmentStore {
     /// Sort segments by ascending `t_start` (stable). The temporal and
     /// spatiotemporal indexes require this ordering.
     pub fn sort_by_t_start(&mut self) {
-        self.segments
-            .sort_by(|a, b| a.t_start.partial_cmp(&b.t_start).expect("NaN t_start"));
+        self.segments.sort_by(|a, b| a.t_start.partial_cmp(&b.t_start).expect("NaN t_start"));
     }
 
     /// True if segments are sorted by non-decreasing `t_start`.
@@ -149,14 +148,7 @@ mod tests {
     use crate::{Point3, SegId, TrajId};
 
     fn seg(t0: f64, t1: f64, lo: f64, hi: f64, traj: u32) -> Segment {
-        Segment::new(
-            Point3::splat(lo),
-            Point3::splat(hi),
-            t0,
-            t1,
-            SegId(0),
-            TrajId(traj),
-        )
+        Segment::new(Point3::splat(lo), Point3::splat(hi), t0, t1, SegId(0), TrajId(traj))
     }
 
     #[test]

@@ -8,9 +8,8 @@ fn arb_point() -> impl Strategy<Value = Point3> {
 }
 
 fn arb_segment() -> impl Strategy<Value = Segment> {
-    (arb_point(), arb_point(), 0.0f64..10.0, 0.001f64..5.0).prop_map(|(a, b, t0, dt)| {
-        Segment::new(a, b, t0, t0 + dt, SegId(0), TrajId(0))
-    })
+    (arb_point(), arb_point(), 0.0f64..10.0, 0.001f64..5.0)
+        .prop_map(|(a, b, t0, dt)| Segment::new(a, b, t0, t0 + dt, SegId(0), TrajId(0)))
 }
 
 proptest! {

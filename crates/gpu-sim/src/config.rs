@@ -2,6 +2,24 @@
 
 use serde::{Deserialize, Serialize};
 
+/// How kernels write records into atomic-append result buffers.
+///
+/// The paper's kernels (§III) append every match through one shared atomic
+/// cursor — one `atomicAdd` per record. The warp-aggregated strategy is the
+/// classic mitigation (ballot the hitting lanes, elect a leader that performs
+/// a single `atomicAdd(total)` for the whole warp, scatter at
+/// `base + lane_rank`): lanes stage matches in a small per-lane stash and the
+/// warp commits them together, paying one atomic per *flush* instead of one
+/// per *record*.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResultWriteMode {
+    /// One atomic cursor bump per appended record (the paper's baseline).
+    PerLane,
+    /// Stage per lane, commit per warp: one cursor bump per warp flush.
+    #[default]
+    WarpAggregated,
+}
+
 /// Parameters of the simulated device.
 ///
 /// The defaults ([`DeviceConfig::tesla_c2075`]) approximate the NVIDIA Tesla
@@ -45,6 +63,12 @@ pub struct DeviceConfig {
     /// Latency-hiding factor: how many warps an SM overlaps effectively.
     /// SM time = (sum of its warp costs) / occupancy_factor.
     pub occupancy_factor: f64,
+    /// Result-buffer write strategy (see [`ResultWriteMode`]).
+    pub result_write_mode: ResultWriteMode,
+    /// Per-lane stash capacity for warp-aggregated writes: a lane staging
+    /// more than this many records in one kernel invocation costs extra
+    /// warp flushes (`ceil(n / capacity)` per lane, max over lanes).
+    pub warp_stash_capacity: usize,
 }
 
 impl DeviceConfig {
@@ -73,6 +97,8 @@ impl DeviceConfig {
             uncoalesced_factor: 4.0,
             cycles_per_atomic: 120.0,
             occupancy_factor: 2.0,
+            result_write_mode: ResultWriteMode::default(),
+            warp_stash_capacity: 16,
         }
     }
 
@@ -101,6 +127,8 @@ impl DeviceConfig {
             uncoalesced_factor: 3.0,
             cycles_per_atomic: 60.0,
             occupancy_factor: 4.0,
+            result_write_mode: ResultWriteMode::default(),
+            warp_stash_capacity: 16,
         }
     }
 
@@ -123,6 +151,8 @@ impl DeviceConfig {
             uncoalesced_factor: 2.0,
             cycles_per_atomic: 20.0,
             occupancy_factor: 1.0,
+            result_write_mode: ResultWriteMode::default(),
+            warp_stash_capacity: 4,
         }
     }
 
@@ -152,13 +182,20 @@ impl DeviceConfig {
         if self.num_sms == 0 || self.warp_size == 0 {
             return Err("device must have at least one SM and one lane".into());
         }
-        if !(self.clock_hz > 0.0) {
+        if self.warp_size > 64 {
+            // Warp-aggregated commits track dropped lanes in a u64 bitmask.
+            return Err("warp size must be at most 64 lanes".into());
+        }
+        if self.warp_stash_capacity == 0 {
+            return Err("warp stash capacity must be at least one record".into());
+        }
+        if self.clock_hz <= 0.0 || self.clock_hz.is_nan() {
             return Err("clock must be positive".into());
         }
         if !(self.h2d_bandwidth > 0.0 && self.d2h_bandwidth > 0.0) {
             return Err("bandwidths must be positive".into());
         }
-        if !(self.occupancy_factor > 0.0) {
+        if self.occupancy_factor <= 0.0 || self.occupancy_factor.is_nan() {
             return Err("occupancy factor must be positive".into());
         }
         Ok(())
@@ -218,5 +255,21 @@ mod tests {
         let mut c = DeviceConfig::test_tiny();
         c.h2d_bandwidth = -1.0;
         assert!(c.validate().is_err());
+        let mut c = DeviceConfig::test_tiny();
+        c.warp_size = 65;
+        assert!(c.validate().is_err());
+        let mut c = DeviceConfig::test_tiny();
+        c.warp_stash_capacity = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn warp_aggregation_is_the_default() {
+        for c in
+            [DeviceConfig::tesla_c2075(), DeviceConfig::modern_gpu(), DeviceConfig::test_tiny()]
+        {
+            assert_eq!(c.result_write_mode, ResultWriteMode::WarpAggregated);
+            assert!(c.warp_stash_capacity >= 1);
+        }
     }
 }

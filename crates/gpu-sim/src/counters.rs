@@ -52,6 +52,7 @@ impl Counters {
 pub struct Lane {
     /// Global thread id (`blockIdx * blockDim + threadIdx` equivalent).
     pub global_id: usize,
+    pub(crate) lane_index: usize,
     pub(crate) counters: Counters,
     pub(crate) path: u64,
 }
@@ -59,9 +60,22 @@ pub struct Lane {
 impl Lane {
     /// Create a standalone lane. Kernels receive lanes from the launch
     /// machinery; this constructor exists so device-side helpers can be unit
-    /// tested without a launch.
+    /// tested without a launch. The lane index is derived as
+    /// `global_id % 64` (the maximum warp width); launched lanes get their
+    /// true in-warp index from the launch machinery instead.
     pub fn new(global_id: usize) -> Self {
-        Lane { global_id, counters: Counters::default(), path: 0 }
+        Lane::at(global_id, global_id % 64)
+    }
+
+    /// Create a lane with an explicit in-warp index (launch machinery).
+    pub(crate) fn at(global_id: usize, lane_index: usize) -> Self {
+        Lane { global_id, lane_index, counters: Counters::default(), path: 0 }
+    }
+
+    /// Index of this lane within its warp (`threadIdx % warpSize`).
+    #[inline]
+    pub fn lane_index(&self) -> usize {
+        self.lane_index
     }
 
     /// Record `n` scalar ALU instructions.
@@ -94,10 +108,7 @@ impl Lane {
     #[inline]
     pub fn set_path(&mut self, tag: u64) {
         // FNV-style mix so successive tags compose into one path id.
-        self.path = self
-            .path
-            .wrapping_mul(0x100000001b3)
-            .wrapping_add(tag ^ 0xcbf29ce484222325);
+        self.path = self.path.wrapping_mul(0x100000001b3).wrapping_add(tag ^ 0xcbf29ce484222325);
     }
 
     /// Counters recorded so far (for tests and nested helpers).
@@ -119,7 +130,8 @@ mod tests {
 
     #[test]
     fn counter_arithmetic() {
-        let mut a = Counters { instructions: 1, gmem_read_bytes: 2, gmem_write_bytes: 3, atomics: 4 };
+        let mut a =
+            Counters { instructions: 1, gmem_read_bytes: 2, gmem_write_bytes: 3, atomics: 4 };
         let b = Counters { instructions: 10, gmem_read_bytes: 1, gmem_write_bytes: 30, atomics: 2 };
         assert_eq!(
             a.max(&b),

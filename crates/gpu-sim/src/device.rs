@@ -2,7 +2,7 @@
 //! ledger.
 
 use crate::config::DeviceConfig;
-use crate::launch::{run_launch, LaunchReport};
+use crate::launch::{run_launch, run_launch_warps, LaunchReport, Warp};
 use crate::ledger::{Phase, ResponseTime};
 use crate::memory::{
     DeviceBuffer, OutOfDeviceMemory, PartitionedScratch, Reservation, ResultBuffer,
@@ -129,7 +129,12 @@ impl Device {
     ) -> Result<ResultBuffer<T>, OutOfDeviceMemory> {
         let bytes = capacity * std::mem::size_of::<T>();
         let reservation = Reservation::new(self, bytes)?;
-        Ok(ResultBuffer::with_capacity(capacity, reservation))
+        Ok(ResultBuffer::with_capacity(
+            capacity,
+            self.config.result_write_mode,
+            self.config.warp_stash_capacity,
+            reservation,
+        ))
     }
 
     /// Allocate a scatter buffer (offline): kernels write at explicit,
@@ -141,7 +146,11 @@ impl Device {
     ) -> Result<crate::memory::ScatterBuffer<T>, OutOfDeviceMemory> {
         let bytes = capacity * std::mem::size_of::<T>();
         let reservation = Reservation::new(self, bytes)?;
-        Ok(crate::memory::ScatterBuffer::with_capacity(capacity, reservation))
+        Ok(crate::memory::ScatterBuffer::with_capacity(
+            capacity,
+            self.config.result_write_mode,
+            reservation,
+        ))
     }
 
     /// Allocate per-thread scratch partitions (offline): `partitions` areas
@@ -154,7 +163,12 @@ impl Device {
     ) -> Result<PartitionedScratch<T>, OutOfDeviceMemory> {
         let bytes = partitions * per_thread * std::mem::size_of::<T>();
         let reservation = Reservation::new(self, bytes)?;
-        Ok(PartitionedScratch::new(partitions, per_thread, reservation))
+        Ok(PartitionedScratch::new(
+            partitions,
+            per_thread,
+            self.config.result_write_mode,
+            reservation,
+        ))
     }
 
     /// Launch a kernel over `threads` GPU threads and charge launch overhead
@@ -167,11 +181,29 @@ impl Device {
         K: Fn(&mut Lane) + Sync,
     {
         let report = run_launch(&self.config, threads, &kernel);
+        self.charge_launch(&report);
+        report
+    }
+
+    /// Launch a warp-scoped kernel: the closure receives each [`Warp`] and
+    /// drives its lanes via [`Warp::for_each_lane`], then may run a per-warp
+    /// epilogue (e.g. committing a [`crate::memory::WarpStash`]) whose costs
+    /// are charged at converged rates. Ledger accounting matches
+    /// [`Device::launch`].
+    pub fn launch_warps<K>(&self, threads: usize, kernel: K) -> LaunchReport
+    where
+        K: Fn(&mut Warp) + Sync,
+    {
+        let report = run_launch_warps(&self.config, threads, &kernel);
+        self.charge_launch(&report);
+        report
+    }
+
+    fn charge_launch(&self, report: &LaunchReport) {
         let mut ledger = self.ledger.lock();
         ledger.add(Phase::KernelLaunch, report.launch_overhead_seconds);
         ledger.add(Phase::KernelExec, report.sim_exec_seconds);
         ledger.kernel_invocations += 1;
-        report
     }
 
     /// Charge a device→host transfer of `bytes` (draining result buffers,

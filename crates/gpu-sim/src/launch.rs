@@ -28,11 +28,106 @@
 //! of its warps' cycles divided by the occupancy (latency-hiding) factor, and
 //! the kernel's execution time is the maximum over SMs divided by the clock.
 //! Every quantity is a deterministic function of the recorded counters.
+//!
+//! # Warp-scoped launches
+//!
+//! [`crate::Device::launch_warps`] hands the kernel a whole [`Warp`] instead
+//! of individual lanes, so kernels can run a *per-warp epilogue* after the
+//! lane loop — the simulated analogue of warp-level primitives
+//! (`__ballot_sync`/`__shfl_sync` + a leader `atomicAdd`). Costs recorded on
+//! the warp itself (via [`Warp::instr`] etc.) are charged *converged*: no
+//! divergence multiplier on instructions and no uncoalesced factor on memory
+//! traffic, because all lanes execute the epilogue together and commit
+//! writes are contiguous.
 
 use crate::config::DeviceConfig;
 use crate::counters::{Counters, Lane};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Maximum lanes per warp supported by the simulator: warp-aggregated
+/// commits track per-lane drop bits in a `u64` mask
+/// (see [`crate::memory::WarpStash`]).
+pub const MAX_WARP_LANES: usize = 64;
+
+/// Execution context for one warp, handed to kernels launched via
+/// [`crate::Device::launch_warps`].
+///
+/// Lane work happens inside [`Warp::for_each_lane`]; anything recorded on
+/// the warp afterwards (the epilogue) is charged at converged-execution
+/// rates — see the module docs.
+#[derive(Debug)]
+pub struct Warp {
+    index: usize,
+    lanes: Vec<Lane>,
+    counters: Counters,
+}
+
+impl Warp {
+    pub(crate) fn with_lanes(index: usize, lanes: Vec<Lane>) -> Self {
+        debug_assert!(lanes.len() <= MAX_WARP_LANES);
+        Warp { index, lanes, counters: Counters::default() }
+    }
+
+    /// A detached warp of `lane_count` fresh lanes (global ids `0..count`).
+    /// Kernels receive warps from the launch machinery; this constructor
+    /// exists so warp-scoped helpers can be unit tested without a launch.
+    pub fn standalone(lane_count: usize) -> Self {
+        assert!((1..=MAX_WARP_LANES).contains(&lane_count));
+        Warp::with_lanes(0, (0..lane_count).map(|gid| Lane::at(gid, gid)).collect())
+    }
+
+    /// Index of this warp within the launch.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Number of lanes in this warp (the trailing warp of a launch may be
+    /// partial).
+    #[inline]
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Run `f` once per lane, in lane order. May be called repeatedly; the
+    /// lanes keep accumulating onto the same counters.
+    pub fn for_each_lane(&mut self, mut f: impl FnMut(&mut Lane)) {
+        for lane in &mut self.lanes {
+            f(lane);
+        }
+    }
+
+    /// Record `n` converged ALU instructions (executed by the warp as one).
+    #[inline]
+    pub fn instr(&mut self, n: u64) {
+        self.counters.instructions += n;
+    }
+
+    /// Record a coalesced global-memory read of `bytes` by the warp.
+    #[inline]
+    pub fn gmem_read(&mut self, bytes: u64) {
+        self.counters.gmem_read_bytes += bytes;
+    }
+
+    /// Record a coalesced global-memory write of `bytes` by the warp.
+    #[inline]
+    pub fn gmem_write(&mut self, bytes: u64) {
+        self.counters.gmem_write_bytes += bytes;
+    }
+
+    /// Record `n` global atomic operations issued by the warp leader.
+    #[inline]
+    pub fn atomics(&mut self, n: u64) {
+        self.counters.atomics += n;
+    }
+
+    /// Warp-scoped counters recorded so far (for tests).
+    #[inline]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+}
 
 /// Cost summary of one warp.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -68,8 +163,15 @@ impl LaunchReport {
     }
 }
 
-/// Compute the simulated cost of one warp from its lanes' counters and paths.
-pub(crate) fn warp_cost(config: &DeviceConfig, lanes: &[(Counters, u64)]) -> WarpCost {
+/// Compute the simulated cost of one warp from its lanes' counters and
+/// paths, plus warp-scoped `warp_extra` charges recorded by a per-warp
+/// epilogue. The extra charges are converged: no `k` multiplier on
+/// instructions, no uncoalesced factor on memory bytes.
+pub(crate) fn warp_cost(
+    config: &DeviceConfig,
+    lanes: &[(Counters, u64)],
+    warp_extra: &Counters,
+) -> WarpCost {
     debug_assert!(!lanes.is_empty());
     let mut max = Counters::default();
     let mut totals = Counters::default();
@@ -88,20 +190,26 @@ pub(crate) fn warp_cost(config: &DeviceConfig, lanes: &[(Counters, u64)]) -> War
     let k = distinct.len() as f64;
     let divergent = distinct.len() > 1;
 
-    let alu = k * max.instructions as f64 * config.cycles_per_instr;
+    let alu =
+        (k * max.instructions as f64 + warp_extra.instructions as f64) * config.cycles_per_instr;
     let bytes = (totals.gmem_read_bytes + totals.gmem_write_bytes) as f64;
     let transactions = (bytes / config.gmem_transaction_bytes).ceil();
     let mem_penalty = if divergent { config.uncoalesced_factor } else { 1.0 };
-    let mem = transactions * config.cycles_per_gmem_transaction * mem_penalty;
-    let atom = totals.atomics as f64 * config.cycles_per_atomic;
+    let extra_bytes = (warp_extra.gmem_read_bytes + warp_extra.gmem_write_bytes) as f64;
+    let extra_transactions = (extra_bytes / config.gmem_transaction_bytes).ceil();
+    let mem =
+        (transactions * mem_penalty + extra_transactions) * config.cycles_per_gmem_transaction;
+    let atom = (totals.atomics + warp_extra.atomics) as f64 * config.cycles_per_atomic;
 
+    totals.add(warp_extra);
     WarpCost { cycles: alu + mem + atom, divergent, totals }
 }
 
-/// Execute a kernel over `threads` threads and compute the launch report.
-pub(crate) fn run_launch<K>(config: &DeviceConfig, threads: usize, kernel: &K) -> LaunchReport
+/// Execute a warp-scoped kernel over `threads` threads and compute the
+/// launch report.
+pub(crate) fn run_launch_warps<K>(config: &DeviceConfig, threads: usize, kernel: &K) -> LaunchReport
 where
-    K: Fn(&mut Lane) + Sync,
+    K: Fn(&mut Warp) + Sync,
 {
     let warp_size = config.warp_size;
     let warps = threads.div_ceil(warp_size);
@@ -112,13 +220,12 @@ where
         .map(|w| {
             let first = w * warp_size;
             let last = ((w + 1) * warp_size).min(threads);
-            let mut lanes = Vec::with_capacity(last - first);
-            for gid in first..last {
-                let mut lane = Lane::new(gid);
-                kernel(&mut lane);
-                lanes.push((lane.counters, lane.path));
-            }
-            warp_cost(config, &lanes)
+            let lanes = (first..last).map(|gid| Lane::at(gid, gid - first)).collect();
+            let mut warp = Warp::with_lanes(w, lanes);
+            kernel(&mut warp);
+            let lane_costs: Vec<(Counters, u64)> =
+                warp.lanes.iter().map(|l| (l.counters, l.path)).collect();
+            warp_cost(config, &lane_costs, &warp.counters)
         })
         .collect();
 
@@ -146,6 +253,15 @@ where
         launch_overhead_seconds: config.kernel_launch_overhead,
         wall_seconds,
     }
+}
+
+/// Execute a lane-scoped kernel over `threads` threads; thin wrapper over
+/// [`run_launch_warps`] with no per-warp epilogue.
+pub(crate) fn run_launch<K>(config: &DeviceConfig, threads: usize, kernel: &K) -> LaunchReport
+where
+    K: Fn(&mut Lane) + Sync,
+{
+    run_launch_warps(config, threads, &|warp: &mut Warp| warp.for_each_lane(|lane| kernel(lane)))
 }
 
 #[cfg(test)]
@@ -267,18 +383,79 @@ mod tests {
                 0u64,
             ),
         ];
-        let cost = warp_cost(&c, &lanes);
+        let cost = warp_cost(&c, &lanes, &Counters::default());
         // alu = 1 * 10 * 1 = 10; mem = ceil(16/16)=1 txn * 10 = 10; atomics = 1*20.
         assert_eq!(cost.cycles, 40.0);
         assert!(!cost.divergent);
 
         // Divergent version: distinct paths double ALU and apply the
         // uncoalesced factor.
-        let lanes_div =
-            vec![(lanes[0].0, 1u64), (lanes[1].0, 2u64)];
-        let cost_div = warp_cost(&c, &lanes_div);
+        let lanes_div = vec![(lanes[0].0, 1u64), (lanes[1].0, 2u64)];
+        let cost_div = warp_cost(&c, &lanes_div, &Counters::default());
         // alu = 2 * 10 = 20; mem = 1 * 10 * 2 = 20; atomics = 20.
         assert_eq!(cost_div.cycles, 60.0);
         assert!(cost_div.divergent);
+    }
+
+    #[test]
+    fn warp_extra_charges_are_converged() {
+        let c = DeviceConfig::test_tiny();
+        let lanes = vec![
+            (
+                Counters { instructions: 10, gmem_read_bytes: 8, gmem_write_bytes: 0, atomics: 0 },
+                1u64,
+            ),
+            (
+                Counters { instructions: 10, gmem_read_bytes: 8, gmem_write_bytes: 0, atomics: 0 },
+                2u64,
+            ),
+        ];
+        let extra =
+            Counters { instructions: 5, gmem_read_bytes: 0, gmem_write_bytes: 32, atomics: 1 };
+        let cost = warp_cost(&c, &lanes, &extra);
+        // Divergent lanes: alu = 2*10 + 5 (no k multiplier on extra) = 25;
+        // mem = ceil(16/16)*10*2 (uncoalesced) + ceil(32/16)*10 (coalesced
+        // commit) = 20 + 20 = 40; atomics = 1 * 20 = 20.
+        assert_eq!(cost.cycles, 85.0);
+        assert!(cost.divergent);
+        // Extra charges appear in the totals.
+        assert_eq!(cost.totals.instructions, 25);
+        assert_eq!(cost.totals.gmem_write_bytes, 32);
+        assert_eq!(cost.totals.atomics, 1);
+    }
+
+    #[test]
+    fn warp_launch_runs_epilogue_once_per_warp() {
+        let dev = tiny();
+        let epilogues = AtomicU64::new(0);
+        let lanes_run = AtomicU64::new(0);
+        let report = dev.launch_warps(10, |warp| {
+            warp.for_each_lane(|lane| {
+                lane.instr(1);
+                lanes_run.fetch_add(1, Ordering::Relaxed);
+            });
+            warp.atomics(1);
+            epilogues.fetch_add(1, Ordering::Relaxed);
+        });
+        // 10 threads on 4-lane warps: 3 warps, the last partial (2 lanes).
+        assert_eq!(report.warps, 3);
+        assert_eq!(epilogues.load(Ordering::Relaxed), 3);
+        assert_eq!(lanes_run.load(Ordering::Relaxed), 10);
+        assert_eq!(report.totals.instructions, 10);
+        assert_eq!(report.totals.atomics, 3);
+    }
+
+    #[test]
+    fn lane_indices_match_position_in_warp() {
+        let dev = tiny();
+        dev.launch_warps(13, |warp| {
+            let mut expect = 0usize;
+            let base = warp.index() * 4;
+            warp.for_each_lane(|lane| {
+                assert_eq!(lane.lane_index(), expect);
+                assert_eq!(lane.global_id, base + expect);
+                expect += 1;
+            });
+        });
     }
 }

@@ -42,11 +42,14 @@ pub mod memory;
 pub mod redo;
 pub mod report;
 
-pub use config::DeviceConfig;
-pub use redo::{NextBatch, RedoSchedule};
-pub use report::{SearchError, SearchReport};
+pub use config::{DeviceConfig, ResultWriteMode};
 pub use counters::{Counters, Lane};
 pub use device::Device;
-pub use launch::LaunchReport;
+pub use launch::{LaunchReport, Warp, MAX_WARP_LANES};
 pub use ledger::{pipeline_makespan, Phase, ResponseTime};
-pub use memory::{DeviceBuffer, OutOfDeviceMemory, PartitionedScratch, ResultBuffer, ScatterBuffer};
+pub use memory::{
+    DeviceBuffer, OutOfDeviceMemory, PartitionedScratch, ResultBuffer, ScatterBuffer, ScatterStash,
+    ScratchPartition, WarpStash,
+};
+pub use redo::{NextBatch, RedoSchedule};
+pub use report::{SearchError, SearchReport};

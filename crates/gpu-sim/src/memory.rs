@@ -1,13 +1,26 @@
 //! Simulated device global memory: read-only buffers, atomic-append result
 //! buffers, and per-thread scratch partitions.
+//!
+//! Result writes support two strategies (see
+//! [`crate::config::ResultWriteMode`]): the paper's per-record atomic append,
+//! and warp-aggregated commits in which lanes stage matches in a
+//! [`WarpStash`] and the warp flushes them together with a single cursor
+//! `fetch_add` — the simulated analogue of the ballot/leader-`atomicAdd`/
+//! scatter idiom on real hardware.
 
+use crate::config::ResultWriteMode;
 use crate::counters::Lane;
 use crate::device::Device;
+use crate::launch::{Warp, MAX_WARP_LANES};
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Converged ALU instructions charged per warp-aggregated flush: ballot,
+/// popcount, leader election, base broadcast, and address arithmetic.
+const COMMIT_INSTR: u64 = 8;
 
 /// Error returned when a device allocation exceeds the remaining simulated
 /// global memory.
@@ -114,6 +127,8 @@ pub struct ResultBuffer<T> {
     slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
     cursor: AtomicUsize,
     overflowed: AtomicBool,
+    mode: ResultWriteMode,
+    stash_capacity: usize,
     _reservation: Reservation,
 }
 
@@ -124,13 +139,20 @@ unsafe impl<T: Send> Sync for ResultBuffer<T> {}
 unsafe impl<T: Send> Send for ResultBuffer<T> {}
 
 impl<T> ResultBuffer<T> {
-    pub(crate) fn with_capacity(capacity: usize, reservation: Reservation) -> Self {
+    pub(crate) fn with_capacity(
+        capacity: usize,
+        mode: ResultWriteMode,
+        stash_capacity: usize,
+        reservation: Reservation,
+    ) -> Self {
         let mut slots = Vec::with_capacity(capacity);
         slots.resize_with(capacity, || UnsafeCell::new(MaybeUninit::uninit()));
         ResultBuffer {
             slots: slots.into_boxed_slice(),
             cursor: AtomicUsize::new(0),
             overflowed: AtomicBool::new(false),
+            mode,
+            stash_capacity: stash_capacity.max(1),
             _reservation: reservation,
         }
     }
@@ -141,15 +163,17 @@ impl<T> ResultBuffer<T> {
         self.slots.len()
     }
 
-    /// Append `item` from a kernel lane. Returns `true` on success, `false`
-    /// when the buffer is full (the overflow flag is then set and the item
-    /// dropped). Charges one atomic plus the write bytes on success.
+    /// The write strategy this buffer was allocated with.
     #[inline]
-    pub fn push(&self, lane: &mut Lane, item: T) -> bool {
-        lane.atomic();
-        let idx = self.cursor.fetch_add(1, Ordering::Relaxed);
+    pub fn write_mode(&self) -> ResultWriteMode {
+        self.mode
+    }
+
+    /// Store `item` at `idx` without cost accounting; `false` (plus the
+    /// overflow flag) when `idx` is past capacity. Callers charge the costs.
+    #[inline]
+    fn raw_write(&self, idx: usize, item: T) -> bool {
         if idx < self.slots.len() {
-            lane.gmem_write(std::mem::size_of::<T>() as u64);
             // SAFETY: `idx` was obtained from the atomic cursor, so no other
             // thread writes this slot; reads happen only after the launch.
             unsafe { (*self.slots[idx].get()).write(item) };
@@ -158,6 +182,29 @@ impl<T> ResultBuffer<T> {
             self.overflowed.store(true, Ordering::Relaxed);
             false
         }
+    }
+
+    /// Append `item` from a kernel lane. Returns `true` on success, `false`
+    /// when the buffer is full (the overflow flag is then set and the item
+    /// dropped). Charges one atomic plus the write bytes on success.
+    #[inline]
+    pub fn push(&self, lane: &mut Lane, item: T) -> bool {
+        lane.atomic();
+        let idx = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let stored = self.raw_write(idx, item);
+        if stored {
+            lane.gmem_write(std::mem::size_of::<T>() as u64);
+        }
+        stored
+    }
+
+    /// Begin a warp's staged append session. Lanes [`WarpStash::stage`]
+    /// matches during the lane loop; the warp epilogue calls
+    /// [`WarpStash::commit`] to flush them with one cursor `fetch_add` for
+    /// the whole warp ([`ResultWriteMode::WarpAggregated`]) or to replay the
+    /// per-record behaviour ([`ResultWriteMode::PerLane`]).
+    pub fn warp_stash(&self) -> WarpStash<'_, T> {
+        WarpStash { buffer: self, staged: Vec::new(), dropped: 0 }
     }
 
     /// True if any append was rejected.
@@ -208,6 +255,128 @@ impl<T> Drop for ResultBuffer<T> {
     }
 }
 
+/// One warp's staged appends into a [`ResultBuffer`].
+///
+/// In [`ResultWriteMode::WarpAggregated`] each lane stages matches into its
+/// own slot of the stash (a register/shared-memory tile on real hardware,
+/// sized by [`crate::DeviceConfig::warp_stash_capacity`]); [`commit`] then
+/// bumps the shared cursor **once** for the warp's whole batch and scatters
+/// the records contiguously. In [`ResultWriteMode::PerLane`] the stash is
+/// transparent: [`stage`] forwards straight to [`ResultBuffer::push`],
+/// reproducing the paper's one-atomic-per-record baseline.
+///
+/// [`commit`]: WarpStash::commit
+/// [`stage`]: WarpStash::stage
+pub struct WarpStash<'a, T> {
+    buffer: &'a ResultBuffer<T>,
+    staged: Vec<Vec<T>>,
+    dropped: u64,
+}
+
+impl<'a, T> WarpStash<'a, T> {
+    fn lane_slot(&mut self, lane_index: usize) -> &mut Vec<T> {
+        assert!(lane_index < MAX_WARP_LANES, "lane index {lane_index} out of range");
+        if self.staged.len() <= lane_index {
+            self.staged.resize_with(lane_index + 1, Vec::new);
+        }
+        &mut self.staged[lane_index]
+    }
+
+    /// Stage `item` from a kernel lane.
+    ///
+    /// Per-lane mode appends immediately (one atomic per record) and returns
+    /// whether the record was stored; warp-aggregated mode buffers the item
+    /// (one ALU op) and always returns `true` — capacity is only checked at
+    /// [`WarpStash::commit`].
+    #[inline]
+    pub fn stage(&mut self, lane: &mut Lane, item: T) -> bool {
+        match self.buffer.mode {
+            ResultWriteMode::PerLane => {
+                let stored = self.buffer.push(lane, item);
+                if !stored {
+                    self.dropped |= 1 << lane.lane_index();
+                }
+                stored
+            }
+            ResultWriteMode::WarpAggregated => {
+                lane.instr(1);
+                self.lane_slot(lane.lane_index()).push(item);
+                true
+            }
+        }
+    }
+
+    /// Stage `item` on behalf of lane `lane_index` from the warp epilogue
+    /// (no `Lane` handle there). Buffered in both modes and flushed at
+    /// [`WarpStash::commit`]; used e.g. to stage redo ids for dropped lanes.
+    #[inline]
+    pub fn stage_at(&mut self, lane_index: usize, item: T) {
+        self.lane_slot(lane_index).push(item);
+    }
+
+    /// Record that `lane` lost a record without staging one (e.g. its
+    /// scratch overflowed before any result was produced), so it shows up
+    /// in the mask returned by [`WarpStash::commit`].
+    #[inline]
+    pub fn mark_dropped(&mut self, lane: &Lane) {
+        self.dropped |= 1 << lane.lane_index();
+    }
+
+    /// Flush all staged records and return the dropped-lane bitmask (bit
+    /// `i` set ⇔ lane `i` lost at least one record to buffer overflow, or
+    /// was [`WarpStash::mark_dropped`]).
+    ///
+    /// Warp-aggregated mode charges one atomic per *flush round* — a lane
+    /// staging more than `warp_stash_capacity` records forces
+    /// `ceil(n/capacity)` rounds, the max over lanes — instead of one per
+    /// record, plus [`COMMIT_INSTR`] converged instructions per round and
+    /// coalesced write bytes for the stored records.
+    pub fn commit(&mut self, warp: &mut Warp) -> u64 {
+        let item_bytes = std::mem::size_of::<T>() as u64;
+        match self.buffer.mode {
+            ResultWriteMode::PerLane => {
+                // Only `stage_at` items are pending here; replay them through
+                // the per-record cursor protocol.
+                for li in 0..self.staged.len() {
+                    for item in std::mem::take(&mut self.staged[li]) {
+                        warp.atomics(1);
+                        let idx = self.buffer.cursor.fetch_add(1, Ordering::Relaxed);
+                        if self.buffer.raw_write(idx, item) {
+                            warp.gmem_write(item_bytes);
+                        } else {
+                            self.dropped |= 1 << li;
+                        }
+                    }
+                }
+                std::mem::take(&mut self.dropped)
+            }
+            ResultWriteMode::WarpAggregated => {
+                let total: usize = self.staged.iter().map(Vec::len).sum();
+                if total > 0 {
+                    let cap = self.buffer.stash_capacity;
+                    let flushes =
+                        self.staged.iter().map(|s| s.len().div_ceil(cap)).max().unwrap_or(1) as u64;
+                    warp.instr(flushes * COMMIT_INSTR);
+                    warp.atomics(flushes);
+                    let base = self.buffer.cursor.fetch_add(total, Ordering::Relaxed);
+                    let mut offset = 0usize;
+                    for li in 0..self.staged.len() {
+                        for item in std::mem::take(&mut self.staged[li]) {
+                            if self.buffer.raw_write(base + offset, item) {
+                                warp.gmem_write(item_bytes);
+                            } else {
+                                self.dropped |= 1 << li;
+                            }
+                            offset += 1;
+                        }
+                    }
+                }
+                std::mem::take(&mut self.dropped)
+            }
+        }
+    }
+}
+
 /// A device buffer kernels write at *explicit, caller-disjoint* indices —
 /// the write side of a two-pass (count → prefix-sum → scatter) output
 /// scheme, which avoids result-buffer atomics entirely.
@@ -217,6 +386,7 @@ impl<T> Drop for ResultBuffer<T> {
 pub struct ScatterBuffer<T> {
     slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
     written: Box<[AtomicBool]>,
+    mode: ResultWriteMode,
     _reservation: Reservation,
 }
 
@@ -226,7 +396,11 @@ unsafe impl<T: Send> Sync for ScatterBuffer<T> {}
 unsafe impl<T: Send> Send for ScatterBuffer<T> {}
 
 impl<T> ScatterBuffer<T> {
-    pub(crate) fn with_capacity(capacity: usize, reservation: Reservation) -> Self {
+    pub(crate) fn with_capacity(
+        capacity: usize,
+        mode: ResultWriteMode,
+        reservation: Reservation,
+    ) -> Self {
         let mut slots = Vec::with_capacity(capacity);
         slots.resize_with(capacity, || UnsafeCell::new(MaybeUninit::uninit()));
         let mut written = Vec::with_capacity(capacity);
@@ -234,6 +408,7 @@ impl<T> ScatterBuffer<T> {
         ScatterBuffer {
             slots: slots.into_boxed_slice(),
             written: written.into_boxed_slice(),
+            mode,
             _reservation: reservation,
         }
     }
@@ -243,19 +418,37 @@ impl<T> ScatterBuffer<T> {
         self.slots.len()
     }
 
-    /// Write `item` at `idx` from a kernel lane (plain global write, no
-    /// atomic). Panics on out-of-bounds or double writes.
+    /// The write strategy this buffer was allocated with.
     #[inline]
-    pub fn write(&self, lane: &mut Lane, idx: usize, item: T) {
+    pub fn write_mode(&self) -> ResultWriteMode {
+        self.mode
+    }
+
+    /// Store `item` at `idx` without cost accounting. Panics on
+    /// out-of-bounds or double writes (a data race on real hardware).
+    #[inline]
+    fn raw_write(&self, idx: usize, item: T) {
         assert!(idx < self.slots.len(), "scatter write {idx} out of bounds");
         assert!(
             !self.written[idx].swap(true, Ordering::AcqRel),
             "scatter slot {idx} written twice in one launch"
         );
-        lane.gmem_write(std::mem::size_of::<T>() as u64);
         // SAFETY: the flag above guarantees this slot is written exactly
         // once; reads require `&mut self` (post-launch).
         unsafe { (*self.slots[idx].get()).write(item) };
+    }
+
+    /// Write `item` at `idx` from a kernel lane (plain global write, no
+    /// atomic). Panics on out-of-bounds or double writes.
+    #[inline]
+    pub fn write(&self, lane: &mut Lane, idx: usize, item: T) {
+        lane.gmem_write(std::mem::size_of::<T>() as u64);
+        self.raw_write(idx, item);
+    }
+
+    /// Begin a warp's staged scatter session (see [`ScatterStash`]).
+    pub fn warp_stash(&self) -> ScatterStash<'_, T> {
+        ScatterStash { buffer: self, staged: Vec::new() }
     }
 
     /// Drain the first `len` slots to the host (all must have been written)
@@ -264,10 +457,7 @@ impl<T> ScatterBuffer<T> {
         assert!(len <= self.slots.len());
         let mut out = Vec::with_capacity(len);
         for i in 0..len {
-            assert!(
-                *self.written[i].get_mut(),
-                "scatter slot {i} was never written"
-            );
+            assert!(*self.written[i].get_mut(), "scatter slot {i} was never written");
             // SAFETY: flagged as written; consumed exactly once here.
             out.push(unsafe { self.slots[i].get_mut().assume_init_read() });
         }
@@ -291,6 +481,45 @@ impl<T> Drop for ScatterBuffer<T> {
     }
 }
 
+/// One warp's staged writes into a [`ScatterBuffer`].
+///
+/// Scatter writes already use no atomics; what warp aggregation buys here is
+/// write-combining: staged records are flushed together in
+/// [`ScatterStash::commit`] as coalesced warp traffic instead of per-lane
+/// stores scattered across the launch. In [`ResultWriteMode::PerLane`] the
+/// stash is transparent and [`ScatterStash::stage`] writes immediately.
+pub struct ScatterStash<'a, T> {
+    buffer: &'a ScatterBuffer<T>,
+    staged: Vec<(usize, T)>,
+}
+
+impl<'a, T> ScatterStash<'a, T> {
+    /// Stage `item` for slot `idx` from a kernel lane.
+    #[inline]
+    pub fn stage(&mut self, lane: &mut Lane, idx: usize, item: T) {
+        match self.buffer.mode {
+            ResultWriteMode::PerLane => self.buffer.write(lane, idx, item),
+            ResultWriteMode::WarpAggregated => {
+                lane.instr(1);
+                self.staged.push((idx, item));
+            }
+        }
+    }
+
+    /// Flush all staged writes, charging the warp coalesced write bytes.
+    pub fn commit(&mut self, warp: &mut Warp) {
+        if self.staged.is_empty() {
+            return;
+        }
+        let bytes = (self.staged.len() * std::mem::size_of::<T>()) as u64;
+        warp.instr(COMMIT_INSTR);
+        warp.gmem_write(bytes);
+        for (idx, item) in self.staged.drain(..) {
+            self.buffer.raw_write(idx, item);
+        }
+    }
+}
+
 /// Device memory partitioned into equal per-thread scratch areas — the
 /// paper's candidate buffers `U_k` with `|U_k| = s / |Q|` (§IV-A).
 ///
@@ -303,6 +532,7 @@ pub struct PartitionedScratch<T> {
     data: Box<[UnsafeCell<T>]>,
     per_thread: usize,
     taken: Box<[AtomicBool]>,
+    mode: ResultWriteMode,
     _reservation: Reservation,
 }
 
@@ -312,7 +542,12 @@ unsafe impl<T: Send> Sync for PartitionedScratch<T> {}
 unsafe impl<T: Send> Send for PartitionedScratch<T> {}
 
 impl<T: Copy + Default> PartitionedScratch<T> {
-    pub(crate) fn new(partitions: usize, per_thread: usize, reservation: Reservation) -> Self {
+    pub(crate) fn new(
+        partitions: usize,
+        per_thread: usize,
+        mode: ResultWriteMode,
+        reservation: Reservation,
+    ) -> Self {
         let mut data = Vec::with_capacity(partitions * per_thread);
         data.resize_with(partitions * per_thread, || UnsafeCell::new(T::default()));
         let mut taken = Vec::with_capacity(partitions);
@@ -321,6 +556,7 @@ impl<T: Copy + Default> PartitionedScratch<T> {
             data: data.into_boxed_slice(),
             per_thread,
             taken: taken.into_boxed_slice(),
+            mode,
             _reservation: reservation,
         }
     }
@@ -344,7 +580,7 @@ impl<T: Copy + Default> PartitionedScratch<T> {
             "scratch partition {idx} taken twice in one launch"
         );
         let start = idx * self.per_thread;
-        ScratchPartition { scratch: self, start, len: 0 }
+        ScratchPartition { scratch: self, start, len: 0, pending: 0 }
     }
 
     /// Reset all partitions for the next launch. `&mut self` guarantees no
@@ -361,17 +597,31 @@ pub struct ScratchPartition<'a, T> {
     scratch: &'a PartitionedScratch<T>,
     start: usize,
     len: usize,
+    pending: u64,
 }
 
 impl<'a, T: Copy + Default> ScratchPartition<'a, T> {
     /// Append `item`; returns `false` (buffer full) when the partition's
     /// capacity is exceeded — the paper's `U_k` overflow condition.
+    ///
+    /// In [`ResultWriteMode::PerLane`] each append is an immediate per-lane
+    /// global write. In [`ResultWriteMode::WarpAggregated`] appends cost one
+    /// ALU op and the write bytes accumulate in
+    /// [`ScratchPartition::pending_write_bytes`], which the kernel's warp
+    /// epilogue charges as coalesced warp traffic (staged chunk
+    /// write-combining).
     #[inline]
     pub fn push(&mut self, lane: &mut Lane, item: T) -> bool {
         if self.len >= self.scratch.per_thread {
             return false;
         }
-        lane.gmem_write(std::mem::size_of::<T>() as u64);
+        match self.scratch.mode {
+            ResultWriteMode::PerLane => lane.gmem_write(std::mem::size_of::<T>() as u64),
+            ResultWriteMode::WarpAggregated => {
+                lane.instr(1);
+                self.pending += std::mem::size_of::<T>() as u64;
+            }
+        }
         // SAFETY: this partition is exclusively owned (enforced by
         // `take_partition`), and `start + len` stays within it.
         unsafe {
@@ -379,6 +629,14 @@ impl<'a, T: Copy + Default> ScratchPartition<'a, T> {
         }
         self.len += 1;
         true
+    }
+
+    /// Write bytes accumulated by warp-aggregated appends and not yet
+    /// charged; the caller's warp epilogue should charge these via
+    /// [`Warp::gmem_write`]. Always zero in per-lane mode.
+    #[inline]
+    pub fn pending_write_bytes(&self) -> u64 {
+        self.pending
     }
 
     /// Number of elements appended so far.
@@ -558,5 +816,198 @@ mod tests {
             assert_eq!(dev.mem_used(), 1024);
         }
         assert_eq!(dev.mem_used(), 0);
+    }
+
+    fn device_with(mode: ResultWriteMode) -> Arc<Device> {
+        let mut c = DeviceConfig::test_tiny();
+        c.result_write_mode = mode;
+        Device::new(c).unwrap()
+    }
+
+    #[test]
+    fn warp_stash_commits_with_one_atomic_per_flush() {
+        let dev = device_with(ResultWriteMode::WarpAggregated);
+        let mut buf: ResultBuffer<u32> = dev.alloc_result(16).unwrap();
+        let mut warp = Warp::standalone(4);
+        {
+            let mut stash = buf.warp_stash();
+            warp.for_each_lane(|lane| {
+                // Lane i stages i records; staging costs ALU, not atomics.
+                for i in 0..lane.lane_index() as u32 {
+                    assert!(stash.stage(lane, lane.lane_index() as u32 * 10 + i));
+                }
+                assert_eq!(lane.counters().atomics, 0);
+            });
+            let dropped = stash.commit(&mut warp);
+            assert_eq!(dropped, 0);
+        }
+        // 6 records, deepest lane stages 3 <= stash capacity 4: one flush.
+        assert_eq!(warp.counters().atomics, 1);
+        assert_eq!(warp.counters().gmem_write_bytes, 6 * 4);
+        assert!(warp.counters().instructions >= 1);
+        let mut got = buf.drain_to_host();
+        got.sort_unstable();
+        assert_eq!(got, vec![10, 20, 21, 30, 31, 32]);
+    }
+
+    #[test]
+    fn warp_stash_deep_lane_forces_extra_flushes() {
+        let dev = device_with(ResultWriteMode::WarpAggregated);
+        let buf: ResultBuffer<u32> = dev.alloc_result(16).unwrap();
+        let mut warp = Warp::standalone(2);
+        let mut stash = buf.warp_stash();
+        warp.for_each_lane(|lane| {
+            if lane.lane_index() == 0 {
+                for i in 0..9 {
+                    stash.stage(lane, i);
+                }
+            }
+        });
+        stash.commit(&mut warp);
+        // ceil(9 / stash capacity 4) = 3 flush rounds.
+        assert_eq!(warp.counters().atomics, 3);
+    }
+
+    #[test]
+    fn warp_stash_overflow_sets_flag_and_lane_mask() {
+        let dev = device_with(ResultWriteMode::WarpAggregated);
+        let mut buf: ResultBuffer<u32> = dev.alloc_result(3).unwrap();
+        let mut warp = Warp::standalone(4);
+        let dropped = {
+            let mut stash = buf.warp_stash();
+            warp.for_each_lane(|lane| {
+                // Lane i stages i records: 0 + 1 + 2 + 3 = 6 > capacity 3.
+                for i in 0..lane.lane_index() as u32 {
+                    stash.stage(lane, i);
+                }
+            });
+            stash.commit(&mut warp)
+        };
+        assert!(buf.overflowed());
+        assert_eq!(buf.len(), 3);
+        // Records scatter in lane order: lane 1's record and lane 2's two
+        // fill the buffer; lane 3 loses all three of its records.
+        assert_eq!(dropped, 1 << 3);
+        // Only stored records are charged as writes.
+        assert_eq!(warp.counters().gmem_write_bytes, 3 * 4);
+        assert_eq!(buf.drain_to_host().len(), 3);
+    }
+
+    #[test]
+    fn warp_stash_mark_dropped_and_stage_at() {
+        let dev = device_with(ResultWriteMode::WarpAggregated);
+        let mut buf: ResultBuffer<u32> = dev.alloc_result(8).unwrap();
+        let mut warp = Warp::standalone(4);
+        let dropped = {
+            let mut stash = buf.warp_stash();
+            warp.for_each_lane(|lane| {
+                if lane.lane_index() == 2 {
+                    stash.mark_dropped(lane);
+                }
+            });
+            stash.stage_at(1, 41);
+            stash.commit(&mut warp)
+        };
+        assert_eq!(dropped, 1 << 2);
+        assert_eq!(buf.drain_to_host(), vec![41]);
+    }
+
+    #[test]
+    fn per_lane_stash_is_transparent() {
+        let dev = device_with(ResultWriteMode::PerLane);
+        let mut buf: ResultBuffer<u32> = dev.alloc_result(2).unwrap();
+        let mut warp = Warp::standalone(4);
+        let dropped = {
+            let mut stash = buf.warp_stash();
+            warp.for_each_lane(|lane| {
+                // One record per lane against capacity 2: lanes 2 and 3
+                // overflow immediately (per-record atomic protocol).
+                let stored = stash.stage(lane, lane.lane_index() as u32);
+                assert_eq!(stored, lane.lane_index() < 2);
+                assert_eq!(lane.counters().atomics, 1);
+            });
+            stash.commit(&mut warp)
+        };
+        assert_eq!(dropped, (1 << 2) | (1 << 3));
+        // The stash added no warp-level atomics in per-lane mode.
+        assert_eq!(warp.counters().atomics, 0);
+        assert!(buf.overflowed());
+        assert_eq!(buf.drain_to_host(), vec![0, 1]);
+    }
+
+    #[test]
+    fn per_lane_stage_at_replays_cursor_protocol() {
+        let dev = device_with(ResultWriteMode::PerLane);
+        let mut buf: ResultBuffer<u32> = dev.alloc_result(4).unwrap();
+        let mut warp = Warp::standalone(4);
+        {
+            let mut stash = buf.warp_stash();
+            stash.stage_at(0, 7);
+            stash.stage_at(3, 9);
+            assert_eq!(stash.commit(&mut warp), 0);
+        }
+        assert_eq!(warp.counters().atomics, 2);
+        assert_eq!(buf.drain_to_host(), vec![7, 9]);
+    }
+
+    #[test]
+    fn scatter_stash_write_combines() {
+        let dev = device_with(ResultWriteMode::WarpAggregated);
+        let mut buf: ScatterBuffer<u32> = dev.alloc_scatter(4).unwrap();
+        let mut warp = Warp::standalone(4);
+        {
+            let mut stash = buf.warp_stash();
+            warp.for_each_lane(|lane| {
+                let li = lane.lane_index();
+                stash.stage(lane, li, li as u32 * 10);
+                // Staging is ALU work, not per-lane memory traffic.
+                assert_eq!(lane.counters().gmem_write_bytes, 0);
+            });
+            stash.commit(&mut warp);
+        }
+        assert_eq!(warp.counters().gmem_write_bytes, 16);
+        assert_eq!(buf.drain_to_host(4), vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn scatter_stash_per_lane_writes_immediately() {
+        let dev = device_with(ResultWriteMode::PerLane);
+        let mut buf: ScatterBuffer<u32> = dev.alloc_scatter(2).unwrap();
+        let mut warp = Warp::standalone(2);
+        {
+            let mut stash = buf.warp_stash();
+            warp.for_each_lane(|lane| {
+                let li = lane.lane_index();
+                stash.stage(lane, li, li as u32);
+                assert_eq!(lane.counters().gmem_write_bytes, 4);
+            });
+            stash.commit(&mut warp);
+        }
+        assert_eq!(warp.counters().gmem_write_bytes, 0);
+        assert_eq!(buf.drain_to_host(2), vec![0, 1]);
+    }
+
+    #[test]
+    fn scratch_pending_bytes_accumulate_in_warp_mode() {
+        let dev = device_with(ResultWriteMode::WarpAggregated);
+        let scratch: PartitionedScratch<u32> = dev.alloc_scratch(1, 8).unwrap();
+        let mut lane = Lane::new(0);
+        let mut p = scratch.take_partition(0);
+        for i in 0..3 {
+            assert!(p.push(&mut lane, i));
+        }
+        assert_eq!(p.pending_write_bytes(), 12);
+        assert_eq!(lane.counters().gmem_write_bytes, 0, "deferred to the warp epilogue");
+        // Reads still charge the lane.
+        assert_eq!(p.read(&mut lane, 1), 1);
+        assert_eq!(lane.counters().gmem_read_bytes, 4);
+
+        let dev = device_with(ResultWriteMode::PerLane);
+        let scratch: PartitionedScratch<u32> = dev.alloc_scratch(1, 8).unwrap();
+        let mut lane = Lane::new(0);
+        let mut p = scratch.take_partition(0);
+        assert!(p.push(&mut lane, 5));
+        assert_eq!(p.pending_write_bytes(), 0);
+        assert_eq!(lane.counters().gmem_write_bytes, 4);
     }
 }

@@ -1,5 +1,6 @@
 //! Common search-report structure shared by the GPU search implementations.
 
+use crate::counters::Counters;
 use crate::ledger::ResponseTime;
 use crate::memory::OutOfDeviceMemory;
 use serde::{Deserialize, Serialize};
@@ -23,6 +24,10 @@ pub struct SearchReport {
     pub fallback_queries: u64,
     /// Warps that diverged (distinct control paths within a warp).
     pub divergent_warps: u64,
+    /// Counters summed over every kernel launch of the search (lane work
+    /// plus warp-epilogue charges); `totals.atomics` is the headline metric
+    /// of the per-lane vs warp-aggregated result-write ablation.
+    pub totals: Counters,
     /// Host wall-clock seconds actually spent (all phases).
     pub wall_seconds: f64,
 }

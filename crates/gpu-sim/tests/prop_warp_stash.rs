@@ -1,0 +1,134 @@
+//! Property tests for warp-aggregated result writes: the staged
+//! [`WarpStash`] path must store the same *set* of records as per-lane
+//! appends (including overflow-flag parity at and past capacity), while
+//! strictly reducing the number of global atomics.
+//!
+//! [`WarpStash`]: tdts_gpu_sim::WarpStash
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tdts_gpu_sim::{Device, DeviceConfig, ResultWriteMode, Warp};
+
+fn device(mode: ResultWriteMode) -> Arc<Device> {
+    let mut c = DeviceConfig::test_tiny();
+    c.result_write_mode = mode;
+    Device::new(c).unwrap()
+}
+
+/// Stage `lanes[i]` through lane `i` of a standalone warp and commit.
+/// Returns (stored items, overflow flag, dropped-lane mask).
+fn run_stash(mode: ResultWriteMode, capacity: usize, lanes: &[Vec<u32>]) -> (Vec<u32>, bool, u64) {
+    let dev = device(mode);
+    let mut results = dev.alloc_result::<u32>(capacity).unwrap();
+    let mut warp = Warp::standalone(lanes.len());
+    let mut stash = results.warp_stash();
+    warp.for_each_lane(|lane| {
+        for &item in &lanes[lane.lane_index()] {
+            stash.stage(lane, item);
+        }
+    });
+    let dropped = stash.commit(&mut warp);
+    let overflowed = results.overflowed();
+    (results.drain_to_host(), overflowed, dropped)
+}
+
+fn counts(items: &[u32]) -> HashMap<u32, usize> {
+    let mut m = HashMap::new();
+    for &v in items {
+        *m.entry(v).or_insert(0) += 1;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// At or past capacity, warp-aggregated commits store the same set of
+    /// records as per-lane appends, overflow exactly when per-lane appends
+    /// overflow, and report dropped lanes exactly when records were lost.
+    #[test]
+    fn warp_append_matches_per_lane_appends(
+        capacity in 1usize..40,
+        lanes in proptest::collection::vec(
+            proptest::collection::vec(0u32..10_000, 0..12),
+            1usize..=4,
+        ),
+    ) {
+        let total: usize = lanes.iter().map(|l| l.len()).sum();
+        let (per_lane, pl_over, pl_dropped) =
+            run_stash(ResultWriteMode::PerLane, capacity, &lanes);
+        let (warp_agg, wa_over, wa_dropped) =
+            run_stash(ResultWriteMode::WarpAggregated, capacity, &lanes);
+
+        // Overflow-flag parity, in both the buffer flag and the per-lane
+        // dropped mask returned by commit.
+        prop_assert_eq!(pl_over, total > capacity);
+        prop_assert_eq!(wa_over, total > capacity);
+        prop_assert_eq!(pl_dropped != 0, total > capacity);
+        prop_assert_eq!(wa_dropped != 0, total > capacity);
+
+        // Both modes fill the buffer to the same level.
+        prop_assert_eq!(per_lane.len(), total.min(capacity));
+        prop_assert_eq!(warp_agg.len(), total.min(capacity));
+
+        let staged: Vec<u32> = lanes.iter().flatten().copied().collect();
+        if total <= capacity {
+            // Below capacity the stored multisets are identical (order may
+            // differ: the commit interleaves lanes differently).
+            let mut a = per_lane.clone();
+            let mut b = warp_agg.clone();
+            let mut c = staged.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            c.sort_unstable();
+            prop_assert_eq!(&a, &c);
+            prop_assert_eq!(&b, &c);
+        } else {
+            // Past capacity each mode keeps a sub-multiset of the staged
+            // records — never an invented or duplicated one.
+            let limit = counts(&staged);
+            for stored in [&per_lane, &warp_agg] {
+                for (v, n) in counts(stored) {
+                    prop_assert!(limit.get(&v).copied().unwrap_or(0) >= n);
+                }
+            }
+        }
+    }
+
+    /// A full launch writing through the warp stash performs strictly fewer
+    /// global atomics than the same launch with per-lane appends: one
+    /// `fetch_add` per stash flush instead of one per record.
+    #[test]
+    fn warp_aggregation_strictly_reduces_launch_atomics(
+        threads in 32usize..256,
+        items in 1u64..8,
+    ) {
+        let capacity = threads * items as usize;
+        let mut reports = Vec::new();
+        for mode in [ResultWriteMode::PerLane, ResultWriteMode::WarpAggregated] {
+            let dev = device(mode);
+            let mut results = dev.alloc_result::<u32>(capacity).unwrap();
+            let launch = dev.launch_warps(threads, |warp| {
+                let mut stash = results.warp_stash();
+                warp.for_each_lane(|lane| {
+                    for k in 0..items {
+                        stash.stage(lane, lane.global_id as u32 * 100 + k as u32);
+                    }
+                });
+                assert_eq!(stash.commit(warp), 0, "no lane may overflow here");
+            });
+            prop_assert!(!results.overflowed());
+            prop_assert_eq!(results.drain_to_host().len(), capacity);
+            reports.push(launch);
+        }
+        let per_lane = reports[0].totals.atomics;
+        let warp_agg = reports[1].totals.atomics;
+        // Per-lane: one atomic per record. Warp: one per flush.
+        prop_assert_eq!(per_lane, threads as u64 * items);
+        prop_assert!(
+            warp_agg < per_lane,
+            "warp {} vs per-lane {}", warp_agg, per_lane
+        );
+    }
+}

@@ -5,7 +5,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use tdts_geom::{dedup_matches, within_distance, MatchRecord, Segment, SegmentStore};
-use tdts_gpu_sim::{Device, DeviceBuffer, Lane, NextBatch, RedoSchedule, SearchError, SearchReport};
+use tdts_gpu_sim::{
+    Device, DeviceBuffer, Lane, NextBatch, RedoSchedule, SearchError, SearchReport, MAX_WARP_LANES,
+};
 
 /// `GPUSpatial` parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,62 +127,84 @@ impl GpuSpatialSearch {
             let scratch = self.device.alloc_scratch::<u32>(batch_len, per_thread)?;
             let scratch_overflow = AtomicBool::new(false);
 
-            let launch = self.device.launch(batch_len, |lane| {
-                let qid = match &batch {
-                    None => lane.global_id as u32,
-                    Some(ids) => ids.read(lane, lane.global_id),
-                };
-                let q = dev_queries.read(lane, qid as usize);
-                lane.instr(12); // MBB + inflation + cell-range setup
+            let launch = self.device.launch_warps(batch_len, |warp| {
+                let mut stash = results.warp_stash();
+                let mut qids = [0u32; MAX_WARP_LANES];
+                let mut uk_bytes = 0u64;
+                warp.for_each_lane(|lane| {
+                    let qid = match &batch {
+                        None => lane.global_id as u32,
+                        Some(ids) => ids.read(lane, lane.global_id),
+                    };
+                    qids[lane.lane_index()] = qid;
+                    let q = dev_queries.read(lane, qid as usize);
+                    lane.instr(12); // MBB + inflation + cell-range setup
 
-                // getCandidates: rasterise the inflated MBB and gather
-                // entry positions into U_k.
-                let mut uk = scratch.take_partition(lane.global_id);
-                let search_box = q.mbb().inflate(d);
-                let mut overflow = false;
-                if !self.fsg.outside(&search_box) {
-                    let range = self.fsg.rasterise(&search_box);
-                    'cells: for (x, y, z) in range.iter() {
-                        let h = self.fsg.linear(x, y, z);
-                        lane.instr(4);
-                        if let Some(ci) = self.find_cell_device(lane, h) {
-                            let r = self.dev_cell_ranges.read(lane, ci);
-                            for ai in r[0]..r[1] {
-                                let entry_pos = self.dev_lookup.read(lane, ai as usize);
-                                lane.instr(1);
-                                if !uk.push(lane, entry_pos) {
-                                    overflow = true;
-                                    break 'cells;
+                    // getCandidates: rasterise the inflated MBB and gather
+                    // entry positions into U_k.
+                    let mut uk = scratch.take_partition(lane.global_id);
+                    let search_box = q.mbb().inflate(d);
+                    let mut overflow = false;
+                    if !self.fsg.outside(&search_box) {
+                        let range = self.fsg.rasterise(&search_box);
+                        'cells: for (x, y, z) in range.iter() {
+                            let h = self.fsg.linear(x, y, z);
+                            lane.instr(4);
+                            if let Some(ci) = self.find_cell_device(lane, h) {
+                                let r = self.dev_cell_ranges.read(lane, ci);
+                                for ai in r[0]..r[1] {
+                                    let entry_pos = self.dev_lookup.read(lane, ai as usize);
+                                    lane.instr(1);
+                                    if !uk.push(lane, entry_pos) {
+                                        overflow = true;
+                                        break 'cells;
+                                    }
                                 }
                             }
                         }
                     }
-                }
-                if overflow {
-                    // Buffer exceeded: abandon; host will re-invoke with a
-                    // larger per-query buffer (lines 10–12 of Algorithm 1).
-                    scratch_overflow.store(true, Ordering::Relaxed);
-                    redo.push(lane, qid);
-                    return;
-                }
-
-                // Refinement over the candidate set (duplicates included).
-                let mut compared = 0u64;
-                for i in 0..uk.len() {
-                    let entry_pos = uk.read(lane, i);
-                    let entry = self.dev_entries.read(lane, entry_pos as usize);
-                    lane.instr(crate::search::COMPARE_INSTR);
-                    compared += 1;
-                    if let Some(interval) = within_distance(&q, &entry, d) {
-                        if !results.push(lane, MatchRecord::new(qid, entry_pos, interval)) {
-                            redo.push(lane, qid);
-                            break;
+                    if overflow {
+                        // Buffer exceeded: abandon; host will re-invoke with
+                        // a larger per-query buffer (lines 10–12 of
+                        // Algorithm 1).
+                        scratch_overflow.store(true, Ordering::Relaxed);
+                        stash.mark_dropped(lane);
+                    } else {
+                        // Refinement over the candidate set (duplicates
+                        // included).
+                        let mut compared = 0u64;
+                        for i in 0..uk.len() {
+                            let entry_pos = uk.read(lane, i);
+                            let entry = self.dev_entries.read(lane, entry_pos as usize);
+                            lane.instr(crate::search::COMPARE_INSTR);
+                            compared += 1;
+                            if let Some(interval) = within_distance(&q, &entry, d) {
+                                if !stash.stage(lane, MatchRecord::new(qid, entry_pos, interval)) {
+                                    break;
+                                }
+                            }
+                        }
+                        comparisons.fetch_add(compared, Ordering::Relaxed);
+                    }
+                    uk_bytes += uk.pending_write_bytes();
+                });
+                // Warp epilogue: flush the staged U_k chunks as coalesced
+                // traffic, commit this warp's matches with one atomic per
+                // stash flush, and queue overflowed queries for redo.
+                warp.gmem_write(uk_bytes);
+                let dropped = stash.commit(warp);
+                if dropped != 0 {
+                    let mut redo_stash = redo.warp_stash();
+                    for (li, &qid) in qids.iter().enumerate().take(warp.lane_count()) {
+                        if dropped & (1 << li) != 0 {
+                            redo_stash.stage_at(li, qid);
                         }
                     }
+                    redo_stash.commit(warp);
                 }
-                comparisons.fetch_add(compared, Ordering::Relaxed);
             });
             report.divergent_warps += launch.divergent_warps as u64;
+            report.totals.add(&launch.totals);
 
             let produced = results.len();
             self.device.charge_download(produced * std::mem::size_of::<MatchRecord>());
@@ -194,9 +218,7 @@ impl GpuSpatialSearch {
                     // A single query alone cannot complete: the batch was 1,
                     // so its candidate buffer was the entire budget `s`.
                     return Err(if scratch_overflow.load(Ordering::Relaxed) {
-                        SearchError::ScratchCapacityTooSmall {
-                            capacity: self.config.total_scratch,
-                        }
+                        SearchError::ScratchCapacityTooSmall { capacity: self.config.total_scratch }
                     } else {
                         SearchError::ResultCapacityTooSmall { capacity: result_capacity }
                     });
@@ -310,9 +332,9 @@ mod tests {
     fn scratch_overflow_triggers_reinvocation() {
         let store = grid_store(8); // 64 entries
         let queries = grid_store(4); // 16 queries, co-located with entries
-        // Scratch so small that the first round (16 threads) overflows but a
-        // later round with fewer queries succeeds: 64 entries all in range at
-        // large d means up to 64+ candidates per query.
+                                     // Scratch so small that the first round (16 threads) overflows but a
+                                     // later round with fewer queries succeeds: 64 entries all in range at
+                                     // large d means up to 64+ candidates per query.
         let search = GpuSpatialSearch::new(device(), &store, cfg(4, 256)).unwrap();
         let (got, report) = search.search(&queries, 50.0, 10_000).unwrap();
         let expect = brute(&store, &queries, 50.0);
@@ -328,10 +350,7 @@ mod tests {
         // One query alone needs more candidates than the whole budget.
         let search = GpuSpatialSearch::new(device(), &store, cfg(3, 4)).unwrap();
         let err = search.search(&queries, 100.0, 10_000).unwrap_err();
-        assert!(
-            matches!(err, SearchError::ScratchCapacityTooSmall { .. }),
-            "got {err:?}"
-        );
+        assert!(matches!(err, SearchError::ScratchCapacityTooSmall { .. }), "got {err:?}");
     }
 
     #[test]
@@ -341,8 +360,7 @@ mod tests {
         let search = GpuSpatialSearch::new(device(), &store, cfg(4, 100_000)).unwrap();
         let (full, _) = search.search(&queries, 10.0, 20_000).unwrap();
         assert!(!full.is_empty());
-        let (constrained, report) =
-            search.search(&queries, 10.0, (full.len() / 3).max(2)).unwrap();
+        let (constrained, report) = search.search(&queries, 10.0, (full.len() / 3).max(2)).unwrap();
         assert_eq!(constrained, full);
         assert!(report.redo_rounds > 0);
     }

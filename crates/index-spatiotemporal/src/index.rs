@@ -188,15 +188,13 @@ impl SpatioTemporalIndex {
             let first = self.ranges[dim][s_lo * self.m + i_lo][0];
             let last = self.ranges[dim][s_lo * self.m + i_hi][1];
             let count = last.saturating_sub(first);
-            if best.map_or(true, |(c, ..)| count < c) {
+            if best.is_none_or(|(c, ..)| count < c) {
                 best = Some((count, dim as u8, first, last.max(first)));
             }
         }
 
         match best {
-            Some((_, dim, lo, hi)) => {
-                ScheduleEntry { selector: Selector::Dim(dim), lo, hi }
-            }
+            Some((_, dim, lo, hi)) => ScheduleEntry { selector: Selector::Dim(dim), lo, hi },
             None => {
                 // Fallback to the temporal scheme: contiguous entry range.
                 match self.temporal.candidate_range(q) {
@@ -328,9 +326,9 @@ mod tests {
             let entry = idx.schedule_for(&q, d);
             // Collect the candidate entry positions the schedule yields.
             let candidates: Vec<u32> = match entry.selector {
-                Selector::Dim(dim) => idx.arrays[dim as usize]
-                    [entry.lo as usize..entry.hi as usize]
-                    .to_vec(),
+                Selector::Dim(dim) => {
+                    idx.arrays[dim as usize][entry.lo as usize..entry.hi as usize].to_vec()
+                }
                 Selector::Temporal => (entry.lo..entry.hi).collect(),
                 Selector::Empty => Vec::new(),
             };

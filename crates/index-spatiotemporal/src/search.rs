@@ -5,9 +5,36 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use tdts_geom::{dedup_matches, MatchRecord, Segment, SegmentStore};
-use tdts_gpu_sim::{Device, DeviceBuffer, NextBatch, RedoSchedule, SearchError, SearchReport};
+use tdts_gpu_sim::{
+    Device, DeviceBuffer, NextBatch, RedoSchedule, SearchError, SearchReport, MAX_WARP_LANES,
+};
+use tdts_index_temporal::kernel::{compare_and_stage, load_query, PushOutcome, SCHEDULE_INSTR};
 use tdts_index_temporal::search::SortedQueries;
-use tdts_index_temporal::kernel::{compare_and_push, load_query, PushOutcome, SCHEDULE_INSTR};
+
+/// High bit of an execution-order slot: the lane is warp-alignment padding
+/// (the low bits carry the selector so the lane stays on its group's path).
+const IDLE_LANE: u32 = 1 << 31;
+
+/// Pad each selector group of `exec` to a multiple of `warp_size` slots so
+/// warps never mix selectors. `exec` must already be grouped by selector.
+fn pad_groups_to_warps(exec: &[u32], schedule: &[[u32; 4]], warp_size: usize) -> Vec<u32> {
+    let mut out = Vec::with_capacity(exec.len() + 4 * warp_size);
+    let mut i = 0;
+    while i < exec.len() {
+        let selector = schedule[exec[i] as usize][0];
+        let start = i;
+        while i < exec.len() && schedule[exec[i] as usize][0] == selector {
+            i += 1;
+        }
+        out.extend_from_slice(&exec[start..i]);
+        if i < exec.len() {
+            while out.len() % warp_size != 0 {
+                out.push(IDLE_LANE | selector);
+            }
+        }
+    }
+    out
+}
 
 /// `GPUSpatioTemporal`: index + device-resident arrays + search driver.
 pub struct GpuSpatioTemporalSearch {
@@ -74,7 +101,19 @@ impl GpuSpatioTemporalSearch {
         }
         let mut exec_order: Vec<u32> = (0..sorted.len() as u32).collect();
         if self.config.sort_by_selector {
-            exec_order.sort_by_key(|&qi| schedule[qi as usize][0]);
+            // Selector first (bounds divergence to the group boundaries),
+            // then candidate count: SIMT warps cost as much as their
+            // heaviest lane, so co-scheduling similar workloads keeps
+            // max-over-lanes close to the mean.
+            exec_order.sort_by_key(|&qi| {
+                let entry = schedule[qi as usize];
+                (entry[0], std::cmp::Reverse(entry[2].saturating_sub(entry[1])))
+            });
+            // Warp-align the selector groups with idle lanes so no warp
+            // mixes control paths (mixing triggers the uncoalesced-memory
+            // penalty, which dwarfs the few wasted lanes).
+            exec_order =
+                pad_groups_to_warps(&exec_order, &schedule, self.device.config().warp_size);
         }
         self.device.charge_host(host_start.elapsed().as_secs_f64());
         report.fallback_queries = fallback;
@@ -94,50 +133,83 @@ impl GpuSpatioTemporalSearch {
 
         let mut matches: Vec<MatchRecord> = Vec::new();
         let mut batch: Option<DeviceBuffer<u32>> = None;
+        // Real queries in flight (redo accounting); the first round launches
+        // one thread per *slot* of the padded execution order.
         let mut batch_len = sorted.len();
+        let mut launch_threads = exec_order.len();
         let mut redo_schedule = RedoSchedule::new();
         let comparisons = AtomicU64::new(0);
 
         loop {
-            let launch = self.device.launch(batch_len, |lane| {
-                let qid = match &batch {
-                    None => dev_exec.read(lane, lane.global_id),
-                    Some(ids) => ids.read(lane, lane.global_id),
-                };
-                let entry = dev_schedule.read(lane, qid as usize);
-                lane.instr(SCHEDULE_INSTR);
-                let selector = entry[0];
-                // Control-flow divergence: lanes with different selectors
-                // serialise (the reason the schedule is selector-sorted).
-                lane.set_path(selector as u64);
-                if selector == 4 {
-                    return; // no temporally overlapping entries
-                }
-                let q = load_query(lane, &dev_queries, qid);
-                let mut compared = 0u64;
-                let mut overflow = false;
-                for i in entry[1]..entry[2] {
-                    // Selector 0–2: one indirection through X/Y/Z.
-                    // Selector 3: positions are direct (temporal fallback).
-                    let entry_pos = if selector <= 2 {
-                        self.dev_arrays[selector as usize].read(lane, i as usize)
-                    } else {
-                        i
+            let launch = self.device.launch_warps(launch_threads, |warp| {
+                let mut stash = results.warp_stash();
+                let mut qids = [0u32; MAX_WARP_LANES];
+                warp.for_each_lane(|lane| {
+                    let code = match &batch {
+                        None => dev_exec.read(lane, lane.global_id),
+                        Some(ids) => ids.read(lane, lane.global_id),
                     };
-                    compared += 1;
-                    if compare_and_push(lane, &self.dev_entries, entry_pos, &q, qid, d, &results)
-                        == PushOutcome::Overflow
-                    {
-                        overflow = true;
-                        break;
+                    if code & IDLE_LANE != 0 {
+                        // Warp-alignment padding: take the same control path
+                        // as the surrounding selector group and retire
+                        // (before staging anything, so the lane can never
+                        // appear in the dropped mask).
+                        lane.set_path((code & !IDLE_LANE) as u64);
+                        return;
                     }
-                }
-                comparisons.fetch_add(compared, Ordering::Relaxed);
-                if overflow {
-                    redo.push(lane, qid);
+                    let qid = code;
+                    qids[lane.lane_index()] = qid;
+                    let entry = dev_schedule.read(lane, qid as usize);
+                    lane.instr(SCHEDULE_INSTR);
+                    let selector = entry[0];
+                    // Control-flow divergence: lanes with different selectors
+                    // serialise (the reason the schedule is selector-sorted).
+                    lane.set_path(selector as u64);
+                    if selector == 4 {
+                        return; // no temporally overlapping entries
+                    }
+                    let q = load_query(lane, &dev_queries, qid);
+                    let mut compared = 0u64;
+                    for i in entry[1]..entry[2] {
+                        // Selector 0–2: one indirection through X/Y/Z.
+                        // Selector 3: positions are direct (temporal
+                        // fallback).
+                        let entry_pos = if selector <= 2 {
+                            self.dev_arrays[selector as usize].read(lane, i as usize)
+                        } else {
+                            i
+                        };
+                        compared += 1;
+                        if compare_and_stage(
+                            lane,
+                            &self.dev_entries,
+                            entry_pos,
+                            &q,
+                            qid,
+                            d,
+                            &mut stash,
+                        ) == PushOutcome::Overflow
+                        {
+                            break;
+                        }
+                    }
+                    comparisons.fetch_add(compared, Ordering::Relaxed);
+                });
+                // Warp epilogue: one cursor fetch-add per stash flush, then
+                // queue any overflowed lanes' queries for redo.
+                let dropped = stash.commit(warp);
+                if dropped != 0 {
+                    let mut redo_stash = redo.warp_stash();
+                    for (li, &qid) in qids.iter().enumerate().take(warp.lane_count()) {
+                        if dropped & (1 << li) != 0 {
+                            redo_stash.stage_at(li, qid);
+                        }
+                    }
+                    redo_stash.commit(warp);
                 }
             });
             report.divergent_warps += launch.divergent_warps as u64;
+            report.totals.add(&launch.totals);
 
             let produced = results.len();
             self.device.charge_download(produced * std::mem::size_of::<MatchRecord>());
@@ -148,13 +220,12 @@ impl GpuSpatioTemporalSearch {
             match redo_schedule.next(redo_ids, batch_len) {
                 NextBatch::Done => break,
                 NextBatch::Stuck => {
-                    return Err(SearchError::ResultCapacityTooSmall {
-                        capacity: result_capacity,
-                    })
+                    return Err(SearchError::ResultCapacityTooSmall { capacity: result_capacity })
                 }
                 NextBatch::Ids(ids) => {
                     report.redo_rounds += 1;
                     batch_len = ids.len();
+                    launch_threads = ids.len();
                     batch = Some(self.device.upload(ids)?);
                 }
             }
@@ -281,8 +352,7 @@ mod tests {
         .unwrap();
         let (full, _) = search.search(&queries, 4.0, 20_000).unwrap();
         assert!(!full.is_empty());
-        let (constrained, report) =
-            search.search(&queries, 4.0, (full.len() / 4).max(2)).unwrap();
+        let (constrained, report) = search.search(&queries, 4.0, (full.len() / 4).max(2)).unwrap();
         assert_eq!(constrained, full);
         assert!(report.redo_rounds > 0);
     }

@@ -2,7 +2,6 @@
 //! search.
 
 use proptest::prelude::*;
-use std::sync::Arc;
 use tdts_geom::{
     dedup_matches, diff_matches, within_distance, MatchRecord, Point3, SegId, Segment,
     SegmentStore, TrajId,

@@ -11,7 +11,7 @@
 //! target).
 
 use crate::index::{TemporalIndex, TemporalIndexConfig};
-use crate::kernel::{compare_and_push, load_query, PushOutcome, SCHEDULE_INSTR};
+use crate::kernel::{compare_and_stage, load_query, PushOutcome, SCHEDULE_INSTR};
 use crate::search::{SortedQueries, TemporalSchedule};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -109,31 +109,39 @@ impl GpuBatchedTemporalSearch {
             let dev_schedule = self.device.upload(batch_schedule)?;
             let base = start as u32;
 
-            let launch = self.device.launch(dev_batch.len(), |lane| {
-                let local = lane.global_id;
-                let range = dev_schedule.read(lane, local);
-                lane.instr(SCHEDULE_INSTR);
-                let q = load_query(lane, &dev_batch, local as u32);
-                let mut compared = 0u64;
-                for pos in range[0]..range[1] {
-                    compared += 1;
-                    // Result records carry the *global* sorted query index.
-                    if compare_and_push(
-                        lane,
-                        &self.dev_entries,
-                        pos,
-                        &q,
-                        base + local as u32,
-                        d,
-                        &results,
-                    ) == PushOutcome::Overflow
-                    {
-                        break;
+            let launch = self.device.launch_warps(dev_batch.len(), |warp| {
+                let mut stash = results.warp_stash();
+                warp.for_each_lane(|lane| {
+                    let local = lane.global_id;
+                    let range = dev_schedule.read(lane, local);
+                    lane.instr(SCHEDULE_INSTR);
+                    let q = load_query(lane, &dev_batch, local as u32);
+                    let mut compared = 0u64;
+                    for pos in range[0]..range[1] {
+                        compared += 1;
+                        // Result records carry the *global* sorted query
+                        // index. A per-lane-mode overflow stops early; the
+                        // warp-aggregated commit reports overflow below and
+                        // the host halves the batch either way.
+                        if compare_and_stage(
+                            lane,
+                            &self.dev_entries,
+                            pos,
+                            &q,
+                            base + local as u32,
+                            d,
+                            &mut stash,
+                        ) == PushOutcome::Overflow
+                        {
+                            break;
+                        }
                     }
-                }
-                comparisons.fetch_add(compared, Ordering::Relaxed);
+                    comparisons.fetch_add(compared, Ordering::Relaxed);
+                });
+                stash.commit(warp);
             });
             report.divergent_warps += launch.divergent_warps as u64;
+            report.totals.add(&launch.totals);
 
             let produced = results.len();
             let download_bytes = produced * std::mem::size_of::<MatchRecord>();
@@ -145,9 +153,7 @@ impl GpuBatchedTemporalSearch {
                 // this range (partial results already drained are collapsed
                 // by the host dedup). This is [22]'s batch sizing pressure.
                 if end - start == 1 {
-                    return Err(SearchError::ResultCapacityTooSmall {
-                        capacity: result_capacity,
-                    });
+                    return Err(SearchError::ResultCapacityTooSmall { capacity: result_capacity });
                 }
                 report.redo_rounds += 1;
                 current_batch = ((end - start) / 2).max(1);
@@ -293,8 +299,7 @@ mod tests {
         .unwrap();
         let (full, _) = batched.search(&queries, 5.0, 20_000).unwrap();
         assert!(!full.is_empty());
-        let (constrained, report) =
-            batched.search(&queries, 5.0, (full.len() / 3).max(2)).unwrap();
+        let (constrained, report) = batched.search(&queries, 5.0, (full.len() / 3).max(2)).unwrap();
         assert_eq!(constrained, full);
         assert!(report.redo_rounds > 0, "expected batch halving");
     }

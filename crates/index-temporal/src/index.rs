@@ -167,7 +167,8 @@ impl TemporalIndex {
         if self.bin_start_pos.len() != self.bins() + 1 {
             return Err("bin_start_pos length mismatch".into());
         }
-        if self.bin_start_pos[0] != 0 || *self.bin_start_pos.last().unwrap() as usize != self.entries
+        if self.bin_start_pos[0] != 0
+            || *self.bin_start_pos.last().unwrap() as usize != self.entries
         {
             return Err("bin_start_pos does not span the store".into());
         }
@@ -229,7 +230,8 @@ mod tests {
 
     #[test]
     fn candidate_range_is_superset_of_overlaps() {
-        let s = store(&(0..100).map(|i| (i as f64 * 0.5, i as f64 * 0.5 + 1.0)).collect::<Vec<_>>());
+        let s =
+            store(&(0..100).map(|i| (i as f64 * 0.5, i as f64 * 0.5 + 1.0)).collect::<Vec<_>>());
         let idx = TemporalIndex::build(&s, TemporalIndexConfig { bins: 16 });
         for qi in 0..40 {
             let q = seg(qi as f64, qi as f64 + 2.0);
@@ -281,7 +283,8 @@ mod tests {
 
     #[test]
     fn more_bins_tighter_ranges() {
-        let times: Vec<(f64, f64)> = (0..1000).map(|i| (i as f64 * 0.1, i as f64 * 0.1 + 1.0)).collect();
+        let times: Vec<(f64, f64)> =
+            (0..1000).map(|i| (i as f64 * 0.1, i as f64 * 0.1 + 1.0)).collect();
         let s = store(&times);
         let coarse = TemporalIndex::build(&s, TemporalIndexConfig { bins: 4 });
         let fine = TemporalIndex::build(&s, TemporalIndexConfig { bins: 256 });

@@ -1,12 +1,15 @@
 //! The `GPUTemporal` search driver (host side) and kernel (Algorithm 2).
 
 use crate::index::{TemporalIndex, TemporalIndexConfig};
-use crate::kernel::{compare_and_push, load_query, PushOutcome, SCHEDULE_INSTR};
+use crate::kernel::{compare_and_stage, load_query, PushOutcome, SCHEDULE_INSTR};
+use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use tdts_geom::{dedup_matches, MatchRecord, Segment, SegmentStore};
-use tdts_gpu_sim::{Device, DeviceBuffer, NextBatch, RedoSchedule, SearchError, SearchReport};
+use tdts_gpu_sim::{
+    Device, DeviceBuffer, NextBatch, RedoSchedule, SearchError, SearchReport, MAX_WARP_LANES,
+};
 
 /// A query set sorted by non-decreasing `t_start`, with the permutation
 /// back to original positions (results are reported against the caller's
@@ -20,15 +23,12 @@ pub struct SortedQueries {
 }
 
 impl SortedQueries {
-    /// Sort a query store by `t_start` (stable).
+    /// Sort a query store by `t_start` (stable). Uses IEEE total order, so
+    /// a NaN timestamp sorts to the end instead of aborting the search.
     pub fn from_store(queries: &SegmentStore) -> SortedQueries {
         let mut order: Vec<u32> = (0..queries.len() as u32).collect();
         order.sort_by(|&a, &b| {
-            queries
-                .get(a as usize)
-                .t_start
-                .partial_cmp(&queries.get(b as usize).t_start)
-                .expect("NaN t_start in query set")
+            queries.get(a as usize).t_start.total_cmp(&queries.get(b as usize).t_start)
         });
         let segments = order.iter().map(|&i| *queries.get(i as usize)).collect();
         SortedQueries { segments, original_pos: order }
@@ -66,16 +66,20 @@ pub struct TemporalSchedule {
 impl TemporalSchedule {
     /// Compute the schedule for sorted queries. The paper does this on the
     /// host (a negligible portion of response time) because the incremental
-    /// bin search does not parallelise across thread blocks.
+    /// bin search does not parallelise across thread blocks; here the
+    /// per-query range lookups are independent, so they fan out across host
+    /// cores.
     pub fn build(index: &TemporalIndex, queries: &SortedQueries) -> TemporalSchedule {
-        let mut ranges = Vec::with_capacity(queries.len());
-        let mut total = 0u64;
-        for q in &queries.segments {
-            let r = index.candidate_range(q).unwrap_or((0, 0));
-            total += (r.1 - r.0) as u64;
-            ranges.push([r.0, r.1]);
-        }
-        TemporalSchedule { ranges, total_candidates: total }
+        let ranges: Vec<[u32; 2]> = queries
+            .segments
+            .par_iter()
+            .map(|q| {
+                let r = index.candidate_range(q).unwrap_or((0, 0));
+                [r.0, r.1]
+            })
+            .collect();
+        let total_candidates = ranges.iter().map(|r| (r[1] - r[0]) as u64).sum();
+        TemporalSchedule { ranges, total_candidates }
     }
 }
 
@@ -153,34 +157,49 @@ impl GpuTemporalSearch {
         let comparisons = AtomicU64::new(0);
 
         loop {
-            let launch = self.device.launch(batch_len, |lane| {
-                let qid = match &batch {
-                    None => lane.global_id as u32,
-                    Some(ids) => ids.read(lane, lane.global_id),
-                };
-                let range = dev_schedule.read(lane, qid as usize);
-                lane.instr(SCHEDULE_INSTR);
-                let q = load_query(lane, &dev_queries, qid);
-                let mut compared = 0u64;
-                let mut overflow = false;
-                for pos in range[0]..range[1] {
-                    compared += 1;
-                    if compare_and_push(lane, &self.dev_entries, pos, &q, qid, d, &results)
-                        == PushOutcome::Overflow
-                    {
-                        // Result buffer exhausted: stop and ask the host to
-                        // re-run this query (the paper's incremental
-                        // processing of Q, §V-E).
-                        overflow = true;
-                        break;
+            let launch = self.device.launch_warps(batch_len, |warp| {
+                let mut stash = results.warp_stash();
+                let mut qids = [0u32; MAX_WARP_LANES];
+                warp.for_each_lane(|lane| {
+                    let qid = match &batch {
+                        None => lane.global_id as u32,
+                        Some(ids) => ids.read(lane, lane.global_id),
+                    };
+                    qids[lane.lane_index()] = qid;
+                    let range = dev_schedule.read(lane, qid as usize);
+                    lane.instr(SCHEDULE_INSTR);
+                    let q = load_query(lane, &dev_queries, qid);
+                    let mut compared = 0u64;
+                    for pos in range[0]..range[1] {
+                        compared += 1;
+                        if compare_and_stage(lane, &self.dev_entries, pos, &q, qid, d, &mut stash)
+                            == PushOutcome::Overflow
+                        {
+                            // Per-lane mode: result buffer exhausted, stop
+                            // and ask the host to re-run this query (the
+                            // paper's incremental processing of Q, §V-E).
+                            // Warp-aggregated staging never rejects here;
+                            // overflow surfaces at the commit below instead.
+                            break;
+                        }
                     }
-                }
-                comparisons.fetch_add(compared, Ordering::Relaxed);
-                if overflow {
-                    redo.push(lane, qid);
+                    comparisons.fetch_add(compared, Ordering::Relaxed);
+                });
+                // Warp epilogue: one cursor bump for the warp's matches,
+                // then stage redo ids for lanes that lost records.
+                let dropped = stash.commit(warp);
+                if dropped != 0 {
+                    let mut redo_stash = redo.warp_stash();
+                    for (li, &qid) in qids.iter().enumerate().take(warp.lane_count()) {
+                        if dropped & (1 << li) != 0 {
+                            redo_stash.stage_at(li, qid);
+                        }
+                    }
+                    redo_stash.commit(warp);
                 }
             });
             report.divergent_warps += launch.divergent_warps as u64;
+            report.totals.add(&launch.totals);
 
             let produced = results.len();
             self.device.charge_download(produced * std::mem::size_of::<MatchRecord>());
@@ -191,9 +210,7 @@ impl GpuTemporalSearch {
             match redo_schedule.next(redo_ids, batch_len) {
                 NextBatch::Done => break,
                 NextBatch::Stuck => {
-                    return Err(SearchError::ResultCapacityTooSmall {
-                        capacity: result_capacity,
-                    })
+                    return Err(SearchError::ResultCapacityTooSmall { capacity: result_capacity })
                 }
                 NextBatch::Ids(ids) => {
                     report.redo_rounds += 1;
@@ -254,23 +271,28 @@ impl GpuTemporalSearch {
         let comparisons = AtomicU64::new(0);
 
         // Pass 1: count.
-        let launch1 = self.device.launch(n, |lane| {
-            let qid = lane.global_id;
-            let range = dev_schedule.read(lane, qid);
-            lane.instr(SCHEDULE_INSTR);
-            let q = load_query(lane, &dev_queries, qid as u32);
-            let mut count = 0u32;
-            let mut compared = 0u64;
-            for pos in range[0]..range[1] {
-                let entry = self.dev_entries.read(lane, pos as usize);
-                lane.instr(crate::kernel::COMPARE_INSTR);
-                compared += 1;
-                count += tdts_geom::within_distance(&q, &entry, d).is_some() as u32;
-            }
-            comparisons.fetch_add(compared, Ordering::Relaxed);
-            counts.write(lane, qid, count);
+        let launch1 = self.device.launch_warps(n, |warp| {
+            let mut count_stash = counts.warp_stash();
+            warp.for_each_lane(|lane| {
+                let qid = lane.global_id;
+                let range = dev_schedule.read(lane, qid);
+                lane.instr(SCHEDULE_INSTR);
+                let q = load_query(lane, &dev_queries, qid as u32);
+                let mut count = 0u32;
+                let mut compared = 0u64;
+                for pos in range[0]..range[1] {
+                    let entry = self.dev_entries.read(lane, pos as usize);
+                    lane.instr(crate::kernel::COMPARE_INSTR);
+                    compared += 1;
+                    count += tdts_geom::within_distance(&q, &entry, d).is_some() as u32;
+                }
+                comparisons.fetch_add(compared, Ordering::Relaxed);
+                count_stash.stage(lane, qid, count);
+            });
+            count_stash.commit(warp);
         });
         report.divergent_warps += launch1.divergent_warps as u64;
+        report.totals.add(&launch1.totals);
 
         // Host: exclusive prefix sum of the counts.
         let host_counts = counts.drain_to_host(n);
@@ -287,30 +309,35 @@ impl GpuTemporalSearch {
         // Pass 2: scatter into an exactly-sized buffer.
         let dev_offsets = self.device.upload(offsets)?;
         let mut results = self.device.alloc_scatter::<MatchRecord>(total as usize)?;
-        let launch2 = self.device.launch(n, |lane| {
-            let qid = lane.global_id;
-            let range = dev_schedule.read(lane, qid);
-            lane.instr(SCHEDULE_INSTR);
-            let q = load_query(lane, &dev_queries, qid as u32);
-            let base = dev_offsets.read(lane, qid);
-            let mut k = 0u32;
-            let mut compared = 0u64;
-            for pos in range[0]..range[1] {
-                let entry = self.dev_entries.read(lane, pos as usize);
-                lane.instr(crate::kernel::COMPARE_INSTR);
-                compared += 1;
-                if let Some(interval) = tdts_geom::within_distance(&q, &entry, d) {
-                    results.write(
-                        lane,
-                        (base + k) as usize,
-                        MatchRecord::new(qid as u32, pos, interval),
-                    );
-                    k += 1;
+        let launch2 = self.device.launch_warps(n, |warp| {
+            let mut result_stash = results.warp_stash();
+            warp.for_each_lane(|lane| {
+                let qid = lane.global_id;
+                let range = dev_schedule.read(lane, qid);
+                lane.instr(SCHEDULE_INSTR);
+                let q = load_query(lane, &dev_queries, qid as u32);
+                let base = dev_offsets.read(lane, qid);
+                let mut k = 0u32;
+                let mut compared = 0u64;
+                for pos in range[0]..range[1] {
+                    let entry = self.dev_entries.read(lane, pos as usize);
+                    lane.instr(crate::kernel::COMPARE_INSTR);
+                    compared += 1;
+                    if let Some(interval) = tdts_geom::within_distance(&q, &entry, d) {
+                        result_stash.stage(
+                            lane,
+                            (base + k) as usize,
+                            MatchRecord::new(qid as u32, pos, interval),
+                        );
+                        k += 1;
+                    }
                 }
-            }
-            comparisons.fetch_add(compared, Ordering::Relaxed);
+                comparisons.fetch_add(compared, Ordering::Relaxed);
+            });
+            result_stash.commit(warp);
         });
         report.divergent_warps += launch2.divergent_warps as u64;
+        report.totals.add(&launch2.totals);
 
         let mut matches = results.drain_to_host(total as usize);
         self.device.charge_download(total as usize * std::mem::size_of::<MatchRecord>());
@@ -385,12 +412,8 @@ mod tests {
         let store = sorted_store(60);
         let queries: SegmentStore =
             (0..20).map(|i| seg(i as f64 * 7.0 + 0.3, i as f64 * 1.3, 100 + i as u32)).collect();
-        let search = GpuTemporalSearch::new(
-            device(),
-            &store,
-            TemporalIndexConfig { bins: 8 },
-        )
-        .unwrap();
+        let search =
+            GpuTemporalSearch::new(device(), &store, TemporalIndexConfig { bins: 8 }).unwrap();
         for d in [0.5, 2.0, 10.0] {
             let (got, report) = search.search(&queries, d, 10_000).unwrap();
             let expect = brute(&store, &queries, d);

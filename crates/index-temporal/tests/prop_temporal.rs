@@ -9,28 +9,25 @@ use tdts_gpu_sim::{Device, DeviceConfig};
 use tdts_index_temporal::{GpuTemporalSearch, TemporalIndex, TemporalIndexConfig};
 
 fn arb_sorted_store(max: usize) -> impl Strategy<Value = SegmentStore> {
-    proptest::collection::vec(
-        (0.0f64..20.0, 0.01f64..5.0, -10.0f64..10.0, -10.0f64..10.0),
-        1..=max,
-    )
-    .prop_map(|rows| {
-        let mut segs: Vec<Segment> = rows
-            .into_iter()
-            .enumerate()
-            .map(|(i, (t0, dur, a, b))| {
-                Segment::new(
-                    Point3::new(a, b, a - b),
-                    Point3::new(b, a, a + b),
-                    t0,
-                    t0 + dur,
-                    SegId(i as u32),
-                    TrajId(i as u32),
-                )
-            })
-            .collect();
-        segs.sort_by(|x, y| x.t_start.partial_cmp(&y.t_start).unwrap());
-        segs.into_iter().collect()
-    })
+    proptest::collection::vec((0.0f64..20.0, 0.01f64..5.0, -10.0f64..10.0, -10.0f64..10.0), 1..=max)
+        .prop_map(|rows| {
+            let mut segs: Vec<Segment> = rows
+                .into_iter()
+                .enumerate()
+                .map(|(i, (t0, dur, a, b))| {
+                    Segment::new(
+                        Point3::new(a, b, a - b),
+                        Point3::new(b, a, a + b),
+                        t0,
+                        t0 + dur,
+                        SegId(i as u32),
+                        TrajId(i as u32),
+                    )
+                })
+                .collect();
+            segs.sort_by(|x, y| x.t_start.partial_cmp(&y.t_start).unwrap());
+            segs.into_iter().collect()
+        })
 }
 
 fn brute(store: &SegmentStore, queries: &SegmentStore, d: f64) -> Vec<MatchRecord> {

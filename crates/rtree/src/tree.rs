@@ -211,11 +211,7 @@ impl RTree {
         d: f64,
         out: &mut Vec<MatchRecord>,
     ) -> SearchStats {
-        assert_eq!(
-            store.len(),
-            self.built_from_len,
-            "store changed since the tree was built"
-        );
+        assert_eq!(store.len(), self.built_from_len, "store changed since the tree was built");
         let q = queries.get(query_pos);
         let qbox = StMbb::of_segment(q);
         let mut stats = SearchStats::default();

@@ -9,29 +9,16 @@
 use tdts::prelude::*;
 
 fn main() {
-    let store = MergerConfig {
-        particles: 8_192,
-        timesteps: 49,
-        ..Default::default()
-    }
-    .generate();
-    let queries = MergerConfig {
-        particles: 32,
-        timesteps: 49,
-        seed: 0xC1,
-        ..Default::default()
-    }
-    .generate();
+    let store = MergerConfig { particles: 8_192, timesteps: 49, ..Default::default() }.generate();
+    let queries =
+        MergerConfig { particles: 32, timesteps: 49, seed: 0xC1, ..Default::default() }.generate();
     println!("|D| = {} segments, |Q| = {}", store.len(), queries.len());
 
     let dataset = PreparedDataset::new(store);
     let d = 2.0;
     let mut reference: Option<Vec<MatchRecord>> = None;
 
-    println!(
-        "\n{:>6} {:>14} {:>16} {:>14}",
-        "nodes", "matches", "response (s)", "slowest node"
-    );
+    println!("\n{:>6} {:>14} {:>16} {:>14}", "nodes", "matches", "response (s)", "slowest node");
     for nodes in [1usize, 2, 4, 8] {
         let cluster = ClusterSearch::build(
             &dataset,
@@ -51,11 +38,7 @@ fn main() {
             None => reference = Some(matches.clone()),
             Some(r) => assert_eq!(&matches, r, "sharding must not change results"),
         }
-        let slowest = report
-            .nodes
-            .iter()
-            .map(|n| n.response_seconds())
-            .fold(0.0f64, f64::max);
+        let slowest = report.nodes.iter().map(|n| n.response_seconds()).fold(0.0f64, f64::max);
         println!(
             "{:>6} {:>14} {:>16.6} {:>14.6}",
             nodes,

@@ -10,20 +10,12 @@ use std::sync::Arc;
 use tdts::prelude::*;
 
 fn main() {
-    let store = RandomDenseConfig {
-        particles: 2_048,
-        timesteps: 49,
-        ..Default::default()
-    }
-    .generate();
+    let store =
+        RandomDenseConfig { particles: 2_048, timesteps: 49, ..Default::default() }.generate();
     let queries = RandomWalkConfig {
         trajectories: 40,
         timesteps: 49,
-        box_side: RandomDenseConfig {
-            particles: 2_048,
-            ..Default::default()
-        }
-        .box_side(),
+        box_side: RandomDenseConfig { particles: 2_048, ..Default::default() }.box_side(),
         step_sigma: 0.05,
         start_time_min: 0.0,
         start_time_max: 0.0,
@@ -60,10 +52,7 @@ fn main() {
     let gpu = SearchEngine::build(&dataset, gpu_method, Arc::clone(&device)).expect("gpu engine");
     let (gpu_matches, gpu_report) = gpu.search(&queries, d, cap).expect("gpu");
     assert_eq!(cpu_matches, gpu_matches);
-    println!(
-        "pure GPUSpatioTemporal:  {:>9.4}s",
-        gpu_report.response_seconds()
-    );
+    println!("pure GPUSpatioTemporal:  {:>9.4}s", gpu_report.response_seconds());
 
     for fraction in [Some(0.25), Some(0.5), Some(0.75), None] {
         let hybrid = HybridSearch::build(

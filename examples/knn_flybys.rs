@@ -10,11 +10,7 @@ use std::sync::Arc;
 use tdts::prelude::*;
 
 fn main() {
-    let cfg = RandomDenseConfig {
-        particles: 1_024,
-        timesteps: 33,
-        ..Default::default()
-    };
+    let cfg = RandomDenseConfig { particles: 1_024, timesteps: 33, ..Default::default() };
     let stars = cfg.generate();
     println!("database: {} segments from {} stars", stars.len(), stars.trajectory_count());
 

@@ -13,11 +13,7 @@ fn main() {
     let device = Device::new(DeviceConfig::tesla_c2075()).expect("device");
     let scale = 1.0 / 64.0;
 
-    for kind in [
-        ScenarioKind::S1Random,
-        ScenarioKind::S2Merger,
-        ScenarioKind::S3RandomDense,
-    ] {
+    for kind in [ScenarioKind::S1Random, ScenarioKind::S2Merger, ScenarioKind::S3RandomDense] {
         let scenario = Scenario::new(kind, scale);
         let store = scenario.dataset();
         let queries = scenario.queries();

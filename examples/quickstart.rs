@@ -10,19 +10,11 @@ use tdts::prelude::*;
 
 fn main() {
     // 1. Generate a small trajectory database and a query set.
-    let data_cfg = RandomWalkConfig {
-        trajectories: 200,
-        timesteps: 60,
-        ..Default::default()
-    };
+    let data_cfg = RandomWalkConfig { trajectories: 200, timesteps: 60, ..Default::default() };
     let store = data_cfg.generate();
-    let queries = RandomWalkConfig {
-        trajectories: 10,
-        timesteps: 60,
-        seed: data_cfg.seed ^ 1,
-        ..data_cfg
-    }
-    .generate();
+    let queries =
+        RandomWalkConfig { trajectories: 10, timesteps: 60, seed: data_cfg.seed ^ 1, ..data_cfg }
+            .generate();
     println!(
         "database: {} segments in {} trajectories; query set: {} segments",
         store.len(),
@@ -40,14 +32,18 @@ fn main() {
         Method::CpuRTree(RTreeConfig::default()),
         Method::GpuSpatial(GpuSpatialConfig::default()),
         Method::GpuTemporal(TemporalIndexConfig { bins: 500 }),
-        Method::GpuSpatioTemporal(SpatioTemporalIndexConfig { bins: 500, subbins: 4, sort_by_selector: true }),
+        Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {
+            bins: 500,
+            subbins: 4,
+            sort_by_selector: true,
+        }),
     ];
     let mut first: Option<Vec<MatchRecord>> = None;
     println!("\nd = {d}");
     println!("{:<18} {:>10} {:>12} {:>14}", "method", "matches", "comparisons", "response (s)");
     for method in methods {
-        let engine = SearchEngine::build(&dataset, method, Arc::clone(&device))
-            .expect("index construction");
+        let engine =
+            SearchEngine::build(&dataset, method, Arc::clone(&device)).expect("index construction");
         let (matches, report) = engine.search(&queries, d, 1_000_000).expect("search");
         println!(
             "{:<18} {:>10} {:>12} {:>14.6}",

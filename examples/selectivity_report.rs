@@ -12,20 +12,11 @@
 use tdts::prelude::*;
 
 fn main() {
-    for kind in [
-        ScenarioKind::S1Random,
-        ScenarioKind::S2Merger,
-        ScenarioKind::S3RandomDense,
-    ] {
+    for kind in [ScenarioKind::S1Random, ScenarioKind::S2Merger, ScenarioKind::S3RandomDense] {
         let scenario = tdts::data::Scenario::new(kind, 1.0 / 128.0);
         let store = scenario.dataset();
         let queries = scenario.queries();
-        println!(
-            "\n=== {} (|D| = {}, |Q| = {}) ===",
-            scenario.name(),
-            store.len(),
-            queries.len()
-        );
+        println!("\n=== {} (|D| = {}, |Q| = {}) ===", scenario.name(), store.len(), queries.len());
         println!(
             "{:>10} {:>14} {:>14} {:>14} {:>12} {:>10}",
             "d", "temporal", "spatial", "both", "matches", "sp.gain"

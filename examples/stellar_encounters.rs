@@ -14,24 +14,12 @@ use std::sync::Arc;
 use tdts::prelude::*;
 
 fn main() {
-    let cfg = RandomDenseConfig {
-        particles: 2_048,
-        timesteps: 65,
-        ..Default::default()
-    };
+    let cfg = RandomDenseConfig { particles: 2_048, timesteps: 65, ..Default::default() };
     let stars = cfg.generate();
-    println!(
-        "stellar database: {} segments from {} stars",
-        stars.len(),
-        stars.trajectory_count()
-    );
+    println!("stellar database: {} segments from {} stars", stars.len(), stars.trajectory_count());
 
     // Query with the first 64 stars' own trajectories.
-    let queries: SegmentStore = stars
-        .iter()
-        .filter(|s| s.traj_id.0 < 64)
-        .copied()
-        .collect();
+    let queries: SegmentStore = stars.iter().filter(|s| s.traj_id.0 < 64).copied().collect();
     println!("query set: {} segments from 64 stars", queries.len());
 
     let dataset = PreparedDataset::new(stars);
@@ -40,26 +28,31 @@ fn main() {
     // Compare the two schemes the paper recommends for dense data.
     let methods = [
         Method::GpuTemporal(TemporalIndexConfig { bins: 64 }),
-        Method::GpuSpatioTemporal(SpatioTemporalIndexConfig { bins: 64, subbins: 4, sort_by_selector: true }),
+        Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {
+            bins: 64,
+            subbins: 4,
+            sort_by_selector: true,
+        }),
     ];
     let d = 1.0; // encounter radius in pc
 
     for method in methods {
-        let engine = SearchEngine::build(&dataset, method, Arc::clone(&device))
-            .expect("index construction");
+        let engine =
+            SearchEngine::build(&dataset, method, Arc::clone(&device)).expect("index construction");
         let (matches, report) = engine.search(&queries, d, 5_000_000).expect("search");
         let resolved = resolve_matches(&matches, dataset.store(), &queries);
 
         // Filter self-matches: a star is always within d of itself.
-        let encounters: Vec<_> = resolved
-            .iter()
-            .filter(|r| r.query_traj != r.entry_traj)
-            .collect();
+        let encounters: Vec<_> = resolved.iter().filter(|r| r.query_traj != r.entry_traj).collect();
         let mut pairs: Vec<(u32, u32)> = encounters
             .iter()
             .map(|r| {
                 let (a, b) = (r.query_traj.0, r.entry_traj.0);
-                if a < b { (a, b) } else { (b, a) }
+                if a < b {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
             })
             .collect();
         pairs.sort_unstable();

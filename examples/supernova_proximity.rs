@@ -14,11 +14,7 @@ use tdts::prelude::*;
 
 fn main() {
     // A scaled-down solar neighbourhood (full scale: 65,536 stars).
-    let stars_cfg = RandomDenseConfig {
-        particles: 4_096,
-        timesteps: 97,
-        ..Default::default()
-    };
+    let stars_cfg = RandomDenseConfig { particles: 4_096, timesteps: 97, ..Default::default() };
     let side = stars_cfg.box_side();
     let stars = stars_cfg.generate();
     println!(
@@ -50,7 +46,11 @@ fn main() {
     let device = Device::new(DeviceConfig::tesla_c2075()).expect("device");
     let engine = SearchEngine::build(
         &dataset,
-        Method::GpuSpatioTemporal(SpatioTemporalIndexConfig { bins: 100, subbins: 4, sort_by_selector: true }),
+        Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {
+            bins: 100,
+            subbins: 4,
+            sort_by_selector: true,
+        }),
         Arc::clone(&device),
     )
     .expect("index construction");

@@ -1,0 +1,381 @@
+//! Offline stand-in for `rayon`: the parallel-iterator and parallel-sort
+//! surface this workspace uses, implemented with real OS threads via
+//! `std::thread::scope` (no thread pool — threads are spawned per
+//! operation, which is fine at this workspace's granularity: operations
+//! are kernel launches, oracle sweeps, and large sorts).
+//!
+//! Semantics preserved from rayon:
+//! * `collect()` keeps input order;
+//! * panics in worker closures propagate to the caller;
+//! * `par_sort_by` is stable, `par_sort_unstable_by` need not be.
+
+use std::cmp::Ordering;
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
+}
+
+/// Number of worker threads for a work size of `n` items.
+fn threads_for(n: usize) -> usize {
+    std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1).min(n).max(1)
+}
+
+/// Parallel ordered map: apply `f` to every item, preserving order.
+fn par_map_vec<T: Send, R: Send, F: Fn(T) -> R + Sync>(items: Vec<T>, f: &F) -> Vec<R> {
+    let n = items.len();
+    let threads = threads_for(n);
+    if threads <= 1 || n < 2 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|part| s.spawn(move || part.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("rayon shim worker panicked"));
+        }
+        out
+    })
+}
+
+/// Run two closures concurrently, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon shim worker panicked"))
+    })
+}
+
+/// A parallel iterator: adapters compose lazily, evaluation happens in
+/// `drive()` (called by `collect`/`sum`/...), which fans work out across
+/// threads and returns results in input order.
+pub trait ParallelIterator: Sized + Send {
+    type Item: Send;
+
+    /// Evaluate in parallel into an ordered `Vec`.
+    fn drive(self) -> Vec<Self::Item>;
+
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync + Send,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    fn flat_map_iter<F, I>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        F: Fn(Self::Item) -> I + Sync + Send,
+        I: IntoIterator,
+        I::Item: Send,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    fn filter_map<F, R>(self, f: F) -> FilterMap<Self, F>
+    where
+        F: Fn(Self::Item) -> Option<R> + Sync + Send,
+        R: Send,
+    {
+        FilterMap { base: self, f }
+    }
+
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        self.drive().into_iter().sum()
+    }
+
+    fn count(self) -> usize {
+        self.drive().len()
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.drive().into_iter().collect()
+    }
+}
+
+/// Leaf iterator over materialized items.
+pub struct IndexedParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IndexedParIter<T> {
+    type Item = T;
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> R + Sync + Send,
+    R: Send,
+{
+    type Item = R;
+    fn drive(self) -> Vec<R> {
+        par_map_vec(self.base.drive(), &self.f)
+    }
+}
+
+pub struct FlatMapIter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, I> ParallelIterator for FlatMapIter<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> I + Sync + Send,
+    I: IntoIterator,
+    I::Item: Send,
+{
+    type Item = I::Item;
+    fn drive(self) -> Vec<I::Item> {
+        let f = &self.f;
+        let nested =
+            par_map_vec(self.base.drive(), &|item| f(item).into_iter().collect::<Vec<_>>());
+        nested.into_iter().flatten().collect()
+    }
+}
+
+pub struct FilterMap<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, F, R> ParallelIterator for FilterMap<P, F>
+where
+    P: ParallelIterator,
+    F: Fn(P::Item) -> Option<R> + Sync + Send,
+    R: Send,
+{
+    type Item = R;
+    fn drive(self) -> Vec<R> {
+        par_map_vec(self.base.drive(), &self.f).into_iter().flatten().collect()
+    }
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> IndexedParIter<Self::Item>;
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> IndexedParIter<$t> {
+                IndexedParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_par_iter!(usize, u32, u64, i32, i64);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> IndexedParIter<T> {
+        IndexedParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> IndexedParIter<&'a T> {
+        IndexedParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> IndexedParIter<&'a T> {
+        IndexedParIter { items: self.iter().collect() }
+    }
+}
+
+/// `par_iter()` on references, mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> IndexedParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> IndexedParIter<&'a T> {
+        IndexedParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> IndexedParIter<&'a T> {
+        IndexedParIter { items: self.iter().collect() }
+    }
+}
+
+/// Read-only parallel slice helpers.
+pub trait ParallelSlice<T: Sync> {
+    fn as_parallel_slice(&self) -> &[T];
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn as_parallel_slice(&self) -> &[T] {
+        self
+    }
+}
+
+/// Parallel sorts. Strategy: sort contiguous chunks on worker threads,
+/// then run the std stable sort over the whole slice — timsort detects the
+/// pre-sorted runs and performs only the O(n log k) merge work, so the
+/// comparison-heavy O(n log n) phase is what parallelizes.
+pub trait ParallelSliceMut<T: Send> {
+    fn as_parallel_slice_mut(&mut self) -> &mut [T];
+
+    fn par_sort_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        let slice = self.as_parallel_slice_mut();
+        let n = slice.len();
+        let threads = threads_for(n);
+        if threads <= 1 || n < 4096 {
+            slice.sort_by(|a, b| cmp(a, b));
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|s| {
+            for part in slice.chunks_mut(chunk) {
+                let cmp = &cmp;
+                s.spawn(move || part.sort_by(|a, b| cmp(a, b)));
+            }
+        });
+        // Merge the sorted runs (run-adaptive stable sort).
+        slice.sort_by(|a, b| cmp(a, b));
+    }
+
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        // Stable ordering satisfies the unstable contract.
+        self.par_sort_by(cmp);
+    }
+
+    fn par_sort_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        self.par_sort_by(|a, b| key(a).cmp(&key(b)));
+    }
+
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        self.par_sort_by(|a, b| key(a).cmp(&key(b)));
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn as_parallel_slice_mut(&mut self) -> &mut [T] {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 10_000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn flat_map_iter_preserves_order() {
+        let v: Vec<usize> = (0..100usize)
+            .into_par_iter()
+            .flat_map_iter(|i| (0..3).map(move |j| i * 10 + j))
+            .collect();
+        assert_eq!(v.len(), 300);
+        assert_eq!(&v[..4], &[0, 1, 2, 10]);
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let par: u64 = (0..1u64 << 16).into_par_iter().sum();
+        let ser: u64 = (0..1u64 << 16).sum();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn par_sort_sorts_and_is_stable() {
+        // Keys with many duplicates; payload records original position.
+        let mut v: Vec<(u32, usize)> = (0..50_000).map(|i| ((i * 7919 % 100) as u32, i)).collect();
+        v.par_sort_by(|a, b| a.0.cmp(&b.0));
+        assert!(v.windows(2).all(|w| w[0].0 <= w[1].0));
+        // Stability: equal keys keep original relative order.
+        assert!(v.windows(2).all(|w| w[0].0 < w[1].0 || w[0].1 < w[1].1));
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        // The panic payload differs between the serial fallback ("boom")
+        // and the threaded path (the join message); only propagation is
+        // guaranteed.
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<usize> = (0..10_000usize)
+                .into_par_iter()
+                .map(|i| {
+                    if i == 9_999 {
+                        panic!("boom");
+                    }
+                    i
+                })
+                .collect();
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`. The workspace only *derives*
+//! `Serialize`/`Deserialize` (for downstream consumers); nothing in-tree
+//! serializes at runtime, so marker traits plus no-op derive macros cover
+//! the whole surface. The trait names and the derive-macro names coexist:
+//! traits live in the type namespace, derives in the macro namespace.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialization alias mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde_derive`: the derive macros expand to nothing.
+//! The workspace derives `Serialize`/`Deserialize` on config and report
+//! types for downstream consumers, but no in-tree code serializes at
+//! runtime, so empty expansions are sufficient (and keep builds instant).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -66,9 +66,7 @@ fn parse() -> Opts {
         verify: false,
     };
     while let Some(a) = args.next() {
-        let val = |args: &mut dyn Iterator<Item = String>| {
-            args.next().unwrap_or_else(|| usage())
-        };
+        let val = |args: &mut dyn Iterator<Item = String>| args.next().unwrap_or_else(|| usage());
         match a.as_str() {
             "--dataset" => o.dataset = val(&mut args),
             "--scale" => o.scale = val(&mut args).parse().unwrap_or_else(|_| usage()),
@@ -93,12 +91,9 @@ fn main() {
     let (store, queries): (SegmentStore, SegmentStore) = match o.dataset.as_str() {
         "random" => {
             let cfg = RandomWalkConfig::default().scaled(o.scale);
-            let q = RandomWalkConfig {
-                trajectories: o.queries,
-                seed: cfg.seed ^ 0x51,
-                ..cfg.clone()
-            }
-            .generate();
+            let q =
+                RandomWalkConfig { trajectories: o.queries, seed: cfg.seed ^ 0x51, ..cfg.clone() }
+                    .generate();
             (cfg.generate(), q)
         }
         "dense" => {
@@ -118,12 +113,9 @@ fn main() {
         }
         "merger" => {
             let cfg = MergerConfig::default().scaled(o.scale);
-            let q = MergerConfig {
-                particles: o.queries.max(2),
-                seed: cfg.seed ^ 0x51,
-                ..cfg.clone()
-            }
-            .generate();
+            let q =
+                MergerConfig { particles: o.queries.max(2), seed: cfg.seed ^ 0x51, ..cfg.clone() }
+                    .generate();
             (cfg.generate(), q)
         }
         other => {
@@ -147,10 +139,7 @@ fn main() {
                 stats.bounds.lo.z,
                 stats.bounds.hi.z
             );
-            println!(
-                "time span:      [{:.2}, {:.2}]",
-                stats.time_span.start, stats.time_span.end
-            );
+            println!("time span:      [{:.2}, {:.2}]", stats.time_span.start, stats.time_span.end);
             println!(
                 "max segment extent: [{:.3}, {:.3}, {:.3}]",
                 stats.max_segment_extent[0],
@@ -192,9 +181,13 @@ fn main() {
                 "rtree" => Method::CpuRTree(RTreeConfig::default()),
                 "spatial" => Method::GpuSpatial(GpuSpatialConfig::default()),
                 "temporal" => Method::GpuTemporal(TemporalIndexConfig { bins: o.bins }),
-                "spatiotemporal" | "hybrid" => Method::GpuSpatioTemporal(
-                    SpatioTemporalIndexConfig { bins: o.bins, subbins: o.subbins, sort_by_selector: true },
-                ),
+                "spatiotemporal" | "hybrid" => {
+                    Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {
+                        bins: o.bins,
+                        subbins: o.subbins,
+                        sort_by_selector: true,
+                    })
+                }
                 other => {
                     eprintln!("unknown method {other}");
                     usage()
@@ -203,8 +196,7 @@ fn main() {
             let cap = 5_000_000;
 
             if o.command == "knn" {
-                let engine =
-                    SearchEngine::build(&dataset, method, device).expect("engine build");
+                let engine = SearchEngine::build(&dataset, method, device).expect("engine build");
                 let res = knn_search(
                     &engine,
                     &queries,
@@ -217,7 +209,10 @@ fn main() {
                 for (qi, ns) in res.iter().enumerate().take(3) {
                     println!("query segment {qi}:");
                     for n in ns {
-                        println!("  entry {:>6} at distance {:.4} (t = {:.2})", n.entry, n.distance, n.t_min);
+                        println!(
+                            "  entry {:>6} at distance {:.4} (t = {:.2})",
+                            n.entry, n.distance, n.t_min
+                        );
                     }
                 }
                 return;
@@ -245,7 +240,11 @@ fn main() {
             println!("method:       {}", engine.method().name());
             println!("matches:      {}", matches.len());
             println!("comparisons:  {}", report.comparisons);
-            println!("response:     {:.6}s simulated ({})", report.response_seconds(), report.response);
+            println!(
+                "response:     {:.6}s simulated ({})",
+                report.response_seconds(),
+                report.response
+            );
             println!("wall:         {:.3}s", report.wall_seconds);
             if o.verify {
                 match verify_against_oracle(dataset.store(), &queries, o.d, &matches, 1e-9) {

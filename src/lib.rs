@@ -83,7 +83,9 @@ pub mod prelude {
         within_distance, MatchRecord, Mbb, Point3, SegId, Segment, SegmentStore, TimeInterval,
         TrajId,
     };
-    pub use tdts_gpu_sim::{Device, DeviceConfig, Phase, SearchError, SearchReport};
+    pub use tdts_gpu_sim::{
+        Device, DeviceConfig, Phase, ResultWriteMode, SearchError, SearchReport,
+    };
     pub use tdts_index_spatial::{FsgConfig, GpuSpatialConfig};
     pub use tdts_index_spatiotemporal::SpatioTemporalIndexConfig;
     pub use tdts_index_temporal::TemporalIndexConfig;

@@ -13,13 +13,9 @@ fn device() -> Arc<Device> {
 fn dense_world() -> (PreparedDataset, SegmentStore) {
     // Small steps relative to the ~7.5-unit cube these particle counts
     // imply, so segment MBBs stay small and the FSG stays meaningful.
-    let store = RandomDenseConfig {
-        particles: 48,
-        timesteps: 12,
-        step_sigma: 0.3,
-        ..Default::default()
-    }
-    .generate();
+    let store =
+        RandomDenseConfig { particles: 48, timesteps: 12, step_sigma: 0.3, ..Default::default() }
+            .generate();
     let queries = RandomDenseConfig {
         particles: 12,
         timesteps: 12,
@@ -41,7 +37,11 @@ fn result_overflow_is_transparent_for_all_gpu_methods() {
             total_scratch: 2_000_000,
         }),
         Method::GpuTemporal(TemporalIndexConfig { bins: 16 }),
-        Method::GpuSpatioTemporal(SpatioTemporalIndexConfig { bins: 16, subbins: 4, sort_by_selector: true }),
+        Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {
+            bins: 16,
+            subbins: 4,
+            sort_by_selector: true,
+        }),
     ];
     for method in methods {
         let engine = SearchEngine::build(&dataset, method, device()).unwrap();
@@ -55,9 +55,7 @@ fn result_overflow_is_transparent_for_all_gpu_methods() {
         assert_eq!(r0.redo_rounds, 0, "{}", method.name());
 
         // Squeeze the result buffer to a fraction of the result set.
-        let (constrained, r1) = engine
-            .search(&queries, d, unconstrained.len() / 5)
-            .unwrap();
+        let (constrained, r1) = engine.search(&queries, d, unconstrained.len() / 5).unwrap();
         assert_eq!(constrained, unconstrained, "{}", method.name());
         assert!(r1.redo_rounds > 0, "{}: expected re-invocations", method.name());
         assert!(
@@ -68,7 +66,8 @@ fn result_overflow_is_transparent_for_all_gpu_methods() {
         // More invocations cost more simulated device time (the §V-E effect
         // that a larger buffer reduces response time). Host-compute time is
         // excluded: it is measured wall time and therefore noisy.
-        let device_time = |r: &SearchReport| r.response.total() - r.response.get(Phase::HostCompute);
+        let device_time =
+            |r: &SearchReport| r.response.total() - r.response.get(Phase::HostCompute);
         assert!(
             device_time(&r1) > device_time(&r0),
             "{}: constrained {} vs unconstrained {}",

@@ -17,8 +17,16 @@ fn methods(bins: usize, subbins: usize, cells: usize) -> Vec<Method> {
             total_scratch: 500_000,
         }),
         Method::GpuTemporal(TemporalIndexConfig { bins }),
-        Method::GpuSpatioTemporal(SpatioTemporalIndexConfig { bins, subbins, sort_by_selector: true }),
-        Method::GpuSpatioTemporal(SpatioTemporalIndexConfig { bins, subbins: 1, sort_by_selector: true }),
+        Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {
+            bins,
+            subbins,
+            sort_by_selector: true,
+        }),
+        Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {
+            bins,
+            subbins: 1,
+            sort_by_selector: true,
+        }),
     ]
 }
 
@@ -52,19 +60,11 @@ fn check_all(store: SegmentStore, queries: SegmentStore, distances: &[f64], labe
 
 #[test]
 fn random_walk_dataset() {
-    let store = RandomWalkConfig {
-        trajectories: 40,
-        timesteps: 30,
-        ..Default::default()
-    }
-    .generate();
-    let queries = RandomWalkConfig {
-        trajectories: 10,
-        timesteps: 30,
-        seed: 999,
-        ..Default::default()
-    }
-    .generate();
+    let store =
+        RandomWalkConfig { trajectories: 40, timesteps: 30, ..Default::default() }.generate();
+    let queries =
+        RandomWalkConfig { trajectories: 10, timesteps: 30, seed: 999, ..Default::default() }
+            .generate();
     check_all(store, queries, &[1.0, 20.0, 100.0], "random");
 }
 
@@ -78,8 +78,7 @@ fn merger_dataset() {
 
 #[test]
 fn random_dense_dataset() {
-    let store =
-        RandomDenseConfig { particles: 64, timesteps: 20, ..Default::default() }.generate();
+    let store = RandomDenseConfig { particles: 64, timesteps: 20, ..Default::default() }.generate();
     let queries =
         RandomDenseConfig { particles: 12, timesteps: 20, seed: 55, ..Default::default() }
             .generate();
@@ -89,24 +88,16 @@ fn random_dense_dataset() {
 #[test]
 fn queries_from_dataset_itself() {
     // Use case (ii): query the database with its own trajectories.
-    let store = RandomWalkConfig {
-        trajectories: 30,
-        timesteps: 20,
-        ..Default::default()
-    }
-    .generate();
+    let store =
+        RandomWalkConfig { trajectories: 30, timesteps: 20, ..Default::default() }.generate();
     let queries: SegmentStore = store.iter().filter(|s| s.traj_id.0 < 5).copied().collect();
     check_all(store, queries, &[5.0, 50.0], "self-query");
 }
 
 #[test]
 fn degenerate_single_trajectory() {
-    let store = RandomWalkConfig {
-        trajectories: 1,
-        timesteps: 10,
-        ..Default::default()
-    }
-    .generate();
+    let store =
+        RandomWalkConfig { trajectories: 1, timesteps: 10, ..Default::default() }.generate();
     let queries = store.clone();
     check_all(store, queries, &[0.1, 10.0], "single-trajectory");
 }

@@ -61,11 +61,7 @@ fn brute_golden(kind: ScenarioKind, scale: f64, d: f64) -> usize {
 fn generators_are_stable_across_runs() {
     // Byte-identical segment streams for equal seeds, twice in one process
     // and (via ChaCha8) across platforms.
-    for kind in [
-        ScenarioKind::S1Random,
-        ScenarioKind::S2Merger,
-        ScenarioKind::S3RandomDense,
-    ] {
+    for kind in [ScenarioKind::S1Random, ScenarioKind::S2Merger, ScenarioKind::S3RandomDense] {
         let a = Scenario::new(kind, 1.0 / 512.0).dataset();
         let b = Scenario::new(kind, 1.0 / 512.0).dataset();
         assert_eq!(a.segments(), b.segments(), "{kind:?} generator unstable");

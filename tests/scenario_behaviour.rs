@@ -73,15 +73,16 @@ fn spatiotemporal_more_selective_than_temporal_at_small_d() {
     let dataset = PreparedDataset::new(scenario.dataset());
     let queries = scenario.queries();
     let bins = 100;
-    let temporal = SearchEngine::build(
-        &dataset,
-        Method::GpuTemporal(TemporalIndexConfig { bins }),
-        device(),
-    )
-    .unwrap();
+    let temporal =
+        SearchEngine::build(&dataset, Method::GpuTemporal(TemporalIndexConfig { bins }), device())
+            .unwrap();
     let st = SearchEngine::build(
         &dataset,
-        Method::GpuSpatioTemporal(SpatioTemporalIndexConfig { bins, subbins: 8, sort_by_selector: true }),
+        Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {
+            bins,
+            subbins: 8,
+            sort_by_selector: true,
+        }),
         device(),
     )
     .unwrap();
@@ -107,7 +108,11 @@ fn fallback_rate_grows_with_d() {
     let queries = scenario.queries();
     let engine = SearchEngine::build(
         &dataset,
-        Method::GpuSpatioTemporal(SpatioTemporalIndexConfig { bins: 100, subbins: 8, sort_by_selector: true }),
+        Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {
+            bins: 100,
+            subbins: 8,
+            sort_by_selector: true,
+        }),
         device(),
     )
     .unwrap();
