@@ -1,0 +1,105 @@
+//! Microbenchmark of the work-queue path across tile sizes. The first
+//! group isolates the persistent-launch machinery (a skewed synthetic tile
+//! set whose kernel only strides entries); the second runs the full
+//! GPUSpatioTemporal search in both kernel shapes on a small S2 (Merger)
+//! scenario, sweeping the tile size through {32, 128, 512}.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use tdts_core::PreparedDataset;
+use tdts_data::{Scenario, ScenarioKind};
+use tdts_gpu_sim::{Device, DeviceConfig, KernelShape, Tile};
+use tdts_index_spatiotemporal::{GpuSpatioTemporalSearch, SpatioTemporalIndexConfig};
+
+const TILE_SIZES: [usize; 3] = [32, 128, 512];
+
+fn device(shape: KernelShape, tile_size: usize) -> Arc<Device> {
+    let mut c = DeviceConfig::tesla_c2075();
+    c.kernel_shape = shape;
+    c.tile_size = tile_size;
+    Device::new(c).unwrap()
+}
+
+fn bench_persistent_launch(c: &mut Criterion) {
+    // One heavy range plus a long tail of light ones: the shape the Merger
+    // scenario produces and the work queue exists to balance.
+    let lens: Vec<u32> =
+        std::iter::once(100_000).chain((0..4095).map(|i| 16 + (i % 64) as u32)).collect();
+    let mut group = c.benchmark_group("persistent_launch");
+    group.sample_size(10);
+    for tile_size in TILE_SIZES {
+        let dev = device(KernelShape::WarpPerTile, tile_size);
+        let warp_size = dev.config().warp_size;
+        group.bench_with_input(
+            BenchmarkId::new("skewed_tiles", tile_size),
+            &tile_size,
+            |b, &tile_size| {
+                b.iter(|| {
+                    let mut tiles = Vec::new();
+                    for (q, &len) in lens.iter().enumerate() {
+                        Tile::split_into(&mut tiles, q as u32, 0, len, 0, tile_size);
+                    }
+                    let queue = dev.work_queue(tiles).unwrap();
+                    let report = dev.launch_persistent(&queue, |warp, tile| {
+                        warp.for_each_lane(|lane| {
+                            let mut i = tile.lo as usize + lane.lane_index();
+                            while i < tile.hi as usize {
+                                lane.instr(48);
+                                lane.gmem_read(32);
+                                i += warp_size;
+                            }
+                        });
+                    });
+                    black_box((report.tiles_dispatched, report.sim_exec_seconds))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_spatiotemporal_search(c: &mut Criterion) {
+    let scenario = Scenario::new(ScenarioKind::S2Merger, 1.0 / 512.0);
+    let dataset = PreparedDataset::new(scenario.dataset());
+    let queries = scenario.queries();
+    let params = scenario.params();
+    let config = SpatioTemporalIndexConfig {
+        bins: params.temporal_bins.min(200),
+        subbins: params.subbins,
+        sort_by_selector: true,
+    };
+    let d = 0.5;
+
+    let mut group = c.benchmark_group("gpu_spatiotemporal_by_kernel_shape");
+    group.sample_size(10);
+    let tpq = GpuSpatioTemporalSearch::new(
+        device(KernelShape::ThreadPerQuery, 128),
+        dataset.store(),
+        config,
+    )
+    .unwrap();
+    group.bench_function(BenchmarkId::new("ThreadPerQuery", "-"), |b| {
+        b.iter(|| {
+            let (matches, report) = tpq.search(&queries, d, 2_000_000).expect("search");
+            black_box((matches.len(), report.load.spread()))
+        })
+    });
+    for tile_size in TILE_SIZES {
+        let wpt = GpuSpatioTemporalSearch::new(
+            device(KernelShape::WarpPerTile, tile_size),
+            dataset.store(),
+            config,
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("WarpPerTile", tile_size), &tile_size, |b, _| {
+            b.iter(|| {
+                let (matches, report) = wpt.search(&queries, d, 2_000_000).expect("search");
+                black_box((matches.len(), report.load.spread()))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_persistent_launch, bench_spatiotemporal_search);
+criterion_main!(benches);

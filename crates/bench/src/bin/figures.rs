@@ -5,12 +5,16 @@
 //!
 //! targets: fig4 fig5 fig6 fig7 sweep-fsg sweep-bins sweep-subbins
 //!          ablation-indirection ablation-buffer fallback-rate
-//!          ablation-warp-agg all
-//! options: --scale <f>   dataset scale vs the paper (default 1/16)
-//!          --no-verify   skip cross-method result-set verification
+//!          ablation-warp-agg ablation-workqueue all
+//! options: --scale <f>         dataset scale vs the paper (default 1/16)
+//!          --no-verify         skip cross-method result-set verification
+//!          --kernel-shape <s>  thread-per-query (default) | warp-per-tile
+//!          --tile-size <n>     work-queue tile size in candidate entries
+//!                              (default 128; used by warp-per-tile kernels)
 //! ```
 
 use tdts_bench::{RunConfig, Runner};
+use tdts_gpu_sim::KernelShape;
 
 fn main() {
     let mut cfg = RunConfig::default();
@@ -23,6 +27,23 @@ fn main() {
                 cfg.scale = v.parse().expect("--scale must be a float in (0, 1]");
             }
             "--no-verify" => cfg.verify = false,
+            "--kernel-shape" => {
+                let v = args.next().expect("--kernel-shape needs a value");
+                cfg.device.kernel_shape = match v.as_str() {
+                    "thread-per-query" => KernelShape::ThreadPerQuery,
+                    "warp-per-tile" => KernelShape::WarpPerTile,
+                    other => {
+                        eprintln!(
+                            "--kernel-shape must be thread-per-query or warp-per-tile, got {other}"
+                        );
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--tile-size" => {
+                let v = args.next().expect("--tile-size needs a value");
+                cfg.device.tile_size = v.parse().expect("--tile-size must be a positive integer");
+            }
             other if other.starts_with("--") => {
                 eprintln!("unknown option {other}");
                 std::process::exit(2);
@@ -32,9 +53,9 @@ fn main() {
     }
     if targets.is_empty() {
         eprintln!(
-            "usage: figures [--scale f] [--no-verify] \
+            "usage: figures [--scale f] [--no-verify] [--kernel-shape s] [--tile-size n] \
              <fig4|fig5|fig6|fig7|sweep-fsg|sweep-bins|sweep-subbins|\
-             ablation-indirection|ablation-buffer|fallback-rate|future-trends|batched|ablation-sort|crossover|ablation-write|ablation-warp-agg|all>..."
+             ablation-indirection|ablation-buffer|fallback-rate|future-trends|batched|ablation-sort|crossover|ablation-write|ablation-warp-agg|ablation-workqueue|all>..."
         );
         std::process::exit(2);
     }
@@ -56,6 +77,7 @@ fn main() {
             "crossover",
             "ablation-write",
             "ablation-warp-agg",
+            "ablation-workqueue",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -82,6 +104,7 @@ fn main() {
             "crossover" => drop(runner.crossover()),
             "ablation-write" => drop(runner.ablation_write()),
             "ablation-warp-agg" => drop(runner.ablation_warp_agg()),
+            "ablation-workqueue" => drop(runner.ablation_workqueue()),
             other => {
                 eprintln!("unknown target {other}");
                 std::process::exit(2);

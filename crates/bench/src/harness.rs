@@ -605,6 +605,94 @@ impl Runner {
         out
     }
 
+    /// Work-queue ablation: the paper's static one-thread-per-query mapping
+    /// vs warp-per-tile kernels pulling candidate tiles off the device-side
+    /// queue, across all three GPU methods on S2 (Merger) at small-to-mid
+    /// d — where the spatially-selective candidate ranges are most skewed
+    /// and static warps cost as much as their heaviest lane. Result sets
+    /// must be byte-identical across shapes, and the headline
+    /// (GPUSpatioTemporal at small-to-mid d) must show the max/mean
+    /// warp-cost spread cut by >= 2x together with a simulated
+    /// response-time win.
+    pub fn ablation_workqueue(&self) -> Vec<Measurement> {
+        use tdts_gpu_sim::KernelShape;
+        let p = self.prepare(ScenarioKind::S2Merger);
+        let params = p.scenario.params();
+        let cap = params.result_buffer_capacity;
+        let methods = [
+            Method::GpuSpatial(GpuSpatialConfig {
+                fsg: FsgConfig { cells_per_dim: params.fsg_cells_per_dim },
+                total_scratch: 4_000_000,
+            }),
+            Method::GpuTemporal(TemporalIndexConfig { bins: params.temporal_bins }),
+            Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {
+                bins: params.temporal_bins,
+                subbins: params.subbins,
+                sort_by_selector: true,
+            }),
+        ];
+        println!(
+            "\n## Work-queue ablation — thread-per-query vs warp-per-tile \
+             (S2 Merger, {} entries/tile)",
+            self.cfg.device.tile_size
+        );
+        println!(
+            "{:>22} {:>8} {:>18} {:>14} {:>8} {:>10} {:>12}",
+            "method", "d", "shape", "response (s)", "spread", "tiles", "q-atomics"
+        );
+        let ds = [0.1, 0.5, 1.0, 2.0];
+        let mut out = Vec::new();
+        let mut headline = false;
+        for method in methods {
+            let engines: Vec<SearchEngine> =
+                [KernelShape::ThreadPerQuery, KernelShape::WarpPerTile]
+                    .into_iter()
+                    .map(|shape| {
+                        let mut dc = self.cfg.device.clone();
+                        dc.kernel_shape = shape;
+                        let device = Device::new(dc).expect("valid device config");
+                        eprintln!("[harness] building {} ({shape:?}) ...", method.name());
+                        SearchEngine::build(&p.dataset, method, device).expect("engine build")
+                    })
+                    .collect();
+            for &d in &ds {
+                let (m_tpq, mut meas_tpq) = self.run_one(&engines[0], &p.queries, d, cap);
+                let (m_wpt, mut meas_wpt) = self.run_one(&engines[1], &p.queries, d, cap);
+                assert_eq!(m_tpq, m_wpt, "{}: kernel shapes disagree at d = {d}", method.name());
+                meas_tpq.method = format!("{}/thread-per-query", method.name());
+                meas_wpt.method = format!("{}/warp-per-tile", method.name());
+                for (label, meas) in [("thread-per-query", &meas_tpq), ("warp-per-tile", &meas_wpt)]
+                {
+                    println!(
+                        "{:>22} {:>8.3} {:>18} {:>14.6} {:>8.2} {:>10} {:>12}",
+                        method.name(),
+                        d,
+                        label,
+                        meas.report.response_seconds(),
+                        meas.report.load.spread(),
+                        meas.report.load.tiles_dispatched,
+                        meas.report.load.queue_atomics
+                    );
+                }
+                let spread_cut =
+                    meas_wpt.report.load.spread() * 2.0 <= meas_tpq.report.load.spread();
+                let faster =
+                    meas_wpt.report.response_seconds() < meas_tpq.report.response_seconds();
+                if matches!(method, Method::GpuSpatioTemporal(_)) && spread_cut && faster {
+                    headline = true;
+                }
+                out.push(meas_tpq);
+                out.push(meas_wpt);
+            }
+        }
+        assert!(
+            headline,
+            "work-queue ablation: no GPUSpatioTemporal point at small-to-mid d \
+             achieved a >= 2x spread cut together with a response-time win"
+        );
+        out
+    }
+
     /// Crossover study on a centrally-concentrated (Gaussian-cluster)
     /// dataset: local density gradients produce the d-dependent CPU/GPU
     /// crossover that the paper reports for its dense data but that a

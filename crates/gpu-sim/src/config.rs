@@ -20,6 +20,26 @@ pub enum ResultWriteMode {
     WarpAggregated,
 }
 
+/// How kernels map queries onto the launch grid.
+///
+/// The paper assigns one thread per query (§IV-B/C): each thread scans its
+/// query's whole scheduled candidate range, so a warp costs as much as its
+/// heaviest lane and 31 lanes idle behind it when range lengths are skewed.
+/// `WarpPerTile` is the standard manycore fix: the host splits every
+/// candidate range into tiles of at most [`DeviceConfig::tile_size`]
+/// entries, a persistent grid of warps pulls tiles from a device-side
+/// [`crate::WorkQueue`] (one atomic per grab), and the warp's lanes stride
+/// one tile's entries together.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelShape {
+    /// One thread per query, static grid (the paper's mapping).
+    #[default]
+    ThreadPerQuery,
+    /// Persistent warps pulling (query, candidate-subrange) tiles from a
+    /// global work queue; lanes cooperate on one tile at a time.
+    WarpPerTile,
+}
+
 /// Parameters of the simulated device.
 ///
 /// The defaults ([`DeviceConfig::tesla_c2075`]) approximate the NVIDIA Tesla
@@ -69,6 +89,11 @@ pub struct DeviceConfig {
     /// more than this many records in one kernel invocation costs extra
     /// warp flushes (`ceil(n / capacity)` per lane, max over lanes).
     pub warp_stash_capacity: usize,
+    /// Query-to-thread mapping of the search kernels (see [`KernelShape`]).
+    pub kernel_shape: KernelShape,
+    /// Maximum candidate entries per work-queue tile in
+    /// [`KernelShape::WarpPerTile`]; ignored by `ThreadPerQuery`.
+    pub tile_size: usize,
 }
 
 impl DeviceConfig {
@@ -99,6 +124,8 @@ impl DeviceConfig {
             occupancy_factor: 2.0,
             result_write_mode: ResultWriteMode::default(),
             warp_stash_capacity: 16,
+            kernel_shape: KernelShape::default(),
+            tile_size: 128,
         }
     }
 
@@ -129,6 +156,8 @@ impl DeviceConfig {
             occupancy_factor: 4.0,
             result_write_mode: ResultWriteMode::default(),
             warp_stash_capacity: 16,
+            kernel_shape: KernelShape::default(),
+            tile_size: 128,
         }
     }
 
@@ -153,12 +182,23 @@ impl DeviceConfig {
             occupancy_factor: 1.0,
             result_write_mode: ResultWriteMode::default(),
             warp_stash_capacity: 4,
+            kernel_shape: KernelShape::default(),
+            // Small tiles so tiny fixtures still split into several tiles.
+            tile_size: 8,
         }
     }
 
     /// Total core count (`num_sms * warp_size` in this simplified model).
     pub fn total_cores(&self) -> usize {
         self.num_sms * self.warp_size
+    }
+
+    /// Grid size (in warps) of a persistent [`KernelShape::WarpPerTile`]
+    /// launch: one resident warp per latency-hiding slot on every SM, so
+    /// the device is exactly filled and every warp stays busy pulling tiles
+    /// until the queue drains.
+    pub fn persistent_warps(&self) -> usize {
+        ((self.num_sms as f64 * self.occupancy_factor).ceil() as usize).max(1)
     }
 
     /// Simulated duration of a host→device transfer of `bytes`.
@@ -188,6 +228,9 @@ impl DeviceConfig {
         }
         if self.warp_stash_capacity == 0 {
             return Err("warp stash capacity must be at least one record".into());
+        }
+        if self.tile_size == 0 {
+            return Err("tile size must be at least one entry".into());
         }
         if self.clock_hz <= 0.0 || self.clock_hz.is_nan() {
             return Err("clock must be positive".into());
@@ -261,6 +304,23 @@ mod tests {
         let mut c = DeviceConfig::test_tiny();
         c.warp_stash_capacity = 0;
         assert!(c.validate().is_err());
+        let mut c = DeviceConfig::test_tiny();
+        c.tile_size = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn thread_per_query_is_the_default_shape() {
+        for c in
+            [DeviceConfig::tesla_c2075(), DeviceConfig::modern_gpu(), DeviceConfig::test_tiny()]
+        {
+            assert_eq!(c.kernel_shape, KernelShape::ThreadPerQuery);
+            assert!(c.tile_size >= 1);
+        }
+        // One resident warp per latency-hiding slot on every SM.
+        assert_eq!(DeviceConfig::tesla_c2075().persistent_warps(), 28);
+        assert_eq!(DeviceConfig::test_tiny().persistent_warps(), 2);
+        assert_eq!(DeviceConfig::modern_gpu().persistent_warps(), 432);
     }
 
     #[test]

@@ -2,11 +2,12 @@
 //! ledger.
 
 use crate::config::DeviceConfig;
-use crate::launch::{run_launch, run_launch_warps, LaunchReport, Warp};
+use crate::launch::{run_launch, run_launch_persistent, run_launch_warps, LaunchReport, Warp};
 use crate::ledger::{Phase, ResponseTime};
 use crate::memory::{
     DeviceBuffer, OutOfDeviceMemory, PartitionedScratch, Reservation, ResultBuffer,
 };
+use crate::workqueue::{Tile, WorkQueue};
 use crate::Lane;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -195,6 +196,27 @@ impl Device {
         K: Fn(&mut Warp) + Sync,
     {
         let report = run_launch_warps(&self.config, threads, &kernel);
+        self.charge_launch(&report);
+        report
+    }
+
+    /// Upload a tile list *online* (charged as a host→device transfer) and
+    /// wrap it in a [`WorkQueue`] for [`Device::launch_persistent`].
+    pub fn work_queue(self: &Arc<Self>, tiles: Vec<Tile>) -> Result<WorkQueue, OutOfDeviceMemory> {
+        Ok(WorkQueue::new(self.upload(tiles)?))
+    }
+
+    /// Launch a persistent warp-per-tile kernel: a fixed grid of
+    /// [`crate::DeviceConfig::persistent_warps`] warps (capped by the tile
+    /// count) loops pulling tiles from `queue` until it drains, invoking the
+    /// kernel once per (warp, tile). Each grab costs one global atomic plus
+    /// a converged tile-descriptor read; ledger accounting matches
+    /// [`Device::launch`].
+    pub fn launch_persistent<K>(&self, queue: &WorkQueue, kernel: K) -> LaunchReport
+    where
+        K: Fn(&mut Warp, Tile) + Sync,
+    {
+        let report = run_launch_persistent(&self.config, queue, &kernel);
         self.charge_launch(&report);
         report
     }

@@ -154,6 +154,22 @@ pub struct LaunchReport {
     pub launch_overhead_seconds: f64,
     /// Host wall-clock time actually spent executing the kernel closures.
     pub wall_seconds: f64,
+    /// Cycles of the most expensive warp (for persistent launches, a warp's
+    /// cycles are summed over every tile it processed).
+    pub max_warp_cycles: f64,
+    /// Mean cycles per warp. `max / mean` is the load-imbalance spread: 1.0
+    /// is perfectly balanced, and under the one-thread-per-query mapping it
+    /// grows with the skew of per-query candidate-range lengths.
+    pub mean_warp_cycles: f64,
+    /// Fraction of SMs still busy in the launch's final round-robin wave
+    /// (1.0 when the warp count divides the SM count evenly — persistent
+    /// grids are sized so this always holds).
+    pub last_wave_occupancy: f64,
+    /// Tiles dispatched from the work queue (0 for static launches).
+    pub tiles_dispatched: u64,
+    /// Work-queue cursor atomics: one per dispatched tile plus one failed
+    /// probe per persistent warp (0 for static launches).
+    pub queue_atomics: u64,
 }
 
 impl LaunchReport {
@@ -230,19 +246,53 @@ where
         .collect();
 
     let wall_seconds = start.elapsed().as_secs_f64();
+    finish_report(config, threads, warps, 0, &costs, wall_seconds, (0, 0))
+}
 
+/// Fraction of SMs that still receive a warp in the launch's final
+/// round-robin wave.
+fn last_wave_occupancy(num_sms: usize, warps: usize) -> f64 {
+    if warps == 0 {
+        return 0.0;
+    }
+    let rem = warps % num_sms;
+    if rem == 0 {
+        1.0
+    } else {
+        rem as f64 / num_sms as f64
+    }
+}
+
+/// Shared tail of static and persistent launches: round-robin the per-warp
+/// costs onto SMs, aggregate counters, and derive the imbalance metrics.
+/// `divergent_extra` carries per-tile divergence events of a persistent
+/// launch (whose `costs` are already per-warp sums).
+fn finish_report(
+    config: &DeviceConfig,
+    threads: usize,
+    warps: usize,
+    divergent_extra: usize,
+    costs: &[WarpCost],
+    wall_seconds: f64,
+    queue: (u64, u64),
+) -> LaunchReport {
     // Round-robin warp → SM assignment; SM time = sum of its warps' cycles
     // divided by the occupancy factor.
     let mut sm_cycles = vec![0.0f64; config.num_sms];
     let mut totals = Counters::default();
-    let mut divergent_warps = 0usize;
+    let mut divergent_warps = divergent_extra;
+    let mut max_warp_cycles = 0.0f64;
+    let mut sum_warp_cycles = 0.0f64;
     for (w, cost) in costs.iter().enumerate() {
         sm_cycles[w % config.num_sms] += cost.cycles;
         totals.add(&cost.totals);
         divergent_warps += cost.divergent as usize;
+        max_warp_cycles = max_warp_cycles.max(cost.cycles);
+        sum_warp_cycles += cost.cycles;
     }
     let max_sm = sm_cycles.iter().cloned().fold(0.0, f64::max);
     let sim_exec_seconds = max_sm / config.occupancy_factor / config.clock_hz;
+    let (tiles_dispatched, queue_atomics) = queue;
 
     LaunchReport {
         threads,
@@ -252,7 +302,102 @@ where
         sim_exec_seconds,
         launch_overhead_seconds: config.kernel_launch_overhead,
         wall_seconds,
+        max_warp_cycles,
+        mean_warp_cycles: if warps == 0 { 0.0 } else { sum_warp_cycles / warps as f64 },
+        last_wave_occupancy: last_wave_occupancy(config.num_sms, warps),
+        tiles_dispatched,
+        queue_atomics,
     }
+}
+
+/// Execute a warp-cooperative kernel with a persistent grid: the fixed
+/// grid of [`DeviceConfig::persistent_warps`] warps (capped by the tile
+/// count) loops pulling tiles from `queue` until it drains. Every grab is
+/// charged one global atomic plus a converged read of the 16-byte tile
+/// descriptor; each warp pays one further atomic for the failed probe that
+/// tells it the queue is empty. A warp receives fresh lanes per tile, so
+/// the divergence multiplier and the max-over-lanes rule apply *within*
+/// each tile, and the warp's cycles are the sum over the tiles it
+/// processed — exactly the cost shape of a device-side `while
+/// (atomicAdd(&cursor, 1) < n)` loop.
+///
+/// Host execution and simulated dispatch are decoupled to keep the
+/// determinism guarantee: tiles run on the rayon pool in any order (a
+/// tile's cost is a function of the tile alone — warp-cooperative kernels
+/// address only [`Lane::lane_index`] and the tile, never which persistent
+/// warp happened to grab it), then the atomic cursor is replayed
+/// deterministically, handing each tile in queue order to the warp that
+/// becomes free earliest (ties to the lowest warp index) — which is
+/// exactly the assignment lock-step SIMT timing produces for a device-side
+/// cursor, and never the host thread scheduler's racing order.
+pub(crate) fn run_launch_persistent<K>(
+    config: &DeviceConfig,
+    queue: &crate::workqueue::WorkQueue,
+    kernel: &K,
+) -> LaunchReport
+where
+    K: Fn(&mut Warp, crate::workqueue::Tile) + Sync,
+{
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let warp_size = config.warp_size;
+    let n = queue.len();
+    let grid = config.persistent_warps().min(n);
+    let start = std::time::Instant::now();
+
+    // Phase 1 — execution: every tile runs exactly once, in parallel on
+    // the host; per-tile divergence and the max-over-lanes rule are
+    // resolved here.
+    let tile_costs: Vec<WarpCost> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let tile = queue.tile_at(i);
+            let lanes = (0..warp_size).map(|l| Lane::at(l, l)).collect();
+            let mut warp = Warp::with_lanes(i, lanes);
+            // The grab itself: leader's cursor atomicAdd + one converged
+            // read of the tile descriptor.
+            warp.atomics(1);
+            warp.gmem_read(std::mem::size_of::<crate::workqueue::Tile>() as u64);
+            kernel(&mut warp, tile);
+            let lane_costs: Vec<(Counters, u64)> =
+                warp.lanes.iter().map(|l| (l.counters, l.path)).collect();
+            warp_cost(config, &lane_costs, &warp.counters)
+        })
+        .collect();
+    queue.mark_drained(grid);
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    // Phase 2 — dispatch replay: tiles go, in queue order, to the
+    // earliest-free persistent warp. Cycles are non-negative, so the IEEE
+    // bit pattern orders them and keeps the heap key `Ord`.
+    let mut free: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..grid).map(|w| Reverse((0u64, w))).collect();
+    let mut per_warp =
+        vec![WarpCost { cycles: 0.0, divergent: false, totals: Counters::default() }; grid];
+    let mut divergent_tiles = 0usize;
+    for cost in &tile_costs {
+        let Reverse((_, w)) = free.pop().expect("grid is non-empty whenever tiles exist");
+        per_warp[w].cycles += cost.cycles;
+        per_warp[w].totals.add(&cost.totals);
+        divergent_tiles += cost.divergent as usize;
+        free.push(Reverse((per_warp[w].cycles.to_bits(), w)));
+    }
+    for wc in &mut per_warp {
+        // The failed probe that terminates the persistent loop.
+        wc.cycles += config.cycles_per_atomic;
+        wc.totals.atomics += 1;
+    }
+
+    finish_report(
+        config,
+        grid * warp_size,
+        grid,
+        divergent_tiles,
+        &per_warp,
+        wall_seconds,
+        (queue.dispatched() as u64, queue.probes() as u64),
+    )
 }
 
 /// Execute a lane-scoped kernel over `threads` threads; thin wrapper over
@@ -443,6 +588,95 @@ mod tests {
         assert_eq!(lanes_run.load(Ordering::Relaxed), 10);
         assert_eq!(report.totals.instructions, 10);
         assert_eq!(report.totals.atomics, 3);
+    }
+
+    #[test]
+    fn persistent_launch_processes_every_tile_once() {
+        use crate::workqueue::Tile;
+        use parking_lot::Mutex;
+        let dev = tiny();
+        let mut tiles = Vec::new();
+        for q in 0..7u32 {
+            Tile::split_into(&mut tiles, q, 0, 10, 0, dev.config().tile_size);
+        }
+        let queue = dev.work_queue(tiles.clone()).unwrap();
+        let seen = Mutex::new(Vec::new());
+        let report = dev.launch_persistent(&queue, |warp, tile| {
+            warp.for_each_lane(|lane| lane.instr(1));
+            seen.lock().push(tile);
+        });
+        let mut got = seen.into_inner();
+        got.sort_by_key(|t| (t.query, t.lo));
+        assert_eq!(got, tiles);
+        // Grid capped at persistent_warps (test_tiny: 2 SMs * 1.0 = 2).
+        assert_eq!(report.warps, 2);
+        assert_eq!(report.threads, 2 * dev.config().warp_size);
+        assert_eq!(report.tiles_dispatched, tiles.len() as u64);
+        // One atomic per tile + one failed probe per persistent warp.
+        assert_eq!(report.queue_atomics, tiles.len() as u64 + 2);
+        assert_eq!(report.totals.atomics, report.queue_atomics);
+        assert_eq!(report.last_wave_occupancy, 1.0);
+        assert!(report.sim_exec_seconds > 0.0);
+    }
+
+    #[test]
+    fn persistent_launch_with_empty_queue_is_a_noop() {
+        let dev = tiny();
+        let queue = dev.work_queue(Vec::new()).unwrap();
+        let report = dev.launch_persistent(&queue, |_, _| panic!("must not run"));
+        assert_eq!(report.warps, 0);
+        assert_eq!(report.tiles_dispatched, 0);
+        assert_eq!(report.queue_atomics, 0);
+        assert_eq!(report.sim_exec_seconds, 0.0);
+        assert!(report.launch_overhead_seconds > 0.0);
+    }
+
+    #[test]
+    fn work_queue_balances_skewed_work() {
+        use crate::workqueue::Tile;
+        // One heavy range (1024 entries) and 63 light ones (4 entries each):
+        // the static per-thread mapping puts the heavy range on one lane of
+        // one warp, while tiles of 8 spread it over every persistent warp.
+        let lens: Vec<u32> = std::iter::once(1024).chain(std::iter::repeat_n(4, 63)).collect();
+        let dev = tiny();
+
+        let static_report = dev.launch(lens.len(), |lane| {
+            for _ in 0..lens[lane.global_id] {
+                lane.instr(10);
+                lane.gmem_read(16);
+            }
+        });
+
+        let mut tiles = Vec::new();
+        for (q, &len) in lens.iter().enumerate() {
+            Tile::split_into(&mut tiles, q as u32, 0, len, 0, dev.config().tile_size);
+        }
+        let queue = dev.work_queue(tiles).unwrap();
+        let ws = dev.config().warp_size;
+        let wpt_report = dev.launch_persistent(&queue, |warp, tile| {
+            warp.for_each_lane(|lane| {
+                let mut i = tile.lo as usize + lane.lane_index();
+                while i < tile.hi as usize {
+                    lane.instr(10);
+                    lane.gmem_read(16);
+                    i += ws;
+                }
+            });
+        });
+
+        let spread = |r: &LaunchReport| r.max_warp_cycles / r.mean_warp_cycles;
+        assert!(
+            spread(&wpt_report) * 2.0 < spread(&static_report),
+            "expected >=2x spread cut: static {:.2}, wpt {:.2}",
+            spread(&static_report),
+            spread(&wpt_report)
+        );
+        assert!(
+            wpt_report.sim_exec_seconds < static_report.sim_exec_seconds,
+            "wpt {} !< static {}",
+            wpt_report.sim_exec_seconds,
+            static_report.sim_exec_seconds
+        );
     }
 
     #[test]

@@ -41,8 +41,9 @@ pub mod ledger;
 pub mod memory;
 pub mod redo;
 pub mod report;
+pub mod workqueue;
 
-pub use config::{DeviceConfig, ResultWriteMode};
+pub use config::{DeviceConfig, KernelShape, ResultWriteMode};
 pub use counters::{Counters, Lane};
 pub use device::Device;
 pub use launch::{LaunchReport, Warp, MAX_WARP_LANES};
@@ -52,4 +53,5 @@ pub use memory::{
     ScratchPartition, WarpStash,
 };
 pub use redo::{NextBatch, RedoSchedule};
-pub use report::{SearchError, SearchReport};
+pub use report::{LoadBalance, SearchError, SearchReport};
+pub use workqueue::{Tile, WorkQueue};

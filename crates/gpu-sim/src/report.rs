@@ -1,10 +1,75 @@
 //! Common search-report structure shared by the GPU search implementations.
 
 use crate::counters::Counters;
+use crate::launch::LaunchReport;
 use crate::ledger::ResponseTime;
 use crate::memory::OutOfDeviceMemory;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Load-balance metrics accumulated over every kernel launch of a search.
+///
+/// The headline figure of the work-queue ablation is [`LoadBalance::spread`]
+/// — the cost of the heaviest warp relative to the mean. Under the paper's
+/// one-thread-per-query mapping the spread tracks the skew of per-query
+/// candidate-range lengths; warp-per-tile dispatch caps every dispatch unit
+/// at `tile_size` entries, so the spread collapses toward 1.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LoadBalance {
+    /// Cycles of the most expensive warp over all launches.
+    pub max_warp_cycles: f64,
+    /// Warp cycles summed over all launches.
+    pub warp_cycles: f64,
+    /// Warps executed over all launches.
+    pub warps: u64,
+    /// Work-queue tiles dispatched (0 under `ThreadPerQuery`).
+    pub tiles_dispatched: u64,
+    /// Work-queue cursor atomics: one per tile plus one failed probe per
+    /// persistent warp (0 under `ThreadPerQuery`).
+    pub queue_atomics: u64,
+    /// Smallest final-wave SM occupancy seen across launches (1.0 when
+    /// every launch filled its last round-robin wave; 0.0 if no warps ran).
+    pub min_last_wave_occupancy: f64,
+}
+
+impl LoadBalance {
+    /// Fold one launch's metrics into the totals.
+    pub fn add_launch(&mut self, r: &LaunchReport) {
+        self.tiles_dispatched += r.tiles_dispatched;
+        self.queue_atomics += r.queue_atomics;
+        if r.warps == 0 {
+            return;
+        }
+        self.max_warp_cycles = self.max_warp_cycles.max(r.max_warp_cycles);
+        self.warp_cycles += r.mean_warp_cycles * r.warps as f64;
+        let first = self.warps == 0;
+        self.warps += r.warps as u64;
+        self.min_last_wave_occupancy = if first {
+            r.last_wave_occupancy
+        } else {
+            self.min_last_wave_occupancy.min(r.last_wave_occupancy)
+        };
+    }
+
+    /// Mean cycles per warp over all launches.
+    pub fn mean_warp_cycles(&self) -> f64 {
+        if self.warps == 0 {
+            0.0
+        } else {
+            self.warp_cycles / self.warps as f64
+        }
+    }
+
+    /// Max-over-mean warp cost: 1.0 is perfectly balanced.
+    pub fn spread(&self) -> f64 {
+        let mean = self.mean_warp_cycles();
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.max_warp_cycles / mean
+        }
+    }
+}
 
 /// Summary of one distance threshold search execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -28,6 +93,8 @@ pub struct SearchReport {
     /// plus warp-epilogue charges); `totals.atomics` is the headline metric
     /// of the per-lane vs warp-aggregated result-write ablation.
     pub totals: Counters,
+    /// Load-imbalance metrics over every launch (see [`LoadBalance`]).
+    pub load: LoadBalance,
     /// Host wall-clock seconds actually spent (all phases).
     pub wall_seconds: f64,
 }

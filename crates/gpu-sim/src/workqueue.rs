@@ -1,0 +1,187 @@
+//! Device-side work queue for persistent-warp launches.
+//!
+//! The paper's kernels map one thread to one query (§IV-B/C), so a warp's
+//! cost is the maximum over 32 arbitrarily different candidate-range
+//! lengths. The work queue replaces that static mapping with dynamic
+//! dispatch: the host splits every candidate range into [`Tile`]s of at
+//! most [`crate::DeviceConfig::tile_size`] entries, uploads them, and a
+//! persistent grid of warps ([`crate::Device::launch_persistent`]) loops
+//! grabbing tiles off a single global atomic cursor until the queue is
+//! empty.
+//!
+//! The cost model charges **one global atomic per grab** (plus one
+//! converged 16-byte tile read). That is the faithful price of the
+//! canonical CUDA persistent-kernel idiom — the warp leader performs
+//! `atomicAdd(&cursor, 1)` and broadcasts the tile index via
+//! `__shfl_sync` — and it is why tiles, not individual candidates, are the
+//! dispatch unit: the atomic's cost is amortised over `tile_size`
+//! candidate comparisons instead of being paid per entry.
+
+use crate::memory::DeviceBuffer;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One unit of warp-cooperative work: `query` against the candidate
+/// positions `lo..hi`. `tag` disambiguates what the range indexes when an
+/// index has several candidate arrays (GPUSpatioTemporal stores the X/Y/Z
+/// selector or the temporal-fallback marker here); single-array schemes
+/// leave it 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Tile {
+    /// Query index this tile belongs to.
+    pub query: u32,
+    /// First candidate position (inclusive).
+    pub lo: u32,
+    /// Last candidate position (exclusive).
+    pub hi: u32,
+    /// Scheme-specific interpretation of the range (0 when unused).
+    pub tag: u32,
+}
+
+impl Tile {
+    /// Number of candidate entries in this tile.
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.hi - self.lo) as usize
+    }
+
+    /// Whether the tile covers no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.hi == self.lo
+    }
+
+    /// Append tiles covering `lo..hi` for `query` in chunks of at most
+    /// `tile_size` entries. Appends nothing for an empty range.
+    pub fn split_into(
+        out: &mut Vec<Tile>,
+        query: u32,
+        lo: u32,
+        hi: u32,
+        tag: u32,
+        tile_size: usize,
+    ) {
+        debug_assert!(tile_size >= 1);
+        debug_assert!(lo <= hi);
+        let mut start = lo;
+        while start < hi {
+            let end = hi.min(start.saturating_add(tile_size as u32));
+            out.push(Tile { query, lo: start, hi: end, tag });
+            start = end;
+        }
+    }
+}
+
+/// A queue of [`Tile`]s in device memory behind one global atomic cursor.
+///
+/// Created via [`crate::Device::work_queue`] (which charges the tile
+/// upload as a host→device transfer) and consumed by a single
+/// [`crate::Device::launch_persistent`], which charges every cursor probe
+/// — one per dispatched tile plus the failed probe each persistent warp
+/// pays to discover the queue is empty — as a global atomic.
+#[derive(Debug)]
+pub struct WorkQueue {
+    tiles: DeviceBuffer<Tile>,
+    cursor: AtomicUsize,
+}
+
+impl WorkQueue {
+    pub(crate) fn new(tiles: DeviceBuffer<Tile>) -> Self {
+        WorkQueue { tiles, cursor: AtomicUsize::new(0) }
+    }
+
+    /// Total tiles enqueued.
+    pub fn len(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Whether the queue was created empty.
+    pub fn is_empty(&self) -> bool {
+        self.tiles.is_empty()
+    }
+
+    /// The tile at queue position `i`.
+    pub(crate) fn tile_at(&self, i: usize) -> Tile {
+        self.tiles.as_slice()[i]
+    }
+
+    /// Record a completed persistent launch by `warps` warps: the cursor
+    /// ends at `len + warps` (every tile grabbed once, plus one failed
+    /// probe per warp).
+    pub(crate) fn mark_drained(&self, warps: usize) {
+        self.cursor.store(self.len() + warps, Ordering::Relaxed);
+    }
+
+    /// Tiles handed out so far (clamped to [`WorkQueue::len`]; failed
+    /// probes past the end do not count).
+    pub fn dispatched(&self) -> usize {
+        self.cursor.load(Ordering::Relaxed).min(self.len())
+    }
+
+    /// Total cursor probes so far: successful grabs plus the failed probe
+    /// each persistent warp pays to discover the queue is empty.
+    pub fn probes(&self) -> usize {
+        self.cursor.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Device, DeviceConfig};
+    use std::sync::Arc;
+
+    fn tiny() -> Arc<Device> {
+        Device::new(DeviceConfig::test_tiny()).unwrap()
+    }
+
+    #[test]
+    fn split_covers_range_exactly_once() {
+        let mut tiles = Vec::new();
+        Tile::split_into(&mut tiles, 7, 10, 35, 2, 8);
+        assert_eq!(tiles.len(), 4); // 8 + 8 + 8 + 1
+        let mut pos = 10;
+        for t in &tiles {
+            assert_eq!(t.query, 7);
+            assert_eq!(t.tag, 2);
+            assert_eq!(t.lo, pos);
+            assert!(t.len() <= 8 && !t.is_empty());
+            pos = t.hi;
+        }
+        assert_eq!(pos, 35);
+    }
+
+    #[test]
+    fn split_empty_range_appends_nothing() {
+        let mut tiles = Vec::new();
+        Tile::split_into(&mut tiles, 0, 5, 5, 0, 8);
+        assert!(tiles.is_empty());
+    }
+
+    #[test]
+    fn drained_queue_reports_grabs_and_failed_probes() {
+        let dev = tiny();
+        let mut tiles = Vec::new();
+        Tile::split_into(&mut tiles, 0, 0, 20, 0, 4);
+        let queue = dev.work_queue(tiles.clone()).unwrap();
+        assert_eq!(queue.len(), 5);
+        assert_eq!(queue.dispatched(), 0);
+        let got: Vec<Tile> = (0..queue.len()).map(|i| queue.tile_at(i)).collect();
+        assert_eq!(got, tiles);
+        // A persistent launch by 2 warps: every tile grabbed once, plus one
+        // failed probe per warp — the probes bump the cursor past the end
+        // but never count as dispatched tiles.
+        queue.mark_drained(2);
+        assert_eq!(queue.dispatched(), 5);
+        assert_eq!(queue.probes(), 7);
+    }
+
+    #[test]
+    fn work_queue_upload_is_charged() {
+        let dev = tiny();
+        let before = dev.ledger().get(crate::Phase::HostToDevice);
+        let _q = dev.work_queue(vec![Tile { query: 0, lo: 0, hi: 4, tag: 0 }; 10]).unwrap();
+        assert!(dev.ledger().get(crate::Phase::HostToDevice) > before);
+        assert_eq!(dev.mem_used(), 10 * std::mem::size_of::<Tile>());
+    }
+}

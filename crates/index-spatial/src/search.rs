@@ -1,12 +1,14 @@
 //! The `GPUSpatial` search driver and kernel (Algorithm 1).
 
 use crate::fsg::{Fsg, FsgConfig};
+use rayon::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use tdts_geom::{dedup_matches, within_distance, MatchRecord, Segment, SegmentStore};
 use tdts_gpu_sim::{
-    Device, DeviceBuffer, Lane, NextBatch, RedoSchedule, SearchError, SearchReport, MAX_WARP_LANES,
+    Device, DeviceBuffer, KernelShape, Lane, NextBatch, RedoSchedule, SearchError, SearchReport,
+    Tile, MAX_WARP_LANES,
 };
 
 /// `GPUSpatial` parameters.
@@ -112,6 +114,9 @@ impl GpuSpatialSearch {
 
         // Online transfer: the query set.
         let dev_queries = self.device.upload(queries.segments().to_vec())?;
+        if self.device.config().kernel_shape == KernelShape::WarpPerTile {
+            return self.search_tiles(wall_start, report, queries, dev_queries, d, result_capacity);
+        }
         let mut results = self.device.alloc_result::<MatchRecord>(result_capacity)?;
         let mut redo = self.device.alloc_result::<u32>(queries.len())?;
 
@@ -205,6 +210,7 @@ impl GpuSpatialSearch {
             });
             report.divergent_warps += launch.divergent_warps as u64;
             report.totals.add(&launch.totals);
+            report.load.add_launch(&launch);
 
             let produced = results.len();
             self.device.charge_download(produced * std::mem::size_of::<MatchRecord>());
@@ -233,6 +239,153 @@ impl GpuSpatialSearch {
 
         // Host: duplicate filtering (an entry can be rasterised to several
         // cells, so the same pair can be reported more than once).
+        let host_start = Instant::now();
+        report.raw_matches = matches.len() as u64;
+        dedup_matches(&mut matches);
+        self.device.charge_host(host_start.elapsed().as_secs_f64());
+
+        report.comparisons = comparisons.into_inner();
+        report.matches = matches.len() as u64;
+        report.response = self.device.ledger();
+        report.wall_seconds = wall_start.elapsed().as_secs_f64();
+        Ok((matches, report))
+    }
+
+    /// [`KernelShape::WarpPerTile`] body of [`GpuSpatialSearch::search`].
+    ///
+    /// `getCandidates` moves to the host: each query's inflated MBB is
+    /// rasterised and binary-searched against `G` once (in parallel over
+    /// host cores, charged as host compute), yielding per-cell lookup
+    /// ranges that are cut into tiles. The kernel then *fuses* gather and
+    /// refine — a lane reads `A[i]`, loads the entry, and compares — so the
+    /// per-query candidate buffer `U_k` disappears along with its overflow
+    /// path: warp-per-tile `GPUSpatial` can never return
+    /// [`SearchError::ScratchCapacityTooSmall`]. Duplicate pairs from
+    /// entries rasterised into several cells are collapsed by the existing
+    /// host dedup, exactly as in the static mapping.
+    fn search_tiles(
+        &self,
+        wall_start: Instant,
+        mut report: SearchReport,
+        queries: &SegmentStore,
+        dev_queries: DeviceBuffer<Segment>,
+        d: f64,
+        result_capacity: usize,
+    ) -> Result<(Vec<MatchRecord>, SearchReport), SearchError> {
+        let tile_size = self.device.config().tile_size;
+        let warp_size = self.device.config().warp_size;
+
+        // Host getCandidates scheduling, computed once and reused across
+        // redo rounds (d is fixed for the whole search).
+        let host_start = Instant::now();
+        let ranges: Vec<Vec<[u32; 2]>> = queries
+            .segments()
+            .par_iter()
+            .map(|q| {
+                let search_box = q.mbb().inflate(d);
+                let mut rs = Vec::new();
+                if !self.fsg.outside(&search_box) {
+                    for (x, y, z) in self.fsg.rasterise(&search_box).iter() {
+                        let h = self.fsg.linear(x, y, z);
+                        if let Some(ci) = self.fsg.find_cell(h) {
+                            let r = self.fsg.cell_ranges[ci];
+                            if r[0] < r[1] {
+                                rs.push(r);
+                            }
+                        }
+                    }
+                }
+                rs
+            })
+            .collect();
+        self.device.charge_host(host_start.elapsed().as_secs_f64());
+
+        let build_tiles = |ids: Option<&[u32]>| -> Vec<Tile> {
+            let host_start = Instant::now();
+            let mut tiles = Vec::new();
+            let mut push = |qid: u32| {
+                for r in &ranges[qid as usize] {
+                    Tile::split_into(&mut tiles, qid, r[0], r[1], 0, tile_size);
+                }
+            };
+            match ids {
+                None => (0..queries.len() as u32).for_each(&mut push),
+                Some(ids) => ids.iter().copied().for_each(&mut push),
+            }
+            self.device.charge_host(host_start.elapsed().as_secs_f64());
+            tiles
+        };
+
+        let mut tiles = build_tiles(None);
+        let mut results = self.device.alloc_result::<MatchRecord>(result_capacity)?;
+        let mut redo = self.device.alloc_result::<u32>(tiles.len().max(1))?;
+
+        let mut matches: Vec<MatchRecord> = Vec::new();
+        let mut batch_len = queries.len();
+        let mut redo_schedule = RedoSchedule::new();
+        let comparisons = AtomicU64::new(0);
+
+        loop {
+            let queue = self.device.work_queue(std::mem::take(&mut tiles))?;
+            let launch = self.device.launch_persistent(&queue, |warp, tile| {
+                let mut stash = results.warp_stash();
+                // Converged: the warp leader reads the query once and
+                // broadcasts it.
+                let q = dev_queries.as_slice()[tile.query as usize];
+                warp.gmem_read(std::mem::size_of::<Segment>() as u64);
+                warp.instr(12); // MBB + inflation + tile setup
+                warp.for_each_lane(|lane| {
+                    let mut compared = 0u64;
+                    let mut i = tile.lo as usize + lane.lane_index();
+                    while i < tile.hi as usize {
+                        // Fused gather + refine: A[i] -> entry -> compare.
+                        let entry_pos = self.dev_lookup.read(lane, i);
+                        lane.instr(1);
+                        let entry = self.dev_entries.read(lane, entry_pos as usize);
+                        lane.instr(crate::search::COMPARE_INSTR);
+                        compared += 1;
+                        if let Some(interval) = within_distance(&q, &entry, d) {
+                            if !stash.stage(lane, MatchRecord::new(tile.query, entry_pos, interval))
+                            {
+                                break;
+                            }
+                        }
+                        i += warp_size;
+                    }
+                    comparisons.fetch_add(compared, Ordering::Relaxed);
+                });
+                let dropped = stash.commit(warp);
+                if dropped != 0 {
+                    let mut redo_stash = redo.warp_stash();
+                    redo_stash.stage_at(0, tile.query);
+                    redo_stash.commit(warp);
+                }
+            });
+            report.divergent_warps += launch.divergent_warps as u64;
+            report.totals.add(&launch.totals);
+            report.load.add_launch(&launch);
+
+            let produced = results.len();
+            self.device.charge_download(produced * std::mem::size_of::<MatchRecord>());
+            matches.extend(results.drain_to_host());
+            let mut redo_ids = redo.drain_to_host();
+            self.device.charge_download(redo_ids.len() * std::mem::size_of::<u32>());
+            redo_ids.sort_unstable();
+            redo_ids.dedup();
+
+            match redo_schedule.next(redo_ids, batch_len) {
+                NextBatch::Done => break,
+                NextBatch::Stuck => {
+                    return Err(SearchError::ResultCapacityTooSmall { capacity: result_capacity })
+                }
+                NextBatch::Ids(ids) => {
+                    report.redo_rounds += 1;
+                    batch_len = ids.len();
+                    tiles = build_tiles(Some(&ids));
+                }
+            }
+        }
+
         let host_start = Instant::now();
         report.raw_matches = matches.len() as u64;
         dedup_matches(&mut matches);
@@ -358,6 +511,53 @@ mod tests {
         let store = grid_store(6);
         let queries = grid_store(6);
         let search = GpuSpatialSearch::new(device(), &store, cfg(4, 100_000)).unwrap();
+        let (full, _) = search.search(&queries, 10.0, 20_000).unwrap();
+        assert!(!full.is_empty());
+        let (constrained, report) = search.search(&queries, 10.0, (full.len() / 3).max(2)).unwrap();
+        assert_eq!(constrained, full);
+        assert!(report.redo_rounds > 0);
+    }
+
+    fn wpt_device() -> Arc<Device> {
+        let mut c = DeviceConfig::test_tiny();
+        c.kernel_shape = KernelShape::WarpPerTile;
+        Device::new(c).unwrap()
+    }
+
+    #[test]
+    fn warp_per_tile_matches_thread_per_query() {
+        let store = grid_store(8);
+        let queries: SegmentStore =
+            (0..12).map(|i| seg(i as f64 * 3.3, i as f64 * 2.7, i as f64 * 0.15, i)).collect();
+        let tpq = GpuSpatialSearch::new(device(), &store, cfg(6, 100_000)).unwrap();
+        let wpt = GpuSpatialSearch::new(wpt_device(), &store, cfg(6, 100_000)).unwrap();
+        for d in [0.5, 3.0, 12.0] {
+            let (a, ra) = tpq.search(&queries, d, 20_000).unwrap();
+            let (b, rb) = wpt.search(&queries, d, 20_000).unwrap();
+            assert_eq!(a, b, "d = {d}");
+            assert_eq!(ra.comparisons, rb.comparisons, "same candidates refined at d = {d}");
+        }
+    }
+
+    #[test]
+    fn warp_per_tile_never_hits_scratch_limits() {
+        // The fused kernel has no U_k buffer: a scratch budget that forces
+        // the static mapping into ScratchCapacityTooSmall is simply ignored.
+        let store = grid_store(6);
+        let queries = grid_store(2);
+        let tpq = GpuSpatialSearch::new(device(), &store, cfg(3, 4)).unwrap();
+        let err = tpq.search(&queries, 100.0, 10_000).unwrap_err();
+        assert!(matches!(err, SearchError::ScratchCapacityTooSmall { .. }));
+        let wpt = GpuSpatialSearch::new(wpt_device(), &store, cfg(3, 4)).unwrap();
+        let (got, _) = wpt.search(&queries, 100.0, 10_000).unwrap();
+        assert_eq!(got, brute(&store, &queries, 100.0));
+    }
+
+    #[test]
+    fn warp_per_tile_redo_preserves_results() {
+        let store = grid_store(6);
+        let queries = grid_store(6);
+        let search = GpuSpatialSearch::new(wpt_device(), &store, cfg(4, 100_000)).unwrap();
         let (full, _) = search.search(&queries, 10.0, 20_000).unwrap();
         assert!(!full.is_empty());
         let (constrained, report) = search.search(&queries, 10.0, (full.len() / 3).max(2)).unwrap();

@@ -6,7 +6,8 @@ use std::sync::Arc;
 use std::time::Instant;
 use tdts_geom::{dedup_matches, MatchRecord, Segment, SegmentStore};
 use tdts_gpu_sim::{
-    Device, DeviceBuffer, NextBatch, RedoSchedule, SearchError, SearchReport, MAX_WARP_LANES,
+    Device, DeviceBuffer, KernelShape, NextBatch, RedoSchedule, SearchError, SearchReport, Tile,
+    MAX_WARP_LANES,
 };
 use tdts_index_temporal::kernel::{compare_and_stage, load_query, PushOutcome, SCHEDULE_INSTR};
 use tdts_index_temporal::search::SortedQueries;
@@ -99,8 +100,12 @@ impl GpuSpatioTemporalSearch {
             }
             schedule.push(entry.encode());
         }
+        let wpt = self.device.config().kernel_shape == KernelShape::WarpPerTile;
         let mut exec_order: Vec<u32> = (0..sorted.len() as u32).collect();
-        if self.config.sort_by_selector {
+        // Warp-per-tile dispatch skips the selector sort entirely: every
+        // tile carries its selector, so warps are selector-homogeneous by
+        // construction and need no execution-order permutation or padding.
+        if self.config.sort_by_selector && !wpt {
             // Selector first (bounds divergence to the group boundaries),
             // then candidate count: SIMT warps cost as much as their
             // heaviest lane, so co-scheduling similar workloads keeps
@@ -126,6 +131,17 @@ impl GpuSpatioTemporalSearch {
 
         // Online transfers: Q, S, and the execution order.
         let dev_queries = self.device.upload(sorted.segments.clone())?;
+        if wpt {
+            return self.search_tiles(
+                wall_start,
+                report,
+                &sorted,
+                &schedule,
+                dev_queries,
+                d,
+                result_capacity,
+            );
+        }
         let dev_schedule = self.device.upload(schedule.clone())?;
         let dev_exec = self.device.upload(exec_order.clone())?;
         let mut results = self.device.alloc_result::<MatchRecord>(result_capacity)?;
@@ -210,6 +226,7 @@ impl GpuSpatioTemporalSearch {
             });
             report.divergent_warps += launch.divergent_warps as u64;
             report.totals.add(&launch.totals);
+            report.load.add_launch(&launch);
 
             let produced = results.len();
             self.device.charge_download(produced * std::mem::size_of::<MatchRecord>());
@@ -234,6 +251,137 @@ impl GpuSpatioTemporalSearch {
         // Host postprocessing. Single-subbin lookups produce no duplicates;
         // dedup still runs to canonicalise order and to collapse duplicates
         // from redone queries.
+        let host_start = Instant::now();
+        report.raw_matches = matches.len() as u64;
+        sorted.unpermute(&mut matches);
+        dedup_matches(&mut matches);
+        self.device.charge_host(host_start.elapsed().as_secs_f64());
+
+        report.comparisons = comparisons.into_inner();
+        report.matches = matches.len() as u64;
+        report.response = self.device.ledger();
+        report.wall_seconds = wall_start.elapsed().as_secs_f64();
+        Ok((matches, report))
+    }
+
+    /// [`KernelShape::WarpPerTile`] body of
+    /// [`GpuSpatioTemporalSearch::search`]: each schedule entry's candidate
+    /// range is split into tiles tagged with the entry's selector, so every
+    /// warp works one selector at a time — selector homogeneity by
+    /// construction, with no execution-order sort or idle-lane padding.
+    /// Selector 4 (no temporally overlapping entries) contributes no tiles.
+    #[allow(clippy::too_many_arguments)]
+    fn search_tiles(
+        &self,
+        wall_start: Instant,
+        mut report: SearchReport,
+        sorted: &SortedQueries,
+        schedule: &[[u32; 4]],
+        dev_queries: DeviceBuffer<Segment>,
+        d: f64,
+        result_capacity: usize,
+    ) -> Result<(Vec<MatchRecord>, SearchReport), SearchError> {
+        let tile_size = self.device.config().tile_size;
+        let warp_size = self.device.config().warp_size;
+
+        let build_tiles = |ids: Option<&[u32]>| -> Vec<Tile> {
+            let host_start = Instant::now();
+            let mut tiles = Vec::new();
+            let mut push = |qid: u32| {
+                let e = schedule[qid as usize];
+                if e[0] == 4 {
+                    return; // no temporally overlapping entries
+                }
+                Tile::split_into(&mut tiles, qid, e[1], e[2], e[0], tile_size);
+            };
+            match ids {
+                None => (0..sorted.len() as u32).for_each(&mut push),
+                Some(ids) => ids.iter().copied().for_each(&mut push),
+            }
+            self.device.charge_host(host_start.elapsed().as_secs_f64());
+            tiles
+        };
+
+        let mut tiles = build_tiles(None);
+        let mut results = self.device.alloc_result::<MatchRecord>(result_capacity)?;
+        let mut redo = self.device.alloc_result::<u32>(tiles.len().max(1))?;
+
+        let mut matches: Vec<MatchRecord> = Vec::new();
+        let mut batch_len = sorted.len();
+        let mut redo_schedule = RedoSchedule::new();
+        let comparisons = AtomicU64::new(0);
+
+        loop {
+            let queue = self.device.work_queue(std::mem::take(&mut tiles))?;
+            let launch = self.device.launch_persistent(&queue, |warp, tile| {
+                let mut stash = results.warp_stash();
+                let selector = tile.tag as usize;
+                // Converged: the warp leader reads the query once and
+                // broadcasts it.
+                let q = dev_queries.as_slice()[tile.query as usize];
+                warp.gmem_read(std::mem::size_of::<Segment>() as u64);
+                warp.instr(SCHEDULE_INSTR);
+                warp.for_each_lane(|lane| {
+                    let mut compared = 0u64;
+                    let mut i = tile.lo as usize + lane.lane_index();
+                    while i < tile.hi as usize {
+                        // Selector 0–2: one indirection through X/Y/Z.
+                        // Selector 3: positions are direct (temporal
+                        // fallback).
+                        let entry_pos = if selector <= 2 {
+                            self.dev_arrays[selector].read(lane, i)
+                        } else {
+                            i as u32
+                        };
+                        compared += 1;
+                        if compare_and_stage(
+                            lane,
+                            &self.dev_entries,
+                            entry_pos,
+                            &q,
+                            tile.query,
+                            d,
+                            &mut stash,
+                        ) == PushOutcome::Overflow
+                        {
+                            break;
+                        }
+                        i += warp_size;
+                    }
+                    comparisons.fetch_add(compared, Ordering::Relaxed);
+                });
+                let dropped = stash.commit(warp);
+                if dropped != 0 {
+                    let mut redo_stash = redo.warp_stash();
+                    redo_stash.stage_at(0, tile.query);
+                    redo_stash.commit(warp);
+                }
+            });
+            report.divergent_warps += launch.divergent_warps as u64;
+            report.totals.add(&launch.totals);
+            report.load.add_launch(&launch);
+
+            let produced = results.len();
+            self.device.charge_download(produced * std::mem::size_of::<MatchRecord>());
+            matches.extend(results.drain_to_host());
+            let mut redo_ids = redo.drain_to_host();
+            self.device.charge_download(redo_ids.len() * std::mem::size_of::<u32>());
+            redo_ids.sort_unstable();
+            redo_ids.dedup();
+
+            match redo_schedule.next(redo_ids, batch_len) {
+                NextBatch::Done => break,
+                NextBatch::Stuck => {
+                    return Err(SearchError::ResultCapacityTooSmall { capacity: result_capacity })
+                }
+                NextBatch::Ids(ids) => {
+                    report.redo_rounds += 1;
+                    batch_len = ids.len();
+                    tiles = build_tiles(Some(&ids));
+                }
+            }
+        }
+
         let host_start = Instant::now();
         report.raw_matches = matches.len() as u64;
         sorted.unpermute(&mut matches);
@@ -374,6 +522,48 @@ mod tests {
         // Sorting by selector bounds divergence: at most 3 boundary warps
         // (one per selector transition) can diverge.
         assert!(report.divergent_warps <= 3, "divergent warps {}", report.divergent_warps);
+    }
+
+    fn wpt_device() -> Arc<Device> {
+        let mut c = DeviceConfig::test_tiny();
+        c.kernel_shape = KernelShape::WarpPerTile;
+        Device::new(c).unwrap()
+    }
+
+    #[test]
+    fn warp_per_tile_matches_thread_per_query() {
+        let store = sorted_store(50);
+        let queries: SegmentStore =
+            (0..15).map(|i| seg(i as f64 * 5.0 + 0.3, i as f64 * 1.1, 100 + i as u32)).collect();
+        let cfg = SpatioTemporalIndexConfig { bins: 8, subbins: 4, sort_by_selector: true };
+        let tpq = GpuSpatioTemporalSearch::new(device(), &store, cfg).unwrap();
+        let wpt = GpuSpatioTemporalSearch::new(wpt_device(), &store, cfg).unwrap();
+        // Sweep d across regimes: subbin-selective, mixed, all-fallback.
+        for d in [0.3, 2.0, 15.0, 200.0] {
+            let (a, ra) = tpq.search(&queries, d, 20_000).unwrap();
+            let (b, rb) = wpt.search(&queries, d, 20_000).unwrap();
+            assert_eq!(a, b, "d = {d}");
+            assert_eq!(ra.comparisons, rb.comparisons, "same candidates refined at d = {d}");
+            // Selector-homogeneous tiles: warps never mix control paths.
+            assert_eq!(rb.divergent_warps, 0, "d = {d}");
+        }
+    }
+
+    #[test]
+    fn warp_per_tile_redo_preserves_results() {
+        let store = sorted_store(40);
+        let queries = sorted_store(40);
+        let search = GpuSpatioTemporalSearch::new(
+            wpt_device(),
+            &store,
+            SpatioTemporalIndexConfig { bins: 4, subbins: 2, sort_by_selector: true },
+        )
+        .unwrap();
+        let (full, _) = search.search(&queries, 4.0, 20_000).unwrap();
+        assert!(!full.is_empty());
+        let (constrained, report) = search.search(&queries, 4.0, (full.len() / 4).max(2)).unwrap();
+        assert_eq!(constrained, full);
+        assert!(report.redo_rounds > 0);
     }
 
     #[test]

@@ -142,6 +142,7 @@ impl GpuBatchedTemporalSearch {
             });
             report.divergent_warps += launch.divergent_warps as u64;
             report.totals.add(&launch.totals);
+            report.load.add_launch(&launch);
 
             let produced = results.len();
             let download_bytes = produced * std::mem::size_of::<MatchRecord>();

@@ -8,7 +8,8 @@ use std::sync::Arc;
 use std::time::Instant;
 use tdts_geom::{dedup_matches, MatchRecord, Segment, SegmentStore};
 use tdts_gpu_sim::{
-    Device, DeviceBuffer, NextBatch, RedoSchedule, SearchError, SearchReport, MAX_WARP_LANES,
+    Device, DeviceBuffer, KernelShape, NextBatch, RedoSchedule, SearchError, SearchReport, Tile,
+    MAX_WARP_LANES,
 };
 
 /// A query set sorted by non-decreasing `t_start`, with the permutation
@@ -146,6 +147,17 @@ impl GpuTemporalSearch {
 
         // Online transfers: Q and S.
         let dev_queries = self.device.upload(sorted.segments.clone())?;
+        if self.device.config().kernel_shape == KernelShape::WarpPerTile {
+            return self.search_tiles(
+                wall_start,
+                report,
+                &sorted,
+                &schedule,
+                dev_queries,
+                d,
+                result_capacity,
+            );
+        }
         let dev_schedule = self.device.upload(schedule.ranges.clone())?;
         let mut results = self.device.alloc_result::<MatchRecord>(result_capacity)?;
         let mut redo = self.device.alloc_result::<u32>(sorted.len())?;
@@ -200,6 +212,7 @@ impl GpuTemporalSearch {
             });
             report.divergent_warps += launch.divergent_warps as u64;
             report.totals.add(&launch.totals);
+            report.load.add_launch(&launch);
 
             let produced = results.len();
             self.device.charge_download(produced * std::mem::size_of::<MatchRecord>());
@@ -222,6 +235,131 @@ impl GpuTemporalSearch {
 
         // Host postprocessing: map back to caller ordering and dedup
         // (duplicates arise only from redone queries).
+        let host_start = Instant::now();
+        report.raw_matches = matches.len() as u64;
+        sorted.unpermute(&mut matches);
+        dedup_matches(&mut matches);
+        self.device.charge_host(host_start.elapsed().as_secs_f64());
+
+        report.comparisons = comparisons.into_inner();
+        report.matches = matches.len() as u64;
+        report.response = self.device.ledger();
+        report.wall_seconds = wall_start.elapsed().as_secs_f64();
+        Ok((matches, report))
+    }
+
+    /// [`KernelShape::WarpPerTile`] body of [`GpuTemporalSearch::search`]:
+    /// the host splits every scheduled range into tiles of at most
+    /// `tile_size` entries and a persistent grid of warps pulls them from a
+    /// device-side work queue, each warp's lanes striding one tile's entries
+    /// together. The tile list replaces the uploaded schedule `S` (each tile
+    /// carries its own range), and an overflowing tile re-queues its *query*
+    /// through the unchanged redo protocol.
+    #[allow(clippy::too_many_arguments)]
+    fn search_tiles(
+        &self,
+        wall_start: Instant,
+        mut report: SearchReport,
+        sorted: &SortedQueries,
+        schedule: &TemporalSchedule,
+        dev_queries: DeviceBuffer<Segment>,
+        d: f64,
+        result_capacity: usize,
+    ) -> Result<(Vec<MatchRecord>, SearchReport), SearchError> {
+        let tile_size = self.device.config().tile_size;
+        let warp_size = self.device.config().warp_size;
+
+        // Tile decomposition runs on the host once per round (charged).
+        let build_tiles = |ids: Option<&[u32]>| -> Vec<Tile> {
+            let host_start = Instant::now();
+            let mut tiles = Vec::new();
+            let mut push = |qid: u32| {
+                let r = schedule.ranges[qid as usize];
+                Tile::split_into(&mut tiles, qid, r[0], r[1], 0, tile_size);
+            };
+            match ids {
+                None => (0..sorted.len() as u32).for_each(&mut push),
+                Some(ids) => ids.iter().copied().for_each(&mut push),
+            }
+            self.device.charge_host(host_start.elapsed().as_secs_f64());
+            tiles
+        };
+
+        let mut tiles = build_tiles(None);
+        let mut results = self.device.alloc_result::<MatchRecord>(result_capacity)?;
+        // Each tile stages at most one redo id (its query); the first round
+        // has the most tiles, later rounds cover subsets of its queries.
+        let mut redo = self.device.alloc_result::<u32>(tiles.len().max(1))?;
+
+        let mut matches: Vec<MatchRecord> = Vec::new();
+        let mut batch_len = sorted.len();
+        let mut redo_schedule = RedoSchedule::new();
+        let comparisons = AtomicU64::new(0);
+
+        loop {
+            let queue = self.device.work_queue(std::mem::take(&mut tiles))?;
+            let launch = self.device.launch_persistent(&queue, |warp, tile| {
+                let mut stash = results.warp_stash();
+                // The warp leader reads the tile's query once and broadcasts
+                // it (__shfl_sync analogue): converged charges.
+                let q = dev_queries.as_slice()[tile.query as usize];
+                warp.gmem_read(std::mem::size_of::<Segment>() as u64);
+                warp.instr(SCHEDULE_INSTR);
+                warp.for_each_lane(|lane| {
+                    let mut compared = 0u64;
+                    let mut pos = tile.lo as usize + lane.lane_index();
+                    while pos < tile.hi as usize {
+                        compared += 1;
+                        if compare_and_stage(
+                            lane,
+                            &self.dev_entries,
+                            pos as u32,
+                            &q,
+                            tile.query,
+                            d,
+                            &mut stash,
+                        ) == PushOutcome::Overflow
+                        {
+                            break;
+                        }
+                        pos += warp_size;
+                    }
+                    comparisons.fetch_add(compared, Ordering::Relaxed);
+                });
+                let dropped = stash.commit(warp);
+                if dropped != 0 {
+                    // Any lost record re-queues the whole query.
+                    let mut redo_stash = redo.warp_stash();
+                    redo_stash.stage_at(0, tile.query);
+                    redo_stash.commit(warp);
+                }
+            });
+            report.divergent_warps += launch.divergent_warps as u64;
+            report.totals.add(&launch.totals);
+            report.load.add_launch(&launch);
+
+            let produced = results.len();
+            self.device.charge_download(produced * std::mem::size_of::<MatchRecord>());
+            matches.extend(results.drain_to_host());
+            let mut redo_ids = redo.drain_to_host();
+            self.device.charge_download(redo_ids.len() * std::mem::size_of::<u32>());
+            // Several tiles of one query may each report the overflow.
+            redo_ids.sort_unstable();
+            redo_ids.dedup();
+
+            match redo_schedule.next(redo_ids, batch_len) {
+                NextBatch::Done => break,
+                NextBatch::Stuck => {
+                    return Err(SearchError::ResultCapacityTooSmall { capacity: result_capacity })
+                }
+                NextBatch::Ids(ids) => {
+                    report.redo_rounds += 1;
+                    batch_len = ids.len();
+                    tiles = build_tiles(Some(&ids));
+                }
+            }
+        }
+
         let host_start = Instant::now();
         report.raw_matches = matches.len() as u64;
         sorted.unpermute(&mut matches);
@@ -293,6 +431,7 @@ impl GpuTemporalSearch {
         });
         report.divergent_warps += launch1.divergent_warps as u64;
         report.totals.add(&launch1.totals);
+        report.load.add_launch(&launch1);
 
         // Host: exclusive prefix sum of the counts.
         let host_counts = counts.drain_to_host(n);
@@ -338,6 +477,7 @@ impl GpuTemporalSearch {
         });
         report.divergent_warps += launch2.divergent_warps as u64;
         report.totals.add(&launch2.totals);
+        report.load.add_launch(&launch2);
 
         let mut matches = results.drain_to_host(total as usize);
         self.device.charge_download(total as usize * std::mem::size_of::<MatchRecord>());
@@ -486,6 +626,47 @@ mod tests {
             GpuTemporalSearch::new(device(), &store, TemporalIndexConfig { bins: 2 }).unwrap();
         let (m, _) = search.search_two_pass(&SegmentStore::new(), 1.0).unwrap();
         assert!(m.is_empty());
+    }
+
+    fn wpt_device() -> Arc<Device> {
+        let mut c = DeviceConfig::test_tiny();
+        c.kernel_shape = tdts_gpu_sim::KernelShape::WarpPerTile;
+        Device::new(c).unwrap()
+    }
+
+    #[test]
+    fn warp_per_tile_matches_thread_per_query() {
+        let store = sorted_store(60);
+        let queries: SegmentStore =
+            (0..20).map(|i| seg(i as f64 * 7.0 + 0.3, i as f64 * 1.3, 100 + i as u32)).collect();
+        let tpq =
+            GpuTemporalSearch::new(device(), &store, TemporalIndexConfig { bins: 8 }).unwrap();
+        let wpt =
+            GpuTemporalSearch::new(wpt_device(), &store, TemporalIndexConfig { bins: 8 }).unwrap();
+        for d in [0.5, 2.0, 10.0] {
+            let (a, ra) = tpq.search(&queries, d, 10_000).unwrap();
+            let (b, rb) = wpt.search(&queries, d, 10_000).unwrap();
+            assert_eq!(a, b, "d = {d}");
+            assert_eq!(ra.comparisons, rb.comparisons, "same candidates refined");
+            assert_eq!(ra.load.tiles_dispatched, 0);
+            assert!(rb.load.tiles_dispatched > 0);
+            assert!(rb.load.queue_atomics > rb.load.tiles_dispatched);
+        }
+    }
+
+    #[test]
+    fn warp_per_tile_redo_preserves_results() {
+        let store = sorted_store(40);
+        let queries = sorted_store(40);
+        let search =
+            GpuTemporalSearch::new(wpt_device(), &store, TemporalIndexConfig { bins: 4 }).unwrap();
+        let (full, _) = search.search(&queries, 5.0, 20_000).unwrap();
+        assert!(!full.is_empty());
+        let (constrained, report) = search.search(&queries, 5.0, full.len().max(4) / 4).unwrap();
+        assert_eq!(constrained, full);
+        assert!(report.redo_rounds > 0, "expected redo rounds");
+        let err = search.search(&queries, 5.0, 0).unwrap_err();
+        assert!(matches!(err, SearchError::ResultCapacityTooSmall { .. }));
     }
 
     #[test]

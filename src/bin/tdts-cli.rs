@@ -29,6 +29,10 @@ fn usage() -> ! {
          \u{20}  --queries <n>                     query trajectories (default 10)\n\
          \u{20}  --bins <n>                        temporal bins (default 1000)\n\
          \u{20}  --subbins <n>                     spatial subbins (default 4)\n\
+         \u{20}  --kernel-shape <s>                thread-per-query (default) or\n\
+         \u{20}                                    warp-per-tile (work-queue kernels)\n\
+         \u{20}  --tile-size <n>                   candidate entries per work-queue\n\
+         \u{20}                                    tile (default 128)\n\
          \u{20}  --out <path>                      output file for generate\n\
          \u{20}  --verify                          check results against brute force"
     );
@@ -45,6 +49,8 @@ struct Opts {
     queries: usize,
     bins: usize,
     subbins: usize,
+    kernel_shape: KernelShape,
+    tile_size: usize,
     out: Option<String>,
     verify: bool,
 }
@@ -62,6 +68,8 @@ fn parse() -> Opts {
         queries: 10,
         bins: 1_000,
         subbins: 4,
+        kernel_shape: KernelShape::ThreadPerQuery,
+        tile_size: 128,
         out: None,
         verify: false,
     };
@@ -76,6 +84,14 @@ fn parse() -> Opts {
             "--queries" => o.queries = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--bins" => o.bins = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--subbins" => o.subbins = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--kernel-shape" => {
+                o.kernel_shape = match val(&mut args).as_str() {
+                    "thread-per-query" => KernelShape::ThreadPerQuery,
+                    "warp-per-tile" => KernelShape::WarpPerTile,
+                    _ => usage(),
+                }
+            }
+            "--tile-size" => o.tile_size = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--out" => o.out = Some(val(&mut args)),
             "--verify" => o.verify = true,
             _ => usage(),
@@ -175,7 +191,10 @@ fn main() {
             println!("wrote {} segments to {out}", store.len());
         }
         "search" | "knn" => {
-            let device = Device::new(DeviceConfig::tesla_c2075()).expect("device");
+            let mut device_config = DeviceConfig::tesla_c2075();
+            device_config.kernel_shape = o.kernel_shape;
+            device_config.tile_size = o.tile_size;
+            let device = Device::new(device_config).expect("device");
             let dataset = PreparedDataset::new(store);
             let method = match o.method.as_str() {
                 "rtree" => Method::CpuRTree(RTreeConfig::default()),

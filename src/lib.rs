@@ -84,7 +84,8 @@ pub mod prelude {
         TrajId,
     };
     pub use tdts_gpu_sim::{
-        Device, DeviceConfig, Phase, ResultWriteMode, SearchError, SearchReport,
+        Device, DeviceConfig, KernelShape, LoadBalance, Phase, ResultWriteMode, SearchError,
+        SearchReport,
     };
     pub use tdts_index_spatial::{FsgConfig, GpuSpatialConfig};
     pub use tdts_index_spatiotemporal::SpatioTemporalIndexConfig;
