@@ -21,17 +21,22 @@ fn bench_builds(c: &mut Criterion) {
         let store = dataset(trajs);
         let n = store.len();
         group.bench_with_input(BenchmarkId::new("fsg", n), &store, |b, s| {
-            b.iter(|| black_box(Fsg::build(s, FsgConfig { cells_per_dim: 20 })))
+            b.iter(|| black_box(Fsg::build(s, FsgConfig { cells_per_dim: 20 }).unwrap()))
         });
         group.bench_with_input(BenchmarkId::new("temporal", n), &store, |b, s| {
-            b.iter(|| black_box(TemporalIndex::build(s, TemporalIndexConfig { bins: 1_000 })))
+            b.iter(|| {
+                black_box(TemporalIndex::build(s, TemporalIndexConfig { bins: 1_000 }).unwrap())
+            })
         });
         group.bench_with_input(BenchmarkId::new("spatiotemporal", n), &store, |b, s| {
             b.iter(|| {
-                black_box(SpatioTemporalIndex::build(
-                    s,
-                    SpatioTemporalIndexConfig { bins: 200, subbins: 4, sort_by_selector: true },
-                ))
+                black_box(
+                    SpatioTemporalIndex::build(
+                        s,
+                        SpatioTemporalIndexConfig { bins: 200, subbins: 4, sort_by_selector: true },
+                    )
+                    .unwrap(),
+                )
             })
         });
         group.bench_with_input(BenchmarkId::new("rtree", n), &store, |b, s| {

@@ -22,11 +22,12 @@ fn world() -> (SegmentStore, SegmentStore) {
 
 fn bench_schedules(c: &mut Criterion) {
     let (store, queries) = world();
-    let temporal = TemporalIndex::build(&store, TemporalIndexConfig { bins: 1_000 });
+    let temporal = TemporalIndex::build(&store, TemporalIndexConfig { bins: 1_000 }).unwrap();
     let st = SpatioTemporalIndex::build(
         &store,
         SpatioTemporalIndexConfig { bins: 200, subbins: 4, sort_by_selector: true },
-    );
+    )
+    .unwrap();
 
     c.bench_function("sort_queries", |b| b.iter(|| black_box(SortedQueries::from_store(&queries))));
 

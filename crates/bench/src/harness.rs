@@ -45,6 +45,13 @@ pub struct Measurement {
     pub matches: usize,
 }
 
+/// Print a readable error and exit instead of unwinding with a panic
+/// backtrace — harness failures here are configuration problems, not bugs.
+fn die(context: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("[harness] error: {context}: {err}");
+    std::process::exit(1);
+}
+
 /// The harness: builds scenarios once and runs the figure/table experiments.
 pub struct Runner {
     cfg: RunConfig,
@@ -63,7 +70,7 @@ impl Runner {
     pub fn new(cfg: RunConfig) -> Runner {
         use rayon::prelude::*;
         let _: u64 = (0..1u64 << 16).into_par_iter().sum();
-        let device = Device::new(cfg.device.clone()).expect("valid device config");
+        let device = Device::new(cfg.device.clone()).unwrap_or_else(|e| die("device config", e));
         Runner { cfg, device }
     }
 
@@ -83,7 +90,8 @@ impl Runner {
 
     fn build(&self, p: &Prepared, method: Method) -> SearchEngine {
         eprintln!("[harness] building {} ...", method.name());
-        SearchEngine::build(&p.dataset, method, Arc::clone(&self.device)).expect("engine build")
+        SearchEngine::build(&p.dataset, method, Arc::clone(&self.device))
+            .unwrap_or_else(|e| die("engine build", e))
     }
 
     fn run_one(
@@ -95,7 +103,8 @@ impl Runner {
     ) -> (Vec<MatchRecord>, Measurement) {
         let mut best: Option<(Vec<MatchRecord>, SearchReport)> = None;
         for _ in 0..self.cfg.trials.max(1) {
-            let (matches, report) = engine.search(queries, d, capacity).expect("search");
+            let (matches, report) =
+                engine.search(queries, d, capacity).unwrap_or_else(|e| die("search", e));
             let better =
                 best.as_ref().is_none_or(|(_, b)| report.response_seconds() < b.response_seconds());
             if better {
@@ -492,13 +501,15 @@ impl Runner {
             p.dataset.store(),
             TemporalIndexConfig { bins: params.temporal_bins },
         )
-        .expect("build");
+        .unwrap_or_else(|e| die("engine build", e));
         println!("\n## Write-strategy ablation — atomic append vs two-pass scatter (S2 Merger)");
         println!("{:>10} {:>12} {:>16} {:>14}", "d", "strategy", "response (s)", "comparisons");
         let mut out = Vec::new();
         for &d in &[0.5, 2.0, 5.0] {
-            let (ma, ra) = search.search(&p.queries, d, cap).expect("atomic search");
-            let (mt, rt) = search.search_two_pass(&p.queries, d).expect("two-pass search");
+            let (ma, ra) =
+                search.search(&p.queries, d, cap).unwrap_or_else(|e| die("atomic search", e));
+            let (mt, rt) =
+                search.search_two_pass(&p.queries, d).unwrap_or_else(|e| die("two-pass search", e));
             assert_eq!(ma, mt, "strategies disagree at d = {d}");
             println!(
                 "{:>10.3} {:>12} {:>16.6} {:>14}",
@@ -567,9 +578,10 @@ impl Runner {
                     .map(|mode| {
                         let mut dc = self.cfg.device.clone();
                         dc.result_write_mode = mode;
-                        let device = Device::new(dc).expect("valid device config");
+                        let device = Device::new(dc).unwrap_or_else(|e| die("device config", e));
                         eprintln!("[harness] building {} ({mode:?}) ...", method.name());
-                        SearchEngine::build(&p.dataset, method, device).expect("engine build")
+                        SearchEngine::build(&p.dataset, method, device)
+                            .unwrap_or_else(|e| die("engine build", e))
                     })
                     .collect();
             for &d in &p.scenario.query_distances() {
@@ -650,9 +662,10 @@ impl Runner {
                     .map(|shape| {
                         let mut dc = self.cfg.device.clone();
                         dc.kernel_shape = shape;
-                        let device = Device::new(dc).expect("valid device config");
+                        let device = Device::new(dc).unwrap_or_else(|e| die("device config", e));
                         eprintln!("[harness] building {} ({shape:?}) ...", method.name());
-                        SearchEngine::build(&p.dataset, method, device).expect("engine build")
+                        SearchEngine::build(&p.dataset, method, device)
+                            .unwrap_or_else(|e| die("engine build", e))
                     })
                     .collect();
             for &d in &ds {
@@ -715,7 +728,7 @@ impl Runner {
             Method::CpuRTree(RTreeConfig::default()),
             Arc::clone(&self.device),
         )
-        .expect("build cpu");
+        .unwrap_or_else(|e| die("CPU engine build", e));
         let gpu = SearchEngine::build(
             &dataset,
             Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {
@@ -725,7 +738,7 @@ impl Runner {
             }),
             Arc::clone(&self.device),
         )
-        .expect("build gpu");
+        .unwrap_or_else(|e| die("GPU engine build", e));
         println!("\n## Crossover study — Gaussian cluster: CPU vs GPU vs d");
         println!("{:>10} {:>16} {:>16} {:>10}", "d", "CPU-RTree (s)", "GPUSpTemp (s)", "ratio");
         let mut out = Vec::new();
@@ -814,8 +827,9 @@ impl Runner {
                         batch_size,
                     },
                 )
-                .expect("batched build");
-                let (matches, report) = search.search(&p.queries, d, cap).expect("batched search");
+                .unwrap_or_else(|e| die("batched build", e));
+                let (matches, report) =
+                    search.search(&p.queries, d, cap).unwrap_or_else(|e| die("batched search", e));
                 assert_eq!(matches, res_matches, "batched result mismatch at d = {d}");
                 println!(
                     "{:>10.3} {:>14} {:>18.6} {:>14}",
@@ -848,9 +862,11 @@ impl Runner {
             sort_by_selector: true,
         });
         let old = self.build(&p, method);
-        let modern_device = Device::new(DeviceConfig::modern_gpu()).expect("valid modern config");
+        let modern_device = Device::new(DeviceConfig::modern_gpu())
+            .unwrap_or_else(|e| die("modern device config", e));
         eprintln!("[harness] building GPUSpatioTemporal on modern GPU ...");
-        let modern = SearchEngine::build(&p.dataset, method, modern_device).expect("build");
+        let modern = SearchEngine::build(&p.dataset, method, modern_device)
+            .unwrap_or_else(|e| die("engine build", e));
         println!("\n## Future trends (§VI) — Tesla C2075 vs modern GPU (S2 Merger)");
         println!("{:>10} {:>16} {:>16} {:>10}", "d", "C2075 (s)", "modern (s)", "speedup");
         let mut out = Vec::new();

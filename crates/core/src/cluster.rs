@@ -15,9 +15,10 @@
 //! the maximum over nodes plus the merge.
 
 use crate::engine::{Method, PreparedDataset, SearchEngine};
+use crate::error::TdtsError;
 use std::time::Instant;
 use tdts_geom::{dedup_matches, MatchRecord, SegmentStore};
-use tdts_gpu_sim::{Device, DeviceConfig, SearchError, SearchReport};
+use tdts_gpu_sim::{Device, DeviceConfig, SearchReport};
 
 /// Cluster configuration.
 #[derive(Debug, Clone)]
@@ -58,10 +59,14 @@ impl ClusterSearch {
     pub fn build(
         dataset: &PreparedDataset,
         config: ClusterConfig,
-    ) -> Result<ClusterSearch, SearchError> {
-        assert!(config.nodes >= 1, "need at least one node");
+    ) -> Result<ClusterSearch, TdtsError> {
+        if config.nodes < 1 {
+            return Err(TdtsError::InvalidConfig("need at least one node".into()));
+        }
         let store = dataset.store();
-        assert!(!store.is_empty(), "cannot shard an empty dataset");
+        if store.is_empty() {
+            return Err(TdtsError::InvalidConfig("cannot shard an empty dataset".into()));
+        }
         let n = store.len();
         let per = n.div_ceil(config.nodes);
         let mut shards = Vec::new();
@@ -75,7 +80,7 @@ impl ClusterSearch {
             // Shard stores inherit the canonical t_start order, so preparing
             // them again is a no-op reorder.
             let shard_dataset = PreparedDataset::new(shard_store);
-            let device = Device::new(config.device.clone()).expect("valid device config");
+            let device = Device::new(config.device.clone()).map_err(TdtsError::InvalidConfig)?;
             let engine = SearchEngine::build(&shard_dataset, config.method, device)?;
             shards.push(Shard { engine, offset: lo as u32 });
         }
@@ -93,9 +98,9 @@ impl ClusterSearch {
         queries: &SegmentStore,
         d: f64,
         result_capacity_per_node: usize,
-    ) -> Result<(Vec<MatchRecord>, ClusterReport), SearchError> {
+    ) -> Result<(Vec<MatchRecord>, ClusterReport), TdtsError> {
         // Run shards concurrently; each returns shard-local results.
-        let results: Vec<Result<(Vec<MatchRecord>, SearchReport), SearchError>> =
+        let results: Vec<Result<(Vec<MatchRecord>, SearchReport), TdtsError>> =
             std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .shards

@@ -1,15 +1,23 @@
-//! Unified engine over the four search implementations.
+//! Unified engine over the paper's search implementations.
 
 use std::sync::Arc;
-use std::time::Instant;
 use tdts_geom::{MatchRecord, SegmentStore};
-use tdts_gpu_sim::{Device, Phase, SearchError, SearchReport};
+use tdts_gpu_sim::{Device, SearchReport};
 use tdts_index_spatial::{GpuSpatialConfig, GpuSpatialSearch};
 use tdts_index_spatiotemporal::{GpuSpatioTemporalSearch, SpatioTemporalIndexConfig};
-use tdts_index_temporal::{GpuTemporalSearch, TemporalIndexConfig};
+use tdts_index_temporal::{
+    BatchedConfig, GpuBatchedTemporalSearch, GpuTemporalSearch, TemporalIndexConfig,
+};
 use tdts_rtree::{RTree, RTreeConfig};
 
+use crate::error::TdtsError;
+use crate::traits::{CpuRTreeIndex, QueryBatch, TrajectoryIndex};
+
 /// A search method with its configuration.
+///
+/// `Method` is a *factory*: [`Method::build_index`] constructs the matching
+/// [`TrajectoryIndex`] implementation, and everything downstream (engine,
+/// service, tools) works through the trait object.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Method {
     /// The paper's CPU baseline: multithreaded in-memory R-tree.
@@ -18,6 +26,8 @@ pub enum Method {
     GpuSpatial(GpuSpatialConfig),
     /// `GPUTemporal`: temporal bins (§IV-B).
     GpuTemporal(TemporalIndexConfig),
+    /// `GPUTemporal` streaming `Q` through the device in pipelined batches.
+    GpuBatchedTemporal(BatchedConfig),
     /// `GPUSpatioTemporal`: temporal bins with spatial subbins (§IV-C).
     GpuSpatioTemporal(SpatioTemporalIndexConfig),
 }
@@ -29,8 +39,34 @@ impl Method {
             Method::CpuRTree(_) => "CPU-RTree",
             Method::GpuSpatial(_) => "GPUSpatial",
             Method::GpuTemporal(_) => "GPUTemporal",
+            Method::GpuBatchedTemporal(_) => "GPUBatchedTemporal",
             Method::GpuSpatioTemporal(_) => "GPUSpatioTemporal",
         }
+    }
+
+    /// Build the index this method describes over the canonical `store`.
+    ///
+    /// GPU methods place the database and index into `device` memory
+    /// (offline — excluded from response time, as in the paper). The CPU
+    /// baseline ignores the device.
+    pub fn build_index(
+        &self,
+        store: &Arc<SegmentStore>,
+        device: Arc<Device>,
+    ) -> Result<Box<dyn TrajectoryIndex>, TdtsError> {
+        Ok(match *self {
+            Method::CpuRTree(cfg) => {
+                Box::new(CpuRTreeIndex::new(RTree::build(store, cfg), Arc::clone(store)))
+            }
+            Method::GpuSpatial(cfg) => Box::new(GpuSpatialSearch::new(device, store, cfg)?),
+            Method::GpuTemporal(cfg) => Box::new(GpuTemporalSearch::new(device, store, cfg)?),
+            Method::GpuBatchedTemporal(cfg) => {
+                Box::new(GpuBatchedTemporalSearch::new(device, store, cfg)?)
+            }
+            Method::GpuSpatioTemporal(cfg) => {
+                Box::new(GpuSpatioTemporalSearch::new(device, store, cfg)?)
+            }
+        })
     }
 }
 
@@ -63,19 +99,15 @@ impl PreparedDataset {
     }
 }
 
-enum EngineImpl {
-    Rtree(RTree),
-    Spatial(GpuSpatialSearch),
-    Temporal(GpuTemporalSearch),
-    SpatioTemporal(GpuSpatioTemporalSearch),
-}
-
 /// One search implementation, fully built (index constructed, database
 /// resident on the device for the GPU methods) and ready to serve queries.
+///
+/// A thin convenience wrapper over `Box<dyn TrajectoryIndex>` that also
+/// remembers the method descriptor and the canonical store.
 pub struct SearchEngine {
     store: Arc<SegmentStore>,
     method: Method,
-    inner: EngineImpl,
+    index: Box<dyn TrajectoryIndex>,
 }
 
 impl SearchEngine {
@@ -86,21 +118,10 @@ impl SearchEngine {
         dataset: &PreparedDataset,
         method: Method,
         device: Arc<Device>,
-    ) -> Result<SearchEngine, SearchError> {
+    ) -> Result<SearchEngine, TdtsError> {
         let store = dataset.store_arc();
-        let inner = match method {
-            Method::CpuRTree(cfg) => EngineImpl::Rtree(RTree::build(&store, cfg)),
-            Method::GpuSpatial(cfg) => {
-                EngineImpl::Spatial(GpuSpatialSearch::new(device, &store, cfg)?)
-            }
-            Method::GpuTemporal(cfg) => {
-                EngineImpl::Temporal(GpuTemporalSearch::new(device, &store, cfg)?)
-            }
-            Method::GpuSpatioTemporal(cfg) => {
-                EngineImpl::SpatioTemporal(GpuSpatioTemporalSearch::new(device, &store, cfg)?)
-            }
-        };
-        Ok(SearchEngine { store, method, inner })
+        let index = method.build_index(&store, device)?;
+        Ok(SearchEngine { store, method, index })
     }
 
     /// The method this engine implements.
@@ -113,38 +134,32 @@ impl SearchEngine {
         &self.store
     }
 
+    /// The underlying index as the trait object, for callers that want to
+    /// share it across threads or hand it to the query service.
+    pub fn index(&self) -> &dyn TrajectoryIndex {
+        self.index.as_ref()
+    }
+
+    /// Consume the engine, yielding the bare index trait object.
+    pub fn into_index(self) -> Box<dyn TrajectoryIndex> {
+        self.index
+    }
+
     /// Run the distance threshold search.
     ///
     /// `result_capacity` bounds the GPU result buffer (the paper's fixed
     /// 5×10⁷-element buffer); the CPU baseline ignores it (host memory is
     /// dynamic, §III). Returns the canonical result set and a report whose
     /// `response` is simulated time for GPU methods and measured wall time
-    /// (charged to [`Phase::HostCompute`]) for the CPU baseline.
+    /// (charged to `Phase::HostCompute`) for the CPU baseline.
     pub fn search(
         &self,
         queries: &SegmentStore,
         d: f64,
         result_capacity: usize,
-    ) -> Result<(Vec<MatchRecord>, SearchReport), SearchError> {
-        match &self.inner {
-            EngineImpl::Rtree(tree) => {
-                let start = Instant::now();
-                let (matches, stats) = tree.search(&self.store, queries, d);
-                let wall = start.elapsed().as_secs_f64();
-                let mut report = SearchReport {
-                    comparisons: stats.candidates,
-                    raw_matches: stats.matches,
-                    matches: matches.len() as u64,
-                    wall_seconds: wall,
-                    ..SearchReport::default()
-                };
-                report.response.add(Phase::HostCompute, wall);
-                Ok((matches, report))
-            }
-            EngineImpl::Spatial(s) => s.search(queries, d, result_capacity),
-            EngineImpl::Temporal(s) => s.search(queries, d, result_capacity),
-            EngineImpl::SpatioTemporal(s) => s.search(queries, d, result_capacity),
-        }
+    ) -> Result<(Vec<MatchRecord>, SearchReport), TdtsError> {
+        let outcome = self.index.search(&QueryBatch { queries, d, result_capacity })?;
+        Ok((outcome.matches, outcome.report))
     }
 }
 
@@ -152,7 +167,7 @@ impl SearchEngine {
 mod tests {
     use super::*;
     use tdts_geom::{Point3, SegId, Segment, TrajId};
-    use tdts_gpu_sim::DeviceConfig;
+    use tdts_gpu_sim::{DeviceConfig, Phase};
     use tdts_index_spatial::FsgConfig;
 
     fn store(n: usize) -> SegmentStore {
@@ -184,6 +199,10 @@ mod tests {
                 total_scratch: 50_000,
             }),
             Method::GpuTemporal(TemporalIndexConfig { bins: 8 }),
+            Method::GpuBatchedTemporal(BatchedConfig {
+                index: TemporalIndexConfig { bins: 8 },
+                batch_size: 7,
+            }),
             Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {
                 bins: 8,
                 subbins: 4,

@@ -9,10 +9,11 @@
 //! auto-calibrated from a small probe batch.
 
 use crate::engine::{Method, PreparedDataset, SearchEngine};
+use crate::error::TdtsError;
 use std::sync::Arc;
 use std::time::Instant;
 use tdts_geom::{dedup_matches, MatchRecord, SegmentStore};
-use tdts_gpu_sim::{Device, Phase, SearchError, SearchReport};
+use tdts_gpu_sim::{Device, Phase, SearchReport};
 
 /// Hybrid configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,13 +63,14 @@ impl HybridSearch {
         dataset: &PreparedDataset,
         config: HybridConfig,
         device: Arc<Device>,
-    ) -> Result<HybridSearch, SearchError> {
-        assert!(
-            matches!(config.cpu_method, Method::CpuRTree(_)),
-            "hybrid CPU side must be CpuRTree"
-        );
+    ) -> Result<HybridSearch, TdtsError> {
+        if !matches!(config.cpu_method, Method::CpuRTree(_)) {
+            return Err(TdtsError::InvalidConfig("hybrid CPU side must be CpuRTree".into()));
+        }
         if let Some(f) = config.gpu_fraction {
-            assert!((0.0..=1.0).contains(&f), "gpu_fraction {f} out of [0, 1]");
+            if !(0.0..=1.0).contains(&f) {
+                return Err(TdtsError::InvalidConfig(format!("gpu_fraction {f} out of [0, 1]")));
+            }
         }
         let cpu = SearchEngine::build(dataset, config.cpu_method, Arc::clone(&device))?;
         let gpu = SearchEngine::build(dataset, config.gpu_method, device)?;
@@ -84,7 +86,7 @@ impl HybridSearch {
         d: f64,
         capacity: usize,
         n: usize,
-    ) -> Result<f64, SearchError> {
+    ) -> Result<f64, TdtsError> {
         let n = n.min(queries.len()).max(1);
         let stride = (queries.len() / n).max(1);
         let probe: SegmentStore = queries.iter().step_by(stride).copied().collect();
@@ -98,7 +100,7 @@ impl HybridSearch {
         queries: &SegmentStore,
         d: f64,
         result_capacity: usize,
-    ) -> Result<(Vec<MatchRecord>, HybridReport), SearchError> {
+    ) -> Result<(Vec<MatchRecord>, HybridReport), TdtsError> {
         let fraction = match self.config.gpu_fraction {
             Some(f) => f,
             None => {
@@ -241,13 +243,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "hybrid CPU side")]
     fn rejects_gpu_only_pairing() {
         let dataset = PreparedDataset::new(store(10));
         let bad = HybridConfig {
             cpu_method: Method::GpuTemporal(TemporalIndexConfig { bins: 2 }),
             ..config(Some(0.5))
         };
-        let _ = HybridSearch::build(&dataset, bad, device());
+        match HybridSearch::build(&dataset, bad, device()) {
+            Err(TdtsError::InvalidConfig(why)) => assert!(why.contains("hybrid CPU side")),
+            other => panic!("expected InvalidConfig, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_fraction() {
+        let dataset = PreparedDataset::new(store(10));
+        let bad = config(Some(1.5));
+        assert!(matches!(
+            HybridSearch::build(&dataset, bad, device()),
+            Err(TdtsError::InvalidConfig(_))
+        ));
     }
 }

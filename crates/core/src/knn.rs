@@ -10,10 +10,10 @@
 //! neighbours, then rank by exact closest-approach distance.
 
 use crate::engine::SearchEngine;
+use crate::error::TdtsError;
 use serde::{Deserialize, Serialize};
 use tdts_geom::continuous::closest_approach;
 use tdts_geom::SegmentStore;
-use tdts_gpu_sim::SearchError;
 
 /// One neighbour of a query segment.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -54,9 +54,13 @@ pub fn knn_search(
     queries: &SegmentStore,
     config: KnnConfig,
     result_capacity: usize,
-) -> Result<Vec<Vec<Neighbor>>, SearchError> {
-    assert!(config.k >= 1, "k must be at least 1");
-    assert!(config.initial_radius > 0.0, "initial radius must be positive");
+) -> Result<Vec<Vec<Neighbor>>, TdtsError> {
+    if config.k < 1 {
+        return Err(TdtsError::InvalidConfig("k must be at least 1".into()));
+    }
+    if config.initial_radius <= 0.0 || config.initial_radius.is_nan() {
+        return Err(TdtsError::InvalidConfig("initial radius must be positive".into()));
+    }
     let mut neighbours: Vec<Vec<Neighbor>> = vec![Vec::new(); queries.len()];
     if queries.is_empty() {
         return Ok(neighbours);
@@ -88,7 +92,7 @@ pub fn knn_search(
                     })
                 })
                 .collect();
-            found.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("NaN distance"));
+            found.sort_by(|a, b| a.distance.total_cmp(&b.distance));
             found.truncate(config.k);
             neighbours[orig as usize] = found;
         }

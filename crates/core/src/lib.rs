@@ -16,14 +16,18 @@
 
 pub mod cluster;
 pub mod engine;
+pub mod error;
 pub mod hybrid;
 pub mod knn;
 pub mod oracle;
 pub mod resolve;
+pub mod traits;
 
 pub use cluster::{ClusterConfig, ClusterReport, ClusterSearch};
 pub use engine::{Method, PreparedDataset, SearchEngine};
+pub use error::TdtsError;
 pub use hybrid::{HybridConfig, HybridReport, HybridSearch};
 pub use knn::{knn_search, KnnConfig, Neighbor};
 pub use oracle::{brute_force_search, verify_against_oracle};
 pub use resolve::{resolve_matches, ResolvedMatch};
+pub use traits::{CpuRTreeIndex, QueryBatch, SearchOutcome, TrajectoryIndex};

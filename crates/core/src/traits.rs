@@ -1,0 +1,141 @@
+//! The [`TrajectoryIndex`] abstraction: one object-safe interface over the
+//! paper's four search implementations (plus the batched-temporal variant),
+//! so engines, services, and tools can hold a `Box<dyn TrajectoryIndex>`
+//! without matching on [`Method`](crate::Method) at every call site.
+
+use std::sync::Arc;
+use std::time::Instant;
+use tdts_geom::{MatchRecord, SegmentStore};
+use tdts_gpu_sim::{Phase, SearchReport};
+use tdts_index_spatial::GpuSpatialSearch;
+use tdts_index_spatiotemporal::GpuSpatioTemporalSearch;
+use tdts_index_temporal::{GpuBatchedTemporalSearch, GpuTemporalSearch};
+use tdts_rtree::RTree;
+
+use crate::error::TdtsError;
+
+/// One batch of query segments with its search parameters.
+///
+/// Borrowed, so a service can slice a coalesced super-batch into
+/// per-request views without copying segments.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryBatch<'a> {
+    /// The query segments `Q`.
+    pub queries: &'a SegmentStore,
+    /// The distance threshold `d`.
+    pub d: f64,
+    /// Device result-buffer bound (the paper's fixed-size buffer). CPU
+    /// implementations ignore it.
+    pub result_capacity: usize,
+}
+
+/// The product of one batch search: canonical deduplicated result records
+/// and the instrumentation report.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Result records in the canonical `(query, entry, interval)` order.
+    pub matches: Vec<MatchRecord>,
+    /// Counters, phase timings and load-balance metrics for the batch.
+    pub report: SearchReport,
+}
+
+/// A fully built distance-threshold search index.
+///
+/// Implementations own everything they need to serve queries — the entry
+/// database (or a handle to it), the index structure, and the device
+/// residency for GPU methods. Building happens elsewhere (offline, as in
+/// the paper); this trait is the online query path only.
+///
+/// `Send + Sync` is required so a query service can share one index across
+/// worker threads behind an `Arc`.
+pub trait TrajectoryIndex: Send + Sync {
+    /// Run the distance threshold search for every query in the batch.
+    fn search(&self, batch: &QueryBatch<'_>) -> Result<SearchOutcome, TdtsError>;
+
+    /// The paper's name for the implementation (e.g. `"GPUTemporal"`).
+    fn name(&self) -> &'static str;
+}
+
+impl TrajectoryIndex for GpuSpatialSearch {
+    fn search(&self, batch: &QueryBatch<'_>) -> Result<SearchOutcome, TdtsError> {
+        let (matches, report) =
+            GpuSpatialSearch::search(self, batch.queries, batch.d, batch.result_capacity)?;
+        Ok(SearchOutcome { matches, report })
+    }
+
+    fn name(&self) -> &'static str {
+        "GPUSpatial"
+    }
+}
+
+impl TrajectoryIndex for GpuTemporalSearch {
+    fn search(&self, batch: &QueryBatch<'_>) -> Result<SearchOutcome, TdtsError> {
+        let (matches, report) =
+            GpuTemporalSearch::search(self, batch.queries, batch.d, batch.result_capacity)?;
+        Ok(SearchOutcome { matches, report })
+    }
+
+    fn name(&self) -> &'static str {
+        "GPUTemporal"
+    }
+}
+
+impl TrajectoryIndex for GpuBatchedTemporalSearch {
+    fn search(&self, batch: &QueryBatch<'_>) -> Result<SearchOutcome, TdtsError> {
+        let (matches, report) =
+            GpuBatchedTemporalSearch::search(self, batch.queries, batch.d, batch.result_capacity)?;
+        Ok(SearchOutcome { matches, report })
+    }
+
+    fn name(&self) -> &'static str {
+        "GPUBatchedTemporal"
+    }
+}
+
+impl TrajectoryIndex for GpuSpatioTemporalSearch {
+    fn search(&self, batch: &QueryBatch<'_>) -> Result<SearchOutcome, TdtsError> {
+        let (matches, report) =
+            GpuSpatioTemporalSearch::search(self, batch.queries, batch.d, batch.result_capacity)?;
+        Ok(SearchOutcome { matches, report })
+    }
+
+    fn name(&self) -> &'static str {
+        "GPUSpatioTemporal"
+    }
+}
+
+/// The CPU baseline behind the trait. [`RTree`] does not own the entry
+/// store (its result positions refer to an external store), so this
+/// wrapper pairs the tree with the canonical store it was built from.
+pub struct CpuRTreeIndex {
+    tree: RTree,
+    store: Arc<SegmentStore>,
+}
+
+impl CpuRTreeIndex {
+    /// Wrap a built tree with the store its positions refer to.
+    pub fn new(tree: RTree, store: Arc<SegmentStore>) -> CpuRTreeIndex {
+        CpuRTreeIndex { tree, store }
+    }
+}
+
+impl TrajectoryIndex for CpuRTreeIndex {
+    fn search(&self, batch: &QueryBatch<'_>) -> Result<SearchOutcome, TdtsError> {
+        let start = Instant::now();
+        let (matches, stats) = self.tree.search(&self.store, batch.queries, batch.d);
+        let wall = start.elapsed().as_secs_f64();
+        let mut report = SearchReport {
+            comparisons: stats.candidates,
+            raw_matches: stats.matches,
+            matches: matches.len() as u64,
+            wall_seconds: wall,
+            ..SearchReport::default()
+        };
+        report.response.add(Phase::HostCompute, wall);
+        Ok(SearchOutcome { matches, report })
+    }
+
+    fn name(&self) -> &'static str {
+        "CPU-RTree"
+    }
+}

@@ -43,7 +43,7 @@ pub mod redo;
 pub mod report;
 pub mod workqueue;
 
-pub use config::{DeviceConfig, KernelShape, ResultWriteMode};
+pub use config::{DeviceConfig, DeviceConfigBuilder, KernelShape, ResultWriteMode};
 pub use counters::{Counters, Lane};
 pub use device::Device;
 pub use launch::{LaunchReport, Warp, MAX_WARP_LANES};

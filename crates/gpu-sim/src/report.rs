@@ -51,6 +51,25 @@ impl LoadBalance {
         };
     }
 
+    /// Fold another accumulated [`LoadBalance`] into this one (e.g. when a
+    /// service aggregates the reports of many batch searches).
+    pub fn merge(&mut self, other: &LoadBalance) {
+        self.tiles_dispatched += other.tiles_dispatched;
+        self.queue_atomics += other.queue_atomics;
+        if other.warps == 0 {
+            return;
+        }
+        self.max_warp_cycles = self.max_warp_cycles.max(other.max_warp_cycles);
+        self.warp_cycles += other.warp_cycles;
+        let first = self.warps == 0;
+        self.warps += other.warps;
+        self.min_last_wave_occupancy = if first {
+            other.min_last_wave_occupancy
+        } else {
+            self.min_last_wave_occupancy.min(other.min_last_wave_occupancy)
+        };
+    }
+
     /// Mean cycles per warp over all launches.
     pub fn mean_warp_cycles(&self) -> f64 {
         if self.warps == 0 {
@@ -104,6 +123,23 @@ impl SearchReport {
     pub fn response_seconds(&self) -> f64 {
         self.response.total()
     }
+
+    /// Accumulate another search's report into this one. Used by callers
+    /// that run many searches (a batching service, a cluster) and want one
+    /// aggregate report: phases, counters, and load metrics sum; wall time
+    /// sums (the searches ran back to back on one resource).
+    pub fn merge(&mut self, other: &SearchReport) {
+        self.response.merge(&other.response);
+        self.comparisons += other.comparisons;
+        self.raw_matches += other.raw_matches;
+        self.matches += other.matches;
+        self.redo_rounds += other.redo_rounds;
+        self.fallback_queries += other.fallback_queries;
+        self.divergent_warps += other.divergent_warps;
+        self.totals.add(&other.totals);
+        self.load.merge(&other.load);
+        self.wall_seconds += other.wall_seconds;
+    }
 }
 
 /// Errors a GPU search can hit.
@@ -117,6 +153,13 @@ pub enum SearchError {
     /// The per-query candidate buffer is too small for even one query when
     /// processed alone (GPUSpatial).
     ScratchCapacityTooSmall { capacity: usize },
+    /// An index, device, or engine configuration parameter is invalid.
+    InvalidConfig(String),
+    /// The dataset is empty; the indexes require at least one entry.
+    EmptyDataset,
+    /// The dataset is not sorted by `t_start`, which the temporal indexes
+    /// require (prepare it with `PreparedDataset` / `sort_by_t_start`).
+    UnsortedDataset,
 }
 
 impl fmt::Display for SearchError {
@@ -131,6 +174,11 @@ impl fmt::Display for SearchError {
                 f,
                 "candidate buffer of {capacity} elements cannot hold one query's candidates"
             ),
+            SearchError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+            SearchError::EmptyDataset => write!(f, "cannot index an empty dataset"),
+            SearchError::UnsortedDataset => {
+                write!(f, "temporal indexes require the dataset sorted by t_start")
+            }
         }
     }
 }

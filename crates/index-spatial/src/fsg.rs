@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use tdts_geom::{Mbb, Point3, SegmentStore};
+use tdts_gpu_sim::SearchError;
 
 /// FSG resolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -9,6 +10,33 @@ pub struct FsgConfig {
     /// Grid cells per dimension (the paper found 50 best for the Random
     /// dataset, §V-C).
     pub cells_per_dim: usize,
+}
+
+impl FsgConfig {
+    /// A builder starting from the defaults. Prefer this over struct-literal
+    /// construction: new fields get defaults instead of breaking callers.
+    pub fn builder() -> FsgConfigBuilder {
+        FsgConfigBuilder { config: FsgConfig::default() }
+    }
+}
+
+/// Builder for [`FsgConfig`].
+#[derive(Debug, Clone)]
+pub struct FsgConfigBuilder {
+    config: FsgConfig,
+}
+
+impl FsgConfigBuilder {
+    /// Grid cells per dimension.
+    pub fn cells_per_dim(mut self, n: usize) -> Self {
+        self.config.cells_per_dim = n;
+        self
+    }
+
+    /// Produce the configuration (validated at [`Fsg::build`] time).
+    pub fn build(self) -> FsgConfig {
+        self.config
+    }
 }
 
 impl Default for FsgConfig {
@@ -55,7 +83,7 @@ impl CellRange {
 ///         Point3::splat(i as f64), Point3::splat(i as f64 + 0.5),
 ///         0.0, 1.0, SegId(i), TrajId(i)))
 ///     .collect();
-/// let fsg = Fsg::build(&store, FsgConfig { cells_per_dim: 4 });
+/// let fsg = Fsg::build(&store, FsgConfig { cells_per_dim: 4 }).unwrap();
 ///
 /// // Only occupied cells are stored, and each segment is reachable through
 /// // the cells its MBB rasterises to.
@@ -83,10 +111,16 @@ pub struct Fsg {
 
 impl Fsg {
     /// Rasterise every entry's MBB to the grid and build the sparse arrays.
-    pub fn build(store: &SegmentStore, config: FsgConfig) -> Fsg {
-        assert!(config.cells_per_dim >= 1, "need at least one cell per dimension");
-        assert!(!store.is_empty(), "cannot index an empty store");
-        let stats = store.stats().expect("non-empty store");
+    ///
+    /// Fails with [`SearchError::InvalidConfig`] on a zero-cell grid and
+    /// [`SearchError::EmptyDataset`] on an empty store.
+    pub fn build(store: &SegmentStore, config: FsgConfig) -> Result<Fsg, SearchError> {
+        if config.cells_per_dim < 1 {
+            return Err(SearchError::InvalidConfig(
+                "FSG needs at least one cell per dimension".into(),
+            ));
+        }
+        let stats = store.stats().ok_or(SearchError::EmptyDataset)?;
         let bounds = stats.bounds;
         let n = config.cells_per_dim;
         let extent = bounds.extent();
@@ -126,7 +160,7 @@ impl Fsg {
             grid.cell_ids.push(h);
             grid.cell_ranges.push([start, grid.lookup.len() as u32]);
         }
-        grid
+        Ok(grid)
     }
 
     fn clamp_cell(&self, v: f64, dim: usize) -> usize {
@@ -224,7 +258,7 @@ mod tests {
 
     #[test]
     fn build_sparse_arrays() {
-        let fsg = Fsg::build(&store(), FsgConfig { cells_per_dim: 5 });
+        let fsg = Fsg::build(&store(), FsgConfig { cells_per_dim: 5 }).unwrap();
         assert!(fsg.non_empty_cells() > 0);
         // Sorted cell ids.
         assert!(fsg.cell_ids.windows(2).all(|w| w[0] < w[1]));
@@ -244,7 +278,7 @@ mod tests {
 
     #[test]
     fn rasterise_covers_cells() {
-        let fsg = Fsg::build(&store(), FsgConfig { cells_per_dim: 5 });
+        let fsg = Fsg::build(&store(), FsgConfig { cells_per_dim: 5 }).unwrap();
         // Cell size = 2 per dim. A box spanning (0..3) covers cells 0..1.
         let r = fsg.rasterise(&Mbb::new(Point3::splat(0.0), Point3::splat(3.0)));
         assert_eq!(r.lo, [0, 0, 0]);
@@ -266,15 +300,15 @@ mod tests {
             segs.push(seg((x, 0.0, 0.0), (x + 3.0, 3.0, 3.0), i));
         }
         let s: SegmentStore = segs.into_iter().collect();
-        let coarse = Fsg::build(&s, FsgConfig { cells_per_dim: 2 });
-        let fine = Fsg::build(&s, FsgConfig { cells_per_dim: 20 });
+        let coarse = Fsg::build(&s, FsgConfig { cells_per_dim: 2 }).unwrap();
+        let fine = Fsg::build(&s, FsgConfig { cells_per_dim: 20 }).unwrap();
         assert!(fine.lookup_len() > coarse.lookup_len());
         assert!(fine.lookup_len() >= s.len());
     }
 
     #[test]
     fn find_cell_binary_search() {
-        let fsg = Fsg::build(&store(), FsgConfig { cells_per_dim: 5 });
+        let fsg = Fsg::build(&store(), FsgConfig { cells_per_dim: 5 }).unwrap();
         let h = fsg.cell_ids[0];
         assert_eq!(fsg.find_cell(h), Some(0));
         // A cell id that cannot exist.
@@ -290,13 +324,27 @@ mod tests {
         ]
         .into_iter()
         .collect();
-        let fsg = Fsg::build(&s, FsgConfig { cells_per_dim: 4 });
+        let fsg = Fsg::build(&s, FsgConfig { cells_per_dim: 4 }).unwrap();
         assert!(fsg.non_empty_cells() >= 2);
     }
 
     #[test]
+    fn build_rejects_bad_inputs() {
+        let err = Fsg::build(&SegmentStore::new(), FsgConfig::default()).unwrap_err();
+        assert_eq!(err, SearchError::EmptyDataset);
+        let err = Fsg::build(&store(), FsgConfig { cells_per_dim: 0 }).unwrap_err();
+        assert!(matches!(err, SearchError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn config_builder() {
+        assert_eq!(FsgConfig::builder().build(), FsgConfig::default());
+        assert_eq!(FsgConfig::builder().cells_per_dim(7).build(), FsgConfig { cells_per_dim: 7 });
+    }
+
+    #[test]
     fn linear_is_row_major_and_injective() {
-        let fsg = Fsg::build(&store(), FsgConfig { cells_per_dim: 5 });
+        let fsg = Fsg::build(&store(), FsgConfig { cells_per_dim: 5 }).unwrap();
         let mut ids = std::collections::BTreeSet::new();
         for x in 0..5 {
             for y in 0..5 {

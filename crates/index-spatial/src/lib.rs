@@ -21,5 +21,5 @@
 pub mod fsg;
 pub mod search;
 
-pub use fsg::{Fsg, FsgConfig};
-pub use search::{GpuSpatialConfig, GpuSpatialSearch};
+pub use fsg::{Fsg, FsgConfig, FsgConfigBuilder};
+pub use search::{GpuSpatialConfig, GpuSpatialConfigBuilder, GpuSpatialSearch};

@@ -27,6 +27,45 @@ impl Default for GpuSpatialConfig {
     }
 }
 
+impl GpuSpatialConfig {
+    /// A builder starting from the defaults. Prefer this over struct-literal
+    /// construction: new fields get defaults instead of breaking callers.
+    pub fn builder() -> GpuSpatialConfigBuilder {
+        GpuSpatialConfigBuilder { config: GpuSpatialConfig::default() }
+    }
+}
+
+/// Builder for [`GpuSpatialConfig`].
+#[derive(Debug, Clone)]
+pub struct GpuSpatialConfigBuilder {
+    config: GpuSpatialConfig,
+}
+
+impl GpuSpatialConfigBuilder {
+    /// Grid resolution.
+    pub fn fsg(mut self, fsg: FsgConfig) -> Self {
+        self.config.fsg = fsg;
+        self
+    }
+
+    /// Grid cells per dimension (shorthand for [`Self::fsg`]).
+    pub fn cells_per_dim(mut self, n: usize) -> Self {
+        self.config.fsg.cells_per_dim = n;
+        self
+    }
+
+    /// Total candidate-buffer budget `s` in entries.
+    pub fn total_scratch(mut self, s: usize) -> Self {
+        self.config.total_scratch = s;
+        self
+    }
+
+    /// Produce the configuration (validated when the index is built).
+    pub fn build(self) -> GpuSpatialConfig {
+        self.config
+    }
+}
+
 /// `GPUSpatial`: FSG index + device-resident arrays + search driver.
 pub struct GpuSpatialSearch {
     device: Arc<Device>,
@@ -49,7 +88,7 @@ impl GpuSpatialSearch {
         store: &SegmentStore,
         config: GpuSpatialConfig,
     ) -> Result<GpuSpatialSearch, SearchError> {
-        let fsg = Fsg::build(store, config.fsg);
+        let fsg = Fsg::build(store, config.fsg)?;
         let dev_entries = device.alloc_from_host(store.segments().to_vec())?;
         let dev_cell_ids = device.alloc_from_host(fsg.cell_ids.clone())?;
         let dev_cell_ranges = device.alloc_from_host(fsg.cell_ranges.clone())?;

@@ -54,7 +54,7 @@ proptest! {
     /// own MBB contain its index.
     #[test]
     fn every_entry_reachable(store in arb_store(30), cells in 1usize..15) {
-        let fsg = Fsg::build(&store, FsgConfig { cells_per_dim: cells });
+        let fsg = Fsg::build(&store, FsgConfig { cells_per_dim: cells }).unwrap();
         for (pos, seg) in store.iter().enumerate() {
             let range = fsg.rasterise(&seg.mbb());
             let mut found = false;
@@ -77,7 +77,7 @@ proptest! {
     fn duplication_monotone(store in arb_store(25)) {
         let mut prev = 0usize;
         for cells in [1usize, 4, 16] {
-            let fsg = Fsg::build(&store, FsgConfig { cells_per_dim: cells });
+            let fsg = Fsg::build(&store, FsgConfig { cells_per_dim: cells }).unwrap();
             prop_assert!(fsg.lookup_len() >= store.len());
             prop_assert!(fsg.lookup_len() >= prev);
             prev = fsg.lookup_len();

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use tdts_geom::{Segment, SegmentStore};
+use tdts_gpu_sim::SearchError;
 use tdts_index_temporal::{TemporalIndex, TemporalIndexConfig};
 
 /// Index parameters.
@@ -23,6 +24,45 @@ pub struct SpatioTemporalIndexConfig {
 impl Default for SpatioTemporalIndexConfig {
     fn default() -> Self {
         SpatioTemporalIndexConfig { bins: 1_000, subbins: 4, sort_by_selector: true }
+    }
+}
+
+impl SpatioTemporalIndexConfig {
+    /// A builder starting from the defaults. Prefer this over struct-literal
+    /// construction: new fields get defaults instead of breaking callers.
+    pub fn builder() -> SpatioTemporalIndexConfigBuilder {
+        SpatioTemporalIndexConfigBuilder { config: SpatioTemporalIndexConfig::default() }
+    }
+}
+
+/// Builder for [`SpatioTemporalIndexConfig`].
+#[derive(Debug, Clone)]
+pub struct SpatioTemporalIndexConfigBuilder {
+    config: SpatioTemporalIndexConfig,
+}
+
+impl SpatioTemporalIndexConfigBuilder {
+    /// Temporal bin count `m`.
+    pub fn bins(mut self, m: usize) -> Self {
+        self.config.bins = m;
+        self
+    }
+
+    /// Requested spatial subbins per dimension `v`.
+    pub fn subbins(mut self, v: usize) -> Self {
+        self.config.subbins = v;
+        self
+    }
+
+    /// Order query execution by array selector (divergence reduction).
+    pub fn sort_by_selector(mut self, on: bool) -> Self {
+        self.config.sort_by_selector = on;
+        self
+    }
+
+    /// Produce the configuration (validated when the index is built).
+    pub fn build(self) -> SpatioTemporalIndexConfig {
+        self.config
     }
 }
 
@@ -94,11 +134,17 @@ pub struct SpatioTemporalIndex {
 }
 
 impl SpatioTemporalIndex {
-    /// Build over a `t_start`-sorted, non-empty store.
-    pub fn build(store: &SegmentStore, config: SpatioTemporalIndexConfig) -> SpatioTemporalIndex {
-        assert!(config.subbins >= 1, "need at least one subbin");
-        let temporal = TemporalIndex::build(store, TemporalIndexConfig { bins: config.bins });
-        let stats = store.stats().expect("non-empty store");
+    /// Build over a `t_start`-sorted, non-empty store. Violations surface
+    /// as the same [`SearchError`] variants [`TemporalIndex::build`] uses.
+    pub fn build(
+        store: &SegmentStore,
+        config: SpatioTemporalIndexConfig,
+    ) -> Result<SpatioTemporalIndex, SearchError> {
+        if config.subbins < 1 {
+            return Err(SearchError::InvalidConfig("need at least one subbin".into()));
+        }
+        let temporal = TemporalIndex::build(store, TemporalIndexConfig { bins: config.bins })?;
+        let stats = store.stats().ok_or(SearchError::EmptyDataset)?;
         let m = config.bins;
 
         // Cap v by the constraint v <= extent / max_segment_extent in every
@@ -145,7 +191,7 @@ impl SpatioTemporalIndex {
             }
         }
 
-        SpatioTemporalIndex { temporal, v, m, lo, width, arrays, ranges }
+        Ok(SpatioTemporalIndex { temporal, v, m, lo, width, arrays, ranges })
     }
 
     /// The underlying temporal index.
@@ -278,7 +324,8 @@ mod tests {
         let idx = SpatioTemporalIndex::build(
             &s,
             SpatioTemporalIndexConfig { bins: 8, subbins: 4, sort_by_selector: true },
-        );
+        )
+        .unwrap();
         for d in 0..3 {
             let mut seen = vec![false; s.len()];
             for &pos in &idx.arrays[d] {
@@ -309,7 +356,8 @@ mod tests {
         let idx = SpatioTemporalIndex::build(
             &s,
             SpatioTemporalIndexConfig { bins: 4, subbins: 16, sort_by_selector: true },
-        );
+        )
+        .unwrap();
         assert_eq!(idx.effective_subbins(), 1);
     }
 
@@ -319,7 +367,8 @@ mod tests {
         let idx = SpatioTemporalIndex::build(
             &s,
             SpatioTemporalIndexConfig { bins: 10, subbins: 4, sort_by_selector: true },
-        );
+        )
+        .unwrap();
         for qi in 0..30 {
             let q = seg(qi as f64 * 1.7, qi as f64 * 0.3, 1000);
             let d = 0.8;
@@ -351,7 +400,8 @@ mod tests {
         let idx = SpatioTemporalIndex::build(
             &s,
             SpatioTemporalIndexConfig { bins: 6, subbins: 4, sort_by_selector: true },
-        );
+        )
+        .unwrap();
         assert!(idx.validate(&s).is_ok());
         let other = store(3);
         assert!(idx.validate(&other).is_err());
@@ -363,7 +413,8 @@ mod tests {
         let idx = SpatioTemporalIndex::build(
             &s,
             SpatioTemporalIndexConfig { bins: 4, subbins: 4, sort_by_selector: true },
-        );
+        )
+        .unwrap();
         let q = seg(10.0, 2.0, 99);
         // d much larger than a subbin: spans multiple subbins in all dims.
         let entry = idx.schedule_for(&q, 1_000.0);
@@ -409,7 +460,8 @@ mod tests {
         let idx = SpatioTemporalIndex::build(
             &s,
             SpatioTemporalIndexConfig { bins: 2, subbins: 8, sort_by_selector: true },
-        );
+        )
+        .unwrap();
         assert!(idx.effective_subbins() > 1);
         let q = Segment::new(
             Point3::new(5.0, 0.0, 0.0),

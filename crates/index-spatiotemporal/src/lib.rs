@@ -22,5 +22,8 @@
 pub mod index;
 pub mod search;
 
-pub use index::{ScheduleEntry, Selector, SpatioTemporalIndex, SpatioTemporalIndexConfig};
+pub use index::{
+    ScheduleEntry, Selector, SpatioTemporalIndex, SpatioTemporalIndexConfig,
+    SpatioTemporalIndexConfigBuilder,
+};
 pub use search::GpuSpatioTemporalSearch;

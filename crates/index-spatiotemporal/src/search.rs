@@ -55,7 +55,7 @@ impl GpuSpatioTemporalSearch {
         store: &SegmentStore,
         config: SpatioTemporalIndexConfig,
     ) -> Result<GpuSpatioTemporalSearch, SearchError> {
-        let index = SpatioTemporalIndex::build(store, config);
+        let index = SpatioTemporalIndex::build(store, config)?;
         let dev_entries = device.alloc_from_host(store.segments().to_vec())?;
         let dev_arrays = [
             device.alloc_from_host(index.arrays[0].clone())?,

@@ -71,7 +71,8 @@ proptest! {
         let idx = SpatioTemporalIndex::build(
             &store,
             SpatioTemporalIndexConfig { bins, subbins, sort_by_selector: true },
-        );
+        )
+        .unwrap();
         prop_assert!(idx.validate(&store).is_ok());
         let q = Segment::new(
             Point3::new(qx, qx * 0.5, -qx * 0.25),

@@ -35,6 +35,45 @@ impl Default for BatchedConfig {
     }
 }
 
+impl BatchedConfig {
+    /// A builder starting from the defaults. Prefer this over struct-literal
+    /// construction: new fields get defaults instead of breaking callers.
+    pub fn builder() -> BatchedConfigBuilder {
+        BatchedConfigBuilder { config: BatchedConfig::default() }
+    }
+}
+
+/// Builder for [`BatchedConfig`].
+#[derive(Debug, Clone)]
+pub struct BatchedConfigBuilder {
+    config: BatchedConfig,
+}
+
+impl BatchedConfigBuilder {
+    /// Temporal index parameters.
+    pub fn index(mut self, index: TemporalIndexConfig) -> Self {
+        self.config.index = index;
+        self
+    }
+
+    /// Temporal bins (shorthand for [`Self::index`]).
+    pub fn bins(mut self, m: usize) -> Self {
+        self.config.index.bins = m;
+        self
+    }
+
+    /// Query segments per batch.
+    pub fn batch_size(mut self, n: usize) -> Self {
+        self.config.batch_size = n;
+        self
+    }
+
+    /// Produce the configuration (validated when the search is built).
+    pub fn build(self) -> BatchedConfig {
+        self.config
+    }
+}
+
 /// The streamed-query-set search of [22], on the same temporal index.
 pub struct GpuBatchedTemporalSearch {
     device: Arc<Device>,
@@ -50,8 +89,10 @@ impl GpuBatchedTemporalSearch {
         store: &SegmentStore,
         config: BatchedConfig,
     ) -> Result<GpuBatchedTemporalSearch, SearchError> {
-        assert!(config.batch_size >= 1, "batch size must be positive");
-        let index = TemporalIndex::build(store, config.index);
+        if config.batch_size < 1 {
+            return Err(SearchError::InvalidConfig("batch size must be at least one query".into()));
+        }
+        let index = TemporalIndex::build(store, config.index)?;
         let dev_entries = device.alloc_from_host(store.segments().to_vec())?;
         Ok(GpuBatchedTemporalSearch { device, index, dev_entries, config })
     }

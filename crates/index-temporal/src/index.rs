@@ -2,12 +2,40 @@
 
 use serde::{Deserialize, Serialize};
 use tdts_geom::{Segment, SegmentStore};
+use tdts_gpu_sim::SearchError;
 
 /// Temporal index parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TemporalIndexConfig {
     /// Number of logical bins `m` the temporal extent is partitioned into.
     pub bins: usize,
+}
+
+impl TemporalIndexConfig {
+    /// A builder starting from the defaults. Prefer this over struct-literal
+    /// construction: new fields get defaults instead of breaking callers.
+    pub fn builder() -> TemporalIndexConfigBuilder {
+        TemporalIndexConfigBuilder { config: TemporalIndexConfig::default() }
+    }
+}
+
+/// Builder for [`TemporalIndexConfig`].
+#[derive(Debug, Clone)]
+pub struct TemporalIndexConfigBuilder {
+    config: TemporalIndexConfig,
+}
+
+impl TemporalIndexConfigBuilder {
+    /// Number of logical bins.
+    pub fn bins(mut self, m: usize) -> Self {
+        self.config.bins = m;
+        self
+    }
+
+    /// Produce the configuration (validated at [`TemporalIndex::build`]).
+    pub fn build(self) -> TemporalIndexConfig {
+        self.config
+    }
 }
 
 impl Default for TemporalIndexConfig {
@@ -35,7 +63,7 @@ impl Default for TemporalIndexConfig {
 ///     .map(|i| Segment::new(Point3::ZERO, Point3::ZERO, i as f64, i as f64 + 1.0,
 ///                           SegId(i), TrajId(i)))
 ///     .collect();
-/// let index = TemporalIndex::build(&store, TemporalIndexConfig { bins: 5 });
+/// let index = TemporalIndex::build(&store, TemporalIndexConfig { bins: 5 }).unwrap();
 ///
 /// // A query over [4.5, 5.5] gets a tight contiguous candidate range.
 /// let q = Segment::new(Point3::ZERO, Point3::ZERO, 4.5, 5.5, SegId(0), TrajId(99));
@@ -59,16 +87,21 @@ pub struct TemporalIndex {
 
 impl TemporalIndex {
     /// Build the index. `store` must be sorted by non-decreasing `t_start`
-    /// (checked) and non-empty; `bins >= 1`.
-    pub fn build(store: &SegmentStore, config: TemporalIndexConfig) -> TemporalIndex {
-        assert!(config.bins >= 1, "need at least one temporal bin");
-        assert!(!store.is_empty(), "cannot index an empty store");
-        assert!(
-            store.is_sorted_by_t_start(),
-            "temporal index requires the store sorted by t_start"
-        );
+    /// (checked) and non-empty; `bins >= 1`. Violations are reported as
+    /// [`SearchError::UnsortedDataset`], [`SearchError::EmptyDataset`], and
+    /// [`SearchError::InvalidConfig`] respectively.
+    pub fn build(
+        store: &SegmentStore,
+        config: TemporalIndexConfig,
+    ) -> Result<TemporalIndex, SearchError> {
+        if config.bins < 1 {
+            return Err(SearchError::InvalidConfig("need at least one temporal bin".into()));
+        }
+        let stats = store.stats().ok_or(SearchError::EmptyDataset)?;
+        if !store.is_sorted_by_t_start() {
+            return Err(SearchError::UnsortedDataset);
+        }
         let m = config.bins;
-        let stats = store.stats().expect("non-empty store");
         let t_min = stats.time_span.start;
         let t_max = stats.time_span.end;
         // Degenerate span: all entries in one bin of nominal width 1.
@@ -101,7 +134,7 @@ impl TemporalIndex {
             reach[j] = current;
         }
 
-        TemporalIndex { bin_start_pos, reach, t_min, t_max, bin_width, entries: segs.len() }
+        Ok(TemporalIndex { bin_start_pos, reach, t_min, t_max, bin_width, entries: segs.len() })
     }
 
     /// Number of bins.
@@ -220,7 +253,7 @@ mod tests {
     fn build_and_bin_ranges() {
         // 10 unit segments starting at t = 0..9, 5 bins of width 2.
         let s = store(&(0..10).map(|i| (i as f64, i as f64 + 1.0)).collect::<Vec<_>>());
-        let idx = TemporalIndex::build(&s, TemporalIndexConfig { bins: 5 });
+        let idx = TemporalIndex::build(&s, TemporalIndexConfig { bins: 5 }).unwrap();
         assert_eq!(idx.bins(), 5);
         assert_eq!(idx.entries(), 10);
         assert_eq!(idx.time_span(), (0.0, 10.0));
@@ -232,7 +265,7 @@ mod tests {
     fn candidate_range_is_superset_of_overlaps() {
         let s =
             store(&(0..100).map(|i| (i as f64 * 0.5, i as f64 * 0.5 + 1.0)).collect::<Vec<_>>());
-        let idx = TemporalIndex::build(&s, TemporalIndexConfig { bins: 16 });
+        let idx = TemporalIndex::build(&s, TemporalIndexConfig { bins: 16 }).unwrap();
         for qi in 0..40 {
             let q = seg(qi as f64, qi as f64 + 2.0);
             let (lo, hi) = idx.candidate_range(&q).expect("queries overlap the span");
@@ -255,7 +288,7 @@ mod tests {
     #[test]
     fn disjoint_queries_yield_none() {
         let s = store(&[(0.0, 1.0), (1.0, 2.0)]);
-        let idx = TemporalIndex::build(&s, TemporalIndexConfig { bins: 4 });
+        let idx = TemporalIndex::build(&s, TemporalIndexConfig { bins: 4 }).unwrap();
         assert_eq!(idx.candidate_range(&seg(5.0, 6.0)), None);
         assert_eq!(idx.candidate_range(&seg(-3.0, -2.0)), None);
         // Touching is not disjoint.
@@ -267,7 +300,7 @@ mod tests {
         // One early entry spans the whole time axis; it must appear in the
         // candidate range of a late query.
         let s = store(&[(0.0, 100.0), (1.0, 2.0), (50.0, 51.0), (98.0, 99.0)]);
-        let idx = TemporalIndex::build(&s, TemporalIndexConfig { bins: 10 });
+        let idx = TemporalIndex::build(&s, TemporalIndexConfig { bins: 10 }).unwrap();
         let (lo, hi) = idx.candidate_range(&seg(97.0, 98.5)).unwrap();
         assert_eq!(lo, 0, "long first entry must be included");
         assert_eq!(hi, 4);
@@ -276,7 +309,7 @@ mod tests {
     #[test]
     fn single_bin_and_degenerate_span() {
         let s = store(&[(1.0, 1.0), (1.0, 1.0)]);
-        let idx = TemporalIndex::build(&s, TemporalIndexConfig { bins: 3 });
+        let idx = TemporalIndex::build(&s, TemporalIndexConfig { bins: 3 }).unwrap();
         assert_eq!(idx.candidate_range(&seg(1.0, 1.0)), Some((0, 2)));
         assert_eq!(idx.candidate_range(&seg(2.0, 3.0)), None);
     }
@@ -286,8 +319,8 @@ mod tests {
         let times: Vec<(f64, f64)> =
             (0..1000).map(|i| (i as f64 * 0.1, i as f64 * 0.1 + 1.0)).collect();
         let s = store(&times);
-        let coarse = TemporalIndex::build(&s, TemporalIndexConfig { bins: 4 });
-        let fine = TemporalIndex::build(&s, TemporalIndexConfig { bins: 256 });
+        let coarse = TemporalIndex::build(&s, TemporalIndexConfig { bins: 4 }).unwrap();
+        let fine = TemporalIndex::build(&s, TemporalIndexConfig { bins: 256 }).unwrap();
         let q = seg(50.0, 51.0);
         let (cl, ch) = coarse.candidate_range(&q).unwrap();
         let (fl, fh) = fine.candidate_range(&q).unwrap();
@@ -297,22 +330,39 @@ mod tests {
     #[test]
     fn validate_accepts_own_store_and_rejects_others() {
         let s = store(&(0..50).map(|i| (i as f64 * 0.3, i as f64 * 0.3 + 1.0)).collect::<Vec<_>>());
-        let idx = TemporalIndex::build(&s, TemporalIndexConfig { bins: 7 });
+        let idx = TemporalIndex::build(&s, TemporalIndexConfig { bins: 7 }).unwrap();
         assert!(idx.validate(&s).is_ok());
         let other = store(&[(0.0, 1.0)]);
         assert!(idx.validate(&other).is_err());
     }
 
     #[test]
-    #[should_panic(expected = "sorted")]
     fn unsorted_store_rejected() {
         let s = store(&[(5.0, 6.0), (0.0, 1.0)]);
-        TemporalIndex::build(&s, TemporalIndexConfig { bins: 2 });
+        let err = TemporalIndex::build(&s, TemporalIndexConfig { bins: 2 }).unwrap_err();
+        assert_eq!(err, SearchError::UnsortedDataset);
     }
 
     #[test]
-    #[should_panic(expected = "empty")]
     fn empty_store_rejected() {
-        TemporalIndex::build(&SegmentStore::new(), TemporalIndexConfig { bins: 2 });
+        let err = TemporalIndex::build(&SegmentStore::new(), TemporalIndexConfig { bins: 2 })
+            .unwrap_err();
+        assert_eq!(err, SearchError::EmptyDataset);
+    }
+
+    #[test]
+    fn zero_bins_rejected() {
+        let s = store(&[(0.0, 1.0)]);
+        let err = TemporalIndex::build(&s, TemporalIndexConfig { bins: 0 }).unwrap_err();
+        assert!(matches!(err, SearchError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn config_builder() {
+        assert_eq!(TemporalIndexConfig::builder().build(), TemporalIndexConfig::default());
+        assert_eq!(
+            TemporalIndexConfig::builder().bins(64).build(),
+            TemporalIndexConfig { bins: 64 }
+        );
     }
 }

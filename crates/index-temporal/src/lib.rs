@@ -18,6 +18,6 @@ pub mod index;
 pub mod kernel;
 pub mod search;
 
-pub use batched::{BatchedConfig, GpuBatchedTemporalSearch};
-pub use index::{TemporalIndex, TemporalIndexConfig};
+pub use batched::{BatchedConfig, BatchedConfigBuilder, GpuBatchedTemporalSearch};
+pub use index::{TemporalIndex, TemporalIndexConfig, TemporalIndexConfigBuilder};
 pub use search::{GpuTemporalSearch, TemporalSchedule};

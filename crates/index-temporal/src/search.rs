@@ -102,7 +102,7 @@ impl GpuTemporalSearch {
         store: &SegmentStore,
         config: TemporalIndexConfig,
     ) -> Result<GpuTemporalSearch, SearchError> {
-        let index = TemporalIndex::build(store, config);
+        let index = TemporalIndex::build(store, config)?;
         let dev_entries = device.alloc_from_host(store.segments().to_vec())?;
         Ok(GpuTemporalSearch { device, index, dev_entries })
     }

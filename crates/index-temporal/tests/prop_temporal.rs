@@ -55,7 +55,7 @@ proptest! {
         qt in 0.0f64..25.0,
         qd in 0.01f64..5.0,
     ) {
-        let idx = TemporalIndex::build(&store, TemporalIndexConfig { bins });
+        let idx = TemporalIndex::build(&store, TemporalIndexConfig { bins }).unwrap();
         let q = Segment::new(Point3::ZERO, Point3::ZERO, qt, qt + qd, SegId(0), TrajId(0));
         let range = idx.candidate_range(&q);
         for (pos, e) in store.iter().enumerate() {
@@ -76,8 +76,8 @@ proptest! {
         store in arb_sorted_store(40),
         qt in 0.0f64..25.0,
     ) {
-        let coarse = TemporalIndex::build(&store, TemporalIndexConfig { bins: 2 });
-        let fine = TemporalIndex::build(&store, TemporalIndexConfig { bins: 64 });
+        let coarse = TemporalIndex::build(&store, TemporalIndexConfig { bins: 2 }).unwrap();
+        let fine = TemporalIndex::build(&store, TemporalIndexConfig { bins: 64 }).unwrap();
         let q = Segment::new(Point3::ZERO, Point3::ZERO, qt, qt + 1.0, SegId(0), TrajId(0));
         match (coarse.candidate_range(&q), fine.candidate_range(&q)) {
             (Some((cl, ch)), Some((fl, fh))) => {

@@ -15,4 +15,4 @@ pub mod stmbb;
 pub mod tree;
 
 pub use stmbb::StMbb;
-pub use tree::{RTree, RTreeConfig, SearchStats};
+pub use tree::{RTree, RTreeConfig, RTreeConfigBuilder, SearchStats};

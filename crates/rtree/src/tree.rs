@@ -21,6 +21,44 @@ impl Default for RTreeConfig {
     }
 }
 
+impl RTreeConfig {
+    /// Start a builder seeded with [`RTreeConfig::default`].
+    ///
+    /// Preferred over a struct literal: new tuning knobs can be added
+    /// without breaking existing call sites.
+    pub fn builder() -> RTreeConfigBuilder {
+        RTreeConfigBuilder { config: RTreeConfig::default() }
+    }
+}
+
+/// Builder for [`RTreeConfig`]; see [`RTreeConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct RTreeConfigBuilder {
+    config: RTreeConfig,
+}
+
+impl RTreeConfigBuilder {
+    /// Segments packed per leaf-entry MBB (the paper's `r`).
+    pub fn segments_per_mbb(mut self, r: usize) -> Self {
+        self.config.segments_per_mbb = r;
+        self
+    }
+
+    /// Maximum children per node (fanout).
+    pub fn node_capacity(mut self, cap: usize) -> Self {
+        self.config.node_capacity = cap;
+        self
+    }
+
+    /// Finish, clamping both knobs to at least one.
+    pub fn build(self) -> RTreeConfig {
+        RTreeConfig {
+            segments_per_mbb: self.config.segments_per_mbb.max(1),
+            node_capacity: self.config.node_capacity.max(2),
+        }
+    }
+}
+
 /// Aggregate counters of one batch search, for the `r`-trade-off analysis.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SearchStats {

@@ -1,0 +1,167 @@
+//! Service configuration.
+
+use std::time::Duration;
+use tdts_core::{Method, TdtsError};
+use tdts_gpu_sim::{DeviceConfig, KernelShape};
+
+/// Parameters of a [`QueryService`](crate::QueryService).
+///
+/// Construct through [`ServiceConfig::builder`]; the struct is
+/// `#[non_exhaustive]` so new knobs can be added without breaking callers.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ServiceConfig {
+    /// The search method every worker runs.
+    pub method: Method,
+    /// Per-worker simulated device (each worker gets its own, so their
+    /// response-time ledgers do not interleave).
+    pub device: DeviceConfig,
+    /// Method for the degraded path. `None` keeps [`ServiceConfig::method`]
+    /// and only changes the kernel shape (see
+    /// [`ServiceConfig::effective_fallback`]).
+    pub fallback_method: Option<Method>,
+    /// Device for the degraded path. `None` derives one from
+    /// [`ServiceConfig::device`] with [`KernelShape::ThreadPerQuery`].
+    pub fallback_device: Option<DeviceConfig>,
+    /// Worker threads, each with its own engine pair.
+    pub workers: usize,
+    /// Flush a batch once this many query segments are pending.
+    pub max_batch: usize,
+    /// Flush a batch once its oldest request has waited this long.
+    pub max_delay: Duration,
+    /// Admitted-but-unfinished request bound; submissions beyond it are
+    /// rejected with [`TdtsError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Device result-buffer bound per batch search.
+    pub result_capacity: usize,
+    /// Deadline applied to [`submit`](crate::QueryService::submit) calls;
+    /// `None` waits indefinitely.
+    pub default_deadline: Option<Duration>,
+    /// Consecutive failed batches before the service degrades to the
+    /// fallback engine permanently.
+    pub max_consecutive_failures: u32,
+}
+
+impl ServiceConfig {
+    /// A builder with service defaults, searching with `method`.
+    pub fn builder(method: Method) -> ServiceConfigBuilder {
+        ServiceConfigBuilder {
+            config: ServiceConfig {
+                method,
+                device: DeviceConfig::tesla_c2075(),
+                fallback_method: None,
+                fallback_device: None,
+                workers: 2,
+                max_batch: 64,
+                max_delay: Duration::from_millis(2),
+                queue_capacity: 1024,
+                result_capacity: 2_000_000,
+                default_deadline: None,
+                max_consecutive_failures: 3,
+            },
+        }
+    }
+
+    /// The engine pair the degraded path uses: the configured fallback, or
+    /// the primary method on a [`KernelShape::ThreadPerQuery`] device — the
+    /// simplest kernel shape, with no work queue or warp aggregation to go
+    /// wrong.
+    pub fn effective_fallback(&self) -> (Method, DeviceConfig) {
+        let method = self.fallback_method.unwrap_or(self.method);
+        let device = self.fallback_device.clone().unwrap_or_else(|| {
+            let mut d = self.device.clone();
+            d.kernel_shape = KernelShape::ThreadPerQuery;
+            d
+        });
+        (method, device)
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), TdtsError> {
+        if self.workers < 1 {
+            return Err(TdtsError::InvalidConfig("service needs at least one worker".into()));
+        }
+        if self.max_batch < 1 {
+            return Err(TdtsError::InvalidConfig("max_batch must be at least one query".into()));
+        }
+        if self.queue_capacity < 1 {
+            return Err(TdtsError::InvalidConfig(
+                "queue_capacity must admit at least one request".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`ServiceConfig`]; see [`ServiceConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfigBuilder {
+    config: ServiceConfig,
+}
+
+impl ServiceConfigBuilder {
+    /// Per-worker simulated device.
+    pub fn device(mut self, device: DeviceConfig) -> Self {
+        self.config.device = device;
+        self
+    }
+
+    /// Method for the degraded path.
+    pub fn fallback_method(mut self, method: Method) -> Self {
+        self.config.fallback_method = Some(method);
+        self
+    }
+
+    /// Device for the degraded path.
+    pub fn fallback_device(mut self, device: DeviceConfig) -> Self {
+        self.config.fallback_device = Some(device);
+        self
+    }
+
+    /// Worker threads.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.config.workers = n;
+        self
+    }
+
+    /// Query-segment count that triggers a flush.
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.config.max_batch = n;
+        self
+    }
+
+    /// Oldest-request age that triggers a flush.
+    pub fn max_delay(mut self, delay: Duration) -> Self {
+        self.config.max_delay = delay;
+        self
+    }
+
+    /// Admission bound before `Overloaded` rejections.
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.config.queue_capacity = n;
+        self
+    }
+
+    /// Device result-buffer bound per batch search.
+    pub fn result_capacity(mut self, n: usize) -> Self {
+        self.config.result_capacity = n;
+        self
+    }
+
+    /// Deadline applied to blocking submissions.
+    pub fn default_deadline(mut self, deadline: Duration) -> Self {
+        self.config.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Consecutive failed batches before permanent degradation.
+    pub fn max_consecutive_failures(mut self, n: u32) -> Self {
+        self.config.max_consecutive_failures = n;
+        self
+    }
+
+    /// Finish, validating the combination.
+    pub fn build(self) -> Result<ServiceConfig, TdtsError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}

@@ -1,0 +1,148 @@
+//! A concurrent batched query service over the distance threshold search
+//! engines.
+//!
+//! The paper's evaluation runs one large query set through one engine at a
+//! time. A deployment looks different: many clients, each holding a few
+//! query segments, arriving concurrently, all wanting answers against the
+//! same immutable trajectory database. Running each client's handful of
+//! queries as its own kernel invocation squanders exactly the batch
+//! parallelism the GPU methods are built around (the paper's response times
+//! assume the query set is large enough to saturate the device).
+//!
+//! [`QueryService`] closes that gap. It owns long-lived engines built once
+//! per [`PreparedDataset`](tdts_core::PreparedDataset), admits concurrent
+//! requests behind a bounded queue, *coalesces* them into batches (flushed
+//! on [`ServiceConfig::max_batch`] pending queries or
+//! [`ServiceConfig::max_delay`] elapsed), runs each batch through a worker's
+//! engine as one kernel invocation, and demultiplexes the per-query result
+//! slices back to the waiting clients. Coalescing changes nothing about the
+//! results: the canonical result order is sorted by query id, so each
+//! request's records form a contiguous slice that is renumbered back to the
+//! request's own query positions — byte-identical to running that request
+//! alone.
+//!
+//! Robustness: per-request deadlines ([`TdtsError::Timeout`]), bounded
+//! admission ([`TdtsError::Overloaded`]), graceful engine degradation
+//! (after [`ServiceConfig::max_consecutive_failures`] failed batches every
+//! subsequent batch runs on a fallback engine — by default the same method
+//! with the simpler `ThreadPerQuery` kernel shape), and a drain-then-join
+//! shutdown that resolves every admitted request.
+//!
+//! [`TdtsError::Timeout`]: tdts_core::TdtsError::Timeout
+//! [`TdtsError::Overloaded`]: tdts_core::TdtsError::Overloaded
+
+pub mod config;
+mod oneshot;
+pub mod service;
+pub mod stats;
+
+pub use config::{ServiceConfig, ServiceConfigBuilder};
+pub use service::{QueryService, SearchResponse, SearchTicket};
+pub use stats::ServiceStats;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use tdts_core::{Method, PreparedDataset};
+    use tdts_data::RandomWalkConfig;
+    use tdts_gpu_sim::DeviceConfig;
+    use tdts_index_temporal::TemporalIndexConfig;
+
+    fn dataset(trajectories: usize) -> PreparedDataset {
+        PreparedDataset::new(
+            RandomWalkConfig { trajectories, timesteps: 20, ..Default::default() }.generate(),
+        )
+    }
+
+    fn queries(seed: u64) -> tdts_geom::SegmentStore {
+        RandomWalkConfig { trajectories: 3, timesteps: 10, seed, ..Default::default() }.generate()
+    }
+
+    fn base_config() -> ServiceConfig {
+        ServiceConfig::builder(Method::GpuTemporal(TemporalIndexConfig { bins: 8 }))
+            .device(DeviceConfig::test_tiny())
+            .workers(2)
+            .max_batch(16)
+            .max_delay(Duration::from_millis(1))
+            .result_capacity(30_000)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn single_request_round_trip() {
+        let data = dataset(20);
+        // Queries drawn from the database itself always match themselves.
+        let probe: tdts_geom::SegmentStore = data.store().iter().take(5).copied().collect();
+        let service = QueryService::start(&data, base_config()).unwrap();
+        let response = service.submit(&probe, 5.0).unwrap();
+        assert!(!response.matches.is_empty());
+        assert!(response.matches.iter().all(|m| (m.query as usize) < probe.len()));
+        // Join the workers so their post-fulfil counter updates are visible.
+        service.shutdown();
+        let stats = service.stats();
+        assert_eq!(stats.requests_admitted, 1);
+        assert_eq!(stats.requests_served, 1);
+        assert!(stats.batches_executed >= 1);
+        assert!(stats.cumulative.comparisons > 0);
+    }
+
+    #[test]
+    fn zero_capacity_config_rejected() {
+        let err = ServiceConfig::builder(Method::GpuTemporal(TemporalIndexConfig { bins: 8 }))
+            .queue_capacity(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, tdts_core::TdtsError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn overload_is_typed_and_deterministic() {
+        // Nothing ever flushes (huge batch + delay), so admitted requests
+        // pin the in-flight count at the capacity.
+        let config = ServiceConfig::builder(Method::GpuTemporal(TemporalIndexConfig { bins: 8 }))
+            .device(DeviceConfig::test_tiny())
+            .workers(1)
+            .max_batch(1_000_000)
+            .max_delay(Duration::from_secs(3600))
+            .queue_capacity(2)
+            .result_capacity(30_000)
+            .build()
+            .unwrap();
+        let service = QueryService::start(&dataset(20), config).unwrap();
+        let t1 = service.submit_nowait(&queries(1), 5.0, None).unwrap();
+        let t2 = service.submit_nowait(&queries(2), 5.0, None).unwrap();
+        let err = service.submit_nowait(&queries(3), 5.0, None).unwrap_err();
+        assert!(matches!(err, tdts_core::TdtsError::Overloaded));
+        assert_eq!(service.stats().requests_rejected, 1);
+        // Shutdown flushes the two admitted requests; their tickets resolve.
+        service.shutdown();
+        assert!(t1.wait().is_ok());
+        assert!(t2.wait().is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_returns_timeout() {
+        let config = ServiceConfig::builder(Method::GpuTemporal(TemporalIndexConfig { bins: 8 }))
+            .device(DeviceConfig::test_tiny())
+            .workers(1)
+            .max_batch(1_000_000)
+            .max_delay(Duration::from_secs(3600))
+            .result_capacity(30_000)
+            .build()
+            .unwrap();
+        let service = QueryService::start(&dataset(20), config).unwrap();
+        let err = service.submit_with_deadline(&queries(1), 5.0, Duration::ZERO).unwrap_err();
+        assert!(matches!(err, tdts_core::TdtsError::Timeout));
+        assert_eq!(service.stats().requests_timed_out, 1);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let service = QueryService::start(&dataset(20), base_config()).unwrap();
+        service.shutdown();
+        let err = service.submit(&queries(1), 5.0).unwrap_err();
+        assert!(matches!(err, tdts_core::TdtsError::ShuttingDown));
+    }
+}

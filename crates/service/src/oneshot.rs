@@ -1,0 +1,123 @@
+//! A hand-rolled oneshot channel: one producer write, one consumer read,
+//! first write wins. Built on `std` primitives because the workspace
+//! carries no async runtime.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use tdts_core::TdtsError;
+
+use crate::SearchResponse;
+
+/// The shared cell between a waiting client and the worker that will
+/// eventually serve (or reject) its request.
+///
+/// First write wins: if the client times out it writes
+/// [`TdtsError::Timeout`] itself, and the worker's late result is dropped —
+/// the client can never observe a response after reporting a timeout.
+pub(crate) struct ResponseSlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+enum SlotState {
+    Empty,
+    // Boxed: a SearchResponse is ~240 bytes, and the slot spends its life in
+    // Empty/Taken.
+    Filled(Box<Result<SearchResponse, TdtsError>>),
+    Taken,
+}
+
+impl ResponseSlot {
+    pub(crate) fn new() -> ResponseSlot {
+        ResponseSlot { state: Mutex::new(SlotState::Empty), cv: Condvar::new() }
+    }
+
+    /// Write the result unless one is already present. Returns whether this
+    /// call's value was the one stored.
+    pub(crate) fn fulfill(&self, result: Result<SearchResponse, TdtsError>) -> bool {
+        let mut state = self.state.lock().unwrap();
+        if matches!(*state, SlotState::Empty) {
+            *state = SlotState::Filled(Box::new(result));
+            self.cv.notify_all();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Block until a result arrives or `deadline` passes. On timeout the
+    /// slot is poisoned with [`TdtsError::Timeout`] so the worker's late
+    /// fulfilment is discarded.
+    pub(crate) fn wait(&self, deadline: Option<Instant>) -> Result<SearchResponse, TdtsError> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let SlotState::Filled(_) = *state {
+                match std::mem::replace(&mut *state, SlotState::Taken) {
+                    SlotState::Filled(result) => return *result,
+                    _ => unreachable!("checked Filled above"),
+                }
+            }
+            match deadline {
+                None => state = self.cv.wait(state).unwrap(),
+                Some(at) => {
+                    let now = Instant::now();
+                    if now >= at {
+                        // Poison: a later fulfil sees non-Empty and is
+                        // discarded.
+                        *state = SlotState::Taken;
+                        return Err(TdtsError::Timeout);
+                    }
+                    let (guard, _) = self.cv.wait_timeout(state, at - now).unwrap();
+                    state = guard;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn response() -> SearchResponse {
+        SearchResponse {
+            matches: Vec::new(),
+            report: Default::default(),
+            batch_queries: 0,
+            batch_requests: 0,
+            waited: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn first_write_wins() {
+        let slot = ResponseSlot::new();
+        assert!(slot.fulfill(Ok(response())));
+        assert!(!slot.fulfill(Err(TdtsError::ShuttingDown)));
+        assert!(slot.wait(None).is_ok());
+    }
+
+    #[test]
+    fn timeout_poisons_slot() {
+        let slot = ResponseSlot::new();
+        let deadline = Instant::now() + Duration::from_millis(5);
+        assert!(matches!(slot.wait(Some(deadline)), Err(TdtsError::Timeout)));
+        // A late worker write is discarded.
+        assert!(!slot.fulfill(Ok(response())));
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let slot = Arc::new(ResponseSlot::new());
+        let producer = Arc::clone(&slot);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            producer.fulfill(Ok(response()));
+        });
+        assert!(slot.wait(Some(Instant::now() + Duration::from_secs(10))).is_ok());
+        handle.join().unwrap();
+    }
+}

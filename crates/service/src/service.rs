@@ -1,0 +1,480 @@
+//! The query service: admission control → batcher → worker pool → demux.
+//!
+//! ```text
+//!  clients ──submit──▶ [admission: bounded in-flight count]
+//!                          │ PendingSearch (owned queries + oneshot slot)
+//!                          ▼
+//!                      [batcher thread: coalesce by d,
+//!                       flush on max_batch queries or max_delay]
+//!                          │ Batch
+//!                          ▼
+//!                      [worker pool: per-worker engine pair,
+//!                       primary → fallback degradation]
+//!                          │ per-request MatchRecord slices
+//!                          ▼
+//!                      [demux: remap query ids, fulfil oneshots]
+//! ```
+//!
+//! Each worker owns its *own* pair of engines on its own simulated device:
+//! the device's response-time ledger is shared mutable state, so engines
+//! cannot be shared across concurrently running batches without
+//! interleaving their phase accounting.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tdts_core::{PreparedDataset, QueryBatch, TdtsError, TrajectoryIndex};
+use tdts_geom::{MatchRecord, SegmentStore};
+use tdts_gpu_sim::{Device, SearchReport};
+
+use crate::config::ServiceConfig;
+use crate::oneshot::ResponseSlot;
+use crate::stats::{ServiceStats, StatsInner};
+
+/// What a client gets back for one request.
+#[derive(Debug, Clone)]
+pub struct SearchResponse {
+    /// This request's result records, in canonical order, with `query`
+    /// renumbered to the request's own query positions.
+    pub matches: Vec<MatchRecord>,
+    /// The report of the whole coalesced batch this request rode in.
+    pub report: SearchReport,
+    /// Query segments in that batch (across all coalesced requests).
+    pub batch_queries: usize,
+    /// Requests coalesced into that batch.
+    pub batch_requests: usize,
+    /// Enqueue-to-response latency of this request.
+    pub waited: Duration,
+}
+
+/// A submitted-but-unresolved request; redeem with [`SearchTicket::wait`].
+pub struct SearchTicket {
+    slot: Arc<ResponseSlot>,
+    deadline: Option<Instant>,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for SearchTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchTicket").field("deadline", &self.deadline).finish_non_exhaustive()
+    }
+}
+
+impl SearchTicket {
+    /// Block until the service answers or the request's deadline passes.
+    pub fn wait(self) -> Result<SearchResponse, TdtsError> {
+        let result = self.slot.wait(self.deadline);
+        if matches!(result, Err(TdtsError::Timeout)) {
+            self.shared.stats.timed_out.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+}
+
+struct PendingSearch {
+    queries: SegmentStore,
+    d: f64,
+    deadline: Option<Instant>,
+    enqueued_at: Instant,
+    slot: Arc<ResponseSlot>,
+}
+
+#[derive(Default)]
+struct PendingQueue {
+    items: VecDeque<PendingSearch>,
+    /// Total query segments across `items` (the flush trigger counts
+    /// queries, not requests).
+    queries: usize,
+}
+
+struct Batch {
+    requests: Vec<PendingSearch>,
+    d: f64,
+    queries: usize,
+    /// Enqueue time of the oldest request, for end-to-end batch latency.
+    oldest: Instant,
+}
+
+struct EnginePair {
+    primary: Box<dyn TrajectoryIndex>,
+    fallback: Box<dyn TrajectoryIndex>,
+}
+
+struct Shared {
+    config: ServiceConfig,
+    pending: Mutex<PendingQueue>,
+    pending_cv: Condvar,
+    batches: Mutex<VecDeque<Batch>>,
+    batches_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Set by the batcher after its final flush; workers only exit once the
+    /// batch queue is empty *and* this is set, so no admitted request is
+    /// dropped on shutdown.
+    batcher_done: AtomicBool,
+    in_flight: AtomicUsize,
+    consecutive_failures: AtomicU32,
+    stats: StatsInner,
+}
+
+/// A long-lived query service over one [`PreparedDataset`].
+///
+/// Indexes are built once at [`QueryService::start`] (one engine pair per
+/// worker); after that, any number of client threads can [`submit`]
+/// concurrently. Requests are coalesced into batches, each batch runs as a
+/// single kernel invocation on a worker, and the batch's results are
+/// demultiplexed back to the individual clients.
+///
+/// [`submit`]: QueryService::submit
+pub struct QueryService {
+    shared: Arc<Shared>,
+    batcher: Mutex<Option<JoinHandle<()>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl QueryService {
+    /// Build every worker's engine pair over `dataset` and start the
+    /// batcher and worker threads.
+    pub fn start(
+        dataset: &PreparedDataset,
+        config: ServiceConfig,
+    ) -> Result<QueryService, TdtsError> {
+        config.validate()?;
+        let store = dataset.store_arc();
+        let (fallback_method, fallback_device) = config.effective_fallback();
+        let mut engines = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let device = Device::new(config.device.clone()).map_err(TdtsError::InvalidConfig)?;
+            let primary = config.method.build_index(&store, device)?;
+            let device = Device::new(fallback_device.clone()).map_err(TdtsError::InvalidConfig)?;
+            let fallback = fallback_method.build_index(&store, device)?;
+            engines.push(EnginePair { primary, fallback });
+        }
+
+        let shared = Arc::new(Shared {
+            config,
+            pending: Mutex::new(PendingQueue::default()),
+            pending_cv: Condvar::new(),
+            batches: Mutex::new(VecDeque::new()),
+            batches_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            batcher_done: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            consecutive_failures: AtomicU32::new(0),
+            stats: StatsInner::default(),
+        });
+
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || batcher_loop(&shared))
+        };
+        let workers = engines
+            .into_iter()
+            .map(|pair| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, &pair))
+            })
+            .collect();
+
+        Ok(QueryService {
+            shared,
+            batcher: Mutex::new(Some(batcher)),
+            workers: Mutex::new(workers),
+        })
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.shared.config
+    }
+
+    /// A point-in-time snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Submit one request and block for its response, applying
+    /// [`ServiceConfig::default_deadline`] if set.
+    pub fn submit(&self, queries: &SegmentStore, d: f64) -> Result<SearchResponse, TdtsError> {
+        let deadline = self.shared.config.default_deadline.map(|t| Instant::now() + t);
+        self.submit_nowait(queries, d, deadline)?.wait()
+    }
+
+    /// Submit one request and block for its response, failing with
+    /// [`TdtsError::Timeout`] after `deadline`.
+    pub fn submit_with_deadline(
+        &self,
+        queries: &SegmentStore,
+        d: f64,
+        deadline: Duration,
+    ) -> Result<SearchResponse, TdtsError> {
+        self.submit_nowait(queries, d, Some(Instant::now() + deadline))?.wait()
+    }
+
+    /// Submit without blocking; redeem the ticket with
+    /// [`SearchTicket::wait`]. Admission control applies here: beyond
+    /// [`ServiceConfig::queue_capacity`] unfinished requests this returns
+    /// [`TdtsError::Overloaded`] instead of queueing.
+    pub fn submit_nowait(
+        &self,
+        queries: &SegmentStore,
+        d: f64,
+        deadline: Option<Instant>,
+    ) -> Result<SearchTicket, TdtsError> {
+        let shared = &self.shared;
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Err(TdtsError::ShuttingDown);
+        }
+        let capacity = shared.config.queue_capacity;
+        if shared
+            .in_flight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| (n < capacity).then_some(n + 1))
+            .is_err()
+        {
+            shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(TdtsError::Overloaded);
+        }
+        shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .max_queue_depth
+            .fetch_max(shared.in_flight.load(Ordering::SeqCst) as u64, Ordering::Relaxed);
+
+        let slot = Arc::new(ResponseSlot::new());
+        let request = PendingSearch {
+            queries: queries.iter().copied().collect(),
+            d,
+            deadline,
+            enqueued_at: Instant::now(),
+            slot: Arc::clone(&slot),
+        };
+        {
+            let mut pending = shared.pending.lock().unwrap();
+            // Re-check under the lock: shutdown() drains this queue, and a
+            // request slipped in after the drain would never resolve.
+            if shared.shutdown.load(Ordering::SeqCst) {
+                drop(pending);
+                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                return Err(TdtsError::ShuttingDown);
+            }
+            pending.queries += request.queries.len();
+            pending.items.push_back(request);
+        }
+        shared.pending_cv.notify_all();
+        Ok(SearchTicket { slot, deadline, shared: Arc::clone(shared) })
+    }
+
+    /// Stop accepting requests, finish everything already admitted, and
+    /// join all threads. Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.pending_cv.notify_all();
+        if let Some(handle) = self.batcher.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+        self.shared.batches_cv.notify_all();
+        for handle in self.workers.lock().unwrap().drain(..) {
+            let _ = handle.join();
+        }
+        // Requests that raced past the admission check after the batcher's
+        // final flush: reject them rather than leave their clients hanging.
+        let leftovers: Vec<PendingSearch> = {
+            let mut pending = self.shared.pending.lock().unwrap();
+            pending.queries = 0;
+            pending.items.drain(..).collect()
+        };
+        for request in leftovers {
+            request.slot.fulfill(Err(TdtsError::ShuttingDown));
+            self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn batcher_loop(shared: &Shared) {
+    let max_batch = shared.config.max_batch;
+    let max_delay = shared.config.max_delay;
+    loop {
+        let flush: Vec<PendingSearch> = {
+            let mut pending = shared.pending.lock().unwrap();
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                if pending.queries >= max_batch {
+                    break;
+                }
+                match pending.items.front() {
+                    Some(oldest) => {
+                        let flush_at = oldest.enqueued_at + max_delay;
+                        let now = Instant::now();
+                        if now >= flush_at {
+                            break;
+                        }
+                        let (guard, _) =
+                            shared.pending_cv.wait_timeout(pending, flush_at - now).unwrap();
+                        pending = guard;
+                    }
+                    None => pending = shared.pending_cv.wait(pending).unwrap(),
+                }
+            }
+            pending.queries = 0;
+            pending.items.drain(..).collect()
+        };
+
+        let stopping = shared.shutdown.load(Ordering::SeqCst);
+        if !flush.is_empty() {
+            // Coalesce into per-d groups, preserving arrival order. A group
+            // stops accepting once it holds max_batch queries (best-effort:
+            // one oversized request can still exceed it).
+            let mut groups: Vec<Batch> = Vec::new();
+            for request in flush {
+                let n = request.queries.len();
+                match groups
+                    .iter_mut()
+                    .find(|b| b.d.to_bits() == request.d.to_bits() && b.queries < max_batch)
+                {
+                    Some(batch) => {
+                        batch.queries += n;
+                        batch.requests.push(request);
+                    }
+                    None => groups.push(Batch {
+                        d: request.d,
+                        queries: n,
+                        oldest: request.enqueued_at,
+                        requests: vec![request],
+                    }),
+                }
+            }
+            shared.batches.lock().unwrap().extend(groups);
+            shared.batches_cv.notify_all();
+        }
+        if stopping {
+            shared.batcher_done.store(true, Ordering::SeqCst);
+            shared.batches_cv.notify_all();
+            return;
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, engines: &EnginePair) {
+    loop {
+        let batch = {
+            let mut batches = shared.batches.lock().unwrap();
+            loop {
+                if let Some(batch) = batches.pop_front() {
+                    break Some(batch);
+                }
+                if shared.batcher_done.load(Ordering::SeqCst) {
+                    break None;
+                }
+                batches = shared.batches_cv.wait(batches).unwrap();
+            }
+        };
+        match batch {
+            Some(batch) => run_batch(shared, engines, batch),
+            None => return,
+        }
+    }
+}
+
+fn run_batch(shared: &Shared, engines: &EnginePair, batch: Batch) {
+    // Expired requests are answered (and released from the in-flight
+    // budget) without costing kernel time.
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(batch.requests.len());
+    for request in batch.requests {
+        if request.deadline.is_some_and(|at| at <= now) {
+            request.slot.fulfill(Err(TdtsError::Timeout));
+            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        } else {
+            live.push(request);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    // Coalesce every request's queries into one store, remembering each
+    // request's query-id range for the demux.
+    let mut merged = SegmentStore::new();
+    let mut ranges = Vec::with_capacity(live.len());
+    for request in &live {
+        let lo = merged.len() as u32;
+        for seg in request.queries.iter() {
+            merged.push(*seg);
+        }
+        ranges.push((lo, merged.len() as u32));
+    }
+
+    let query_batch =
+        QueryBatch { queries: &merged, d: batch.d, result_capacity: shared.config.result_capacity };
+    let mut used_fallback = shared.stats.degraded.load(Ordering::SeqCst);
+    let result = if used_fallback {
+        engines.fallback.search(&query_batch)
+    } else {
+        match engines.primary.search(&query_batch) {
+            Ok(outcome) => {
+                shared.consecutive_failures.store(0, Ordering::SeqCst);
+                Ok(outcome)
+            }
+            Err(_) => {
+                let failures = shared.consecutive_failures.fetch_add(1, Ordering::SeqCst) + 1;
+                if failures >= shared.config.max_consecutive_failures {
+                    // Degrade permanently: every later batch goes straight
+                    // to the fallback engine.
+                    shared.stats.degraded.store(true, Ordering::SeqCst);
+                }
+                used_fallback = true;
+                engines.fallback.search(&query_batch)
+            }
+        }
+    };
+
+    match result {
+        Ok(outcome) => {
+            if used_fallback {
+                shared.stats.fallback_batches.fetch_add(1, Ordering::Relaxed);
+            }
+            let done = Instant::now();
+            shared.stats.record_batch(merged.len(), done - batch.oldest, &outcome.report);
+            // Demux: matches are in canonical order (sorted by query id
+            // first), so each request's slice is contiguous.
+            for (request, &(lo, hi)) in live.iter().zip(&ranges) {
+                let start = outcome.matches.partition_point(|m| m.query < lo);
+                let end = outcome.matches.partition_point(|m| m.query < hi);
+                let mut matches = outcome.matches[start..end].to_vec();
+                for m in &mut matches {
+                    m.query -= lo;
+                }
+                let served = request.slot.fulfill(Ok(SearchResponse {
+                    matches,
+                    report: outcome.report,
+                    batch_queries: merged.len(),
+                    batch_requests: live.len(),
+                    waited: done - request.enqueued_at,
+                }));
+                if served {
+                    shared.stats.served.fetch_add(1, Ordering::Relaxed);
+                }
+                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        Err(error) => {
+            // Both engines failed: every rider gets the typed error.
+            for request in &live {
+                if request.slot.fulfill(Err(error.clone())) {
+                    shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                }
+                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Service observability: per-batch counters and the cumulative
+//! [`SearchReport`] (whose `LoadBalance` section aggregates across every
+//! batch the service executed).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+use tdts_gpu_sim::SearchReport;
+
+/// Lock-free counters the hot paths touch, plus the merged report.
+#[derive(Default)]
+pub(crate) struct StatsInner {
+    pub(crate) admitted: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) served: AtomicU64,
+    pub(crate) timed_out: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) fallback_batches: AtomicU64,
+    pub(crate) batch_queries: AtomicU64,
+    pub(crate) batch_latency_nanos: AtomicU64,
+    pub(crate) max_queue_depth: AtomicU64,
+    pub(crate) degraded: AtomicBool,
+    pub(crate) cumulative: Mutex<SearchReport>,
+}
+
+impl StatsInner {
+    pub(crate) fn record_batch(&self, queries: usize, latency: Duration, report: &SearchReport) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_queries.fetch_add(queries as u64, Ordering::Relaxed);
+        self.batch_latency_nanos.fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+        self.cumulative.lock().unwrap().merge(report);
+    }
+
+    pub(crate) fn snapshot(&self) -> ServiceStats {
+        let batches = self.batches.load(Ordering::Relaxed);
+        let queries = self.batch_queries.load(Ordering::Relaxed);
+        let latency_nanos = self.batch_latency_nanos.load(Ordering::Relaxed);
+        ServiceStats {
+            requests_admitted: self.admitted.load(Ordering::Relaxed),
+            requests_rejected: self.rejected.load(Ordering::Relaxed),
+            requests_served: self.served.load(Ordering::Relaxed),
+            requests_timed_out: self.timed_out.load(Ordering::Relaxed),
+            requests_failed: self.failed.load(Ordering::Relaxed),
+            batches_executed: batches,
+            fallback_batches: self.fallback_batches.load(Ordering::Relaxed),
+            mean_batch_queries: if batches == 0 { 0.0 } else { queries as f64 / batches as f64 },
+            mean_batch_latency_seconds: if batches == 0 {
+                0.0
+            } else {
+                latency_nanos as f64 * 1e-9 / batches as f64
+            },
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            cumulative: *self.cumulative.lock().unwrap(),
+        }
+    }
+}
+
+/// A point-in-time view of the service counters.
+#[derive(Debug, Clone, Copy, Default)]
+#[non_exhaustive]
+pub struct ServiceStats {
+    /// Requests accepted past admission control.
+    pub requests_admitted: u64,
+    /// Requests rejected with `Overloaded`.
+    pub requests_rejected: u64,
+    /// Requests answered with a result set.
+    pub requests_served: u64,
+    /// Requests that missed their deadline.
+    pub requests_timed_out: u64,
+    /// Requests answered with a search error (both engines failed).
+    pub requests_failed: u64,
+    /// Coalesced batches run through an engine.
+    pub batches_executed: u64,
+    /// Batches served by the fallback engine.
+    pub fallback_batches: u64,
+    /// Mean query segments per executed batch.
+    pub mean_batch_queries: f64,
+    /// Mean enqueue-to-response latency over executed batches.
+    pub mean_batch_latency_seconds: f64,
+    /// Highest simultaneous admitted-request count observed.
+    pub max_queue_depth: u64,
+    /// Whether the service has permanently degraded to the fallback engine.
+    pub degraded: bool,
+    /// Every executed batch's [`SearchReport`] merged together — phase
+    /// timings, comparison counts, and aggregated `LoadBalance` metrics.
+    pub cumulative: SearchReport,
+}

@@ -5,8 +5,11 @@
 //! tdts-cli search   --dataset random --scale 0.01 --method spatiotemporal --d 10
 //! tdts-cli knn      --dataset dense  --scale 0.001 --k 5
 //! tdts-cli info     --dataset merger --scale 0.01
+//! tdts-cli serve    --dataset merger --scale 0.01 --method temporal --d 5
+//! tdts-cli replay   --dataset merger --scale 0.01 --queries 64 --clients 64
 //! ```
 
+use std::time::{Duration, Instant};
 use tdts::prelude::*;
 
 fn usage() -> ! {
@@ -18,11 +21,14 @@ fn usage() -> ! {
          \u{20}  search     run a distance threshold search\n\
          \u{20}  knn        run a k-nearest-neighbour search\n\
          \u{20}  info       print dataset statistics\n\
+         \u{20}  serve      run the query service over per-trajectory requests\n\
+         \u{20}  replay     replay concurrent clients through the service and\n\
+         \u{20}             compare with sequential single-request engine calls\n\
          \n\
          options:\n\
          \u{20}  --dataset <random|dense|merger>   (default random)\n\
          \u{20}  --scale <f>                       dataset scale (default 0.01)\n\
-         \u{20}  --method <rtree|spatial|temporal|spatiotemporal|hybrid>\n\
+         \u{20}  --method <rtree|spatial|temporal|batched|spatiotemporal|hybrid>\n\
          \u{20}                                    (default spatiotemporal)\n\
          \u{20}  --d <f>                           query distance (default 10)\n\
          \u{20}  --k <n>                           neighbours for knn (default 5)\n\
@@ -33,10 +39,24 @@ fn usage() -> ! {
          \u{20}                                    warp-per-tile (work-queue kernels)\n\
          \u{20}  --tile-size <n>                   candidate entries per work-queue\n\
          \u{20}                                    tile (default 128)\n\
+         \u{20}  --clients <n>                     concurrent replay clients (default 16)\n\
+         \u{20}  --request-size <n>                query segments per client request\n\
+         \u{20}                                    (default 0 = one whole trajectory)\n\
+         \u{20}  --requests <n>                    cap on replayed requests (default 0 = all)\n\
+         \u{20}  --workers <n>                     service worker threads (default 2)\n\
+         \u{20}  --max-batch <n>                   queries per coalesced batch (default 256)\n\
+         \u{20}  --max-delay-ms <f>                batch flush delay (default 2)\n\
+         \u{20}  --deadline-ms <f>                 per-request deadline (default none)\n\
+         \u{20}  --queue-capacity <n>              admission bound (default 1024)\n\
          \u{20}  --out <path>                      output file for generate\n\
          \u{20}  --verify                          check results against brute force"
     );
     std::process::exit(2);
+}
+
+fn fail(e: impl std::fmt::Display) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(1);
 }
 
 struct Opts {
@@ -51,6 +71,14 @@ struct Opts {
     subbins: usize,
     kernel_shape: KernelShape,
     tile_size: usize,
+    clients: usize,
+    request_size: usize,
+    requests: usize,
+    workers: usize,
+    max_batch: usize,
+    max_delay_ms: f64,
+    deadline_ms: Option<f64>,
+    queue_capacity: usize,
     out: Option<String>,
     verify: bool,
 }
@@ -70,6 +98,14 @@ fn parse() -> Opts {
         subbins: 4,
         kernel_shape: KernelShape::ThreadPerQuery,
         tile_size: 128,
+        clients: 16,
+        request_size: 0,
+        requests: 0,
+        workers: 2,
+        max_batch: 256,
+        max_delay_ms: 2.0,
+        deadline_ms: None,
+        queue_capacity: 1024,
         out: None,
         verify: false,
     };
@@ -92,6 +128,18 @@ fn parse() -> Opts {
                 }
             }
             "--tile-size" => o.tile_size = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--clients" => o.clients = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--request-size" => o.request_size = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--requests" => o.requests = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--workers" => o.workers = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--max-batch" => o.max_batch = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--max-delay-ms" => o.max_delay_ms = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--deadline-ms" => {
+                o.deadline_ms = Some(val(&mut args).parse().unwrap_or_else(|_| usage()))
+            }
+            "--queue-capacity" => {
+                o.queue_capacity = val(&mut args).parse().unwrap_or_else(|_| usage())
+            }
             "--out" => o.out = Some(val(&mut args)),
             "--verify" => o.verify = true,
             _ => usage(),
@@ -190,16 +238,20 @@ fn main() {
             w.flush().unwrap();
             println!("wrote {} segments to {out}", store.len());
         }
-        "search" | "knn" => {
+        "search" | "knn" | "serve" | "replay" => {
             let mut device_config = DeviceConfig::tesla_c2075();
             device_config.kernel_shape = o.kernel_shape;
             device_config.tile_size = o.tile_size;
-            let device = Device::new(device_config).expect("device");
+            let device = Device::new(device_config.clone()).unwrap_or_else(|e| fail(e));
             let dataset = PreparedDataset::new(store);
             let method = match o.method.as_str() {
                 "rtree" => Method::CpuRTree(RTreeConfig::default()),
                 "spatial" => Method::GpuSpatial(GpuSpatialConfig::default()),
                 "temporal" => Method::GpuTemporal(TemporalIndexConfig { bins: o.bins }),
+                "batched" => Method::GpuBatchedTemporal(BatchedConfig {
+                    index: TemporalIndexConfig { bins: o.bins },
+                    batch_size: o.max_batch.max(1),
+                }),
                 "spatiotemporal" | "hybrid" => {
                     Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {
                         bins: o.bins,
@@ -214,15 +266,21 @@ fn main() {
             };
             let cap = 5_000_000;
 
+            if o.command == "serve" || o.command == "replay" {
+                run_service(&o, &dataset, method, &device_config, &queries, cap);
+                return;
+            }
+
             if o.command == "knn" {
-                let engine = SearchEngine::build(&dataset, method, device).expect("engine build");
+                let engine =
+                    SearchEngine::build(&dataset, method, device).unwrap_or_else(|e| fail(e));
                 let res = knn_search(
                     &engine,
                     &queries,
                     KnnConfig { k: o.k, initial_radius: o.d.max(1e-6), max_doublings: 40 },
                     cap,
                 )
-                .expect("knn search");
+                .unwrap_or_else(|e| fail(e));
                 let found: usize = res.iter().map(|v| v.len()).sum();
                 println!("{} neighbours over {} query segments", found, queries.len());
                 for (qi, ns) in res.iter().enumerate().take(3) {
@@ -243,8 +301,9 @@ fn main() {
                     HybridConfig::auto(method, Method::CpuRTree(RTreeConfig::default())),
                     device,
                 )
-                .expect("hybrid build");
-                let (matches, report) = hybrid.search(&queries, o.d, cap).expect("search");
+                .unwrap_or_else(|e| fail(e));
+                let (matches, report) =
+                    hybrid.search(&queries, o.d, cap).unwrap_or_else(|e| fail(e));
                 println!(
                     "{} matches; {:.4}s response (gpu fraction {:.2})",
                     matches.len(),
@@ -254,8 +313,8 @@ fn main() {
                 return;
             }
 
-            let engine = SearchEngine::build(&dataset, method, device).expect("engine build");
-            let (matches, report) = engine.search(&queries, o.d, cap).expect("search");
+            let engine = SearchEngine::build(&dataset, method, device).unwrap_or_else(|e| fail(e));
+            let (matches, report) = engine.search(&queries, o.d, cap).unwrap_or_else(|e| fail(e));
             println!("method:       {}", engine.method().name());
             println!("matches:      {}", matches.len());
             println!("comparisons:  {}", report.comparisons);
@@ -277,4 +336,180 @@ fn main() {
         }
         _ => usage(),
     }
+}
+
+/// Split a query set into client requests: `request_size` consecutive
+/// segments each, or one whole trajectory each when `request_size` is zero
+/// (preserving first appearance order). `cap` bounds the request count
+/// (zero = unlimited).
+fn split_requests(queries: &SegmentStore, request_size: usize, cap: usize) -> Vec<SegmentStore> {
+    let mut requests: Vec<SegmentStore> = if request_size == 0 {
+        let mut grouped: Vec<(TrajId, SegmentStore)> = Vec::new();
+        for seg in queries.iter() {
+            match grouped.iter_mut().find(|(t, _)| *t == seg.traj_id) {
+                Some((_, store)) => store.push(*seg),
+                None => {
+                    let mut store = SegmentStore::new();
+                    store.push(*seg);
+                    grouped.push((seg.traj_id, store));
+                }
+            }
+        }
+        grouped.into_iter().map(|(_, store)| store).collect()
+    } else {
+        queries
+            .segments()
+            .chunks(request_size)
+            .map(|chunk| chunk.iter().copied().collect())
+            .collect()
+    };
+    if cap > 0 {
+        requests.truncate(cap);
+    }
+    requests
+}
+
+fn print_stats(stats: &ServiceStats) {
+    println!("service stats:");
+    println!(
+        "  requests: {} admitted, {} served, {} rejected, {} timed out, {} failed",
+        stats.requests_admitted,
+        stats.requests_served,
+        stats.requests_rejected,
+        stats.requests_timed_out,
+        stats.requests_failed
+    );
+    println!(
+        "  batches:  {} executed ({} on fallback), {:.1} queries/batch, {:.3} ms mean latency",
+        stats.batches_executed,
+        stats.fallback_batches,
+        stats.mean_batch_queries,
+        stats.mean_batch_latency_seconds * 1e3
+    );
+    println!("  queue:    max depth {}; degraded: {}", stats.max_queue_depth, stats.degraded);
+    println!(
+        "  kernels:  {} invocations, {} comparisons total",
+        stats.cumulative.response.kernel_invocations, stats.cumulative.comparisons
+    );
+}
+
+fn run_service(
+    o: &Opts,
+    dataset: &PreparedDataset,
+    method: Method,
+    device_config: &DeviceConfig,
+    queries: &SegmentStore,
+    cap: usize,
+) {
+    let requests = split_requests(queries, o.request_size, o.requests);
+    if requests.is_empty() {
+        fail("no query trajectories to serve");
+    }
+    let mut builder = ServiceConfig::builder(method)
+        .device(device_config.clone())
+        .workers(o.workers)
+        .max_batch(o.max_batch)
+        .max_delay(Duration::from_secs_f64(o.max_delay_ms / 1e3))
+        .queue_capacity(o.queue_capacity)
+        .result_capacity(cap);
+    if let Some(ms) = o.deadline_ms {
+        builder = builder.default_deadline(Duration::from_secs_f64(ms / 1e3));
+    }
+    let config = builder.build().unwrap_or_else(|e| fail(e));
+    let service = QueryService::start(dataset, config).unwrap_or_else(|e| fail(e));
+    println!(
+        "service: {} over {} entries; {} workers, max batch {}, max delay {:.1} ms",
+        method.name(),
+        dataset.store().len(),
+        o.workers,
+        o.max_batch,
+        o.max_delay_ms
+    );
+
+    if o.command == "serve" {
+        for (i, request) in requests.iter().enumerate() {
+            match service.submit(request, o.d) {
+                Ok(r) => println!(
+                    "request {i}: {} matches over {} queries; waited {:.3} ms \
+                     (batch of {} requests / {} queries)",
+                    r.matches.len(),
+                    request.len(),
+                    r.waited.as_secs_f64() * 1e3,
+                    r.batch_requests,
+                    r.batch_queries
+                ),
+                Err(e) => eprintln!("request {i}: error: {e}"),
+            }
+        }
+        service.shutdown();
+        print_stats(&service.stats());
+        return;
+    }
+
+    // replay: concurrent clients through the service...
+    let clients = o.clients.max(1);
+    let start = Instant::now();
+    let service_matches: usize = std::thread::scope(|scope| {
+        let service = &service;
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let slice: Vec<&SegmentStore> = requests.iter().skip(c).step_by(clients).collect();
+                scope.spawn(move || {
+                    let mut total = 0usize;
+                    for request in slice {
+                        match service.submit(request, o.d) {
+                            Ok(r) => total += r.matches.len(),
+                            Err(e) => eprintln!("client {c}: error: {e}"),
+                        }
+                    }
+                    total
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).sum()
+    });
+    let service_wall = start.elapsed();
+    service.shutdown();
+    let stats = service.stats();
+
+    // ...versus the same requests sequentially, one engine call each.
+    let device = Device::new(device_config.clone()).unwrap_or_else(|e| fail(e));
+    let engine = SearchEngine::build(dataset, method, device).unwrap_or_else(|e| fail(e));
+    let seq_start = Instant::now();
+    let mut seq_matches = 0usize;
+    let mut seq_response = 0.0f64;
+    for request in &requests {
+        let (matches, report) = engine.search(request, o.d, cap).unwrap_or_else(|e| fail(e));
+        seq_matches += matches.len();
+        seq_response += report.response_seconds();
+    }
+    let seq_wall = seq_start.elapsed();
+
+    println!(
+        "replay:   {} requests over {} clients -> {} matches in {:.3} s wall \
+         ({:.4} s simulated response)",
+        requests.len(),
+        clients,
+        service_matches,
+        service_wall.as_secs_f64(),
+        stats.cumulative.response_seconds()
+    );
+    println!(
+        "sequential: {} requests -> {} matches in {:.3} s wall ({:.4} s simulated response)",
+        requests.len(),
+        seq_matches,
+        seq_wall.as_secs_f64(),
+        seq_response
+    );
+    println!(
+        "speedup:  {:.2}x wall, {:.2}x simulated",
+        seq_wall.as_secs_f64() / service_wall.as_secs_f64().max(1e-12),
+        seq_response / stats.cumulative.response_seconds().max(1e-12)
+    );
+    if service_matches != seq_matches {
+        eprintln!(
+            "warning: match totals differ (service {service_matches} vs sequential {seq_matches})"
+        );
+    }
+    print_stats(&stats);
 }

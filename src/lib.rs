@@ -67,13 +67,15 @@ pub use tdts_index_spatial as index_spatial;
 pub use tdts_index_spatiotemporal as index_spatiotemporal;
 pub use tdts_index_temporal as index_temporal;
 pub use tdts_rtree as rtree;
+pub use tdts_service as service;
 
 /// The commonly used types in one import.
 pub mod prelude {
     pub use tdts_core::{
         brute_force_search, knn_search, resolve_matches, verify_against_oracle, ClusterConfig,
         ClusterReport, ClusterSearch, HybridConfig, HybridReport, HybridSearch, KnnConfig, Method,
-        Neighbor, PreparedDataset, ResolvedMatch, SearchEngine,
+        Neighbor, PreparedDataset, QueryBatch, ResolvedMatch, SearchEngine, SearchOutcome,
+        TdtsError, TrajectoryIndex,
     };
     pub use tdts_data::{read_csv, selectivity, selectivity_sweep, write_csv, SelectivityPoint};
     pub use tdts_data::{
@@ -89,6 +91,9 @@ pub mod prelude {
     };
     pub use tdts_index_spatial::{FsgConfig, GpuSpatialConfig};
     pub use tdts_index_spatiotemporal::SpatioTemporalIndexConfig;
-    pub use tdts_index_temporal::TemporalIndexConfig;
+    pub use tdts_index_temporal::{BatchedConfig, TemporalIndexConfig};
     pub use tdts_rtree::RTreeConfig;
+    pub use tdts_service::{
+        QueryService, SearchResponse, SearchTicket, ServiceConfig, ServiceStats,
+    };
 }

@@ -123,7 +123,7 @@ fn device_memory_exhaustion_is_reported() {
     )
     .err()
     .expect("must fail");
-    assert!(matches!(err, SearchError::OutOfDeviceMemory(_)));
+    assert!(matches!(err, TdtsError::Search(SearchError::OutOfDeviceMemory(_))));
 }
 
 #[test]
@@ -136,5 +136,5 @@ fn impossible_buffers_error_instead_of_looping() {
     )
     .unwrap();
     let err = engine.search(&queries, 30.0, 0).unwrap_err();
-    assert!(matches!(err, SearchError::ResultCapacityTooSmall { .. }));
+    assert!(matches!(err, TdtsError::Search(SearchError::ResultCapacityTooSmall { .. })));
 }

@@ -137,7 +137,8 @@ fn subbin_count_capped_by_extent_constraint() {
     let idx = tdts::index_spatiotemporal::SpatioTemporalIndex::build(
         &store,
         SpatioTemporalIndexConfig { bins: 50, subbins: 1_000_000, sort_by_selector: true },
-    );
+    )
+    .unwrap();
     let stats = store.stats().unwrap();
     for d in 0..3 {
         let extent = stats.bounds.hi.coord(d) - stats.bounds.lo.coord(d);
@@ -163,6 +164,7 @@ fn dense_dataset_scaling_caps_subbins() {
     let idx = tdts::index_spatiotemporal::SpatioTemporalIndex::build(
         &store,
         SpatioTemporalIndexConfig { bins: 50, subbins: 16, sort_by_selector: true },
-    );
+    )
+    .unwrap();
     assert!(idx.effective_subbins() < 16);
 }

@@ -1,0 +1,170 @@
+//! End-to-end tests of the concurrent batched query service: coalesced
+//! results must be byte-identical to sequential engine calls, failure paths
+//! must be typed errors rather than hangs, and degradation must reroute
+//! batches to the fallback engine.
+
+use std::thread;
+use std::time::Duration;
+
+use tdts::prelude::*;
+
+const D: f64 = 5.0;
+const CAPACITY: usize = 30_000;
+
+/// A small galaxy-merger dataset plus client requests drawn from it (each
+/// request a handful of consecutive segments, so every request has matches).
+fn merger_requests() -> (PreparedDataset, Vec<SegmentStore>) {
+    let store = MergerConfig { particles: 24, timesteps: 10, ..Default::default() }.generate();
+    let requests: Vec<SegmentStore> =
+        store.segments().chunks(4).take(12).map(|chunk| chunk.iter().copied().collect()).collect();
+    (PreparedDataset::new(store), requests)
+}
+
+fn temporal() -> Method {
+    Method::GpuTemporal(TemporalIndexConfig { bins: 8 })
+}
+
+#[test]
+fn concurrent_clients_match_sequential_engine() {
+    let (dataset, requests) = merger_requests();
+    let config = ServiceConfig::builder(temporal())
+        .device(DeviceConfig::test_tiny())
+        .workers(2)
+        .max_batch(16)
+        .max_delay(Duration::from_millis(1))
+        .result_capacity(CAPACITY)
+        .build()
+        .unwrap();
+    let service = QueryService::start(&dataset, config).unwrap();
+
+    // N concurrent clients, one request each.
+    let mut concurrent: Vec<Vec<MatchRecord>> = Vec::new();
+    thread::scope(|scope| {
+        let handles: Vec<_> = requests
+            .iter()
+            .map(|request| {
+                let service = &service;
+                scope.spawn(move || service.submit(request, D).unwrap().matches)
+            })
+            .collect();
+        concurrent = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    });
+    service.shutdown();
+
+    // The same requests, one sequential engine call each.
+    let device = Device::new(DeviceConfig::test_tiny()).unwrap();
+    let engine = SearchEngine::build(&dataset, temporal(), device).unwrap();
+    for (i, request) in requests.iter().enumerate() {
+        let (expected, _) = engine.search(request, D, CAPACITY).unwrap();
+        assert!(!expected.is_empty(), "request {i} should match itself");
+        assert_eq!(concurrent[i], expected, "request {i}: coalesced != sequential");
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.requests_served, requests.len() as u64);
+    // Coalescing must actually have happened: fewer batches than requests.
+    assert!(stats.batches_executed < requests.len() as u64);
+}
+
+#[test]
+fn timeout_and_queue_full_are_typed_errors() {
+    let (dataset, requests) = merger_requests();
+    // Nothing ever flushes on its own, so admitted requests stay in flight.
+    let config = ServiceConfig::builder(temporal())
+        .device(DeviceConfig::test_tiny())
+        .workers(1)
+        .max_batch(1_000_000)
+        .max_delay(Duration::from_secs(3600))
+        .queue_capacity(2)
+        .result_capacity(CAPACITY)
+        .build()
+        .unwrap();
+    let service = QueryService::start(&dataset, config).unwrap();
+
+    // An already-expired deadline resolves as Timeout, not a hang.
+    let err = service.submit_with_deadline(&requests[0], D, Duration::ZERO).unwrap_err();
+    assert!(matches!(err, TdtsError::Timeout), "got {err:?}");
+
+    // The timed-out request still occupies its admission slot until a worker
+    // visits it, so one more request fills the queue and the next bounces.
+    let ticket = service.submit_nowait(&requests[1], D, None).unwrap();
+    let err = service.submit_nowait(&requests[2], D, None).unwrap_err();
+    assert!(matches!(err, TdtsError::Overloaded), "got {err:?}");
+
+    // Shutdown drains the queue; the admitted ticket resolves with results.
+    service.shutdown();
+    assert!(!ticket.wait().unwrap().matches.is_empty());
+    let stats = service.stats();
+    assert_eq!(stats.requests_timed_out, 1);
+    assert_eq!(stats.requests_rejected, 1);
+}
+
+#[test]
+fn degradation_reroutes_batches_to_fallback() {
+    let (dataset, requests) = merger_requests();
+    // A one-entry scratch buffer makes every GPUSpatial batch fail with
+    // ScratchCapacityTooSmall; the service must reroute to the fallback.
+    let broken_spatial =
+        Method::GpuSpatial(GpuSpatialConfig { fsg: FsgConfig::default(), total_scratch: 1 });
+    let config = ServiceConfig::builder(broken_spatial)
+        .fallback_method(temporal())
+        .device(DeviceConfig::test_tiny())
+        .workers(1)
+        .max_batch(16)
+        .max_delay(Duration::from_millis(1))
+        .max_consecutive_failures(1)
+        .result_capacity(CAPACITY)
+        .build()
+        .unwrap();
+    let service = QueryService::start(&dataset, config).unwrap();
+
+    let response = service.submit(&requests[0], D).unwrap();
+    let second = service.submit(&requests[1], D).unwrap();
+    service.shutdown();
+
+    // Results still come back correct, just via the fallback engine.
+    let device = Device::new(DeviceConfig::test_tiny()).unwrap();
+    let engine = SearchEngine::build(&dataset, temporal(), device).unwrap();
+    let (expected, _) = engine.search(&requests[0], D, CAPACITY).unwrap();
+    assert_eq!(response.matches, expected);
+    assert!(!second.matches.is_empty());
+
+    let stats = service.stats();
+    assert!(stats.degraded, "service should be degraded after repeated failures");
+    assert!(stats.fallback_batches >= 1);
+    assert_eq!(stats.requests_failed, 0);
+    assert_eq!(stats.requests_served, 2);
+}
+
+#[test]
+fn coalescing_flushes_one_batch_at_max_batch_queries() {
+    let (dataset, requests) = merger_requests();
+    let n = 8;
+    let total_queries: usize = requests.iter().take(n).map(|r| r.len()).sum();
+    // The flush trigger counts queries: with max_batch equal to the total
+    // query count and an effectively infinite delay, exactly one batch runs.
+    let config = ServiceConfig::builder(temporal())
+        .device(DeviceConfig::test_tiny())
+        .workers(1)
+        .max_batch(total_queries)
+        .max_delay(Duration::from_secs(3600))
+        .result_capacity(CAPACITY)
+        .build()
+        .unwrap();
+    let service = QueryService::start(&dataset, config).unwrap();
+
+    let tickets: Vec<SearchTicket> = requests
+        .iter()
+        .take(n)
+        .map(|request| service.submit_nowait(request, D, None).unwrap())
+        .collect();
+    for ticket in tickets {
+        let response = ticket.wait().unwrap();
+        assert_eq!(response.batch_requests, n);
+        assert_eq!(response.batch_queries, total_queries);
+    }
+    service.shutdown();
+    let stats = service.stats();
+    assert_eq!(stats.batches_executed, 1);
+    assert!((stats.mean_batch_queries - total_queries as f64).abs() < 1e-9);
+}
