@@ -1,0 +1,91 @@
+//! Micro-benchmark of the columnar (struct-of-arrays) segment layout: the
+//! host-side transpose that feeds per-column device buffers, single-row
+//! reconstruction, and the column scan the temporal prefilter models.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tdts_geom::{Point3, SegId, Segment, SegmentColumns, TrajId};
+
+fn make_segments(n: usize) -> Vec<Segment> {
+    // Deterministic pseudo-random segments via an LCG.
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / (u32::MAX as f64) * 100.0 - 50.0
+    };
+    (0..n)
+        .map(|i| {
+            let t0 = next().abs();
+            Segment::new(
+                Point3::new(next(), next(), next()),
+                Point3::new(next(), next(), next()),
+                t0,
+                t0 + 1.0,
+                SegId(i as u32),
+                TrajId(i as u32),
+            )
+        })
+        .collect()
+}
+
+fn bench_transpose(c: &mut Criterion) {
+    let segs = make_segments(4096);
+    c.bench_function("columnar/transpose_4096", |b| {
+        b.iter(|| black_box(SegmentColumns::from_segments(black_box(&segs))))
+    });
+}
+
+fn bench_row_reads(c: &mut Criterion) {
+    let segs = make_segments(4096);
+    let cols = SegmentColumns::from_segments(&segs);
+    let mut group = c.benchmark_group("row_read");
+    group.bench_function("aos", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let s = &segs[i % segs.len()];
+            i += 1;
+            black_box(s.t_start + s.start.x)
+        })
+    });
+    group.bench_function("columnar_gather", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let s = cols.segment(i % cols.len()).unwrap();
+            i += 1;
+            black_box(s.t_start + s.start.x)
+        })
+    });
+    group.finish();
+}
+
+/// The access pattern the device-side temporal prefilter models: touch only
+/// the two timestamp columns for a candidate stream, versus pulling whole
+/// AoS rows to read the same two fields.
+fn bench_timestamp_scan(c: &mut Criterion) {
+    let segs = make_segments(4096);
+    let cols = SegmentColumns::from_segments(&segs);
+    let mut group = c.benchmark_group("timestamp_scan");
+    group.bench_function("aos_rows", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for s in &segs {
+                acc += s.t_end - s.t_start;
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("columnar_two_columns", |b| {
+        b.iter(|| {
+            let f = cols.f64_columns();
+            let (ts, te) = (f[6], f[7]);
+            let mut acc = 0.0f64;
+            for i in 0..ts.len() {
+                acc += te[i] - ts[i];
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transpose, bench_row_reads, bench_timestamp_scan);
+criterion_main!(benches);

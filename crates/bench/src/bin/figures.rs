@@ -5,7 +5,7 @@
 //!
 //! targets: fig4 fig5 fig6 fig7 sweep-fsg sweep-bins sweep-subbins
 //!          ablation-indirection ablation-buffer fallback-rate
-//!          ablation-warp-agg ablation-workqueue all
+//!          ablation-warp-agg ablation-workqueue ablation-columnar all
 //! options: --scale <f>         dataset scale vs the paper (default 1/16)
 //!          --no-verify         skip cross-method result-set verification
 //!          --kernel-shape <s>  thread-per-query (default) | warp-per-tile
@@ -55,7 +55,7 @@ fn main() {
         eprintln!(
             "usage: figures [--scale f] [--no-verify] [--kernel-shape s] [--tile-size n] \
              <fig4|fig5|fig6|fig7|sweep-fsg|sweep-bins|sweep-subbins|\
-             ablation-indirection|ablation-buffer|fallback-rate|future-trends|batched|ablation-sort|crossover|ablation-write|ablation-warp-agg|ablation-workqueue|all>..."
+             ablation-indirection|ablation-buffer|fallback-rate|future-trends|batched|ablation-sort|crossover|ablation-write|ablation-warp-agg|ablation-workqueue|ablation-columnar|all>..."
         );
         std::process::exit(2);
     }
@@ -78,6 +78,7 @@ fn main() {
             "ablation-write",
             "ablation-warp-agg",
             "ablation-workqueue",
+            "ablation-columnar",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -105,6 +106,7 @@ fn main() {
             "ablation-write" => drop(runner.ablation_write()),
             "ablation-warp-agg" => drop(runner.ablation_warp_agg()),
             "ablation-workqueue" => drop(runner.ablation_workqueue()),
+            "ablation-columnar" => drop(runner.ablation_columnar()),
             other => {
                 eprintln!("unknown target {other}");
                 std::process::exit(2);

@@ -1,7 +1,8 @@
 //! Unified engine over the paper's search implementations.
 
 use std::sync::Arc;
-use tdts_geom::{MatchRecord, SegmentStore};
+use tdts_geom::{MatchRecord, SegmentStore, StoreStats};
+use tdts_gpu_sim::SearchError;
 use tdts_gpu_sim::{Device, SearchReport};
 use tdts_index_spatial::{GpuSpatialConfig, GpuSpatialSearch};
 use tdts_index_spatiotemporal::{GpuSpatioTemporalSearch, SpatioTemporalIndexConfig};
@@ -46,25 +47,34 @@ impl Method {
 
     /// Build the index this method describes over the canonical `store`.
     ///
+    /// `stats` is the store's global statistics, computed once by the
+    /// caller (see [`SegmentStore::stats`]) and shared across every index
+    /// built on the same store instead of being rescanned per method.
+    ///
     /// GPU methods place the database and index into `device` memory
     /// (offline — excluded from response time, as in the paper). The CPU
     /// baseline ignores the device.
     pub fn build_index(
         &self,
         store: &Arc<SegmentStore>,
+        stats: &StoreStats,
         device: Arc<Device>,
     ) -> Result<Box<dyn TrajectoryIndex>, TdtsError> {
         Ok(match *self {
             Method::CpuRTree(cfg) => {
                 Box::new(CpuRTreeIndex::new(RTree::build(store, cfg), Arc::clone(store)))
             }
-            Method::GpuSpatial(cfg) => Box::new(GpuSpatialSearch::new(device, store, cfg)?),
-            Method::GpuTemporal(cfg) => Box::new(GpuTemporalSearch::new(device, store, cfg)?),
+            Method::GpuSpatial(cfg) => {
+                Box::new(GpuSpatialSearch::new_with_stats(device, store, stats, cfg)?)
+            }
+            Method::GpuTemporal(cfg) => {
+                Box::new(GpuTemporalSearch::new_with_stats(device, store, stats, cfg)?)
+            }
             Method::GpuBatchedTemporal(cfg) => {
-                Box::new(GpuBatchedTemporalSearch::new(device, store, cfg)?)
+                Box::new(GpuBatchedTemporalSearch::new_with_stats(device, store, stats, cfg)?)
             }
             Method::GpuSpatioTemporal(cfg) => {
-                Box::new(GpuSpatioTemporalSearch::new(device, store, cfg)?)
+                Box::new(GpuSpatioTemporalSearch::new_with_stats(device, store, stats, cfg)?)
             }
         })
     }
@@ -120,7 +130,8 @@ impl SearchEngine {
         device: Arc<Device>,
     ) -> Result<SearchEngine, TdtsError> {
         let store = dataset.store_arc();
-        let index = method.build_index(&store, device)?;
+        let stats = store.stats().ok_or(TdtsError::Search(SearchError::EmptyDataset))?;
+        let index = method.build_index(&store, &stats, device)?;
         Ok(SearchEngine { store, method, index })
     }
 

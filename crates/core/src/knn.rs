@@ -84,7 +84,9 @@ pub fn knn_search(
                 .iter()
                 .filter(|m| m.query == sub_idx as u32)
                 .filter_map(|m| {
-                    let e = engine.store().get(m.entry as usize);
+                    // Entry positions come back from the kernel result
+                    // buffer — index checked, dropping malformed records.
+                    let e = engine.store().try_get(m.entry as usize)?;
                     closest_approach(q, e).map(|ca| Neighbor {
                         entry: m.entry,
                         distance: ca.dist2.sqrt(),

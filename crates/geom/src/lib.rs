@@ -17,7 +17,11 @@
 //! * [`SegmentStore`] — an in-memory segment database with the global
 //!   statistics (spatial bounds, temporal extent, maximum segment spatial
 //!   extent) that the indexing schemes are built from.
+//! * [`SegmentColumns`] — the same database transposed to columnar
+//!   (struct-of-arrays) layout, the host-side source for per-column device
+//!   buffers with coalesced reads.
 
+pub mod columns;
 pub mod continuous;
 pub mod interval;
 pub mod mbb;
@@ -26,6 +30,7 @@ pub mod result;
 pub mod segment;
 pub mod store;
 
+pub use columns::SegmentColumns;
 pub use continuous::{within_distance, ClosestApproach};
 pub use interval::TimeInterval;
 pub use mbb::Mbb;

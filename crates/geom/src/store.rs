@@ -1,7 +1,8 @@
 //! In-memory segment databases.
 
-use crate::{Mbb, Segment, TimeInterval};
+use crate::{Mbb, Segment, SegmentColumns, TimeInterval};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Global statistics of a segment database, computed once at load time.
 ///
@@ -32,17 +33,21 @@ pub struct StoreStats {
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SegmentStore {
     segments: Vec<Segment>,
+    /// Lazily computed [`StoreStats`], shared by every index built on the
+    /// store. Mutating methods reset the cell; (de)serialisation drops it.
+    #[serde(skip)]
+    cached_stats: OnceLock<Option<StoreStats>>,
 }
 
 impl SegmentStore {
     /// Empty store.
     pub fn new() -> Self {
-        SegmentStore { segments: Vec::new() }
+        SegmentStore::default()
     }
 
     /// Build from a vector of segments.
     pub fn from_segments(segments: Vec<Segment>) -> Self {
-        SegmentStore { segments }
+        SegmentStore { segments, cached_stats: OnceLock::new() }
     }
 
     /// Number of segments.
@@ -57,10 +62,11 @@ impl SegmentStore {
         self.segments.is_empty()
     }
 
-    /// Append a segment.
+    /// Append a segment. Invalidates the cached [`StoreStats`].
     #[inline]
     pub fn push(&mut self, seg: Segment) {
         self.segments.push(seg);
+        self.cached_stats = OnceLock::new();
     }
 
     /// Immutable view of the segments.
@@ -69,16 +75,35 @@ impl SegmentStore {
         &self.segments
     }
 
-    /// Segment at position `i`.
+    /// Segment at position `i`. Panics out of range; prefer [`try_get`] when
+    /// `i` originates outside the store (e.g. positions read back from a
+    /// kernel result buffer).
+    ///
+    /// [`try_get`]: SegmentStore::try_get
     #[inline]
     pub fn get(&self, i: usize) -> &Segment {
         &self.segments[i]
     }
 
+    /// Checked variant of [`get`](SegmentStore::get): `None` out of range.
+    #[inline]
+    pub fn try_get(&self, i: usize) -> Option<&Segment> {
+        self.segments.get(i)
+    }
+
+    /// Columnar (struct-of-arrays) view of the segments, in store order.
+    /// This is the host-side producer for per-column device buffers.
+    pub fn columns(&self) -> SegmentColumns {
+        SegmentColumns::from_segments(&self.segments)
+    }
+
     /// Sort segments by ascending `t_start` (stable). The temporal and
-    /// spatiotemporal indexes require this ordering.
+    /// spatiotemporal indexes require this ordering. Invalidates the cached
+    /// [`StoreStats`] (the stats are order-independent, but the cell is
+    /// reset on any mutation for uniformity).
     pub fn sort_by_t_start(&mut self) {
         self.segments.sort_by(|a, b| a.t_start.partial_cmp(&b.t_start).expect("NaN t_start"));
+        self.cached_stats = OnceLock::new();
     }
 
     /// True if segments are sorted by non-decreasing `t_start`.
@@ -86,8 +111,15 @@ impl SegmentStore {
         self.segments.windows(2).all(|w| w[0].t_start <= w[1].t_start)
     }
 
-    /// Compute the global statistics. Returns `None` for an empty store.
+    /// Global statistics of the store. Returns `None` for an empty store.
+    ///
+    /// Computed on first call and cached: every index built on the same
+    /// store shares one O(n) scan instead of redoing it per build.
     pub fn stats(&self) -> Option<StoreStats> {
+        *self.cached_stats.get_or_init(|| self.compute_stats())
+    }
+
+    fn compute_stats(&self) -> Option<StoreStats> {
         if self.segments.is_empty() {
             return None;
         }
@@ -130,7 +162,7 @@ impl SegmentStore {
 
 impl FromIterator<Segment> for SegmentStore {
     fn from_iter<I: IntoIterator<Item = Segment>>(iter: I) -> Self {
-        SegmentStore { segments: iter.into_iter().collect() }
+        SegmentStore::from_segments(iter.into_iter().collect())
     }
 }
 
@@ -193,5 +225,37 @@ mod tests {
         assert!(store.is_sorted_by_t_start());
         assert_eq!(store.get(0).t_start, 0.0);
         assert_eq!(store.get(2).t_start, 2.0);
+    }
+
+    #[test]
+    fn try_get_is_checked() {
+        let store: SegmentStore = vec![seg(0.0, 1.0, 0.0, 1.0, 0)].into_iter().collect();
+        assert_eq!(store.try_get(0), Some(store.get(0)));
+        assert!(store.try_get(1).is_none());
+        assert!(store.try_get(usize::MAX).is_none());
+    }
+
+    #[test]
+    fn stats_cache_invalidated_on_mutation() {
+        let mut store: SegmentStore =
+            vec![seg(0.0, 1.0, 0.0, 1.0, 0), seg(2.0, 3.0, 5.0, 6.0, 1)].into_iter().collect();
+        let before = store.stats().unwrap();
+        // Cached: a second call agrees exactly.
+        assert_eq!(store.stats().unwrap(), before);
+        store.push(seg(4.0, 9.0, -8.0, -7.0, 2));
+        let after = store.stats().unwrap();
+        assert_eq!(after.time_span, TimeInterval::new(0.0, 9.0));
+        assert_eq!(after.bounds.lo, Point3::splat(-8.0));
+        store.sort_by_t_start();
+        assert_eq!(store.stats().unwrap(), after);
+    }
+
+    #[test]
+    fn columns_view_matches_store_order() {
+        let store: SegmentStore =
+            vec![seg(1.0, 2.0, 0.0, 1.0, 3), seg(0.0, 0.5, -1.0, 4.0, 7)].into_iter().collect();
+        let cols = store.columns();
+        assert_eq!(cols.len(), store.len());
+        assert_eq!(cols.to_segments(), store.segments());
     }
 }

@@ -41,6 +41,26 @@ pub enum KernelShape {
     WarpPerTile,
 }
 
+/// How segment data is laid out in device global memory.
+///
+/// `Aos` uploads the host's array-of-structs `Vec<Segment>` as-is: every
+/// lane touching any field drags the whole 72-byte struct through the memory
+/// system. `Columnar` transposes segments into per-field `f64` columns
+/// (struct-of-arrays) before upload, so consecutive lanes reading the same
+/// field hit consecutive words — the coalescing-friendly layout the paper's
+/// `X`/`Y`/`Z` id arrays already use — and a schedule-filtering lane that
+/// only needs `t_start`/`t_end` is charged 16 bytes, not 72. Ids stay on the
+/// host in either layout (kernels address entries by position), which also
+/// shrinks the H2D query upload from 72 to 64 bytes per segment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SegmentLayout {
+    /// Whole-struct device buffers (the pre-columnar behaviour).
+    Aos,
+    /// Per-field `f64` column buffers with per-column read charging.
+    #[default]
+    Columnar,
+}
+
 /// Parameters of the simulated device.
 ///
 /// The defaults ([`DeviceConfig::tesla_c2075`]) approximate the NVIDIA Tesla
@@ -95,6 +115,8 @@ pub struct DeviceConfig {
     /// Maximum candidate entries per work-queue tile in
     /// [`KernelShape::WarpPerTile`]; ignored by `ThreadPerQuery`.
     pub tile_size: usize,
+    /// Device-memory layout of segment data (see [`SegmentLayout`]).
+    pub segment_layout: SegmentLayout,
 }
 
 impl DeviceConfig {
@@ -139,6 +161,7 @@ impl DeviceConfig {
             warp_stash_capacity: 16,
             kernel_shape: KernelShape::default(),
             tile_size: 128,
+            segment_layout: SegmentLayout::default(),
         }
     }
 
@@ -171,6 +194,7 @@ impl DeviceConfig {
             warp_stash_capacity: 16,
             kernel_shape: KernelShape::default(),
             tile_size: 128,
+            segment_layout: SegmentLayout::default(),
         }
     }
 
@@ -198,6 +222,7 @@ impl DeviceConfig {
             kernel_shape: KernelShape::default(),
             // Small tiles so tiny fixtures still split into several tiles.
             tile_size: 8,
+            segment_layout: SegmentLayout::default(),
         }
     }
 
@@ -323,6 +348,8 @@ impl DeviceConfigBuilder {
         kernel_shape: KernelShape,
         /// Maximum candidate entries per work-queue tile.
         tile_size: usize,
+        /// Device-memory layout of segment data.
+        segment_layout: SegmentLayout,
     }
 
     /// Human-readable device name (appears in reports).
@@ -433,6 +460,17 @@ mod tests {
         let tiny = DeviceConfig::test_tiny().to_builder().tile_size(4).build().unwrap();
         assert_eq!(tiny.num_sms, 2);
         assert_eq!(tiny.tile_size, 4);
+    }
+
+    #[test]
+    fn columnar_layout_is_the_default() {
+        for c in
+            [DeviceConfig::tesla_c2075(), DeviceConfig::modern_gpu(), DeviceConfig::test_tiny()]
+        {
+            assert_eq!(c.segment_layout, SegmentLayout::Columnar);
+        }
+        let aos = DeviceConfig::builder().segment_layout(SegmentLayout::Aos).build().unwrap();
+        assert_eq!(aos.segment_layout, SegmentLayout::Aos);
     }
 
     #[test]

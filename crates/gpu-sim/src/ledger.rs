@@ -121,7 +121,7 @@ impl fmt::Display for ResponseTime {
 /// before the previous job left it, and stages work on different jobs
 /// concurrently (classic flow-shop with unit buffers).
 ///
-/// Used to model the predecessor algorithm of the paper's [22], which
+/// Used to model the predecessor algorithm of the paper's \[22\], which
 /// streams query batches through upload → kernel → download with
 /// overlapped transfers; this paper's schemes avoid that pipeline by
 /// keeping `Q` resident.

@@ -15,7 +15,7 @@
 //!   paths taken inside the warp), which models lock-step execution.
 //! * **Global memory with explicit capacity** — buffers are allocated from a
 //!   fixed-size simulated device memory; allocation fails with
-//!   [`OutOfDeviceMemory`](memory::OutOfDeviceMemory) when the device is full,
+//!   [`OutOfDeviceMemory`] when the device is full,
 //!   exactly the constraint that forces the paper's fixed result buffers.
 //! * **Device atomics and fixed-capacity result buffers** — kernels append
 //!   to result buffers through an atomic cursor; appends past capacity set an
@@ -43,14 +43,14 @@ pub mod redo;
 pub mod report;
 pub mod workqueue;
 
-pub use config::{DeviceConfig, DeviceConfigBuilder, KernelShape, ResultWriteMode};
+pub use config::{DeviceConfig, DeviceConfigBuilder, KernelShape, ResultWriteMode, SegmentLayout};
 pub use counters::{Counters, Lane};
 pub use device::Device;
 pub use launch::{LaunchReport, Warp, MAX_WARP_LANES};
 pub use ledger::{pipeline_makespan, Phase, ResponseTime};
 pub use memory::{
-    DeviceBuffer, OutOfDeviceMemory, PartitionedScratch, ResultBuffer, ScatterBuffer, ScatterStash,
-    ScratchPartition, WarpStash,
+    ColumnarBuffer, DeviceBuffer, OutOfDeviceMemory, PartitionedScratch, ResultBuffer,
+    ScatterBuffer, ScatterStash, ScratchPartition, WarpStash,
 };
 pub use redo::{NextBatch, RedoSchedule};
 pub use report::{LoadBalance, SearchError, SearchReport};

@@ -116,6 +116,73 @@ impl<T: Copy> DeviceBuffer<T> {
     }
 }
 
+/// A columnar (struct-of-arrays) device buffer: `num_columns` equal-length
+/// columns of `T`, read-only from kernels.
+///
+/// This is the device side of [`crate::config::SegmentLayout::Columnar`]:
+/// where a [`DeviceBuffer`]`<Segment>` charges a lane the whole struct for
+/// any field access, a columnar read charges exactly the `size_of::<T>()`
+/// bytes of the one column touched — so a schedule-filtering lane that only
+/// inspects `t_start`/`t_end` pays 16 bytes instead of 72, and consecutive
+/// lanes reading the same column at consecutive rows model a perfectly
+/// coalesced access. Allocate through [`Device::alloc_columns`] (offline) or
+/// [`Device::upload_columns`] (charged to the response-time ledger).
+#[derive(Debug)]
+pub struct ColumnarBuffer<T> {
+    columns: Vec<Vec<T>>,
+    rows: usize,
+    _reservation: Reservation,
+}
+
+impl<T: Copy> ColumnarBuffer<T> {
+    pub(crate) fn new(columns: Vec<Vec<T>>, reservation: Reservation) -> Self {
+        let rows = columns.first().map_or(0, Vec::len);
+        assert!(columns.iter().all(|c| c.len() == rows), "columns must have equal length");
+        ColumnarBuffer { columns, rows, _reservation: reservation }
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of rows (every column has this length).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True if the buffer holds no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Total size in bytes across all columns.
+    #[inline]
+    pub fn size_bytes(&self) -> usize {
+        self.columns.len() * self.rows * std::mem::size_of::<T>()
+    }
+
+    /// Read `column[row]` from a kernel lane, charging the memory counter
+    /// for one element of one column.
+    #[inline]
+    pub fn read(&self, lane: &mut Lane, column: usize, row: usize) -> T {
+        lane.gmem_read(std::mem::size_of::<T>() as u64);
+        self.columns[column][row]
+    }
+
+    /// Raw column access *without* cost accounting. Use only on the host
+    /// (index construction, verification); kernels should use [`read`].
+    ///
+    /// [`read`]: ColumnarBuffer::read
+    #[inline]
+    pub fn column(&self, column: usize) -> &[T] {
+        &self.columns[column]
+    }
+}
+
 /// A fixed-capacity device buffer that kernels append to through an atomic
 /// cursor — the simulated equivalent of
 /// `resultSet[atomicAdd(&cursor, 1)] = item`.
@@ -329,7 +396,7 @@ impl<'a, T> WarpStash<'a, T> {
     /// Warp-aggregated mode charges one atomic per *flush round* — a lane
     /// staging more than `warp_stash_capacity` records forces
     /// `ceil(n/capacity)` rounds, the max over lanes — instead of one per
-    /// record, plus [`COMMIT_INSTR`] converged instructions per round and
+    /// record, plus `COMMIT_INSTR` converged instructions per round and
     /// coalesced write bytes for the stored records.
     pub fn commit(&mut self, warp: &mut Warp) -> u64 {
         let item_bytes = std::mem::size_of::<T>() as u64;
@@ -796,6 +863,41 @@ mod tests {
         assert_eq!(buf.len(), 3);
         assert_eq!(buf.size_bytes(), 24);
         assert_eq!(buf.as_slice(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn columnar_buffer_reads_charge_one_column_element() {
+        let dev = device();
+        let buf = dev.alloc_columns(&[&[1.0f64, 2.0, 3.0][..], &[10.0, 20.0, 30.0][..]]).unwrap();
+        assert_eq!(buf.num_columns(), 2);
+        assert_eq!(buf.len(), 3);
+        assert!(!buf.is_empty());
+        assert_eq!(buf.size_bytes(), 2 * 3 * 8);
+        let mut lane = Lane::new(0);
+        assert_eq!(buf.read(&mut lane, 0, 1), 2.0);
+        assert_eq!(lane.counters().gmem_read_bytes, 8, "one column element, not the row");
+        assert_eq!(buf.read(&mut lane, 1, 2), 30.0);
+        assert_eq!(lane.counters().gmem_read_bytes, 16);
+        // Host access is uncharged.
+        assert_eq!(buf.column(1), &[10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn columnar_buffer_rejects_ragged_columns() {
+        let dev = device();
+        let _ = dev.alloc_columns(&[&[1.0f64][..], &[1.0, 2.0][..]]);
+    }
+
+    #[test]
+    fn columnar_buffer_reserves_and_releases_memory() {
+        let dev = device();
+        assert_eq!(dev.mem_used(), 0);
+        {
+            let buf = dev.alloc_columns(&[&[0u8; 100][..], &[0u8; 100][..]]).unwrap();
+            assert_eq!(dev.mem_used(), buf.size_bytes());
+        }
+        assert_eq!(dev.mem_used(), 0);
     }
 
     #[test]

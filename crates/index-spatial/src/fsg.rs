@@ -1,7 +1,7 @@
 //! The flatly structured grid (FSG).
 
 use serde::{Deserialize, Serialize};
-use tdts_geom::{Mbb, Point3, SegmentStore};
+use tdts_geom::{Mbb, Point3, SegmentStore, StoreStats};
 use tdts_gpu_sim::SearchError;
 
 /// FSG resolution.
@@ -115,12 +115,26 @@ impl Fsg {
     /// Fails with [`SearchError::InvalidConfig`] on a zero-cell grid and
     /// [`SearchError::EmptyDataset`] on an empty store.
     pub fn build(store: &SegmentStore, config: FsgConfig) -> Result<Fsg, SearchError> {
+        let stats = store.stats().ok_or(SearchError::EmptyDataset)?;
+        Fsg::build_with_stats(store, &stats, config)
+    }
+
+    /// [`build`](Fsg::build) with the store's [`StoreStats`] supplied by the
+    /// caller, so one stats scan can be shared across every index built on
+    /// the same store.
+    pub fn build_with_stats(
+        store: &SegmentStore,
+        stats: &StoreStats,
+        config: FsgConfig,
+    ) -> Result<Fsg, SearchError> {
         if config.cells_per_dim < 1 {
             return Err(SearchError::InvalidConfig(
                 "FSG needs at least one cell per dimension".into(),
             ));
         }
-        let stats = store.stats().ok_or(SearchError::EmptyDataset)?;
+        if store.is_empty() {
+            return Err(SearchError::EmptyDataset);
+        }
         let bounds = stats.bounds;
         let n = config.cells_per_dim;
         let extent = bounds.extent();

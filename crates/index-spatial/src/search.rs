@@ -1,14 +1,25 @@
 //! The `GPUSpatial` search driver and kernel (Algorithm 1).
+//!
+//! The kernel skeleton (candidate iteration → refinement → warp-stash
+//! commit → redo) lives in [`tdts_kernels`]; this module contributes the
+//! FSG-specific candidate generation: the device-side `getCandidates` walk
+//! over rasterised grid cells into the per-query candidate buffer `U_k`
+//! (thread-per-query), or the host-side rasterisation into lookup-range
+//! tiles with a fused gather+refine kernel (warp-per-tile).
 
 use crate::fsg::{Fsg, FsgConfig};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use tdts_geom::{dedup_matches, within_distance, MatchRecord, Segment, SegmentStore};
+use tdts_geom::{MatchRecord, SegmentStore, StoreStats};
 use tdts_gpu_sim::{
-    Device, DeviceBuffer, KernelShape, Lane, NextBatch, RedoSchedule, SearchError, SearchReport,
-    Tile, MAX_WARP_LANES,
+    Device, DeviceBuffer, KernelShape, Lane, PartitionedScratch, SearchError, SearchReport, Tile,
+    Warp, WarpStash,
+};
+use tdts_kernels::{
+    compare_and_stage, finish_search, load_query, run_thread_per_query, run_warp_per_tile,
+    CandidateGenerator, DeviceSegments, KernelContext, LaneWork, PushOutcome, TileGenerator,
 };
 
 /// `GPUSpatial` parameters.
@@ -71,7 +82,7 @@ pub struct GpuSpatialSearch {
     device: Arc<Device>,
     fsg: Fsg,
     config: GpuSpatialConfig,
-    dev_entries: DeviceBuffer<Segment>,
+    dev_entries: DeviceSegments,
     /// `G`: sorted linearised coordinates of non-empty cells.
     dev_cell_ids: DeviceBuffer<u64>,
     /// Per-cell half-open ranges into the lookup array.
@@ -88,8 +99,20 @@ impl GpuSpatialSearch {
         store: &SegmentStore,
         config: GpuSpatialConfig,
     ) -> Result<GpuSpatialSearch, SearchError> {
-        let fsg = Fsg::build(store, config.fsg)?;
-        let dev_entries = device.alloc_from_host(store.segments().to_vec())?;
+        let stats = store.stats().ok_or(SearchError::EmptyDataset)?;
+        GpuSpatialSearch::new_with_stats(device, store, &stats, config)
+    }
+
+    /// [`new`](GpuSpatialSearch::new) with the store's [`StoreStats`]
+    /// supplied by the caller, sharing one stats scan across methods.
+    pub fn new_with_stats(
+        device: Arc<Device>,
+        store: &SegmentStore,
+        stats: &StoreStats,
+        config: GpuSpatialConfig,
+    ) -> Result<GpuSpatialSearch, SearchError> {
+        let fsg = Fsg::build_with_stats(store, stats, config.fsg)?;
+        let dev_entries = DeviceSegments::alloc(&device, store.segments())?;
         let dev_cell_ids = device.alloc_from_host(fsg.cell_ids.clone())?;
         let dev_cell_ranges = device.alloc_from_host(fsg.cell_ranges.clone())?;
         let dev_lookup = device.alloc_from_host(fsg.lookup.clone())?;
@@ -152,300 +175,227 @@ impl GpuSpatialSearch {
         }
 
         // Online transfer: the query set.
-        let dev_queries = self.device.upload(queries.segments().to_vec())?;
-        if self.device.config().kernel_shape == KernelShape::WarpPerTile {
-            return self.search_tiles(wall_start, report, queries, dev_queries, d, result_capacity);
-        }
-        let mut results = self.device.alloc_result::<MatchRecord>(result_capacity)?;
-        let mut redo = self.device.alloc_result::<u32>(queries.len())?;
-
-        let mut matches: Vec<MatchRecord> = Vec::new();
-        let mut batch: Option<DeviceBuffer<u32>> = None;
-        let mut batch_len = queries.len();
-        let mut redo_schedule = RedoSchedule::new();
-        let comparisons = AtomicU64::new(0);
-
-        loop {
-            // Candidate buffers: the budget `s` split across this batch.
-            let per_thread = (self.config.total_scratch / batch_len).max(1);
-            let scratch = self.device.alloc_scratch::<u32>(batch_len, per_thread)?;
-            let scratch_overflow = AtomicBool::new(false);
-
-            let launch = self.device.launch_warps(batch_len, |warp| {
-                let mut stash = results.warp_stash();
-                let mut qids = [0u32; MAX_WARP_LANES];
-                let mut uk_bytes = 0u64;
-                warp.for_each_lane(|lane| {
-                    let qid = match &batch {
-                        None => lane.global_id as u32,
-                        Some(ids) => ids.read(lane, lane.global_id),
-                    };
-                    qids[lane.lane_index()] = qid;
-                    let q = dev_queries.read(lane, qid as usize);
-                    lane.instr(12); // MBB + inflation + cell-range setup
-
-                    // getCandidates: rasterise the inflated MBB and gather
-                    // entry positions into U_k.
-                    let mut uk = scratch.take_partition(lane.global_id);
-                    let search_box = q.mbb().inflate(d);
-                    let mut overflow = false;
-                    if !self.fsg.outside(&search_box) {
-                        let range = self.fsg.rasterise(&search_box);
-                        'cells: for (x, y, z) in range.iter() {
-                            let h = self.fsg.linear(x, y, z);
-                            lane.instr(4);
-                            if let Some(ci) = self.find_cell_device(lane, h) {
-                                let r = self.dev_cell_ranges.read(lane, ci);
-                                for ai in r[0]..r[1] {
-                                    let entry_pos = self.dev_lookup.read(lane, ai as usize);
-                                    lane.instr(1);
-                                    if !uk.push(lane, entry_pos) {
-                                        overflow = true;
-                                        break 'cells;
+        let dev_queries = DeviceSegments::upload(&self.device, queries.segments())?;
+        let (matches, comparisons) =
+            if self.device.config().kernel_shape == KernelShape::WarpPerTile {
+                // Host getCandidates scheduling, computed once and reused
+                // across redo rounds (d is fixed for the whole search).
+                let host_start = Instant::now();
+                let ranges: Vec<Vec<[u32; 2]>> = queries
+                    .segments()
+                    .par_iter()
+                    .map(|q| {
+                        let search_box = q.mbb().inflate(d);
+                        let mut rs = Vec::new();
+                        if !self.fsg.outside(&search_box) {
+                            for (x, y, z) in self.fsg.rasterise(&search_box).iter() {
+                                let h = self.fsg.linear(x, y, z);
+                                if let Some(ci) = self.fsg.find_cell(h) {
+                                    let r = self.fsg.cell_ranges[ci];
+                                    if r[0] < r[1] {
+                                        rs.push(r);
                                     }
                                 }
                             }
                         }
-                    }
-                    if overflow {
-                        // Buffer exceeded: abandon; host will re-invoke with
-                        // a larger per-query buffer (lines 10–12 of
-                        // Algorithm 1).
-                        scratch_overflow.store(true, Ordering::Relaxed);
-                        stash.mark_dropped(lane);
-                    } else {
-                        // Refinement over the candidate set (duplicates
-                        // included).
-                        let mut compared = 0u64;
-                        for i in 0..uk.len() {
-                            let entry_pos = uk.read(lane, i);
-                            let entry = self.dev_entries.read(lane, entry_pos as usize);
-                            lane.instr(crate::search::COMPARE_INSTR);
-                            compared += 1;
-                            if let Some(interval) = within_distance(&q, &entry, d) {
-                                if !stash.stage(lane, MatchRecord::new(qid, entry_pos, interval)) {
-                                    break;
-                                }
-                            }
-                        }
-                        comparisons.fetch_add(compared, Ordering::Relaxed);
-                    }
-                    uk_bytes += uk.pending_write_bytes();
-                });
-                // Warp epilogue: flush the staged U_k chunks as coalesced
-                // traffic, commit this warp's matches with one atomic per
-                // stash flush, and queue overflowed queries for redo.
-                warp.gmem_write(uk_bytes);
-                let dropped = stash.commit(warp);
-                if dropped != 0 {
-                    let mut redo_stash = redo.warp_stash();
-                    for (li, &qid) in qids.iter().enumerate().take(warp.lane_count()) {
-                        if dropped & (1 << li) != 0 {
-                            redo_stash.stage_at(li, qid);
-                        }
-                    }
-                    redo_stash.commit(warp);
-                }
-            });
-            report.divergent_warps += launch.divergent_warps as u64;
-            report.totals.add(&launch.totals);
-            report.load.add_launch(&launch);
+                        rs
+                    })
+                    .collect();
+                self.device.charge_host(host_start.elapsed().as_secs_f64());
 
-            let produced = results.len();
-            self.device.charge_download(produced * std::mem::size_of::<MatchRecord>());
-            matches.extend(results.drain_to_host());
-            let redo_ids = redo.drain_to_host();
-            self.device.charge_download(redo_ids.len() * std::mem::size_of::<u32>());
-
-            match redo_schedule.next(redo_ids, batch_len) {
-                NextBatch::Done => break,
-                NextBatch::Stuck => {
-                    // A single query alone cannot complete: the batch was 1,
-                    // so its candidate buffer was the entire budget `s`.
-                    return Err(if scratch_overflow.load(Ordering::Relaxed) {
-                        SearchError::ScratchCapacityTooSmall { capacity: self.config.total_scratch }
-                    } else {
-                        SearchError::ResultCapacityTooSmall { capacity: result_capacity }
-                    });
-                }
-                NextBatch::Ids(ids) => {
-                    report.redo_rounds += 1;
-                    batch_len = ids.len();
-                    batch = Some(self.device.upload(ids)?);
-                }
-            }
-        }
-
-        // Host: duplicate filtering (an entry can be rasterised to several
-        // cells, so the same pair can be reported more than once).
-        let host_start = Instant::now();
-        report.raw_matches = matches.len() as u64;
-        dedup_matches(&mut matches);
-        self.device.charge_host(host_start.elapsed().as_secs_f64());
-
-        report.comparisons = comparisons.into_inner();
-        report.matches = matches.len() as u64;
-        report.response = self.device.ledger();
-        report.wall_seconds = wall_start.elapsed().as_secs_f64();
-        Ok((matches, report))
-    }
-
-    /// [`KernelShape::WarpPerTile`] body of [`GpuSpatialSearch::search`].
-    ///
-    /// `getCandidates` moves to the host: each query's inflated MBB is
-    /// rasterised and binary-searched against `G` once (in parallel over
-    /// host cores, charged as host compute), yielding per-cell lookup
-    /// ranges that are cut into tiles. The kernel then *fuses* gather and
-    /// refine — a lane reads `A[i]`, loads the entry, and compares — so the
-    /// per-query candidate buffer `U_k` disappears along with its overflow
-    /// path: warp-per-tile `GPUSpatial` can never return
-    /// [`SearchError::ScratchCapacityTooSmall`]. Duplicate pairs from
-    /// entries rasterised into several cells are collapsed by the existing
-    /// host dedup, exactly as in the static mapping.
-    fn search_tiles(
-        &self,
-        wall_start: Instant,
-        mut report: SearchReport,
-        queries: &SegmentStore,
-        dev_queries: DeviceBuffer<Segment>,
-        d: f64,
-        result_capacity: usize,
-    ) -> Result<(Vec<MatchRecord>, SearchReport), SearchError> {
-        let tile_size = self.device.config().tile_size;
-        let warp_size = self.device.config().warp_size;
-
-        // Host getCandidates scheduling, computed once and reused across
-        // redo rounds (d is fixed for the whole search).
-        let host_start = Instant::now();
-        let ranges: Vec<Vec<[u32; 2]>> = queries
-            .segments()
-            .par_iter()
-            .map(|q| {
-                let search_box = q.mbb().inflate(d);
-                let mut rs = Vec::new();
-                if !self.fsg.outside(&search_box) {
-                    for (x, y, z) in self.fsg.rasterise(&search_box).iter() {
-                        let h = self.fsg.linear(x, y, z);
-                        if let Some(ci) = self.fsg.find_cell(h) {
-                            let r = self.fsg.cell_ranges[ci];
-                            if r[0] < r[1] {
-                                rs.push(r);
-                            }
-                        }
-                    }
-                }
-                rs
-            })
-            .collect();
-        self.device.charge_host(host_start.elapsed().as_secs_f64());
-
-        let build_tiles = |ids: Option<&[u32]>| -> Vec<Tile> {
-            let host_start = Instant::now();
-            let mut tiles = Vec::new();
-            let mut push = |qid: u32| {
-                for r in &ranges[qid as usize] {
-                    Tile::split_into(&mut tiles, qid, r[0], r[1], 0, tile_size);
-                }
+                let generator =
+                    SpatialTiles { search: self, queries: &dev_queries, ranges: &ranges, d };
+                run_warp_per_tile(
+                    &self.device,
+                    &generator,
+                    queries.len(),
+                    result_capacity,
+                    &mut report,
+                )?
+            } else {
+                let generator = SpatialThreads { search: self, queries: &dev_queries, d };
+                run_thread_per_query(
+                    &self.device,
+                    &generator,
+                    queries.len(),
+                    result_capacity,
+                    &mut report,
+                )?
             };
-            match ids {
-                None => (0..queries.len() as u32).for_each(&mut push),
-                Some(ids) => ids.iter().copied().for_each(&mut push),
-            }
-            self.device.charge_host(host_start.elapsed().as_secs_f64());
-            tiles
-        };
 
-        let mut tiles = build_tiles(None);
-        let mut results = self.device.alloc_result::<MatchRecord>(result_capacity)?;
-        let mut redo = self.device.alloc_result::<u32>(tiles.len().max(1))?;
-
-        let mut matches: Vec<MatchRecord> = Vec::new();
-        let mut batch_len = queries.len();
-        let mut redo_schedule = RedoSchedule::new();
-        let comparisons = AtomicU64::new(0);
-
-        loop {
-            let queue = self.device.work_queue(std::mem::take(&mut tiles))?;
-            let launch = self.device.launch_persistent(&queue, |warp, tile| {
-                let mut stash = results.warp_stash();
-                // Converged: the warp leader reads the query once and
-                // broadcasts it.
-                let q = dev_queries.as_slice()[tile.query as usize];
-                warp.gmem_read(std::mem::size_of::<Segment>() as u64);
-                warp.instr(12); // MBB + inflation + tile setup
-                warp.for_each_lane(|lane| {
-                    let mut compared = 0u64;
-                    let mut i = tile.lo as usize + lane.lane_index();
-                    while i < tile.hi as usize {
-                        // Fused gather + refine: A[i] -> entry -> compare.
-                        let entry_pos = self.dev_lookup.read(lane, i);
-                        lane.instr(1);
-                        let entry = self.dev_entries.read(lane, entry_pos as usize);
-                        lane.instr(crate::search::COMPARE_INSTR);
-                        compared += 1;
-                        if let Some(interval) = within_distance(&q, &entry, d) {
-                            if !stash.stage(lane, MatchRecord::new(tile.query, entry_pos, interval))
-                            {
-                                break;
-                            }
-                        }
-                        i += warp_size;
-                    }
-                    comparisons.fetch_add(compared, Ordering::Relaxed);
-                });
-                let dropped = stash.commit(warp);
-                if dropped != 0 {
-                    let mut redo_stash = redo.warp_stash();
-                    redo_stash.stage_at(0, tile.query);
-                    redo_stash.commit(warp);
-                }
-            });
-            report.divergent_warps += launch.divergent_warps as u64;
-            report.totals.add(&launch.totals);
-            report.load.add_launch(&launch);
-
-            let produced = results.len();
-            self.device.charge_download(produced * std::mem::size_of::<MatchRecord>());
-            matches.extend(results.drain_to_host());
-            let mut redo_ids = redo.drain_to_host();
-            self.device.charge_download(redo_ids.len() * std::mem::size_of::<u32>());
-            redo_ids.sort_unstable();
-            redo_ids.dedup();
-
-            match redo_schedule.next(redo_ids, batch_len) {
-                NextBatch::Done => break,
-                NextBatch::Stuck => {
-                    return Err(SearchError::ResultCapacityTooSmall { capacity: result_capacity })
-                }
-                NextBatch::Ids(ids) => {
-                    report.redo_rounds += 1;
-                    batch_len = ids.len();
-                    tiles = build_tiles(Some(&ids));
-                }
-            }
-        }
-
-        let host_start = Instant::now();
-        report.raw_matches = matches.len() as u64;
-        dedup_matches(&mut matches);
-        self.device.charge_host(host_start.elapsed().as_secs_f64());
-
-        report.comparisons = comparisons.into_inner();
-        report.matches = matches.len() as u64;
-        report.response = self.device.ledger();
-        report.wall_seconds = wall_start.elapsed().as_secs_f64();
-        Ok((matches, report))
+        // No query sorting → no unpermute; the host dedup collapses pairs an
+        // entry rasterised into several cells reported more than once.
+        Ok(finish_search(&self.device, matches, None, comparisons, report, wall_start))
     }
 }
 
-/// Instruction cost of one continuous distance comparison (matches
-/// `tdts-index-temporal`'s kernel cost so schemes are comparable).
-pub(crate) const COMPARE_INSTR: u64 = 48;
+/// Per-round device state of the thread-per-query mapping: the candidate
+/// buffers `U_k` (the budget `s` split across the live batch) and the
+/// sticky overflow flag that turns a stuck redo into
+/// [`SearchError::ScratchCapacityTooSmall`].
+struct SpatialRound {
+    scratch: PartitionedScratch<u32>,
+    overflow: AtomicBool,
+}
+
+/// Thread-per-query candidate generation: device-side `getCandidates` into
+/// `U_k`, then refinement over the gathered positions.
+struct SpatialThreads<'a> {
+    search: &'a GpuSpatialSearch,
+    queries: &'a DeviceSegments,
+    d: f64,
+}
+
+impl KernelContext for SpatialThreads<'_> {
+    fn entries(&self) -> &DeviceSegments {
+        &self.search.dev_entries
+    }
+    fn queries(&self) -> &DeviceSegments {
+        self.queries
+    }
+    fn distance(&self) -> f64 {
+        self.d
+    }
+}
+
+impl CandidateGenerator for SpatialThreads<'_> {
+    type Round = SpatialRound;
+
+    fn begin_round(&self, batch_len: usize) -> Result<SpatialRound, SearchError> {
+        // Candidate buffers: the budget `s` split across this batch.
+        let per_thread = (self.search.config.total_scratch / batch_len).max(1);
+        Ok(SpatialRound {
+            scratch: self.search.device.alloc_scratch::<u32>(batch_len, per_thread)?,
+            overflow: AtomicBool::new(false),
+        })
+    }
+
+    fn run_query(
+        &self,
+        lane: &mut Lane,
+        qid: u32,
+        stash: &mut WarpStash<'_, MatchRecord>,
+        round: &SpatialRound,
+    ) -> LaneWork {
+        let q = load_query(lane, self.queries, qid);
+        lane.instr(12); // MBB + inflation + cell-range setup
+
+        // getCandidates: rasterise the inflated MBB and gather entry
+        // positions into U_k.
+        let mut uk = round.scratch.take_partition(lane.global_id);
+        let search_box = q.mbb().inflate(self.d);
+        let mut overflow = false;
+        if !self.search.fsg.outside(&search_box) {
+            let range = self.search.fsg.rasterise(&search_box);
+            'cells: for (x, y, z) in range.iter() {
+                let h = self.search.fsg.linear(x, y, z);
+                lane.instr(4);
+                if let Some(ci) = self.search.find_cell_device(lane, h) {
+                    let r = self.search.dev_cell_ranges.read(lane, ci);
+                    for ai in r[0]..r[1] {
+                        let entry_pos = self.search.dev_lookup.read(lane, ai as usize);
+                        lane.instr(1);
+                        if !uk.push(lane, entry_pos) {
+                            overflow = true;
+                            break 'cells;
+                        }
+                    }
+                }
+            }
+        }
+        let mut compared = 0u64;
+        if overflow {
+            // Buffer exceeded: abandon; host will re-invoke with a larger
+            // per-query buffer (lines 10–12 of Algorithm 1).
+            round.overflow.store(true, Ordering::Relaxed);
+            stash.mark_dropped(lane);
+        } else {
+            // Refinement over the candidate set (duplicates included).
+            for i in 0..uk.len() {
+                let entry_pos = uk.read(lane, i);
+                compared += 1;
+                if compare_and_stage(
+                    lane,
+                    &self.search.dev_entries,
+                    entry_pos,
+                    &q,
+                    qid,
+                    self.d,
+                    stash,
+                ) == PushOutcome::Overflow
+                {
+                    break;
+                }
+            }
+        }
+        LaneWork { compared, scratch_bytes: uk.pending_write_bytes() }
+    }
+
+    fn end_warp(&self, warp: &mut Warp, _round: &SpatialRound, scratch_bytes: u64) {
+        // Flush the staged U_k chunks as coalesced traffic before the
+        // result commit.
+        warp.gmem_write(scratch_bytes);
+    }
+
+    fn stuck_error(&self, round: &SpatialRound, result_capacity: usize) -> SearchError {
+        // A single query alone cannot complete: the batch was 1, so its
+        // candidate buffer was the entire budget `s`.
+        if round.overflow.load(Ordering::Relaxed) {
+            SearchError::ScratchCapacityTooSmall { capacity: self.search.config.total_scratch }
+        } else {
+            SearchError::ResultCapacityTooSmall { capacity: result_capacity }
+        }
+    }
+}
+
+/// Warp-per-tile decomposition (`getCandidates` moved to the host): each
+/// query's rasterised lookup ranges are cut into tiles and the kernel
+/// *fuses* gather and refine — a lane reads `A[i]`, loads the entry, and
+/// compares — so the per-query candidate buffer `U_k` disappears along with
+/// its overflow path: warp-per-tile `GPUSpatial` can never return
+/// [`SearchError::ScratchCapacityTooSmall`].
+struct SpatialTiles<'a> {
+    search: &'a GpuSpatialSearch,
+    queries: &'a DeviceSegments,
+    ranges: &'a [Vec<[u32; 2]>],
+    d: f64,
+}
+
+impl KernelContext for SpatialTiles<'_> {
+    fn entries(&self) -> &DeviceSegments {
+        &self.search.dev_entries
+    }
+    fn queries(&self) -> &DeviceSegments {
+        self.queries
+    }
+    fn distance(&self) -> f64 {
+        self.d
+    }
+}
+
+impl TileGenerator for SpatialTiles<'_> {
+    fn push_tiles(&self, tiles: &mut Vec<Tile>, qid: u32, tile_size: usize) {
+        for r in &self.ranges[qid as usize] {
+            Tile::split_into(tiles, qid, r[0], r[1], 0, tile_size);
+        }
+    }
+
+    fn tile_setup_instr(&self) -> u64 {
+        12 // MBB + inflation + tile setup
+    }
+
+    fn tile_entry_pos(&self, lane: &mut Lane, _tile: &Tile, i: usize) -> u32 {
+        // Fused gather + refine: A[i] -> entry position.
+        let entry_pos = self.search.dev_lookup.read(lane, i);
+        lane.instr(1);
+        entry_pos
+    }
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tdts_geom::{Point3, SegId, TrajId};
+    use tdts_geom::{dedup_matches, within_distance, Point3, SegId, Segment, TrajId};
     use tdts_gpu_sim::DeviceConfig;
 
     fn seg(x: f64, y: f64, t0: f64, id: u32) -> Segment {

@@ -1,7 +1,7 @@
 //! The spatiotemporal (bins × subbins) index.
 
 use serde::{Deserialize, Serialize};
-use tdts_geom::{Segment, SegmentStore};
+use tdts_geom::{Segment, SegmentStore, StoreStats};
 use tdts_gpu_sim::SearchError;
 use tdts_index_temporal::{TemporalIndex, TemporalIndexConfig};
 
@@ -140,11 +140,26 @@ impl SpatioTemporalIndex {
         store: &SegmentStore,
         config: SpatioTemporalIndexConfig,
     ) -> Result<SpatioTemporalIndex, SearchError> {
+        let stats = store.stats().ok_or(SearchError::EmptyDataset)?;
+        SpatioTemporalIndex::build_with_stats(store, &stats, config)
+    }
+
+    /// [`build`](SpatioTemporalIndex::build) with the store's [`StoreStats`]
+    /// supplied by the caller, so one stats scan can be shared across every
+    /// index built on the same store.
+    pub fn build_with_stats(
+        store: &SegmentStore,
+        stats: &StoreStats,
+        config: SpatioTemporalIndexConfig,
+    ) -> Result<SpatioTemporalIndex, SearchError> {
         if config.subbins < 1 {
             return Err(SearchError::InvalidConfig("need at least one subbin".into()));
         }
-        let temporal = TemporalIndex::build(store, TemporalIndexConfig { bins: config.bins })?;
-        let stats = store.stats().ok_or(SearchError::EmptyDataset)?;
+        let temporal = TemporalIndex::build_with_stats(
+            store,
+            stats,
+            TemporalIndexConfig { bins: config.bins },
+        )?;
         let m = config.bins;
 
         // Cap v by the constraint v <= extent / max_segment_extent in every

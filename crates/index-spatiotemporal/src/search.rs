@@ -1,16 +1,24 @@
 //! The `GPUSpatioTemporal` search driver and kernel (Algorithm 3).
+//!
+//! The kernel skeleton (candidate iteration → refinement → warp-stash
+//! commit → redo) lives in [`tdts_kernels`]; this module contributes the
+//! selector machinery: the per-query schedule entry choosing one of the
+//! `X`/`Y`/`Z` id arrays (or the temporal fallback), the selector-sorted,
+//! warp-padded execution order (thread-per-query), and selector-tagged
+//! tiles (warp-per-tile).
 
 use crate::index::{ScheduleEntry, Selector, SpatioTemporalIndex, SpatioTemporalIndexConfig};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use tdts_geom::{dedup_matches, MatchRecord, Segment, SegmentStore};
+use tdts_geom::{MatchRecord, SegmentStore, StoreStats};
 use tdts_gpu_sim::{
-    Device, DeviceBuffer, KernelShape, NextBatch, RedoSchedule, SearchError, SearchReport, Tile,
-    MAX_WARP_LANES,
+    Device, DeviceBuffer, KernelShape, Lane, SearchError, SearchReport, Tile, WarpStash,
 };
-use tdts_index_temporal::kernel::{compare_and_stage, load_query, PushOutcome, SCHEDULE_INSTR};
-use tdts_index_temporal::search::SortedQueries;
+use tdts_kernels::{
+    compare_and_stage, finish_search, load_query, run_thread_per_query, run_warp_per_tile,
+    CandidateGenerator, DeviceSegments, KernelContext, LaneWork, PushOutcome, SortedQueries,
+    TileGenerator, SCHEDULE_INSTR,
+};
 
 /// High bit of an execution-order slot: the lane is warp-alignment padding
 /// (the low bits carry the selector so the lane stays on its group's path).
@@ -42,7 +50,7 @@ pub struct GpuSpatioTemporalSearch {
     device: Arc<Device>,
     index: SpatioTemporalIndex,
     config: SpatioTemporalIndexConfig,
-    dev_entries: DeviceBuffer<Segment>,
+    dev_entries: DeviceSegments,
     /// The `X`, `Y`, `Z` id arrays on the device.
     dev_arrays: [DeviceBuffer<u32>; 3],
 }
@@ -55,8 +63,21 @@ impl GpuSpatioTemporalSearch {
         store: &SegmentStore,
         config: SpatioTemporalIndexConfig,
     ) -> Result<GpuSpatioTemporalSearch, SearchError> {
-        let index = SpatioTemporalIndex::build(store, config)?;
-        let dev_entries = device.alloc_from_host(store.segments().to_vec())?;
+        let stats = store.stats().ok_or(SearchError::EmptyDataset)?;
+        GpuSpatioTemporalSearch::new_with_stats(device, store, &stats, config)
+    }
+
+    /// [`new`](GpuSpatioTemporalSearch::new) with the store's
+    /// [`StoreStats`] supplied by the caller, sharing one stats scan across
+    /// methods.
+    pub fn new_with_stats(
+        device: Arc<Device>,
+        store: &SegmentStore,
+        stats: &StoreStats,
+        config: SpatioTemporalIndexConfig,
+    ) -> Result<GpuSpatioTemporalSearch, SearchError> {
+        let index = SpatioTemporalIndex::build_with_stats(store, stats, config)?;
+        let dev_entries = DeviceSegments::alloc(&device, store.segments())?;
         let dev_arrays = [
             device.alloc_from_host(index.arrays[0].clone())?,
             device.alloc_from_host(index.arrays[1].clone())?,
@@ -129,277 +150,175 @@ impl GpuSpatioTemporalSearch {
             return Ok((Vec::new(), report));
         }
 
-        // Online transfers: Q, S, and the execution order.
-        let dev_queries = self.device.upload(sorted.segments.clone())?;
-        if wpt {
-            return self.search_tiles(
-                wall_start,
-                report,
-                &sorted,
-                &schedule,
-                dev_queries,
+        // Online transfers: Q, plus (thread-per-query only) S and the
+        // execution order.
+        let dev_queries = DeviceSegments::upload(&self.device, &sorted.segments)?;
+        let (matches, comparisons) = if wpt {
+            let generator =
+                SpatioTemporalTiles { search: self, queries: &dev_queries, schedule: &schedule, d };
+            run_warp_per_tile(&self.device, &generator, sorted.len(), result_capacity, &mut report)?
+        } else {
+            let generator = SpatioTemporalThreads {
+                search: self,
+                queries: &dev_queries,
+                schedule: self.device.upload(schedule.clone())?,
+                exec: self.device.upload(exec_order.clone())?,
+                exec_len: exec_order.len(),
                 d,
+            };
+            run_thread_per_query(
+                &self.device,
+                &generator,
+                sorted.len(),
                 result_capacity,
-            );
-        }
-        let dev_schedule = self.device.upload(schedule.clone())?;
-        let dev_exec = self.device.upload(exec_order.clone())?;
-        let mut results = self.device.alloc_result::<MatchRecord>(result_capacity)?;
-        let mut redo = self.device.alloc_result::<u32>(sorted.len())?;
-
-        let mut matches: Vec<MatchRecord> = Vec::new();
-        let mut batch: Option<DeviceBuffer<u32>> = None;
-        // Real queries in flight (redo accounting); the first round launches
-        // one thread per *slot* of the padded execution order.
-        let mut batch_len = sorted.len();
-        let mut launch_threads = exec_order.len();
-        let mut redo_schedule = RedoSchedule::new();
-        let comparisons = AtomicU64::new(0);
-
-        loop {
-            let launch = self.device.launch_warps(launch_threads, |warp| {
-                let mut stash = results.warp_stash();
-                let mut qids = [0u32; MAX_WARP_LANES];
-                warp.for_each_lane(|lane| {
-                    let code = match &batch {
-                        None => dev_exec.read(lane, lane.global_id),
-                        Some(ids) => ids.read(lane, lane.global_id),
-                    };
-                    if code & IDLE_LANE != 0 {
-                        // Warp-alignment padding: take the same control path
-                        // as the surrounding selector group and retire
-                        // (before staging anything, so the lane can never
-                        // appear in the dropped mask).
-                        lane.set_path((code & !IDLE_LANE) as u64);
-                        return;
-                    }
-                    let qid = code;
-                    qids[lane.lane_index()] = qid;
-                    let entry = dev_schedule.read(lane, qid as usize);
-                    lane.instr(SCHEDULE_INSTR);
-                    let selector = entry[0];
-                    // Control-flow divergence: lanes with different selectors
-                    // serialise (the reason the schedule is selector-sorted).
-                    lane.set_path(selector as u64);
-                    if selector == 4 {
-                        return; // no temporally overlapping entries
-                    }
-                    let q = load_query(lane, &dev_queries, qid);
-                    let mut compared = 0u64;
-                    for i in entry[1]..entry[2] {
-                        // Selector 0–2: one indirection through X/Y/Z.
-                        // Selector 3: positions are direct (temporal
-                        // fallback).
-                        let entry_pos = if selector <= 2 {
-                            self.dev_arrays[selector as usize].read(lane, i as usize)
-                        } else {
-                            i
-                        };
-                        compared += 1;
-                        if compare_and_stage(
-                            lane,
-                            &self.dev_entries,
-                            entry_pos,
-                            &q,
-                            qid,
-                            d,
-                            &mut stash,
-                        ) == PushOutcome::Overflow
-                        {
-                            break;
-                        }
-                    }
-                    comparisons.fetch_add(compared, Ordering::Relaxed);
-                });
-                // Warp epilogue: one cursor fetch-add per stash flush, then
-                // queue any overflowed lanes' queries for redo.
-                let dropped = stash.commit(warp);
-                if dropped != 0 {
-                    let mut redo_stash = redo.warp_stash();
-                    for (li, &qid) in qids.iter().enumerate().take(warp.lane_count()) {
-                        if dropped & (1 << li) != 0 {
-                            redo_stash.stage_at(li, qid);
-                        }
-                    }
-                    redo_stash.commit(warp);
-                }
-            });
-            report.divergent_warps += launch.divergent_warps as u64;
-            report.totals.add(&launch.totals);
-            report.load.add_launch(&launch);
-
-            let produced = results.len();
-            self.device.charge_download(produced * std::mem::size_of::<MatchRecord>());
-            matches.extend(results.drain_to_host());
-            let redo_ids = redo.drain_to_host();
-            self.device.charge_download(redo_ids.len() * std::mem::size_of::<u32>());
-
-            match redo_schedule.next(redo_ids, batch_len) {
-                NextBatch::Done => break,
-                NextBatch::Stuck => {
-                    return Err(SearchError::ResultCapacityTooSmall { capacity: result_capacity })
-                }
-                NextBatch::Ids(ids) => {
-                    report.redo_rounds += 1;
-                    batch_len = ids.len();
-                    launch_threads = ids.len();
-                    batch = Some(self.device.upload(ids)?);
-                }
-            }
-        }
+                &mut report,
+            )?
+        };
 
         // Host postprocessing. Single-subbin lookups produce no duplicates;
         // dedup still runs to canonicalise order and to collapse duplicates
         // from redone queries.
-        let host_start = Instant::now();
-        report.raw_matches = matches.len() as u64;
-        sorted.unpermute(&mut matches);
-        dedup_matches(&mut matches);
-        self.device.charge_host(host_start.elapsed().as_secs_f64());
+        Ok(finish_search(&self.device, matches, Some(&sorted), comparisons, report, wall_start))
+    }
+}
 
-        report.comparisons = comparisons.into_inner();
-        report.matches = matches.len() as u64;
-        report.response = self.device.ledger();
-        report.wall_seconds = wall_start.elapsed().as_secs_f64();
-        Ok((matches, report))
+/// Thread-per-query candidate generation: the first round launches one
+/// thread per *slot* of the padded execution order; each live lane reads its
+/// schedule entry, takes its selector's control path, and walks the chosen
+/// id array (or the direct temporal range).
+struct SpatioTemporalThreads<'a> {
+    search: &'a GpuSpatioTemporalSearch,
+    queries: &'a DeviceSegments,
+    schedule: DeviceBuffer<[u32; 4]>,
+    exec: DeviceBuffer<u32>,
+    exec_len: usize,
+    d: f64,
+}
+
+impl KernelContext for SpatioTemporalThreads<'_> {
+    fn entries(&self) -> &DeviceSegments {
+        &self.search.dev_entries
+    }
+    fn queries(&self) -> &DeviceSegments {
+        self.queries
+    }
+    fn distance(&self) -> f64 {
+        self.d
+    }
+}
+
+impl CandidateGenerator for SpatioTemporalThreads<'_> {
+    type Round = ();
+
+    fn begin_round(&self, _batch_len: usize) -> Result<(), SearchError> {
+        Ok(())
     }
 
-    /// [`KernelShape::WarpPerTile`] body of
-    /// [`GpuSpatioTemporalSearch::search`]: each schedule entry's candidate
-    /// range is split into tiles tagged with the entry's selector, so every
-    /// warp works one selector at a time — selector homogeneity by
-    /// construction, with no execution-order sort or idle-lane padding.
-    /// Selector 4 (no temporally overlapping entries) contributes no tiles.
-    #[allow(clippy::too_many_arguments)]
-    fn search_tiles(
+    fn first_round_threads(&self, _n_queries: usize) -> usize {
+        self.exec_len
+    }
+
+    fn first_round_slot(&self, lane: &mut Lane) -> u32 {
+        self.exec.read(lane, lane.global_id)
+    }
+
+    fn decode_slot(&self, lane: &mut Lane, code: u32) -> Option<u32> {
+        if code & IDLE_LANE != 0 {
+            // Warp-alignment padding: take the same control path as the
+            // surrounding selector group and retire (before staging
+            // anything, so the lane can never appear in the dropped mask).
+            lane.set_path((code & !IDLE_LANE) as u64);
+            return None;
+        }
+        Some(code)
+    }
+
+    fn run_query(
         &self,
-        wall_start: Instant,
-        mut report: SearchReport,
-        sorted: &SortedQueries,
-        schedule: &[[u32; 4]],
-        dev_queries: DeviceBuffer<Segment>,
-        d: f64,
-        result_capacity: usize,
-    ) -> Result<(Vec<MatchRecord>, SearchReport), SearchError> {
-        let tile_size = self.device.config().tile_size;
-        let warp_size = self.device.config().warp_size;
-
-        let build_tiles = |ids: Option<&[u32]>| -> Vec<Tile> {
-            let host_start = Instant::now();
-            let mut tiles = Vec::new();
-            let mut push = |qid: u32| {
-                let e = schedule[qid as usize];
-                if e[0] == 4 {
-                    return; // no temporally overlapping entries
-                }
-                Tile::split_into(&mut tiles, qid, e[1], e[2], e[0], tile_size);
+        lane: &mut Lane,
+        qid: u32,
+        stash: &mut WarpStash<'_, MatchRecord>,
+        _round: &(),
+    ) -> LaneWork {
+        let entry = self.schedule.read(lane, qid as usize);
+        lane.instr(SCHEDULE_INSTR);
+        let selector = entry[0];
+        // Control-flow divergence: lanes with different selectors serialise
+        // (the reason the schedule is selector-sorted).
+        lane.set_path(selector as u64);
+        if selector == 4 {
+            return LaneWork::default(); // no temporally overlapping entries
+        }
+        let q = load_query(lane, self.queries, qid);
+        let mut compared = 0u64;
+        for i in entry[1]..entry[2] {
+            // Selector 0–2: one indirection through X/Y/Z. Selector 3:
+            // positions are direct (temporal fallback).
+            let entry_pos = if selector <= 2 {
+                self.search.dev_arrays[selector as usize].read(lane, i as usize)
+            } else {
+                i
             };
-            match ids {
-                None => (0..sorted.len() as u32).for_each(&mut push),
-                Some(ids) => ids.iter().copied().for_each(&mut push),
-            }
-            self.device.charge_host(host_start.elapsed().as_secs_f64());
-            tiles
-        };
-
-        let mut tiles = build_tiles(None);
-        let mut results = self.device.alloc_result::<MatchRecord>(result_capacity)?;
-        let mut redo = self.device.alloc_result::<u32>(tiles.len().max(1))?;
-
-        let mut matches: Vec<MatchRecord> = Vec::new();
-        let mut batch_len = sorted.len();
-        let mut redo_schedule = RedoSchedule::new();
-        let comparisons = AtomicU64::new(0);
-
-        loop {
-            let queue = self.device.work_queue(std::mem::take(&mut tiles))?;
-            let launch = self.device.launch_persistent(&queue, |warp, tile| {
-                let mut stash = results.warp_stash();
-                let selector = tile.tag as usize;
-                // Converged: the warp leader reads the query once and
-                // broadcasts it.
-                let q = dev_queries.as_slice()[tile.query as usize];
-                warp.gmem_read(std::mem::size_of::<Segment>() as u64);
-                warp.instr(SCHEDULE_INSTR);
-                warp.for_each_lane(|lane| {
-                    let mut compared = 0u64;
-                    let mut i = tile.lo as usize + lane.lane_index();
-                    while i < tile.hi as usize {
-                        // Selector 0–2: one indirection through X/Y/Z.
-                        // Selector 3: positions are direct (temporal
-                        // fallback).
-                        let entry_pos = if selector <= 2 {
-                            self.dev_arrays[selector].read(lane, i)
-                        } else {
-                            i as u32
-                        };
-                        compared += 1;
-                        if compare_and_stage(
-                            lane,
-                            &self.dev_entries,
-                            entry_pos,
-                            &q,
-                            tile.query,
-                            d,
-                            &mut stash,
-                        ) == PushOutcome::Overflow
-                        {
-                            break;
-                        }
-                        i += warp_size;
-                    }
-                    comparisons.fetch_add(compared, Ordering::Relaxed);
-                });
-                let dropped = stash.commit(warp);
-                if dropped != 0 {
-                    let mut redo_stash = redo.warp_stash();
-                    redo_stash.stage_at(0, tile.query);
-                    redo_stash.commit(warp);
-                }
-            });
-            report.divergent_warps += launch.divergent_warps as u64;
-            report.totals.add(&launch.totals);
-            report.load.add_launch(&launch);
-
-            let produced = results.len();
-            self.device.charge_download(produced * std::mem::size_of::<MatchRecord>());
-            matches.extend(results.drain_to_host());
-            let mut redo_ids = redo.drain_to_host();
-            self.device.charge_download(redo_ids.len() * std::mem::size_of::<u32>());
-            redo_ids.sort_unstable();
-            redo_ids.dedup();
-
-            match redo_schedule.next(redo_ids, batch_len) {
-                NextBatch::Done => break,
-                NextBatch::Stuck => {
-                    return Err(SearchError::ResultCapacityTooSmall { capacity: result_capacity })
-                }
-                NextBatch::Ids(ids) => {
-                    report.redo_rounds += 1;
-                    batch_len = ids.len();
-                    tiles = build_tiles(Some(&ids));
-                }
+            compared += 1;
+            if compare_and_stage(lane, &self.search.dev_entries, entry_pos, &q, qid, self.d, stash)
+                == PushOutcome::Overflow
+            {
+                break;
             }
         }
+        LaneWork { compared, scratch_bytes: 0 }
+    }
+}
 
-        let host_start = Instant::now();
-        report.raw_matches = matches.len() as u64;
-        sorted.unpermute(&mut matches);
-        dedup_matches(&mut matches);
-        self.device.charge_host(host_start.elapsed().as_secs_f64());
+/// Warp-per-tile decomposition: each schedule entry's candidate range is
+/// split into tiles tagged with the entry's selector, so every warp works
+/// one selector at a time — selector homogeneity by construction, with no
+/// execution-order sort or idle-lane padding. Selector 4 (no temporally
+/// overlapping entries) contributes no tiles.
+struct SpatioTemporalTiles<'a> {
+    search: &'a GpuSpatioTemporalSearch,
+    queries: &'a DeviceSegments,
+    schedule: &'a [[u32; 4]],
+    d: f64,
+}
 
-        report.comparisons = comparisons.into_inner();
-        report.matches = matches.len() as u64;
-        report.response = self.device.ledger();
-        report.wall_seconds = wall_start.elapsed().as_secs_f64();
-        Ok((matches, report))
+impl KernelContext for SpatioTemporalTiles<'_> {
+    fn entries(&self) -> &DeviceSegments {
+        &self.search.dev_entries
+    }
+    fn queries(&self) -> &DeviceSegments {
+        self.queries
+    }
+    fn distance(&self) -> f64 {
+        self.d
+    }
+}
+
+impl TileGenerator for SpatioTemporalTiles<'_> {
+    fn push_tiles(&self, tiles: &mut Vec<Tile>, qid: u32, tile_size: usize) {
+        let e = self.schedule[qid as usize];
+        if e[0] == 4 {
+            return; // no temporally overlapping entries
+        }
+        Tile::split_into(tiles, qid, e[1], e[2], e[0], tile_size);
+    }
+
+    fn tile_entry_pos(&self, lane: &mut Lane, tile: &Tile, i: usize) -> u32 {
+        // Selector 0–2: one indirection through X/Y/Z. Selector 3:
+        // positions are direct (temporal fallback).
+        let selector = tile.tag as usize;
+        if selector <= 2 {
+            self.search.dev_arrays[selector].read(lane, i)
+        } else {
+            i as u32
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tdts_geom::{within_distance, Point3, SegId, TrajId};
+    use tdts_geom::{dedup_matches, within_distance, Point3, SegId, Segment, TrajId};
     use tdts_gpu_sim::DeviceConfig;
 
     fn seg(x: f64, t0: f64, id: u32) -> Segment {

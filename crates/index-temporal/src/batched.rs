@@ -1,4 +1,4 @@
-//! The predecessor algorithm (the paper's reference [22]): the query set
+//! The predecessor algorithm (the paper's reference \[22\]): the query set
 //! does **not** fit in GPU memory, so it is streamed through the device in
 //! fixed-size batches — upload batch, run the kernel, download its results —
 //! with transfers overlapping the previous batch's kernel.
@@ -11,13 +11,13 @@
 //! target).
 
 use crate::index::{TemporalIndex, TemporalIndexConfig};
-use crate::kernel::{compare_and_stage, load_query, PushOutcome, SCHEDULE_INSTR};
 use crate::search::{SortedQueries, TemporalSchedule};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use tdts_geom::{dedup_matches, MatchRecord, Segment, SegmentStore};
+use tdts_geom::{dedup_matches, MatchRecord, SegmentStore, StoreStats};
 use tdts_gpu_sim::{pipeline_makespan, Device, Phase, SearchError, SearchReport};
+use tdts_kernels::{compare_and_stage, load_query, DeviceSegments, PushOutcome, SCHEDULE_INSTR};
 
 /// Batched search parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,11 +74,11 @@ impl BatchedConfigBuilder {
     }
 }
 
-/// The streamed-query-set search of [22], on the same temporal index.
+/// The streamed-query-set search of \[22\], on the same temporal index.
 pub struct GpuBatchedTemporalSearch {
     device: Arc<Device>,
     index: TemporalIndex,
-    dev_entries: tdts_gpu_sim::DeviceBuffer<Segment>,
+    dev_entries: DeviceSegments,
     config: BatchedConfig,
 }
 
@@ -89,11 +89,24 @@ impl GpuBatchedTemporalSearch {
         store: &SegmentStore,
         config: BatchedConfig,
     ) -> Result<GpuBatchedTemporalSearch, SearchError> {
+        let stats = store.stats().ok_or(SearchError::EmptyDataset)?;
+        GpuBatchedTemporalSearch::new_with_stats(device, store, &stats, config)
+    }
+
+    /// [`new`](GpuBatchedTemporalSearch::new) with the store's
+    /// [`StoreStats`] supplied by the caller, sharing one stats scan across
+    /// methods.
+    pub fn new_with_stats(
+        device: Arc<Device>,
+        store: &SegmentStore,
+        stats: &StoreStats,
+        config: BatchedConfig,
+    ) -> Result<GpuBatchedTemporalSearch, SearchError> {
         if config.batch_size < 1 {
             return Err(SearchError::InvalidConfig("batch size must be at least one query".into()));
         }
-        let index = TemporalIndex::build(store, config.index)?;
-        let dev_entries = device.alloc_from_host(store.segments().to_vec())?;
+        let index = TemporalIndex::build_with_stats(store, stats, config.index)?;
+        let dev_entries = DeviceSegments::alloc(&device, store.segments())?;
         Ok(GpuBatchedTemporalSearch { device, index, dev_entries, config })
     }
 
@@ -101,7 +114,7 @@ impl GpuBatchedTemporalSearch {
     ///
     /// The returned report's `response` contains the *sum* of all phases as
     /// usual; additionally the pipelined makespan — modelling upload(i+1)
-    /// overlapping kernel(i) overlapping download(i−1), which is how [22]
+    /// overlapping kernel(i) overlapping download(i−1), which is how \[22\]
     /// hides transfer latency — is reported in `wall_seconds`' sibling field
     /// via [`SearchReport::response`]'s total being replaced by the makespan
     /// plus host time. In short: `response_seconds()` is the *overlapped*
@@ -138,16 +151,15 @@ impl GpuBatchedTemporalSearch {
         let mut current_batch = self.config.batch_size;
         while start < n {
             let end = (start + current_batch).min(n);
-            let batch: Vec<Segment> = sorted.segments[start..end].to_vec();
             let batch_schedule: Vec<[u32; 2]> = schedule.ranges[start..end].to_vec();
-            let upload_bytes = batch.len() * std::mem::size_of::<Segment>()
-                + batch_schedule.len() * std::mem::size_of::<[u32; 2]>();
-            let upload_secs = self.device.config().h2d_seconds(upload_bytes);
 
             // The batch replaces the previous one on the device (this is the
-            // point of batching: bounded query memory).
-            let dev_batch = self.device.upload(batch)?;
+            // point of batching: bounded query memory). The upload charges
+            // exactly the bytes the segment layout ships.
+            let dev_batch = DeviceSegments::upload(&self.device, &sorted.segments[start..end])?;
             let dev_schedule = self.device.upload(batch_schedule)?;
+            let upload_bytes = dev_batch.size_bytes() + dev_schedule.size_bytes();
+            let upload_secs = self.device.config().h2d_seconds(upload_bytes);
             let base = start as u32;
 
             let launch = self.device.launch_warps(dev_batch.len(), |warp| {
@@ -236,7 +248,7 @@ impl GpuBatchedTemporalSearch {
 mod tests {
     use super::*;
     use crate::GpuTemporalSearch;
-    use tdts_geom::{within_distance, Point3, SegId, TrajId};
+    use tdts_geom::{within_distance, Point3, SegId, Segment, TrajId};
     use tdts_gpu_sim::DeviceConfig;
 
     fn seg(x: f64, t0: f64, id: u32) -> Segment {

@@ -1,7 +1,7 @@
 //! The temporal bin index.
 
 use serde::{Deserialize, Serialize};
-use tdts_geom::{Segment, SegmentStore};
+use tdts_geom::{Segment, SegmentStore, StoreStats};
 use tdts_gpu_sim::SearchError;
 
 /// Temporal index parameters.
@@ -94,10 +94,24 @@ impl TemporalIndex {
         store: &SegmentStore,
         config: TemporalIndexConfig,
     ) -> Result<TemporalIndex, SearchError> {
+        let stats = store.stats().ok_or(SearchError::EmptyDataset)?;
+        TemporalIndex::build_with_stats(store, &stats, config)
+    }
+
+    /// [`build`](TemporalIndex::build) with the store's [`StoreStats`]
+    /// supplied by the caller, so one stats scan can be shared across every
+    /// index built on the same store.
+    pub fn build_with_stats(
+        store: &SegmentStore,
+        stats: &StoreStats,
+        config: TemporalIndexConfig,
+    ) -> Result<TemporalIndex, SearchError> {
         if config.bins < 1 {
             return Err(SearchError::InvalidConfig("need at least one temporal bin".into()));
         }
-        let stats = store.stats().ok_or(SearchError::EmptyDataset)?;
+        if store.is_empty() {
+            return Err(SearchError::EmptyDataset);
+        }
         if !store.is_sorted_by_t_start() {
             return Err(SearchError::UnsortedDataset);
         }

@@ -1,166 +1,10 @@
-//! Device-side helpers shared by the GPU search kernels.
+//! Device-side kernel helpers, re-exported from [`tdts_kernels`].
 //!
-//! These wrap the `compare()` refinement of Algorithms 1–3 with the cost
-//! accounting the simulator needs: reading a segment charges global memory,
-//! the quadratic solve charges a fixed instruction count, and a match is
-//! staged into the warp's result stash (committed per warp, or appended
-//! per record when the device runs in per-lane mode).
+//! The compare/stage primitives started life in this module and moved to
+//! the shared `tdts-kernels` crate when all four search methods were
+//! rebuilt on one kernel pipeline; this shim keeps the historical paths
+//! (`tdts_index_temporal::kernel::*`) working.
 
-use tdts_geom::{within_distance, MatchRecord, Segment};
-use tdts_gpu_sim::{DeviceBuffer, Lane, WarpStash};
-
-/// Instruction cost of one continuous distance comparison (quadratic
-/// coefficient computation + root solve + interval clamp).
-pub const COMPARE_INSTR: u64 = 48;
-
-/// Instruction cost of reading a schedule entry / index arithmetic.
-pub const SCHEDULE_INSTR: u64 = 4;
-
-/// Outcome of [`compare_and_stage`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum PushOutcome {
-    /// Within distance; result stored (or staged for the warp commit).
-    Stored,
-    /// Within distance but the result buffer was full (per-lane mode only;
-    /// warp-aggregated staging never rejects — overflow surfaces at commit).
-    Overflow,
-    /// Not within distance.
-    NoMatch,
-}
-
-/// Read the query segment assigned to this thread, charging the access.
-#[inline]
-pub fn load_query(lane: &mut Lane, queries: &DeviceBuffer<Segment>, query_pos: u32) -> Segment {
-    queries.read(lane, query_pos as usize)
-}
-
-/// Compare entry `entry_pos` against query `q` and stage a result record on
-/// a hit — one iteration of the refinement loop of Algorithms 1–3.
-#[inline]
-pub fn compare_and_stage(
-    lane: &mut Lane,
-    entries: &DeviceBuffer<Segment>,
-    entry_pos: u32,
-    q: &Segment,
-    query_pos: u32,
-    d: f64,
-    stash: &mut WarpStash<'_, MatchRecord>,
-) -> PushOutcome {
-    let entry = entries.read(lane, entry_pos as usize);
-    lane.instr(COMPARE_INSTR);
-    match within_distance(q, &entry, d) {
-        Some(interval) => {
-            if stash.stage(lane, MatchRecord::new(query_pos, entry_pos, interval)) {
-                PushOutcome::Stored
-            } else {
-                PushOutcome::Overflow
-            }
-        }
-        None => PushOutcome::NoMatch,
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::Arc;
-    use tdts_geom::{Point3, SegId, TrajId};
-    use tdts_gpu_sim::{Device, DeviceConfig, ResultWriteMode, Warp};
-
-    fn seg(x: f64) -> Segment {
-        Segment::new(
-            Point3::new(x, 0.0, 0.0),
-            Point3::new(x + 1.0, 0.0, 0.0),
-            0.0,
-            1.0,
-            SegId(0),
-            TrajId(0),
-        )
-    }
-
-    fn device(mode: ResultWriteMode) -> Arc<Device> {
-        let mut c = DeviceConfig::test_tiny();
-        c.result_write_mode = mode;
-        Device::new(c).unwrap()
-    }
-
-    #[test]
-    fn outcomes_per_lane() {
-        let dev = device(ResultWriteMode::PerLane);
-        let entries = dev.alloc_from_host(vec![seg(0.0), seg(100.0)]).unwrap();
-        let results = dev.alloc_result::<MatchRecord>(1).unwrap();
-        let mut warp = Warp::standalone(1);
-        warp.for_each_lane(|lane| {
-            let mut stash = results.warp_stash();
-            let q = seg(0.5);
-            assert_eq!(
-                compare_and_stage(lane, &entries, 0, &q, 7, 2.0, &mut stash),
-                PushOutcome::Stored
-            );
-            assert_eq!(
-                compare_and_stage(lane, &entries, 1, &q, 7, 2.0, &mut stash),
-                PushOutcome::NoMatch
-            );
-            // Buffer now full; a second hit overflows.
-            assert_eq!(
-                compare_and_stage(lane, &entries, 0, &q, 7, 2.0, &mut stash),
-                PushOutcome::Overflow
-            );
-            assert!(results.overflowed());
-            // Costs were charged per record.
-            assert!(lane.counters().instructions >= 3 * COMPARE_INSTR);
-            assert!(lane.counters().gmem_read_bytes >= 3 * std::mem::size_of::<Segment>() as u64);
-            assert_eq!(lane.counters().atomics, 2);
-        });
-    }
-
-    #[test]
-    fn outcomes_warp_aggregated() {
-        let dev = device(ResultWriteMode::WarpAggregated);
-        let entries = dev.alloc_from_host(vec![seg(0.0), seg(100.0)]).unwrap();
-        let mut results = dev.alloc_result::<MatchRecord>(8).unwrap();
-        let mut warp = Warp::standalone(1);
-        {
-            let mut stash = results.warp_stash();
-            warp.for_each_lane(|lane| {
-                let q = seg(0.5);
-                // Staging never reports overflow and costs no lane atomics.
-                assert_eq!(
-                    compare_and_stage(lane, &entries, 0, &q, 7, 2.0, &mut stash),
-                    PushOutcome::Stored
-                );
-                assert_eq!(
-                    compare_and_stage(lane, &entries, 1, &q, 7, 2.0, &mut stash),
-                    PushOutcome::NoMatch
-                );
-                assert_eq!(
-                    compare_and_stage(lane, &entries, 0, &q, 7, 2.0, &mut stash),
-                    PushOutcome::Stored
-                );
-                assert_eq!(lane.counters().atomics, 0);
-            });
-            assert_eq!(stash.commit(&mut warp), 0);
-        }
-        // One warp flush for both records.
-        assert_eq!(warp.counters().atomics, 1);
-        assert_eq!(results.drain_to_host().len(), 2);
-    }
-
-    #[test]
-    fn stored_record_is_correct() {
-        let dev = device(ResultWriteMode::PerLane);
-        let entries = dev.alloc_from_host(vec![seg(0.0)]).unwrap();
-        let mut results = dev.alloc_result::<MatchRecord>(8).unwrap();
-        let mut warp = Warp::standalone(1);
-        warp.for_each_lane(|lane| {
-            let mut stash = results.warp_stash();
-            let q = seg(0.0);
-            compare_and_stage(lane, &entries, 0, &q, 3, 0.5, &mut stash);
-        });
-        let got = results.drain_to_host();
-        assert_eq!(got.len(), 1);
-        assert_eq!(got[0].query, 3);
-        assert_eq!(got[0].entry, 0);
-        assert_eq!(got[0].interval, tdts_geom::TimeInterval::new(0.0, 1.0));
-    }
-}
+pub use tdts_kernels::{
+    compare, compare_and_stage, load_query, PushOutcome, COMPARE_INSTR, SCHEDULE_INSTR,
+};

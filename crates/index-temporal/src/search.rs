@@ -1,58 +1,22 @@
 //! The `GPUTemporal` search driver (host side) and kernel (Algorithm 2).
+//!
+//! The kernel skeleton (candidate iteration → refinement → warp-stash
+//! commit → redo) lives in [`tdts_kernels`]; this module contributes only
+//! what is specific to the method: the host-computed schedule `S` of
+//! contiguous candidate ranges, and the generators that walk it.
 
 use crate::index::{TemporalIndex, TemporalIndexConfig};
-use crate::kernel::{compare_and_stage, load_query, PushOutcome, SCHEDULE_INSTR};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use tdts_geom::{dedup_matches, MatchRecord, Segment, SegmentStore};
-use tdts_gpu_sim::{
-    Device, DeviceBuffer, KernelShape, NextBatch, RedoSchedule, SearchError, SearchReport, Tile,
-    MAX_WARP_LANES,
+use tdts_geom::{dedup_matches, MatchRecord, SegmentStore, StoreStats};
+use tdts_gpu_sim::{Device, DeviceBuffer, KernelShape, Lane, SearchError, SearchReport, Tile};
+pub use tdts_kernels::SortedQueries;
+use tdts_kernels::{
+    compare, compare_and_stage, finish_search, load_query, run_thread_per_query, run_warp_per_tile,
+    CandidateGenerator, DeviceSegments, KernelContext, LaneWork, PushOutcome, TileGenerator,
+    SCHEDULE_INSTR,
 };
-
-/// A query set sorted by non-decreasing `t_start`, with the permutation
-/// back to original positions (results are reported against the caller's
-/// ordering). Shared by the temporal and spatiotemporal drivers.
-#[derive(Debug, Clone)]
-pub struct SortedQueries {
-    /// Query segments in sorted order.
-    pub segments: Vec<Segment>,
-    /// `original_pos[sorted_idx]` = position in the caller's query store.
-    pub original_pos: Vec<u32>,
-}
-
-impl SortedQueries {
-    /// Sort a query store by `t_start` (stable). Uses IEEE total order, so
-    /// a NaN timestamp sorts to the end instead of aborting the search.
-    pub fn from_store(queries: &SegmentStore) -> SortedQueries {
-        let mut order: Vec<u32> = (0..queries.len() as u32).collect();
-        order.sort_by(|&a, &b| {
-            queries.get(a as usize).t_start.total_cmp(&queries.get(b as usize).t_start)
-        });
-        let segments = order.iter().map(|&i| *queries.get(i as usize)).collect();
-        SortedQueries { segments, original_pos: order }
-    }
-
-    /// Number of queries.
-    pub fn len(&self) -> usize {
-        self.segments.len()
-    }
-
-    /// True if there are no queries.
-    pub fn is_empty(&self) -> bool {
-        self.segments.is_empty()
-    }
-
-    /// Rewrite `query` fields of `matches` from sorted positions back to the
-    /// caller's original positions.
-    pub fn unpermute(&self, matches: &mut [MatchRecord]) {
-        for m in matches {
-            m.query = self.original_pos[m.query as usize];
-        }
-    }
-}
 
 /// The host-computed schedule `S`: one candidate entry range per (sorted)
 /// query segment (§IV-B2).
@@ -84,6 +48,90 @@ impl TemporalSchedule {
     }
 }
 
+/// Thread-per-query candidate generation: each thread reads its schedule
+/// entry and refines the contiguous range with no indirection at all.
+struct TemporalThreads<'a> {
+    entries: &'a DeviceSegments,
+    queries: &'a DeviceSegments,
+    schedule: DeviceBuffer<[u32; 2]>,
+    d: f64,
+}
+
+impl KernelContext for TemporalThreads<'_> {
+    fn entries(&self) -> &DeviceSegments {
+        self.entries
+    }
+    fn queries(&self) -> &DeviceSegments {
+        self.queries
+    }
+    fn distance(&self) -> f64 {
+        self.d
+    }
+}
+
+impl CandidateGenerator for TemporalThreads<'_> {
+    type Round = ();
+
+    fn begin_round(&self, _batch_len: usize) -> Result<(), SearchError> {
+        Ok(())
+    }
+
+    fn run_query(
+        &self,
+        lane: &mut Lane,
+        qid: u32,
+        stash: &mut tdts_gpu_sim::WarpStash<'_, MatchRecord>,
+        _round: &(),
+    ) -> LaneWork {
+        let range = self.schedule.read(lane, qid as usize);
+        lane.instr(SCHEDULE_INSTR);
+        let q = load_query(lane, self.queries, qid);
+        let mut compared = 0u64;
+        for pos in range[0]..range[1] {
+            compared += 1;
+            if compare_and_stage(lane, self.entries, pos, &q, qid, self.d, stash)
+                == PushOutcome::Overflow
+            {
+                // Per-lane mode: result buffer exhausted, stop and ask the
+                // host to re-run this query (the paper's incremental
+                // processing of Q, §V-E). Warp-aggregated staging never
+                // rejects here; overflow surfaces at the commit instead.
+                break;
+            }
+        }
+        LaneWork { compared, scratch_bytes: 0 }
+    }
+}
+
+/// Warp-per-tile decomposition: the host splits every scheduled range into
+/// tiles of at most `tile_size` entries; the tile list replaces the
+/// uploaded schedule `S` (each tile carries its own range).
+struct TemporalTiles<'a> {
+    entries: &'a DeviceSegments,
+    queries: &'a DeviceSegments,
+    schedule: &'a TemporalSchedule,
+    d: f64,
+}
+
+impl KernelContext for TemporalTiles<'_> {
+    fn entries(&self) -> &DeviceSegments {
+        self.entries
+    }
+    fn queries(&self) -> &DeviceSegments {
+        self.queries
+    }
+    fn distance(&self) -> f64 {
+        self.d
+    }
+}
+
+impl TileGenerator for TemporalTiles<'_> {
+    fn push_tiles(&self, tiles: &mut Vec<Tile>, qid: u32, tile_size: usize) {
+        let r = self.schedule.ranges[qid as usize];
+        Tile::split_into(tiles, qid, r[0], r[1], 0, tile_size);
+    }
+}
+
 /// `GPUTemporal`: the complete search implementation (index + device state).
 ///
 /// Constructing it sorts nothing and transfers the database *offline* (the
@@ -91,7 +139,7 @@ impl TemporalSchedule {
 pub struct GpuTemporalSearch {
     device: Arc<Device>,
     index: TemporalIndex,
-    dev_entries: DeviceBuffer<Segment>,
+    dev_entries: DeviceSegments,
 }
 
 impl GpuTemporalSearch {
@@ -102,8 +150,20 @@ impl GpuTemporalSearch {
         store: &SegmentStore,
         config: TemporalIndexConfig,
     ) -> Result<GpuTemporalSearch, SearchError> {
-        let index = TemporalIndex::build(store, config)?;
-        let dev_entries = device.alloc_from_host(store.segments().to_vec())?;
+        let stats = store.stats().ok_or(SearchError::EmptyDataset)?;
+        GpuTemporalSearch::new_with_stats(device, store, &stats, config)
+    }
+
+    /// [`new`](GpuTemporalSearch::new) with the store's [`StoreStats`]
+    /// supplied by the caller, sharing one stats scan across methods.
+    pub fn new_with_stats(
+        device: Arc<Device>,
+        store: &SegmentStore,
+        stats: &StoreStats,
+        config: TemporalIndexConfig,
+    ) -> Result<GpuTemporalSearch, SearchError> {
+        let index = TemporalIndex::build_with_stats(store, stats, config)?;
+        let dev_entries = DeviceSegments::alloc(&device, store.segments())?;
         Ok(GpuTemporalSearch { device, index, dev_entries })
     }
 
@@ -145,232 +205,34 @@ impl GpuTemporalSearch {
             return Ok((Vec::new(), report));
         }
 
-        // Online transfers: Q and S.
-        let dev_queries = self.device.upload(sorted.segments.clone())?;
-        if self.device.config().kernel_shape == KernelShape::WarpPerTile {
-            return self.search_tiles(
-                wall_start,
-                report,
-                &sorted,
-                &schedule,
-                dev_queries,
+        // Online transfers: Q and (thread-per-query only) S.
+        let dev_queries = DeviceSegments::upload(&self.device, &sorted.segments)?;
+        let (matches, comparisons) = if self.device.config().kernel_shape
+            == KernelShape::WarpPerTile
+        {
+            let generator = TemporalTiles {
+                entries: &self.dev_entries,
+                queries: &dev_queries,
+                schedule: &schedule,
                 d,
-                result_capacity,
-            );
-        }
-        let dev_schedule = self.device.upload(schedule.ranges.clone())?;
-        let mut results = self.device.alloc_result::<MatchRecord>(result_capacity)?;
-        let mut redo = self.device.alloc_result::<u32>(sorted.len())?;
-
-        let mut matches: Vec<MatchRecord> = Vec::new();
-        let mut batch: Option<DeviceBuffer<u32>> = None; // None = all queries
-        let mut batch_len = sorted.len();
-        let mut redo_schedule = RedoSchedule::new();
-        let comparisons = AtomicU64::new(0);
-
-        loop {
-            let launch = self.device.launch_warps(batch_len, |warp| {
-                let mut stash = results.warp_stash();
-                let mut qids = [0u32; MAX_WARP_LANES];
-                warp.for_each_lane(|lane| {
-                    let qid = match &batch {
-                        None => lane.global_id as u32,
-                        Some(ids) => ids.read(lane, lane.global_id),
-                    };
-                    qids[lane.lane_index()] = qid;
-                    let range = dev_schedule.read(lane, qid as usize);
-                    lane.instr(SCHEDULE_INSTR);
-                    let q = load_query(lane, &dev_queries, qid);
-                    let mut compared = 0u64;
-                    for pos in range[0]..range[1] {
-                        compared += 1;
-                        if compare_and_stage(lane, &self.dev_entries, pos, &q, qid, d, &mut stash)
-                            == PushOutcome::Overflow
-                        {
-                            // Per-lane mode: result buffer exhausted, stop
-                            // and ask the host to re-run this query (the
-                            // paper's incremental processing of Q, §V-E).
-                            // Warp-aggregated staging never rejects here;
-                            // overflow surfaces at the commit below instead.
-                            break;
-                        }
-                    }
-                    comparisons.fetch_add(compared, Ordering::Relaxed);
-                });
-                // Warp epilogue: one cursor bump for the warp's matches,
-                // then stage redo ids for lanes that lost records.
-                let dropped = stash.commit(warp);
-                if dropped != 0 {
-                    let mut redo_stash = redo.warp_stash();
-                    for (li, &qid) in qids.iter().enumerate().take(warp.lane_count()) {
-                        if dropped & (1 << li) != 0 {
-                            redo_stash.stage_at(li, qid);
-                        }
-                    }
-                    redo_stash.commit(warp);
-                }
-            });
-            report.divergent_warps += launch.divergent_warps as u64;
-            report.totals.add(&launch.totals);
-            report.load.add_launch(&launch);
-
-            let produced = results.len();
-            self.device.charge_download(produced * std::mem::size_of::<MatchRecord>());
-            matches.extend(results.drain_to_host());
-            let redo_ids = redo.drain_to_host();
-            self.device.charge_download(redo_ids.len() * std::mem::size_of::<u32>());
-
-            match redo_schedule.next(redo_ids, batch_len) {
-                NextBatch::Done => break,
-                NextBatch::Stuck => {
-                    return Err(SearchError::ResultCapacityTooSmall { capacity: result_capacity })
-                }
-                NextBatch::Ids(ids) => {
-                    report.redo_rounds += 1;
-                    batch_len = ids.len();
-                    batch = Some(self.device.upload(ids)?);
-                }
-            }
-        }
-
-        // Host postprocessing: map back to caller ordering and dedup
-        // (duplicates arise only from redone queries).
-        let host_start = Instant::now();
-        report.raw_matches = matches.len() as u64;
-        sorted.unpermute(&mut matches);
-        dedup_matches(&mut matches);
-        self.device.charge_host(host_start.elapsed().as_secs_f64());
-
-        report.comparisons = comparisons.into_inner();
-        report.matches = matches.len() as u64;
-        report.response = self.device.ledger();
-        report.wall_seconds = wall_start.elapsed().as_secs_f64();
-        Ok((matches, report))
-    }
-
-    /// [`KernelShape::WarpPerTile`] body of [`GpuTemporalSearch::search`]:
-    /// the host splits every scheduled range into tiles of at most
-    /// `tile_size` entries and a persistent grid of warps pulls them from a
-    /// device-side work queue, each warp's lanes striding one tile's entries
-    /// together. The tile list replaces the uploaded schedule `S` (each tile
-    /// carries its own range), and an overflowing tile re-queues its *query*
-    /// through the unchanged redo protocol.
-    #[allow(clippy::too_many_arguments)]
-    fn search_tiles(
-        &self,
-        wall_start: Instant,
-        mut report: SearchReport,
-        sorted: &SortedQueries,
-        schedule: &TemporalSchedule,
-        dev_queries: DeviceBuffer<Segment>,
-        d: f64,
-        result_capacity: usize,
-    ) -> Result<(Vec<MatchRecord>, SearchReport), SearchError> {
-        let tile_size = self.device.config().tile_size;
-        let warp_size = self.device.config().warp_size;
-
-        // Tile decomposition runs on the host once per round (charged).
-        let build_tiles = |ids: Option<&[u32]>| -> Vec<Tile> {
-            let host_start = Instant::now();
-            let mut tiles = Vec::new();
-            let mut push = |qid: u32| {
-                let r = schedule.ranges[qid as usize];
-                Tile::split_into(&mut tiles, qid, r[0], r[1], 0, tile_size);
             };
-            match ids {
-                None => (0..sorted.len() as u32).for_each(&mut push),
-                Some(ids) => ids.iter().copied().for_each(&mut push),
-            }
-            self.device.charge_host(host_start.elapsed().as_secs_f64());
-            tiles
+            run_warp_per_tile(&self.device, &generator, sorted.len(), result_capacity, &mut report)?
+        } else {
+            let generator = TemporalThreads {
+                entries: &self.dev_entries,
+                queries: &dev_queries,
+                schedule: self.device.upload(schedule.ranges.clone())?,
+                d,
+            };
+            run_thread_per_query(
+                &self.device,
+                &generator,
+                sorted.len(),
+                result_capacity,
+                &mut report,
+            )?
         };
-
-        let mut tiles = build_tiles(None);
-        let mut results = self.device.alloc_result::<MatchRecord>(result_capacity)?;
-        // Each tile stages at most one redo id (its query); the first round
-        // has the most tiles, later rounds cover subsets of its queries.
-        let mut redo = self.device.alloc_result::<u32>(tiles.len().max(1))?;
-
-        let mut matches: Vec<MatchRecord> = Vec::new();
-        let mut batch_len = sorted.len();
-        let mut redo_schedule = RedoSchedule::new();
-        let comparisons = AtomicU64::new(0);
-
-        loop {
-            let queue = self.device.work_queue(std::mem::take(&mut tiles))?;
-            let launch = self.device.launch_persistent(&queue, |warp, tile| {
-                let mut stash = results.warp_stash();
-                // The warp leader reads the tile's query once and broadcasts
-                // it (__shfl_sync analogue): converged charges.
-                let q = dev_queries.as_slice()[tile.query as usize];
-                warp.gmem_read(std::mem::size_of::<Segment>() as u64);
-                warp.instr(SCHEDULE_INSTR);
-                warp.for_each_lane(|lane| {
-                    let mut compared = 0u64;
-                    let mut pos = tile.lo as usize + lane.lane_index();
-                    while pos < tile.hi as usize {
-                        compared += 1;
-                        if compare_and_stage(
-                            lane,
-                            &self.dev_entries,
-                            pos as u32,
-                            &q,
-                            tile.query,
-                            d,
-                            &mut stash,
-                        ) == PushOutcome::Overflow
-                        {
-                            break;
-                        }
-                        pos += warp_size;
-                    }
-                    comparisons.fetch_add(compared, Ordering::Relaxed);
-                });
-                let dropped = stash.commit(warp);
-                if dropped != 0 {
-                    // Any lost record re-queues the whole query.
-                    let mut redo_stash = redo.warp_stash();
-                    redo_stash.stage_at(0, tile.query);
-                    redo_stash.commit(warp);
-                }
-            });
-            report.divergent_warps += launch.divergent_warps as u64;
-            report.totals.add(&launch.totals);
-            report.load.add_launch(&launch);
-
-            let produced = results.len();
-            self.device.charge_download(produced * std::mem::size_of::<MatchRecord>());
-            matches.extend(results.drain_to_host());
-            let mut redo_ids = redo.drain_to_host();
-            self.device.charge_download(redo_ids.len() * std::mem::size_of::<u32>());
-            // Several tiles of one query may each report the overflow.
-            redo_ids.sort_unstable();
-            redo_ids.dedup();
-
-            match redo_schedule.next(redo_ids, batch_len) {
-                NextBatch::Done => break,
-                NextBatch::Stuck => {
-                    return Err(SearchError::ResultCapacityTooSmall { capacity: result_capacity })
-                }
-                NextBatch::Ids(ids) => {
-                    report.redo_rounds += 1;
-                    batch_len = ids.len();
-                    tiles = build_tiles(Some(&ids));
-                }
-            }
-        }
-
-        let host_start = Instant::now();
-        report.raw_matches = matches.len() as u64;
-        sorted.unpermute(&mut matches);
-        dedup_matches(&mut matches);
-        self.device.charge_host(host_start.elapsed().as_secs_f64());
-
-        report.comparisons = comparisons.into_inner();
-        report.matches = matches.len() as u64;
-        report.response = self.device.ledger();
-        report.wall_seconds = wall_start.elapsed().as_secs_f64();
-        Ok((matches, report))
+        Ok(finish_search(&self.device, matches, Some(&sorted), comparisons, report, wall_start))
     }
 }
 
@@ -387,6 +249,8 @@ impl GpuTemporalSearch {
         queries: &SegmentStore,
         d: f64,
     ) -> Result<(Vec<MatchRecord>, SearchReport), SearchError> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
         let wall_start = Instant::now();
         self.device.reset_ledger();
         let mut report = SearchReport::default();
@@ -403,7 +267,7 @@ impl GpuTemporalSearch {
         }
 
         let n = sorted.len();
-        let dev_queries = self.device.upload(sorted.segments.clone())?;
+        let dev_queries = DeviceSegments::upload(&self.device, &sorted.segments)?;
         let dev_schedule = self.device.upload(schedule.ranges.clone())?;
         let mut counts = self.device.alloc_scatter::<u32>(n)?;
         let comparisons = AtomicU64::new(0);
@@ -419,10 +283,8 @@ impl GpuTemporalSearch {
                 let mut count = 0u32;
                 let mut compared = 0u64;
                 for pos in range[0]..range[1] {
-                    let entry = self.dev_entries.read(lane, pos as usize);
-                    lane.instr(crate::kernel::COMPARE_INSTR);
                     compared += 1;
-                    count += tdts_geom::within_distance(&q, &entry, d).is_some() as u32;
+                    count += compare(lane, &self.dev_entries, pos, &q, d).is_some() as u32;
                 }
                 comparisons.fetch_add(compared, Ordering::Relaxed);
                 count_stash.stage(lane, qid, count);
@@ -459,10 +321,8 @@ impl GpuTemporalSearch {
                 let mut k = 0u32;
                 let mut compared = 0u64;
                 for pos in range[0]..range[1] {
-                    let entry = self.dev_entries.read(lane, pos as usize);
-                    lane.instr(crate::kernel::COMPARE_INSTR);
                     compared += 1;
-                    if let Some(interval) = tdts_geom::within_distance(&q, &entry, d) {
+                    if let Some(interval) = compare(lane, &self.dev_entries, pos, &q, d) {
                         result_stash.stage(
                             lane,
                             (base + k) as usize,
@@ -499,7 +359,7 @@ impl GpuTemporalSearch {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tdts_geom::{within_distance, Point3, SegId, TrajId};
+    use tdts_geom::{within_distance, Point3, SegId, Segment, TrajId};
     use tdts_gpu_sim::DeviceConfig;
 
     fn seg(x: f64, t0: f64, id: u32) -> Segment {

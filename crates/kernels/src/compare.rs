@@ -1,0 +1,240 @@
+//! Device-side helpers shared by the GPU search kernels.
+//!
+//! These wrap the `compare()` refinement of Algorithms 1–3 with the cost
+//! accounting the simulator needs: reading a segment charges global memory
+//! according to the buffer's layout (see [`DeviceSegments`]), the quadratic
+//! solve charges a fixed instruction count, and a match is staged into the
+//! warp's result stash (committed per warp, or appended per record when the
+//! device runs in per-lane mode).
+
+use crate::segments::DeviceSegments;
+use tdts_geom::{MatchRecord, Segment, TimeInterval};
+use tdts_gpu_sim::{Lane, WarpStash};
+
+/// Instruction cost of one continuous distance comparison (quadratic
+/// coefficient computation + root solve + interval clamp). Charged whatever
+/// the outcome, so the comparison count and instruction totals are
+/// independent of both the distance threshold and the memory layout.
+pub const COMPARE_INSTR: u64 = 48;
+
+/// Instruction cost of reading a schedule entry / index arithmetic.
+pub const SCHEDULE_INSTR: u64 = 4;
+
+/// Outcome of [`compare_and_stage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Within distance; result stored (or staged for the warp commit).
+    Stored,
+    /// Within distance but the result buffer was full (per-lane mode only;
+    /// warp-aggregated staging never rejects — overflow surfaces at commit).
+    Overflow,
+    /// Not within distance.
+    NoMatch,
+}
+
+/// Read the query segment assigned to this thread, charging the access.
+#[inline]
+pub fn load_query(lane: &mut Lane, queries: &DeviceSegments, query_pos: u32) -> Segment {
+    queries.read_segment(lane, query_pos as usize)
+}
+
+/// One refinement comparison *without* result staging: load entry
+/// `entry_pos` (layout-dependent bytes) and run the continuous distance
+/// test, charging the fixed compare cost. Used directly by the counting
+/// pass of the two-pass writer.
+#[inline]
+pub fn compare(
+    lane: &mut Lane,
+    entries: &DeviceSegments,
+    entry_pos: u32,
+    q: &Segment,
+    d: f64,
+) -> Option<TimeInterval> {
+    let interval = entries.compare_within(lane, entry_pos as usize, q, d);
+    lane.instr(COMPARE_INSTR);
+    interval
+}
+
+/// Compare entry `entry_pos` against query `q` and stage a result record on
+/// a hit — one iteration of the refinement loop of Algorithms 1–3.
+#[inline]
+pub fn compare_and_stage(
+    lane: &mut Lane,
+    entries: &DeviceSegments,
+    entry_pos: u32,
+    q: &Segment,
+    query_pos: u32,
+    d: f64,
+    stash: &mut WarpStash<'_, MatchRecord>,
+) -> PushOutcome {
+    match compare(lane, entries, entry_pos, q, d) {
+        Some(interval) => {
+            if stash.stage(lane, MatchRecord::new(query_pos, entry_pos, interval)) {
+                PushOutcome::Stored
+            } else {
+                PushOutcome::Overflow
+            }
+        }
+        None => PushOutcome::NoMatch,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use tdts_geom::{Point3, SegId, TrajId};
+    use tdts_gpu_sim::{Device, DeviceConfig, ResultWriteMode, SegmentLayout, Warp};
+
+    fn seg(x: f64) -> Segment {
+        Segment::new(
+            Point3::new(x, 0.0, 0.0),
+            Point3::new(x + 1.0, 0.0, 0.0),
+            0.0,
+            1.0,
+            SegId(0),
+            TrajId(0),
+        )
+    }
+
+    fn device(mode: ResultWriteMode, layout: SegmentLayout) -> Arc<Device> {
+        let mut c = DeviceConfig::test_tiny();
+        c.result_write_mode = mode;
+        c.segment_layout = layout;
+        Device::new(c).unwrap()
+    }
+
+    fn outcomes_per_lane(layout: SegmentLayout, full_row: u64) {
+        let dev = device(ResultWriteMode::PerLane, layout);
+        let entries = DeviceSegments::alloc(&dev, &[seg(0.0), seg(100.0)]).unwrap();
+        let results = dev.alloc_result::<MatchRecord>(1).unwrap();
+        let mut warp = Warp::standalone(1);
+        warp.for_each_lane(|lane| {
+            let mut stash = results.warp_stash();
+            let q = seg(0.5);
+            assert_eq!(
+                compare_and_stage(lane, &entries, 0, &q, 7, 2.0, &mut stash),
+                PushOutcome::Stored
+            );
+            assert_eq!(
+                compare_and_stage(lane, &entries, 1, &q, 7, 2.0, &mut stash),
+                PushOutcome::NoMatch
+            );
+            // Buffer now full; a second hit overflows.
+            assert_eq!(
+                compare_and_stage(lane, &entries, 0, &q, 7, 2.0, &mut stash),
+                PushOutcome::Overflow
+            );
+            assert!(results.overflowed());
+            // Costs were charged per record, whatever the layout; memory
+            // traffic reflects the rows each layout makes the lane touch.
+            assert!(lane.counters().instructions >= 3 * COMPARE_INSTR);
+            assert_eq!(lane.counters().gmem_read_bytes, 3 * full_row);
+            assert_eq!(lane.counters().atomics, 2);
+        });
+    }
+
+    #[test]
+    fn outcomes_per_lane_aos() {
+        // Every comparison reads the whole 72-byte struct; the entry at
+        // x = 100 shares the query's time span, so no temporal reject fires.
+        outcomes_per_lane(SegmentLayout::Aos, std::mem::size_of::<Segment>() as u64);
+    }
+
+    #[test]
+    fn outcomes_per_lane_columnar() {
+        // All three candidates overlap temporally, so each comparison reads
+        // the timestamps (16 B) plus the coordinates (48 B) = one 64-byte
+        // row — already cheaper than the 72-byte struct.
+        outcomes_per_lane(SegmentLayout::Columnar, 64);
+    }
+
+    #[test]
+    fn columnar_temporal_reject_halves_traffic() {
+        let dev = device(ResultWriteMode::PerLane, SegmentLayout::Columnar);
+        // Second entry is temporally disjoint from the query.
+        let far = Segment::new(
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            50.0,
+            51.0,
+            SegId(1),
+            TrajId(1),
+        );
+        let entries = DeviceSegments::alloc(&dev, &[seg(0.0), far]).unwrap();
+        let results = dev.alloc_result::<MatchRecord>(8).unwrap();
+        let mut warp = Warp::standalone(1);
+        warp.for_each_lane(|lane| {
+            let mut stash = results.warp_stash();
+            let q = seg(0.5);
+            assert_eq!(
+                compare_and_stage(lane, &entries, 0, &q, 2, 2.0, &mut stash),
+                PushOutcome::Stored
+            );
+            assert_eq!(
+                compare_and_stage(lane, &entries, 1, &q, 2, 2.0, &mut stash),
+                PushOutcome::NoMatch
+            );
+            // 64 bytes for the hit + 16 for the temporally-rejected miss;
+            // AoS would have charged 2 * 72 = 144.
+            assert_eq!(lane.counters().gmem_read_bytes, 64 + 16);
+            // The instruction cost is layout-independent: both comparisons
+            // charged the full compare cost.
+            assert!(lane.counters().instructions >= 2 * COMPARE_INSTR);
+        });
+    }
+
+    #[test]
+    fn outcomes_warp_aggregated() {
+        for layout in [SegmentLayout::Aos, SegmentLayout::Columnar] {
+            let dev = device(ResultWriteMode::WarpAggregated, layout);
+            let entries = DeviceSegments::alloc(&dev, &[seg(0.0), seg(100.0)]).unwrap();
+            let mut results = dev.alloc_result::<MatchRecord>(8).unwrap();
+            let mut warp = Warp::standalone(1);
+            {
+                let mut stash = results.warp_stash();
+                warp.for_each_lane(|lane| {
+                    let q = seg(0.5);
+                    // Staging never reports overflow and costs no lane atomics.
+                    assert_eq!(
+                        compare_and_stage(lane, &entries, 0, &q, 7, 2.0, &mut stash),
+                        PushOutcome::Stored
+                    );
+                    assert_eq!(
+                        compare_and_stage(lane, &entries, 1, &q, 7, 2.0, &mut stash),
+                        PushOutcome::NoMatch
+                    );
+                    assert_eq!(
+                        compare_and_stage(lane, &entries, 0, &q, 7, 2.0, &mut stash),
+                        PushOutcome::Stored
+                    );
+                    assert_eq!(lane.counters().atomics, 0);
+                });
+                assert_eq!(stash.commit(&mut warp), 0);
+            }
+            // One warp flush for both records.
+            assert_eq!(warp.counters().atomics, 1);
+            assert_eq!(results.drain_to_host().len(), 2);
+        }
+    }
+
+    #[test]
+    fn stored_record_is_correct() {
+        for layout in [SegmentLayout::Aos, SegmentLayout::Columnar] {
+            let dev = device(ResultWriteMode::PerLane, layout);
+            let entries = DeviceSegments::alloc(&dev, &[seg(0.0)]).unwrap();
+            let mut results = dev.alloc_result::<MatchRecord>(8).unwrap();
+            let mut warp = Warp::standalone(1);
+            warp.for_each_lane(|lane| {
+                let mut stash = results.warp_stash();
+                let q = seg(0.0);
+                compare_and_stage(lane, &entries, 0, &q, 3, 0.5, &mut stash);
+            });
+            let got = results.drain_to_host();
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0].query, 3);
+            assert_eq!(got[0].entry, 0);
+            assert_eq!(got[0].interval, TimeInterval::new(0.0, 1.0));
+        }
+    }
+}

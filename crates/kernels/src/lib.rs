@@ -1,0 +1,34 @@
+//! Shared GPU kernel pipeline for the distance threshold searches.
+//!
+//! All four search methods of the paper (GPUSpatial, GPUTemporal, batched
+//! GPUTemporal, GPUSpatioTemporal) share one kernel skeleton — iterate the
+//! candidates of a query (or a tile of them), run the continuous interaction
+//! test, commit hits through the warp-aggregated result stash, and redo
+//! overflowing queries — and differ only in how candidates are generated.
+//! This crate holds that skeleton once:
+//!
+//! * [`segments`] — [`DeviceSegments`], the device-resident segment database
+//!   in either layout ([AoS](tdts_gpu_sim::SegmentLayout::Aos) structs or
+//!   [columnar](tdts_gpu_sim::SegmentLayout::Columnar) `f64` columns), with
+//!   layout-aware memory-traffic accounting: the columnar compare touches
+//!   only the timestamp columns (16 B) when the temporal prefilter rejects.
+//! * [`mod@compare`] — the refinement comparison and its fixed cost model.
+//! * [`queries`] — [`SortedQueries`], the `t_start`-sorted query permutation.
+//! * [`pipeline`] — the host-side round protocol for both kernel shapes,
+//!   parameterised by per-method [`CandidateGenerator`]/[`TileGenerator`]
+//!   implementations.
+
+pub mod compare;
+pub mod pipeline;
+pub mod queries;
+pub mod segments;
+
+pub use compare::{
+    compare, compare_and_stage, load_query, PushOutcome, COMPARE_INSTR, SCHEDULE_INSTR,
+};
+pub use pipeline::{
+    finish_search, run_thread_per_query, run_warp_per_tile, CandidateGenerator, KernelContext,
+    LaneWork, TileGenerator,
+};
+pub use queries::SortedQueries;
+pub use segments::{DeviceSegments, COLUMNAR_ROW_BYTES};

@@ -1,0 +1,46 @@
+//! Query-set preprocessing shared by the temporally-sorted drivers.
+
+use tdts_geom::{MatchRecord, Segment, SegmentStore};
+
+/// A query set sorted by non-decreasing `t_start`, with the permutation
+/// back to original positions (results are reported against the caller's
+/// ordering). Shared by the temporal, batched-temporal, and spatiotemporal
+/// drivers; `GPUSpatial` leaves queries unsorted (§IV-A2).
+#[derive(Debug, Clone)]
+pub struct SortedQueries {
+    /// Query segments in sorted order.
+    pub segments: Vec<Segment>,
+    /// `original_pos[sorted_idx]` = position in the caller's query store.
+    pub original_pos: Vec<u32>,
+}
+
+impl SortedQueries {
+    /// Sort a query store by `t_start` (stable). Uses IEEE total order, so
+    /// a NaN timestamp sorts to the end instead of aborting the search.
+    pub fn from_store(queries: &SegmentStore) -> SortedQueries {
+        let mut order: Vec<u32> = (0..queries.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            queries.get(a as usize).t_start.total_cmp(&queries.get(b as usize).t_start)
+        });
+        let segments = order.iter().map(|&i| *queries.get(i as usize)).collect();
+        SortedQueries { segments, original_pos: order }
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True if there are no queries.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Rewrite `query` fields of `matches` from sorted positions back to the
+    /// caller's original positions.
+    pub fn unpermute(&self, matches: &mut [MatchRecord]) {
+        for m in matches {
+            m.query = self.original_pos[m.query as usize];
+        }
+    }
+}

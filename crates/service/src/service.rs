@@ -28,7 +28,7 @@ use std::time::{Duration, Instant};
 
 use tdts_core::{PreparedDataset, QueryBatch, TdtsError, TrajectoryIndex};
 use tdts_geom::{MatchRecord, SegmentStore};
-use tdts_gpu_sim::{Device, SearchReport};
+use tdts_gpu_sim::{Device, SearchError, SearchReport};
 
 use crate::config::ServiceConfig;
 use crate::oneshot::ResponseSlot;
@@ -143,13 +143,16 @@ impl QueryService {
     ) -> Result<QueryService, TdtsError> {
         config.validate()?;
         let store = dataset.store_arc();
+        // One stats scan, shared by every worker's primary and fallback
+        // index build.
+        let stats = store.stats().ok_or(TdtsError::Search(SearchError::EmptyDataset))?;
         let (fallback_method, fallback_device) = config.effective_fallback();
         let mut engines = Vec::with_capacity(config.workers);
         for _ in 0..config.workers {
             let device = Device::new(config.device.clone()).map_err(TdtsError::InvalidConfig)?;
-            let primary = config.method.build_index(&store, device)?;
+            let primary = config.method.build_index(&store, &stats, device)?;
             let device = Device::new(fallback_device.clone()).map_err(TdtsError::InvalidConfig)?;
-            let fallback = fallback_method.build_index(&store, device)?;
+            let fallback = fallback_method.build_index(&store, &stats, device)?;
             engines.push(EnginePair { primary, fallback });
         }
 

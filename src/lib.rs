@@ -87,7 +87,7 @@ pub mod prelude {
     };
     pub use tdts_gpu_sim::{
         Device, DeviceConfig, KernelShape, LoadBalance, Phase, ResultWriteMode, SearchError,
-        SearchReport,
+        SearchReport, SegmentLayout,
     };
     pub use tdts_index_spatial::{FsgConfig, GpuSpatialConfig};
     pub use tdts_index_spatiotemporal::SpatioTemporalIndexConfig;

@@ -1,0 +1,107 @@
+//! Tier-1: the columnar device layout is an accounting change only.
+//!
+//! All five methods must return *byte-identical* result sets (exact
+//! `MatchRecord` equality, not tolerance-based diffing) on the Merger and
+//! Random-dense scenario generators, and each GPU method must return the
+//! same records and perform the same number of comparisons under the AoS
+//! and Columnar layouts — only the memory-traffic counters may move.
+
+use std::sync::Arc;
+use tdts::prelude::*;
+
+fn methods() -> Vec<Method> {
+    vec![
+        Method::CpuRTree(RTreeConfig::default()),
+        Method::GpuSpatial(GpuSpatialConfig {
+            fsg: FsgConfig { cells_per_dim: 10 },
+            total_scratch: 500_000,
+        }),
+        Method::GpuTemporal(TemporalIndexConfig { bins: 40 }),
+        Method::GpuBatchedTemporal(BatchedConfig {
+            index: TemporalIndexConfig { bins: 40 },
+            batch_size: 9,
+        }),
+        Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {
+            bins: 40,
+            subbins: 4,
+            sort_by_selector: true,
+        }),
+    ]
+}
+
+fn device(layout: SegmentLayout) -> Arc<Device> {
+    let mut config = DeviceConfig::tesla_c2075();
+    config.segment_layout = layout;
+    Device::new(config).unwrap()
+}
+
+/// Exact equality — every field of every record, bit for bit.
+fn assert_byte_identical(got: &[MatchRecord], expect: &[MatchRecord], label: &str) {
+    assert_eq!(got.len(), expect.len(), "{label}: result count");
+    for (i, (g, e)) in got.iter().zip(expect).enumerate() {
+        assert_eq!(g.query, e.query, "{label}: record {i} query");
+        assert_eq!(g.entry, e.entry, "{label}: record {i} entry");
+        assert_eq!(
+            g.interval.start.to_bits(),
+            e.interval.start.to_bits(),
+            "{label}: record {i} interval start"
+        );
+        assert_eq!(
+            g.interval.end.to_bits(),
+            e.interval.end.to_bits(),
+            "{label}: record {i} interval end"
+        );
+    }
+}
+
+fn check_scenario(store: SegmentStore, queries: SegmentStore, distances: &[f64], label: &str) {
+    let dataset = PreparedDataset::new(store);
+    for &d in distances {
+        let mut reference: Option<Vec<MatchRecord>> = None;
+        for method in methods() {
+            // Cross-layout identity per method: same records, same number
+            // of comparisons; only memory traffic may differ.
+            let aos_engine =
+                SearchEngine::build(&dataset, method, device(SegmentLayout::Aos)).unwrap();
+            let col_engine =
+                SearchEngine::build(&dataset, method, device(SegmentLayout::Columnar)).unwrap();
+            let (aos, aos_report) = aos_engine.search(&queries, d, 2_000_000).unwrap();
+            let (col, col_report) = col_engine.search(&queries, d, 2_000_000).unwrap();
+            let name = method.name();
+            assert_byte_identical(&col, &aos, &format!("{label}/{name} layouts d={d}"));
+            assert_eq!(
+                col_report.comparisons, aos_report.comparisons,
+                "{label}/{name} d={d}: comparisons must be layout-independent"
+            );
+
+            // Cross-method identity at fixed (default) layout.
+            match &reference {
+                None => reference = Some(col),
+                Some(r) => {
+                    assert_byte_identical(&col, r, &format!("{label}/{name} vs reference d={d}"))
+                }
+            }
+        }
+        assert!(
+            reference.as_ref().is_some_and(|r| !r.is_empty()),
+            "{label} d={d}: scenario must produce matches for the test to mean anything"
+        );
+    }
+}
+
+#[test]
+fn merger_scenario_byte_identical() {
+    let store = MergerConfig { particles: 60, timesteps: 25, ..Default::default() }.generate();
+    let queries =
+        MergerConfig { particles: 12, timesteps: 25, seed: 77, ..Default::default() }.generate();
+    check_scenario(store, queries, &[1.0, 4.0], "merger");
+}
+
+#[test]
+fn random_dense_scenario_byte_identical() {
+    let store = RandomDenseConfig { particles: 64, timesteps: 20, ..Default::default() }.generate();
+    let queries =
+        RandomDenseConfig { particles: 12, timesteps: 20, seed: 55, ..Default::default() }
+            .generate();
+    check_scenario(store, queries, &[2.0, 12.0], "random-dense");
+}
