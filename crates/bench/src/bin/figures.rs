@@ -11,15 +11,22 @@
 //!          --kernel-shape <s>  thread-per-query (default) | warp-per-tile
 //!          --tile-size <n>     work-queue tile size in candidate entries
 //!                              (default 128; used by warp-per-tile kernels)
+//!          --sanitizer <m>     off (default) | memcheck | racecheck | full;
+//!                              the shadow-state device sanitizer (also set
+//!                              by the TDTS_SANITIZER env var). Findings
+//!                              abort the run.
 //! ```
 
 use tdts_bench::{RunConfig, Runner};
-use tdts_gpu_sim::KernelShape;
+use tdts_gpu_sim::{KernelShape, SanitizerMode};
 
 fn main() {
     let mut cfg = RunConfig::default();
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
+    if let Some(mode) = SanitizerMode::from_env() {
+        cfg.device.sanitizer = mode;
+    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
@@ -44,6 +51,11 @@ fn main() {
                 let v = args.next().expect("--tile-size needs a value");
                 cfg.device.tile_size = v.parse().expect("--tile-size must be a positive integer");
             }
+            "--sanitizer" => {
+                let v = args.next().expect("--sanitizer needs a value");
+                cfg.device.sanitizer = SanitizerMode::parse(&v)
+                    .expect("--sanitizer must be off, memcheck, racecheck, or full");
+            }
             other if other.starts_with("--") => {
                 eprintln!("unknown option {other}");
                 std::process::exit(2);
@@ -54,6 +66,7 @@ fn main() {
     if targets.is_empty() {
         eprintln!(
             "usage: figures [--scale f] [--no-verify] [--kernel-shape s] [--tile-size n] \
+             [--sanitizer m] \
              <fig4|fig5|fig6|fig7|sweep-fsg|sweep-bins|sweep-subbins|\
              ablation-indirection|ablation-buffer|fallback-rate|future-trends|batched|ablation-sort|crossover|ablation-write|ablation-warp-agg|ablation-workqueue|ablation-columnar|all>..."
         );

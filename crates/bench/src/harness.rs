@@ -94,6 +94,16 @@ impl Runner {
             .unwrap_or_else(|e| die("engine build", e))
     }
 
+    /// Abort the whole figure run on any sanitizer finding: a table built
+    /// from a defective kernel is worse than no table.
+    fn check_sanitizer(&self, report: &SearchReport) {
+        if report.sanitizer_findings > 0 {
+            eprintln!("[harness] sanitizer found defects:");
+            eprint!("{}", self.device.sanitizer_report());
+            std::process::exit(1);
+        }
+    }
+
     fn run_one(
         &self,
         engine: &SearchEngine,
@@ -112,6 +122,7 @@ impl Runner {
             }
         }
         let (matches, report) = best.expect("at least one trial");
+        self.check_sanitizer(&report);
         let m = Measurement {
             method: engine.method().name().to_string(),
             d,
@@ -508,8 +519,10 @@ impl Runner {
         for &d in &[0.5, 2.0, 5.0] {
             let (ma, ra) =
                 search.search(&p.queries, d, cap).unwrap_or_else(|e| die("atomic search", e));
+            self.check_sanitizer(&ra);
             let (mt, rt) =
                 search.search_two_pass(&p.queries, d).unwrap_or_else(|e| die("two-pass search", e));
+            self.check_sanitizer(&rt);
             assert_eq!(ma, mt, "strategies disagree at d = {d}");
             println!(
                 "{:>10.3} {:>12} {:>16.6} {:>14}",
@@ -930,6 +943,7 @@ impl Runner {
                 .unwrap_or_else(|e| die("batched build", e));
                 let (matches, report) =
                     search.search(&p.queries, d, cap).unwrap_or_else(|e| die("batched search", e));
+                self.check_sanitizer(&report);
                 assert_eq!(matches, res_matches, "batched result mismatch at d = {d}");
                 println!(
                     "{:>10.3} {:>14} {:>18.6} {:>14}",

@@ -2,6 +2,8 @@
 //! evaluation (§V). See DESIGN.md §4 for the experiment index and
 //! EXPERIMENTS.md for recorded paper-vs-measured results.
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 
 pub use harness::{RunConfig, Runner};

@@ -14,6 +14,8 @@
 //! directly — which [`oracle`] and [`verify_against_oracle`] do against an
 //! exhaustive parallel reference search.
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod engine;
 pub mod error;

@@ -23,6 +23,8 @@
 //!
 //! [`SegmentStore`]: tdts_geom::SegmentStore
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod gaussian_cluster;
 pub mod io;

@@ -104,6 +104,8 @@ pub fn within_distance(a: &Segment, b: &Segment, d: f64) -> Option<TimeInterval>
     // c1 and sqrt(disc) are close in magnitude).
     let sq = disc.sqrt();
     let q = -0.5 * (c1 + c1.signum() * sq);
+    // q == 0 only when c1 == 0 exactly, where q/c2 and c/q divide by zero.
+    // lint: allow(float-eq): exact-zero algebraic guard, not a threshold test
     let (mut r0, mut r1) = if q != 0.0 {
         (q / c2, c / q)
     } else {

@@ -21,6 +21,8 @@
 //!   (struct-of-arrays) layout, the host-side source for per-column device
 //!   buffers with coalesced reads.
 
+#![forbid(unsafe_code)]
+
 pub mod columns;
 pub mod continuous;
 pub mod interval;

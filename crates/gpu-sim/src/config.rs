@@ -1,6 +1,7 @@
 //! Device configuration and the cost-model parameters.
 
 use crate::report::SearchError;
+use crate::sanitizer::SanitizerMode;
 use serde::{Deserialize, Serialize};
 
 /// How kernels write records into atomic-append result buffers.
@@ -117,6 +118,10 @@ pub struct DeviceConfig {
     pub tile_size: usize,
     /// Device-memory layout of segment data (see [`SegmentLayout`]).
     pub segment_layout: SegmentLayout,
+    /// Shadow-state sanitizer passes (see [`SanitizerMode`]). `Off` by
+    /// default: the device then allocates no shadow state and kernel-visible
+    /// behaviour and counters are bit-identical to a sanitizer-free build.
+    pub sanitizer: SanitizerMode,
 }
 
 impl DeviceConfig {
@@ -162,6 +167,7 @@ impl DeviceConfig {
             kernel_shape: KernelShape::default(),
             tile_size: 128,
             segment_layout: SegmentLayout::default(),
+            sanitizer: SanitizerMode::default(),
         }
     }
 
@@ -195,6 +201,7 @@ impl DeviceConfig {
             kernel_shape: KernelShape::default(),
             tile_size: 128,
             segment_layout: SegmentLayout::default(),
+            sanitizer: SanitizerMode::default(),
         }
     }
 
@@ -223,6 +230,7 @@ impl DeviceConfig {
             // Small tiles so tiny fixtures still split into several tiles.
             tile_size: 8,
             segment_layout: SegmentLayout::default(),
+            sanitizer: SanitizerMode::default(),
         }
     }
 
@@ -350,6 +358,8 @@ impl DeviceConfigBuilder {
         tile_size: usize,
         /// Device-memory layout of segment data.
         segment_layout: SegmentLayout,
+        /// Shadow-state sanitizer passes.
+        sanitizer: SanitizerMode,
     }
 
     /// Human-readable device name (appears in reports).

@@ -7,6 +7,7 @@ use crate::ledger::{Phase, ResponseTime};
 use crate::memory::{
     ColumnarBuffer, DeviceBuffer, OutOfDeviceMemory, PartitionedScratch, Reservation, ResultBuffer,
 };
+use crate::sanitizer::{short_type_name, Sanitizer, SanitizerMode, SanitizerReport};
 use crate::workqueue::{Tile, WorkQueue};
 use crate::Lane;
 use parking_lot::Mutex;
@@ -48,22 +49,71 @@ pub struct Device {
     config: DeviceConfig,
     mem_used: AtomicUsize,
     ledger: Mutex<ResponseTime>,
+    /// Shadow-state sanitizer; `None` under [`SanitizerMode::Off`], so the
+    /// disabled mode allocates nothing and the hot paths skip one pointer
+    /// check at most.
+    sanitizer: Option<Arc<Sanitizer>>,
 }
 
 impl Device {
     /// Create a device, validating the configuration.
     pub fn new(config: DeviceConfig) -> Result<Arc<Device>, String> {
         config.validate()?;
+        let sanitizer =
+            (!config.sanitizer.is_off()).then(|| Arc::new(Sanitizer::new(config.sanitizer)));
         Ok(Arc::new(Device {
             config,
             mem_used: AtomicUsize::new(0),
             ledger: Mutex::new(ResponseTime::new()),
+            sanitizer,
         }))
     }
 
     /// The device configuration.
     pub fn config(&self) -> &DeviceConfig {
         &self.config
+    }
+
+    /// The shadow-state sanitizer, when one is active.
+    pub(crate) fn sanitizer_ref(&self) -> Option<&Arc<Sanitizer>> {
+        self.sanitizer.as_ref()
+    }
+
+    /// The sanitizer mode this device runs under.
+    pub fn sanitizer_mode(&self) -> SanitizerMode {
+        self.config.sanitizer
+    }
+
+    /// Snapshot of everything the sanitizer observed so far. Reports an
+    /// empty clean report under [`SanitizerMode::Off`].
+    pub fn sanitizer_report(&self) -> SanitizerReport {
+        match &self.sanitizer {
+            Some(san) => san.report(),
+            None => SanitizerReport {
+                mode: SanitizerMode::Off,
+                launches: 0,
+                findings: Vec::new(),
+                live_allocations: Vec::new(),
+                d2h_charged_bytes: 0,
+                d2h_drained_bytes: 0,
+            },
+        }
+    }
+
+    /// Materialize deferred diagnostics (unacknowledged lost records,
+    /// transfer mismatches) and return the number of findings recorded since
+    /// the previous checkpoint. Search epilogues call this once per search
+    /// and store the delta on `SearchReport::sanitizer_findings`, so merged
+    /// reports sum correctly.
+    pub fn sanitizer_checkpoint(&self) -> u64 {
+        self.sanitizer.as_ref().map_or(0, |san| san.checkpoint())
+    }
+
+    /// Panic with the full diagnostic listing if the sanitizer recorded any
+    /// finding. The hard-failure entry point for tests.
+    pub fn assert_sanitizer_clean(&self) {
+        let report = self.sanitizer_report();
+        assert!(report.is_clean(), "sanitizer found defects:\n{report}");
     }
 
     /// Bytes of simulated global memory currently allocated.
@@ -107,7 +157,8 @@ impl Device {
         data: Vec<T>,
     ) -> Result<DeviceBuffer<T>, OutOfDeviceMemory> {
         let bytes = data.len() * std::mem::size_of::<T>();
-        let reservation = Reservation::new(self, bytes)?;
+        let reservation =
+            Reservation::new(self, bytes, "DeviceBuffer", short_type_name::<T>(), data.len())?;
         Ok(DeviceBuffer::new(data, reservation))
     }
 
@@ -118,7 +169,11 @@ impl Device {
         data: Vec<T>,
     ) -> Result<DeviceBuffer<T>, OutOfDeviceMemory> {
         let bytes = data.len() * std::mem::size_of::<T>();
-        self.ledger.lock().add(Phase::HostToDevice, self.config.h2d_seconds(bytes));
+        {
+            let mut ledger = self.ledger.lock();
+            ledger.add(Phase::HostToDevice, self.config.h2d_seconds(bytes));
+            ledger.h2d_bytes += bytes as u64;
+        }
         self.alloc_from_host(data)
     }
 
@@ -131,7 +186,9 @@ impl Device {
         columns: &[&[T]],
     ) -> Result<ColumnarBuffer<T>, OutOfDeviceMemory> {
         let bytes = columns.iter().map(|c| std::mem::size_of_val(*c)).sum();
-        let reservation = Reservation::new(self, bytes)?;
+        let len = columns.iter().map(|c| c.len()).sum();
+        let reservation =
+            Reservation::new(self, bytes, "ColumnarBuffer", short_type_name::<T>(), len)?;
         Ok(ColumnarBuffer::new(columns.iter().map(|c| c.to_vec()).collect(), reservation))
     }
 
@@ -145,7 +202,11 @@ impl Device {
         columns: &[&[T]],
     ) -> Result<ColumnarBuffer<T>, OutOfDeviceMemory> {
         let bytes: usize = columns.iter().map(|c| std::mem::size_of_val(*c)).sum();
-        self.ledger.lock().add(Phase::HostToDevice, self.config.h2d_seconds(bytes));
+        {
+            let mut ledger = self.ledger.lock();
+            ledger.add(Phase::HostToDevice, self.config.h2d_seconds(bytes));
+            ledger.h2d_bytes += bytes as u64;
+        }
         self.alloc_columns(columns)
     }
 
@@ -156,7 +217,8 @@ impl Device {
         capacity: usize,
     ) -> Result<ResultBuffer<T>, OutOfDeviceMemory> {
         let bytes = capacity * std::mem::size_of::<T>();
-        let reservation = Reservation::new(self, bytes)?;
+        let reservation =
+            Reservation::new(self, bytes, "ResultBuffer", short_type_name::<T>(), capacity)?;
         Ok(ResultBuffer::with_capacity(
             capacity,
             self.config.result_write_mode,
@@ -173,7 +235,8 @@ impl Device {
         capacity: usize,
     ) -> Result<crate::memory::ScatterBuffer<T>, OutOfDeviceMemory> {
         let bytes = capacity * std::mem::size_of::<T>();
-        let reservation = Reservation::new(self, bytes)?;
+        let reservation =
+            Reservation::new(self, bytes, "ScatterBuffer", short_type_name::<T>(), capacity)?;
         Ok(crate::memory::ScatterBuffer::with_capacity(
             capacity,
             self.config.result_write_mode,
@@ -190,7 +253,13 @@ impl Device {
         per_thread: usize,
     ) -> Result<PartitionedScratch<T>, OutOfDeviceMemory> {
         let bytes = partitions * per_thread * std::mem::size_of::<T>();
-        let reservation = Reservation::new(self, bytes)?;
+        let reservation = Reservation::new(
+            self,
+            bytes,
+            "PartitionedScratch",
+            short_type_name::<T>(),
+            partitions * per_thread,
+        )?;
         Ok(PartitionedScratch::new(
             partitions,
             per_thread,
@@ -208,7 +277,7 @@ impl Device {
     where
         K: Fn(&mut Lane) + Sync,
     {
-        let report = run_launch(&self.config, threads, &kernel);
+        let report = run_launch(&self.config, self.sanitizer.as_deref(), threads, &kernel);
         self.charge_launch(&report);
         report
     }
@@ -222,14 +291,20 @@ impl Device {
     where
         K: Fn(&mut Warp) + Sync,
     {
-        let report = run_launch_warps(&self.config, threads, &kernel);
+        let report = run_launch_warps(&self.config, self.sanitizer.as_deref(), threads, &kernel);
         self.charge_launch(&report);
         report
     }
 
     /// Upload a tile list *online* (charged as a host→device transfer) and
     /// wrap it in a [`WorkQueue`] for [`Device::launch_persistent`].
-    pub fn work_queue(self: &Arc<Self>, tiles: Vec<Tile>) -> Result<WorkQueue, OutOfDeviceMemory> {
+    pub fn work_queue(
+        self: &Arc<Self>,
+        mut tiles: Vec<Tile>,
+    ) -> Result<WorkQueue, OutOfDeviceMemory> {
+        if let Some(san) = &self.sanitizer {
+            crate::workqueue::validate_tiles(san, &mut tiles);
+        }
         Ok(WorkQueue::new(self.upload(tiles)?))
     }
 
@@ -243,7 +318,7 @@ impl Device {
     where
         K: Fn(&mut Warp, Tile) + Sync,
     {
-        let report = run_launch_persistent(&self.config, queue, &kernel);
+        let report = run_launch_persistent(&self.config, self.sanitizer.as_deref(), queue, &kernel);
         self.charge_launch(&report);
         report
     }
@@ -258,7 +333,14 @@ impl Device {
     /// Charge a device→host transfer of `bytes` (draining result buffers,
     /// reading back redo queues).
     pub fn charge_download(&self, bytes: usize) {
-        self.ledger.lock().add(Phase::DeviceToHost, self.config.d2h_seconds(bytes));
+        {
+            let mut ledger = self.ledger.lock();
+            ledger.add(Phase::DeviceToHost, self.config.d2h_seconds(bytes));
+            ledger.d2h_bytes += bytes as u64;
+        }
+        if let Some(san) = &self.sanitizer {
+            san.note_d2h_charged(bytes as u64);
+        }
     }
 
     /// Charge host-side computation time (schedule construction, sorting,

@@ -42,8 +42,14 @@
 
 use crate::config::DeviceConfig;
 use crate::counters::{Counters, Lane};
+use crate::sanitizer::Sanitizer;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Kernel-shape label of static-grid launches in sanitizer findings.
+pub(crate) const SHAPE_STATIC: &str = "static-grid";
+/// Kernel-shape label of persistent work-queue launches.
+pub(crate) const SHAPE_PERSISTENT: &str = "persistent-warp-per-tile";
 
 /// Maximum lanes per warp supported by the simulator: warp-aggregated
 /// commits track per-lane drop bits in a `u64` mask
@@ -223,12 +229,20 @@ pub(crate) fn warp_cost(
 
 /// Execute a warp-scoped kernel over `threads` threads and compute the
 /// launch report.
-pub(crate) fn run_launch_warps<K>(config: &DeviceConfig, threads: usize, kernel: &K) -> LaunchReport
+pub(crate) fn run_launch_warps<K>(
+    config: &DeviceConfig,
+    san: Option<&Sanitizer>,
+    threads: usize,
+    kernel: &K,
+) -> LaunchReport
 where
     K: Fn(&mut Warp) + Sync,
 {
     let warp_size = config.warp_size;
     let warps = threads.div_ceil(warp_size);
+    if let Some(san) = san {
+        san.begin_launch(SHAPE_STATIC);
+    }
     let start = std::time::Instant::now();
 
     let costs: Vec<WarpCost> = (0..warps)
@@ -246,6 +260,9 @@ where
         .collect();
 
     let wall_seconds = start.elapsed().as_secs_f64();
+    if let Some(san) = san {
+        san.end_launch();
+    }
     finish_report(config, threads, warps, 0, &costs, wall_seconds, (0, 0))
 }
 
@@ -332,6 +349,7 @@ fn finish_report(
 /// cursor, and never the host thread scheduler's racing order.
 pub(crate) fn run_launch_persistent<K>(
     config: &DeviceConfig,
+    san: Option<&Sanitizer>,
     queue: &crate::workqueue::WorkQueue,
     kernel: &K,
 ) -> LaunchReport
@@ -344,6 +362,9 @@ where
     let warp_size = config.warp_size;
     let n = queue.len();
     let grid = config.persistent_warps().min(n);
+    if let Some(san) = san {
+        san.begin_launch(SHAPE_PERSISTENT);
+    }
     let start = std::time::Instant::now();
 
     // Phase 1 — execution: every tile runs exactly once, in parallel on
@@ -367,6 +388,9 @@ where
         .collect();
     queue.mark_drained(grid);
     let wall_seconds = start.elapsed().as_secs_f64();
+    if let Some(san) = san {
+        san.end_launch();
+    }
 
     // Phase 2 — dispatch replay: tiles go, in queue order, to the
     // earliest-free persistent warp. Cycles are non-negative, so the IEEE
@@ -402,11 +426,18 @@ where
 
 /// Execute a lane-scoped kernel over `threads` threads; thin wrapper over
 /// [`run_launch_warps`] with no per-warp epilogue.
-pub(crate) fn run_launch<K>(config: &DeviceConfig, threads: usize, kernel: &K) -> LaunchReport
+pub(crate) fn run_launch<K>(
+    config: &DeviceConfig,
+    san: Option<&Sanitizer>,
+    threads: usize,
+    kernel: &K,
+) -> LaunchReport
 where
     K: Fn(&mut Lane) + Sync,
 {
-    run_launch_warps(config, threads, &|warp: &mut Warp| warp.for_each_lane(|lane| kernel(lane)))
+    run_launch_warps(config, san, threads, &|warp: &mut Warp| {
+        warp.for_each_lane(|lane| kernel(lane))
+    })
 }
 
 #[cfg(test)]

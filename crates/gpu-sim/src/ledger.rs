@@ -64,6 +64,12 @@ pub struct ResponseTime {
     /// Number of kernel invocations recorded (the paper reports re-invocation
     /// counts for `GPUSpatial` and incremental processing).
     pub kernel_invocations: u32,
+    /// Bytes moved host→device (query sets, schedules, redo lists). The
+    /// sanitizer's transfer-mismatch check compares these against drained
+    /// shadow bytes, and EXPERIMENTS.md reports them alongside times.
+    pub h2d_bytes: u64,
+    /// Bytes moved device→host (result sets, redo queues).
+    pub d2h_bytes: u64,
 }
 
 impl ResponseTime {
@@ -94,6 +100,8 @@ impl ResponseTime {
             *a += b;
         }
         self.kernel_invocations += other.kernel_invocations;
+        self.h2d_bytes += other.h2d_bytes;
+        self.d2h_bytes += other.d2h_bytes;
     }
 
     /// Total minus kernel-launch overhead — the paper's "optimistic" curve

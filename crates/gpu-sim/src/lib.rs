@@ -33,6 +33,8 @@
 //! paper's comparative results are driven by candidate-set sizes, buffer
 //! overflows, and transfer volumes — all of which are captured exactly.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod config;
 pub mod counters;
 pub mod device;
@@ -41,6 +43,7 @@ pub mod ledger;
 pub mod memory;
 pub mod redo;
 pub mod report;
+pub mod sanitizer;
 pub mod workqueue;
 
 pub use config::{DeviceConfig, DeviceConfigBuilder, KernelShape, ResultWriteMode, SegmentLayout};
@@ -54,4 +57,5 @@ pub use memory::{
 };
 pub use redo::{NextBatch, RedoSchedule};
 pub use report::{LoadBalance, SearchError, SearchReport};
+pub use sanitizer::{Finding, FindingKind, Sanitizer, SanitizerMode, SanitizerReport};
 pub use workqueue::{Tile, WorkQueue};

@@ -12,6 +12,8 @@ use crate::config::ResultWriteMode;
 use crate::counters::Lane;
 use crate::device::Device;
 use crate::launch::{Warp, MAX_WARP_LANES};
+use crate::sanitizer::{Origin, ShadowRef};
+use parking_lot::{Mutex, MutexGuard};
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::mem::MaybeUninit;
@@ -48,17 +50,35 @@ impl std::error::Error for OutOfDeviceMemory {}
 pub(crate) struct Reservation {
     device: Arc<Device>,
     bytes: usize,
+    /// Sanitizer registration; `None` when the device runs without one.
+    shadow: Option<ShadowRef>,
 }
 
 impl Reservation {
-    pub(crate) fn new(device: &Arc<Device>, bytes: usize) -> Result<Self, OutOfDeviceMemory> {
+    pub(crate) fn new(
+        device: &Arc<Device>,
+        bytes: usize,
+        kind: &'static str,
+        ty: &'static str,
+        len: usize,
+    ) -> Result<Self, OutOfDeviceMemory> {
         device.reserve(bytes)?;
-        Ok(Reservation { device: Arc::clone(device), bytes })
+        let shadow = device.sanitizer_ref().map(|san| ShadowRef::new(san, kind, ty, len));
+        Ok(Reservation { device: Arc::clone(device), bytes, shadow })
+    }
+
+    /// The shadow-state handle, when a sanitizer is active.
+    #[inline]
+    pub(crate) fn shadow(&self) -> Option<&ShadowRef> {
+        self.shadow.as_ref()
     }
 }
 
 impl Drop for Reservation {
     fn drop(&mut self) {
+        if let Some(shadow) = &self.shadow {
+            shadow.release();
+        }
         self.device.release(self.bytes);
     }
 }
@@ -73,12 +93,12 @@ impl Drop for Reservation {
 #[derive(Debug)]
 pub struct DeviceBuffer<T> {
     data: Vec<T>,
-    _reservation: Reservation,
+    reservation: Reservation,
 }
 
 impl<T: Copy> DeviceBuffer<T> {
     pub(crate) fn new(data: Vec<T>, reservation: Reservation) -> Self {
-        DeviceBuffer { data, _reservation: reservation }
+        DeviceBuffer { data, reservation }
     }
 
     /// Number of elements.
@@ -100,9 +120,22 @@ impl<T: Copy> DeviceBuffer<T> {
     }
 
     /// Read element `i` from a kernel lane, charging the memory counter.
+    ///
+    /// Under memcheck an out-of-bounds `i` is recorded as a finding and
+    /// neutralised (the first element is returned) so one run can surface
+    /// every bad access; without a sanitizer it panics like a slice index.
     #[inline]
     pub fn read(&self, lane: &mut Lane, i: usize) -> T {
         lane.gmem_read(std::mem::size_of::<T>() as u64);
+        if i >= self.data.len() {
+            if let Some(shadow) = self.reservation.shadow() {
+                if shadow.oob_read(i, Origin::Lane(lane.global_id), self.data.len()) {
+                    if let Some(&first) = self.data.first() {
+                        return first;
+                    }
+                }
+            }
+        }
         self.data[i]
     }
 
@@ -131,14 +164,14 @@ impl<T: Copy> DeviceBuffer<T> {
 pub struct ColumnarBuffer<T> {
     columns: Vec<Vec<T>>,
     rows: usize,
-    _reservation: Reservation,
+    reservation: Reservation,
 }
 
 impl<T: Copy> ColumnarBuffer<T> {
     pub(crate) fn new(columns: Vec<Vec<T>>, reservation: Reservation) -> Self {
         let rows = columns.first().map_or(0, Vec::len);
         assert!(columns.iter().all(|c| c.len() == rows), "columns must have equal length");
-        ColumnarBuffer { columns, rows, _reservation: reservation }
+        ColumnarBuffer { columns, rows, reservation }
     }
 
     /// Number of columns.
@@ -167,9 +200,28 @@ impl<T: Copy> ColumnarBuffer<T> {
 
     /// Read `column[row]` from a kernel lane, charging the memory counter
     /// for one element of one column.
+    ///
+    /// Under memcheck an out-of-range `column`/`row` is recorded as a
+    /// finding and neutralised (element `[0][0]` is returned); without a
+    /// sanitizer it panics like a slice index.
     #[inline]
     pub fn read(&self, lane: &mut Lane, column: usize, row: usize) -> T {
         lane.gmem_read(std::mem::size_of::<T>() as u64);
+        if column >= self.columns.len() || row >= self.rows {
+            if let Some(shadow) = self.reservation.shadow() {
+                let offset = column.saturating_mul(self.rows).saturating_add(row);
+                let neutralised = shadow.oob_read(
+                    offset,
+                    Origin::Lane(lane.global_id),
+                    self.columns.len() * self.rows,
+                );
+                if neutralised && self.rows > 0 {
+                    if let Some(first) = self.columns.first() {
+                        return first[0];
+                    }
+                }
+            }
+        }
         self.columns[column][row]
     }
 
@@ -196,13 +248,15 @@ pub struct ResultBuffer<T> {
     overflowed: AtomicBool,
     mode: ResultWriteMode,
     stash_capacity: usize,
-    _reservation: Reservation,
+    reservation: Reservation,
 }
 
 // SAFETY: slots are only written through unique indices handed out by the
 // atomic cursor, and only read after all kernel threads have completed
 // (`&mut self` methods), so concurrent access to one slot never occurs.
 unsafe impl<T: Send> Sync for ResultBuffer<T> {}
+// SAFETY: same argument as `Sync` above — the buffer owns its slots and the
+// cursor; moving it across threads moves exclusive ownership with it.
 unsafe impl<T: Send> Send for ResultBuffer<T> {}
 
 impl<T> ResultBuffer<T> {
@@ -220,7 +274,7 @@ impl<T> ResultBuffer<T> {
             overflowed: AtomicBool::new(false),
             mode,
             stash_capacity: stash_capacity.max(1),
-            _reservation: reservation,
+            reservation,
         }
     }
 
@@ -271,11 +325,20 @@ impl<T> ResultBuffer<T> {
     /// the whole warp ([`ResultWriteMode::WarpAggregated`]) or to replay the
     /// per-record behaviour ([`ResultWriteMode::PerLane`]).
     pub fn warp_stash(&self) -> WarpStash<'_, T> {
-        WarpStash { buffer: self, staged: Vec::new(), dropped: 0 }
+        WarpStash { buffer: self, staged: Vec::new(), dropped: 0, stored: 0, lost: 0 }
     }
 
     /// True if any append was rejected.
+    ///
+    /// Checking the flag is the host-driven redo acknowledgement: the
+    /// sanitizer's lost-record accounting treats records dropped by this
+    /// buffer as handled once the host has observed (or ruled out) the
+    /// overflow, e.g. the batch-halving protocol of the batched temporal
+    /// scheme.
     pub fn overflowed(&self) -> bool {
+        if let Some(shadow) = self.reservation.shadow() {
+            shadow.ack_losses();
+        }
         self.overflowed.load(Ordering::Relaxed)
     }
 
@@ -306,6 +369,9 @@ impl<T> ResultBuffer<T> {
         }
         self.cursor.store(0, Ordering::Relaxed);
         self.overflowed.store(false, Ordering::Relaxed);
+        if let Some(shadow) = self.reservation.shadow() {
+            shadow.note_drained((out.len() * std::mem::size_of::<T>()) as u64);
+        }
         out
     }
 }
@@ -338,6 +404,12 @@ pub struct WarpStash<'a, T> {
     buffer: &'a ResultBuffer<T>,
     staged: Vec<Vec<T>>,
     dropped: u64,
+    /// Records successfully stored through this stash (sanitizer
+    /// lost-record accounting; reset at every [`WarpStash::commit`]).
+    stored: u64,
+    /// Records dropped through this stash (overflow or
+    /// [`WarpStash::mark_dropped`]).
+    lost: u64,
 }
 
 impl<'a, T> WarpStash<'a, T> {
@@ -360,7 +432,10 @@ impl<'a, T> WarpStash<'a, T> {
         match self.buffer.mode {
             ResultWriteMode::PerLane => {
                 let stored = self.buffer.push(lane, item);
-                if !stored {
+                if stored {
+                    self.stored += 1;
+                } else {
+                    self.lost += 1;
                     self.dropped |= 1 << lane.lane_index();
                 }
                 stored
@@ -386,6 +461,7 @@ impl<'a, T> WarpStash<'a, T> {
     /// in the mask returned by [`WarpStash::commit`].
     #[inline]
     pub fn mark_dropped(&mut self, lane: &Lane) {
+        self.lost += 1;
         self.dropped |= 1 << lane.lane_index();
     }
 
@@ -410,11 +486,14 @@ impl<'a, T> WarpStash<'a, T> {
                         let idx = self.buffer.cursor.fetch_add(1, Ordering::Relaxed);
                         if self.buffer.raw_write(idx, item) {
                             warp.gmem_write(item_bytes);
+                            self.stored += 1;
                         } else {
+                            self.lost += 1;
                             self.dropped |= 1 << li;
                         }
                     }
                 }
+                self.log_commit(warp);
                 std::mem::take(&mut self.dropped)
             }
             ResultWriteMode::WarpAggregated => {
@@ -431,15 +510,28 @@ impl<'a, T> WarpStash<'a, T> {
                         for item in std::mem::take(&mut self.staged[li]) {
                             if self.buffer.raw_write(base + offset, item) {
                                 warp.gmem_write(item_bytes);
+                                self.stored += 1;
                             } else {
+                                self.lost += 1;
                                 self.dropped |= 1 << li;
                             }
                             offset += 1;
                         }
                     }
                 }
+                self.log_commit(warp);
                 std::mem::take(&mut self.dropped)
             }
+        }
+    }
+
+    /// Report this commit's stored/lost counts to the sanitizer's
+    /// lost-record accounting and reset them for the next commit.
+    fn log_commit(&mut self, warp: &Warp) {
+        let stored = std::mem::take(&mut self.stored);
+        let lost = std::mem::take(&mut self.lost);
+        if let Some(shadow) = self.buffer.reservation.shadow() {
+            shadow.log_commit(warp.index(), stored, lost);
         }
     }
 }
@@ -448,19 +540,18 @@ impl<'a, T> WarpStash<'a, T> {
 /// the write side of a two-pass (count → prefix-sum → scatter) output
 /// scheme, which avoids result-buffer atomics entirely.
 ///
-/// Each slot must be written at most once per launch (enforced with a
-/// per-slot flag: double writes are data races on real hardware).
+/// Each slot must be written at most once per launch: double writes are
+/// data races on real hardware. Slots are `Mutex<Option<T>>` — the lock is
+/// uncontended by construction (disjoint indices), costs nothing in the
+/// simulated model, and makes the buffer safe without `unsafe` aliasing
+/// arguments. Without a sanitizer a violation panics; under
+/// [`crate::SanitizerMode::Racecheck`] writes are logged per launch and
+/// conflicting slots surface as structured findings at launch end instead.
 pub struct ScatterBuffer<T> {
-    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
-    written: Box<[AtomicBool]>,
+    slots: Box<[Mutex<Option<T>>]>,
     mode: ResultWriteMode,
-    _reservation: Reservation,
+    reservation: Reservation,
 }
-
-// SAFETY: each slot accepts exactly one write per launch (checked via
-// `written`), and reads happen only after the launch through `&mut self`.
-unsafe impl<T: Send> Sync for ScatterBuffer<T> {}
-unsafe impl<T: Send> Send for ScatterBuffer<T> {}
 
 impl<T> ScatterBuffer<T> {
     pub(crate) fn with_capacity(
@@ -469,15 +560,8 @@ impl<T> ScatterBuffer<T> {
         reservation: Reservation,
     ) -> Self {
         let mut slots = Vec::with_capacity(capacity);
-        slots.resize_with(capacity, || UnsafeCell::new(MaybeUninit::uninit()));
-        let mut written = Vec::with_capacity(capacity);
-        written.resize_with(capacity, || AtomicBool::new(false));
-        ScatterBuffer {
-            slots: slots.into_boxed_slice(),
-            written: written.into_boxed_slice(),
-            mode,
-            _reservation: reservation,
-        }
+        slots.resize_with(capacity, || Mutex::new(None));
+        ScatterBuffer { slots: slots.into_boxed_slice(), mode, reservation }
     }
 
     /// Capacity in elements.
@@ -492,17 +576,30 @@ impl<T> ScatterBuffer<T> {
     }
 
     /// Store `item` at `idx` without cost accounting. Panics on
-    /// out-of-bounds or double writes (a data race on real hardware).
-    #[inline]
-    fn raw_write(&self, idx: usize, item: T) {
-        assert!(idx < self.slots.len(), "scatter write {idx} out of bounds");
-        assert!(
-            !self.written[idx].swap(true, Ordering::AcqRel),
-            "scatter slot {idx} written twice in one launch"
-        );
-        // SAFETY: the flag above guarantees this slot is written exactly
-        // once; reads require `&mut self` (post-launch).
-        unsafe { (*self.slots[idx].get()).write(item) };
+    /// out-of-bounds or double writes (a data race on real hardware) unless
+    /// the responsible sanitizer pass records and neutralises the access.
+    fn raw_write(&self, origin: Origin, idx: usize, item: T) {
+        if idx >= self.slots.len() {
+            if let Some(shadow) = self.reservation.shadow() {
+                if shadow.oob_write(idx, origin, self.slots.len()) {
+                    return;
+                }
+            }
+            panic!("scatter write {idx} out of bounds");
+        }
+        if let Some(shadow) = self.reservation.shadow() {
+            shadow.log_scatter_write(idx, origin);
+        }
+        let mut slot = self.slots[idx].lock();
+        if slot.is_some() {
+            if self.reservation.shadow().is_some_and(ShadowRef::racecheck) {
+                // First write wins; the conflict was logged above and the
+                // launch-end race analysis reports it.
+                return;
+            }
+            panic!("scatter slot {idx} written twice in one launch");
+        }
+        *slot = Some(item);
     }
 
     /// Write `item` at `idx` from a kernel lane (plain global write, no
@@ -510,7 +607,7 @@ impl<T> ScatterBuffer<T> {
     #[inline]
     pub fn write(&self, lane: &mut Lane, idx: usize, item: T) {
         lane.gmem_write(std::mem::size_of::<T>() as u64);
-        self.raw_write(idx, item);
+        self.raw_write(Origin::Lane(lane.global_id), idx, item);
     }
 
     /// Begin a warp's staged scatter session (see [`ScatterStash`]).
@@ -519,32 +616,30 @@ impl<T> ScatterBuffer<T> {
     }
 
     /// Drain the first `len` slots to the host (all must have been written)
-    /// and reset for the next launch.
+    /// and reset for the next launch. A never-written slot panics — or,
+    /// under memcheck, is recorded as an uninitialized read and skipped.
     pub fn drain_to_host(&mut self, len: usize) -> Vec<T> {
         assert!(len <= self.slots.len());
         let mut out = Vec::with_capacity(len);
         for i in 0..len {
-            assert!(*self.written[i].get_mut(), "scatter slot {i} was never written");
-            // SAFETY: flagged as written; consumed exactly once here.
-            out.push(unsafe { self.slots[i].get_mut().assume_init_read() });
-        }
-        for w in self.written.iter_mut() {
-            *w.get_mut() = false;
-        }
-        out
-    }
-}
-
-impl<T> Drop for ScatterBuffer<T> {
-    fn drop(&mut self) {
-        if std::mem::needs_drop::<T>() {
-            for (slot, written) in self.slots.iter_mut().zip(self.written.iter_mut()) {
-                if *written.get_mut() {
-                    // SAFETY: written slots hold initialised values.
-                    unsafe { slot.get_mut().assume_init_drop() };
+            match self.slots[i].get_mut().take() {
+                Some(item) => out.push(item),
+                None => {
+                    let neutralised = self
+                        .reservation
+                        .shadow()
+                        .is_some_and(|shadow| shadow.uninit_read(i, Origin::Host, out.len()));
+                    assert!(neutralised, "scatter slot {i} was never written");
                 }
             }
         }
+        for slot in self.slots.iter_mut().skip(len) {
+            *slot.get_mut() = None;
+        }
+        if let Some(shadow) = self.reservation.shadow() {
+            shadow.note_drained((out.len() * std::mem::size_of::<T>()) as u64);
+        }
+        out
     }
 }
 
@@ -582,7 +677,7 @@ impl<'a, T> ScatterStash<'a, T> {
         warp.instr(COMMIT_INSTR);
         warp.gmem_write(bytes);
         for (idx, item) in self.staged.drain(..) {
-            self.buffer.raw_write(idx, item);
+            self.buffer.raw_write(Origin::Warp(warp.index()), idx, item);
         }
     }
 }
@@ -592,21 +687,19 @@ impl<'a, T> ScatterStash<'a, T> {
 ///
 /// Each kernel thread takes its own partition with [`take_partition`]; the
 /// runtime check guarantees a partition is handed out at most once per
-/// launch, making the aliasing-free access pattern explicit.
+/// launch, making the aliasing-free access pattern explicit. Each
+/// partition's storage sits behind its own `Mutex` — uncontended by
+/// construction, which keeps the type free of `unsafe` aliasing arguments
+/// while charging exactly the same simulated costs.
 ///
 /// [`take_partition`]: PartitionedScratch::take_partition
 pub struct PartitionedScratch<T> {
-    data: Box<[UnsafeCell<T>]>,
+    parts: Box<[Mutex<Vec<T>>]>,
     per_thread: usize,
     taken: Box<[AtomicBool]>,
     mode: ResultWriteMode,
-    _reservation: Reservation,
+    reservation: Reservation,
 }
-
-// SAFETY: partitions are disjoint slices and each is handed out at most once
-// per launch (enforced by the `taken` flags), so no two threads alias.
-unsafe impl<T: Send> Sync for PartitionedScratch<T> {}
-unsafe impl<T: Send> Send for PartitionedScratch<T> {}
 
 impl<T: Copy + Default> PartitionedScratch<T> {
     pub(crate) fn new(
@@ -615,16 +708,16 @@ impl<T: Copy + Default> PartitionedScratch<T> {
         mode: ResultWriteMode,
         reservation: Reservation,
     ) -> Self {
-        let mut data = Vec::with_capacity(partitions * per_thread);
-        data.resize_with(partitions * per_thread, || UnsafeCell::new(T::default()));
+        let mut parts = Vec::with_capacity(partitions);
+        parts.resize_with(partitions, || Mutex::new(Vec::with_capacity(per_thread)));
         let mut taken = Vec::with_capacity(partitions);
         taken.resize_with(partitions, || AtomicBool::new(false));
         PartitionedScratch {
-            data: data.into_boxed_slice(),
+            parts: parts.into_boxed_slice(),
             per_thread,
             taken: taken.into_boxed_slice(),
             mode,
-            _reservation: reservation,
+            reservation,
         }
     }
 
@@ -646,8 +739,16 @@ impl<T: Copy + Default> PartitionedScratch<T> {
             !self.taken[idx].swap(true, Ordering::AcqRel),
             "scratch partition {idx} taken twice in one launch"
         );
-        let start = idx * self.per_thread;
-        ScratchPartition { scratch: self, start, len: 0, pending: 0 }
+        let mut data = self.parts[idx].lock();
+        data.clear();
+        ScratchPartition {
+            data,
+            base: idx * self.per_thread,
+            cap: self.per_thread,
+            mode: self.mode,
+            pending: 0,
+            shadow: self.reservation.shadow().cloned(),
+        }
     }
 
     /// Reset all partitions for the next launch. `&mut self` guarantees no
@@ -661,10 +762,14 @@ impl<T: Copy + Default> PartitionedScratch<T> {
 
 /// Exclusive view of one scratch partition, used as an append buffer.
 pub struct ScratchPartition<'a, T> {
-    scratch: &'a PartitionedScratch<T>,
-    start: usize,
-    len: usize,
+    data: MutexGuard<'a, Vec<T>>,
+    /// First word of this partition within the whole scratch allocation
+    /// (sanitizer findings report absolute offsets).
+    base: usize,
+    cap: usize,
+    mode: ResultWriteMode,
     pending: u64,
+    shadow: Option<ShadowRef>,
 }
 
 impl<'a, T: Copy + Default> ScratchPartition<'a, T> {
@@ -679,22 +784,17 @@ impl<'a, T: Copy + Default> ScratchPartition<'a, T> {
     /// write-combining).
     #[inline]
     pub fn push(&mut self, lane: &mut Lane, item: T) -> bool {
-        if self.len >= self.scratch.per_thread {
+        if self.data.len() >= self.cap {
             return false;
         }
-        match self.scratch.mode {
+        match self.mode {
             ResultWriteMode::PerLane => lane.gmem_write(std::mem::size_of::<T>() as u64),
             ResultWriteMode::WarpAggregated => {
                 lane.instr(1);
                 self.pending += std::mem::size_of::<T>() as u64;
             }
         }
-        // SAFETY: this partition is exclusively owned (enforced by
-        // `take_partition`), and `start + len` stays within it.
-        unsafe {
-            *self.scratch.data[self.start + self.len].get() = item;
-        }
-        self.len += 1;
+        self.data.push(item);
         true
     }
 
@@ -709,22 +809,40 @@ impl<'a, T: Copy + Default> ScratchPartition<'a, T> {
     /// Number of elements appended so far.
     #[inline]
     pub fn len(&self) -> usize {
-        self.len
+        self.data.len()
     }
 
     /// True if nothing was appended.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.data.is_empty()
     }
 
     /// Read back element `i`, charging the lane's memory counter.
+    ///
+    /// Without a sanitizer a read past the appended length panics. Under
+    /// memcheck it is recorded — as an uninitialized read when `i` is
+    /// inside the partition's capacity but was never written this session,
+    /// or as an out-of-bounds read past the capacity — and neutralised by
+    /// returning `T::default()`.
     #[inline]
     pub fn read(&self, lane: &mut Lane, i: usize) -> T {
-        assert!(i < self.len, "scratch read {i} out of bounds {}", self.len);
+        if i >= self.data.len() {
+            if let Some(shadow) = &self.shadow {
+                let neutralised = if i >= self.cap {
+                    shadow.oob_read(self.base + i, Origin::Lane(lane.global_id), self.cap)
+                } else {
+                    shadow.uninit_read(self.base + i, Origin::Lane(lane.global_id), self.data.len())
+                };
+                if neutralised {
+                    lane.gmem_read(std::mem::size_of::<T>() as u64);
+                    return T::default();
+                }
+            }
+            panic!("scratch read {i} out of bounds {}", self.data.len());
+        }
         lane.gmem_read(std::mem::size_of::<T>() as u64);
-        // SAFETY: exclusive partition; index checked above.
-        unsafe { *self.scratch.data[self.start + i].get() }
+        self.data[i]
     }
 }
 

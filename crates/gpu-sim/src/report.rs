@@ -116,6 +116,11 @@ pub struct SearchReport {
     pub load: LoadBalance,
     /// Host wall-clock seconds actually spent (all phases).
     pub wall_seconds: f64,
+    /// Sanitizer findings recorded during this search (0 under
+    /// [`crate::SanitizerMode::Off`]); a per-search delta from
+    /// [`crate::Device::sanitizer_checkpoint`], so merged reports sum. The
+    /// structured diagnostics live on [`crate::Device::sanitizer_report`].
+    pub sanitizer_findings: u64,
 }
 
 impl SearchReport {
@@ -139,6 +144,7 @@ impl SearchReport {
         self.totals.add(&other.totals);
         self.load.merge(&other.load);
         self.wall_seconds += other.wall_seconds;
+        self.sanitizer_findings += other.sanitizer_findings;
     }
 }
 

@@ -1,0 +1,806 @@
+//! Shadow-state device sanitizer: memcheck + racecheck for the simulated GPU.
+//!
+//! The simulated device executes kernels as real Rust closures, so the
+//! classic GPU failure modes — out-of-bounds accesses, reads of
+//! uninitialized memory, write-write races between lanes, records silently
+//! lost to result-buffer overflow — either panic the host process or, worse,
+//! stay invisible while corrupting counters and results. This module is the
+//! software analogue of NVIDIA's `compute-sanitizer`: a shadow-state layer
+//! that every memory type in [`crate::memory`] reports into when the device
+//! was created with a non-[`SanitizerMode::Off`]
+//! [`crate::DeviceConfig::sanitizer`].
+//!
+//! Two passes exist, combinable via [`SanitizerMode::Full`]:
+//!
+//! * **Memcheck** — per-buffer shadow bookkeeping: out-of-bounds reads and
+//!   writes (recorded and neutralised instead of panicking, so one run can
+//!   surface many findings), reads of never-written scratch words, malformed
+//!   work-queue tiles (`hi < lo`, which would underflow [`crate::Tile::len`]),
+//!   device→host transfer accounting mismatches (bytes charged to the ledger
+//!   vs bytes actually drained), and a live-allocation registry that exposes
+//!   leaked buffers.
+//! * **Racecheck** — per-launch access sets. Scatter-buffer writes are logged
+//!   as `(buffer, offset, origin)`; at launch end, slots written more than
+//!   once become [`FindingKind::WriteWriteRace`] (distinct origins) or
+//!   [`FindingKind::DoubleWrite`] (one origin writing twice). Accesses
+//!   *ordered by an atomic* are blessed and never logged: result-buffer
+//!   cursor `fetch_add`s ([`crate::ResultBuffer`]/[`crate::WarpStash`]) and
+//!   work-queue tile grabs hand out unique indices by construction.
+//!   Racecheck also performs **lost-record accounting**: a stash commit that
+//!   drops records (`lost > 0`) must be acknowledged — either by a later
+//!   commit of the same warp storing redo ids into another buffer (the
+//!   device-side redo protocol of `tdts-kernels`), or by the host observing
+//!   the overflow flag ([`crate::ResultBuffer::overflowed`], the host-side
+//!   batch-halving protocol). Unacknowledged losses surface as
+//!   [`FindingKind::LostRecords`].
+//!
+//! Findings are structured [`Finding`]s (buffer name, word offset, launch
+//! id, kernel shape, conflicting lanes) collected into a
+//! [`SanitizerReport`]; searches surface the per-search count on
+//! `SearchReport::sanitizer_findings` and tests hard-fail via
+//! [`crate::Device::assert_sanitizer_clean`].
+//!
+//! When the mode is `Off` the device holds no `Sanitizer` at all: no shadow
+//! allocations exist, no access is logged, and the simulated cost counters
+//! are byte-identical to a build without this module.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Which sanitizer passes a device runs (see the module docs).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SanitizerMode {
+    /// No shadow state, no checks, zero overhead (the default).
+    #[default]
+    Off,
+    /// Bounds / initialization / transfer / tile checks only.
+    Memcheck,
+    /// Per-launch access-set race checks and lost-record accounting only.
+    Racecheck,
+    /// Both passes.
+    Full,
+}
+
+impl SanitizerMode {
+    /// True when memcheck-class detectors are active.
+    #[inline]
+    pub fn memcheck(self) -> bool {
+        matches!(self, SanitizerMode::Memcheck | SanitizerMode::Full)
+    }
+
+    /// True when racecheck-class detectors are active.
+    #[inline]
+    pub fn racecheck(self) -> bool {
+        matches!(self, SanitizerMode::Racecheck | SanitizerMode::Full)
+    }
+
+    /// True when no detector is active.
+    #[inline]
+    pub fn is_off(self) -> bool {
+        self == SanitizerMode::Off
+    }
+
+    /// Parse a mode name as used by CLI flags and `TDTS_SANITIZER`.
+    pub fn parse(s: &str) -> Option<SanitizerMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" => Some(SanitizerMode::Off),
+            "memcheck" => Some(SanitizerMode::Memcheck),
+            "racecheck" => Some(SanitizerMode::Racecheck),
+            "full" => Some(SanitizerMode::Full),
+            _ => None,
+        }
+    }
+
+    /// Mode requested through the `TDTS_SANITIZER` environment variable
+    /// (`off`/`memcheck`/`racecheck`/`full`), if set and well-formed. Never
+    /// consulted implicitly: callers (tests, CLI) opt in explicitly.
+    pub fn from_env() -> Option<SanitizerMode> {
+        std::env::var("TDTS_SANITIZER").ok().and_then(|v| SanitizerMode::parse(&v))
+    }
+}
+
+impl fmt::Display for SanitizerMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SanitizerMode::Off => "off",
+            SanitizerMode::Memcheck => "memcheck",
+            SanitizerMode::Racecheck => "racecheck",
+            SanitizerMode::Full => "full",
+        })
+    }
+}
+
+/// Who performed a tracked access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum Origin {
+    /// Host-side code (uploads, drains, tile construction).
+    Host,
+    /// A kernel lane, identified by its global thread id.
+    Lane(usize),
+    /// A warp epilogue (staged commit), identified by the warp index —
+    /// unique per launch even under persistent tiling, where lane global
+    /// ids repeat across tiles.
+    Warp(usize),
+}
+
+impl Origin {
+    fn id(self) -> Option<usize> {
+        match self {
+            Origin::Host => None,
+            Origin::Lane(g) | Origin::Warp(g) => Some(g),
+        }
+    }
+}
+
+impl fmt::Display for Origin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Origin::Host => f.write_str("host"),
+            Origin::Lane(g) => write!(f, "lane {g}"),
+            Origin::Warp(w) => write!(f, "warp {w}"),
+        }
+    }
+}
+
+/// Classification of a sanitizer finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum FindingKind {
+    /// A kernel read past a buffer's length (memcheck).
+    OutOfBoundsRead,
+    /// A kernel write past a buffer's capacity (memcheck).
+    OutOfBoundsWrite,
+    /// A read of a scratch/scatter word that was never written (memcheck).
+    UninitializedRead,
+    /// Two different origins wrote the same slot in one launch (racecheck).
+    WriteWriteRace,
+    /// One origin wrote the same slot twice in one launch (racecheck).
+    DoubleWrite,
+    /// A stash commit dropped records and neither a device-side redo commit
+    /// nor a host overflow check acknowledged them (racecheck).
+    LostRecords,
+    /// A work-queue tile with `hi < lo` (memcheck).
+    MalformedTile,
+    /// Device→host bytes charged to the ledger disagree with bytes actually
+    /// drained from device buffers (memcheck).
+    TransferMismatch,
+}
+
+impl fmt::Display for FindingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FindingKind::OutOfBoundsRead => "out-of-bounds-read",
+            FindingKind::OutOfBoundsWrite => "out-of-bounds-write",
+            FindingKind::UninitializedRead => "uninitialized-read",
+            FindingKind::WriteWriteRace => "write-write-race",
+            FindingKind::DoubleWrite => "double-write",
+            FindingKind::LostRecords => "lost-records",
+            FindingKind::MalformedTile => "malformed-tile",
+            FindingKind::TransferMismatch => "transfer-mismatch",
+        })
+    }
+}
+
+/// One structured sanitizer diagnostic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// What went wrong.
+    pub kind: FindingKind,
+    /// Name of the buffer involved, e.g. `ScatterBuffer<u32>#3`.
+    pub buffer: String,
+    /// Word offset within the buffer (tile position for
+    /// [`FindingKind::MalformedTile`], 0 when not applicable).
+    pub offset: usize,
+    /// 1-based id of the launch during which the access happened (the
+    /// number of launches so far, for host-side findings).
+    pub launch: u64,
+    /// Kernel shape label of that launch (`static-grid`,
+    /// `persistent-warp-per-tile`, or `host`).
+    pub shape: String,
+    /// Conflicting lane global ids (warp indices for warp-scoped origins),
+    /// sorted.
+    pub lanes: Vec<usize>,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} offset {} (launch {}, shape {}, lanes {:?}): {}",
+            self.kind, self.buffer, self.offset, self.launch, self.shape, self.lanes, self.detail
+        )
+    }
+}
+
+/// Snapshot of everything the sanitizer knows, retrievable via
+/// [`crate::Device::sanitizer_report`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SanitizerReport {
+    /// The mode the device runs under.
+    pub mode: SanitizerMode,
+    /// Kernel launches observed so far.
+    pub launches: u64,
+    /// All findings, in deterministic order.
+    pub findings: Vec<Finding>,
+    /// Names of buffers currently registered (informational: buffers held
+    /// alive by an engine are expected here; buffers that outlive every
+    /// owner — e.g. via `mem::forget` — are leaks).
+    pub live_allocations: Vec<String>,
+    /// Device→host bytes charged to the response-time ledger (memcheck).
+    pub d2h_charged_bytes: u64,
+    /// Device→host bytes actually drained from device buffers (memcheck).
+    pub d2h_drained_bytes: u64,
+}
+
+impl SanitizerReport {
+    /// True when no finding was recorded.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+impl fmt::Display for SanitizerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "sanitizer({}): {} finding(s) over {} launch(es), {} live allocation(s)",
+            self.mode,
+            self.findings.len(),
+            self.launches,
+            self.live_allocations.len()
+        )?;
+        for finding in &self.findings {
+            writeln!(f, "  {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+/// `std::any::type_name` without the module path (generic arguments of the
+/// tracked buffer types are plain identifiers, so splitting on `::` is safe).
+pub(crate) fn short_type_name<T>() -> &'static str {
+    let full = std::any::type_name::<T>();
+    full.rsplit("::").next().unwrap_or(full)
+}
+
+#[derive(Debug, Clone)]
+struct Alloc {
+    name: String,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CommitEvent {
+    warp: usize,
+    buffer: u64,
+    stored: u64,
+    lost: u64,
+}
+
+#[derive(Debug)]
+struct CurrentLaunch {
+    id: u64,
+    shape: &'static str,
+    /// Scatter-write log: `(buffer id, slot) -> origins that wrote it`.
+    writes: BTreeMap<(u64, usize), Vec<Origin>>,
+    /// Stash-commit log, in push order (sequential within each warp).
+    commits: Vec<CommitEvent>,
+}
+
+/// A commit loss that no redo commit acknowledged inside its launch; cleared
+/// when the host checks the buffer's overflow flag, otherwise reported as
+/// [`FindingKind::LostRecords`].
+#[derive(Debug, Clone)]
+struct PendingLoss {
+    buffer: u64,
+    name: String,
+    warp: usize,
+    launch: u64,
+    shape: &'static str,
+    lost: u64,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    next_id: u64,
+    allocs: BTreeMap<u64, Alloc>,
+    launches: u64,
+    current: Option<CurrentLaunch>,
+    pending_losses: Vec<PendingLoss>,
+    findings: Vec<Finding>,
+    /// Findings already consumed by a `checkpoint()` (per-search deltas).
+    checkpoint: usize,
+    d2h_charged: u64,
+    d2h_drained: u64,
+    /// The charged-minus-drained byte delta already reported, so a persistent
+    /// mismatch produces one finding, not one per checkpoint.
+    flagged_transfer_diff: i64,
+}
+
+impl State {
+    fn buffer_name(&self, id: u64) -> String {
+        self.allocs.get(&id).map_or_else(|| format!("buffer#{id}"), |a| a.name.clone())
+    }
+
+    fn launch_context(&self) -> (u64, &'static str) {
+        self.current.as_ref().map_or((self.launches, "host"), |c| (c.id, c.shape))
+    }
+
+    fn transfer_diff(&self) -> i64 {
+        self.d2h_charged as i64 - self.d2h_drained as i64
+    }
+
+    fn transfer_finding(&self) -> Finding {
+        Finding {
+            kind: FindingKind::TransferMismatch,
+            buffer: "d2h transfers".to_string(),
+            offset: 0,
+            launch: self.launches,
+            shape: "host".to_string(),
+            lanes: Vec::new(),
+            detail: format!(
+                "{} bytes charged to the ledger vs {} bytes drained from device buffers",
+                self.d2h_charged, self.d2h_drained
+            ),
+        }
+    }
+}
+
+fn loss_finding(p: &PendingLoss) -> Finding {
+    Finding {
+        kind: FindingKind::LostRecords,
+        buffer: p.name.clone(),
+        offset: 0,
+        launch: p.launch,
+        shape: p.shape.to_string(),
+        lanes: vec![p.warp],
+        detail: format!(
+            "commit by warp {} dropped {} record(s) and neither a redo commit nor a host \
+             overflow check acknowledged them",
+            p.warp, p.lost
+        ),
+    }
+}
+
+/// The shadow-state engine. One per [`crate::Device`] (absent when the mode
+/// is [`SanitizerMode::Off`]); all memory types report into it through
+/// crate-internal `ShadowRef` handles handed out at registration.
+#[derive(Debug)]
+pub struct Sanitizer {
+    mode: SanitizerMode,
+    state: Mutex<State>,
+}
+
+impl Sanitizer {
+    pub(crate) fn new(mode: SanitizerMode) -> Sanitizer {
+        Sanitizer { mode, state: Mutex::new(State::default()) }
+    }
+
+    /// The active mode.
+    pub fn mode(&self) -> SanitizerMode {
+        self.mode
+    }
+
+    fn register(&self, kind: &'static str, ty: &'static str, _len: usize) -> u64 {
+        let mut st = self.state.lock();
+        let id = st.next_id;
+        st.next_id += 1;
+        st.allocs.insert(id, Alloc { name: format!("{kind}<{ty}>#{id}") });
+        id
+    }
+
+    fn deregister(&self, id: u64) {
+        self.state.lock().allocs.remove(&id);
+    }
+
+    fn record(
+        &self,
+        kind: FindingKind,
+        buffer: u64,
+        offset: usize,
+        origin: Origin,
+        detail: String,
+    ) {
+        let mut st = self.state.lock();
+        let (launch, shape) = st.launch_context();
+        let buffer = st.buffer_name(buffer);
+        st.findings.push(Finding {
+            kind,
+            buffer,
+            offset,
+            launch,
+            shape: shape.to_string(),
+            lanes: origin.id().into_iter().collect(),
+            detail,
+        });
+    }
+
+    pub(crate) fn begin_launch(&self, shape: &'static str) {
+        let mut st = self.state.lock();
+        st.launches += 1;
+        let id = st.launches;
+        st.current =
+            Some(CurrentLaunch { id, shape, writes: BTreeMap::new(), commits: Vec::new() });
+    }
+
+    pub(crate) fn end_launch(&self) {
+        let mut st = self.state.lock();
+        let Some(launch) = st.current.take() else { return };
+
+        // Race analysis: slots written more than once. The write log is a
+        // BTreeMap and origins are sorted, so finding order is deterministic
+        // whatever the host thread interleaving was.
+        for ((buf, offset), mut origins) in launch.writes {
+            if origins.len() < 2 {
+                continue;
+            }
+            origins.sort_unstable();
+            let all_same = origins.windows(2).all(|w| w[0] == w[1]);
+            let kind =
+                if all_same { FindingKind::DoubleWrite } else { FindingKind::WriteWriteRace };
+            let mut lanes: Vec<usize> = origins.iter().filter_map(|o| o.id()).collect();
+            lanes.dedup();
+            let writers = origins.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ");
+            let buffer = st.buffer_name(buf);
+            st.findings.push(Finding {
+                kind,
+                buffer,
+                offset,
+                launch: launch.id,
+                shape: launch.shape.to_string(),
+                lanes,
+                detail: format!("{} writes to the same slot by {writers}", origins.len()),
+            });
+        }
+
+        // Lost-record accounting: a commit with losses is acknowledged
+        // inside the launch by a *later* commit of the same warp that stores
+        // records into a different buffer (redo-id staging). Within one warp
+        // the commit log is in execution order, so the scan is deterministic
+        // even though warps interleave in the log.
+        let mut pending = Vec::new();
+        for (i, e) in launch.commits.iter().enumerate() {
+            if e.lost == 0 {
+                continue;
+            }
+            let acked = launch.commits[i + 1..]
+                .iter()
+                .any(|f| f.warp == e.warp && f.buffer != e.buffer && f.stored > 0);
+            if !acked {
+                pending.push(PendingLoss {
+                    buffer: e.buffer,
+                    name: st.buffer_name(e.buffer),
+                    warp: e.warp,
+                    launch: launch.id,
+                    shape: launch.shape,
+                    lost: e.lost,
+                });
+            }
+        }
+        pending.sort_by_key(|a| (a.warp, a.buffer));
+        st.pending_losses.extend(pending);
+    }
+
+    pub(crate) fn note_d2h_charged(&self, bytes: u64) {
+        if self.mode.memcheck() {
+            self.state.lock().d2h_charged += bytes;
+        }
+    }
+
+    pub(crate) fn note_malformed_tile(&self, pos: usize, query: u32, lo: u32, hi: u32) {
+        if !self.mode.memcheck() {
+            return;
+        }
+        let mut st = self.state.lock();
+        let launches = st.launches;
+        st.findings.push(Finding {
+            kind: FindingKind::MalformedTile,
+            buffer: "work-queue tiles".to_string(),
+            offset: pos,
+            launch: launches,
+            shape: "host".to_string(),
+            lanes: Vec::new(),
+            detail: format!("tile {pos} for query {query} has hi {hi} < lo {lo}"),
+        });
+    }
+
+    /// Materialize pending losses and transfer mismatches, then return the
+    /// number of findings recorded since the previous checkpoint. Called at
+    /// the end of every search; `SearchReport::sanitizer_findings` carries
+    /// the delta so merged reports sum correctly.
+    pub(crate) fn checkpoint(&self) -> u64 {
+        let mut st = self.state.lock();
+        let pending = std::mem::take(&mut st.pending_losses);
+        for p in &pending {
+            st.findings.push(loss_finding(p));
+        }
+        let diff = st.transfer_diff();
+        if self.mode.memcheck() && diff != 0 && diff != st.flagged_transfer_diff {
+            let f = st.transfer_finding();
+            st.findings.push(f);
+            st.flagged_transfer_diff = diff;
+        }
+        let delta = st.findings.len() - st.checkpoint;
+        st.checkpoint = st.findings.len();
+        delta as u64
+    }
+
+    /// Snapshot everything known so far. Non-destructive: pending losses and
+    /// an unflagged transfer mismatch are synthesized into the returned
+    /// report without being consumed.
+    pub fn report(&self) -> SanitizerReport {
+        let st = self.state.lock();
+        let mut findings = st.findings.clone();
+        findings.extend(st.pending_losses.iter().map(loss_finding));
+        let diff = st.transfer_diff();
+        if self.mode.memcheck() && diff != 0 && diff != st.flagged_transfer_diff {
+            findings.push(st.transfer_finding());
+        }
+        SanitizerReport {
+            mode: self.mode,
+            launches: st.launches,
+            findings,
+            live_allocations: st.allocs.values().map(|a| a.name.clone()).collect(),
+            d2h_charged_bytes: st.d2h_charged,
+            d2h_drained_bytes: st.d2h_drained,
+        }
+    }
+}
+
+/// Per-buffer handle into the device's [`Sanitizer`], held by each
+/// [`crate::memory`] reservation. All methods are cheap no-ops for the
+/// passes the mode disables; buffers never consult the sanitizer on their
+/// in-bounds hot paths at all.
+#[derive(Debug, Clone)]
+pub(crate) struct ShadowRef {
+    san: Arc<Sanitizer>,
+    id: u64,
+}
+
+impl ShadowRef {
+    pub(crate) fn new(
+        san: &Arc<Sanitizer>,
+        kind: &'static str,
+        ty: &'static str,
+        len: usize,
+    ) -> ShadowRef {
+        ShadowRef { san: Arc::clone(san), id: san.register(kind, ty, len) }
+    }
+
+    pub(crate) fn release(&self) {
+        self.san.deregister(self.id);
+    }
+
+    #[inline]
+    pub(crate) fn racecheck(&self) -> bool {
+        self.san.mode.racecheck()
+    }
+
+    /// Record an out-of-bounds read; `false` when memcheck is inactive (the
+    /// caller then preserves the panicking behaviour).
+    pub(crate) fn oob_read(&self, offset: usize, origin: Origin, len: usize) -> bool {
+        if !self.san.mode.memcheck() {
+            return false;
+        }
+        self.san.record(
+            FindingKind::OutOfBoundsRead,
+            self.id,
+            offset,
+            origin,
+            format!("read at {offset} beyond length {len}"),
+        );
+        true
+    }
+
+    /// Record an out-of-bounds write; `false` when memcheck is inactive.
+    pub(crate) fn oob_write(&self, offset: usize, origin: Origin, capacity: usize) -> bool {
+        if !self.san.mode.memcheck() {
+            return false;
+        }
+        self.san.record(
+            FindingKind::OutOfBoundsWrite,
+            self.id,
+            offset,
+            origin,
+            format!("write at {offset} beyond capacity {capacity}"),
+        );
+        true
+    }
+
+    /// Record a read of a never-written word; `false` when memcheck is
+    /// inactive.
+    pub(crate) fn uninit_read(&self, offset: usize, origin: Origin, initialized: usize) -> bool {
+        if !self.san.mode.memcheck() {
+            return false;
+        }
+        self.san.record(
+            FindingKind::UninitializedRead,
+            self.id,
+            offset,
+            origin,
+            format!("read at {offset} but only {initialized} word(s) were written"),
+        );
+        true
+    }
+
+    /// Log a scatter write into the current launch's access set (racecheck).
+    pub(crate) fn log_scatter_write(&self, offset: usize, origin: Origin) {
+        if !self.san.mode.racecheck() {
+            return;
+        }
+        let mut st = self.san.state.lock();
+        if let Some(cur) = st.current.as_mut() {
+            cur.writes.entry((self.id, offset)).or_default().push(origin);
+        }
+    }
+
+    /// Log a stash commit's stored/lost counts for the current launch
+    /// (racecheck lost-record accounting).
+    pub(crate) fn log_commit(&self, warp: usize, stored: u64, lost: u64) {
+        if !self.san.mode.racecheck() || (stored == 0 && lost == 0) {
+            return;
+        }
+        let mut st = self.san.state.lock();
+        if let Some(cur) = st.current.as_mut() {
+            cur.commits.push(CommitEvent { warp, buffer: self.id, stored, lost });
+        }
+    }
+
+    /// The host checked this buffer's overflow flag: pending losses on it
+    /// are acknowledged (host-driven redo, e.g. batch halving).
+    pub(crate) fn ack_losses(&self) {
+        if !self.san.mode.racecheck() {
+            return;
+        }
+        self.san.state.lock().pending_losses.retain(|p| p.buffer != self.id);
+    }
+
+    /// Record bytes drained to the host (memcheck transfer accounting).
+    pub(crate) fn note_drained(&self, bytes: u64) {
+        if self.san.mode.memcheck() {
+            self.san.state.lock().d2h_drained += bytes;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_predicates_and_parse() {
+        assert!(SanitizerMode::Off.is_off());
+        assert!(!SanitizerMode::Off.memcheck() && !SanitizerMode::Off.racecheck());
+        assert!(SanitizerMode::Memcheck.memcheck() && !SanitizerMode::Memcheck.racecheck());
+        assert!(!SanitizerMode::Racecheck.memcheck() && SanitizerMode::Racecheck.racecheck());
+        assert!(SanitizerMode::Full.memcheck() && SanitizerMode::Full.racecheck());
+        assert_eq!(SanitizerMode::parse("full"), Some(SanitizerMode::Full));
+        assert_eq!(SanitizerMode::parse(" MemCheck "), Some(SanitizerMode::Memcheck));
+        assert_eq!(SanitizerMode::parse("racecheck"), Some(SanitizerMode::Racecheck));
+        assert_eq!(SanitizerMode::parse("off"), Some(SanitizerMode::Off));
+        assert_eq!(SanitizerMode::parse("bogus"), None);
+        assert_eq!(SanitizerMode::Full.to_string(), "full");
+    }
+
+    #[test]
+    fn registry_tracks_live_allocations() {
+        let san = Arc::new(Sanitizer::new(SanitizerMode::Full));
+        let a = ShadowRef::new(&san, "DeviceBuffer", "u32", 8);
+        let b = ShadowRef::new(&san, "ResultBuffer", "u64", 4);
+        let report = san.report();
+        assert_eq!(report.live_allocations, vec!["DeviceBuffer<u32>#0", "ResultBuffer<u64>#1"]);
+        a.release();
+        assert_eq!(san.report().live_allocations, vec!["ResultBuffer<u64>#1"]);
+        b.release();
+        assert!(san.report().live_allocations.is_empty());
+        assert!(san.report().is_clean());
+    }
+
+    #[test]
+    fn race_analysis_classifies_double_writes_and_races() {
+        let san = Arc::new(Sanitizer::new(SanitizerMode::Racecheck));
+        let buf = ShadowRef::new(&san, "ScatterBuffer", "u32", 8);
+        san.begin_launch("static-grid");
+        buf.log_scatter_write(3, Origin::Lane(1));
+        buf.log_scatter_write(3, Origin::Lane(5));
+        buf.log_scatter_write(6, Origin::Lane(2));
+        buf.log_scatter_write(6, Origin::Lane(2));
+        buf.log_scatter_write(0, Origin::Lane(0)); // single write: clean
+        san.end_launch();
+        let report = san.report();
+        assert_eq!(report.findings.len(), 2);
+        assert_eq!(report.findings[0].kind, FindingKind::WriteWriteRace);
+        assert_eq!(report.findings[0].offset, 3);
+        assert_eq!(report.findings[0].lanes, vec![1, 5]);
+        assert_eq!(report.findings[1].kind, FindingKind::DoubleWrite);
+        assert_eq!(report.findings[1].offset, 6);
+        assert_eq!(report.findings[1].lanes, vec![2]);
+        assert_eq!(report.findings[0].launch, 1);
+        assert_eq!(report.findings[0].shape, "static-grid");
+    }
+
+    #[test]
+    fn lost_records_require_acknowledgement() {
+        let san = Arc::new(Sanitizer::new(SanitizerMode::Racecheck));
+        let results = ShadowRef::new(&san, "ResultBuffer", "u32", 4);
+        let redo = ShadowRef::new(&san, "ResultBuffer", "u32", 4);
+
+        // Launch 1: warp 0's loss is acknowledged by its redo commit; warp
+        // 1's is not.
+        san.begin_launch("static-grid");
+        results.log_commit(0, 2, 3);
+        redo.log_commit(0, 1, 0);
+        results.log_commit(1, 1, 2);
+        san.end_launch();
+        let report = san.report();
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].kind, FindingKind::LostRecords);
+        assert_eq!(report.findings[0].lanes, vec![1]);
+
+        // The host checking the overflow flag acknowledges the remainder.
+        results.ack_losses();
+        assert!(san.report().is_clean());
+    }
+
+    #[test]
+    fn checkpoint_returns_per_search_deltas() {
+        let san = Arc::new(Sanitizer::new(SanitizerMode::Full));
+        let buf = ShadowRef::new(&san, "ScatterBuffer", "u32", 8);
+        assert_eq!(san.checkpoint(), 0);
+        san.begin_launch("static-grid");
+        buf.log_scatter_write(1, Origin::Lane(0));
+        buf.log_scatter_write(1, Origin::Lane(1));
+        san.end_launch();
+        assert_eq!(san.checkpoint(), 1);
+        assert_eq!(san.checkpoint(), 0, "no new findings since the last checkpoint");
+        // Unacknowledged losses materialize at the checkpoint.
+        san.begin_launch("static-grid");
+        buf.log_commit(0, 0, 4);
+        san.end_launch();
+        assert_eq!(san.checkpoint(), 1);
+        assert_eq!(san.report().findings.len(), 2);
+    }
+
+    #[test]
+    fn transfer_mismatch_is_flagged_once_per_delta() {
+        let san = Arc::new(Sanitizer::new(SanitizerMode::Memcheck));
+        let buf = ShadowRef::new(&san, "ResultBuffer", "u32", 8);
+        san.note_d2h_charged(32);
+        buf.note_drained(32);
+        assert_eq!(san.checkpoint(), 0, "balanced transfers are clean");
+        san.note_d2h_charged(16);
+        assert_eq!(san.checkpoint(), 1);
+        assert_eq!(san.checkpoint(), 0, "a stale mismatch is not re-reported");
+        let report = san.report();
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].kind, FindingKind::TransferMismatch);
+        assert_eq!(report.d2h_charged_bytes, 48);
+        assert_eq!(report.d2h_drained_bytes, 32);
+    }
+
+    #[test]
+    fn off_mode_logs_nothing() {
+        let san = Arc::new(Sanitizer::new(SanitizerMode::Off));
+        let buf = ShadowRef::new(&san, "ScatterBuffer", "u32", 8);
+        san.begin_launch("static-grid");
+        assert!(!buf.oob_read(9, Origin::Lane(0), 8));
+        assert!(!buf.oob_write(9, Origin::Lane(0), 8));
+        assert!(!buf.uninit_read(1, Origin::Host, 0));
+        buf.log_scatter_write(1, Origin::Lane(0));
+        buf.log_scatter_write(1, Origin::Lane(1));
+        buf.log_commit(0, 0, 7);
+        san.end_launch();
+        san.note_d2h_charged(100);
+        assert!(san.report().is_clean());
+        assert_eq!(san.checkpoint(), 0);
+    }
+
+    #[test]
+    fn short_type_names() {
+        assert_eq!(short_type_name::<u32>(), "u32");
+        assert_eq!(short_type_name::<SanitizerMode>(), "SanitizerMode");
+    }
+}

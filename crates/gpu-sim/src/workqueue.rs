@@ -18,8 +18,27 @@
 //! candidate comparisons instead of being paid per entry.
 
 use crate::memory::DeviceBuffer;
+use crate::sanitizer::Sanitizer;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Memcheck pass over a host-built tile list before upload: a tile with
+/// `hi < lo` would underflow [`Tile::len`] and drive a kernel through a
+/// 4-billion-entry range. Each malformed tile is recorded as a
+/// [`crate::FindingKind::MalformedTile`] finding and neutralised by
+/// clamping `hi` to `lo` (an empty tile), so one run surfaces every bad
+/// tile instead of crashing on the first.
+pub(crate) fn validate_tiles(san: &Sanitizer, tiles: &mut [Tile]) {
+    if !san.mode().memcheck() {
+        return;
+    }
+    for (i, t) in tiles.iter_mut().enumerate() {
+        if t.hi < t.lo {
+            san.note_malformed_tile(i, t.query, t.lo, t.hi);
+            t.hi = t.lo;
+        }
+    }
+}
 
 /// One unit of warp-cooperative work: `query` against the candidate
 /// positions `lo..hi`. `tag` disambiguates what the range indexes when an
@@ -100,8 +119,8 @@ impl WorkQueue {
         self.tiles.is_empty()
     }
 
-    /// The tile at queue position `i`.
-    pub(crate) fn tile_at(&self, i: usize) -> Tile {
+    /// The tile at queue position `i` (after any sanitizer clamping).
+    pub fn tile_at(&self, i: usize) -> Tile {
         self.tiles.as_slice()[i]
     }
 

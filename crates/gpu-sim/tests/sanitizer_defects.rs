@@ -1,0 +1,282 @@
+//! Seeded defects: every sanitizer detector must actually fire.
+//!
+//! Each fixture builds a device in the narrowest mode that owns the
+//! detector (memcheck fixtures pair their drains with download charges so
+//! the transfer check stays quiet; racecheck fixtures run without the
+//! memcheck passes to prove the mode gating), injects one defect a real
+//! kernel could exhibit, and asserts the *exact* structured diagnostic —
+//! kind, buffer, offset, launch shape, and conflicting lanes.
+
+use std::sync::Arc;
+use tdts_gpu_sim::{Device, DeviceConfig, FindingKind, SanitizerMode, Tile};
+
+fn device(mode: SanitizerMode) -> Arc<Device> {
+    Device::new(DeviceConfig { sanitizer: mode, ..DeviceConfig::test_tiny() }).unwrap()
+}
+
+/// The one finding of a single-defect fixture.
+fn sole_finding(dev: &Device) -> tdts_gpu_sim::Finding {
+    let report = dev.sanitizer_report();
+    assert_eq!(report.findings.len(), 1, "expected exactly one finding:\n{report}");
+    report.findings[0].clone()
+}
+
+#[test]
+fn oob_scatter_write_is_reported_and_neutralised() {
+    let dev = device(SanitizerMode::Memcheck);
+    let mut buf = dev.alloc_scatter::<u32>(4).unwrap();
+    dev.launch(1, |lane| {
+        buf.write(lane, 9, 42); // past capacity: reported, dropped
+        buf.write(lane, 0, 7); // in bounds: lands normally
+    });
+    let f = sole_finding(&dev);
+    assert_eq!(f.kind, FindingKind::OutOfBoundsWrite);
+    assert!(f.buffer.starts_with("ScatterBuffer<u32>#"), "{}", f.buffer);
+    assert_eq!(f.offset, 9);
+    assert_eq!(f.launch, 1);
+    assert_eq!(f.shape, "static-grid");
+    assert_eq!(f.lanes, vec![0]);
+    assert!(f.detail.contains("beyond capacity 4"), "{}", f.detail);
+    let out = buf.drain_to_host(1);
+    dev.charge_download(out.len() * std::mem::size_of::<u32>());
+    assert_eq!(out, vec![7]);
+}
+
+#[test]
+fn oob_device_buffer_read_is_reported_and_neutralised() {
+    let dev = device(SanitizerMode::Memcheck);
+    let buf = dev.alloc_from_host(vec![11u32, 22, 33]).unwrap();
+    dev.launch(1, |lane| {
+        // Reads past the length are reported and neutralised to the first
+        // element instead of crashing the whole simulated kernel.
+        assert_eq!(buf.read(lane, 10), 11);
+    });
+    let f = sole_finding(&dev);
+    assert_eq!(f.kind, FindingKind::OutOfBoundsRead);
+    assert!(f.buffer.starts_with("DeviceBuffer<u32>#"), "{}", f.buffer);
+    assert_eq!(f.offset, 10);
+    assert_eq!(f.shape, "static-grid");
+    assert_eq!(f.lanes, vec![0]);
+    assert!(f.detail.contains("beyond length 3"), "{}", f.detail);
+}
+
+#[test]
+fn uninitialized_scratch_read_is_reported_and_neutralised() {
+    let dev = device(SanitizerMode::Memcheck);
+    let scratch = dev.alloc_scratch::<u32>(1, 8).unwrap();
+    dev.launch(1, |lane| {
+        let mut part = scratch.take_partition(0);
+        assert!(part.push(lane, 5));
+        // Word 3 of the partition was never written: memcheck reports it
+        // and the read neutralises to the default value.
+        assert_eq!(part.read(lane, 3), 0);
+    });
+    let f = sole_finding(&dev);
+    assert_eq!(f.kind, FindingKind::UninitializedRead);
+    assert!(f.buffer.starts_with("PartitionedScratch<u32>#"), "{}", f.buffer);
+    assert_eq!(f.offset, 3);
+    assert_eq!(f.lanes, vec![0]);
+    assert!(f.detail.contains("only 1 word(s) were written"), "{}", f.detail);
+}
+
+#[test]
+fn uninitialized_scatter_drain_is_reported_and_skipped() {
+    let dev = device(SanitizerMode::Memcheck);
+    let mut buf = dev.alloc_scatter::<u32>(4).unwrap();
+    dev.launch(1, |lane| {
+        buf.write(lane, 0, 7);
+        // Slot 1 deliberately never written.
+    });
+    let out = buf.drain_to_host(2);
+    dev.charge_download(out.len() * std::mem::size_of::<u32>());
+    assert_eq!(out, vec![7], "unwritten slot must be skipped, not invented");
+    let f = sole_finding(&dev);
+    assert_eq!(f.kind, FindingKind::UninitializedRead);
+    assert_eq!(f.offset, 1);
+    assert_eq!(f.shape, "host", "the drain is a host-side access");
+    assert!(f.lanes.is_empty());
+}
+
+#[test]
+fn conflicting_scatter_writes_are_a_write_write_race() {
+    // Two lanes writing the same slot — the classic symptom of a cursor
+    // bumped without an atomic. Racecheck mode alone must catch it.
+    let dev = device(SanitizerMode::Racecheck);
+    let mut buf = dev.alloc_scatter::<u32>(4).unwrap();
+    dev.launch(2, |lane| {
+        buf.write(lane, lane.global_id, lane.global_id as u32); // disjoint: fine
+        buf.write(lane, 2, lane.global_id as u32); // both lanes: race
+    });
+    let f = sole_finding(&dev);
+    assert_eq!(f.kind, FindingKind::WriteWriteRace);
+    assert!(f.buffer.starts_with("ScatterBuffer<u32>#"), "{}", f.buffer);
+    assert_eq!(f.offset, 2);
+    assert_eq!(f.launch, 1);
+    assert_eq!(f.shape, "static-grid");
+    assert_eq!(f.lanes, vec![0, 1]);
+    assert!(f.detail.contains("2 writes to the same slot"), "{}", f.detail);
+    // First write wins deterministically under the sanitizer (lanes run in
+    // lane order within a warp).
+    let out = buf.drain_to_host(3);
+    assert_eq!(out[2], 0);
+}
+
+#[test]
+fn repeated_write_by_one_lane_is_a_double_write() {
+    let dev = device(SanitizerMode::Racecheck);
+    let mut buf = dev.alloc_scatter::<u32>(4).unwrap();
+    dev.launch(1, |lane| {
+        buf.write(lane, 0, 4);
+        buf.write(lane, 1, 5);
+        buf.write(lane, 1, 6);
+    });
+    let f = sole_finding(&dev);
+    assert_eq!(f.kind, FindingKind::DoubleWrite);
+    assert_eq!(f.offset, 1);
+    assert_eq!(f.lanes, vec![0]);
+    let _ = buf.drain_to_host(2);
+}
+
+#[test]
+fn unacknowledged_stash_overflow_is_lost_records() {
+    // A stash commit drops records (result buffer full) and the kernel
+    // neither stages redo ids nor does the host check the overflow flag:
+    // the undercount must surface instead of vanishing.
+    let dev = device(SanitizerMode::Racecheck);
+    let mut results = dev.alloc_result::<u32>(1).unwrap();
+    dev.launch_warps(2, |warp| {
+        let mut stash = results.warp_stash();
+        warp.for_each_lane(|lane| {
+            stash.stage(lane, lane.global_id as u32);
+        });
+        let dropped = stash.commit(warp);
+        assert_ne!(dropped, 0, "fixture must overflow");
+    });
+    // Deliberately no `results.overflowed()` check and no redo commit.
+    assert_eq!(dev.sanitizer_checkpoint(), 1);
+    let f = sole_finding(&dev);
+    assert_eq!(f.kind, FindingKind::LostRecords);
+    assert!(f.buffer.starts_with("ResultBuffer<u32>#"), "{}", f.buffer);
+    assert_eq!(f.launch, 1);
+    assert_eq!(f.shape, "static-grid");
+    assert_eq!(f.lanes, vec![0], "the losing warp's index");
+    assert!(f.detail.contains("dropped 1 record(s)"), "{}", f.detail);
+    let _ = results.drain_to_host();
+}
+
+#[test]
+fn overflow_acknowledged_by_host_check_is_clean() {
+    // Same overflow, but the host checks the flag (the batch-halving
+    // protocol): no finding.
+    let dev = device(SanitizerMode::Racecheck);
+    let mut results = dev.alloc_result::<u32>(1).unwrap();
+    dev.launch_warps(2, |warp| {
+        let mut stash = results.warp_stash();
+        warp.for_each_lane(|lane| {
+            stash.stage(lane, lane.global_id as u32);
+        });
+        stash.commit(warp);
+    });
+    assert!(results.overflowed());
+    let _ = results.drain_to_host();
+    assert_eq!(dev.sanitizer_checkpoint(), 0);
+    dev.assert_sanitizer_clean();
+}
+
+#[test]
+fn malformed_tile_is_reported_and_clamped() {
+    let dev = device(SanitizerMode::Memcheck);
+    let tiles = vec![
+        Tile { query: 0, lo: 0, hi: 4, tag: 0 },
+        Tile { query: 3, lo: 9, hi: 2, tag: 0 }, // hi < lo: Tile::len underflows
+    ];
+    let queue = dev.work_queue(tiles).unwrap();
+    assert!(queue.tile_at(1).is_empty(), "malformed tile must be clamped empty");
+    assert_eq!(queue.tile_at(0).len(), 4, "well-formed tiles untouched");
+    let report = dev.sanitizer_report();
+    let f = report
+        .findings
+        .iter()
+        .find(|f| f.kind == FindingKind::MalformedTile)
+        .expect("malformed tile finding");
+    assert_eq!(f.offset, 1, "tile position, not byte offset");
+    assert_eq!(f.shape, "host");
+    assert!(f.detail.contains("query 3 has hi 2 < lo 9"), "{}", f.detail);
+}
+
+#[test]
+fn uncharged_drain_is_a_transfer_mismatch() {
+    let dev = device(SanitizerMode::Memcheck);
+    let mut results = dev.alloc_result::<u32>(8).unwrap();
+    dev.launch(3, |lane| {
+        results.push(lane, lane.global_id as u32);
+    });
+    let out = results.drain_to_host();
+    assert_eq!(out.len(), 3);
+    // Deliberately no `charge_download`: the simulated response time now
+    // pretends 12 bytes never crossed the bus.
+    assert_eq!(dev.sanitizer_checkpoint(), 1);
+    let f = sole_finding(&dev);
+    assert_eq!(f.kind, FindingKind::TransferMismatch);
+    assert_eq!(f.buffer, "d2h transfers");
+    assert!(f.detail.contains("0 bytes charged"), "{}", f.detail);
+    assert!(f.detail.contains("12 bytes drained"), "{}", f.detail);
+}
+
+#[test]
+fn forgotten_buffer_shows_as_live_allocation() {
+    let dev = device(SanitizerMode::Memcheck);
+    {
+        let _dropped = dev.alloc_from_host(vec![1u32]).unwrap();
+    }
+    assert!(dev.sanitizer_report().live_allocations.is_empty(), "dropped buffers must deregister");
+    let leaked = dev.alloc_from_host(vec![2u64, 3]).unwrap();
+    std::mem::forget(leaked);
+    let live = dev.sanitizer_report().live_allocations;
+    assert_eq!(live.len(), 1);
+    assert!(live[0].starts_with("DeviceBuffer<u64>#"), "{}", live[0]);
+}
+
+#[test]
+fn memcheck_findings_are_gated_off_under_racecheck() {
+    // Racecheck-only devices keep the legacy panic on hard memory errors.
+    let dev = device(SanitizerMode::Racecheck);
+    let buf = dev.alloc_from_host(vec![1u32]).unwrap();
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        dev.launch(1, |lane| {
+            buf.read(lane, 5);
+        });
+    }));
+    assert!(err.is_err(), "racecheck must not soften out-of-bounds panics");
+}
+
+#[test]
+fn racecheck_findings_are_gated_off_under_memcheck() {
+    // Memcheck-only devices keep the legacy panic on conflicting writes.
+    let dev = device(SanitizerMode::Memcheck);
+    let buf = dev.alloc_scatter::<u32>(4).unwrap();
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        dev.launch(2, |lane| {
+            buf.write(lane, 2, 1);
+        });
+    }));
+    assert!(err.is_err(), "memcheck must not swallow write conflicts");
+}
+
+#[test]
+fn persistent_launch_findings_carry_the_persistent_shape() {
+    let dev = device(SanitizerMode::Memcheck);
+    let entries = dev.alloc_from_host(vec![1u32, 2, 3, 4]).unwrap();
+    let queue = dev.work_queue(vec![Tile { query: 0, lo: 0, hi: 4, tag: 0 }]).unwrap();
+    dev.launch_persistent(&queue, |warp, tile| {
+        warp.for_each_lane(|lane| {
+            // Off-by-one: reads one element past the tile's end.
+            let _ = entries.read(lane, tile.hi as usize + lane.lane_index());
+        });
+    });
+    let report = dev.sanitizer_report();
+    let f = &report.findings[0];
+    assert_eq!(f.kind, FindingKind::OutOfBoundsRead);
+    assert_eq!(f.shape, "persistent-warp-per-tile");
+    assert_eq!(f.offset, 4);
+}

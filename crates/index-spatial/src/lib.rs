@@ -18,6 +18,8 @@
 //! giving each a proportionally larger buffer — exactly the re-invocation
 //! protocol of Algorithm 1.
 
+#![forbid(unsafe_code)]
+
 pub mod fsg;
 pub mod search;
 

@@ -19,6 +19,8 @@
 //! reports this fallback dominating on dense data at large `d` (§V-E).
 //! The schedule is sorted by array selector to reduce warp divergence.
 
+#![forbid(unsafe_code)]
+
 pub mod index;
 pub mod search;
 

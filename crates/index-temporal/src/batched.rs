@@ -235,11 +235,15 @@ impl GpuBatchedTemporalSearch {
         overlapped.add(Phase::HostCompute, serial.get(Phase::HostCompute));
         overlapped.add(Phase::KernelExec, pipeline_makespan(&stages));
         overlapped.kernel_invocations = serial.kernel_invocations;
+        // The transfers still moved the same bytes, overlapped or not.
+        overlapped.h2d_bytes = serial.h2d_bytes;
+        overlapped.d2h_bytes = serial.d2h_bytes;
 
         report.comparisons = comparisons.into_inner();
         report.matches = matches.len() as u64;
         report.response = overlapped;
         report.wall_seconds = wall_start.elapsed().as_secs_f64();
+        report.sanitizer_findings = self.device.sanitizer_checkpoint();
         Ok((matches, report))
     }
 }

@@ -13,6 +13,8 @@
 //! selected purely by temporal overlap), the defining behaviour of this
 //! scheme in Figures 4–6.
 
+#![forbid(unsafe_code)]
+
 pub mod batched;
 pub mod index;
 pub mod kernel;

@@ -352,6 +352,7 @@ impl GpuTemporalSearch {
         report.matches = matches.len() as u64;
         report.response = self.device.ledger();
         report.wall_seconds = wall_start.elapsed().as_secs_f64();
+        report.sanitizer_findings = self.device.sanitizer_checkpoint();
         Ok((matches, report))
     }
 }

@@ -18,6 +18,8 @@
 //!   parameterised by per-method [`CandidateGenerator`]/[`TileGenerator`]
 //!   implementations.
 
+#![forbid(unsafe_code)]
+
 pub mod compare;
 pub mod pipeline;
 pub mod queries;

@@ -333,5 +333,6 @@ pub fn finish_search(
     report.matches = matches.len() as u64;
     report.response = device.ledger();
     report.wall_seconds = wall_start.elapsed().as_secs_f64();
+    report.sanitizer_findings = device.sanitizer_checkpoint();
     (matches, report)
 }

@@ -11,6 +11,8 @@
 //! thread pool, mirroring the paper's OpenMP parallelisation (one query
 //! segment per thread, ~80% parallel efficiency on 6 cores).
 
+#![forbid(unsafe_code)]
+
 pub mod stmbb;
 pub mod tree;
 

@@ -31,6 +31,8 @@
 //! [`TdtsError::Timeout`]: tdts_core::TdtsError::Timeout
 //! [`TdtsError::Overloaded`]: tdts_core::TdtsError::Overloaded
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 mod oneshot;
 pub mod service;

@@ -9,6 +9,7 @@
 //! tdts-cli replay   --dataset merger --scale 0.01 --queries 64 --clients 64
 //! ```
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tdts::prelude::*;
 
@@ -39,6 +40,9 @@ fn usage() -> ! {
          \u{20}                                    warp-per-tile (work-queue kernels)\n\
          \u{20}  --tile-size <n>                   candidate entries per work-queue\n\
          \u{20}                                    tile (default 128)\n\
+         \u{20}  --sanitizer <off|memcheck|racecheck|full>\n\
+         \u{20}                                    shadow-state device sanitizer (default\n\
+         \u{20}                                    off, or the TDTS_SANITIZER env var)\n\
          \u{20}  --clients <n>                     concurrent replay clients (default 16)\n\
          \u{20}  --request-size <n>                query segments per client request\n\
          \u{20}                                    (default 0 = one whole trajectory)\n\
@@ -71,6 +75,7 @@ struct Opts {
     subbins: usize,
     kernel_shape: KernelShape,
     tile_size: usize,
+    sanitizer: SanitizerMode,
     clients: usize,
     request_size: usize,
     requests: usize,
@@ -98,6 +103,7 @@ fn parse() -> Opts {
         subbins: 4,
         kernel_shape: KernelShape::ThreadPerQuery,
         tile_size: 128,
+        sanitizer: SanitizerMode::from_env().unwrap_or(SanitizerMode::Off),
         clients: 16,
         request_size: 0,
         requests: 0,
@@ -128,6 +134,9 @@ fn parse() -> Opts {
                 }
             }
             "--tile-size" => o.tile_size = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--sanitizer" => {
+                o.sanitizer = SanitizerMode::parse(&val(&mut args)).unwrap_or_else(|| usage())
+            }
             "--clients" => o.clients = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--request-size" => o.request_size = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--requests" => o.requests = val(&mut args).parse().unwrap_or_else(|_| usage()),
@@ -242,6 +251,7 @@ fn main() {
             let mut device_config = DeviceConfig::tesla_c2075();
             device_config.kernel_shape = o.kernel_shape;
             device_config.tile_size = o.tile_size;
+            device_config.sanitizer = o.sanitizer;
             let device = Device::new(device_config.clone()).unwrap_or_else(|e| fail(e));
             let dataset = PreparedDataset::new(store);
             let method = match o.method.as_str() {
@@ -313,6 +323,7 @@ fn main() {
                 return;
             }
 
+            let sanitizer_device = Arc::clone(&device);
             let engine = SearchEngine::build(&dataset, method, device).unwrap_or_else(|e| fail(e));
             let (matches, report) = engine.search(&queries, o.d, cap).unwrap_or_else(|e| fail(e));
             println!("method:       {}", engine.method().name());
@@ -324,6 +335,18 @@ fn main() {
                 report.response
             );
             println!("wall:         {:.3}s", report.wall_seconds);
+            if !o.sanitizer.is_off() {
+                let san = sanitizer_device.sanitizer_report();
+                if san.is_clean() {
+                    println!(
+                        "sanitizer:    clean ({} over {} launches)",
+                        o.sanitizer, san.launches
+                    );
+                } else {
+                    eprint!("sanitizer FAILED:\n{san}");
+                    std::process::exit(1);
+                }
+            }
             if o.verify {
                 match verify_against_oracle(dataset.store(), &queries, o.d, &matches, 1e-9) {
                     None => println!("verification: OK (matches brute force)"),

@@ -86,8 +86,8 @@ pub mod prelude {
         TrajId,
     };
     pub use tdts_gpu_sim::{
-        Device, DeviceConfig, KernelShape, LoadBalance, Phase, ResultWriteMode, SearchError,
-        SearchReport, SegmentLayout,
+        Device, DeviceConfig, Finding, FindingKind, KernelShape, LoadBalance, Phase,
+        ResultWriteMode, SanitizerMode, SanitizerReport, SearchError, SearchReport, SegmentLayout,
     };
     pub use tdts_index_spatial::{FsgConfig, GpuSpatialConfig};
     pub use tdts_index_spatiotemporal::SpatioTemporalIndexConfig;

@@ -1,0 +1,223 @@
+//! Tier-1: the device sanitizer must be *silent* on correct code and free
+//! when off.
+//!
+//! Every search method, under both kernel shapes, on the two scenario
+//! geometries that survive down-scaling (Merger, Random-dense), runs the
+//! full tier-1 workload under [`SanitizerMode::Full`] with **zero**
+//! findings — and returns results and deterministic counters byte-identical
+//! to a run with the sanitizer off. The mode under test honours the
+//! `TDTS_SANITIZER` environment variable (the CI sanitizer job sets
+//! `TDTS_SANITIZER=full` explicitly), defaulting to `Full` so a plain
+//! `cargo test` exercises the strictest mode too.
+
+use std::sync::Arc;
+use std::time::Instant;
+use tdts::prelude::*;
+
+const SCALE: f64 = 1.0 / 256.0;
+
+/// The mode the clean matrix runs under: `TDTS_SANITIZER` when set, else
+/// `Full` (never `Off` — an `Off` baseline is built per comparison).
+fn mode_under_test() -> SanitizerMode {
+    match SanitizerMode::from_env() {
+        Some(SanitizerMode::Off) | None => SanitizerMode::Full,
+        Some(m) => m,
+    }
+}
+
+fn device_with(shape: KernelShape, mode: SanitizerMode) -> Arc<Device> {
+    let config =
+        DeviceConfig { kernel_shape: shape, sanitizer: mode, ..DeviceConfig::tesla_c2075() };
+    Device::new(config).unwrap()
+}
+
+fn methods() -> Vec<Method> {
+    vec![
+        Method::CpuRTree(RTreeConfig::default()),
+        Method::GpuSpatial(GpuSpatialConfig {
+            fsg: FsgConfig { cells_per_dim: 10 },
+            total_scratch: 2_000_000,
+        }),
+        Method::GpuTemporal(TemporalIndexConfig { bins: 50 }),
+        Method::GpuBatchedTemporal(BatchedConfig {
+            index: TemporalIndexConfig { bins: 50 },
+            batch_size: 64,
+        }),
+        Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {
+            bins: 50,
+            subbins: 4,
+            sort_by_selector: true,
+        }),
+    ]
+}
+
+/// Deterministic slice of a report: everything except measured wall time
+/// and the host-compute seconds derived from it.
+fn deterministic_view(r: &SearchReport) -> impl PartialEq + std::fmt::Debug {
+    (
+        (r.comparisons, r.raw_matches, r.matches, r.redo_rounds),
+        (r.fallback_queries, r.divergent_warps, r.totals),
+        (
+            r.load.max_warp_cycles.to_bits(),
+            r.load.warp_cycles.to_bits(),
+            r.load.warps,
+            r.load.tiles_dispatched,
+            r.load.queue_atomics,
+        ),
+        (r.response.kernel_invocations, r.response.h2d_bytes, r.response.d2h_bytes),
+        (
+            r.response.get(Phase::KernelExec).to_bits(),
+            r.response.get(Phase::HostToDevice).to_bits(),
+            r.response.get(Phase::DeviceToHost).to_bits(),
+        ),
+    )
+}
+
+fn run_clean_matrix(kind: ScenarioKind, result_capacity: usize) {
+    let scenario = Scenario::new(kind, SCALE);
+    let dataset = PreparedDataset::new(scenario.dataset());
+    let queries = scenario.queries();
+    let mode = mode_under_test();
+
+    for shape in [KernelShape::ThreadPerQuery, KernelShape::WarpPerTile] {
+        for method in methods() {
+            let dev_off = device_with(shape, SanitizerMode::Off);
+            let dev_san = device_with(shape, mode);
+            let off = SearchEngine::build(&dataset, method, Arc::clone(&dev_off)).unwrap();
+            let san = SearchEngine::build(&dataset, method, Arc::clone(&dev_san)).unwrap();
+
+            let (m_off, r_off) = off.search(&queries, 1.5, result_capacity).unwrap();
+            let (m_san, r_san) = san.search(&queries, 1.5, result_capacity).unwrap();
+
+            let label = format!("{} / {shape:?} / {kind:?}", method.name());
+            assert_eq!(m_off, m_san, "{label}: results differ under sanitizer");
+            assert_eq!(
+                deterministic_view(&r_off),
+                deterministic_view(&r_san),
+                "{label}: sanitizer perturbed the cost model"
+            );
+            assert_eq!(r_san.sanitizer_findings, 0, "{label}: findings on clean code");
+            let report = dev_san.sanitizer_report();
+            assert!(report.is_clean(), "{label}: sanitizer found defects:\n{report}");
+            dev_san.assert_sanitizer_clean();
+        }
+    }
+}
+
+#[test]
+fn merger_matrix_is_clean_and_identical() {
+    run_clean_matrix(ScenarioKind::S2Merger, 2_000_000);
+}
+
+#[test]
+fn random_dense_matrix_is_clean_and_identical() {
+    run_clean_matrix(ScenarioKind::S3RandomDense, 2_000_000);
+}
+
+/// The redo protocol under buffer pressure must stay clean: lost records
+/// are acknowledged by the redo rounds, not reported as leaks.
+#[test]
+fn redo_rounds_under_pressure_are_clean() {
+    let scenario = Scenario::new(ScenarioKind::S2Merger, SCALE);
+    let dataset = PreparedDataset::new(scenario.dataset());
+    let queries = scenario.queries();
+    for shape in [KernelShape::ThreadPerQuery, KernelShape::WarpPerTile] {
+        let dev = device_with(shape, mode_under_test());
+        let engine = SearchEngine::build(
+            &dataset,
+            Method::GpuTemporal(TemporalIndexConfig { bins: 50 }),
+            Arc::clone(&dev),
+        )
+        .unwrap();
+        // A capacity small enough to force overflow redo rounds but large
+        // enough for one query alone.
+        let (matches, report) = engine.search(&queries, 2.0, 600).unwrap();
+        assert!(report.redo_rounds > 0, "{shape:?}: expected buffer pressure");
+        assert!(!matches.is_empty());
+        assert_eq!(report.sanitizer_findings, 0, "{shape:?}: redo flagged");
+        dev.assert_sanitizer_clean();
+    }
+}
+
+/// Batch halving in the streaming method is host-driven redo: the
+/// overflow acknowledgement comes from `ResultBuffer::overflowed`, and a
+/// pressured run must stay clean.
+#[test]
+fn batched_halving_under_pressure_is_clean() {
+    let scenario = Scenario::new(ScenarioKind::S2Merger, SCALE);
+    let dataset = PreparedDataset::new(scenario.dataset());
+    let queries = scenario.queries();
+    let dev = device_with(KernelShape::ThreadPerQuery, mode_under_test());
+    let engine = SearchEngine::build(
+        &dataset,
+        Method::GpuBatchedTemporal(BatchedConfig {
+            index: TemporalIndexConfig { bins: 50 },
+            batch_size: 256,
+        }),
+        Arc::clone(&dev),
+    )
+    .unwrap();
+    let (matches, report) = engine.search(&queries, 2.0, 600).unwrap();
+    assert!(report.redo_rounds > 0, "expected batch halving");
+    assert!(!matches.is_empty());
+    assert_eq!(report.sanitizer_findings, 0);
+    dev.assert_sanitizer_clean();
+}
+
+/// The two-pass count/scatter variant exercises the scatter buffer's
+/// exactly-once shadow tracking end to end.
+#[test]
+fn two_pass_scatter_is_clean() {
+    use tdts::index_temporal::GpuTemporalSearch;
+    let scenario = Scenario::new(ScenarioKind::S2Merger, SCALE);
+    let dataset = PreparedDataset::new(scenario.dataset());
+    let queries = scenario.queries();
+    let dev = device_with(KernelShape::ThreadPerQuery, mode_under_test());
+    let search = GpuTemporalSearch::new(
+        Arc::clone(&dev),
+        &dataset.store_arc(),
+        TemporalIndexConfig { bins: 50 },
+    )
+    .unwrap();
+    let (matches, report) = search.search_two_pass(&queries, 1.5).unwrap();
+    assert!(!matches.is_empty());
+    assert_eq!(report.sanitizer_findings, 0);
+    dev.assert_sanitizer_clean();
+}
+
+/// Full-mode overhead stays within the 3× budget the sanitizer promises
+/// (EXPERIMENTS.md records measured ratios; this is the guard rail).
+#[test]
+fn full_mode_overhead_within_budget() {
+    let scenario = Scenario::new(ScenarioKind::S2Merger, 1.0 / 64.0);
+    let dataset = PreparedDataset::new(scenario.dataset());
+    let queries = scenario.queries();
+
+    let time_mode = |mode: SanitizerMode| -> f64 {
+        let dev = device_with(KernelShape::ThreadPerQuery, mode);
+        let engine = SearchEngine::build(
+            &dataset,
+            Method::GpuTemporal(TemporalIndexConfig { bins: 50 }),
+            dev,
+        )
+        .unwrap();
+        // Warm-up, then the timed pass over several searches to smooth
+        // scheduler noise.
+        engine.search(&queries, 1.5, 2_000_000).unwrap();
+        let start = Instant::now();
+        for _ in 0..3 {
+            engine.search(&queries, 1.5, 2_000_000).unwrap();
+        }
+        start.elapsed().as_secs_f64()
+    };
+
+    let off = time_mode(SanitizerMode::Off);
+    let full = time_mode(SanitizerMode::Full);
+    // Guard against division noise on very fast runs: only enforce the
+    // ratio once the baseline is measurable.
+    let ratio = full / off.max(1e-3);
+    assert!(
+        ratio <= 3.0,
+        "sanitizer overhead {ratio:.2}x exceeds 3x (off {off:.4}s, full {full:.4}s)"
+    );
+}

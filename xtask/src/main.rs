@@ -1,0 +1,479 @@
+//! Workspace automation. The one task so far is the kernel-code lint gate:
+//!
+//! ```text
+//! cargo xtask lint
+//! ```
+//!
+//! A hand-rolled, std-only static pass over the workspace sources (no
+//! `syn`: this environment is offline, so the scanner works on text with
+//! just enough context tracking to skip comments, strings, and test
+//! modules). Four rules, each encoding an invariant the simulated GPU
+//! relies on:
+//!
+//! * `raw-device-access` — kernel-side code (the kernels crate and the
+//!   four index crates) must commit per-lane results through the warp
+//!   stash seams, never by raw per-lane `.write(lane, …)` scatter calls:
+//!   an unaggregated write is exactly the pattern the racecheck pass
+//!   exists to catch at runtime, so it is rejected at review time too.
+//! * `float-eq` — the continuous interaction test (`tdts-geom` and the
+//!   kernels crate) must not compare `f64` values with `==`/`!=`;
+//!   threshold logic belongs to epsilon/interval comparisons. Exact-zero
+//!   algebraic guards carry an explicit waiver.
+//! * `unordered-iter` — launch-replay and demux paths (`tdts-gpu-sim`,
+//!   `tdts-service`) must not use `HashMap`/`HashSet`: iteration order
+//!   would leak into dispatch replay and batch demultiplexing, breaking
+//!   the determinism the whole cost model is pinned on. Use `BTreeMap`
+//!   or `Vec`.
+//! * `unsafe-without-safety` — every `unsafe` token anywhere in the
+//!   workspace needs a `// SAFETY:` comment within the three preceding
+//!   lines (or on the same line).
+//!
+//! A finding is waived by `// lint: allow(<rule>)` on the offending line
+//! or the line directly above it (give a reason after the marker).
+//!
+//! Every run first re-validates the rules against built-in seeded-defect
+//! fixtures — if a detector stops firing, the gate fails itself.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let root = match args.next() {
+                Some(flag) if flag == "--root" => {
+                    PathBuf::from(args.next().expect("--root needs a path"))
+                }
+                Some(other) => {
+                    eprintln!("unknown argument `{other}`");
+                    return ExitCode::FAILURE;
+                }
+                None => workspace_root(),
+            };
+            lint(&root)
+        }
+        _ => {
+            eprintln!("usage: cargo xtask lint [--root <workspace>]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root: the parent of this crate's manifest directory.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().expect("xtask sits inside the workspace").to_path_buf()
+}
+
+fn lint(root: &Path) -> ExitCode {
+    if let Err(broken) = self_check() {
+        eprintln!("lint self-check failed: rule `{broken}` no longer fires on its fixture");
+        return ExitCode::FAILURE;
+    }
+    let mut findings = Vec::new();
+    for rule in RULES {
+        for dir in rule.scan_dirs {
+            let base = root.join(dir);
+            if !base.exists() {
+                continue;
+            }
+            for file in rust_files(&base) {
+                let source = match std::fs::read_to_string(&file) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("cannot read {}: {e}", file.display());
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+                findings.extend(scan_source(rule, &rel, &source));
+            }
+        }
+    }
+    if findings.is_empty() {
+        println!("lint: clean ({} rules)", RULES.len());
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            eprintln!("{f}");
+        }
+        eprintln!("lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Every rule must fire on its seeded-defect fixture and stay quiet once
+/// the fixture carries a waiver.
+fn self_check() -> Result<(), &'static str> {
+    for rule in RULES {
+        let path = Path::new("fixture.rs");
+        if scan_source(rule, path, rule.bad_fixture).is_empty() {
+            return Err(rule.name);
+        }
+        let waived: String = rule
+            .bad_fixture
+            .lines()
+            .map(|l| format!("// lint: allow({})\n{l}\n", rule.name))
+            .collect();
+        if !scan_source(rule, path, &waived).is_empty() {
+            return Err(rule.name);
+        }
+    }
+    Ok(())
+}
+
+struct Finding {
+    rule: &'static str,
+    file: PathBuf,
+    line: usize,
+    excerpt: String,
+    why: &'static str,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}\n    {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.why,
+            self.excerpt.trim()
+        )
+    }
+}
+
+struct Rule {
+    name: &'static str,
+    why: &'static str,
+    /// Workspace-relative directories this rule scans.
+    scan_dirs: &'static [&'static str],
+    /// Line predicate over (code-only text, full original line).
+    matches: fn(code: &str, raw: &str) -> bool,
+    /// Whether the rule also applies inside `#[cfg(test)]` modules.
+    include_tests: bool,
+    /// Whether a `// SAFETY:` comment in the three preceding lines
+    /// discharges the finding (the unsafe rule).
+    safety_comment_discharges: bool,
+    /// A minimal source fragment the rule must flag (self-check).
+    bad_fixture: &'static str,
+}
+
+const KERNEL_CRATES: &[&str] = &[
+    "crates/kernels/src",
+    "crates/index-spatial/src",
+    "crates/index-temporal/src",
+    "crates/index-spatiotemporal/src",
+];
+
+const RULES: &[Rule] = &[
+    Rule {
+        name: "raw-device-access",
+        why: "raw per-lane scatter write bypasses the warp-stash seam; stage through \
+              warp_stash()/ScatterStash instead",
+        scan_dirs: KERNEL_CRATES,
+        matches: |code, _| code.contains(".write(lane"),
+        include_tests: false,
+        safety_comment_discharges: false,
+        bad_fixture: "fn k(lane: &mut Lane) { buf.write(lane, 0, item); }\n",
+    },
+    Rule {
+        name: "float-eq",
+        why: "f64 ==/!= in interaction-test code; use epsilon or interval comparisons \
+              (waive exact-zero algebraic guards explicitly)",
+        scan_dirs: &["crates/geom/src", "crates/kernels/src"],
+        matches: |code, _| float_eq_comparison(code),
+        include_tests: false,
+        safety_comment_discharges: false,
+        bad_fixture: "fn f(d: f64) -> bool { d == 0.0 }\n",
+    },
+    Rule {
+        name: "unordered-iter",
+        why: "HashMap/HashSet in a launch-replay/demux path; iteration order breaks \
+              deterministic replay — use BTreeMap/BTreeSet/Vec",
+        scan_dirs: &["crates/gpu-sim/src", "crates/service/src"],
+        matches: |code, _| ["HashMap", "HashSet"].iter().any(|t| contains_word(code, t)),
+        include_tests: false,
+        safety_comment_discharges: false,
+        bad_fixture: "use std::collections::HashMap;\n",
+    },
+    Rule {
+        name: "unsafe-without-safety",
+        why: "unsafe without a `// SAFETY:` comment in the three preceding lines",
+        scan_dirs: &[
+            "src",
+            "crates/kernels/src",
+            "crates/index-spatial/src",
+            "crates/index-temporal/src",
+            "crates/index-spatiotemporal/src",
+            "crates/gpu-sim/src",
+            "crates/geom/src",
+            "crates/core/src",
+            "crates/data/src",
+            "crates/rtree/src",
+            "crates/service/src",
+            "crates/bench/src",
+            "xtask/src",
+        ],
+        matches: |code, _| contains_word(code, "unsafe"),
+        include_tests: true,
+        safety_comment_discharges: true,
+        bad_fixture: "fn f() { unsafe { core::hint::unreachable_unchecked() } }\n",
+    },
+];
+
+/// Recursively collect `.rs` files under `base`, sorted for deterministic
+/// output.
+fn rust_files(base: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![base.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Strip line comments and string/char literal *contents* so the rule
+/// predicates only see code. Literal delimiters are kept; escapes are
+/// honoured. (Block comments are rare in this workspace and handled line
+/// by line: a line starting inside one cannot be detected without full
+/// parsing, which the rules here don't need.)
+fn code_only(line: &str) -> String {
+    let mut out = String::with_capacity(line.len());
+    let mut chars = line.chars().peekable();
+    let mut in_str = false;
+    let mut escaped = false;
+    while let Some(c) = chars.next() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+                out.push('"');
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push('"');
+            }
+            '/' if chars.peek() == Some(&'/') => break,
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Word-boundary containment: `needle` not flanked by identifier chars
+/// (so `unsafe_op_in_unsafe_fn` does not count as `unsafe`).
+fn contains_word(haystack: &str, needle: &str) -> bool {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut start = 0;
+    while let Some(pos) = haystack[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = haystack[..at].chars().next_back().is_none_or(|c| !is_ident(c));
+        let after_ok = haystack[at + needle.len()..].chars().next().is_none_or(|c| !is_ident(c));
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+/// `==` or `!=` with a float literal on either side (e.g. `x == 0.0`,
+/// `1.5 != y`). Float literal: digits '.' digits.
+fn float_eq_comparison(code: &str) -> bool {
+    for op in ["==", "!="] {
+        let mut start = 0;
+        while let Some(pos) = code[start..].find(op) {
+            let at = start + pos;
+            // Skip `!==`-like overlaps and comparisons inside attributes.
+            let left = code[..at].trim_end();
+            let right = code[at + 2..].trim_start();
+            if ends_with_float_literal(left) || starts_with_float_literal(right) {
+                return true;
+            }
+            start = at + 2;
+        }
+    }
+    false
+}
+
+fn starts_with_float_literal(s: &str) -> bool {
+    let mut chars = s.chars().peekable();
+    let mut saw_digit = false;
+    while chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+        chars.next();
+        saw_digit = true;
+    }
+    saw_digit && chars.next() == Some('.') && chars.next().is_some_and(|c| c.is_ascii_digit())
+}
+
+fn ends_with_float_literal(s: &str) -> bool {
+    let mut chars = s.chars().rev().peekable();
+    let mut saw_digit = false;
+    while chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+        chars.next();
+        saw_digit = true;
+    }
+    saw_digit && chars.next() == Some('.') && chars.next().is_some_and(|c| c.is_ascii_digit())
+}
+
+/// Apply one rule to one file's source.
+fn scan_source(rule: &Rule, file: &Path, source: &str) -> Vec<Finding> {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut findings = Vec::new();
+    let mut in_tests = false;
+    for (i, raw) in lines.iter().enumerate() {
+        let trimmed = raw.trim_start();
+        // The workspace convention puts unit tests in a trailing
+        // `#[cfg(test)] mod tests` block; everything after the marker is
+        // test code.
+        if trimmed.starts_with("#[cfg(test)]") || trimmed.starts_with("mod tests") {
+            in_tests = true;
+        }
+        if in_tests && !rule.include_tests {
+            break;
+        }
+        if trimmed.starts_with("//") {
+            continue;
+        }
+        let code = code_only(raw);
+        if !(rule.matches)(&code, raw) {
+            continue;
+        }
+        if has_waiver(&lines, i, rule.name) {
+            continue;
+        }
+        if rule.safety_comment_discharges && has_safety_comment(&lines, i) {
+            continue;
+        }
+        findings.push(Finding {
+            rule: rule.name,
+            file: file.to_path_buf(),
+            line: i + 1,
+            excerpt: (*raw).to_string(),
+            why: rule.why,
+        });
+    }
+    findings
+}
+
+/// `// lint: allow(<rule>)` on the offending line or the one above.
+fn has_waiver(lines: &[&str], i: usize, rule: &str) -> bool {
+    let marker = format!("lint: allow({rule})");
+    lines[i].contains(&marker) || (i > 0 && lines[i - 1].contains(&marker))
+}
+
+/// `// SAFETY:` on the same line or within the three preceding lines.
+fn has_safety_comment(lines: &[&str], i: usize) -> bool {
+    lines[i.saturating_sub(3)..=i].iter().any(|l| l.contains("SAFETY:"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule(name: &str) -> &'static Rule {
+        RULES.iter().find(|r| r.name == name).unwrap()
+    }
+
+    fn scan(name: &str, src: &str) -> Vec<Finding> {
+        scan_source(rule(name), Path::new("fixture.rs"), src)
+    }
+
+    #[test]
+    fn self_check_passes() {
+        assert!(self_check().is_ok());
+    }
+
+    #[test]
+    fn raw_device_access_fires_and_waives() {
+        let bad = "fn k(lane: &mut Lane) {\n    out.write(lane, idx, rec);\n}\n";
+        let got = scan("raw-device-access", bad);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].line, 2);
+
+        let ok = "fn k(lane: &mut Lane) {\n    stash.stage(lane, rec);\n}\n";
+        assert!(scan("raw-device-access", ok).is_empty());
+
+        let waived = "// lint: allow(raw-device-access): prefix-sum scatter\n    \
+                      out.write(lane, idx, rec);\n";
+        assert!(scan("raw-device-access", waived).is_empty());
+    }
+
+    #[test]
+    fn float_eq_fires_on_either_operand_and_skips_tests() {
+        assert_eq!(scan("float-eq", "let hit = d == 0.0;\n").len(), 1);
+        assert_eq!(scan("float-eq", "if 1.5 != dist {}\n").len(), 1);
+        assert!(scan("float-eq", "let hit = a == b;\n").is_empty(), "no literal, no flag");
+        assert!(scan("float-eq", "let cmp = n == 0;\n").is_empty(), "ints are fine");
+        let in_tests = "#[cfg(test)]\nmod tests {\n    fn t() { assert!(d == 0.0); }\n}\n";
+        assert!(scan("float-eq", in_tests).is_empty());
+    }
+
+    #[test]
+    fn unordered_iter_fires_on_use_and_type() {
+        assert_eq!(scan("unordered-iter", "use std::collections::HashMap;\n").len(), 1);
+        assert_eq!(scan("unordered-iter", "let m: HashSet<u32> = x;\n").len(), 1);
+        assert!(scan("unordered-iter", "let m = BTreeMap::new();\n").is_empty());
+        assert!(
+            scan("unordered-iter", "// HashMap would be wrong here\n").is_empty(),
+            "comments don't count"
+        );
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = "fn f() {\n    unsafe { do_it() }\n}\n";
+        assert_eq!(scan("unsafe-without-safety", bad).len(), 1);
+
+        let good = "fn f() {\n    // SAFETY: slot is exclusively owned here.\n    \
+                    unsafe { do_it() }\n}\n";
+        assert!(scan("unsafe-without-safety", good).is_empty());
+
+        let attr = "#![deny(unsafe_op_in_unsafe_fn)]\n#![forbid(unsafe_code)]\n";
+        assert!(scan("unsafe-without-safety", attr).is_empty(), "attributes are not unsafe");
+
+        let doc = "/// this type avoids `unsafe` aliasing\nstruct S;\n";
+        assert!(scan("unsafe-without-safety", doc).is_empty(), "doc comments don't count");
+    }
+
+    #[test]
+    fn string_literals_are_invisible_to_rules() {
+        let s = "let msg = \"never use unsafe or HashMap or .write(lane\";\n";
+        assert!(scan("unsafe-without-safety", s).is_empty());
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(contains_word("unsafe {", "unsafe"));
+        assert!(!contains_word("unsafe_op_in_unsafe_fn", "unsafe"));
+        assert!(!contains_word("HashMapLike", "HashMap"));
+        assert!(contains_word("a HashMap<K, V>", "HashMap"));
+    }
+
+    #[test]
+    fn float_literal_detection() {
+        assert!(starts_with_float_literal("0.0)"));
+        assert!(ends_with_float_literal("x + 12.75"));
+        assert!(!starts_with_float_literal("0u32"));
+        assert!(!ends_with_float_literal("version 2"));
+    }
+}
