@@ -5,24 +5,34 @@
 //!
 //! targets: fig4 fig5 fig6 fig7 sweep-fsg sweep-bins sweep-subbins
 //!          ablation-indirection ablation-buffer fallback-rate
-//!          ablation-warp-agg ablation-workqueue ablation-columnar all
+//!          ablation-warp-agg ablation-workqueue ablation-columnar
+//!          ablation-sharding scaling-sharding all
 //! options: --scale <f>         dataset scale vs the paper (default 1/16)
 //!          --no-verify         skip cross-method result-set verification
+//!          --trials <n>        trials per measurement (default 2)
 //!          --kernel-shape <s>  thread-per-query (default) | warp-per-tile
 //!          --tile-size <n>     work-queue tile size in candidate entries
 //!                              (default 128; used by warp-per-tile kernels)
+//!          --shards <n>        simulated devices the entry database is
+//!                              partitioned across (default 1 = unsharded)
+//!          --partition <s>     temporal (default) | spatial-grid slab
+//!                              orientation for sharded runs
+//!          --json <path>       machine-readable output path (default
+//!                              BENCH_6.json; "none" disables)
 //!          --sanitizer <m>     off (default) | memcheck | racecheck | full;
 //!                              the shadow-state device sanitizer (also set
 //!                              by the TDTS_SANITIZER env var). Findings
 //!                              abort the run.
 //! ```
 
-use tdts_bench::{RunConfig, Runner};
+use tdts_bench::{Json, Measurement, RunConfig, Runner};
+use tdts_geom::PartitionStrategy;
 use tdts_gpu_sim::{KernelShape, SanitizerMode};
 
 fn main() {
     let mut cfg = RunConfig::default();
     let mut targets: Vec<String> = Vec::new();
+    let mut json_path = String::from("BENCH_6.json");
     let mut args = std::env::args().skip(1);
     if let Some(mode) = SanitizerMode::from_env() {
         cfg.device.sanitizer = mode;
@@ -34,6 +44,10 @@ fn main() {
                 cfg.scale = v.parse().expect("--scale must be a float in (0, 1]");
             }
             "--no-verify" => cfg.verify = false,
+            "--trials" => {
+                let v = args.next().expect("--trials needs a value");
+                cfg.trials = v.parse().expect("--trials must be a positive integer");
+            }
             "--kernel-shape" => {
                 let v = args.next().expect("--kernel-shape needs a value");
                 cfg.device.kernel_shape = match v.as_str() {
@@ -51,6 +65,22 @@ fn main() {
                 let v = args.next().expect("--tile-size needs a value");
                 cfg.device.tile_size = v.parse().expect("--tile-size must be a positive integer");
             }
+            "--shards" => {
+                let v = args.next().expect("--shards needs a value");
+                cfg.shards = v.parse().expect("--shards must be a positive integer");
+                if cfg.shards == 0 {
+                    eprintln!("--shards must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--partition" => {
+                let v = args.next().expect("--partition needs a value");
+                cfg.partition = PartitionStrategy::parse(&v).unwrap_or_else(|| {
+                    eprintln!("--partition must be temporal or spatial-grid, got {v}");
+                    std::process::exit(2);
+                });
+            }
+            "--json" => json_path = args.next().expect("--json needs a path"),
             "--sanitizer" => {
                 let v = args.next().expect("--sanitizer needs a value");
                 cfg.device.sanitizer = SanitizerMode::parse(&v)
@@ -65,10 +95,10 @@ fn main() {
     }
     if targets.is_empty() {
         eprintln!(
-            "usage: figures [--scale f] [--no-verify] [--kernel-shape s] [--tile-size n] \
-             [--sanitizer m] \
+            "usage: figures [--scale f] [--no-verify] [--trials n] [--kernel-shape s] \
+             [--tile-size n] [--shards n] [--partition s] [--json path] [--sanitizer m] \
              <fig4|fig5|fig6|fig7|sweep-fsg|sweep-bins|sweep-subbins|\
-             ablation-indirection|ablation-buffer|fallback-rate|future-trends|batched|ablation-sort|crossover|ablation-write|ablation-warp-agg|ablation-workqueue|ablation-columnar|all>..."
+             ablation-indirection|ablation-buffer|fallback-rate|future-trends|batched|ablation-sort|crossover|ablation-write|ablation-warp-agg|ablation-workqueue|ablation-columnar|ablation-sharding|scaling-sharding|all>..."
         );
         std::process::exit(2);
     }
@@ -92,6 +122,8 @@ fn main() {
             "ablation-warp-agg",
             "ablation-workqueue",
             "ablation-columnar",
+            "ablation-sharding",
+            "scaling-sharding",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -99,30 +131,63 @@ fn main() {
     }
 
     println!("# tdts figures — scale {:.5} of paper sizes, device: {}", cfg.scale, cfg.device.name);
+    if cfg.shards > 1 {
+        println!("# sharded: {} simulated devices, {} partition", cfg.shards, cfg.partition);
+    }
+    let scale = cfg.scale;
+    let shards = cfg.shards;
+    let partition = cfg.partition.to_string();
+    let device_name = cfg.device.name.clone();
     let runner = Runner::new(cfg);
+    let mut results: Vec<(String, Vec<Measurement>)> = Vec::new();
     for t in &targets {
-        match t.as_str() {
-            "fig4" => drop(runner.fig4()),
-            "fig5" => drop(runner.fig5()),
-            "fig6" => drop(runner.fig6()),
-            "fig7" => drop(runner.fig7()),
-            "sweep-fsg" => drop(runner.sweep_fsg()),
-            "sweep-bins" => drop(runner.sweep_bins()),
-            "sweep-subbins" => drop(runner.sweep_subbins()),
-            "ablation-indirection" => drop(runner.ablation_indirection()),
-            "ablation-buffer" => drop(runner.ablation_buffer()),
-            "fallback-rate" => drop(runner.fallback_rate()),
-            "future-trends" => drop(runner.future_trends()),
-            "batched" => drop(runner.batched()),
-            "ablation-sort" => drop(runner.ablation_sort()),
-            "crossover" => drop(runner.crossover()),
-            "ablation-write" => drop(runner.ablation_write()),
-            "ablation-warp-agg" => drop(runner.ablation_warp_agg()),
-            "ablation-workqueue" => drop(runner.ablation_workqueue()),
-            "ablation-columnar" => drop(runner.ablation_columnar()),
+        let measurements = match t.as_str() {
+            "fig4" => runner.fig4(),
+            "fig5" => runner.fig5(),
+            "fig6" => runner.fig6(),
+            "fig7" => runner.fig7(),
+            "sweep-fsg" => runner.sweep_fsg(),
+            "sweep-bins" => runner.sweep_bins(),
+            "sweep-subbins" => runner.sweep_subbins(),
+            "ablation-indirection" => runner.ablation_indirection(),
+            "ablation-buffer" => runner.ablation_buffer(),
+            "fallback-rate" => runner.fallback_rate(),
+            "future-trends" => runner.future_trends(),
+            "batched" => runner.batched(),
+            "ablation-sort" => runner.ablation_sort(),
+            "crossover" => runner.crossover(),
+            "ablation-write" => runner.ablation_write(),
+            "ablation-warp-agg" => runner.ablation_warp_agg(),
+            "ablation-workqueue" => runner.ablation_workqueue(),
+            "ablation-columnar" => runner.ablation_columnar(),
+            "ablation-sharding" => runner.ablation_sharding(),
+            "scaling-sharding" => runner.scaling_sharding(),
             other => {
                 eprintln!("unknown target {other}");
                 std::process::exit(2);
+            }
+        };
+        results.push((t.clone(), measurements));
+    }
+
+    if json_path != "none" {
+        let doc = Json::obj()
+            .field("schema", "tdts-bench/1")
+            .field("scale", scale)
+            .field("device", device_name)
+            .field("shards", shards)
+            .field("partition", partition)
+            .field(
+                "targets",
+                results.into_iter().fold(Json::obj(), |doc, (target, ms)| {
+                    doc.field(&target, ms.iter().map(Measurement::to_json).collect::<Vec<_>>())
+                }),
+            );
+        match std::fs::write(&json_path, doc.render()) {
+            Ok(()) => eprintln!("[figures] wrote machine-readable results to {json_path}"),
+            Err(e) => {
+                eprintln!("[figures] failed to write {json_path}: {e}");
+                std::process::exit(1);
             }
         }
     }

@@ -1,9 +1,13 @@
 //! Experiment runners: one per figure/table of the paper.
 
+use crate::json::Json;
 use std::sync::Arc;
-use tdts_core::{Method, PreparedDataset, SearchEngine};
-use tdts_data::{Scenario, ScenarioKind};
-use tdts_geom::{MatchRecord, SegmentStore};
+use tdts_core::{
+    Method, PreparedDataset, QueryBatch, SearchEngine, ShardedIndex, ShardedIndexConfig,
+    TrajectoryIndex,
+};
+use tdts_data::{MergerConfig, Scenario, ScenarioKind};
+use tdts_geom::{MatchRecord, PartitionStrategy, SegmentStore};
 use tdts_gpu_sim::{Device, DeviceConfig, Phase, SearchReport};
 use tdts_index_spatial::{FsgConfig, GpuSpatialConfig};
 use tdts_index_spatiotemporal::SpatioTemporalIndexConfig;
@@ -23,6 +27,12 @@ pub struct RunConfig {
     pub trials: usize,
     /// Simulated device.
     pub device: DeviceConfig,
+    /// Simulated devices the entry database is partitioned across. With
+    /// `shards > 1` every engine the harness builds becomes a
+    /// [`ShardedIndex`] fanning batches out to one device per slab.
+    pub shards: usize,
+    /// Slab orientation for sharded runs.
+    pub partition: PartitionStrategy,
 }
 
 impl Default for RunConfig {
@@ -32,6 +42,8 @@ impl Default for RunConfig {
             verify: true,
             trials: 2,
             device: DeviceConfig::tesla_c2075(),
+            shards: 1,
+            partition: PartitionStrategy::default(),
         }
     }
 }
@@ -43,6 +55,30 @@ pub struct Measurement {
     pub d: f64,
     pub report: SearchReport,
     pub matches: usize,
+    /// Devices the entry database was partitioned across for this cell.
+    pub shards: usize,
+    /// Response-time speedup over the 1-shard baseline of the same row,
+    /// where the experiment computes one.
+    pub speedup: Option<f64>,
+}
+
+impl Measurement {
+    /// The machine-readable form emitted into `BENCH_6.json`.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("method", self.method.as_str())
+            .field("d", self.d)
+            .field("shards", self.shards)
+            .field("matches", self.matches)
+            .field("response_seconds", self.report.response_seconds())
+            .field("wall_seconds", self.report.wall_seconds)
+            .field("comparisons", self.report.comparisons)
+            .field("raw_matches", self.report.raw_matches)
+            .field("kernel_invocations", self.report.response.kernel_invocations)
+            .field("h2d_bytes", self.report.response.h2d_bytes)
+            .field("d2h_bytes", self.report.response.d2h_bytes)
+            .field("speedup", self.speedup)
+    }
 }
 
 /// Print a readable error and exit instead of unwinding with a panic
@@ -89,6 +125,21 @@ impl Runner {
     }
 
     fn build(&self, p: &Prepared, method: Method) -> SearchEngine {
+        if self.cfg.shards > 1 {
+            eprintln!(
+                "[harness] building {} across {} shards ({}) ...",
+                method.name(),
+                self.cfg.shards,
+                self.cfg.partition
+            );
+            return SearchEngine::build_sharded(
+                &p.dataset,
+                method,
+                &self.cfg.device,
+                &ShardedIndexConfig { shards: self.cfg.shards, partition: self.cfg.partition },
+            )
+            .unwrap_or_else(|e| die("engine build", e));
+        }
         eprintln!("[harness] building {} ...", method.name());
         SearchEngine::build(&p.dataset, method, Arc::clone(&self.device))
             .unwrap_or_else(|e| die("engine build", e))
@@ -128,8 +179,36 @@ impl Runner {
             d,
             matches: matches.len(),
             report,
+            shards: self.cfg.shards.max(1),
+            speedup: None,
         };
         (matches, m)
+    }
+
+    /// Best-of-trials search through a bare index (used by the sharding
+    /// experiments, which need [`ShardedIndex`] accessors an engine hides).
+    fn run_index(
+        &self,
+        index: &dyn TrajectoryIndex,
+        queries: &SegmentStore,
+        d: f64,
+        capacity: usize,
+    ) -> (Vec<MatchRecord>, SearchReport) {
+        let mut best: Option<(Vec<MatchRecord>, SearchReport)> = None;
+        for _ in 0..self.cfg.trials.max(1) {
+            let outcome = index
+                .search(&QueryBatch { queries, d, result_capacity: capacity })
+                .unwrap_or_else(|e| die("search", e));
+            let better = best
+                .as_ref()
+                .is_none_or(|(_, b)| outcome.report.response_seconds() < b.response_seconds());
+            if better {
+                best = Some((outcome.matches, outcome.report));
+            }
+        }
+        let (matches, report) = best.expect("at least one trial");
+        assert_eq!(report.sanitizer_findings, 0, "sanitizer found defects in a sharded kernel");
+        (matches, report)
     }
 
     fn print_header(&self, title: &str, columns: &[&str]) {
@@ -543,12 +622,16 @@ impl Runner {
                 d,
                 matches: ma.len(),
                 report: ra,
+                shards: 1,
+                speedup: None,
             });
             out.push(Measurement {
                 method: "GPUTemporal/two-pass".into(),
                 d,
                 matches: mt.len(),
                 report: rt,
+                shards: 1,
+                speedup: None,
             });
         }
         out
@@ -957,6 +1040,8 @@ impl Runner {
                     d,
                     matches: matches.len(),
                     report,
+                    shards: 1,
+                    speedup: None,
                 });
             }
         }
@@ -998,6 +1083,218 @@ impl Runner {
             out.push(m_old);
             out.push(m_new);
         }
+        out
+    }
+
+    /// Sharding ablation: partition S2 (Merger) across 1/2/4/8 simulated
+    /// devices and compare against the single-device oracle. Result sets
+    /// must be byte-identical at every shard count (boundary segments are
+    /// replicated; the merge dedups them), and the simulated response —
+    /// which takes the *slowest* shard plus the host merge — must show the
+    /// near-linear kernel-time split. The assertion is deliberately
+    /// conservative (2x at 8 shards) because at harness scales the
+    /// unsplittable costs (query upload, launch overhead) weigh more than
+    /// at paper scale.
+    pub fn ablation_sharding(&self) -> Vec<Measurement> {
+        let p = self.prepare(ScenarioKind::S2Merger);
+        let params = p.scenario.params();
+        let cap = params.result_buffer_capacity;
+        let store = p.dataset.store_arc();
+        let stats = store.stats().unwrap_or_else(|| die("dataset stats", "empty dataset"));
+        let methods = [
+            Method::GpuTemporal(TemporalIndexConfig { bins: params.temporal_bins }),
+            Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {
+                bins: params.temporal_bins,
+                subbins: params.subbins,
+                sort_by_selector: true,
+            }),
+        ];
+        let sweep = p.scenario.query_distances();
+        let picks = [sweep[0], sweep[sweep.len() / 2], sweep[sweep.len() - 1]];
+        println!(
+            "\n## Sharding ablation — 1..8 simulated devices, {} partition (S2 Merger)",
+            self.cfg.partition
+        );
+        println!(
+            "{:>22} {:>8} {:>8} {:>8} {:>16} {:>10} {:>10}",
+            "method", "d", "shards", "repl", "response (s)", "speedup", "dup-drop"
+        );
+        let mut out = Vec::new();
+        let mut speedup_at_8 = 0.0f64;
+        for method in methods {
+            let mut baseline: Vec<(Vec<MatchRecord>, f64)> = Vec::new();
+            for shards in [1usize, 2, 4, 8] {
+                let config = ShardedIndexConfig { shards, partition: self.cfg.partition };
+                eprintln!("[harness] building {} across {shards} shard(s) ...", method.name());
+                let index = ShardedIndex::build(method, &store, &stats, &self.cfg.device, &config)
+                    .unwrap_or_else(|e| die("sharded build", e));
+                for (i, &d) in picks.iter().enumerate() {
+                    let dup_prev = index.duplicates_dropped();
+                    let (matches, report) = self.run_index(&index, &p.queries, d, cap);
+                    // Every trial drops the same (deterministic) duplicates.
+                    let dup_row =
+                        (index.duplicates_dropped() - dup_prev) / self.cfg.trials.max(1) as u64;
+                    let speedup = if shards == 1 {
+                        baseline.push((matches, report.response_seconds()));
+                        None
+                    } else {
+                        let (expect, base_response) = &baseline[i];
+                        assert_eq!(
+                            &matches,
+                            expect,
+                            "{} at {shards} shards diverges from the single-device oracle \
+                             at d = {d}",
+                            method.name()
+                        );
+                        let s = base_response / report.response_seconds();
+                        if shards == 8 {
+                            speedup_at_8 = speedup_at_8.max(s);
+                        }
+                        Some(s)
+                    };
+                    println!(
+                        "{:>22} {:>8.3} {:>8} {:>8.3} {:>16.6} {:>10} {:>10}",
+                        method.name(),
+                        d,
+                        shards,
+                        index.replication_factor(),
+                        report.response_seconds(),
+                        speedup.map_or("-".into(), |s| format!("{s:.2}x")),
+                        dup_row
+                    );
+                    out.push(Measurement {
+                        method: method.name().to_string(),
+                        d,
+                        matches: report.matches as usize,
+                        report,
+                        shards,
+                        speedup,
+                    });
+                }
+            }
+        }
+        assert!(
+            speedup_at_8 >= 2.0,
+            "sharding ablation: best 8-shard speedup {speedup_at_8:.2}x < 2x"
+        );
+        println!("best 8-shard speedup: {speedup_at_8:.2}x (results byte-identical throughout)");
+        out
+    }
+
+    /// Weak and strong scaling of the sharded search on the Merger dataset.
+    /// Strong: fixed |D| at the configured scale, 1..8 devices. Weak: |D|
+    /// grows with the device count (the 8-shard row holds the configured
+    /// scale), so per-device work is constant and the ideal curve is flat.
+    /// The query set is a fixed small particle count so full-size runs
+    /// (`--scale 1`, 25.2M segments) stay tractable on a single host core —
+    /// the simulated response, not host wall time, is the subject.
+    pub fn scaling_sharding(&self) -> Vec<Measurement> {
+        let shard_counts = [1usize, 2, 4, 8];
+        let base = MergerConfig::default().scaled(self.cfg.scale);
+        // Enough query warps to keep every simulated SM busy at 8 shards
+        // (a temporal slab only serves the queries inside its time range),
+        // but a fixed count so full-size runs stay tractable on one core.
+        let queries =
+            MergerConfig { particles: 16, seed: base.seed ^ 0x51, ..base.clone() }.generate();
+        let method = Method::GpuTemporal(TemporalIndexConfig {
+            bins: Scenario::new(ScenarioKind::S2Merger, self.cfg.scale).params().temporal_bins,
+        });
+        let cap = 8_000_000;
+        let d = 0.5;
+        let mut out = Vec::new();
+
+        // Strong scaling: one dataset, more devices. PreparedDataset sorts
+        // by t_start, the layout every index (and the partitioner) expects.
+        eprintln!("[harness] generating merger ({} particles) ...", base.particles);
+        let store = PreparedDataset::new(base.generate()).store_arc();
+        let stats = store.stats().unwrap_or_else(|| die("dataset stats", "empty dataset"));
+        eprintln!("[harness] strong scaling: |D| = {}, |Q| = {}", store.len(), queries.len());
+        println!(
+            "\n## Sharding scaling study — strong (fixed |D| = {}, d = {d}, {} partition)",
+            store.len(),
+            self.cfg.partition
+        );
+        println!(
+            "{:>8} {:>8} {:>16} {:>10} {:>12}",
+            "shards", "repl", "response (s)", "speedup", "efficiency"
+        );
+        let mut strong_base = 0.0f64;
+        let mut reference: Option<Vec<MatchRecord>> = None;
+        for &shards in &shard_counts {
+            let config = ShardedIndexConfig { shards, partition: self.cfg.partition };
+            let index = ShardedIndex::build(method, &store, &stats, &self.cfg.device, &config)
+                .unwrap_or_else(|e| die("sharded build", e));
+            let (matches, report) = self.run_index(&index, &queries, d, cap);
+            match &reference {
+                None => reference = Some(matches),
+                Some(r) => {
+                    assert_eq!(&matches, r, "strong scaling changed results at {shards} shards")
+                }
+            }
+            let response = report.response_seconds();
+            if shards == 1 {
+                strong_base = response;
+            }
+            let speedup = strong_base / response;
+            println!(
+                "{:>8} {:>8.3} {:>16.6} {:>9.2}x {:>11.1}%",
+                shards,
+                index.replication_factor(),
+                response,
+                speedup,
+                100.0 * speedup / shards as f64
+            );
+            out.push(Measurement {
+                method: format!("{}/strong", method.name()),
+                d,
+                matches: report.matches as usize,
+                report,
+                shards,
+                speedup: (shards > 1).then_some(speedup),
+            });
+        }
+
+        // Weak scaling: dataset grows with the device count.
+        println!(
+            "\n## Sharding scaling study — weak (|D| grows with devices, d = {d}, {} partition)",
+            self.cfg.partition
+        );
+        println!(
+            "{:>8} {:>12} {:>8} {:>16} {:>12}",
+            "shards", "|D|", "repl", "response (s)", "vs 1-shard"
+        );
+        let mut weak_base = 0.0f64;
+        for &shards in &shard_counts {
+            let cfg_s = MergerConfig::default().scaled(self.cfg.scale * shards as f64 / 8.0);
+            eprintln!("[harness] generating merger ({} particles) ...", cfg_s.particles);
+            let store_s = PreparedDataset::new(cfg_s.generate()).store_arc();
+            let stats_s = store_s.stats().unwrap_or_else(|| die("dataset stats", "empty dataset"));
+            let config = ShardedIndexConfig { shards, partition: self.cfg.partition };
+            let index = ShardedIndex::build(method, &store_s, &stats_s, &self.cfg.device, &config)
+                .unwrap_or_else(|e| die("sharded build", e));
+            let (_, report) = self.run_index(&index, &queries, d, cap);
+            let response = report.response_seconds();
+            if shards == 1 {
+                weak_base = response;
+            }
+            println!(
+                "{:>8} {:>12} {:>8.3} {:>16.6} {:>11.2}x",
+                shards,
+                store_s.len(),
+                index.replication_factor(),
+                response,
+                response / weak_base
+            );
+            out.push(Measurement {
+                method: format!("{}/weak", method.name()),
+                d,
+                matches: report.matches as usize,
+                report,
+                shards,
+                speedup: (shards > 1).then_some(weak_base / response),
+            });
+        }
+        println!("(weak ideal: flat at 1.00x — rises measure replication + merge overheads)");
         out
     }
 

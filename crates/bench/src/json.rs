@@ -1,0 +1,221 @@
+//! A minimal JSON writer for the machine-readable benchmark output
+//! (`BENCH_6.json`). The workspace deliberately carries no JSON
+//! dependency — the value model here covers exactly what the harness
+//! emits: objects, arrays, strings, integers, and finite floats.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Floats must be finite (`NaN`/`Inf` have no JSON
+/// representation and panic at render time — a harness bug, not data).
+#[derive(Debug, Clone)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Unsigned counters (comparison counts, byte totals, ...).
+    UInt(u64),
+    /// Finite floating-point (response times, speedups, distances).
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered key/value pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object to push fields onto.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Append a field; panics on a non-object (harness bug).
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(fields) => fields.push((key.to_string(), value.into())),
+            _ => panic!("field() on a non-object"),
+        }
+        self
+    }
+
+    /// Render with two-space indentation and a trailing newline, so the
+    /// file diffs cleanly under version control.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Num(x) => {
+                assert!(x.is_finite(), "non-finite float {x} has no JSON form");
+                // Shortest round-trippable form; keep integral floats
+                // visibly floating so consumers parse a stable type.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    let _ = write!(out, "{x:.1}");
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    pad(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    pad(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        v.map_or(Json::Null, Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let doc = Json::obj()
+            .field("name", "bench")
+            .field("shards", 4usize)
+            .field("speedup", 3.5)
+            .field("missing", Option::<f64>::None)
+            .field("rows", vec![Json::obj().field("d", 1.0), Json::obj().field("d", 2.5)]);
+        let text = doc.render();
+        assert!(text.contains("\"shards\": 4"));
+        assert!(text.contains("\"speedup\": 3.5"));
+        assert!(text.contains("\"missing\": null"));
+        assert!(text.contains("\"d\": 2.5"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn escapes_strings_and_keeps_float_type_stable() {
+        let doc = Json::obj().field("s", "a\"b\\c\nd").field("t", 2.0);
+        let text = doc.render();
+        assert!(text.contains("\"a\\\"b\\\\c\\nd\""));
+        assert!(text.contains("\"t\": 2.0"), "integral floats render with a decimal point");
+    }
+
+    #[test]
+    fn empty_containers_are_compact() {
+        let doc = Json::obj().field("a", Json::Arr(Vec::new())).field("o", Json::obj());
+        let text = doc.render();
+        assert!(text.contains("\"a\": []"));
+        assert!(text.contains("\"o\": {}"));
+    }
+}

@@ -5,5 +5,7 @@
 #![forbid(unsafe_code)]
 
 pub mod harness;
+pub mod json;
 
-pub use harness::{RunConfig, Runner};
+pub use harness::{Measurement, RunConfig, Runner};
+pub use json::Json;

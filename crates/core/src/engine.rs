@@ -135,6 +135,29 @@ impl SearchEngine {
         Ok(SearchEngine { store, method, index })
     }
 
+    /// Build `method` sharded across `sharding.shards` simulated devices
+    /// (each instantiated from `device_config`), per the tentpole
+    /// multi-device execution model in [`crate::sharding`]. With
+    /// `sharding.shards == 1` this is equivalent to [`SearchEngine::build`]
+    /// on a fresh device.
+    pub fn build_sharded(
+        dataset: &PreparedDataset,
+        method: Method,
+        device_config: &tdts_gpu_sim::DeviceConfig,
+        sharding: &crate::sharding::ShardedIndexConfig,
+    ) -> Result<SearchEngine, TdtsError> {
+        let store = dataset.store_arc();
+        let stats = store.stats().ok_or(TdtsError::Search(SearchError::EmptyDataset))?;
+        let index = Box::new(crate::sharding::ShardedIndex::build(
+            method,
+            &store,
+            &stats,
+            device_config,
+            sharding,
+        )?);
+        Ok(SearchEngine { store, method, index })
+    }
+
     /// The method this engine implements.
     pub fn method(&self) -> Method {
         self.method

@@ -23,6 +23,7 @@ pub mod hybrid;
 pub mod knn;
 pub mod oracle;
 pub mod resolve;
+pub mod sharding;
 pub mod traits;
 
 pub use cluster::{ClusterConfig, ClusterReport, ClusterSearch};
@@ -32,4 +33,5 @@ pub use hybrid::{HybridConfig, HybridReport, HybridSearch};
 pub use knn::{knn_search, KnnConfig, Neighbor};
 pub use oracle::{brute_force_search, verify_against_oracle};
 pub use resolve::{resolve_matches, ResolvedMatch};
+pub use sharding::{ShardStats, ShardedIndex, ShardedIndexConfig};
 pub use traits::{CpuRTreeIndex, QueryBatch, SearchOutcome, TrajectoryIndex};

@@ -56,6 +56,20 @@ pub trait TrajectoryIndex: Send + Sync {
     fn name(&self) -> &'static str;
 }
 
+/// A shared handle searches through the shared index, so a caller can keep
+/// a typed `Arc` (e.g. to read per-shard stats off a
+/// [`ShardedIndex`](crate::sharding::ShardedIndex)) while also handing the
+/// same index to code that wants a `Box<dyn TrajectoryIndex>`.
+impl<T: TrajectoryIndex + ?Sized> TrajectoryIndex for Arc<T> {
+    fn search(&self, batch: &QueryBatch<'_>) -> Result<SearchOutcome, TdtsError> {
+        (**self).search(batch)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 impl TrajectoryIndex for GpuSpatialSearch {
     fn search(&self, batch: &QueryBatch<'_>) -> Result<SearchOutcome, TdtsError> {
         let (matches, report) =

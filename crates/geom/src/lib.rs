@@ -20,6 +20,9 @@
 //! * [`SegmentColumns`] — the same database transposed to columnar
 //!   (struct-of-arrays) layout, the host-side source for per-column device
 //!   buffers with coalesced reads.
+//! * [`ShardedStore`] — the database partitioned into shard-local stores
+//!   (temporal or spatial slabs, boundary segments replicated) for
+//!   multi-device execution.
 
 #![forbid(unsafe_code)]
 
@@ -30,6 +33,7 @@ pub mod mbb;
 pub mod point;
 pub mod result;
 pub mod segment;
+pub mod shard;
 pub mod store;
 
 pub use columns::SegmentColumns;
@@ -39,4 +43,5 @@ pub use mbb::Mbb;
 pub use point::Point3;
 pub use result::{dedup_matches, diff_matches, MatchRecord};
 pub use segment::{SegId, Segment, TrajId};
+pub use shard::{PartitionStrategy, ShardPlan, ShardSlice, ShardedStore};
 pub use store::{SegmentStore, StoreStats};

@@ -1,0 +1,351 @@
+//! Partitioning a segment database across multiple simulated devices.
+//!
+//! [`ShardPlan`] splits the extent of a store into `shards` equal slabs —
+//! temporal slabs by default ([`PartitionStrategy::Temporal`]), or slabs
+//! along the longest spatial axis ([`PartitionStrategy::SpatialGrid`]) —
+//! and [`ShardedStore::partition`] materialises one shard-local
+//! [`SegmentStore`] per non-empty slab. A segment whose extent straddles a
+//! slab boundary is **replicated** into every slab it touches, so each
+//! shard can answer any query exactly from local data alone; the resulting
+//! cross-shard duplicate matches carry byte-identical intervals and are
+//! collapsed by [`dedup_matches`](crate::dedup_matches) at the merge point.
+//!
+//! Each shard-local store is a position-ascending subsequence of the
+//! global store, so a store sorted by `t_start` yields shard stores sorted
+//! by `t_start` — the ordering the temporal indexes require. The
+//! [`ShardSlice::to_global`] map translates shard-local result positions
+//! back to positions in the global store.
+
+use crate::{Segment, SegmentStore, StoreStats};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// How a [`ShardPlan`] slices the store's extent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PartitionStrategy {
+    /// Equal slabs of the temporal extent (`[min t_start, max t_end]`).
+    /// The default: trajectory workloads advance in lock-step timesteps,
+    /// so temporal slabs balance well and replicate only the segments that
+    /// straddle a slab boundary in time.
+    #[default]
+    Temporal,
+    /// Equal slabs along the *longest* spatial axis of the store bounds.
+    /// Useful when trajectories are short-lived but spatially spread; can
+    /// replicate heavily when motion spans the chosen axis.
+    SpatialGrid,
+}
+
+impl PartitionStrategy {
+    /// Parse a CLI spelling; `None` for anything unrecognised.
+    pub fn parse(s: &str) -> Option<PartitionStrategy> {
+        match s {
+            "temporal" | "time" => Some(PartitionStrategy::Temporal),
+            "spatial" | "spatial-grid" | "grid" => Some(PartitionStrategy::SpatialGrid),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for PartitionStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PartitionStrategy::Temporal => "temporal",
+            PartitionStrategy::SpatialGrid => "spatial-grid",
+        })
+    }
+}
+
+/// The slab geometry of a partition: which axis is sliced, where slab 0
+/// starts, and how wide each slab is.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShardPlan {
+    /// The partitioning strategy the slabs follow.
+    pub strategy: PartitionStrategy,
+    /// Number of slabs (≥ 1). Slabs can end up empty; only non-empty ones
+    /// become [`ShardSlice`]s.
+    pub shards: usize,
+    /// Spatial axis being sliced (0 = x, 1 = y, 2 = z). Meaningful for
+    /// [`PartitionStrategy::SpatialGrid`] only.
+    pub axis: usize,
+    /// Lower edge of slab 0.
+    pub lo: f64,
+    /// Width of each slab. A degenerate extent gives width 0 and every
+    /// segment lands in slab 0.
+    pub width: f64,
+}
+
+impl ShardPlan {
+    /// Slice the extent described by `stats` into `shards` equal slabs.
+    pub fn new(stats: &StoreStats, shards: usize, strategy: PartitionStrategy) -> ShardPlan {
+        let shards = shards.max(1);
+        let (axis, lo, hi) = match strategy {
+            PartitionStrategy::Temporal => (0, stats.time_span.start, stats.time_span.end),
+            PartitionStrategy::SpatialGrid => {
+                let ext = stats.bounds.extent();
+                let mut axis = 0;
+                for dim in 1..3 {
+                    if ext.coord(dim) > ext.coord(axis) {
+                        axis = dim;
+                    }
+                }
+                (axis, stats.bounds.lo.coord(axis), stats.bounds.hi.coord(axis))
+            }
+        };
+        ShardPlan { strategy, shards, axis, lo, width: (hi - lo) / shards as f64 }
+    }
+
+    /// Inclusive range of slabs `seg` touches. A segment entirely inside
+    /// one slab yields `(s, s)`; a boundary straddler spans several and is
+    /// replicated into each by [`ShardedStore::partition`].
+    pub fn slab_span(&self, seg: &Segment) -> (usize, usize) {
+        let (lo_v, hi_v) = match self.strategy {
+            PartitionStrategy::Temporal => (seg.t_start, seg.t_end),
+            PartitionStrategy::SpatialGrid => (seg.min_coord(self.axis), seg.max_coord(self.axis)),
+        };
+        (self.slab_of(lo_v), self.slab_of(hi_v))
+    }
+
+    /// The slab a coordinate falls in, clamped to `[0, shards - 1]` so
+    /// values at (or marginally past) the extent edges stay in range.
+    pub fn slab_of(&self, v: f64) -> usize {
+        if self.width <= 0.0 || !self.width.is_finite() {
+            return 0;
+        }
+        let idx = ((v - self.lo) / self.width).floor();
+        (idx.max(0.0) as usize).min(self.shards - 1)
+    }
+
+    /// `[lo, hi)` extent of one slab (the last slab is closed at the top by
+    /// the clamping in [`ShardPlan::slab_of`]).
+    pub fn slab_bounds(&self, slab: usize) -> (f64, f64) {
+        (self.lo + slab as f64 * self.width, self.lo + (slab + 1) as f64 * self.width)
+    }
+}
+
+/// One shard: a shard-local store plus the map from its positions back to
+/// positions in the global store.
+#[derive(Debug, Clone)]
+pub struct ShardSlice {
+    /// Which slab of the [`ShardPlan`] this slice holds.
+    pub slab: usize,
+    /// The shard-local segment database, in ascending global-position
+    /// order (hence still sorted by `t_start` when the source was).
+    pub store: Arc<SegmentStore>,
+    /// `to_global[local]` = position of that segment in the global store.
+    pub to_global: Arc<Vec<u32>>,
+    /// How many of this slice's segments are boundary replicas (also
+    /// present in at least one other slice).
+    pub replicated: usize,
+}
+
+/// A store partitioned into shard-local slices per a [`ShardPlan`].
+#[derive(Debug, Clone)]
+pub struct ShardedStore {
+    /// The slab geometry the slices follow.
+    pub plan: ShardPlan,
+    /// Non-empty slices, in ascending slab order.
+    pub slices: Vec<ShardSlice>,
+    /// Segment count of the source store (for replication accounting).
+    pub source_len: usize,
+}
+
+impl ShardedStore {
+    /// Partition `store` into at most `shards` shard-local stores.
+    ///
+    /// Every segment lands in every slab its extent touches, so the union
+    /// of the slices covers the store exactly and each shard is
+    /// self-sufficient for any query. Empty slabs produce no slice; the
+    /// result always has at least one slice when the store is non-empty.
+    pub fn partition(
+        store: &SegmentStore,
+        stats: &StoreStats,
+        shards: usize,
+        strategy: PartitionStrategy,
+    ) -> ShardedStore {
+        let plan = ShardPlan::new(stats, shards, strategy);
+        let mut segs: Vec<Vec<Segment>> = vec![Vec::new(); plan.shards];
+        let mut maps: Vec<Vec<u32>> = vec![Vec::new(); plan.shards];
+        let mut replicated = vec![0usize; plan.shards];
+        for (pos, seg) in store.iter().enumerate() {
+            let (lo, hi) = plan.slab_span(seg);
+            for slab in lo..=hi {
+                segs[slab].push(*seg);
+                maps[slab].push(pos as u32);
+                if hi > lo {
+                    replicated[slab] += 1;
+                }
+            }
+        }
+        let slices = segs
+            .into_iter()
+            .zip(maps)
+            .zip(replicated)
+            .enumerate()
+            .filter(|(_, ((segs, _), _))| !segs.is_empty())
+            .map(|(slab, ((segs, map), replicated))| ShardSlice {
+                slab,
+                store: Arc::new(SegmentStore::from_segments(segs)),
+                to_global: Arc::new(map),
+                replicated,
+            })
+            .collect();
+        ShardedStore { plan, slices, source_len: store.len() }
+    }
+
+    /// Total segments across all slices (≥ [`ShardedStore::source_len`];
+    /// the excess is boundary replication).
+    pub fn total_segments(&self) -> usize {
+        self.slices.iter().map(|s| s.store.len()).sum()
+    }
+
+    /// Extra segment copies introduced by boundary replication.
+    pub fn replicated_segments(&self) -> usize {
+        self.total_segments() - self.source_len
+    }
+
+    /// Storage blow-up from replication: `total / source` (1.0 = none).
+    pub fn replication_factor(&self) -> f64 {
+        if self.source_len == 0 {
+            1.0
+        } else {
+            self.total_segments() as f64 / self.source_len as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Point3, SegId, TrajId};
+
+    fn seg(t0: f64, t1: f64, x0: f64, x1: f64, id: u32) -> Segment {
+        Segment::new(
+            Point3::new(x0, 0.0, 0.0),
+            Point3::new(x1, 0.5, 0.25),
+            t0,
+            t1,
+            SegId(id),
+            TrajId(id),
+        )
+    }
+
+    fn store() -> SegmentStore {
+        // Temporal extent [0, 4]; x extent [0, 8]; y, z much smaller so x
+        // is the longest axis.
+        vec![
+            seg(0.0, 0.5, 0.0, 1.0, 0),
+            seg(0.5, 1.5, 2.0, 3.0, 1),
+            seg(1.8, 2.2, 4.0, 4.5, 2), // straddles the t=2 boundary at 2 shards
+            seg(2.5, 3.0, 6.0, 6.5, 3),
+            seg(3.5, 4.0, 7.0, 8.0, 4),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn one_shard_is_identity() {
+        let s = store();
+        let stats = s.stats().unwrap();
+        let sharded = ShardedStore::partition(&s, &stats, 1, PartitionStrategy::Temporal);
+        assert_eq!(sharded.slices.len(), 1);
+        assert_eq!(sharded.slices[0].store.len(), s.len());
+        assert_eq!(sharded.replicated_segments(), 0);
+        assert_eq!(*sharded.slices[0].to_global, (0..s.len() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn temporal_partition_covers_and_replicates_straddlers() {
+        let s = store();
+        let stats = s.stats().unwrap();
+        let sharded = ShardedStore::partition(&s, &stats, 2, PartitionStrategy::Temporal);
+        assert_eq!(sharded.slices.len(), 2);
+        // Segment 2 spans [1.8, 2.2] across the t=2 boundary: replicated.
+        assert_eq!(sharded.replicated_segments(), 1);
+        assert_eq!(sharded.total_segments(), s.len() + 1);
+        assert!((sharded.replication_factor() - 6.0 / 5.0).abs() < 1e-12);
+        // Every global position appears in at least one slice.
+        let mut seen = vec![false; s.len()];
+        for slice in &sharded.slices {
+            for &g in slice.to_global.iter() {
+                seen[g as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+        // The straddler is in both slices and counted as replicated there.
+        for slice in &sharded.slices {
+            assert!(slice.to_global.contains(&2));
+            assert_eq!(slice.replicated, 1);
+        }
+    }
+
+    #[test]
+    fn slices_preserve_sorted_order() {
+        let mut s = store();
+        s.sort_by_t_start();
+        let stats = s.stats().unwrap();
+        for shards in [2, 3, 8] {
+            let sharded = ShardedStore::partition(&s, &stats, shards, PartitionStrategy::Temporal);
+            for slice in &sharded.slices {
+                assert!(slice.store.is_sorted_by_t_start());
+                assert!(slice.to_global.windows(2).all(|w| w[0] < w[1]));
+                for (local, &global) in slice.to_global.iter().enumerate() {
+                    assert_eq!(slice.store.get(local), s.get(global as usize));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spatial_partition_slices_longest_axis() {
+        let s = store();
+        let stats = s.stats().unwrap();
+        let sharded = ShardedStore::partition(&s, &stats, 4, PartitionStrategy::SpatialGrid);
+        assert_eq!(sharded.plan.axis, 0, "x has the largest extent");
+        let mut seen = vec![false; s.len()];
+        for slice in &sharded.slices {
+            for &g in slice.to_global.iter() {
+                seen[g as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+        assert!(sharded.slices.len() > 1);
+    }
+
+    #[test]
+    fn degenerate_extent_collapses_to_one_slab() {
+        let s: SegmentStore =
+            vec![seg(1.0, 1.0, 0.0, 0.0, 0), seg(1.0, 1.0, 0.0, 0.0, 1)].into_iter().collect();
+        let stats = s.stats().unwrap();
+        let sharded = ShardedStore::partition(&s, &stats, 4, PartitionStrategy::Temporal);
+        assert_eq!(sharded.slices.len(), 1);
+        assert_eq!(sharded.slices[0].store.len(), 2);
+        assert_eq!(sharded.replicated_segments(), 0);
+    }
+
+    #[test]
+    fn edge_values_stay_in_range() {
+        let s = store();
+        let stats = s.stats().unwrap();
+        let plan = ShardPlan::new(&stats, 8, PartitionStrategy::Temporal);
+        // The extent's top edge belongs to the last slab (clamped).
+        assert_eq!(plan.slab_of(stats.time_span.end), 7);
+        assert_eq!(plan.slab_of(stats.time_span.start), 0);
+        assert_eq!(plan.slab_of(stats.time_span.start - 100.0), 0);
+        assert_eq!(plan.slab_of(stats.time_span.end + 100.0), 7);
+        let (lo, hi) = plan.slab_bounds(0);
+        assert_eq!(lo, stats.time_span.start);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn strategy_parsing_round_trips() {
+        for s in [PartitionStrategy::Temporal, PartitionStrategy::SpatialGrid] {
+            assert_eq!(PartitionStrategy::parse(&s.to_string()), Some(s));
+        }
+        assert_eq!(PartitionStrategy::parse("time"), Some(PartitionStrategy::Temporal));
+        assert_eq!(PartitionStrategy::parse("grid"), Some(PartitionStrategy::SpatialGrid));
+        assert_eq!(PartitionStrategy::parse("bogus"), None);
+    }
+}

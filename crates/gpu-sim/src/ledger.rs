@@ -104,6 +104,22 @@ impl ResponseTime {
         self.d2h_bytes += other.d2h_bytes;
     }
 
+    /// Fold in the ledger of a search that ran *concurrently* on another
+    /// device (one shard of a partitioned store). Transfer bytes and
+    /// invocation counts sum — every device really moved those bytes and
+    /// launched those kernels — but elapsed simulated time is bounded by
+    /// the slowest device (the merge point waits for the last shard), so
+    /// the phase breakdown adopts the slower ledger's phases rather than
+    /// summing them.
+    pub fn merge_concurrent(&mut self, other: &ResponseTime) {
+        if other.total() > self.total() {
+            self.seconds = other.seconds;
+        }
+        self.kernel_invocations += other.kernel_invocations;
+        self.h2d_bytes += other.h2d_bytes;
+        self.d2h_bytes += other.d2h_bytes;
+    }
+
     /// Total minus kernel-launch overhead — the paper's "optimistic" curve
     /// for `GPUSpatial` in Fig. 4 discounts re-invocation overhead.
     pub fn total_discounting_launches(&self) -> f64 {
@@ -201,6 +217,38 @@ mod tests {
         assert_eq!(a.get(Phase::HostToDevice), 3.0);
         assert_eq!(a.get(Phase::DeviceToHost), 3.0);
         assert_eq!(a.kernel_invocations, 3);
+    }
+
+    #[test]
+    fn merge_concurrent_takes_slower_device_but_sums_traffic() {
+        let mut fast = ResponseTime::new();
+        fast.add(Phase::KernelExec, 1.0);
+        fast.add(Phase::HostToDevice, 0.1);
+        fast.kernel_invocations = 2;
+        fast.h2d_bytes = 100;
+        let mut slow = ResponseTime::new();
+        slow.add(Phase::KernelExec, 3.0);
+        slow.kernel_invocations = 1;
+        slow.h2d_bytes = 50;
+        slow.d2h_bytes = 7;
+
+        let mut a = fast;
+        a.merge_concurrent(&slow);
+        // Phases come from the slower device wholesale...
+        assert_eq!(a.get(Phase::KernelExec), 3.0);
+        assert_eq!(a.get(Phase::HostToDevice), 0.0);
+        assert_eq!(a.total(), slow.total());
+        // ...while traffic and launch counts aggregate across devices.
+        assert_eq!(a.kernel_invocations, 3);
+        assert_eq!(a.h2d_bytes, 150);
+        assert_eq!(a.d2h_bytes, 7);
+
+        // Merging the faster ledger into the slower leaves phases alone.
+        let mut b = slow;
+        b.merge_concurrent(&fast);
+        assert_eq!(b.get(Phase::KernelExec), 3.0);
+        assert_eq!(b.total(), a.total());
+        assert_eq!(b.kernel_invocations, 3);
     }
 
     #[test]

@@ -146,6 +146,32 @@ impl SearchReport {
         self.wall_seconds += other.wall_seconds;
         self.sanitizer_findings += other.sanitizer_findings;
     }
+
+    /// Aggregate the report of a search that ran *concurrently* on another
+    /// device — one shard of a partitioned store. Work counters (segment
+    /// comparisons, result records, transfer bytes, launch counts, load
+    /// metrics) sum because every device really did that work, but elapsed
+    /// time does not: the merge point waits for the slowest shard, so the
+    /// response adopts the slower device's phase breakdown
+    /// ([`ResponseTime::merge_concurrent`]) and wall time takes the max.
+    ///
+    /// The caller owns the final `matches` count: per-shard counts sum
+    /// here, but cross-shard dedup of boundary replicas happens after the
+    /// merge, so sharded callers overwrite `matches` with the deduplicated
+    /// total.
+    pub fn merge_concurrent(&mut self, other: &SearchReport) {
+        self.response.merge_concurrent(&other.response);
+        self.comparisons += other.comparisons;
+        self.raw_matches += other.raw_matches;
+        self.matches += other.matches;
+        self.redo_rounds += other.redo_rounds;
+        self.fallback_queries += other.fallback_queries;
+        self.divergent_warps += other.divergent_warps;
+        self.totals.add(&other.totals);
+        self.load.merge(&other.load);
+        self.wall_seconds = self.wall_seconds.max(other.wall_seconds);
+        self.sanitizer_findings += other.sanitizer_findings;
+    }
 }
 
 /// Errors a GPU search can hit.
@@ -194,5 +220,39 @@ impl std::error::Error for SearchError {}
 impl From<OutOfDeviceMemory> for SearchError {
     fn from(e: OutOfDeviceMemory) -> Self {
         SearchError::OutOfDeviceMemory(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::Phase;
+
+    fn report(exec_secs: f64, comparisons: u64, wall: f64) -> SearchReport {
+        let mut r = SearchReport { comparisons, wall_seconds: wall, ..SearchReport::default() };
+        r.response.add(Phase::KernelExec, exec_secs);
+        r
+    }
+
+    #[test]
+    fn merge_concurrent_bounds_time_and_sums_work() {
+        let mut a = report(1.0, 100, 0.5);
+        let b = report(4.0, 300, 0.25);
+        a.merge_concurrent(&b);
+        // Response is the slower shard's, not the sum.
+        assert_eq!(a.response.get(Phase::KernelExec), 4.0);
+        assert_eq!(a.response_seconds(), 4.0);
+        // Work sums across shards; wall takes the max.
+        assert_eq!(a.comparisons, 400);
+        assert_eq!(a.wall_seconds, 0.5);
+    }
+
+    #[test]
+    fn sequential_merge_still_sums_time() {
+        let mut a = report(1.0, 100, 0.5);
+        let b = report(4.0, 300, 0.25);
+        a.merge(&b);
+        assert_eq!(a.response.get(Phase::KernelExec), 5.0);
+        assert_eq!(a.wall_seconds, 0.75);
     }
 }

@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 use tdts_core::{Method, TdtsError};
+use tdts_geom::PartitionStrategy;
 use tdts_gpu_sim::{DeviceConfig, KernelShape};
 
 /// Parameters of a [`QueryService`](crate::QueryService).
@@ -40,6 +41,15 @@ pub struct ServiceConfig {
     /// Consecutive failed batches before the service degrades to the
     /// fallback engine permanently.
     pub max_consecutive_failures: u32,
+    /// Simulated devices the entry database is partitioned across. With
+    /// `shards > 1` every worker's primary engine becomes a
+    /// [`ShardedIndex`](tdts_core::ShardedIndex): the store is split into
+    /// slabs (boundary segments replicated), each slab is pinned to its own
+    /// device, and batches fan out to every shard concurrently. The
+    /// fallback path stays unsharded — a deliberately simple degraded mode.
+    pub shards: usize,
+    /// Slab orientation for the sharded primary (temporal by default).
+    pub partition: PartitionStrategy,
 }
 
 impl ServiceConfig {
@@ -58,6 +68,8 @@ impl ServiceConfig {
                 result_capacity: 2_000_000,
                 default_deadline: None,
                 max_consecutive_failures: 3,
+                shards: 1,
+                partition: PartitionStrategy::default(),
             },
         }
     }
@@ -87,6 +99,9 @@ impl ServiceConfig {
             return Err(TdtsError::InvalidConfig(
                 "queue_capacity must admit at least one request".into(),
             ));
+        }
+        if self.shards < 1 {
+            return Err(TdtsError::InvalidConfig("shards must be at least 1".into()));
         }
         Ok(())
     }
@@ -156,6 +171,18 @@ impl ServiceConfigBuilder {
     /// Consecutive failed batches before permanent degradation.
     pub fn max_consecutive_failures(mut self, n: u32) -> Self {
         self.config.max_consecutive_failures = n;
+        self
+    }
+
+    /// Devices to partition the entry database across (1 = unsharded).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.config.shards = n;
+        self
+    }
+
+    /// Slab orientation for the sharded primary.
+    pub fn partition(mut self, strategy: PartitionStrategy) -> Self {
+        self.config.partition = strategy;
         self
     }
 

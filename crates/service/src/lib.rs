@@ -141,6 +141,36 @@ mod tests {
     }
 
     #[test]
+    fn sharded_service_matches_unsharded_and_reports_per_shard() {
+        let data = dataset(30);
+        let probe: tdts_geom::SegmentStore = data.store().iter().take(6).copied().collect();
+
+        let plain = QueryService::start(&data, base_config()).unwrap();
+        let expect = plain.submit(&probe, 5.0).unwrap().matches;
+        plain.shutdown();
+
+        let config = ServiceConfig::builder(Method::GpuTemporal(TemporalIndexConfig { bins: 8 }))
+            .device(DeviceConfig::test_tiny())
+            .workers(2)
+            .shards(4)
+            .max_batch(16)
+            .max_delay(Duration::from_millis(1))
+            .result_capacity(30_000)
+            .build()
+            .unwrap();
+        let sharded = QueryService::start(&data, config).unwrap();
+        let got = sharded.submit(&probe, 5.0).unwrap().matches;
+        assert_eq!(got, expect, "sharding must not change results");
+        sharded.shutdown();
+
+        let stats = sharded.stats();
+        assert_eq!(stats.shards, 4);
+        assert!(!stats.per_shard.is_empty());
+        assert!(stats.per_shard.iter().any(|s| s.searches > 0));
+        assert!(stats.per_shard.windows(2).all(|w| w[0].shard < w[1].shard));
+    }
+
+    #[test]
     fn submit_after_shutdown_is_rejected() {
         let service = QueryService::start(&dataset(20), base_config()).unwrap();
         service.shutdown();

@@ -26,7 +26,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use tdts_core::{PreparedDataset, QueryBatch, TdtsError, TrajectoryIndex};
+use tdts_core::{
+    PreparedDataset, QueryBatch, ShardStats, ShardedIndex, ShardedIndexConfig, TdtsError,
+    TrajectoryIndex,
+};
 use tdts_geom::{MatchRecord, SegmentStore};
 use tdts_gpu_sim::{Device, SearchError, SearchReport};
 
@@ -132,6 +135,10 @@ pub struct QueryService {
     shared: Arc<Shared>,
     batcher: Mutex<Option<JoinHandle<()>>>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Typed handles to each worker's sharded primary (empty when
+    /// `config.shards == 1`), kept so [`QueryService::stats`] can fold
+    /// per-shard work counters into the snapshot.
+    shard_engines: Vec<Arc<ShardedIndex>>,
 }
 
 impl QueryService {
@@ -148,9 +155,28 @@ impl QueryService {
         let stats = store.stats().ok_or(TdtsError::Search(SearchError::EmptyDataset))?;
         let (fallback_method, fallback_device) = config.effective_fallback();
         let mut engines = Vec::with_capacity(config.workers);
+        let mut shard_engines = Vec::new();
         for _ in 0..config.workers {
-            let device = Device::new(config.device.clone()).map_err(TdtsError::InvalidConfig)?;
-            let primary = config.method.build_index(&store, &stats, device)?;
+            // With shards > 1 the primary becomes a ShardedIndex: the store
+            // partitioned across `shards` devices, fanned out per batch.
+            // Each worker still gets its own copy (its own devices), so
+            // concurrent batches never interleave ledgers. The fallback
+            // stays unsharded: one device, the simplest possible path.
+            let primary: Box<dyn TrajectoryIndex> = if config.shards > 1 {
+                let sharded = Arc::new(ShardedIndex::build(
+                    config.method,
+                    &store,
+                    &stats,
+                    &config.device,
+                    &ShardedIndexConfig { shards: config.shards, partition: config.partition },
+                )?);
+                shard_engines.push(Arc::clone(&sharded));
+                Box::new(sharded)
+            } else {
+                let device =
+                    Device::new(config.device.clone()).map_err(TdtsError::InvalidConfig)?;
+                config.method.build_index(&store, &stats, device)?
+            };
             let device = Device::new(fallback_device.clone()).map_err(TdtsError::InvalidConfig)?;
             let fallback = fallback_method.build_index(&store, &stats, device)?;
             engines.push(EnginePair { primary, fallback });
@@ -185,6 +211,7 @@ impl QueryService {
             shared,
             batcher: Mutex::new(Some(batcher)),
             workers: Mutex::new(workers),
+            shard_engines,
         })
     }
 
@@ -193,9 +220,25 @@ impl QueryService {
         &self.shared.config
     }
 
-    /// A point-in-time snapshot of the service counters.
+    /// A point-in-time snapshot of the service counters. Under sharded
+    /// execution (`config.shards > 1`) the snapshot carries per-shard work
+    /// counters summed across the worker replicas of each slab.
     pub fn stats(&self) -> ServiceStats {
-        self.shared.stats.snapshot()
+        let mut stats = self.shared.stats.snapshot();
+        stats.shards = self.shared.config.shards;
+        let mut per_shard: Vec<ShardStats> = Vec::new();
+        for engine in &self.shard_engines {
+            stats.duplicates_dropped += engine.duplicates_dropped();
+            for shard in engine.shard_stats() {
+                match per_shard.iter_mut().find(|s| s.shard == shard.shard) {
+                    Some(existing) => existing.absorb(&shard),
+                    None => per_shard.push(shard),
+                }
+            }
+        }
+        per_shard.sort_by_key(|s| s.shard);
+        stats.per_shard = per_shard;
+        stats
     }
 
     /// Submit one request and block for its response, applying

@@ -5,6 +5,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
+use tdts_core::ShardStats;
 use tdts_gpu_sim::SearchReport;
 
 /// Lock-free counters the hot paths touch, plus the merged report.
@@ -53,12 +54,15 @@ impl StatsInner {
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
             cumulative: *self.cumulative.lock().unwrap(),
+            shards: 1,
+            duplicates_dropped: 0,
+            per_shard: Vec::new(),
         }
     }
 }
 
 /// A point-in-time view of the service counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 #[non_exhaustive]
 pub struct ServiceStats {
     /// Requests accepted past admission control.
@@ -86,4 +90,12 @@ pub struct ServiceStats {
     /// Every executed batch's [`SearchReport`] merged together — phase
     /// timings, comparison counts, and aggregated `LoadBalance` metrics.
     pub cumulative: SearchReport,
+    /// Configured shard count (1 = unsharded primaries).
+    pub shards: usize,
+    /// Cross-shard duplicate records dropped by the merge path, summed
+    /// over every worker's sharded primary (0 when unsharded).
+    pub duplicates_dropped: u64,
+    /// Per-slab work counters, summed across worker replicas and sorted by
+    /// slab id (empty when unsharded).
+    pub per_shard: Vec<ShardStats>,
 }

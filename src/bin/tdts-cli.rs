@@ -43,6 +43,10 @@ fn usage() -> ! {
          \u{20}  --sanitizer <off|memcheck|racecheck|full>\n\
          \u{20}                                    shadow-state device sanitizer (default\n\
          \u{20}                                    off, or the TDTS_SANITIZER env var)\n\
+         \u{20}  --shards <n>                      simulated devices the entry database\n\
+         \u{20}                                    is partitioned across (default 1)\n\
+         \u{20}  --partition <temporal|spatial-grid>\n\
+         \u{20}                                    slab orientation for sharded runs\n\
          \u{20}  --clients <n>                     concurrent replay clients (default 16)\n\
          \u{20}  --request-size <n>                query segments per client request\n\
          \u{20}                                    (default 0 = one whole trajectory)\n\
@@ -76,6 +80,8 @@ struct Opts {
     kernel_shape: KernelShape,
     tile_size: usize,
     sanitizer: SanitizerMode,
+    shards: usize,
+    partition: PartitionStrategy,
     clients: usize,
     request_size: usize,
     requests: usize,
@@ -104,6 +110,8 @@ fn parse() -> Opts {
         kernel_shape: KernelShape::ThreadPerQuery,
         tile_size: 128,
         sanitizer: SanitizerMode::from_env().unwrap_or(SanitizerMode::Off),
+        shards: 1,
+        partition: PartitionStrategy::default(),
         clients: 16,
         request_size: 0,
         requests: 0,
@@ -136,6 +144,15 @@ fn parse() -> Opts {
             "--tile-size" => o.tile_size = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--sanitizer" => {
                 o.sanitizer = SanitizerMode::parse(&val(&mut args)).unwrap_or_else(|| usage())
+            }
+            "--shards" => {
+                o.shards = val(&mut args).parse().unwrap_or_else(|_| usage());
+                if o.shards == 0 {
+                    usage()
+                }
+            }
+            "--partition" => {
+                o.partition = PartitionStrategy::parse(&val(&mut args)).unwrap_or_else(|| usage())
             }
             "--clients" => o.clients = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--request-size" => o.request_size = val(&mut args).parse().unwrap_or_else(|_| usage()),
@@ -324,9 +341,22 @@ fn main() {
             }
 
             let sanitizer_device = Arc::clone(&device);
-            let engine = SearchEngine::build(&dataset, method, device).unwrap_or_else(|e| fail(e));
+            let engine = if o.shards > 1 {
+                SearchEngine::build_sharded(
+                    &dataset,
+                    method,
+                    &device_config,
+                    &ShardedIndexConfig { shards: o.shards, partition: o.partition },
+                )
+                .unwrap_or_else(|e| fail(e))
+            } else {
+                SearchEngine::build(&dataset, method, device).unwrap_or_else(|e| fail(e))
+            };
             let (matches, report) = engine.search(&queries, o.d, cap).unwrap_or_else(|e| fail(e));
             println!("method:       {}", engine.method().name());
+            if o.shards > 1 {
+                println!("shards:       {} ({} partition)", o.shards, o.partition);
+            }
             println!("matches:      {}", matches.len());
             println!("comparisons:  {}", report.comparisons);
             println!(
@@ -336,15 +366,29 @@ fn main() {
             );
             println!("wall:         {:.3}s", report.wall_seconds);
             if !o.sanitizer.is_off() {
-                let san = sanitizer_device.sanitizer_report();
-                if san.is_clean() {
-                    println!(
-                        "sanitizer:    clean ({} over {} launches)",
-                        o.sanitizer, san.launches
-                    );
+                if o.shards > 1 {
+                    // Sharded devices live inside the index; their findings
+                    // are aggregated into the merged report.
+                    if report.sanitizer_findings == 0 {
+                        println!(
+                            "sanitizer:    clean ({} across {} shards)",
+                            o.sanitizer, o.shards
+                        );
+                    } else {
+                        eprintln!("sanitizer FAILED: {} findings", report.sanitizer_findings);
+                        std::process::exit(1);
+                    }
                 } else {
-                    eprint!("sanitizer FAILED:\n{san}");
-                    std::process::exit(1);
+                    let san = sanitizer_device.sanitizer_report();
+                    if san.is_clean() {
+                        println!(
+                            "sanitizer:    clean ({} over {} launches)",
+                            o.sanitizer, san.launches
+                        );
+                    } else {
+                        eprint!("sanitizer FAILED:\n{san}");
+                        std::process::exit(1);
+                    }
                 }
             }
             if o.verify {
@@ -414,6 +458,19 @@ fn print_stats(stats: &ServiceStats) {
         "  kernels:  {} invocations, {} comparisons total",
         stats.cumulative.response.kernel_invocations, stats.cumulative.comparisons
     );
+    if stats.shards > 1 {
+        println!(
+            "  shards:   {} configured, {} cross-shard duplicates dropped",
+            stats.shards, stats.duplicates_dropped
+        );
+        for s in &stats.per_shard {
+            println!(
+                "    shard {:>2}: {} entries ({} replicated), {} searches, \
+                 {:.4} s summed response, {} comparisons",
+                s.shard, s.entries, s.replicated, s.searches, s.response_seconds, s.comparisons
+            );
+        }
+    }
 }
 
 fn run_service(
@@ -431,6 +488,8 @@ fn run_service(
     let mut builder = ServiceConfig::builder(method)
         .device(device_config.clone())
         .workers(o.workers)
+        .shards(o.shards)
+        .partition(o.partition)
         .max_batch(o.max_batch)
         .max_delay(Duration::from_secs_f64(o.max_delay_ms / 1e3))
         .queue_capacity(o.queue_capacity)

@@ -75,15 +75,15 @@ pub mod prelude {
         brute_force_search, knn_search, resolve_matches, verify_against_oracle, ClusterConfig,
         ClusterReport, ClusterSearch, HybridConfig, HybridReport, HybridSearch, KnnConfig, Method,
         Neighbor, PreparedDataset, QueryBatch, ResolvedMatch, SearchEngine, SearchOutcome,
-        TdtsError, TrajectoryIndex,
+        ShardStats, ShardedIndex, ShardedIndexConfig, TdtsError, TrajectoryIndex,
     };
     pub use tdts_data::{read_csv, selectivity, selectivity_sweep, write_csv, SelectivityPoint};
     pub use tdts_data::{
         MergerConfig, RandomDenseConfig, RandomWalkConfig, Scenario, ScenarioKind,
     };
     pub use tdts_geom::{
-        within_distance, MatchRecord, Mbb, Point3, SegId, Segment, SegmentStore, TimeInterval,
-        TrajId,
+        within_distance, MatchRecord, Mbb, PartitionStrategy, Point3, SegId, Segment, SegmentStore,
+        ShardPlan, ShardedStore, TimeInterval, TrajId,
     };
     pub use tdts_gpu_sim::{
         Device, DeviceConfig, Finding, FindingKind, KernelShape, LoadBalance, Phase,

@@ -1,0 +1,251 @@
+//! Tier-1: sharded execution is a deployment shape, not an algorithm.
+//!
+//! Partitioning the entry database across simulated devices must leave
+//! result sets *byte-identical* to the single-device oracle — for every
+//! method, every kernel shape, both partition strategies, and shard counts
+//! 1/2/4/8 — because boundary segments are replicated into every slab they
+//! straddle and the merge collapses the duplicate records on full
+//! `(query, entry, interval)` keys.
+
+use proptest::prelude::*;
+use tdts::prelude::*;
+
+fn methods() -> Vec<Method> {
+    vec![
+        Method::CpuRTree(RTreeConfig::default()),
+        Method::GpuSpatial(GpuSpatialConfig {
+            fsg: FsgConfig { cells_per_dim: 10 },
+            total_scratch: 500_000,
+        }),
+        Method::GpuTemporal(TemporalIndexConfig { bins: 40 }),
+        Method::GpuBatchedTemporal(BatchedConfig {
+            index: TemporalIndexConfig { bins: 40 },
+            batch_size: 9,
+        }),
+        Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {
+            bins: 40,
+            subbins: 4,
+            sort_by_selector: true,
+        }),
+    ]
+}
+
+fn device_config(shape: KernelShape) -> DeviceConfig {
+    let mut config = DeviceConfig::tesla_c2075();
+    config.kernel_shape = shape;
+    config
+}
+
+/// Exact equality — every field of every record, bit for bit.
+fn assert_byte_identical(got: &[MatchRecord], expect: &[MatchRecord], label: &str) {
+    assert_eq!(got.len(), expect.len(), "{label}: result count");
+    for (i, (g, e)) in got.iter().zip(expect).enumerate() {
+        assert_eq!(g.query, e.query, "{label}: record {i} query");
+        assert_eq!(g.entry, e.entry, "{label}: record {i} entry");
+        assert_eq!(
+            g.interval.start.to_bits(),
+            e.interval.start.to_bits(),
+            "{label}: record {i} interval start"
+        );
+        assert_eq!(
+            g.interval.end.to_bits(),
+            e.interval.end.to_bits(),
+            "{label}: record {i} interval end"
+        );
+    }
+}
+
+fn check_scenario(store: SegmentStore, queries: SegmentStore, distances: &[f64], label: &str) {
+    let dataset = PreparedDataset::new(store);
+    for shape in [KernelShape::ThreadPerQuery, KernelShape::WarpPerTile] {
+        let config = device_config(shape);
+        for &d in distances {
+            for method in methods() {
+                let oracle_engine =
+                    SearchEngine::build(&dataset, method, Device::new(config.clone()).unwrap())
+                        .unwrap();
+                let (oracle, _) = oracle_engine.search(&queries, d, 2_000_000).unwrap();
+                assert!(
+                    !oracle.is_empty(),
+                    "{label}/{} d={d}: scenario must produce matches to mean anything",
+                    method.name()
+                );
+                for strategy in [PartitionStrategy::Temporal, PartitionStrategy::SpatialGrid] {
+                    for shards in [1usize, 2, 4, 8] {
+                        let engine = SearchEngine::build_sharded(
+                            &dataset,
+                            method,
+                            &config,
+                            &ShardedIndexConfig { shards, partition: strategy },
+                        )
+                        .unwrap();
+                        let (got, report) = engine.search(&queries, d, 2_000_000).unwrap();
+                        assert_byte_identical(
+                            &got,
+                            &oracle,
+                            &format!(
+                                "{label}/{} {shape:?} {strategy} shards={shards} d={d}",
+                                method.name()
+                            ),
+                        );
+                        assert_eq!(report.matches, got.len() as u64);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn merger_scenario_sharded_byte_identical() {
+    let store = MergerConfig { particles: 60, timesteps: 25, ..Default::default() }.generate();
+    let queries =
+        MergerConfig { particles: 12, timesteps: 25, seed: 77, ..Default::default() }.generate();
+    check_scenario(store, queries, &[1.0, 4.0], "merger");
+}
+
+#[test]
+fn random_dense_scenario_sharded_byte_identical() {
+    let store = RandomDenseConfig { particles: 64, timesteps: 20, ..Default::default() }.generate();
+    let queries =
+        RandomDenseConfig { particles: 12, timesteps: 20, seed: 55, ..Default::default() }
+            .generate();
+    check_scenario(store, queries, &[2.0, 12.0], "random-dense");
+}
+
+/// Regression: a segment straddling a slab boundary is resident in both
+/// slabs and reports its match from each — the merge must collapse the
+/// replicas to exactly one record.
+#[test]
+fn boundary_straddling_segment_dedups_to_one_record() {
+    // Two entries over [0, 10]: one inside the first temporal half, one
+    // spanning the midpoint (replicated into both slabs at shards=2).
+    let mut store = SegmentStore::new();
+    store.push(Segment::new(
+        Point3::new(0.0, 0.0, 0.0),
+        Point3::new(1.0, 0.0, 0.0),
+        0.0,
+        2.0,
+        SegId(0),
+        TrajId(0),
+    ));
+    store.push(Segment::new(
+        Point3::new(0.0, 1.0, 0.0),
+        Point3::new(1.0, 1.0, 0.0),
+        4.0,
+        6.0,
+        SegId(1),
+        TrajId(1),
+    ));
+    store.push(Segment::new(
+        Point3::new(0.0, 2.0, 0.0),
+        Point3::new(1.0, 2.0, 0.0),
+        8.0,
+        10.0,
+        SegId(2),
+        TrajId(2),
+    ));
+    let mut queries = SegmentStore::new();
+    // One query covering the whole span: it matches all three entries.
+    queries.push(Segment::new(
+        Point3::new(0.0, 0.5, 0.0),
+        Point3::new(1.0, 0.5, 0.0),
+        0.0,
+        10.0,
+        SegId(0),
+        TrajId(9),
+    ));
+
+    let dataset = PreparedDataset::new(store);
+    let stats = dataset.store().stats().unwrap();
+    let plan = ShardPlan::new(&stats, 2, PartitionStrategy::Temporal);
+    let middle = dataset.store().iter().find(|s| s.t_start == 4.0).unwrap();
+    let (lo, hi) = plan.slab_span(middle);
+    assert!(lo < hi, "fixture must actually straddle the slab boundary");
+
+    let config = device_config(KernelShape::ThreadPerQuery);
+    let method = Method::GpuTemporal(TemporalIndexConfig { bins: 4 });
+    let oracle_engine =
+        SearchEngine::build(&dataset, method, Device::new(config.clone()).unwrap()).unwrap();
+    let (oracle, _) = oracle_engine.search(&queries, 5.0, 10_000).unwrap();
+    assert_eq!(oracle.len(), 3);
+
+    let sharded = SearchEngine::build_sharded(
+        &dataset,
+        method,
+        &config,
+        &ShardedIndexConfig { shards: 2, partition: PartitionStrategy::Temporal },
+    )
+    .unwrap();
+    let (got, report) = sharded.search(&queries, 5.0, 10_000).unwrap();
+    assert_byte_identical(&got, &oracle, "boundary straddle");
+    // The straddler reported from both shards; exactly one replica dropped.
+    assert_eq!(report.raw_matches, 4, "replicated entry must match in both shards");
+    assert_eq!(report.matches, 3);
+}
+
+fn arb_store(max_trajs: usize, max_segs_per: usize) -> impl Strategy<Value = SegmentStore> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(
+                (-30.0f64..30.0, -30.0f64..30.0, -30.0f64..30.0),
+                2..=max_segs_per + 1,
+            ),
+            0.0f64..8.0,
+        ),
+        1..=max_trajs,
+    )
+    .prop_map(|trajs| {
+        let mut store = SegmentStore::new();
+        let mut seg = 0u32;
+        for (ti, (points, t0)) in trajs.into_iter().enumerate() {
+            for (i, w) in points.windows(2).enumerate() {
+                store.push(Segment::new(
+                    Point3::new(w[0].0, w[0].1, w[0].2),
+                    Point3::new(w[1].0, w[1].1, w[1].2),
+                    t0 + i as f64,
+                    t0 + i as f64 + 1.0,
+                    SegId(seg),
+                    TrajId(ti as u32),
+                ));
+                seg += 1;
+            }
+        }
+        store
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any partition of any database merges back to the unsharded oracle.
+    #[test]
+    fn any_partition_merges_back_to_oracle(
+        store in arb_store(6, 5),
+        queries in arb_store(3, 4),
+        shards in 1usize..=8,
+        strategy_sel in 0usize..2,
+        d in 0.5f64..25.0,
+    ) {
+        let strategy = if strategy_sel == 0 {
+            PartitionStrategy::Temporal
+        } else {
+            PartitionStrategy::SpatialGrid
+        };
+        let dataset = PreparedDataset::new(store);
+        let expect = brute_force_search(dataset.store(), &queries, d);
+        let engine = SearchEngine::build_sharded(
+            &dataset,
+            Method::GpuTemporal(TemporalIndexConfig { bins: 7 }),
+            &DeviceConfig::tesla_c2075(),
+            &ShardedIndexConfig { shards, partition: strategy },
+        )
+        .unwrap();
+        let (got, _) = engine.search(&queries, d, 1_000_000).unwrap();
+        assert_byte_identical(
+            &got,
+            &expect,
+            &format!("proptest {strategy} shards={shards} d={d}"),
+        );
+    }
+}
