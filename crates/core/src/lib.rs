@@ -33,5 +33,7 @@ pub use hybrid::{HybridConfig, HybridReport, HybridSearch};
 pub use knn::{knn_search, KnnConfig, Neighbor};
 pub use oracle::{brute_force_search, verify_against_oracle};
 pub use resolve::{resolve_matches, ResolvedMatch};
-pub use sharding::{ShardStats, ShardedIndex, ShardedIndexConfig};
+pub use sharding::{
+    RoutingMode, ShardStats, ShardedIndex, ShardedIndexConfig, ShardedIndexConfigBuilder,
+};
 pub use traits::{CpuRTreeIndex, QueryBatch, SearchOutcome, TrajectoryIndex};

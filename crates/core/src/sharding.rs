@@ -3,56 +3,192 @@
 //! [`ShardedIndex`] partitions the entry database with
 //! [`ShardedStore`] (temporal slabs by default,
 //! spatial slabs as an alternative — boundary segments replicated so every
-//! shard is self-sufficient), builds one inner index per shard on its *own*
-//! simulated device, and broadcasts each [`QueryBatch`] to every
-//! shard (device concurrency is modeled in the merged ledger, not raced on
-//! host threads). The per-shard result slices come back in shard-local
-//! positions; the merge path translates them to global store positions,
-//! concatenates, and canonicalises with
-//! [`dedup_matches`], which collapses the
-//! byte-identical duplicates that boundary-replicated segments produce
-//! across shards. The result set is therefore *byte-identical* to running
-//! the same method unsharded on one device — the single-device simulator
-//! stays the oracle.
+//! shard is self-sufficient; slab edges equal-width or equal-entry-count
+//! per [`SlabMode`]), builds one inner index per shard on its *own*
+//! simulated device, and dispatches each [`QueryBatch`] per the configured
+//! [`RoutingMode`]:
+//!
+//! * [`RoutingMode::Broadcast`] sends the whole batch to every shard — the
+//!   original exact-but-wasteful shape, kept as the routing oracle.
+//! * [`RoutingMode::Slab`] (the default) computes each query's *reach
+//!   interval* against the [`ShardPlan`] slab geometry
+//!   ([`ShardPlan::reach_span`](tdts_geom::ShardPlan::reach_span))
+//!   and sends each shard only the sub-batch of queries whose reach touches
+//!   its slab; shards no query can reach are never probed. Boundary
+//!   replication is what makes this exact: every entry is resident in all
+//!   slabs its extent touches, so probing exactly the reach span loses
+//!   nothing, and the usual merge dedup collapses the straddler duplicates.
+//!
+//! Device concurrency is modeled in the merged ledger, not raced on host
+//! threads. The per-shard result slices come back in shard-local query and
+//! entry positions; the merge path translates both back (sub-batch query
+//! ids via the shard's routing map, entry positions via `to_global`),
+//! concatenates, and canonicalises with [`dedup_matches`]. The result set
+//! is therefore *byte-identical* to running the same method unsharded on
+//! one device — the single-device simulator stays the oracle — and routed
+//! execution is byte-identical to broadcast.
 //!
 //! Accounting follows the same discipline: per-device ledgers aggregate
 //! through [`SearchReport::merge_concurrent`] (work counters and transfer
-//! bytes sum, response time is the slowest shard's, because the merge
-//! point waits for the last device), and the measured host-side merge cost
-//! is charged to [`Phase::HostCompute`] on top.
+//! bytes sum, response time is the slowest *probed* shard's, because the
+//! merge point waits for the last device), and the measured host-side
+//! routing + merge cost is charged to [`Phase::HostCompute`] on top. The
+//! dispatch decisions themselves land in [`RoutingSummary`] on the report
+//! and in the per-shard [`ShardStats`] counters.
+//!
+//! Under [`RoutingMode::Slab`] the device result buffer is also *budgeted*:
+//! each probed shard gets a share of `result_capacity` proportional to its
+//! routed-query count times its resident entries (a candidate-volume
+//! proxy), floored at an even split. A shard whose share proves too small
+//! for even one query's results is retried once at full capacity and
+//! counted in `budget_redos` — so budgeting can never fail a search that
+//! broadcast would have served.
 
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use tdts_geom::{dedup_matches, PartitionStrategy, SegmentStore, ShardedStore, StoreStats};
-use tdts_gpu_sim::{Device, DeviceConfig, Phase, SearchReport};
+use tdts_geom::{
+    dedup_matches, PartitionStrategy, SegmentStore, ShardPlan, ShardedStore, SlabMode, StoreStats,
+};
+use tdts_gpu_sim::{Device, DeviceConfig, Phase, RoutingSummary, SearchError, SearchReport};
 
 use crate::engine::Method;
 use crate::error::TdtsError;
 use crate::traits::{QueryBatch, SearchOutcome, TrajectoryIndex};
 
+/// How a [`ShardedIndex`] dispatches a query batch to its shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingMode {
+    /// Send every query to every shard. Exact, never skips work; kept as
+    /// the oracle the routed path must match byte-for-byte.
+    Broadcast,
+    /// Send each query only to the shards its reach interval touches
+    /// (see the [module docs](self)). Exact by boundary replication; the
+    /// default.
+    #[default]
+    Slab,
+}
+
+impl RoutingMode {
+    /// Parse a CLI spelling; `None` for anything unrecognised.
+    pub fn parse(s: &str) -> Option<RoutingMode> {
+        match s {
+            "broadcast" | "all" => Some(RoutingMode::Broadcast),
+            "slab" | "routed" => Some(RoutingMode::Slab),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RoutingMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RoutingMode::Broadcast => "broadcast",
+            RoutingMode::Slab => "slab",
+        })
+    }
+}
+
 /// How to shard a dataset across simulated devices.
+///
+/// Construct with [`ShardedIndexConfig::builder`] (the struct is
+/// `#[non_exhaustive]`, so new knobs — like `routing` and `slab_mode`,
+/// which arrived after `shards`/`partition` — never break downstream
+/// construction sites again):
+///
+/// ```
+/// use tdts_core::{RoutingMode, ShardedIndexConfig};
+/// use tdts_geom::{PartitionStrategy, SlabMode};
+///
+/// let cfg = ShardedIndexConfig::builder()
+///     .shards(8)
+///     .partition(PartitionStrategy::Temporal)
+///     .routing(RoutingMode::Slab)
+///     .slab_mode(SlabMode::Balanced)
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.shards, 8);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct ShardedIndexConfig {
     /// Number of slabs to split the store into (≥ 1). Empty slabs are
     /// skipped, so fewer devices than `shards` may be instantiated.
     pub shards: usize,
     /// Slab orientation (temporal by default).
     pub partition: PartitionStrategy,
+    /// Query dispatch policy (slab-aware routing by default).
+    pub routing: RoutingMode,
+    /// Slab edge placement (equal-width by default).
+    pub slab_mode: SlabMode,
 }
 
 impl Default for ShardedIndexConfig {
     fn default() -> Self {
-        ShardedIndexConfig { shards: 1, partition: PartitionStrategy::default() }
+        ShardedIndexConfig {
+            shards: 1,
+            partition: PartitionStrategy::default(),
+            routing: RoutingMode::default(),
+            slab_mode: SlabMode::default(),
+        }
+    }
+}
+
+impl ShardedIndexConfig {
+    /// Start a builder seeded with the defaults (1 shard, temporal slabs,
+    /// slab routing, uniform edges).
+    pub fn builder() -> ShardedIndexConfigBuilder {
+        ShardedIndexConfigBuilder { cfg: ShardedIndexConfig::default() }
+    }
+}
+
+/// Builder for [`ShardedIndexConfig`]; see its docs for an example.
+#[derive(Debug, Clone)]
+pub struct ShardedIndexConfigBuilder {
+    cfg: ShardedIndexConfig,
+}
+
+impl ShardedIndexConfigBuilder {
+    /// Number of slabs to split the store into (≥ 1).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg.shards = shards;
+        self
+    }
+
+    /// Slab orientation.
+    pub fn partition(mut self, partition: PartitionStrategy) -> Self {
+        self.cfg.partition = partition;
+        self
+    }
+
+    /// Query dispatch policy.
+    pub fn routing(mut self, routing: RoutingMode) -> Self {
+        self.cfg.routing = routing;
+        self
+    }
+
+    /// Slab edge placement.
+    pub fn slab_mode(mut self, slab_mode: SlabMode) -> Self {
+        self.cfg.slab_mode = slab_mode;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<ShardedIndexConfig, TdtsError> {
+        if self.cfg.shards == 0 {
+            return Err(TdtsError::InvalidConfig("shard count must be at least 1".into()));
+        }
+        Ok(self.cfg)
     }
 }
 
 /// One shard: an inner index over the shard-local store, pinned to its own
 /// device, plus the local→global position map.
 struct ShardMember {
-    /// Slab id in the [`tdts_geom::ShardPlan`] (shards with empty slabs
-    /// are skipped, so this is not necessarily the member's vector index).
+    /// Slab id in the [`ShardPlan`] (shards with empty slabs are skipped,
+    /// so this is not necessarily the member's vector index).
     slab: usize,
     index: Box<dyn TrajectoryIndex>,
     to_global: Arc<Vec<u32>>,
@@ -71,19 +207,32 @@ struct ShardCounters {
     response_seconds: f64,
     comparisons: u64,
     raw_matches: u64,
+    queries_routed: u64,
+    queries_skipped: u64,
+    budget_redos: u64,
 }
 
 /// A point-in-time view of one shard's configuration and cumulative work.
+///
+/// Slabs are **not** assumed equal-width: under [`SlabMode::Balanced`] the
+/// plan places edges at entry-count quantiles, so `slab_lo..slab_hi` spans
+/// differ per shard. Everything here is a per-shard absolute (entry counts,
+/// work counters, the slab's own extent) — nothing is derived by dividing a
+/// global extent by the shard count.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 #[non_exhaustive]
 pub struct ShardStats {
     /// Slab id in the shard plan.
     pub shard: usize,
+    /// Lower edge of this shard's slab (axis units of the plan strategy).
+    pub slab_lo: f64,
+    /// Upper edge of this shard's slab.
+    pub slab_hi: f64,
     /// Segments resident on this shard (including boundary replicas).
     pub entries: usize,
     /// Of those, boundary replicas also present on another shard.
     pub replicated: usize,
-    /// Searches this shard has served.
+    /// Searches this shard has served (batches it was probed for).
     pub searches: u64,
     /// Simulated response seconds accumulated by this shard alone.
     pub response_seconds: f64,
@@ -91,17 +240,41 @@ pub struct ShardStats {
     pub comparisons: u64,
     /// Result records this shard produced before cross-shard dedup.
     pub raw_matches: u64,
+    /// Queries dispatched to this shard (under broadcast: every query of
+    /// every batch; under slab routing: only those whose reach interval
+    /// touched this slab).
+    pub queries_routed: u64,
+    /// Queries whose reach interval missed this slab (never dispatched
+    /// here; always 0 under broadcast).
+    pub queries_skipped: u64,
+    /// Searches re-run at full result capacity after this shard's routed
+    /// budget share proved too small.
+    pub budget_redos: u64,
 }
 
 impl ShardStats {
     /// Fold another snapshot of the *same* slab into this one (used when a
     /// service aggregates the shards of several worker replicas).
+    ///
+    /// Work and routing counters sum; the slab geometry (`slab_lo`,
+    /// `slab_hi`, `entries`, `replicated`) describes the shard itself and
+    /// must agree between the two snapshots — replicas of one shard share
+    /// one plan, whether its slabs are uniform or balanced. The `debug_assert`s
+    /// pin that invariant instead of assuming a constant slab width.
     pub fn absorb(&mut self, other: &ShardStats) {
         debug_assert_eq!(self.shard, other.shard, "absorb requires matching slabs");
+        debug_assert!(
+            self.slab_lo.to_bits() == other.slab_lo.to_bits()
+                && self.slab_hi.to_bits() == other.slab_hi.to_bits(),
+            "absorb requires replicas of one plan (slab extents differ)"
+        );
         self.searches += other.searches;
         self.response_seconds += other.response_seconds;
         self.comparisons += other.comparisons;
         self.raw_matches += other.raw_matches;
+        self.queries_routed += other.queries_routed;
+        self.queries_skipped += other.queries_skipped;
+        self.budget_redos += other.budget_redos;
     }
 }
 
@@ -110,7 +283,10 @@ impl ShardStats {
 /// accounting model.
 pub struct ShardedIndex {
     method_name: &'static str,
-    partition: PartitionStrategy,
+    /// The slab geometry the members were partitioned under; also the
+    /// routing table ([`ShardPlan::reach_span`]).
+    plan: ShardPlan,
+    routing: RoutingMode,
     /// Requested shard count (instantiated members may be fewer when slabs
     /// come up empty).
     requested_shards: usize,
@@ -124,12 +300,32 @@ impl std::fmt::Debug for ShardedIndex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedIndex")
             .field("method", &self.method_name)
-            .field("partition", &self.partition)
+            .field("partition", &self.plan.strategy)
+            .field("slab_mode", &self.plan.mode)
+            .field("routing", &self.routing)
             .field("shards", &self.members.len())
             .field("requested_shards", &self.requested_shards)
             .field("resident_entries", &self.resident_entries())
             .finish_non_exhaustive()
     }
+}
+
+/// Per-shard search result awaiting the merge: the outcome plus, for
+/// routed sub-batches, the local→global query index map (`None` for
+/// broadcast and for skipped shards).
+type ShardOutcome = Option<(SearchOutcome, Option<Arc<Vec<u32>>>)>;
+
+/// Work a single shard contributed to one batch search, staged before the
+/// counters lock is taken.
+#[derive(Clone, Copy, Default)]
+struct ShardWork {
+    probed: bool,
+    routed: u64,
+    skipped: u64,
+    budget_redo: bool,
+    response_seconds: f64,
+    comparisons: u64,
+    raw_matches: usize,
 }
 
 impl ShardedIndex {
@@ -150,7 +346,13 @@ impl ShardedIndex {
         if config.shards == 0 {
             return Err(TdtsError::InvalidConfig("shard count must be at least 1".into()));
         }
-        let sharded = ShardedStore::partition(store, stats, config.shards, config.partition);
+        let sharded = ShardedStore::partition_with_mode(
+            store,
+            stats,
+            config.shards,
+            config.partition,
+            config.slab_mode,
+        );
         let mut members = Vec::with_capacity(sharded.slices.len());
         for slice in &sharded.slices {
             // One device per shard: a device's response-time ledger is
@@ -170,12 +372,13 @@ impl ShardedIndex {
             });
         }
         if members.is_empty() {
-            return Err(TdtsError::Search(tdts_gpu_sim::SearchError::EmptyDataset));
+            return Err(TdtsError::Search(SearchError::EmptyDataset));
         }
         let counters = Mutex::new(vec![ShardCounters::default(); members.len()]);
         Ok(ShardedIndex {
             method_name: method.name(),
-            partition: config.partition,
+            plan: sharded.plan,
+            routing: config.routing,
             requested_shards: config.shards,
             source_entries: store.len(),
             members,
@@ -196,7 +399,22 @@ impl ShardedIndex {
 
     /// The partitioning strategy in effect.
     pub fn partition(&self) -> PartitionStrategy {
-        self.partition
+        self.plan.strategy
+    }
+
+    /// The slab edge placement in effect.
+    pub fn slab_mode(&self) -> SlabMode {
+        self.plan.mode
+    }
+
+    /// The dispatch policy in effect.
+    pub fn routing(&self) -> RoutingMode {
+        self.routing
+    }
+
+    /// The slab geometry the shards were partitioned under.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
     }
 
     /// Total segments resident across shards, counting boundary replicas.
@@ -224,45 +442,172 @@ impl ShardedIndex {
         self.members
             .iter()
             .zip(counters.iter())
-            .map(|(m, c)| ShardStats {
-                shard: m.slab,
-                entries: m.entries,
-                replicated: m.replicated,
-                searches: c.searches,
-                response_seconds: c.response_seconds,
-                comparisons: c.comparisons,
-                raw_matches: c.raw_matches,
+            .map(|(m, c)| {
+                let (slab_lo, slab_hi) = self.plan.slab_bounds(m.slab);
+                ShardStats {
+                    shard: m.slab,
+                    slab_lo,
+                    slab_hi,
+                    entries: m.entries,
+                    replicated: m.replicated,
+                    searches: c.searches,
+                    response_seconds: c.response_seconds,
+                    comparisons: c.comparisons,
+                    raw_matches: c.raw_matches,
+                    queries_routed: c.queries_routed,
+                    queries_skipped: c.queries_skipped,
+                    budget_redos: c.budget_redos,
+                }
             })
             .collect()
     }
 
+    /// The per-shard sub-batches slab routing would dispatch: for each
+    /// member, the batch positions of the queries whose reach interval
+    /// touches its slab. Broadcast dispatch corresponds to every vector
+    /// holding every position.
+    fn route(&self, queries: &SegmentStore, d: f64) -> Vec<Vec<u32>> {
+        let mut routed: Vec<Vec<u32>> = vec![Vec::new(); self.members.len()];
+        let reach: Vec<Option<(usize, usize)>> =
+            queries.iter().map(|q| self.plan.reach_span(q, d)).collect();
+        for (mi, member) in self.members.iter().enumerate() {
+            for (qi, span) in reach.iter().enumerate() {
+                if let Some((lo, hi)) = span {
+                    if *lo <= member.slab && member.slab <= *hi {
+                        routed[mi].push(qi as u32);
+                    }
+                }
+            }
+        }
+        routed
+    }
+
+    /// Result-buffer share for one probed shard: proportional to its
+    /// routed-query count × resident entries (a candidate-volume proxy)
+    /// with 2x headroom so ordinary skew does not trigger buffer-overflow
+    /// redo rounds, floored at an even split of the batch capacity so a
+    /// light shard can never be starved below what uniform sizing would
+    /// have given it, and capped at the caller's capacity. Budgeting
+    /// bounds the fleet's total result-buffer reservation near the
+    /// single-device footprint instead of `capacity x shards`; the
+    /// full-capacity escalation retry in [`ShardedIndex::search_sharded`]
+    /// covers the pathological tail.
+    fn budget_share(capacity: usize, weight: u128, total_weight: u128, probed: usize) -> usize {
+        let floor = (capacity / probed.max(1)).max(1);
+        if total_weight == 0 {
+            return capacity.min(floor.max(capacity));
+        }
+        let share =
+            ((capacity as u128).saturating_mul(weight.saturating_mul(2)) / total_weight) as usize;
+        share.max(floor).min(capacity)
+    }
+
     fn search_sharded(&self, batch: &QueryBatch<'_>) -> Result<SearchOutcome, TdtsError> {
         let wall_start = Instant::now();
-        // Broadcast the batch to every shard. Device concurrency is
-        // *modeled*, not raced: the ledger merge below takes the slowest
-        // shard's phase breakdown, exactly as N real devices driven from
-        // one host would respond. Running the searches sequentially keeps
-        // each shard's real-wall host phases (candidate lookup, schedule
-        // build) uncontended — fanning them out as host threads would
-        // inflate every shard's measurements on small hosts and overstate
-        // the merged response.
-        let outcomes: Vec<Result<SearchOutcome, TdtsError>> =
-            self.members.iter().map(|m| m.index.search(batch)).collect();
+        let n_queries = batch.queries.len() as u64;
 
-        // Merge: translate shard-local entry positions to global ones,
-        // concatenate, and canonicalise. Boundary-replicated segments
-        // report byte-identical records from every shard that holds them;
-        // dedup_matches collapses those on (query, entry, interval) keys.
+        // Dispatch. Device concurrency is *modeled*, not raced: the ledger
+        // merge below takes the slowest probed shard's phase breakdown,
+        // exactly as N real devices driven from one host would respond.
+        // Running the searches sequentially keeps each shard's real-wall
+        // host phases (candidate lookup, schedule build) uncontended —
+        // fanning them out as host threads would inflate every shard's
+        // measurements on small hosts and overstate the merged response.
+        let route_start = Instant::now();
+        let sub_batches: Option<Vec<Vec<u32>>> = match self.routing {
+            RoutingMode::Broadcast => None,
+            RoutingMode::Slab => Some(self.route(batch.queries, batch.d)),
+        };
+        let routing_elapsed = route_start.elapsed().as_secs_f64();
+
+        let mut work = vec![ShardWork::default(); self.members.len()];
+        let mut outcomes: Vec<ShardOutcome> = Vec::with_capacity(self.members.len());
+        match &sub_batches {
+            None => {
+                // Broadcast: every shard sees the whole batch at full
+                // result capacity.
+                for (mi, member) in self.members.iter().enumerate() {
+                    let o = member.index.search(batch)?;
+                    work[mi] =
+                        ShardWork { probed: true, routed: n_queries, ..ShardWork::default() };
+                    outcomes.push(Some((o, None)));
+                }
+            }
+            Some(subs) => {
+                // Slab routing: per-shard compacted sub-batches, budgeted
+                // result capacity, full-capacity retry on budget misfits.
+                let probed = subs.iter().filter(|s| !s.is_empty()).count();
+                let weights: Vec<u128> = self
+                    .members
+                    .iter()
+                    .zip(subs)
+                    .map(|(m, s)| (s.len() as u128) * (m.entries as u128))
+                    .collect();
+                let total_weight: u128 = weights.iter().sum();
+                for (mi, (member, sub)) in self.members.iter().zip(subs).enumerate() {
+                    if sub.is_empty() {
+                        work[mi] = ShardWork { skipped: n_queries, ..ShardWork::default() };
+                        outcomes.push(None);
+                        continue;
+                    }
+                    let sub_queries: SegmentStore =
+                        sub.iter().map(|&qi| *batch.queries.get(qi as usize)).collect();
+                    let capacity = ShardedIndex::budget_share(
+                        batch.result_capacity,
+                        weights[mi],
+                        total_weight,
+                        probed,
+                    );
+                    let sub_batch =
+                        QueryBatch { queries: &sub_queries, d: batch.d, result_capacity: capacity };
+                    let (o, redo) = match member.index.search(&sub_batch) {
+                        // The budgeted share cannot hold even one query's
+                        // results: retry at the full batch capacity, so
+                        // budgeting never fails a search broadcast would
+                        // have served.
+                        Err(TdtsError::Search(SearchError::ResultCapacityTooSmall { .. }))
+                            if capacity < batch.result_capacity =>
+                        {
+                            let full = QueryBatch {
+                                queries: &sub_queries,
+                                d: batch.d,
+                                result_capacity: batch.result_capacity,
+                            };
+                            (member.index.search(&full)?, true)
+                        }
+                        r => (r?, false),
+                    };
+                    work[mi] = ShardWork {
+                        probed: true,
+                        routed: sub.len() as u64,
+                        skipped: n_queries - sub.len() as u64,
+                        budget_redo: redo,
+                        ..ShardWork::default()
+                    };
+                    outcomes.push(Some((o, Some(Arc::new(sub.clone())))));
+                }
+            }
+        }
+
+        // Merge: translate shard-local query and entry positions back to
+        // batch/global ones, concatenate, and canonicalise. Boundary-
+        // replicated segments report byte-identical records from every
+        // shard that holds them; dedup_matches collapses those on
+        // (query, entry, interval) keys.
         let merge_start = Instant::now();
         let mut merged = Vec::new();
         let mut aggregate: Option<SearchReport> = None;
         let mut raw_total = 0usize;
-        let mut per_shard = Vec::with_capacity(self.members.len());
-        for (member, outcome) in self.members.iter().zip(outcomes) {
-            let mut o = outcome?;
-            per_shard.push((o.report.response_seconds(), o.report.comparisons, o.matches.len()));
+        for ((member, outcome), w) in self.members.iter().zip(outcomes).zip(work.iter_mut()) {
+            let Some((mut o, q_map)) = outcome else { continue };
+            w.response_seconds = o.report.response_seconds();
+            w.comparisons = o.report.comparisons;
+            w.raw_matches = o.matches.len();
             raw_total += o.matches.len();
             for rec in &mut o.matches {
+                if let Some(map) = &q_map {
+                    rec.query = map[rec.query as usize];
+                }
                 rec.entry = member.to_global[rec.entry as usize];
             }
             merged.append(&mut o.matches);
@@ -274,19 +619,37 @@ impl ShardedIndex {
         dedup_matches(&mut merged);
         let dropped = (raw_total - merged.len()) as u64;
 
-        let mut report = aggregate.expect("a sharded index always has at least one shard");
+        // Every shard was skipped (every query's reach missed the extent):
+        // the correct result is empty, with an all-skip routing summary.
+        let mut report = aggregate.unwrap_or_default();
         report.matches = merged.len() as u64;
-        report.response.add(Phase::HostCompute, merge_start.elapsed().as_secs_f64());
+        report.routing = RoutingSummary::default();
+        for w in &work {
+            report.routing.shard_queries_routed += w.routed;
+            report.routing.shard_queries_skipped += w.skipped;
+            if w.probed {
+                report.routing.shards_probed += 1;
+            } else {
+                report.routing.shards_skipped += 1;
+            }
+            report.routing.budget_redos += u64::from(w.budget_redo);
+        }
+        report
+            .response
+            .add(Phase::HostCompute, routing_elapsed + merge_start.elapsed().as_secs_f64());
         report.wall_seconds = wall_start.elapsed().as_secs_f64();
 
         self.duplicates_dropped.fetch_add(dropped, Ordering::Relaxed);
         {
             let mut counters = self.counters.lock().unwrap();
-            for (c, (secs, comparisons, raw)) in counters.iter_mut().zip(per_shard) {
-                c.searches += 1;
-                c.response_seconds += secs;
-                c.comparisons += comparisons;
-                c.raw_matches += raw as u64;
+            for (c, w) in counters.iter_mut().zip(&work) {
+                c.searches += u64::from(w.probed);
+                c.response_seconds += w.response_seconds;
+                c.comparisons += w.comparisons;
+                c.raw_matches += w.raw_matches as u64;
+                c.queries_routed += w.routed;
+                c.queries_skipped += w.skipped;
+                c.budget_redos += u64::from(w.budget_redo);
             }
         }
         Ok(SearchOutcome { matches: merged, report })
@@ -331,19 +694,21 @@ mod tests {
             .collect()
     }
 
-    fn build(method: Method, shards: usize) -> (PreparedDataset, ShardedIndex) {
+    fn config(shards: usize, routing: RoutingMode) -> ShardedIndexConfig {
+        ShardedIndexConfig::builder().shards(shards).routing(routing).build().unwrap()
+    }
+
+    fn build_with(method: Method, config: &ShardedIndexConfig) -> (PreparedDataset, ShardedIndex) {
         let dataset = PreparedDataset::new(store(80));
         let arc = dataset.store_arc();
         let stats = arc.stats().unwrap();
-        let index = ShardedIndex::build(
-            method,
-            &arc,
-            &stats,
-            &DeviceConfig::test_tiny(),
-            &ShardedIndexConfig { shards, partition: PartitionStrategy::Temporal },
-        )
-        .unwrap();
+        let index =
+            ShardedIndex::build(method, &arc, &stats, &DeviceConfig::test_tiny(), config).unwrap();
         (dataset, index)
+    }
+
+    fn build(method: Method, shards: usize) -> (PreparedDataset, ShardedIndex) {
+        build_with(method, &config(shards, RoutingMode::Broadcast))
     }
 
     #[test]
@@ -367,6 +732,100 @@ mod tests {
         assert_eq!(shard_stats.len(), index.shards());
         assert!(shard_stats.iter().all(|s| s.searches == 1));
         assert_eq!(shard_stats.iter().map(|s| s.entries).sum::<usize>(), index.resident_entries());
+        // Broadcast: every query reached every shard, none skipped.
+        assert!(shard_stats.iter().all(|s| s.queries_routed == 15 && s.queries_skipped == 0));
+        assert_eq!(outcome.report.routing.shard_queries_routed, 15 * index.shards() as u64);
+        assert_eq!(outcome.report.routing.shard_queries_skipped, 0);
+    }
+
+    #[test]
+    fn routed_is_byte_identical_to_broadcast() {
+        let method = Method::GpuTemporal(TemporalIndexConfig { bins: 8 });
+        let (_, broadcast) = build_with(method, &config(4, RoutingMode::Broadcast));
+        let (_, routed) = build_with(method, &config(4, RoutingMode::Slab));
+
+        // Narrow-extent queries: each reaches a small t-window, so routing
+        // must cut dispatched shard-queries while matching results exactly.
+        let queries = store(15);
+        let batch = QueryBatch { queries: &queries, d: 2.0, result_capacity: 20_000 };
+        let a = broadcast.search(&batch).unwrap();
+        let b = routed.search(&batch).unwrap();
+        assert_eq!(a.matches, b.matches);
+        assert!(
+            b.report.routing.shard_queries_routed < a.report.routing.shard_queries_routed,
+            "routing should dispatch fewer shard-queries ({} vs {})",
+            b.report.routing.shard_queries_routed,
+            a.report.routing.shard_queries_routed,
+        );
+        assert_eq!(
+            b.report.routing.shard_queries_routed + b.report.routing.shard_queries_skipped,
+            15 * routed.shards() as u64
+        );
+    }
+
+    #[test]
+    fn zero_reach_batch_returns_empty() {
+        let method = Method::GpuTemporal(TemporalIndexConfig { bins: 8 });
+        let (_, index) = build_with(method, &config(4, RoutingMode::Slab));
+        // Entry extent is t ∈ [0, ~24.7]; these queries live far past it.
+        let queries: SegmentStore = (0..3)
+            .map(|i| {
+                Segment::new(
+                    Point3::new(0.0, 0.0, 0.0),
+                    Point3::new(1.0, 1.0, 1.0),
+                    1000.0 + i as f64,
+                    1001.0 + i as f64,
+                    SegId(i),
+                    TrajId(i),
+                )
+            })
+            .collect();
+        let batch = QueryBatch { queries: &queries, d: 5.0, result_capacity: 1_000 };
+        let outcome = index.search(&batch).unwrap();
+        assert!(outcome.matches.is_empty());
+        assert_eq!(outcome.report.routing.shards_probed, 0);
+        assert_eq!(outcome.report.routing.shards_skipped, index.shards() as u64);
+        assert_eq!(outcome.report.routing.shard_queries_routed, 0);
+    }
+
+    #[test]
+    fn balanced_slabs_search_exactly() {
+        let method = Method::GpuTemporal(TemporalIndexConfig { bins: 8 });
+        let cfg = ShardedIndexConfig::builder()
+            .shards(4)
+            .routing(RoutingMode::Slab)
+            .slab_mode(SlabMode::Balanced)
+            .build()
+            .unwrap();
+        let (dataset, index) = build_with(method, &cfg);
+        assert_eq!(index.slab_mode(), SlabMode::Balanced);
+        let queries = store(15);
+        let batch = QueryBatch { queries: &queries, d: 2.0, result_capacity: 20_000 };
+        let outcome = index.search(&batch).unwrap();
+        assert_eq!(outcome.matches, brute_force_search(dataset.store(), &queries, 2.0));
+        // Non-uniform slab extents surface through ShardStats.
+        let stats = index.shard_stats();
+        assert!(stats.iter().all(|s| s.slab_lo <= s.slab_hi));
+    }
+
+    #[test]
+    fn budget_escalation_keeps_routed_search_alive() {
+        let method = Method::GpuTemporal(TemporalIndexConfig { bins: 8 });
+        let (dataset, index) = build_with(method, &config(4, RoutingMode::Slab));
+        let queries = store(15);
+        // A capacity just big enough for the whole batch on one device but
+        // whose per-shard shares can fall below a single query's results:
+        // the escalation path must keep the search exact.
+        let batch = QueryBatch { queries: &queries, d: 2.0, result_capacity: 40 };
+        match index.search(&batch) {
+            Ok(outcome) => {
+                assert_eq!(outcome.matches, brute_force_search(dataset.store(), &queries, 2.0));
+            }
+            // If even the full capacity is too small for one query, the
+            // sharded search fails exactly like the unsharded one would.
+            Err(TdtsError::Search(SearchError::ResultCapacityTooSmall { .. })) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+        }
     }
 
     #[test]
@@ -382,6 +841,14 @@ mod tests {
 
     #[test]
     fn zero_shards_is_rejected() {
+        // The builder rejects it...
+        assert!(matches!(
+            ShardedIndexConfig::builder().shards(0).build(),
+            Err(TdtsError::InvalidConfig(_))
+        ));
+        // ...and so does build() for a config forged around the builder
+        // (in-crate code can still write the fields directly).
+        let cfg = ShardedIndexConfig { shards: 0, ..ShardedIndexConfig::default() };
         let dataset = PreparedDataset::new(store(10));
         let arc = dataset.store_arc();
         let stats = arc.stats().unwrap();
@@ -390,10 +857,20 @@ mod tests {
             &arc,
             &stats,
             &DeviceConfig::test_tiny(),
-            &ShardedIndexConfig { shards: 0, partition: PartitionStrategy::Temporal },
+            &cfg,
         )
         .unwrap_err();
         assert!(matches!(err, TdtsError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn routing_mode_parsing_round_trips() {
+        for m in [RoutingMode::Broadcast, RoutingMode::Slab] {
+            assert_eq!(RoutingMode::parse(&m.to_string()), Some(m));
+        }
+        assert_eq!(RoutingMode::parse("routed"), Some(RoutingMode::Slab));
+        assert_eq!(RoutingMode::parse("all"), Some(RoutingMode::Broadcast));
+        assert_eq!(RoutingMode::parse("bogus"), None);
     }
 
     #[test]

@@ -1,14 +1,27 @@
 //! Partitioning a segment database across multiple simulated devices.
 //!
-//! [`ShardPlan`] splits the extent of a store into `shards` equal slabs —
+//! [`ShardPlan`] splits the extent of a store into `shards` slabs —
 //! temporal slabs by default ([`PartitionStrategy::Temporal`]), or slabs
 //! along the longest spatial axis ([`PartitionStrategy::SpatialGrid`]) —
 //! and [`ShardedStore::partition`] materialises one shard-local
-//! [`SegmentStore`] per non-empty slab. A segment whose extent straddles a
-//! slab boundary is **replicated** into every slab it touches, so each
-//! shard can answer any query exactly from local data alone; the resulting
-//! cross-shard duplicate matches carry byte-identical intervals and are
-//! collapsed by [`dedup_matches`](crate::dedup_matches) at the merge point.
+//! [`SegmentStore`] per non-empty slab. Slab edges are either equal-width
+//! ([`SlabMode::Uniform`]) or placed at equal-entry-count quantiles of a
+//! [`SlabHistogram`] over the store ([`SlabMode::Balanced`]), so skewed
+//! workloads can trade slab-width regularity for per-device load balance.
+//!
+//! A segment whose extent straddles a slab boundary is **replicated** into
+//! every slab it touches, so each shard can answer any query exactly from
+//! local data alone; the resulting cross-shard duplicate matches carry
+//! byte-identical intervals and are collapsed by
+//! [`dedup_matches`](crate::dedup_matches) at the merge point.
+//!
+//! Replication also makes *routing* sound: [`ShardPlan::reach_span`]
+//! computes the inclusive slab range a query can possibly find matches in
+//! (its own temporal extent for temporal slabs — no `d` slack, because a
+//! match requires temporal overlap; its axis extent widened by `±d` for
+//! spatial slabs). Any entry within distance `d` of the query at some
+//! shared instant is resident in at least one slab of that range, so a
+//! dispatcher may skip every other shard without losing a single record.
 //!
 //! Each shard-local store is a position-ascending subsequence of the
 //! global store, so a store sorted by `t_start` yields shard stores sorted
@@ -24,14 +37,14 @@ use std::sync::Arc;
 /// How a [`ShardPlan`] slices the store's extent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum PartitionStrategy {
-    /// Equal slabs of the temporal extent (`[min t_start, max t_end]`).
-    /// The default: trajectory workloads advance in lock-step timesteps,
-    /// so temporal slabs balance well and replicate only the segments that
+    /// Slabs of the temporal extent (`[min t_start, max t_end]`). The
+    /// default: trajectory workloads advance in lock-step timesteps, so
+    /// temporal slabs balance well and replicate only the segments that
     /// straddle a slab boundary in time.
     #[default]
     Temporal,
-    /// Equal slabs along the *longest* spatial axis of the store bounds.
-    /// Useful when trajectories are short-lived but spatially spread; can
+    /// Slabs along the *longest* spatial axis of the store bounds. Useful
+    /// when trajectories are short-lived but spatially spread; can
     /// replicate heavily when motion spans the chosen axis.
     SpatialGrid,
 }
@@ -56,70 +69,281 @@ impl fmt::Display for PartitionStrategy {
     }
 }
 
-/// The slab geometry of a partition: which axis is sliced, where slab 0
-/// starts, and how wide each slab is.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// How a [`ShardPlan`] places its slab edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SlabMode {
+    /// Equal-width slabs over the extent (the original layout).
+    #[default]
+    Uniform,
+    /// Equal-entry-count slabs: edges sit at count quantiles of a
+    /// [`SlabHistogram`] of segment midpoints, so each slab holds roughly
+    /// the same number of entries even under heavy skew. Slab widths
+    /// become non-uniform; duplicate quantiles collapse into empty slabs,
+    /// which the partitioner skips.
+    Balanced,
+}
+
+impl SlabMode {
+    /// Parse a CLI spelling; `None` for anything unrecognised.
+    pub fn parse(s: &str) -> Option<SlabMode> {
+        match s {
+            "uniform" | "equal-width" => Some(SlabMode::Uniform),
+            "balanced" | "equal-count" => Some(SlabMode::Balanced),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SlabMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SlabMode::Uniform => "uniform",
+            SlabMode::Balanced => "balanced",
+        })
+    }
+}
+
+/// An equal-width bucket histogram of segment midpoints along a plan's
+/// slab axis, over the extent recorded in [`StoreStats`]. This is the
+/// load model behind [`SlabMode::Balanced`]: its count quantiles become
+/// the slab edges, so each slab receives an approximately equal share of
+/// the entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlabHistogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl SlabHistogram {
+    /// Bucket the midpoints of every segment's slab-axis interval. The
+    /// extent comes from `stats` (so the histogram and the plan agree on
+    /// `[lo, hi]`); `buckets` bounds edge-placement resolution.
+    pub fn new(
+        store: &SegmentStore,
+        stats: &StoreStats,
+        strategy: PartitionStrategy,
+        buckets: usize,
+    ) -> SlabHistogram {
+        let (axis, lo, hi) = plan_extent(stats, strategy);
+        let buckets = buckets.max(1);
+        let mut counts = vec![0u64; buckets];
+        let span = hi - lo;
+        if span > 0.0 && span.is_finite() {
+            for seg in store.iter() {
+                let (a, b) = axis_interval(seg, strategy, axis);
+                let mid = (a + b) * 0.5;
+                let idx = (((mid - lo) / span) * buckets as f64).floor();
+                let idx = (idx.max(0.0) as usize).min(buckets - 1);
+                counts[idx] += 1;
+            }
+        } else {
+            counts[0] = store.len() as u64;
+        }
+        SlabHistogram { lo, hi, counts }
+    }
+
+    /// Total entries bucketed.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Slab edges at equal-count quantiles: `shards + 1` non-decreasing
+    /// values with `edges[0] = lo` and `edges[shards] = hi`. Interior edge
+    /// `k` sits at the first bucket boundary where the cumulative count
+    /// reaches `k/shards` of the total; mass concentrated in one bucket
+    /// collapses neighbouring edges (empty slabs, skipped downstream).
+    pub fn equal_count_edges(&self, shards: usize) -> Vec<f64> {
+        let shards = shards.max(1);
+        let total = self.total().max(1) as u128;
+        let buckets = self.counts.len();
+        let width = (self.hi - self.lo) / buckets as f64;
+        let mut edges = Vec::with_capacity(shards + 1);
+        edges.push(self.lo);
+        let mut cum = 0u128;
+        let mut bucket = 0usize;
+        for k in 1..shards {
+            // Advance to the first bucket boundary covering k/shards of
+            // the mass; integer cross-multiplication avoids f64 rounding.
+            while bucket < buckets && cum * (shards as u128) < (k as u128) * total {
+                cum += u128::from(self.counts[bucket]);
+                bucket += 1;
+            }
+            let edge = self.lo + bucket as f64 * width;
+            edges.push(edge.max(edges[k - 1]).min(self.hi));
+        }
+        edges.push(self.hi);
+        edges
+    }
+}
+
+/// Slab axis and extent of a plan under `strategy`.
+fn plan_extent(stats: &StoreStats, strategy: PartitionStrategy) -> (usize, f64, f64) {
+    match strategy {
+        PartitionStrategy::Temporal => (0, stats.time_span.start, stats.time_span.end),
+        PartitionStrategy::SpatialGrid => {
+            let ext = stats.bounds.extent();
+            let mut axis = 0;
+            for dim in 1..3 {
+                if ext.coord(dim) > ext.coord(axis) {
+                    axis = dim;
+                }
+            }
+            (axis, stats.bounds.lo.coord(axis), stats.bounds.hi.coord(axis))
+        }
+    }
+}
+
+/// A segment's interval along the slab axis under `strategy`.
+fn axis_interval(seg: &Segment, strategy: PartitionStrategy, axis: usize) -> (f64, f64) {
+    match strategy {
+        PartitionStrategy::Temporal => (seg.t_start, seg.t_end),
+        PartitionStrategy::SpatialGrid => (seg.min_coord(axis), seg.max_coord(axis)),
+    }
+}
+
+/// The slab geometry of a partition: which axis is sliced and where every
+/// slab edge sits. Edges are non-decreasing and may be non-uniform (see
+/// [`SlabMode::Balanced`]); all membership and routing questions reduce to
+/// [`ShardPlan::slab_of`], so partitioning and dispatch can never disagree
+/// about which slab a coordinate belongs to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ShardPlan {
     /// The partitioning strategy the slabs follow.
     pub strategy: PartitionStrategy,
+    /// How the slab edges were placed.
+    pub mode: SlabMode,
     /// Number of slabs (≥ 1). Slabs can end up empty; only non-empty ones
     /// become [`ShardSlice`]s.
     pub shards: usize,
     /// Spatial axis being sliced (0 = x, 1 = y, 2 = z). Meaningful for
     /// [`PartitionStrategy::SpatialGrid`] only.
     pub axis: usize,
-    /// Lower edge of slab 0.
-    pub lo: f64,
-    /// Width of each slab. A degenerate extent gives width 0 and every
-    /// segment lands in slab 0.
-    pub width: f64,
+    /// Non-decreasing slab edges, `shards + 1` of them: slab `s` spans
+    /// `[edges[s], edges[s + 1])` (the last slab is closed at the top by
+    /// clamping in [`ShardPlan::slab_of`]).
+    pub edges: Vec<f64>,
 }
 
 impl ShardPlan {
-    /// Slice the extent described by `stats` into `shards` equal slabs.
+    /// Slice the extent described by `stats` into `shards` equal-width
+    /// slabs ([`SlabMode::Uniform`]).
     pub fn new(stats: &StoreStats, shards: usize, strategy: PartitionStrategy) -> ShardPlan {
         let shards = shards.max(1);
-        let (axis, lo, hi) = match strategy {
-            PartitionStrategy::Temporal => (0, stats.time_span.start, stats.time_span.end),
-            PartitionStrategy::SpatialGrid => {
-                let ext = stats.bounds.extent();
-                let mut axis = 0;
-                for dim in 1..3 {
-                    if ext.coord(dim) > ext.coord(axis) {
-                        axis = dim;
-                    }
-                }
-                (axis, stats.bounds.lo.coord(axis), stats.bounds.hi.coord(axis))
+        let (axis, lo, hi) = plan_extent(stats, strategy);
+        let span = hi - lo;
+        let mut edges: Vec<f64> =
+            (0..shards).map(|i| lo + span * i as f64 / shards as f64).collect();
+        edges.push(hi);
+        ShardPlan { strategy, mode: SlabMode::Uniform, shards, axis, edges }
+    }
+
+    /// Slice per `mode`: [`SlabMode::Uniform`] ignores the store contents;
+    /// [`SlabMode::Balanced`] places edges at equal-entry-count quantiles
+    /// of a [`SlabHistogram`] over `store`.
+    pub fn with_mode(
+        stats: &StoreStats,
+        store: &SegmentStore,
+        shards: usize,
+        strategy: PartitionStrategy,
+        mode: SlabMode,
+    ) -> ShardPlan {
+        match mode {
+            SlabMode::Uniform => ShardPlan::new(stats, shards, strategy),
+            SlabMode::Balanced => {
+                let shards = shards.max(1);
+                let (axis, ..) = plan_extent(stats, strategy);
+                // Resolution well above the shard count so quantiles land
+                // close to their targets even at 32 shards.
+                let buckets = (shards * 64).clamp(256, 8192);
+                let hist = SlabHistogram::new(store, stats, strategy, buckets);
+                let edges = hist.equal_count_edges(shards);
+                ShardPlan { strategy, mode, shards, axis, edges }
             }
-        };
-        ShardPlan { strategy, shards, axis, lo, width: (hi - lo) / shards as f64 }
+        }
+    }
+
+    /// Lower edge of slab 0.
+    pub fn lo(&self) -> f64 {
+        self.edges[0]
+    }
+
+    /// Upper edge of the last slab.
+    pub fn hi(&self) -> f64 {
+        self.edges[self.shards]
+    }
+
+    /// Full extent covered by the slabs.
+    pub fn span(&self) -> f64 {
+        self.hi() - self.lo()
+    }
+
+    /// True when the extent is empty or non-finite: every coordinate then
+    /// maps to slab 0.
+    pub fn is_degenerate(&self) -> bool {
+        // `!is_finite()` first so a NaN span (empty extent) is degenerate
+        // without relying on NaN comparison semantics.
+        !self.span().is_finite() || self.span() <= 0.0
     }
 
     /// Inclusive range of slabs `seg` touches. A segment entirely inside
     /// one slab yields `(s, s)`; a boundary straddler spans several and is
     /// replicated into each by [`ShardedStore::partition`].
     pub fn slab_span(&self, seg: &Segment) -> (usize, usize) {
-        let (lo_v, hi_v) = match self.strategy {
-            PartitionStrategy::Temporal => (seg.t_start, seg.t_end),
-            PartitionStrategy::SpatialGrid => (seg.min_coord(self.axis), seg.max_coord(self.axis)),
-        };
+        let (lo_v, hi_v) = axis_interval(seg, self.strategy, self.axis);
         (self.slab_of(lo_v), self.slab_of(hi_v))
     }
 
     /// The slab a coordinate falls in, clamped to `[0, shards - 1]` so
     /// values at (or marginally past) the extent edges stay in range.
+    /// Non-decreasing in `v`, which is what makes routing sound: any
+    /// coordinate between two others maps to a slab between theirs.
     pub fn slab_of(&self, v: f64) -> usize {
-        if self.width <= 0.0 || !self.width.is_finite() {
+        if self.is_degenerate() {
             return 0;
         }
-        let idx = ((v - self.lo) / self.width).floor();
-        (idx.max(0.0) as usize).min(self.shards - 1)
+        // Count the interior edges at or below v: slabs are closed on the
+        // left, and a value past the top edge clamps into the last slab.
+        self.edges[1..self.shards].partition_point(|e| *e <= v)
     }
 
-    /// `[lo, hi)` extent of one slab (the last slab is closed at the top by
-    /// the clamping in [`ShardPlan::slab_of`]).
+    /// `[lo, hi)` extent of one slab (the last slab is closed at the top
+    /// by the clamping in [`ShardPlan::slab_of`]). Empty slabs produced by
+    /// collapsed balanced quantiles have `lo == hi`.
     pub fn slab_bounds(&self, slab: usize) -> (f64, f64) {
-        (self.lo + slab as f64 * self.width, self.lo + (slab + 1) as f64 * self.width)
+        (self.edges[slab], self.edges[slab + 1])
+    }
+
+    /// The axis interval a query at threshold `d` must be checked against.
+    ///
+    /// * Temporal slabs: the query's own `[t_start, t_end]`, with **no**
+    ///   `d` slack. A match requires a shared instant `t`: the entry's
+    ///   time span contains `t`, so the entry is resident in `slab_of(t)`,
+    ///   and `t` lies inside the query's own extent.
+    /// * Spatial slabs: `[min − d, max + d]` along the sliced axis. At the
+    ///   shared instant the two positions are within Euclidean distance
+    ///   `d`, hence within `d` on every axis; the entry's axis extent
+    ///   therefore intersects the widened query interval.
+    pub fn reach_interval(&self, query: &Segment, d: f64) -> (f64, f64) {
+        let (lo_v, hi_v) = axis_interval(query, self.strategy, self.axis);
+        match self.strategy {
+            PartitionStrategy::Temporal => (lo_v, hi_v),
+            PartitionStrategy::SpatialGrid => (lo_v - d, hi_v + d),
+        }
+    }
+
+    /// Inclusive range of slabs a query can possibly find matches in, or
+    /// `None` when its reach interval misses the plan extent entirely (no
+    /// entry can match; the dispatcher skips every shard). Because each
+    /// entry is replicated into *every* slab its interval touches, probing
+    /// exactly the slabs of this range returns the same result set as
+    /// broadcasting to all of them — see the module docs.
+    pub fn reach_span(&self, query: &Segment, d: f64) -> Option<(usize, usize)> {
+        let (lo_v, hi_v) = self.reach_interval(query, d);
+        if hi_v < self.lo() || lo_v > self.hi() || hi_v < lo_v {
+            return None;
+        }
+        Some((self.slab_of(lo_v), self.slab_of(hi_v)))
     }
 }
 
@@ -151,7 +375,9 @@ pub struct ShardedStore {
 }
 
 impl ShardedStore {
-    /// Partition `store` into at most `shards` shard-local stores.
+    /// Partition `store` into at most `shards` equal-width shard-local
+    /// stores ([`SlabMode::Uniform`]; see
+    /// [`ShardedStore::partition_with_mode`] for balanced slabs).
     ///
     /// Every segment lands in every slab its extent touches, so the union
     /// of the slices covers the store exactly and each shard is
@@ -163,7 +389,19 @@ impl ShardedStore {
         shards: usize,
         strategy: PartitionStrategy,
     ) -> ShardedStore {
-        let plan = ShardPlan::new(stats, shards, strategy);
+        ShardedStore::partition_with_mode(store, stats, shards, strategy, SlabMode::Uniform)
+    }
+
+    /// Partition `store` per an explicit [`SlabMode`]; see
+    /// [`ShardedStore::partition`].
+    pub fn partition_with_mode(
+        store: &SegmentStore,
+        stats: &StoreStats,
+        shards: usize,
+        strategy: PartitionStrategy,
+        mode: SlabMode,
+    ) -> ShardedStore {
+        let plan = ShardPlan::with_mode(stats, store, shards, strategy, mode);
         let mut segs: Vec<Vec<Segment>> = vec![Vec::new(); plan.shards];
         let mut maps: Vec<Vec<u32>> = vec![Vec::new(); plan.shards];
         let mut replicated = vec![0usize; plan.shards];
@@ -217,7 +455,7 @@ impl ShardedStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Point3, SegId, TrajId};
+    use crate::{within_distance, Point3, SegId, TrajId};
 
     fn seg(t0: f64, t1: f64, x0: f64, x1: f64, id: u32) -> Segment {
         Segment::new(
@@ -286,12 +524,20 @@ mod tests {
         s.sort_by_t_start();
         let stats = s.stats().unwrap();
         for shards in [2, 3, 8] {
-            let sharded = ShardedStore::partition(&s, &stats, shards, PartitionStrategy::Temporal);
-            for slice in &sharded.slices {
-                assert!(slice.store.is_sorted_by_t_start());
-                assert!(slice.to_global.windows(2).all(|w| w[0] < w[1]));
-                for (local, &global) in slice.to_global.iter().enumerate() {
-                    assert_eq!(slice.store.get(local), s.get(global as usize));
+            for mode in [SlabMode::Uniform, SlabMode::Balanced] {
+                let sharded = ShardedStore::partition_with_mode(
+                    &s,
+                    &stats,
+                    shards,
+                    PartitionStrategy::Temporal,
+                    mode,
+                );
+                for slice in &sharded.slices {
+                    assert!(slice.store.is_sorted_by_t_start());
+                    assert!(slice.to_global.windows(2).all(|w| w[0] < w[1]));
+                    for (local, &global) in slice.to_global.iter().enumerate() {
+                        assert_eq!(slice.store.get(local), s.get(global as usize));
+                    }
                 }
             }
         }
@@ -318,10 +564,13 @@ mod tests {
         let s: SegmentStore =
             vec![seg(1.0, 1.0, 0.0, 0.0, 0), seg(1.0, 1.0, 0.0, 0.0, 1)].into_iter().collect();
         let stats = s.stats().unwrap();
-        let sharded = ShardedStore::partition(&s, &stats, 4, PartitionStrategy::Temporal);
-        assert_eq!(sharded.slices.len(), 1);
-        assert_eq!(sharded.slices[0].store.len(), 2);
-        assert_eq!(sharded.replicated_segments(), 0);
+        for mode in [SlabMode::Uniform, SlabMode::Balanced] {
+            let sharded =
+                ShardedStore::partition_with_mode(&s, &stats, 4, PartitionStrategy::Temporal, mode);
+            assert_eq!(sharded.slices.len(), 1);
+            assert_eq!(sharded.slices[0].store.len(), 2);
+            assert_eq!(sharded.replicated_segments(), 0);
+        }
     }
 
     #[test]
@@ -347,5 +596,138 @@ mod tests {
         assert_eq!(PartitionStrategy::parse("time"), Some(PartitionStrategy::Temporal));
         assert_eq!(PartitionStrategy::parse("grid"), Some(PartitionStrategy::SpatialGrid));
         assert_eq!(PartitionStrategy::parse("bogus"), None);
+    }
+
+    #[test]
+    fn slab_mode_parsing_round_trips() {
+        for m in [SlabMode::Uniform, SlabMode::Balanced] {
+            assert_eq!(SlabMode::parse(&m.to_string()), Some(m));
+        }
+        assert_eq!(SlabMode::parse("equal-count"), Some(SlabMode::Balanced));
+        assert_eq!(SlabMode::parse("equal-width"), Some(SlabMode::Uniform));
+        assert_eq!(SlabMode::parse("bogus"), None);
+    }
+
+    /// A heavily skewed store: balanced edges must even the slab loads out
+    /// where uniform edges pile everything into one slab.
+    #[test]
+    fn balanced_slabs_equalise_entry_counts() {
+        let mut segs = Vec::new();
+        // 60 segments crammed into t in [0, 1], 4 spread over [1, 100].
+        for i in 0..60u32 {
+            let t = i as f64 / 60.0;
+            segs.push(seg(t, t + 0.01, 0.0, 0.1, i));
+        }
+        for (j, t) in [20.0, 40.0, 60.0, 99.0].iter().enumerate() {
+            segs.push(seg(*t, *t + 0.5, 0.0, 0.1, 60 + j as u32));
+        }
+        let s: SegmentStore = segs.into_iter().collect();
+        let stats = s.stats().unwrap();
+
+        let slab_counts = |mode: SlabMode| -> Vec<usize> {
+            let sharded =
+                ShardedStore::partition_with_mode(&s, &stats, 4, PartitionStrategy::Temporal, mode);
+            sharded.slices.iter().map(|sl| sl.store.len()).collect()
+        };
+        let uniform = slab_counts(SlabMode::Uniform);
+        let balanced = slab_counts(SlabMode::Balanced);
+        // Uniform: the skewed pile all lands in the first quarter.
+        assert!(*uniform.iter().max().unwrap() >= 60, "uniform: {uniform:?}");
+        // Balanced: the heaviest slab carries far less than the skewed pile.
+        let max_balanced = *balanced.iter().max().unwrap();
+        assert!(
+            max_balanced <= 25,
+            "balanced slabs still skewed: {balanced:?} (uniform was {uniform:?})"
+        );
+        // Same coverage either way (boundary straddlers may add replicas).
+        assert!(balanced.iter().sum::<usize>() >= 64);
+    }
+
+    #[test]
+    fn balanced_edges_are_monotone_and_cover_extent() {
+        let s = store();
+        let stats = s.stats().unwrap();
+        for strategy in [PartitionStrategy::Temporal, PartitionStrategy::SpatialGrid] {
+            let plan = ShardPlan::with_mode(&stats, &s, 5, strategy, SlabMode::Balanced);
+            assert_eq!(plan.edges.len(), 6);
+            assert!(plan.edges.windows(2).all(|w| w[0] <= w[1]), "edges: {:?}", plan.edges);
+            let (_, lo, hi) = plan_extent(&stats, strategy);
+            assert_eq!(plan.lo(), lo);
+            assert_eq!(plan.hi(), hi);
+        }
+    }
+
+    #[test]
+    fn reach_span_temporal_needs_no_slack() {
+        let s = store();
+        let stats = s.stats().unwrap();
+        let plan = ShardPlan::new(&stats, 4, PartitionStrategy::Temporal);
+        // Extent [0, 4], slab width 1. A query over [1.2, 1.8] reaches
+        // slab 1 only, regardless of d.
+        let q = seg(1.2, 1.8, 0.0, 1.0, 9);
+        assert_eq!(plan.reach_span(&q, 1000.0), Some((1, 1)));
+        // Touching the extent edge still routes (closed comparison).
+        let edge = seg(-5.0, 0.0, 0.0, 1.0, 9);
+        assert_eq!(plan.reach_span(&edge, 1.0), Some((0, 0)));
+        // Entirely before/after the extent: no shard can match.
+        assert_eq!(plan.reach_span(&seg(-5.0, -0.1, 0.0, 1.0, 9), 1000.0), None);
+        assert_eq!(plan.reach_span(&seg(4.5, 9.0, 0.0, 1.0, 9), 1000.0), None);
+    }
+
+    #[test]
+    fn reach_span_spatial_expands_by_d() {
+        let s = store();
+        let stats = s.stats().unwrap();
+        let plan = ShardPlan::new(&stats, 4, PartitionStrategy::SpatialGrid);
+        // x extent [0, 8], slab width 2. A point-like query at x = 3
+        // reaches slab 1 at d = 0.5 but slabs 0..=2 at d = 1.5.
+        let q = seg(0.0, 1.0, 3.0, 3.0, 9);
+        assert_eq!(plan.reach_span(&q, 0.5), Some((1, 1)));
+        assert_eq!(plan.reach_span(&q, 1.5), Some((0, 2)));
+        // Far off-extent but within d of the edge: clamps into slab 0.
+        let far = seg(0.0, 1.0, -3.0, -3.0, 9);
+        assert_eq!(plan.reach_span(&far, 4.0), Some((0, 0)));
+        // Beyond d of the whole extent: unreachable.
+        assert_eq!(plan.reach_span(&far, 2.0), None);
+    }
+
+    /// The routing soundness lemma, checked directly against the
+    /// continuous predicate: whenever two segments are within `d`, the
+    /// entry's slab span intersects the query's reach span.
+    #[test]
+    fn reach_span_covers_every_continuous_match() {
+        let s = store();
+        let stats = s.stats().unwrap();
+        let queries = [
+            seg(0.2, 0.6, 0.5, 1.2, 50),
+            seg(1.9, 2.1, 4.2, 4.4, 51),
+            seg(0.0, 4.0, 0.0, 8.0, 52),
+            seg(3.0, 3.6, 6.4, 7.1, 53),
+        ];
+        for strategy in [PartitionStrategy::Temporal, PartitionStrategy::SpatialGrid] {
+            for mode in [SlabMode::Uniform, SlabMode::Balanced] {
+                for shards in [1usize, 2, 3, 8] {
+                    let plan = ShardPlan::with_mode(&stats, &s, shards, strategy, mode);
+                    for q in &queries {
+                        for d in [0.25, 1.0, 3.0] {
+                            for e in s.iter() {
+                                if within_distance(q, e, d).is_none() {
+                                    continue;
+                                }
+                                let (rl, rh) = plan
+                                    .reach_span(q, d)
+                                    .expect("a matching query must reach some slab");
+                                let (el, eh) = plan.slab_span(e);
+                                assert!(
+                                    rl <= eh && el <= rh,
+                                    "{strategy}/{mode} shards={shards} d={d}: entry \
+                                     slabs [{el},{eh}] outside reach [{rl},{rh}]"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 }

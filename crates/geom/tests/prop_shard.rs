@@ -3,7 +3,8 @@
 
 use proptest::prelude::*;
 use tdts_geom::{
-    PartitionStrategy, Point3, SegId, Segment, SegmentStore, ShardPlan, ShardedStore, TrajId,
+    within_distance, PartitionStrategy, Point3, SegId, Segment, SegmentStore, ShardPlan,
+    ShardedStore, SlabMode, TrajId,
 };
 
 fn arb_segment() -> impl Strategy<Value = Segment> {
@@ -27,9 +28,9 @@ fn arb_segment() -> impl Strategy<Value = Segment> {
         })
 }
 
-fn arb_inputs() -> impl Strategy<Value = (SegmentStore, usize, PartitionStrategy)> {
-    (proptest::collection::vec(arb_segment(), 1..64), 1usize..=8, 0usize..2).prop_map(
-        |(mut segs, shards, strategy_sel)| {
+fn arb_inputs() -> impl Strategy<Value = (SegmentStore, usize, PartitionStrategy, SlabMode)> {
+    (proptest::collection::vec(arb_segment(), 1..64), 1usize..=8, 0usize..2, 0usize..2).prop_map(
+        |(mut segs, shards, strategy_sel, mode_sel)| {
             // The partitioner is always fed a prepared (t_start-sorted) store.
             segs.sort_by(|a, b| a.t_start.total_cmp(&b.t_start));
             let strategy = if strategy_sel == 0 {
@@ -37,7 +38,8 @@ fn arb_inputs() -> impl Strategy<Value = (SegmentStore, usize, PartitionStrategy
             } else {
                 PartitionStrategy::SpatialGrid
             };
-            (SegmentStore::from_segments(segs), shards, strategy)
+            let mode = if mode_sel == 0 { SlabMode::Uniform } else { SlabMode::Balanced };
+            (SegmentStore::from_segments(segs), shards, strategy, mode)
         },
     )
 }
@@ -47,9 +49,9 @@ proptest! {
     /// accounting identity `total = source + replicated` holds.
     #[test]
     fn partition_covers_every_position(inputs in arb_inputs()) {
-        let (store, shards, strategy) = inputs;
+        let (store, shards, strategy, mode) = inputs;
         let stats = store.stats().unwrap();
-        let sharded = ShardedStore::partition(&store, &stats, shards, strategy);
+        let sharded = ShardedStore::partition_with_mode(&store, &stats, shards, strategy, mode);
         let mut covered = vec![0usize; store.len()];
         for slice in &sharded.slices {
             for &g in slice.to_global.iter() {
@@ -67,9 +69,9 @@ proptest! {
     /// `replicated` count equals the number of multi-slab spans it holds.
     #[test]
     fn slices_preserve_order_and_content(inputs in arb_inputs()) {
-        let (store, shards, strategy) = inputs;
+        let (store, shards, strategy, mode) = inputs;
         let stats = store.stats().unwrap();
-        let sharded = ShardedStore::partition(&store, &stats, shards, strategy);
+        let sharded = ShardedStore::partition_with_mode(&store, &stats, shards, strategy, mode);
         let plan = &sharded.plan;
         for slice in &sharded.slices {
             prop_assert_eq!(slice.store.len(), slice.to_global.len());
@@ -100,9 +102,9 @@ proptest! {
     /// count across slices equals its slab-span width.
     #[test]
     fn copy_count_equals_slab_span(inputs in arb_inputs()) {
-        let (store, shards, strategy) = inputs;
+        let (store, shards, strategy, mode) = inputs;
         let stats = store.stats().unwrap();
-        let sharded = ShardedStore::partition(&store, &stats, shards, strategy);
+        let sharded = ShardedStore::partition_with_mode(&store, &stats, shards, strategy, mode);
         let mut copies = vec![0usize; store.len()];
         for slice in &sharded.slices {
             for &g in slice.to_global.iter() {
@@ -121,21 +123,25 @@ proptest! {
     }
 
     /// Slab geometry: `slab_of` stays clamped in range, agrees with
-    /// `slab_bounds`, and `slab_span` is consistent under either strategy.
+    /// `slab_bounds`, and `slab_span` is consistent under either strategy
+    /// and slab mode (balanced plans may contain empty slabs, but never
+    /// hand a probe to one).
     #[test]
     fn slab_geometry_is_consistent(
         inputs in arb_inputs(),
         probe in -200.0f64..300.0,
     ) {
-        let (store, shards, strategy) = inputs;
+        let (store, shards, strategy, mode) = inputs;
         let stats = store.stats().unwrap();
-        let plan = ShardPlan::new(&stats, shards, strategy);
+        let plan = ShardPlan::with_mode(&stats, &store, shards, strategy, mode);
+        prop_assert_eq!(plan.edges.len(), plan.shards + 1);
+        prop_assert!(plan.edges.windows(2).all(|w| w[0] <= w[1]));
         let slab = plan.slab_of(probe);
         prop_assert!(slab < plan.shards);
         let (lo, hi) = plan.slab_bounds(slab);
-        prop_assert!(lo < hi || plan.width <= 0.0);
+        prop_assert!(lo <= hi);
         // A probe strictly inside a slab's bounds maps back to that slab.
-        if plan.width > 0.0 {
+        if lo < hi && !plan.is_degenerate() {
             let mid = (lo + hi) / 2.0;
             prop_assert_eq!(plan.slab_of(mid), slab);
         }
@@ -143,6 +149,38 @@ proptest! {
             let (a, b) = plan.slab_span(seg);
             prop_assert!(a <= b);
             prop_assert!(b < plan.shards);
+        }
+    }
+
+    /// Routing soundness: whenever the continuous predicate reports a
+    /// match, the entry's slab span intersects the query's reach span —
+    /// so a dispatcher probing only the reach span cannot lose a record,
+    /// for any strategy, slab mode, or shard count.
+    #[test]
+    fn reach_span_covers_every_match(
+        inputs in arb_inputs(),
+        query in arb_segment(),
+        d in 0.0f64..30.0,
+    ) {
+        let (store, shards, strategy, mode) = inputs;
+        let stats = store.stats().unwrap();
+        let plan = ShardPlan::with_mode(&stats, &store, shards, strategy, mode);
+        let reach = plan.reach_span(&query, d);
+        if let Some((rl, rh)) = reach {
+            prop_assert!(rl <= rh);
+            prop_assert!(rh < plan.shards);
+        }
+        for seg in store.iter() {
+            if within_distance(&query, seg, d).is_none() {
+                continue;
+            }
+            let (rl, rh) = reach.expect("a matching query must reach some slab");
+            let (el, eh) = plan.slab_span(seg);
+            prop_assert!(
+                rl <= eh && el <= rh,
+                "entry slabs [{}, {}] outside reach [{}, {}]",
+                el, eh, rl, rh
+            );
         }
     }
 }

@@ -56,6 +56,6 @@ pub use memory::{
     ScatterBuffer, ScatterStash, ScratchPartition, WarpStash,
 };
 pub use redo::{NextBatch, RedoSchedule};
-pub use report::{LoadBalance, SearchError, SearchReport};
+pub use report::{LoadBalance, RoutingSummary, SearchError, SearchReport};
 pub use sanitizer::{Finding, FindingKind, Sanitizer, SanitizerMode, SanitizerReport};
 pub use workqueue::{Tile, WorkQueue};

@@ -90,6 +90,45 @@ impl LoadBalance {
     }
 }
 
+/// Aggregate slab-routing counters of a (possibly sharded) search.
+///
+/// Filled by dispatchers that route queries to the shards their reach
+/// interval touches instead of broadcasting to all of them; an unsharded
+/// (or broadcast) search leaves it at the default. All counters sum under
+/// both [`SearchReport::merge`] and [`SearchReport::merge_concurrent`] —
+/// they count dispatch *work*, which every shard really performed (or
+/// provably avoided), independent of whether the shards ran back to back
+/// or side by side.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingSummary {
+    /// Shard-query pairs actually dispatched: each query counts once per
+    /// shard whose sub-batch it joined. Broadcast dispatch reports
+    /// `shards × |Q|` here and 0 below.
+    pub shard_queries_routed: u64,
+    /// Shard-query pairs skipped because the query's reach interval missed
+    /// the shard's slab. `routed + skipped = shards × |Q|` always.
+    pub shard_queries_skipped: u64,
+    /// Shards that received a non-empty sub-batch and were searched.
+    pub shards_probed: u64,
+    /// Shards skipped outright (every query's reach missed their slab).
+    pub shards_skipped: u64,
+    /// Shard searches re-run at full result capacity after the routed
+    /// budget share proved too small for a single query's results.
+    pub budget_redos: u64,
+}
+
+impl RoutingSummary {
+    /// Fold another summary in (all counters sum; see the type docs for
+    /// why this is correct under concurrent merges too).
+    pub fn merge(&mut self, other: &RoutingSummary) {
+        self.shard_queries_routed += other.shard_queries_routed;
+        self.shard_queries_skipped += other.shard_queries_skipped;
+        self.shards_probed += other.shards_probed;
+        self.shards_skipped += other.shards_skipped;
+        self.budget_redos += other.budget_redos;
+    }
+}
+
 /// Summary of one distance threshold search execution.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct SearchReport {
@@ -121,6 +160,9 @@ pub struct SearchReport {
     /// [`crate::Device::sanitizer_checkpoint`], so merged reports sum. The
     /// structured diagnostics live on [`crate::Device::sanitizer_report`].
     pub sanitizer_findings: u64,
+    /// Slab-routing dispatch counters (all-default when the search was not
+    /// sharded or the dispatcher broadcast to every shard).
+    pub routing: RoutingSummary,
 }
 
 impl SearchReport {
@@ -145,6 +187,7 @@ impl SearchReport {
         self.load.merge(&other.load);
         self.wall_seconds += other.wall_seconds;
         self.sanitizer_findings += other.sanitizer_findings;
+        self.routing.merge(&other.routing);
     }
 
     /// Aggregate the report of a search that ran *concurrently* on another
@@ -171,6 +214,7 @@ impl SearchReport {
         self.load.merge(&other.load);
         self.wall_seconds = self.wall_seconds.max(other.wall_seconds);
         self.sanitizer_findings += other.sanitizer_findings;
+        self.routing.merge(&other.routing);
     }
 }
 

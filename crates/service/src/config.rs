@@ -1,8 +1,8 @@
 //! Service configuration.
 
 use std::time::Duration;
-use tdts_core::{Method, TdtsError};
-use tdts_geom::PartitionStrategy;
+use tdts_core::{Method, RoutingMode, TdtsError};
+use tdts_geom::{PartitionStrategy, SlabMode};
 use tdts_gpu_sim::{DeviceConfig, KernelShape};
 
 /// Parameters of a [`QueryService`](crate::QueryService).
@@ -50,6 +50,13 @@ pub struct ServiceConfig {
     pub shards: usize,
     /// Slab orientation for the sharded primary (temporal by default).
     pub partition: PartitionStrategy,
+    /// Query dispatch policy for the sharded primary: slab-aware routing
+    /// (the default) probes only the shards each query's reach interval
+    /// touches; broadcast probes all of them. Ignored with `shards == 1`.
+    pub routing: RoutingMode,
+    /// Slab edge placement for the sharded primary (equal-width by
+    /// default; `Balanced` equalises per-shard entry counts).
+    pub slab_mode: SlabMode,
 }
 
 impl ServiceConfig {
@@ -70,6 +77,8 @@ impl ServiceConfig {
                 max_consecutive_failures: 3,
                 shards: 1,
                 partition: PartitionStrategy::default(),
+                routing: RoutingMode::default(),
+                slab_mode: SlabMode::default(),
             },
         }
     }
@@ -183,6 +192,18 @@ impl ServiceConfigBuilder {
     /// Slab orientation for the sharded primary.
     pub fn partition(mut self, strategy: PartitionStrategy) -> Self {
         self.config.partition = strategy;
+        self
+    }
+
+    /// Query dispatch policy for the sharded primary.
+    pub fn routing(mut self, routing: RoutingMode) -> Self {
+        self.config.routing = routing;
+        self
+    }
+
+    /// Slab edge placement for the sharded primary.
+    pub fn slab_mode(mut self, mode: SlabMode) -> Self {
+        self.config.slab_mode = mode;
         self
     }
 

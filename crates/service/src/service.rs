@@ -168,7 +168,12 @@ impl QueryService {
                     &store,
                     &stats,
                     &config.device,
-                    &ShardedIndexConfig { shards: config.shards, partition: config.partition },
+                    &ShardedIndexConfig::builder()
+                        .shards(config.shards)
+                        .partition(config.partition)
+                        .routing(config.routing)
+                        .slab_mode(config.slab_mode)
+                        .build()?,
                 )?);
                 shard_engines.push(Arc::clone(&sharded));
                 Box::new(sharded)

@@ -47,6 +47,10 @@ fn usage() -> ! {
          \u{20}                                    is partitioned across (default 1)\n\
          \u{20}  --partition <temporal|spatial-grid>\n\
          \u{20}                                    slab orientation for sharded runs\n\
+         \u{20}  --routing <slab|broadcast>        sharded query dispatch: slab routing\n\
+         \u{20}                                    (default) probes only reachable shards\n\
+         \u{20}  --slab-mode <uniform|balanced>    slab edges: equal-width (default) or\n\
+         \u{20}                                    equal-entry-count (histogram quantiles)\n\
          \u{20}  --clients <n>                     concurrent replay clients (default 16)\n\
          \u{20}  --request-size <n>                query segments per client request\n\
          \u{20}                                    (default 0 = one whole trajectory)\n\
@@ -82,6 +86,8 @@ struct Opts {
     sanitizer: SanitizerMode,
     shards: usize,
     partition: PartitionStrategy,
+    routing: RoutingMode,
+    slab_mode: SlabMode,
     clients: usize,
     request_size: usize,
     requests: usize,
@@ -112,6 +118,8 @@ fn parse() -> Opts {
         sanitizer: SanitizerMode::from_env().unwrap_or(SanitizerMode::Off),
         shards: 1,
         partition: PartitionStrategy::default(),
+        routing: RoutingMode::default(),
+        slab_mode: SlabMode::default(),
         clients: 16,
         request_size: 0,
         requests: 0,
@@ -153,6 +161,12 @@ fn parse() -> Opts {
             }
             "--partition" => {
                 o.partition = PartitionStrategy::parse(&val(&mut args)).unwrap_or_else(|| usage())
+            }
+            "--routing" => {
+                o.routing = RoutingMode::parse(&val(&mut args)).unwrap_or_else(|| usage())
+            }
+            "--slab-mode" => {
+                o.slab_mode = SlabMode::parse(&val(&mut args)).unwrap_or_else(|| usage())
             }
             "--clients" => o.clients = val(&mut args).parse().unwrap_or_else(|_| usage()),
             "--request-size" => o.request_size = val(&mut args).parse().unwrap_or_else(|_| usage()),
@@ -346,7 +360,13 @@ fn main() {
                     &dataset,
                     method,
                     &device_config,
-                    &ShardedIndexConfig { shards: o.shards, partition: o.partition },
+                    &ShardedIndexConfig::builder()
+                        .shards(o.shards)
+                        .partition(o.partition)
+                        .routing(o.routing)
+                        .slab_mode(o.slab_mode)
+                        .build()
+                        .unwrap_or_else(|e| fail(e)),
                 )
                 .unwrap_or_else(|e| fail(e))
             } else {
@@ -355,7 +375,20 @@ fn main() {
             let (matches, report) = engine.search(&queries, o.d, cap).unwrap_or_else(|e| fail(e));
             println!("method:       {}", engine.method().name());
             if o.shards > 1 {
-                println!("shards:       {} ({} partition)", o.shards, o.partition);
+                println!(
+                    "shards:       {} ({} partition, {} slabs, {} routing)",
+                    o.shards, o.partition, o.slab_mode, o.routing
+                );
+                let r = &report.routing;
+                println!(
+                    "routing:      {} shard-queries dispatched, {} skipped; \
+                     {} shards probed, {} skipped, {} budget redos",
+                    r.shard_queries_routed,
+                    r.shard_queries_skipped,
+                    r.shards_probed,
+                    r.shards_skipped,
+                    r.budget_redos
+                );
             }
             println!("matches:      {}", matches.len());
             println!("comparisons:  {}", report.comparisons);
@@ -463,11 +496,32 @@ fn print_stats(stats: &ServiceStats) {
             "  shards:   {} configured, {} cross-shard duplicates dropped",
             stats.shards, stats.duplicates_dropped
         );
+        let r = &stats.cumulative.routing;
+        println!(
+            "  routing:  {} shard-queries dispatched, {} skipped; \
+             {} shard probes, {} skips, {} budget redos",
+            r.shard_queries_routed,
+            r.shard_queries_skipped,
+            r.shards_probed,
+            r.shards_skipped,
+            r.budget_redos
+        );
         for s in &stats.per_shard {
             println!(
-                "    shard {:>2}: {} entries ({} replicated), {} searches, \
+                "    shard {:>2} [{:.2}, {:.2}]: {} entries ({} replicated), {} searches, \
+                 {} routed / {} skipped queries, {} budget redos, \
                  {:.4} s summed response, {} comparisons",
-                s.shard, s.entries, s.replicated, s.searches, s.response_seconds, s.comparisons
+                s.shard,
+                s.slab_lo,
+                s.slab_hi,
+                s.entries,
+                s.replicated,
+                s.searches,
+                s.queries_routed,
+                s.queries_skipped,
+                s.budget_redos,
+                s.response_seconds,
+                s.comparisons
             );
         }
     }
@@ -490,6 +544,8 @@ fn run_service(
         .workers(o.workers)
         .shards(o.shards)
         .partition(o.partition)
+        .routing(o.routing)
+        .slab_mode(o.slab_mode)
         .max_batch(o.max_batch)
         .max_delay(Duration::from_secs_f64(o.max_delay_ms / 1e3))
         .queue_capacity(o.queue_capacity)

@@ -74,8 +74,9 @@ pub mod prelude {
     pub use tdts_core::{
         brute_force_search, knn_search, resolve_matches, verify_against_oracle, ClusterConfig,
         ClusterReport, ClusterSearch, HybridConfig, HybridReport, HybridSearch, KnnConfig, Method,
-        Neighbor, PreparedDataset, QueryBatch, ResolvedMatch, SearchEngine, SearchOutcome,
-        ShardStats, ShardedIndex, ShardedIndexConfig, TdtsError, TrajectoryIndex,
+        Neighbor, PreparedDataset, QueryBatch, ResolvedMatch, RoutingMode, SearchEngine,
+        SearchOutcome, ShardStats, ShardedIndex, ShardedIndexConfig, ShardedIndexConfigBuilder,
+        TdtsError, TrajectoryIndex,
     };
     pub use tdts_data::{read_csv, selectivity, selectivity_sweep, write_csv, SelectivityPoint};
     pub use tdts_data::{
@@ -83,11 +84,12 @@ pub mod prelude {
     };
     pub use tdts_geom::{
         within_distance, MatchRecord, Mbb, PartitionStrategy, Point3, SegId, Segment, SegmentStore,
-        ShardPlan, ShardedStore, TimeInterval, TrajId,
+        ShardPlan, ShardedStore, SlabHistogram, SlabMode, TimeInterval, TrajId,
     };
     pub use tdts_gpu_sim::{
         Device, DeviceConfig, Finding, FindingKind, KernelShape, LoadBalance, Phase,
-        ResultWriteMode, SanitizerMode, SanitizerReport, SearchError, SearchReport, SegmentLayout,
+        ResultWriteMode, RoutingSummary, SanitizerMode, SanitizerReport, SearchError, SearchReport,
+        SegmentLayout,
     };
     pub use tdts_index_spatial::{FsgConfig, GpuSpatialConfig};
     pub use tdts_index_spatiotemporal::SpatioTemporalIndexConfig;

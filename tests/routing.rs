@@ -1,0 +1,251 @@
+//! Tier-1: slab-aware query routing is an optimisation, never an answer
+//! change.
+//!
+//! Routing dispatches each query only to the shards its reach interval
+//! touches — a query's own `[t0, t1]` under temporal slabs (a match needs
+//! a shared time instant, so no distance slack applies), its spatial
+//! extent widened by `d` under spatial-grid slabs. Every test here holds
+//! routed results byte-identical to broadcast and to the unsharded
+//! oracle, while the dispatch counters prove real work was avoided.
+
+use proptest::prelude::*;
+use tdts::prelude::*;
+
+/// Exact equality — every field of every record, bit for bit.
+fn assert_byte_identical(got: &[MatchRecord], expect: &[MatchRecord], label: &str) {
+    assert_eq!(got.len(), expect.len(), "{label}: result count");
+    for (i, (g, e)) in got.iter().zip(expect).enumerate() {
+        assert_eq!(g.query, e.query, "{label}: record {i} query");
+        assert_eq!(g.entry, e.entry, "{label}: record {i} entry");
+        assert_eq!(
+            g.interval.start.to_bits(),
+            e.interval.start.to_bits(),
+            "{label}: record {i} interval start"
+        );
+        assert_eq!(
+            g.interval.end.to_bits(),
+            e.interval.end.to_bits(),
+            "{label}: record {i} interval end"
+        );
+    }
+}
+
+fn sharded(
+    dataset: &PreparedDataset,
+    shards: usize,
+    routing: RoutingMode,
+    slab_mode: SlabMode,
+) -> SearchEngine {
+    SearchEngine::build_sharded(
+        dataset,
+        Method::GpuTemporal(TemporalIndexConfig { bins: 40 }),
+        &DeviceConfig::tesla_c2075(),
+        &ShardedIndexConfig::builder()
+            .shards(shards)
+            .partition(PartitionStrategy::Temporal)
+            .routing(routing)
+            .slab_mode(slab_mode)
+            .build()
+            .unwrap(),
+    )
+    .unwrap()
+}
+
+/// The headline behaviour: on a workload whose query segments each span a
+/// narrow slice of the time extent, slab routing cuts the dispatched
+/// shard-query count by at least 2x versus broadcast, with results
+/// byte-identical to both broadcast and the unsharded oracle.
+#[test]
+fn narrow_extent_queries_cut_dispatch_at_least_2x() {
+    let store = MergerConfig { particles: 60, timesteps: 25, ..Default::default() }.generate();
+    let queries =
+        MergerConfig { particles: 12, timesteps: 25, seed: 77, ..Default::default() }.generate();
+    let dataset = PreparedDataset::new(store);
+    let shards = 8;
+
+    let oracle_engine = SearchEngine::build(
+        &dataset,
+        Method::GpuTemporal(TemporalIndexConfig { bins: 40 }),
+        Device::new(DeviceConfig::tesla_c2075()).unwrap(),
+    )
+    .unwrap();
+
+    for d in [1.0, 4.0] {
+        let (oracle, _) = oracle_engine.search(&queries, d, 2_000_000).unwrap();
+        assert!(!oracle.is_empty(), "d={d}: scenario must produce matches to mean anything");
+
+        let broadcast = sharded(&dataset, shards, RoutingMode::Broadcast, SlabMode::Uniform);
+        let (b_matches, b_report) = broadcast.search(&queries, d, 2_000_000).unwrap();
+        assert_byte_identical(&b_matches, &oracle, &format!("broadcast d={d}"));
+        assert_eq!(
+            b_report.routing.shard_queries_routed,
+            (queries.len() * shards) as u64,
+            "broadcast dispatches every query to every shard"
+        );
+
+        for slab_mode in [SlabMode::Uniform, SlabMode::Balanced] {
+            let routed = sharded(&dataset, shards, RoutingMode::Slab, slab_mode);
+            let (r_matches, r_report) = routed.search(&queries, d, 2_000_000).unwrap();
+            assert_byte_identical(&r_matches, &oracle, &format!("routed {slab_mode} d={d}"));
+            // Routed + skipped always accounts for the full cross product.
+            assert_eq!(
+                r_report.routing.shard_queries_routed + r_report.routing.shard_queries_skipped,
+                (queries.len() * shards) as u64,
+                "{slab_mode} d={d}: dispatch accounting"
+            );
+            assert!(
+                r_report.routing.shard_queries_routed * 2 <= b_report.routing.shard_queries_routed,
+                "{slab_mode} d={d}: routed {} shard-queries, less than half of broadcast's {} \
+                 expected on narrow-extent queries",
+                r_report.routing.shard_queries_routed,
+                b_report.routing.shard_queries_routed
+            );
+        }
+    }
+}
+
+/// A batch whose every query lies entirely outside the indexed time extent
+/// reaches no slab: the search returns empty without probing any shard.
+#[test]
+fn zero_reach_batch_skips_every_shard() {
+    let store = MergerConfig { particles: 30, timesteps: 20, ..Default::default() }.generate();
+    let span = store.stats().unwrap().time_span;
+    let mut queries = SegmentStore::new();
+    for i in 0..6u32 {
+        let t0 = span.end + 1000.0 + f64::from(i);
+        queries.push(Segment::new(
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            t0,
+            t0 + 1.0,
+            SegId(i),
+            TrajId(i),
+        ));
+    }
+    let dataset = PreparedDataset::new(store);
+    let engine = sharded(&dataset, 4, RoutingMode::Slab, SlabMode::Uniform);
+    let (matches, report) = engine.search(&queries, 5.0, 100_000).unwrap();
+    assert!(matches.is_empty(), "out-of-extent queries cannot match");
+    assert_eq!(report.routing.shards_probed, 0, "no shard should be probed");
+    assert_eq!(report.routing.shards_skipped, 4);
+    assert_eq!(report.routing.shard_queries_skipped, (queries.len() * 4) as u64);
+    assert_eq!(report.matches, 0);
+}
+
+/// Queries spanning the whole extent reach every slab: routing degenerates
+/// to broadcast dispatch, with zero skips and identical results.
+#[test]
+fn whole_span_queries_probe_every_shard() {
+    let store = MergerConfig { particles: 30, timesteps: 20, ..Default::default() }.generate();
+    let span = store.stats().unwrap().time_span;
+    let mut queries = SegmentStore::new();
+    for i in 0..4u32 {
+        queries.push(Segment::new(
+            Point3::new(f64::from(i), 0.0, 0.0),
+            Point3::new(f64::from(i) + 1.0, 0.0, 0.0),
+            span.start,
+            span.end,
+            SegId(i),
+            TrajId(i),
+        ));
+    }
+    let dataset = PreparedDataset::new(store);
+    let shards = 4;
+    let routed = sharded(&dataset, shards, RoutingMode::Slab, SlabMode::Uniform);
+    let (r_matches, r_report) = routed.search(&queries, 6.0, 1_000_000).unwrap();
+    let broadcast = sharded(&dataset, shards, RoutingMode::Broadcast, SlabMode::Uniform);
+    let (b_matches, _) = broadcast.search(&queries, 6.0, 1_000_000).unwrap();
+    assert_byte_identical(&r_matches, &b_matches, "whole-span");
+    assert_eq!(r_report.routing.shard_queries_skipped, 0);
+    assert_eq!(r_report.routing.shards_probed, shards as u64);
+    assert_eq!(r_report.routing.shard_queries_routed, (queries.len() * shards) as u64);
+}
+
+fn arb_store(max_trajs: usize, max_segs_per: usize) -> impl Strategy<Value = SegmentStore> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(
+                (-30.0f64..30.0, -30.0f64..30.0, -30.0f64..30.0),
+                2..=max_segs_per + 1,
+            ),
+            0.0f64..8.0,
+        ),
+        1..=max_trajs,
+    )
+    .prop_map(|trajs| {
+        let mut store = SegmentStore::new();
+        let mut seg = 0u32;
+        for (ti, (points, t0)) in trajs.into_iter().enumerate() {
+            for (i, w) in points.windows(2).enumerate() {
+                store.push(Segment::new(
+                    Point3::new(w[0].0, w[0].1, w[0].2),
+                    Point3::new(w[1].0, w[1].1, w[1].2),
+                    t0 + i as f64,
+                    t0 + i as f64 + 1.0,
+                    SegId(seg),
+                    TrajId(ti as u32),
+                ));
+                seg += 1;
+            }
+        }
+        store
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any database, query set, shard count, partition strategy, slab
+    /// mode, and threshold, slab routing returns exactly broadcast's
+    /// records — and never dispatches more shard-queries than broadcast.
+    #[test]
+    fn routed_is_byte_identical_to_broadcast(
+        store in arb_store(6, 5),
+        queries in arb_store(3, 4),
+        shards in 1usize..=8,
+        strategy_sel in 0usize..2,
+        slab_sel in 0usize..2,
+        d in 0.1f64..25.0,
+    ) {
+        let strategy = if strategy_sel == 0 {
+            PartitionStrategy::Temporal
+        } else {
+            PartitionStrategy::SpatialGrid
+        };
+        let slab_mode = if slab_sel == 0 { SlabMode::Uniform } else { SlabMode::Balanced };
+        let dataset = PreparedDataset::new(store);
+        let build = |routing: RoutingMode| {
+            SearchEngine::build_sharded(
+                &dataset,
+                Method::GpuTemporal(TemporalIndexConfig { bins: 7 }),
+                &DeviceConfig::tesla_c2075(),
+                &ShardedIndexConfig::builder()
+                    .shards(shards)
+                    .partition(strategy)
+                    .routing(routing)
+                    .slab_mode(slab_mode)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap()
+        };
+        let (b_matches, b_report) = build(RoutingMode::Broadcast)
+            .search(&queries, d, 1_000_000)
+            .unwrap();
+        let (r_matches, r_report) = build(RoutingMode::Slab)
+            .search(&queries, d, 1_000_000)
+            .unwrap();
+        assert_byte_identical(
+            &r_matches,
+            &b_matches,
+            &format!("proptest {strategy} {slab_mode} shards={shards} d={d}"),
+        );
+        prop_assert!(
+            r_report.routing.shard_queries_routed <= b_report.routing.shard_queries_routed
+        );
+        prop_assert_eq!(
+            r_report.routing.shard_queries_routed + r_report.routing.shard_queries_skipped,
+            (queries.len() * shards) as u64
+        );
+    }
+}

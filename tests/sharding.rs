@@ -71,12 +71,28 @@ fn check_scenario(store: SegmentStore, queries: SegmentStore, distances: &[f64],
                     method.name()
                 );
                 for strategy in [PartitionStrategy::Temporal, PartitionStrategy::SpatialGrid] {
-                    for shards in [1usize, 2, 4, 8] {
+                    // Shard counts crossed with dispatch policy and slab
+                    // edge placement: broadcast and slab routing must both
+                    // reproduce the oracle, on uniform and balanced edges.
+                    let shapes = [
+                        (1usize, RoutingMode::Slab, SlabMode::Uniform),
+                        (2, RoutingMode::Slab, SlabMode::Uniform),
+                        (4, RoutingMode::Broadcast, SlabMode::Uniform),
+                        (4, RoutingMode::Slab, SlabMode::Uniform),
+                        (8, RoutingMode::Slab, SlabMode::Balanced),
+                    ];
+                    for (shards, routing, slab_mode) in shapes {
                         let engine = SearchEngine::build_sharded(
                             &dataset,
                             method,
                             &config,
-                            &ShardedIndexConfig { shards, partition: strategy },
+                            &ShardedIndexConfig::builder()
+                                .shards(shards)
+                                .partition(strategy)
+                                .routing(routing)
+                                .slab_mode(slab_mode)
+                                .build()
+                                .unwrap(),
                         )
                         .unwrap();
                         let (got, report) = engine.search(&queries, d, 2_000_000).unwrap();
@@ -84,7 +100,8 @@ fn check_scenario(store: SegmentStore, queries: SegmentStore, distances: &[f64],
                             &got,
                             &oracle,
                             &format!(
-                                "{label}/{} {shape:?} {strategy} shards={shards} d={d}",
+                                "{label}/{} {shape:?} {strategy} shards={shards} \
+                                 {routing} {slab_mode} d={d}",
                                 method.name()
                             ),
                         );
@@ -174,7 +191,11 @@ fn boundary_straddling_segment_dedups_to_one_record() {
         &dataset,
         method,
         &config,
-        &ShardedIndexConfig { shards: 2, partition: PartitionStrategy::Temporal },
+        &ShardedIndexConfig::builder()
+            .shards(2)
+            .partition(PartitionStrategy::Temporal)
+            .build()
+            .unwrap(),
     )
     .unwrap();
     let (got, report) = sharded.search(&queries, 5.0, 10_000).unwrap();
@@ -225,6 +246,8 @@ proptest! {
         queries in arb_store(3, 4),
         shards in 1usize..=8,
         strategy_sel in 0usize..2,
+        routing_sel in 0usize..2,
+        slab_sel in 0usize..2,
         d in 0.5f64..25.0,
     ) {
         let strategy = if strategy_sel == 0 {
@@ -232,20 +255,28 @@ proptest! {
         } else {
             PartitionStrategy::SpatialGrid
         };
+        let routing = if routing_sel == 0 { RoutingMode::Broadcast } else { RoutingMode::Slab };
+        let slab_mode = if slab_sel == 0 { SlabMode::Uniform } else { SlabMode::Balanced };
         let dataset = PreparedDataset::new(store);
         let expect = brute_force_search(dataset.store(), &queries, d);
         let engine = SearchEngine::build_sharded(
             &dataset,
             Method::GpuTemporal(TemporalIndexConfig { bins: 7 }),
             &DeviceConfig::tesla_c2075(),
-            &ShardedIndexConfig { shards, partition: strategy },
+            &ShardedIndexConfig::builder()
+                .shards(shards)
+                .partition(strategy)
+                .routing(routing)
+                .slab_mode(slab_mode)
+                .build()
+                .unwrap(),
         )
         .unwrap();
         let (got, _) = engine.search(&queries, d, 1_000_000).unwrap();
         assert_byte_identical(
             &got,
             &expect,
-            &format!("proptest {strategy} shards={shards} d={d}"),
+            &format!("proptest {strategy} {routing} {slab_mode} shards={shards} d={d}"),
         );
     }
 }
