@@ -26,6 +26,7 @@ fn bench_scenario(c: &mut Criterion, kind: ScenarioKind, distances: &[f64]) {
         Method::GpuSpatial(GpuSpatialConfig {
             fsg: FsgConfig { cells_per_dim: 10 },
             total_scratch: 2_000_000,
+            compaction_threshold: 4_096,
         }),
         Method::GpuTemporal(TemporalIndexConfig { bins: params.temporal_bins.min(200) }),
         Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {

@@ -6,7 +6,8 @@
 //! targets: fig4 fig5 fig6 fig7 sweep-fsg sweep-bins sweep-subbins
 //!          ablation-indirection ablation-buffer fallback-rate
 //!          ablation-warp-agg ablation-workqueue ablation-columnar
-//!          ablation-sharding ablation-routing scaling-sharding all
+//!          ablation-sharding ablation-routing scaling-sharding
+//!          ablation-streaming all
 //! options: --scale <f>         dataset scale vs the paper (default 1/16)
 //!          --no-verify         skip cross-method result-set verification
 //!          --trials <n>        trials per measurement (default 2)
@@ -22,7 +23,7 @@
 //!          --slab-mode <s>     uniform (default) | balanced slab edge
 //!                              placement for sharded runs
 //!          --json <path>       machine-readable output path (default
-//!                              BENCH_7.json; "none" disables)
+//!                              BENCH_9.json; "none" disables)
 //!          --sanitizer <m>     off (default) | memcheck | racecheck | full;
 //!                              the shadow-state device sanitizer (also set
 //!                              by the TDTS_SANITIZER env var). Findings
@@ -37,7 +38,7 @@ use tdts_gpu_sim::{KernelShape, SanitizerMode};
 fn main() {
     let mut cfg = RunConfig::default();
     let mut targets: Vec<String> = Vec::new();
-    let mut json_path = String::from("BENCH_7.json");
+    let mut json_path = String::from("BENCH_9.json");
     let mut args = std::env::args().skip(1);
     if let Some(mode) = SanitizerMode::from_env() {
         cfg.device.sanitizer = mode;
@@ -118,7 +119,7 @@ fn main() {
              [--tile-size n] [--shards n] [--partition s] [--routing s] [--slab-mode s] \
              [--json path] [--sanitizer m] \
              <fig4|fig5|fig6|fig7|sweep-fsg|sweep-bins|sweep-subbins|\
-             ablation-indirection|ablation-buffer|fallback-rate|future-trends|batched|ablation-sort|crossover|ablation-write|ablation-warp-agg|ablation-workqueue|ablation-columnar|ablation-sharding|ablation-routing|scaling-sharding|all>..."
+             ablation-indirection|ablation-buffer|fallback-rate|future-trends|batched|ablation-sort|crossover|ablation-write|ablation-warp-agg|ablation-workqueue|ablation-columnar|ablation-sharding|ablation-routing|scaling-sharding|ablation-streaming|all>..."
         );
         std::process::exit(2);
     }
@@ -145,6 +146,7 @@ fn main() {
             "ablation-sharding",
             "ablation-routing",
             "scaling-sharding",
+            "ablation-streaming",
         ]
         .iter()
         .map(|s| s.to_string())
@@ -189,6 +191,7 @@ fn main() {
             "ablation-sharding" => runner.ablation_sharding(),
             "ablation-routing" => runner.ablation_routing(),
             "scaling-sharding" => runner.scaling_sharding(),
+            "ablation-streaming" => runner.ablation_streaming(),
             other => {
                 eprintln!("unknown target {other}");
                 std::process::exit(2);

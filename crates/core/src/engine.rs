@@ -1,7 +1,7 @@
 //! Unified engine over the paper's search implementations.
 
 use std::sync::Arc;
-use tdts_geom::{MatchRecord, SegmentStore, StoreStats};
+use tdts_geom::{AppendDelta, ExpireDelta, MatchRecord, Segment, SegmentStore, StoreStats};
 use tdts_gpu_sim::SearchError;
 use tdts_gpu_sim::{Device, SearchReport};
 use tdts_index_spatial::{GpuSpatialConfig, GpuSpatialSearch};
@@ -62,7 +62,7 @@ impl Method {
     ) -> Result<Box<dyn TrajectoryIndex>, TdtsError> {
         Ok(match *self {
             Method::CpuRTree(cfg) => {
-                Box::new(CpuRTreeIndex::new(RTree::build(store, cfg), Arc::clone(store)))
+                Box::new(CpuRTreeIndex::new(RTree::build(store, cfg), Arc::clone(store), cfg))
             }
             Method::GpuSpatial(cfg) => {
                 Box::new(GpuSpatialSearch::new_with_stats(device, store, stats, cfg)?)
@@ -179,6 +179,86 @@ impl SearchEngine {
         self.index
     }
 
+    /// The store generation this engine's index reflects.
+    pub fn generation(&self) -> u64 {
+        self.index.generation()
+    }
+
+    /// Whether the underlying index applies append/expire deltas in place
+    /// (GPU methods) rather than rebuilding (CPU baseline) or erroring
+    /// (sharded indexes).
+    pub fn supports_incremental(&self) -> bool {
+        self.index.supports_incremental()
+    }
+
+    /// Segments in the index's un-compacted delta overlay (0 for methods
+    /// without one).
+    pub fn delta_backlog(&self) -> usize {
+        self.index.delta_backlog()
+    }
+
+    /// Append `new_segments` to the canonical store and bring the index to
+    /// the new generation.
+    ///
+    /// The temporal methods require appends in `t_start` order (the
+    /// streaming model of §V: updates arrive time-ordered), so this
+    /// rejects a batch that starts before the current store's last
+    /// `t_start`. After `Ok`, searches are byte-identical to a cold
+    /// rebuild at the new generation.
+    ///
+    /// Fails with [`TdtsError::IncrementalUnsupported`] when the index is
+    /// sharded or shared; the store is left unmodified in that case.
+    pub fn ingest(&mut self, new_segments: &[Segment]) -> Result<(), TdtsError> {
+        if new_segments.is_empty() {
+            return Ok(());
+        }
+        let mut sorted_ok =
+            self.store.segments().last().is_none_or(|prev| prev.t_start <= new_segments[0].t_start);
+        sorted_ok &= new_segments.windows(2).all(|w| w[0].t_start <= w[1].t_start);
+        if !sorted_ok {
+            return Err(TdtsError::InvalidConfig(
+                "streaming ingest requires segments in t_start order".into(),
+            ));
+        }
+        if !self.index.supports_incremental() {
+            // Probe before mutating the store so a failed ingest leaves the
+            // engine fully consistent. CPU-RTree reports false but absorbs
+            // deltas by rebuilding, so only a genuine refusal aborts.
+            let probe = AppendDelta {
+                from: self.store.len(),
+                count: 0,
+                generation: self.store.generation(),
+            };
+            let store = Arc::clone(&self.store);
+            if let Err(e @ TdtsError::IncrementalUnsupported(_)) = self.index.ingest(&store, &probe)
+            {
+                return Err(e);
+            }
+        }
+        let delta = Arc::make_mut(&mut self.store).append(new_segments);
+        self.index.ingest(&self.store, &delta)
+    }
+
+    /// Drop every stored segment that ends before `t` from the canonical
+    /// store and the index. Same contract as [`SearchEngine::ingest`].
+    pub fn expire_before(&mut self, t: f64) -> Result<(), TdtsError> {
+        if !self.index.supports_incremental() {
+            let probe = ExpireDelta {
+                removed: Vec::new(),
+                old_len: self.store.len(),
+                generation: self.store.generation(),
+            };
+            let store = Arc::clone(&self.store);
+            if let Err(e @ TdtsError::IncrementalUnsupported(_)) =
+                self.index.expire_before(&store, &probe)
+            {
+                return Err(e);
+            }
+        }
+        let delta = Arc::make_mut(&mut self.store).expire_before(t);
+        self.index.expire_before(&self.store, &delta)
+    }
+
     /// Run the distance threshold search.
     ///
     /// `result_capacity` bounds the GPU result buffer (the paper's fixed
@@ -231,6 +311,7 @@ mod tests {
             Method::GpuSpatial(GpuSpatialConfig {
                 fsg: FsgConfig { cells_per_dim: 6 },
                 total_scratch: 50_000,
+                compaction_threshold: 4_096,
             }),
             Method::GpuTemporal(TemporalIndexConfig { bins: 8 }),
             Method::GpuBatchedTemporal(BatchedConfig {
@@ -267,6 +348,81 @@ mod tests {
             }
         }
         assert!(!reference.unwrap().is_empty());
+    }
+
+    /// One segment near the origin cluster, time-stamped so appends stay
+    /// `t_start`-ordered.
+    fn seg(i: u32, t: f64) -> Segment {
+        Segment::new(
+            Point3::new(i as f64 % 7.0, (i % 5) as f64, 0.0),
+            Point3::new(i as f64 % 7.0 + 1.0, (i % 5) as f64 + 1.0, 1.0),
+            t,
+            t + 1.0,
+            SegId(i),
+            TrajId(i),
+        )
+    }
+
+    #[test]
+    fn streaming_matches_cold_rebuild_for_all_methods() {
+        let base: SegmentStore = (0..40).map(|i| seg(i, (i as f64) * 0.2)).collect();
+        let queries = store(12);
+        for method in all_methods() {
+            let dataset = PreparedDataset::new(base.clone());
+            let mut warm = SearchEngine::build(&dataset, method, device()).unwrap();
+            // Tick 1: append past the current time frontier.
+            warm.ingest(&[seg(100, 9.0), seg(101, 9.1), seg(102, 9.5)]).unwrap();
+            // Tick 2: expire the oldest prefix, then append again.
+            warm.expire_before(2.0).unwrap();
+            warm.ingest(&[seg(103, 10.0), seg(104, 10.2)]).unwrap();
+            assert_eq!(warm.generation(), warm.store().generation(), "{}", method.name());
+
+            // Cold oracle: rebuild from the warm engine's final store state.
+            let cold_set = PreparedDataset::new(warm.store().clone());
+            let cold = SearchEngine::build(&cold_set, method, device()).unwrap();
+            for d in [0.8, 3.0] {
+                let (got, _) = warm.search(&queries, d, 20_000).unwrap();
+                let (want, _) = cold.search(&queries, d, 20_000).unwrap();
+                assert_eq!(got, want, "{} at d={d}", method.name());
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_order_ingest_is_rejected() {
+        let dataset = PreparedDataset::new(store(30));
+        let mut engine = SearchEngine::build(
+            &dataset,
+            Method::GpuTemporal(TemporalIndexConfig { bins: 8 }),
+            device(),
+        )
+        .unwrap();
+        let err = engine.ingest(&[seg(200, -5.0)]).unwrap_err();
+        assert!(matches!(err, TdtsError::InvalidConfig(_)));
+        // The store must be untouched by the failed ingest.
+        assert_eq!(engine.store().len(), 30);
+    }
+
+    #[test]
+    fn sharded_engine_refuses_incremental_without_mutating_store() {
+        let dataset = PreparedDataset::new(store(30));
+        let sharding = crate::sharding::ShardedIndexConfig::builder().shards(2).build().unwrap();
+        let mut engine = SearchEngine::build_sharded(
+            &dataset,
+            Method::GpuTemporal(TemporalIndexConfig { bins: 8 }),
+            &DeviceConfig::test_tiny(),
+            &sharding,
+        )
+        .unwrap();
+        assert!(!engine.supports_incremental());
+        let gen_before = engine.store().generation();
+        let err = engine.ingest(&[seg(300, 99.0)]).unwrap_err();
+        assert!(matches!(err, TdtsError::IncrementalUnsupported(_)));
+        assert_eq!(engine.store().len(), 30);
+        assert_eq!(engine.store().generation(), gen_before);
+        let err = engine.expire_before(100.0).unwrap_err();
+        assert!(matches!(err, TdtsError::IncrementalUnsupported(_)));
+        assert_eq!(engine.store().len(), 30);
     }
 
     #[test]

@@ -5,12 +5,12 @@
 
 use std::sync::Arc;
 use std::time::Instant;
-use tdts_geom::{MatchRecord, SegmentStore};
+use tdts_geom::{AppendDelta, ExpireDelta, MatchRecord, SegmentStore};
 use tdts_gpu_sim::{Phase, SearchReport};
 use tdts_index_spatial::GpuSpatialSearch;
 use tdts_index_spatiotemporal::GpuSpatioTemporalSearch;
 use tdts_index_temporal::{GpuBatchedTemporalSearch, GpuTemporalSearch};
-use tdts_rtree::RTree;
+use tdts_rtree::{RTree, RTreeConfig};
 
 use crate::error::TdtsError;
 
@@ -54,6 +54,46 @@ pub trait TrajectoryIndex: Send + Sync {
 
     /// The paper's name for the implementation (e.g. `"GPUTemporal"`).
     fn name(&self) -> &'static str;
+
+    /// Whether [`ingest`](TrajectoryIndex::ingest) and
+    /// [`expire_before`](TrajectoryIndex::expire_before) apply deltas
+    /// in place rather than erroring or rebuilding from scratch.
+    fn supports_incremental(&self) -> bool {
+        false
+    }
+
+    /// The store generation this index reflects. `0` for implementations
+    /// that do not track generations (they are rebuilt per store state).
+    fn generation(&self) -> u64 {
+        0
+    }
+
+    /// Segments currently held in an un-compacted delta overlay (0 for
+    /// implementations without one). Observability: a backlog that shrinks
+    /// across an ingest means the index compacted that tick.
+    fn delta_backlog(&self) -> usize {
+        0
+    }
+
+    /// Absorb the segments described by `delta`, which `store` has already
+    /// appended. After this returns `Ok`, a search must produce results
+    /// byte-identical to a cold rebuild at `store`'s current generation.
+    fn ingest(&mut self, store: &Arc<SegmentStore>, delta: &AppendDelta) -> Result<(), TdtsError> {
+        let _ = (store, delta);
+        Err(TdtsError::IncrementalUnsupported(self.name()))
+    }
+
+    /// Drop the segments described by `delta`, which `store` has already
+    /// expired, remapping retained positions. Same correctness contract
+    /// as [`ingest`](TrajectoryIndex::ingest).
+    fn expire_before(
+        &mut self,
+        store: &Arc<SegmentStore>,
+        delta: &ExpireDelta,
+    ) -> Result<(), TdtsError> {
+        let _ = (store, delta);
+        Err(TdtsError::IncrementalUnsupported(self.name()))
+    }
 }
 
 /// A shared handle searches through the shared index, so a caller can keep
@@ -68,6 +108,18 @@ impl<T: TrajectoryIndex + ?Sized> TrajectoryIndex for Arc<T> {
     fn name(&self) -> &'static str {
         (**self).name()
     }
+
+    // `ingest`/`expire_before` keep the erroring defaults: a shared handle
+    // cannot get `&mut` access to the underlying index, so mutation through
+    // an `Arc` is always `IncrementalUnsupported`.
+
+    fn generation(&self) -> u64 {
+        (**self).generation()
+    }
+
+    fn delta_backlog(&self) -> usize {
+        (**self).delta_backlog()
+    }
 }
 
 impl TrajectoryIndex for GpuSpatialSearch {
@@ -79,6 +131,32 @@ impl TrajectoryIndex for GpuSpatialSearch {
 
     fn name(&self) -> &'static str {
         "GPUSpatial"
+    }
+
+    fn supports_incremental(&self) -> bool {
+        true
+    }
+
+    fn generation(&self) -> u64 {
+        GpuSpatialSearch::generation(self)
+    }
+
+    fn delta_backlog(&self) -> usize {
+        self.fsg().delta_segments()
+    }
+
+    fn ingest(&mut self, store: &Arc<SegmentStore>, delta: &AppendDelta) -> Result<(), TdtsError> {
+        GpuSpatialSearch::ingest(self, store, delta)?;
+        Ok(())
+    }
+
+    fn expire_before(
+        &mut self,
+        store: &Arc<SegmentStore>,
+        delta: &ExpireDelta,
+    ) -> Result<(), TdtsError> {
+        GpuSpatialSearch::expire(self, store, delta)?;
+        Ok(())
     }
 }
 
@@ -92,6 +170,28 @@ impl TrajectoryIndex for GpuTemporalSearch {
     fn name(&self) -> &'static str {
         "GPUTemporal"
     }
+
+    fn supports_incremental(&self) -> bool {
+        true
+    }
+
+    fn generation(&self) -> u64 {
+        GpuTemporalSearch::generation(self)
+    }
+
+    fn ingest(&mut self, store: &Arc<SegmentStore>, delta: &AppendDelta) -> Result<(), TdtsError> {
+        GpuTemporalSearch::ingest(self, store, delta)?;
+        Ok(())
+    }
+
+    fn expire_before(
+        &mut self,
+        store: &Arc<SegmentStore>,
+        delta: &ExpireDelta,
+    ) -> Result<(), TdtsError> {
+        GpuTemporalSearch::expire(self, store, delta)?;
+        Ok(())
+    }
 }
 
 impl TrajectoryIndex for GpuBatchedTemporalSearch {
@@ -103,6 +203,28 @@ impl TrajectoryIndex for GpuBatchedTemporalSearch {
 
     fn name(&self) -> &'static str {
         "GPUBatchedTemporal"
+    }
+
+    fn supports_incremental(&self) -> bool {
+        true
+    }
+
+    fn generation(&self) -> u64 {
+        GpuBatchedTemporalSearch::generation(self)
+    }
+
+    fn ingest(&mut self, store: &Arc<SegmentStore>, delta: &AppendDelta) -> Result<(), TdtsError> {
+        GpuBatchedTemporalSearch::ingest(self, store, delta)?;
+        Ok(())
+    }
+
+    fn expire_before(
+        &mut self,
+        store: &Arc<SegmentStore>,
+        delta: &ExpireDelta,
+    ) -> Result<(), TdtsError> {
+        GpuBatchedTemporalSearch::expire(self, store, delta)?;
+        Ok(())
     }
 }
 
@@ -116,6 +238,28 @@ impl TrajectoryIndex for GpuSpatioTemporalSearch {
     fn name(&self) -> &'static str {
         "GPUSpatioTemporal"
     }
+
+    fn supports_incremental(&self) -> bool {
+        true
+    }
+
+    fn generation(&self) -> u64 {
+        GpuSpatioTemporalSearch::generation(self)
+    }
+
+    fn ingest(&mut self, store: &Arc<SegmentStore>, delta: &AppendDelta) -> Result<(), TdtsError> {
+        GpuSpatioTemporalSearch::ingest(self, store, delta)?;
+        Ok(())
+    }
+
+    fn expire_before(
+        &mut self,
+        store: &Arc<SegmentStore>,
+        delta: &ExpireDelta,
+    ) -> Result<(), TdtsError> {
+        GpuSpatioTemporalSearch::expire(self, store, delta)?;
+        Ok(())
+    }
 }
 
 /// The CPU baseline behind the trait. [`RTree`] does not own the entry
@@ -124,12 +268,25 @@ impl TrajectoryIndex for GpuSpatioTemporalSearch {
 pub struct CpuRTreeIndex {
     tree: RTree,
     store: Arc<SegmentStore>,
+    config: RTreeConfig,
+    generation: u64,
 }
 
 impl CpuRTreeIndex {
-    /// Wrap a built tree with the store its positions refer to.
-    pub fn new(tree: RTree, store: Arc<SegmentStore>) -> CpuRTreeIndex {
-        CpuRTreeIndex { tree, store }
+    /// Wrap a built tree with the store its positions refer to and the
+    /// config to rebuild it with when the store changes.
+    pub fn new(tree: RTree, store: Arc<SegmentStore>, config: RTreeConfig) -> CpuRTreeIndex {
+        let generation = store.generation();
+        CpuRTreeIndex { tree, store, config, generation }
+    }
+
+    /// Packed STR builds are cheap on the CPU, so the baseline answers
+    /// both delta kinds the same way: swap in the new store handle and
+    /// rebuild the tree over it.
+    fn rebuild(&mut self, store: &Arc<SegmentStore>, generation: u64) {
+        self.store = Arc::clone(store);
+        self.tree = RTree::build(store, self.config);
+        self.generation = generation;
     }
 }
 
@@ -151,5 +308,29 @@ impl TrajectoryIndex for CpuRTreeIndex {
 
     fn name(&self) -> &'static str {
         "CPU-RTree"
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    fn ingest(&mut self, store: &Arc<SegmentStore>, delta: &AppendDelta) -> Result<(), TdtsError> {
+        if delta.count == 0 && delta.generation == self.generation {
+            return Ok(()); // no-op probe delta
+        }
+        self.rebuild(store, delta.generation);
+        Ok(())
+    }
+
+    fn expire_before(
+        &mut self,
+        store: &Arc<SegmentStore>,
+        delta: &ExpireDelta,
+    ) -> Result<(), TdtsError> {
+        if delta.removed.is_empty() && delta.generation == self.generation {
+            return Ok(()); // no-op probe delta
+        }
+        self.rebuild(store, delta.generation);
+        Ok(())
     }
 }

@@ -44,4 +44,4 @@ pub use point::Point3;
 pub use result::{dedup_matches, diff_matches, MatchRecord};
 pub use segment::{SegId, Segment, TrajId};
 pub use shard::{PartitionStrategy, ShardPlan, ShardSlice, ShardedStore, SlabHistogram, SlabMode};
-pub use store::{SegmentStore, StoreStats};
+pub use store::{AppendDelta, ExpireDelta, SegmentStore, StoreStats};

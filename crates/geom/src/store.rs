@@ -1,10 +1,27 @@
-//! In-memory segment databases.
+//! In-memory segment databases with a generational mutation lifecycle.
+//!
+//! A [`SegmentStore`] is no longer build-once: [`append`] and
+//! [`expire_before`] mutate it in place, bumping a monotonically increasing
+//! *generation* number. Derived state — the [`StoreStats`] scan and the
+//! columnar mirror behind [`columns`] — is generation-tagged, so consumers
+//! can never observe values computed against a different segment set, and
+//! appends extend both caches incrementally instead of rescanning.
+//!
+//! Searches pin an *epoch*: index builders snapshot the store behind an
+//! `Arc` and record [`generation`] at build time, so a store mutated for the
+//! next generation never changes results of searches already in flight (the
+//! old `Arc` keeps the old segment vector alive).
+//!
+//! [`append`]: SegmentStore::append
+//! [`expire_before`]: SegmentStore::expire_before
+//! [`columns`]: SegmentStore::columns
+//! [`generation`]: SegmentStore::generation
 
 use crate::{Mbb, Segment, SegmentColumns, TimeInterval};
 use serde::{Deserialize, Serialize};
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex};
 
-/// Global statistics of a segment database, computed once at load time.
+/// Global statistics of a segment database.
 ///
 /// Every indexing scheme is parameterised by some of these: the temporal
 /// index needs the temporal extent, the spatial grid needs the spatial
@@ -22,21 +39,100 @@ pub struct StoreStats {
     pub mean_duration: f64,
 }
 
+/// Description of one [`SegmentStore::append`]: the appended segments
+/// occupy positions `from..from + count` of the store at `generation`.
+///
+/// Indexes consume this to ingest exactly the new tail without rediscovering
+/// what changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendDelta {
+    /// Position of the first appended segment.
+    pub from: usize,
+    /// Number of appended segments.
+    pub count: usize,
+    /// Store generation *after* the append.
+    pub generation: u64,
+}
+
+/// Description of one [`SegmentStore::expire_before`]: `removed` holds the
+/// *old* positions (ascending) that were deleted from a store of `old_len`
+/// segments. Surviving old position `p` moves to
+/// `p - removed.partition_point(|&r| (r as usize) < p)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExpireDelta {
+    /// Old positions removed, in ascending order.
+    pub removed: Vec<u32>,
+    /// Store length before the expire.
+    pub old_len: usize,
+    /// Store generation *after* the expire.
+    pub generation: u64,
+}
+
+impl ExpireDelta {
+    /// New position of surviving old position `p` (`None` if `p` was
+    /// removed or out of range).
+    pub fn remap(&self, p: usize) -> Option<usize> {
+        if p >= self.old_len {
+            return None;
+        }
+        let shift = self.removed.partition_point(|&r| (r as usize) < p);
+        if self.removed.get(shift).is_some_and(|&r| r as usize == p) {
+            return None;
+        }
+        Some(p - shift)
+    }
+}
+
+/// Generation-tagged stats entry. `dur_sum` is the exact left-to-right
+/// running duration sum behind `mean_duration`, kept so an append can
+/// *continue* the same sum — bitwise identical to a cold rescan, which also
+/// adds durations in store order.
+#[derive(Debug, Clone, Copy)]
+struct StatsEntry {
+    generation: u64,
+    stats: Option<StoreStats>,
+    dur_sum: f64,
+}
+
+/// Lazily derived, generation-tagged views of the segment vector.
+#[derive(Debug, Default)]
+struct StoreCache {
+    stats: Option<StatsEntry>,
+    columns: Option<(u64, Arc<SegmentColumns>)>,
+}
+
 /// An in-memory spatiotemporal segment database (the paper's `D`, and also
 /// the representation of a query set `Q`).
 ///
 /// The store owns a flat `Vec<Segment>`; indexes reference entries by their
 /// *position* in this vector, so reordering methods ([`sort_by_t_start`])
-/// change those positions but never the segments' own ids.
+/// and [`expire_before`] change those positions but never the segments' own
+/// ids.
 ///
 /// [`sort_by_t_start`]: SegmentStore::sort_by_t_start
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// [`expire_before`]: SegmentStore::expire_before
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct SegmentStore {
     segments: Vec<Segment>,
-    /// Lazily computed [`StoreStats`], shared by every index built on the
-    /// store. Mutating methods reset the cell; (de)serialisation drops it.
+    /// Monotonically increasing mutation counter. Every mutating method
+    /// bumps it; derived caches carry the generation they were computed at.
+    generation: u64,
     #[serde(skip)]
-    cached_stats: OnceLock<Option<StoreStats>>,
+    cache: Mutex<StoreCache>,
+}
+
+impl Clone for SegmentStore {
+    fn clone(&self) -> Self {
+        // Carry the derived caches over (cheap: stats are `Copy`, the
+        // columnar mirror is an `Arc` clone) so a copy-on-write snapshot
+        // does not retranspose an unchanged store.
+        let cache = self.cache.lock().expect("store cache poisoned");
+        SegmentStore {
+            segments: self.segments.clone(),
+            generation: self.generation,
+            cache: Mutex::new(StoreCache { stats: cache.stats, columns: cache.columns.clone() }),
+        }
+    }
 }
 
 impl SegmentStore {
@@ -45,9 +141,9 @@ impl SegmentStore {
         SegmentStore::default()
     }
 
-    /// Build from a vector of segments.
+    /// Build from a vector of segments (generation 0).
     pub fn from_segments(segments: Vec<Segment>) -> Self {
-        SegmentStore { segments, cached_stats: OnceLock::new() }
+        SegmentStore { segments, generation: 0, cache: Mutex::new(StoreCache::default()) }
     }
 
     /// Number of segments.
@@ -62,11 +158,112 @@ impl SegmentStore {
         self.segments.is_empty()
     }
 
-    /// Append a segment. Invalidates the cached [`StoreStats`].
+    /// The store's current generation. Starts at 0; every mutation
+    /// ([`push`], [`append`], [`expire_before`], [`sort_by_t_start`]) bumps
+    /// it by one. Indexes record the generation they were built or last
+    /// ingested at, pinning their search results to that epoch.
+    ///
+    /// [`push`]: SegmentStore::push
+    /// [`append`]: SegmentStore::append
+    /// [`expire_before`]: SegmentStore::expire_before
+    /// [`sort_by_t_start`]: SegmentStore::sort_by_t_start
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Append a segment. The caches go stale by generation tag; prefer
+    /// [`append`](SegmentStore::append) for bulk ingestion, which extends
+    /// them incrementally.
     #[inline]
     pub fn push(&mut self, seg: Segment) {
         self.segments.push(seg);
-        self.cached_stats = OnceLock::new();
+        self.generation += 1;
+    }
+
+    /// Append a batch of segments at the tail, extending the stats scan and
+    /// the columnar mirror incrementally when they are fresh.
+    ///
+    /// Returns the [`AppendDelta`] describing the new tail. Streaming
+    /// ingestion keeps the store sorted by feeding segments whose `t_start`
+    /// is ≥ the current maximum; the store itself does not enforce that
+    /// (the temporal indexes validate it on ingest).
+    pub fn append(&mut self, new: &[Segment]) -> AppendDelta {
+        let from = self.segments.len();
+        let prev_generation = self.generation;
+        self.segments.extend_from_slice(new);
+        self.generation += 1;
+        let cache = self.cache.get_mut().expect("store cache poisoned");
+        if let Some(entry) = &mut cache.stats {
+            if entry.generation == prev_generation && !new.is_empty() {
+                // Continue the cold scan over the appended tail: max/min
+                // merges are exact, and `dur_sum` extends the same
+                // left-to-right addition order a full rescan would use.
+                let mut bounds = entry.stats.map_or_else(Mbb::empty, |s| s.bounds);
+                let mut t_min = entry.stats.map_or(f64::INFINITY, |s| s.time_span.start);
+                let mut t_max = entry.stats.map_or(f64::NEG_INFINITY, |s| s.time_span.end);
+                let mut max_ext = entry.stats.map_or([0.0f64; 3], |s| s.max_segment_extent);
+                let mut dur_sum = entry.dur_sum;
+                for s in new {
+                    bounds.expand_to_point(&s.start);
+                    bounds.expand_to_point(&s.end);
+                    t_min = t_min.min(s.t_start);
+                    t_max = t_max.max(s.t_end);
+                    for (dim, ext) in max_ext.iter_mut().enumerate() {
+                        *ext = ext.max(s.spatial_extent(dim));
+                    }
+                    dur_sum += s.duration();
+                }
+                *entry = StatsEntry {
+                    generation: self.generation,
+                    stats: Some(StoreStats {
+                        bounds,
+                        time_span: TimeInterval::new(t_min, t_max),
+                        max_segment_extent: max_ext,
+                        mean_duration: dur_sum / self.segments.len() as f64,
+                    }),
+                    dur_sum,
+                };
+            }
+        }
+        if let Some((tag, cols)) = &mut cache.columns {
+            if *tag == prev_generation {
+                let cols = Arc::make_mut(cols);
+                for s in new {
+                    cols.push(s);
+                }
+                *tag = self.generation;
+            }
+        }
+        AppendDelta { from, count: new.len(), generation: self.generation }
+    }
+
+    /// Remove every segment that ends strictly before `t` (`t_end < t`),
+    /// preserving the relative order of survivors.
+    ///
+    /// Returns the [`ExpireDelta`] mapping old positions to new ones.
+    /// Derived caches are invalidated (extents can shrink; positions move),
+    /// so the next [`stats`]/[`columns`] call rescans.
+    ///
+    /// [`stats`]: SegmentStore::stats
+    /// [`columns`]: SegmentStore::columns
+    pub fn expire_before(&mut self, t: f64) -> ExpireDelta {
+        let old_len = self.segments.len();
+        let mut removed = Vec::new();
+        let mut pos: u32 = 0;
+        self.segments.retain(|s| {
+            let keep = s.t_end >= t;
+            if !keep {
+                removed.push(pos);
+            }
+            pos += 1;
+            keep
+        });
+        self.generation += 1;
+        let cache = self.cache.get_mut().expect("store cache poisoned");
+        cache.stats = None;
+        cache.columns = None;
+        ExpireDelta { removed, old_len, generation: self.generation }
     }
 
     /// Immutable view of the segments.
@@ -93,17 +290,39 @@ impl SegmentStore {
 
     /// Columnar (struct-of-arrays) view of the segments, in store order.
     /// This is the host-side producer for per-column device buffers.
-    pub fn columns(&self) -> SegmentColumns {
-        SegmentColumns::from_segments(&self.segments)
+    ///
+    /// The transpose is computed lazily and tagged with the generation it
+    /// reflects: repeated calls at the same generation share one mirror,
+    /// [`append`](SegmentStore::append) extends it in place, and any other
+    /// mutation makes it stale (the next call retransposes), so a columnar
+    /// device upload can never ship coordinates from a previous generation.
+    pub fn columns(&self) -> Arc<SegmentColumns> {
+        let mut cache = self.cache.lock().expect("store cache poisoned");
+        if let Some((tag, cols)) = &cache.columns {
+            if *tag == self.generation {
+                return Arc::clone(cols);
+            }
+        }
+        let cols = Arc::new(SegmentColumns::from_segments(&self.segments));
+        cache.columns = Some((self.generation, Arc::clone(&cols)));
+        cols
     }
 
     /// Sort segments by ascending `t_start` (stable). The temporal and
-    /// spatiotemporal indexes require this ordering. Invalidates the cached
-    /// [`StoreStats`] (the stats are order-independent, but the cell is
-    /// reset on any mutation for uniformity).
+    /// spatiotemporal indexes require this ordering. The stats cache is
+    /// re-tagged rather than invalidated — the segment *set* is unchanged,
+    /// so the scan (including its exact duration sum) still holds — while
+    /// the columnar mirror goes stale (row order changed).
     pub fn sort_by_t_start(&mut self) {
+        let prev_generation = self.generation;
         self.segments.sort_by(|a, b| a.t_start.partial_cmp(&b.t_start).expect("NaN t_start"));
-        self.cached_stats = OnceLock::new();
+        self.generation += 1;
+        let cache = self.cache.get_mut().expect("store cache poisoned");
+        if let Some(entry) = &mut cache.stats {
+            if entry.generation == prev_generation {
+                entry.generation = self.generation;
+            }
+        }
     }
 
     /// True if segments are sorted by non-decreasing `t_start`.
@@ -113,15 +332,26 @@ impl SegmentStore {
 
     /// Global statistics of the store. Returns `None` for an empty store.
     ///
-    /// Computed on first call and cached: every index built on the same
-    /// store shares one O(n) scan instead of redoing it per build.
+    /// Computed on first call per generation and cached: every index built
+    /// on the same store generation shares one O(n) scan. A stale tag (any
+    /// mutation since the scan) forces a recompute, so callers — balanced
+    /// slab-edge placement, routing reach intervals — never see extents
+    /// from a previous generation.
     pub fn stats(&self) -> Option<StoreStats> {
-        *self.cached_stats.get_or_init(|| self.compute_stats())
+        let mut cache = self.cache.lock().expect("store cache poisoned");
+        if let Some(entry) = cache.stats {
+            if entry.generation == self.generation {
+                return entry.stats;
+            }
+        }
+        let (stats, dur_sum) = self.compute_stats();
+        cache.stats = Some(StatsEntry { generation: self.generation, stats, dur_sum });
+        stats
     }
 
-    fn compute_stats(&self) -> Option<StoreStats> {
+    fn compute_stats(&self) -> (Option<StoreStats>, f64) {
         if self.segments.is_empty() {
-            return None;
+            return (None, 0.0);
         }
         let mut bounds = Mbb::empty();
         let mut t_min = f64::INFINITY;
@@ -138,12 +368,13 @@ impl SegmentStore {
             }
             dur_sum += s.duration();
         }
-        Some(StoreStats {
+        let stats = StoreStats {
             bounds,
             time_span: TimeInterval::new(t_min, t_max),
             max_segment_extent: max_ext,
             mean_duration: dur_sum / self.segments.len() as f64,
-        })
+        };
+        (Some(stats), dur_sum)
     }
 
     /// Number of distinct trajectory ids (O(n log n)).
@@ -188,6 +419,7 @@ mod tests {
         let s = SegmentStore::new();
         assert!(s.is_empty());
         assert_eq!(s.len(), 0);
+        assert_eq!(s.generation(), 0);
         assert!(s.stats().is_none());
         assert_eq!(s.trajectory_count(), 0);
         assert!(s.is_sorted_by_t_start());
@@ -251,11 +483,110 @@ mod tests {
     }
 
     #[test]
+    fn generation_bumps_on_every_mutation() {
+        let mut store: SegmentStore = vec![seg(0.0, 1.0, 0.0, 1.0, 0)].into_iter().collect();
+        assert_eq!(store.generation(), 0);
+        store.push(seg(1.0, 2.0, 0.0, 1.0, 1));
+        assert_eq!(store.generation(), 1);
+        store.append(&[seg(2.0, 3.0, 0.0, 1.0, 2)]);
+        assert_eq!(store.generation(), 2);
+        store.expire_before(1.5);
+        assert_eq!(store.generation(), 3);
+        store.sort_by_t_start();
+        assert_eq!(store.generation(), 4);
+    }
+
+    #[test]
+    fn append_merges_stats_exactly() {
+        let base = vec![seg(0.0, 1.0, 0.0, 2.0, 0), seg(0.5, 2.0, -1.0, 1.0, 1)];
+        let tail = vec![seg(1.5, 3.0, 4.0, 5.0, 1), seg(2.5, 4.0, -3.0, 0.0, 2)];
+
+        let mut streaming: SegmentStore = base.clone().into_iter().collect();
+        let _ = streaming.stats(); // warm the cache so append merges into it
+        let delta = streaming.append(&tail);
+        assert_eq!(delta.from, 2);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.generation, streaming.generation());
+
+        let cold: SegmentStore = base.into_iter().chain(tail).collect();
+        // Bitwise-identical to a cold scan, including the duration mean.
+        assert_eq!(streaming.stats(), cold.stats());
+    }
+
+    #[test]
+    fn append_on_stale_cache_recomputes() {
+        let mut store: SegmentStore = vec![seg(0.0, 1.0, 0.0, 1.0, 0)].into_iter().collect();
+        // No stats() call before append: the cache is cold, so append
+        // leaves it cold and the next stats() call scans everything.
+        store.append(&[seg(5.0, 9.0, -4.0, 4.0, 1)]);
+        let st = store.stats().unwrap();
+        assert_eq!(st.time_span, TimeInterval::new(0.0, 9.0));
+        assert_eq!(st.bounds.hi, Point3::splat(4.0));
+    }
+
+    #[test]
+    fn expire_before_removes_and_remaps() {
+        let mut store: SegmentStore = vec![
+            seg(0.0, 0.5, 0.0, 1.0, 0),
+            seg(0.2, 2.0, 0.0, 1.0, 1),
+            seg(0.4, 0.9, 0.0, 1.0, 2),
+            seg(1.0, 3.0, 0.0, 1.0, 3),
+        ]
+        .into_iter()
+        .collect();
+        let delta = store.expire_before(1.0);
+        assert_eq!(store.len(), 2);
+        assert_eq!(delta.old_len, 4);
+        assert_eq!(delta.removed, vec![0, 2]);
+        assert_eq!(delta.remap(0), None);
+        assert_eq!(delta.remap(1), Some(0));
+        assert_eq!(delta.remap(2), None);
+        assert_eq!(delta.remap(3), Some(1));
+        assert_eq!(delta.remap(4), None);
+        assert_eq!(store.get(0).traj_id, TrajId(1));
+        assert_eq!(store.get(1).traj_id, TrajId(3));
+        // Stats reflect the shrunk store.
+        let st = store.stats().unwrap();
+        assert_eq!(st.time_span, TimeInterval::new(0.2, 3.0));
+    }
+
+    #[test]
     fn columns_view_matches_store_order() {
         let store: SegmentStore =
             vec![seg(1.0, 2.0, 0.0, 1.0, 3), seg(0.0, 0.5, -1.0, 4.0, 7)].into_iter().collect();
         let cols = store.columns();
         assert_eq!(cols.len(), store.len());
         assert_eq!(cols.to_segments(), store.segments());
+    }
+
+    #[test]
+    fn columns_cache_shares_extends_and_invalidates() {
+        let mut store: SegmentStore =
+            vec![seg(0.0, 1.0, 0.0, 1.0, 0), seg(1.0, 2.0, 2.0, 3.0, 1)].into_iter().collect();
+        let a = store.columns();
+        let b = store.columns();
+        assert!(Arc::ptr_eq(&a, &b), "same generation shares one mirror");
+        // Append extends the fresh mirror in place (modulo the held Arc).
+        store.append(&[seg(2.0, 3.0, -1.0, 0.0, 2)]);
+        let c = store.columns();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.to_segments(), store.segments());
+        assert_eq!(a.len(), 2, "pinned epoch view is untouched");
+        // Expire invalidates: the next call retransposes to the new order.
+        store.expire_before(1.5);
+        let d = store.columns();
+        assert_eq!(d.to_segments(), store.segments());
+    }
+
+    #[test]
+    fn clone_preserves_generation_and_caches() {
+        let mut store: SegmentStore = vec![seg(0.0, 1.0, 0.0, 1.0, 0)].into_iter().collect();
+        store.append(&[seg(1.0, 2.0, 0.0, 1.0, 1)]);
+        let _ = store.stats();
+        let cols = store.columns();
+        let copy = store.clone();
+        assert_eq!(copy.generation(), store.generation());
+        assert_eq!(copy.stats(), store.stats());
+        assert!(Arc::ptr_eq(&cols, &copy.columns()), "clone shares the fresh mirror");
     }
 }

@@ -72,6 +72,21 @@ impl Reservation {
     pub(crate) fn shadow(&self) -> Option<&ShadowRef> {
         self.shadow.as_ref()
     }
+
+    /// Reserve `additional` bytes on the same device (in-place buffer
+    /// growth). The reservation releases the enlarged total on drop.
+    pub(crate) fn grow(&mut self, additional: usize) -> Result<(), OutOfDeviceMemory> {
+        self.device.reserve(additional)?;
+        self.bytes += additional;
+        Ok(())
+    }
+
+    /// Return `fewer` bytes to the device (in-place buffer compaction).
+    pub(crate) fn shrink(&mut self, fewer: usize) {
+        let fewer = fewer.min(self.bytes);
+        self.device.release(fewer);
+        self.bytes -= fewer;
+    }
 }
 
 impl Drop for Reservation {
@@ -146,6 +161,39 @@ impl<T: Copy> DeviceBuffer<T> {
     #[inline]
     pub fn as_slice(&self) -> &[T] {
         &self.data
+    }
+
+    /// Extend the buffer in place with host data, *offline* — analogous to
+    /// [`Device::alloc_from_host`], no transfer is charged to the
+    /// response-time ledger. This is the device side of generational
+    /// ingestion: only the appended tail is copied, existing elements stay
+    /// resident. Requires `&mut self`, i.e. no kernel running.
+    pub fn extend_from_host(&mut self, more: &[T]) -> Result<(), OutOfDeviceMemory> {
+        self.reservation.grow(std::mem::size_of_val(more))?;
+        self.data.extend_from_slice(more);
+        Ok(())
+    }
+
+    /// Remove the elements at the ascending positions in `removed`,
+    /// preserving the order of survivors and returning the freed bytes to
+    /// the device — the expire side of generational ingestion. Positions out
+    /// of range are ignored. Requires `&mut self`, i.e. no kernel running.
+    pub fn remove_positions(&mut self, removed: &[u32]) {
+        if removed.is_empty() {
+            return;
+        }
+        let before = self.data.len();
+        let mut next = 0usize;
+        let mut pos = 0u32;
+        self.data.retain(|_| {
+            let drop_it = removed.get(next).is_some_and(|&r| r == pos);
+            if drop_it {
+                next += 1;
+            }
+            pos += 1;
+            !drop_it
+        });
+        self.reservation.shrink((before - self.data.len()) * std::mem::size_of::<T>());
     }
 }
 
@@ -232,6 +280,47 @@ impl<T: Copy> ColumnarBuffer<T> {
     #[inline]
     pub fn column(&self, column: usize) -> &[T] {
         &self.columns[column]
+    }
+
+    /// Extend every column in place with host data, *offline* (no transfer
+    /// charge) — the columnar counterpart of
+    /// [`DeviceBuffer::extend_from_host`]. `more` must provide one
+    /// equal-length slice per existing column. Requires `&mut self`.
+    pub fn extend_columns(&mut self, more: &[&[T]]) -> Result<(), OutOfDeviceMemory> {
+        assert_eq!(more.len(), self.columns.len(), "column count must match");
+        let added = more.first().map_or(0, |c| c.len());
+        assert!(more.iter().all(|c| c.len() == added), "columns must have equal length");
+        self.reservation.grow(self.columns.len() * added * std::mem::size_of::<T>())?;
+        for (col, extra) in self.columns.iter_mut().zip(more) {
+            col.extend_from_slice(extra);
+        }
+        self.rows += added;
+        Ok(())
+    }
+
+    /// Remove the rows at the ascending positions in `removed` from every
+    /// column, preserving survivor order and returning the freed bytes —
+    /// the columnar counterpart of [`DeviceBuffer::remove_positions`].
+    pub fn remove_positions(&mut self, removed: &[u32]) {
+        if removed.is_empty() {
+            return;
+        }
+        let before = self.rows;
+        for col in &mut self.columns {
+            let mut next = 0usize;
+            let mut pos = 0u32;
+            col.retain(|_| {
+                let drop_it = removed.get(next).is_some_and(|&r| r == pos);
+                if drop_it {
+                    next += 1;
+                }
+                pos += 1;
+                !drop_it
+            });
+        }
+        self.rows = self.columns.first().map_or(0, Vec::len);
+        self.reservation
+            .shrink(self.columns.len() * (before - self.rows) * std::mem::size_of::<T>());
     }
 }
 
@@ -1016,6 +1105,49 @@ mod tests {
             assert_eq!(dev.mem_used(), buf.size_bytes());
         }
         assert_eq!(dev.mem_used(), 0);
+    }
+
+    #[test]
+    fn device_buffer_extends_and_compacts_in_place() {
+        let dev = device();
+        let mut buf = dev.alloc_from_host(vec![1u32, 2, 3]).unwrap();
+        let used = dev.mem_used();
+        buf.extend_from_host(&[4, 5]).unwrap();
+        assert_eq!(buf.as_slice(), &[1, 2, 3, 4, 5]);
+        assert_eq!(dev.mem_used(), used + 8, "growth reserves the new bytes");
+        buf.remove_positions(&[0, 3]);
+        assert_eq!(buf.as_slice(), &[2, 3, 5]);
+        assert_eq!(dev.mem_used(), used, "compaction returns the freed bytes");
+        drop(buf);
+        assert_eq!(dev.mem_used(), 0, "drop releases the final size");
+    }
+
+    #[test]
+    fn columnar_buffer_extends_and_compacts_in_place() {
+        let dev = device();
+        let mut buf = dev.alloc_columns(&[&[1.0f64, 2.0][..], &[10.0, 20.0][..]]).unwrap();
+        let used = dev.mem_used();
+        buf.extend_columns(&[&[3.0][..], &[30.0][..]]).unwrap();
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.column(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(buf.column(1), &[10.0, 20.0, 30.0]);
+        assert_eq!(dev.mem_used(), used + 16);
+        buf.remove_positions(&[1]);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.column(0), &[1.0, 3.0]);
+        assert_eq!(buf.column(1), &[10.0, 30.0]);
+        assert_eq!(dev.mem_used(), used);
+        drop(buf);
+        assert_eq!(dev.mem_used(), 0);
+    }
+
+    #[test]
+    fn extend_past_device_memory_fails() {
+        let dev = device(); // 1 MiB
+        let mut buf = dev.alloc_from_host(vec![0u8; 1024]).unwrap();
+        assert!(buf.extend_from_host(&vec![0u8; 2 * 1024 * 1024]).is_err());
+        // The failed growth reserved nothing.
+        assert_eq!(dev.mem_used(), 1024);
     }
 
     #[test]

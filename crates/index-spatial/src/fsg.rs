@@ -1,7 +1,7 @@
 //! The flatly structured grid (FSG).
 
 use serde::{Deserialize, Serialize};
-use tdts_geom::{Mbb, Point3, SegmentStore, StoreStats};
+use tdts_geom::{ExpireDelta, Mbb, Point3, SegmentStore, StoreStats};
 use tdts_gpu_sim::SearchError;
 
 /// FSG resolution.
@@ -97,6 +97,11 @@ impl CellRange {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Fsg {
     bounds: Mbb,
+    /// Union of the build-time bounds and every appended segment's MBB.
+    /// [`outside`](Fsg::outside) tests against this, not `bounds`: appended
+    /// segments falling outside the build-time volume are clamped into edge
+    /// cells, and a query near them must not be rejected early.
+    data_bounds: Mbb,
     cells_per_dim: usize,
     cell_size: Point3,
     /// Sorted linearised coordinates of non-empty cells (the array `G`).
@@ -107,6 +112,50 @@ pub struct Fsg {
     /// The lookup array `A`: entry positions, grouped by cell, duplicates
     /// allowed (an entry MBB can overlap many cells).
     pub lookup: Vec<u32>,
+    /// Delta overlay `G'`: non-empty cells among segments appended since the
+    /// last build/compaction, searched alongside the base triple.
+    pub delta_cell_ids: Vec<u64>,
+    /// Per-cell half-open ranges into `delta_lookup`.
+    pub delta_cell_ranges: Vec<[u32; 2]>,
+    /// Delta lookup array `A'`.
+    pub delta_lookup: Vec<u32>,
+    /// Number of store entries indexed through the delta overlay. These are
+    /// always the last `delta_segments` positions of the store: appends land
+    /// at the tail, and expiry preserves relative order.
+    delta_segments: usize,
+}
+
+/// Sort `(cell, entry)` pairs and group them into the sparse triple
+/// `(cell_ids, cell_ranges, lookup)`.
+fn regroup(mut pairs: Vec<(u64, u32)>) -> (Vec<u64>, Vec<[u32; 2]>, Vec<u32>) {
+    pairs.sort_unstable();
+    let mut cell_ids = Vec::new();
+    let mut cell_ranges = Vec::new();
+    let mut lookup = Vec::with_capacity(pairs.len());
+    let mut i = 0usize;
+    while i < pairs.len() {
+        let h = pairs[i].0;
+        let start = lookup.len() as u32;
+        while i < pairs.len() && pairs[i].0 == h {
+            lookup.push(pairs[i].1);
+            i += 1;
+        }
+        cell_ids.push(h);
+        cell_ranges.push([start, lookup.len() as u32]);
+    }
+    (cell_ids, cell_ranges, lookup)
+}
+
+/// Flatten a sparse triple back into `(cell, entry)` pairs.
+fn pairs_of(cell_ids: &[u64], cell_ranges: &[[u32; 2]], lookup: &[u32]) -> Vec<(u64, u32)> {
+    let mut out = Vec::with_capacity(lookup.len());
+    for (ci, &h) in cell_ids.iter().enumerate() {
+        let [a, b] = cell_ranges[ci];
+        for &p in &lookup[a as usize..b as usize] {
+            out.push((h, p));
+        }
+    }
+    out
 }
 
 impl Fsg {
@@ -146,11 +195,16 @@ impl Fsg {
 
         let mut grid = Fsg {
             bounds,
+            data_bounds: bounds,
             cells_per_dim: n,
             cell_size,
             cell_ids: Vec::new(),
             cell_ranges: Vec::new(),
             lookup: Vec::new(),
+            delta_cell_ids: Vec::new(),
+            delta_cell_ranges: Vec::new(),
+            delta_lookup: Vec::new(),
+            delta_segments: 0,
         };
 
         // (cell, entry) pairs; entries can map to several cells.
@@ -161,20 +215,93 @@ impl Fsg {
                 pairs.push((grid.linear(x, y, z), pos as u32));
             }
         }
-        pairs.sort_unstable();
-
-        let mut i = 0usize;
-        while i < pairs.len() {
-            let h = pairs[i].0;
-            let start = grid.lookup.len() as u32;
-            while i < pairs.len() && pairs[i].0 == h {
-                grid.lookup.push(pairs[i].1);
-                i += 1;
-            }
-            grid.cell_ids.push(h);
-            grid.cell_ranges.push([start, grid.lookup.len() as u32]);
-        }
+        (grid.cell_ids, grid.cell_ranges, grid.lookup) = regroup(pairs);
         Ok(grid)
+    }
+
+    /// Rasterise store entries `from..` into the delta overlay.
+    ///
+    /// The grid geometry (`bounds`, `cell_size`) stays fixed: out-of-bounds
+    /// segments clamp into edge cells, exactly as out-of-bounds query boxes
+    /// do, so any overlapping query/entry pair still shares at least one
+    /// cell (clamping is monotone per dimension). `data_bounds` grows to
+    /// keep the [`outside`](Fsg::outside) early-reject correct.
+    pub fn append(&mut self, store: &SegmentStore, from: usize) -> Result<(), SearchError> {
+        if from > store.len() {
+            return Err(SearchError::InvalidConfig(format!(
+                "FSG append offset {from} past store length {}",
+                store.len()
+            )));
+        }
+        let tail = &store.segments()[from..];
+        if tail.is_empty() {
+            return Ok(());
+        }
+        let mut pairs = pairs_of(&self.delta_cell_ids, &self.delta_cell_ranges, &self.delta_lookup);
+        for (off, seg) in tail.iter().enumerate() {
+            let mbb = seg.mbb();
+            self.data_bounds = self.data_bounds.merge(&mbb);
+            for (x, y, z) in self.rasterise(&mbb).iter() {
+                pairs.push((self.linear(x, y, z), (from + off) as u32));
+            }
+        }
+        (self.delta_cell_ids, self.delta_cell_ranges, self.delta_lookup) = regroup(pairs);
+        self.delta_segments += tail.len();
+        Ok(())
+    }
+
+    /// Drop expired entry positions from both triples and renumber the
+    /// survivors to their post-expiry store positions.
+    ///
+    /// `data_bounds` is left as-is — a conservative over-estimate only ever
+    /// costs candidate work, never correctness.
+    pub fn expire(&mut self, delta: &ExpireDelta) -> Result<(), SearchError> {
+        let remap = |ids: &[u64], ranges: &[[u32; 2]], lookup: &[u32]| {
+            let mut pairs = Vec::with_capacity(lookup.len());
+            for (ci, &h) in ids.iter().enumerate() {
+                let [a, b] = ranges[ci];
+                for &p in &lookup[a as usize..b as usize] {
+                    if let Some(np) = delta.remap(p as usize) {
+                        pairs.push((h, np as u32));
+                    }
+                }
+            }
+            regroup(pairs)
+        };
+        let delta_lo = delta.old_len.saturating_sub(self.delta_segments) as u32;
+        let removed_in_delta =
+            delta.removed.len() - delta.removed.partition_point(|&r| r < delta_lo);
+        (self.cell_ids, self.cell_ranges, self.lookup) =
+            remap(&self.cell_ids, &self.cell_ranges, &self.lookup);
+        (self.delta_cell_ids, self.delta_cell_ranges, self.delta_lookup) =
+            remap(&self.delta_cell_ids, &self.delta_cell_ranges, &self.delta_lookup);
+        self.delta_segments -= removed_in_delta;
+        Ok(())
+    }
+
+    /// Merge the delta overlay into the base triple. Both use the same grid
+    /// geometry, so the merge is a pair-set union; the delta empties.
+    pub fn compact(&mut self) {
+        if self.delta_lookup.is_empty() && self.delta_segments == 0 {
+            return;
+        }
+        let mut pairs = pairs_of(&self.cell_ids, &self.cell_ranges, &self.lookup);
+        pairs.extend(pairs_of(&self.delta_cell_ids, &self.delta_cell_ranges, &self.delta_lookup));
+        (self.cell_ids, self.cell_ranges, self.lookup) = regroup(pairs);
+        self.delta_cell_ids.clear();
+        self.delta_cell_ranges.clear();
+        self.delta_lookup.clear();
+        self.delta_segments = 0;
+    }
+
+    /// Number of store entries currently indexed through the delta overlay.
+    pub fn delta_segments(&self) -> usize {
+        self.delta_segments
+    }
+
+    /// Host-side binary search for cell `h` in the delta overlay `G'`.
+    pub fn find_delta_cell(&self, h: u64) -> Option<usize> {
+        self.delta_cell_ids.binary_search(&h).ok()
     }
 
     fn clamp_cell(&self, v: f64, dim: usize) -> usize {
@@ -195,9 +322,10 @@ impl Fsg {
         CellRange { lo, hi }
     }
 
-    /// True if `mbb` lies entirely outside the grid volume.
+    /// True if `mbb` lies entirely outside the indexed data volume (the
+    /// build-time bounds unioned with every appended segment's MBB).
     pub fn outside(&self, mbb: &Mbb) -> bool {
-        !self.bounds.overlaps(mbb)
+        !self.data_bounds.overlaps(mbb)
     }
 
     /// Row-major linearised cell coordinate (the `h` of the paper).
@@ -354,6 +482,99 @@ mod tests {
     fn config_builder() {
         assert_eq!(FsgConfig::builder().build(), FsgConfig::default());
         assert_eq!(FsgConfig::builder().cells_per_dim(7).build(), FsgConfig { cells_per_dim: 7 });
+    }
+
+    /// Entry positions reachable through either triple for a box.
+    fn reachable(fsg: &Fsg, mbb: &Mbb) -> std::collections::BTreeSet<u32> {
+        let mut out = std::collections::BTreeSet::new();
+        if fsg.outside(mbb) {
+            return out;
+        }
+        for (x, y, z) in fsg.rasterise(mbb).iter() {
+            let h = fsg.linear(x, y, z);
+            if let Some(ci) = fsg.find_cell(h) {
+                let [a, b] = fsg.cell_ranges[ci];
+                out.extend(fsg.lookup[a as usize..b as usize].iter().copied());
+            }
+            if let Some(ci) = fsg.find_delta_cell(h) {
+                let [a, b] = fsg.delta_cell_ranges[ci];
+                out.extend(fsg.delta_lookup[a as usize..b as usize].iter().copied());
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn append_lands_in_delta_and_is_reachable() {
+        let mut s = store();
+        let fsg_cfg = FsgConfig { cells_per_dim: 5 };
+        let mut fsg = Fsg::build(&s, fsg_cfg).unwrap();
+        s.append(&[seg((4.0, 4.0, 4.0), (5.0, 5.0, 5.0), 3)]);
+        fsg.append(&s, 3).unwrap();
+        assert_eq!(fsg.delta_segments(), 1);
+        assert!(!fsg.delta_cell_ids.is_empty());
+        let r = reachable(&fsg, &s.get(3).mbb());
+        assert!(r.contains(&3), "appended entry must be reachable, got {r:?}");
+        // Appending an already-covered offset range is rejected past the end.
+        assert!(matches!(fsg.append(&s, 99), Err(SearchError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn append_out_of_bounds_expands_data_bounds() {
+        let mut s = store();
+        let mut fsg = Fsg::build(&s, FsgConfig { cells_per_dim: 5 }).unwrap();
+        let far = Mbb::new(Point3::splat(50.0), Point3::splat(51.0));
+        assert!(fsg.outside(&far), "before append, far box is outside");
+        s.append(&[seg((50.0, 50.0, 50.0), (51.0, 51.0, 51.0), 3)]);
+        fsg.append(&s, 3).unwrap();
+        assert!(!fsg.outside(&far), "data_bounds must have grown");
+        // The clamped entry sits in the hi edge cell, where a clamped
+        // far-away query box also rasterises.
+        let r = reachable(&fsg, &far);
+        assert!(r.contains(&3));
+    }
+
+    #[test]
+    fn compact_merges_delta_into_base() {
+        let mut s = store();
+        let mut fsg = Fsg::build(&s, FsgConfig { cells_per_dim: 5 }).unwrap();
+        s.append(&[seg((2.0, 2.0, 2.0), (3.0, 3.0, 3.0), 3)]);
+        fsg.append(&s, 3).unwrap();
+        let before: Vec<_> = s.iter().map(|e| reachable(&fsg, &e.mbb())).collect();
+        fsg.compact();
+        assert_eq!(fsg.delta_segments(), 0);
+        assert!(fsg.delta_cell_ids.is_empty() && fsg.delta_lookup.is_empty());
+        let after: Vec<_> = s.iter().map(|e| reachable(&fsg, &e.mbb())).collect();
+        assert_eq!(before, after, "compaction must not change reachability");
+        // Base triple is identical to a cold build over the same store (the
+        // appended entry was in-bounds, so geometry matches).
+        let cold = Fsg::build(&s, FsgConfig { cells_per_dim: 5 }).unwrap();
+        assert_eq!(fsg.cell_ids, cold.cell_ids);
+        assert_eq!(fsg.cell_ranges, cold.cell_ranges);
+        assert_eq!(fsg.lookup, cold.lookup);
+    }
+
+    #[test]
+    fn expire_remaps_both_triples() {
+        // Entries 0..3 at t=0..1; append one at t=5..6, then expire t<2.
+        let mut s = store();
+        let mut fsg = Fsg::build(&s, FsgConfig { cells_per_dim: 5 }).unwrap();
+        s.append(&[Segment::new(
+            Point3::splat(2.0),
+            Point3::splat(3.0),
+            5.0,
+            6.0,
+            SegId(3),
+            TrajId(3),
+        )]);
+        fsg.append(&s, 3).unwrap();
+        let d = s.expire_before(2.0);
+        assert_eq!(d.removed, vec![0, 1, 2]);
+        fsg.expire(&d).unwrap();
+        assert!(fsg.lookup.is_empty(), "all base entries expired");
+        assert_eq!(fsg.delta_segments(), 1);
+        let r = reachable(&fsg, &s.get(0).mbb());
+        assert_eq!(r.into_iter().collect::<Vec<_>>(), vec![0], "survivor renumbered to 0");
     }
 
     #[test]

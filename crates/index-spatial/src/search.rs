@@ -30,11 +30,18 @@ pub struct GpuSpatialConfig {
     /// Total candidate-buffer budget `s` in entries; each query gets
     /// `s / |Q|` slots (`U_k`), growing as re-invocations shrink the batch.
     pub total_scratch: usize,
+    /// Compact the delta overlay back into the base grid once it indexes
+    /// more than this many segments (streaming ingest only).
+    pub compaction_threshold: usize,
 }
 
 impl Default for GpuSpatialConfig {
     fn default() -> Self {
-        GpuSpatialConfig { fsg: FsgConfig::default(), total_scratch: 2_000_000 }
+        GpuSpatialConfig {
+            fsg: FsgConfig::default(),
+            total_scratch: 2_000_000,
+            compaction_threshold: 4_096,
+        }
     }
 }
 
@@ -71,6 +78,12 @@ impl GpuSpatialConfigBuilder {
         self
     }
 
+    /// Delta-overlay compaction threshold in segments.
+    pub fn compaction_threshold(mut self, n: usize) -> Self {
+        self.config.compaction_threshold = n;
+        self
+    }
+
     /// Produce the configuration (validated when the index is built).
     pub fn build(self) -> GpuSpatialConfig {
         self.config
@@ -82,6 +95,7 @@ pub struct GpuSpatialSearch {
     device: Arc<Device>,
     fsg: Fsg,
     config: GpuSpatialConfig,
+    generation: u64,
     dev_entries: DeviceSegments,
     /// `G`: sorted linearised coordinates of non-empty cells.
     dev_cell_ids: DeviceBuffer<u64>,
@@ -89,6 +103,12 @@ pub struct GpuSpatialSearch {
     dev_cell_ranges: DeviceBuffer<[u32; 2]>,
     /// `A`: entry positions grouped by cell.
     dev_lookup: DeviceBuffer<u32>,
+    /// `G'`: the delta overlay's non-empty cells (empty until ingest).
+    dev_delta_cell_ids: DeviceBuffer<u64>,
+    /// Per-cell half-open ranges into the delta lookup array.
+    dev_delta_cell_ranges: DeviceBuffer<[u32; 2]>,
+    /// `A'`: the delta overlay's entry positions grouped by cell.
+    dev_delta_lookup: DeviceBuffer<u32>,
 }
 
 impl GpuSpatialSearch {
@@ -112,18 +132,25 @@ impl GpuSpatialSearch {
         config: GpuSpatialConfig,
     ) -> Result<GpuSpatialSearch, SearchError> {
         let fsg = Fsg::build_with_stats(store, stats, config.fsg)?;
-        let dev_entries = DeviceSegments::alloc(&device, store.segments())?;
+        let dev_entries = DeviceSegments::alloc_store(&device, store)?;
         let dev_cell_ids = device.alloc_from_host(fsg.cell_ids.clone())?;
         let dev_cell_ranges = device.alloc_from_host(fsg.cell_ranges.clone())?;
         let dev_lookup = device.alloc_from_host(fsg.lookup.clone())?;
+        let dev_delta_cell_ids = device.alloc_from_host(Vec::new())?;
+        let dev_delta_cell_ranges = device.alloc_from_host(Vec::new())?;
+        let dev_delta_lookup = device.alloc_from_host(Vec::new())?;
         Ok(GpuSpatialSearch {
             device,
             fsg,
             config,
+            generation: store.generation(),
             dev_entries,
             dev_cell_ids,
             dev_cell_ranges,
             dev_lookup,
+            dev_delta_cell_ids,
+            dev_delta_cell_ranges,
+            dev_delta_lookup,
         })
     }
 
@@ -137,14 +164,69 @@ impl GpuSpatialSearch {
         &self.device
     }
 
-    /// Device-side binary search of cell `h` in `G`, charging one global
-    /// read per probe (the paper's `O(log |G|)` step).
-    fn find_cell_device(&self, lane: &mut Lane, h: u64) -> Option<usize> {
-        let n = self.dev_cell_ids.len();
+    /// The store generation this index currently reflects.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Rasterise store entries `delta.from..` into the delta overlay,
+    /// extend the device-resident database in place, and compact the
+    /// overlay into the base grid once it crosses the configured threshold
+    /// (all offline — no PCIe transfer is charged).
+    pub fn ingest(
+        &mut self,
+        store: &SegmentStore,
+        delta: &tdts_geom::AppendDelta,
+    ) -> Result<(), SearchError> {
+        self.fsg.append(store, delta.from)?;
+        self.dev_entries.extend(&store.segments()[delta.from..])?;
+        if self.fsg.delta_segments() > self.config.compaction_threshold {
+            self.fsg.compact();
+            self.dev_cell_ids = self.device.alloc_from_host(self.fsg.cell_ids.clone())?;
+            self.dev_cell_ranges = self.device.alloc_from_host(self.fsg.cell_ranges.clone())?;
+            self.dev_lookup = self.device.alloc_from_host(self.fsg.lookup.clone())?;
+        }
+        self.dev_delta_cell_ids = self.device.alloc_from_host(self.fsg.delta_cell_ids.clone())?;
+        self.dev_delta_cell_ranges =
+            self.device.alloc_from_host(self.fsg.delta_cell_ranges.clone())?;
+        self.dev_delta_lookup = self.device.alloc_from_host(self.fsg.delta_lookup.clone())?;
+        self.generation = delta.generation;
+        Ok(())
+    }
+
+    /// Drop expired entries from the database and both grid triples.
+    pub fn expire(
+        &mut self,
+        store: &SegmentStore,
+        delta: &tdts_geom::ExpireDelta,
+    ) -> Result<(), SearchError> {
+        let _ = store;
+        self.fsg.expire(delta)?;
+        self.dev_entries.remove_positions(&delta.removed);
+        self.dev_cell_ids = self.device.alloc_from_host(self.fsg.cell_ids.clone())?;
+        self.dev_cell_ranges = self.device.alloc_from_host(self.fsg.cell_ranges.clone())?;
+        self.dev_lookup = self.device.alloc_from_host(self.fsg.lookup.clone())?;
+        self.dev_delta_cell_ids = self.device.alloc_from_host(self.fsg.delta_cell_ids.clone())?;
+        self.dev_delta_cell_ranges =
+            self.device.alloc_from_host(self.fsg.delta_cell_ranges.clone())?;
+        self.dev_delta_lookup = self.device.alloc_from_host(self.fsg.delta_lookup.clone())?;
+        self.generation = delta.generation;
+        Ok(())
+    }
+
+    /// Device-side binary search of cell `h` in a sorted cell-id array,
+    /// charging one global read per probe (the paper's `O(log |G|)` step).
+    fn find_cell_device(
+        &self,
+        lane: &mut Lane,
+        cell_ids: &DeviceBuffer<u64>,
+        h: u64,
+    ) -> Option<usize> {
+        let n = cell_ids.len();
         let (mut lo, mut hi) = (0usize, n);
         while lo < hi {
             let mid = (lo + hi) / 2;
-            let v = self.dev_cell_ids.read(lane, mid);
+            let v = cell_ids.read(lane, mid);
             lane.instr(2);
             match v.cmp(&h) {
                 std::cmp::Ordering::Equal => return Some(mid),
@@ -181,7 +263,7 @@ impl GpuSpatialSearch {
                 // Host getCandidates scheduling, computed once and reused
                 // across redo rounds (d is fixed for the whole search).
                 let host_start = Instant::now();
-                let ranges: Vec<Vec<[u32; 2]>> = queries
+                let ranges: Vec<Vec<([u32; 2], u32)>> = queries
                     .segments()
                     .par_iter()
                     .map(|q| {
@@ -193,7 +275,13 @@ impl GpuSpatialSearch {
                                 if let Some(ci) = self.fsg.find_cell(h) {
                                     let r = self.fsg.cell_ranges[ci];
                                     if r[0] < r[1] {
-                                        rs.push(r);
+                                        rs.push((r, TAG_BASE));
+                                    }
+                                }
+                                if let Some(ci) = self.fsg.find_delta_cell(h) {
+                                    let r = self.fsg.delta_cell_ranges[ci];
+                                    if r[0] < r[1] {
+                                        rs.push((r, TAG_DELTA));
                                     }
                                 }
                             }
@@ -281,23 +369,36 @@ impl CandidateGenerator for SpatialThreads<'_> {
         lane.instr(12); // MBB + inflation + cell-range setup
 
         // getCandidates: rasterise the inflated MBB and gather entry
-        // positions into U_k.
+        // positions into U_k, probing the base grid and the delta overlay.
         let mut uk = round.scratch.take_partition(lane.global_id);
         let search_box = q.mbb().inflate(self.d);
         let mut overflow = false;
         if !self.search.fsg.outside(&search_box) {
             let range = self.search.fsg.rasterise(&search_box);
+            let triples = [
+                (&self.search.dev_cell_ids, &self.search.dev_cell_ranges, &self.search.dev_lookup),
+                (
+                    &self.search.dev_delta_cell_ids,
+                    &self.search.dev_delta_cell_ranges,
+                    &self.search.dev_delta_lookup,
+                ),
+            ];
             'cells: for (x, y, z) in range.iter() {
                 let h = self.search.fsg.linear(x, y, z);
                 lane.instr(4);
-                if let Some(ci) = self.search.find_cell_device(lane, h) {
-                    let r = self.search.dev_cell_ranges.read(lane, ci);
-                    for ai in r[0]..r[1] {
-                        let entry_pos = self.search.dev_lookup.read(lane, ai as usize);
-                        lane.instr(1);
-                        if !uk.push(lane, entry_pos) {
-                            overflow = true;
-                            break 'cells;
+                for (cell_ids, cell_ranges, lookup) in triples {
+                    if cell_ids.is_empty() {
+                        continue;
+                    }
+                    if let Some(ci) = self.search.find_cell_device(lane, cell_ids, h) {
+                        let r = cell_ranges.read(lane, ci);
+                        for ai in r[0]..r[1] {
+                            let entry_pos = lookup.read(lane, ai as usize);
+                            lane.instr(1);
+                            if !uk.push(lane, entry_pos) {
+                                overflow = true;
+                                break 'cells;
+                            }
                         }
                     }
                 }
@@ -357,9 +458,14 @@ impl CandidateGenerator for SpatialThreads<'_> {
 struct SpatialTiles<'a> {
     search: &'a GpuSpatialSearch,
     queries: &'a DeviceSegments,
-    ranges: &'a [Vec<[u32; 2]>],
+    ranges: &'a [Vec<([u32; 2], u32)>],
     d: f64,
 }
+
+/// Tile tag: the range indexes the base lookup array `A`.
+const TAG_BASE: u32 = 0;
+/// Tile tag: the range indexes the delta overlay's lookup array `A'`.
+const TAG_DELTA: u32 = 1;
 
 impl KernelContext for SpatialTiles<'_> {
     fn entries(&self) -> &DeviceSegments {
@@ -375,8 +481,8 @@ impl KernelContext for SpatialTiles<'_> {
 
 impl TileGenerator for SpatialTiles<'_> {
     fn push_tiles(&self, tiles: &mut Vec<Tile>, qid: u32, tile_size: usize) {
-        for r in &self.ranges[qid as usize] {
-            Tile::split_into(tiles, qid, r[0], r[1], 0, tile_size);
+        for (r, tag) in &self.ranges[qid as usize] {
+            Tile::split_into(tiles, qid, r[0], r[1], *tag, tile_size);
         }
     }
 
@@ -384,9 +490,15 @@ impl TileGenerator for SpatialTiles<'_> {
         12 // MBB + inflation + tile setup
     }
 
-    fn tile_entry_pos(&self, lane: &mut Lane, _tile: &Tile, i: usize) -> u32 {
-        // Fused gather + refine: A[i] -> entry position.
-        let entry_pos = self.search.dev_lookup.read(lane, i);
+    fn tile_entry_pos(&self, lane: &mut Lane, tile: &Tile, i: usize) -> u32 {
+        // Fused gather + refine: A[i] (or A'[i] for delta tiles) -> entry
+        // position.
+        let lookup = if tile.tag == TAG_DELTA {
+            &self.search.dev_delta_lookup
+        } else {
+            &self.search.dev_lookup
+        };
+        let entry_pos = lookup.read(lane, i);
         lane.instr(1);
         entry_pos
     }
@@ -439,7 +551,11 @@ mod tests {
     }
 
     fn cfg(cells: usize, scratch: usize) -> GpuSpatialConfig {
-        GpuSpatialConfig { fsg: FsgConfig { cells_per_dim: cells }, total_scratch: scratch }
+        GpuSpatialConfig {
+            fsg: FsgConfig { cells_per_dim: cells },
+            total_scratch: scratch,
+            compaction_threshold: 4_096,
+        }
     }
 
     #[test]
@@ -572,6 +688,41 @@ mod tests {
         let (got, report) = search.search(&SegmentStore::new(), 1.0, 100).unwrap();
         assert!(got.is_empty());
         assert_eq!(report.response.kernel_invocations, 0);
+    }
+
+    #[test]
+    fn ingest_and_expire_match_cold_rebuild() {
+        for make_dev in [device as fn() -> Arc<Device>, wpt_device as fn() -> Arc<Device>] {
+            let dev = make_dev();
+            let mut store = grid_store(6);
+            let queries = grid_store(4);
+            // Threshold 2 → the second tick (3 appended total) compacts.
+            let mut config = cfg(5, 100_000);
+            config.compaction_threshold = 2;
+            let mut search = GpuSpatialSearch::new(dev.clone(), &store, config).unwrap();
+            for tick in 0..3 {
+                let base = 100.0 + tick as f64 * 10.0;
+                let delta = store.append(&[
+                    seg(base, base, tick as f64, 500 + tick),
+                    seg(-base, -base, tick as f64, 600 + tick),
+                ]);
+                search.ingest(&store, &delta).unwrap();
+            }
+            assert_eq!(search.fsg().delta_segments(), 2, "last tick stays in the delta");
+            let exp = store.expire_before(1.5);
+            assert!(!exp.removed.is_empty());
+            search.expire(&store, &exp).unwrap();
+
+            // A second engine does not fit on the tiny test device; the
+            // oracle gets its own identically-shaped device.
+            let cold = GpuSpatialSearch::new(make_dev(), &store, config).unwrap();
+            for d in [1.0, 8.0, 40.0] {
+                let (warm, _) = search.search(&queries, d, 20_000).unwrap();
+                let (want, _) = cold.search(&queries, d, 20_000).unwrap();
+                assert_eq!(warm, want, "d = {d}");
+                assert_eq!(warm, brute(&store, &queries, d), "d = {d}");
+            }
+        }
     }
 
     #[test]

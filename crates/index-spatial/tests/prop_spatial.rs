@@ -98,7 +98,11 @@ proptest! {
         let search = GpuSpatialSearch::new(
             device,
             &store,
-            GpuSpatialConfig { fsg: FsgConfig { cells_per_dim: cells }, total_scratch: scratch },
+            GpuSpatialConfig {
+                fsg: FsgConfig { cells_per_dim: cells },
+                total_scratch: scratch,
+                compaction_threshold: 4_096,
+            },
         )
         .unwrap();
         match search.search(&queries, d, 30_000) {

@@ -1,7 +1,7 @@
 //! The spatiotemporal (bins × subbins) index.
 
 use serde::{Deserialize, Serialize};
-use tdts_geom::{Segment, SegmentStore, StoreStats};
+use tdts_geom::{ExpireDelta, Segment, SegmentStore, StoreStats};
 use tdts_gpu_sim::SearchError;
 use tdts_index_temporal::{TemporalIndex, TemporalIndexConfig};
 
@@ -212,6 +212,72 @@ impl SpatioTemporalIndex {
     /// The underlying temporal index.
     pub fn temporal(&self) -> &TemporalIndex {
         &self.temporal
+    }
+
+    /// Extend the index over store entries `from..` (time-ordered appends).
+    ///
+    /// The temporal directory may grow new bins past the old extent, which
+    /// changes the `(subbin, bin)` layout stride: every per-dimension row is
+    /// re-spliced, copying old chunks and appending the tail entries of each
+    /// bin. Tail entries are placed by their clamped subbin index span —
+    /// the same clamp [`schedule_for`](Self::schedule_for) applies to query
+    /// intervals, so an entry overlapping a query's inflated interval always
+    /// shares its subbin, even for entries outside the build-time volume.
+    pub fn append(&mut self, store: &SegmentStore, from: usize) -> Result<(), SearchError> {
+        let old_m = self.temporal.bins();
+        self.temporal.append(store, from)?;
+        let new_m = self.temporal.bins();
+        let segs = store.segments();
+
+        for d in 0..3 {
+            let mut arrays = Vec::with_capacity(self.arrays[d].len() + (segs.len() - from));
+            let mut ranges = Vec::with_capacity(self.v * new_m);
+            for j in 0..self.v {
+                for i in 0..new_m {
+                    let start = arrays.len() as u32;
+                    if i < old_m {
+                        let [a, b] = self.ranges[d][j * old_m + i];
+                        arrays.extend_from_slice(&self.arrays[d][a as usize..b as usize]);
+                    }
+                    let (b_lo, b_hi) = self.temporal.bin_range(i);
+                    let lo = (b_lo as usize).max(from);
+                    for (pos, s) in segs.iter().enumerate().take(b_hi as usize).skip(lo) {
+                        let (s_lo, s_hi) = self.subbin_span(d, s.min_coord(d), s.max_coord(d));
+                        if (s_lo..=s_hi).contains(&j) {
+                            arrays.push(pos as u32);
+                        }
+                    }
+                    ranges.push([start, arrays.len() as u32]);
+                }
+            }
+            self.arrays[d] = arrays;
+            self.ranges[d] = ranges;
+        }
+        self.m = new_m;
+        Ok(())
+    }
+
+    /// Drop expired entries from the temporal directory and every
+    /// per-dimension id array, renumbering survivors to their post-expiry
+    /// store positions. The subbin geometry and bin layout are unchanged.
+    pub fn expire(&mut self, store: &SegmentStore, delta: &ExpireDelta) -> Result<(), SearchError> {
+        self.temporal.expire(store, delta)?;
+        for d in 0..3 {
+            let mut arrays = Vec::with_capacity(self.arrays[d].len());
+            let mut ranges = Vec::with_capacity(self.ranges[d].len());
+            for r in &self.ranges[d] {
+                let start = arrays.len() as u32;
+                for &pos in &self.arrays[d][r[0] as usize..r[1] as usize] {
+                    if let Some(np) = delta.remap(pos as usize) {
+                        arrays.push(np as u32);
+                    }
+                }
+                ranges.push([start, arrays.len() as u32]);
+            }
+            self.arrays[d] = arrays;
+            self.ranges[d] = ranges;
+        }
+        Ok(())
     }
 
     /// Effective subbins per dimension (after the extent-constraint cap).

@@ -50,6 +50,7 @@ pub struct GpuSpatioTemporalSearch {
     device: Arc<Device>,
     index: SpatioTemporalIndex,
     config: SpatioTemporalIndexConfig,
+    generation: u64,
     dev_entries: DeviceSegments,
     /// The `X`, `Y`, `Z` id arrays on the device.
     dev_arrays: [DeviceBuffer<u32>; 3],
@@ -77,13 +78,20 @@ impl GpuSpatioTemporalSearch {
         config: SpatioTemporalIndexConfig,
     ) -> Result<GpuSpatioTemporalSearch, SearchError> {
         let index = SpatioTemporalIndex::build_with_stats(store, stats, config)?;
-        let dev_entries = DeviceSegments::alloc(&device, store.segments())?;
+        let dev_entries = DeviceSegments::alloc_store(&device, store)?;
         let dev_arrays = [
             device.alloc_from_host(index.arrays[0].clone())?,
             device.alloc_from_host(index.arrays[1].clone())?,
             device.alloc_from_host(index.arrays[2].clone())?,
         ];
-        Ok(GpuSpatioTemporalSearch { device, index, config, dev_entries, dev_arrays })
+        Ok(GpuSpatioTemporalSearch {
+            device,
+            index,
+            config,
+            generation: store.generation(),
+            dev_entries,
+            dev_arrays,
+        })
     }
 
     /// The index.
@@ -94,6 +102,48 @@ impl GpuSpatioTemporalSearch {
     /// The device this search runs on.
     pub fn device(&self) -> &Arc<Device> {
         &self.device
+    }
+
+    /// The store generation this index currently reflects.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Extend the index over store entries `delta.from..` and grow the
+    /// device-resident database in place. The per-dimension id arrays are
+    /// re-spliced on the host (their `(subbin, bin)` layout shifts when new
+    /// temporal bins appear) and re-placed on the device offline.
+    pub fn ingest(
+        &mut self,
+        store: &SegmentStore,
+        delta: &tdts_geom::AppendDelta,
+    ) -> Result<(), SearchError> {
+        self.index.append(store, delta.from)?;
+        self.dev_entries.extend(&store.segments()[delta.from..])?;
+        self.dev_arrays = [
+            self.device.alloc_from_host(self.index.arrays[0].clone())?,
+            self.device.alloc_from_host(self.index.arrays[1].clone())?,
+            self.device.alloc_from_host(self.index.arrays[2].clone())?,
+        ];
+        self.generation = delta.generation;
+        Ok(())
+    }
+
+    /// Drop expired entries from the index and the device-resident database.
+    pub fn expire(
+        &mut self,
+        store: &SegmentStore,
+        delta: &tdts_geom::ExpireDelta,
+    ) -> Result<(), SearchError> {
+        self.index.expire(store, delta)?;
+        self.dev_entries.remove_positions(&delta.removed);
+        self.dev_arrays = [
+            self.device.alloc_from_host(self.index.arrays[0].clone())?,
+            self.device.alloc_from_host(self.index.arrays[1].clone())?,
+            self.device.alloc_from_host(self.index.arrays[2].clone())?,
+        ];
+        self.generation = delta.generation;
+        Ok(())
     }
 
     /// Run the distance threshold search at distance `d` with a result
@@ -483,6 +533,41 @@ mod tests {
         let (constrained, report) = search.search(&queries, 4.0, (full.len() / 4).max(2)).unwrap();
         assert_eq!(constrained, full);
         assert!(report.redo_rounds > 0);
+    }
+
+    #[test]
+    fn ingest_and_expire_match_cold_rebuild() {
+        for make_dev in [device as fn() -> Arc<Device>, wpt_device as fn() -> Arc<Device>] {
+            let mut store = sorted_store(40);
+            let queries: SegmentStore = (0..15)
+                .map(|i| seg(i as f64 * 4.0 + 0.3, i as f64 * 1.2, 100 + i as u32))
+                .collect();
+            let cfg = SpatioTemporalIndexConfig { bins: 6, subbins: 4, sort_by_selector: true };
+            let mut search = GpuSpatioTemporalSearch::new(make_dev(), &store, cfg).unwrap();
+            // Time-ordered ticks past the current extent (t_max ≈ 16.6),
+            // including a spatially out-of-bounds segment.
+            for tick in 0..3u32 {
+                let t0 = 17.0 + tick as f64 * 2.0;
+                let delta = store.append(&[
+                    seg(tick as f64 * 3.0, t0, 700 + tick),
+                    seg(300.0, t0 + 1.0, 800 + tick),
+                ]);
+                search.ingest(&store, &delta).unwrap();
+            }
+            assert!(search.index().validate(&store).is_ok());
+            let exp = store.expire_before(4.0);
+            assert!(!exp.removed.is_empty());
+            search.expire(&store, &exp).unwrap();
+            assert!(search.index().validate(&store).is_ok());
+
+            let cold = GpuSpatioTemporalSearch::new(make_dev(), &store, cfg).unwrap();
+            for d in [0.3, 2.0, 15.0] {
+                let (warm, _) = search.search(&queries, d, 20_000).unwrap();
+                let (want, _) = cold.search(&queries, d, 20_000).unwrap();
+                assert_eq!(warm, want, "d = {d}");
+                assert_eq!(warm, brute(&store, &queries, d), "d = {d}");
+            }
+        }
     }
 
     #[test]

@@ -78,6 +78,7 @@ impl BatchedConfigBuilder {
 pub struct GpuBatchedTemporalSearch {
     device: Arc<Device>,
     index: TemporalIndex,
+    generation: u64,
     dev_entries: DeviceSegments,
     config: BatchedConfig,
 }
@@ -106,8 +107,45 @@ impl GpuBatchedTemporalSearch {
             return Err(SearchError::InvalidConfig("batch size must be at least one query".into()));
         }
         let index = TemporalIndex::build_with_stats(store, stats, config.index)?;
-        let dev_entries = DeviceSegments::alloc(&device, store.segments())?;
-        Ok(GpuBatchedTemporalSearch { device, index, dev_entries, config })
+        let dev_entries = DeviceSegments::alloc_store(&device, store)?;
+        Ok(GpuBatchedTemporalSearch {
+            device,
+            index,
+            generation: store.generation(),
+            dev_entries,
+            config,
+        })
+    }
+
+    /// The store generation this index currently reflects.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Extend the bin directory and the device-resident database over store
+    /// entries `delta.from..` (offline; appends arrive time-ordered).
+    pub fn ingest(
+        &mut self,
+        store: &SegmentStore,
+        delta: &tdts_geom::AppendDelta,
+    ) -> Result<(), SearchError> {
+        self.index.append(store, delta.from)?;
+        self.dev_entries.extend(&store.segments()[delta.from..])?;
+        self.generation = delta.generation;
+        Ok(())
+    }
+
+    /// Drop expired entries from the bin directory and the device-resident
+    /// database.
+    pub fn expire(
+        &mut self,
+        store: &SegmentStore,
+        delta: &tdts_geom::ExpireDelta,
+    ) -> Result<(), SearchError> {
+        self.index.expire(store, delta)?;
+        self.dev_entries.remove_positions(&delta.removed);
+        self.generation = delta.generation;
+        Ok(())
     }
 
     /// Run the search, streaming `Q` through the device in batches.

@@ -1,7 +1,7 @@
 //! The temporal bin index.
 
 use serde::{Deserialize, Serialize};
-use tdts_geom::{Segment, SegmentStore, StoreStats};
+use tdts_geom::{ExpireDelta, Segment, SegmentStore, StoreStats};
 use tdts_gpu_sim::SearchError;
 
 /// Temporal index parameters.
@@ -172,12 +172,26 @@ impl TemporalIndex {
     }
 
     /// Bin index containing time `t`, clamped to `[0, m-1]`.
+    ///
+    /// Consistent with entry placement: entries are assigned to bins by
+    /// comparing `t_start` against the boundary values `t_min + j·width`,
+    /// and float division can land one bin off for `t` exactly on such a
+    /// boundary, so the divided estimate is nudged until the boundary
+    /// comparisons themselves hold.
     #[inline]
     pub fn bin_of(&self, t: f64) -> usize {
         if t <= self.t_min {
             return 0;
         }
-        (((t - self.t_min) / self.bin_width) as usize).min(self.bins() - 1)
+        let m = self.bins();
+        let mut j = (((t - self.t_min) / self.bin_width) as usize).min(m - 1);
+        while j + 1 < m && t >= self.t_min + (j + 1) as f64 * self.bin_width {
+            j += 1;
+        }
+        while j > 0 && t < self.t_min + j as f64 * self.bin_width {
+            j -= 1;
+        }
+        j
     }
 
     /// The candidate entry range `E_k` (half-open positions) for a query
@@ -233,6 +247,126 @@ impl TemporalIndex {
                     return Err(format!("entry {pos} exceeds reach of bin {j}"));
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// Extend the index in place over the tail `store[from..]` appended
+    /// since the last build/append — the streaming ingest path. New
+    /// segments arrive time-ordered, so bins extend naturally: boundaries
+    /// that sat at the old end move into the tail, and bins of the same
+    /// fixed width are appended past the old temporal extent as needed.
+    ///
+    /// Requires the store to remain sorted by `t_start`
+    /// ([`SearchError::UnsortedDataset`] otherwise) and `from` to equal the
+    /// currently indexed entry count ([`SearchError::InvalidConfig`]).
+    ///
+    /// The resulting *structure* differs from a cold rebuild (more,
+    /// narrower bins), but every candidate range stays a superset of the
+    /// true temporal overlaps, so search results are byte-identical.
+    pub fn append(&mut self, store: &SegmentStore, from: usize) -> Result<(), SearchError> {
+        if from != self.entries {
+            return Err(SearchError::InvalidConfig(format!(
+                "append tail starts at {from} but the index covers {} entries",
+                self.entries
+            )));
+        }
+        let segs = store.segments();
+        let tail = &segs[from..];
+        if tail.is_empty() {
+            return Ok(());
+        }
+        let mut last = if from > 0 { segs[from - 1].t_start } else { f64::NEG_INFINITY };
+        for s in tail {
+            if s.t_start < last {
+                return Err(SearchError::UnsortedDataset);
+            }
+            last = s.t_start;
+        }
+
+        let m = self.bins();
+        let n_old = from;
+        let last_t = tail.last().expect("non-empty tail").t_start;
+        let need = if last_t <= self.t_min {
+            0
+        } else {
+            ((last_t - self.t_min) / self.bin_width) as usize
+        };
+        let new_m = m.max(need + 1);
+
+        // Re-derive every boundary that sat at (or belongs past) the old
+        // end by binary search in the sorted tail. Boundaries pointing
+        // before the old end are untouched: the tail starts at or after
+        // every existing `t_start`, so closed bins stay closed.
+        self.bin_start_pos.pop();
+        for j in 0..new_m {
+            if j < m && (self.bin_start_pos[j] as usize) < n_old {
+                continue;
+            }
+            let bin_start = self.t_min + j as f64 * self.bin_width;
+            let off = tail.partition_point(|s| s.t_start < bin_start);
+            let boundary = (n_old + off) as u32;
+            if j < m {
+                self.bin_start_pos[j] = boundary;
+            } else {
+                self.bin_start_pos.push(boundary);
+            }
+        }
+        self.bin_start_pos.push(segs.len() as u32);
+
+        // Fold the tail into the prefix-max reach, extending it for the
+        // new bins. Only bins at or after the first tail entry's bin can
+        // have gained entries.
+        let j0 = self.bin_of(tail[0].t_start).min(new_m - 1);
+        let mut current = if j0 > 0 { self.reach[j0 - 1] } else { f64::NEG_INFINITY };
+        for j in j0..new_m {
+            if j >= self.reach.len() {
+                self.reach.push(f64::NEG_INFINITY);
+            }
+            let lo = (self.bin_start_pos[j] as usize).max(n_old);
+            let hi = self.bin_start_pos[j + 1] as usize;
+            let mut r = self.reach[j].max(current);
+            for s in &segs[lo..hi] {
+                r = r.max(s.t_end);
+            }
+            self.reach[j] = r;
+            current = r;
+        }
+
+        for s in tail {
+            self.t_max = self.t_max.max(s.t_end);
+        }
+        self.entries = segs.len();
+        Ok(())
+    }
+
+    /// Remove expired entries from the index in place: `store` is the
+    /// post-expire store and `delta` the removal description from
+    /// [`SegmentStore::expire_before`]. Bin boundaries are remapped by the
+    /// prefix count of removals (entries never change bins — relative
+    /// order is preserved) and the reach prefix-max is recomputed from the
+    /// survivors (a removed long entry can shrink it).
+    pub fn expire(&mut self, store: &SegmentStore, delta: &ExpireDelta) -> Result<(), SearchError> {
+        if delta.old_len != self.entries {
+            return Err(SearchError::InvalidConfig(format!(
+                "expire delta describes {} entries but the index covers {}",
+                delta.old_len, self.entries
+            )));
+        }
+        for b in &mut self.bin_start_pos {
+            let shift = delta.removed.partition_point(|&r| r < *b);
+            *b -= shift as u32;
+        }
+        self.entries = store.len();
+        let segs = store.segments();
+        let mut current = f64::NEG_INFINITY;
+        for j in 0..self.bins() {
+            let lo = self.bin_start_pos[j] as usize;
+            let hi = self.bin_start_pos[j + 1] as usize;
+            for s in &segs[lo..hi] {
+                current = current.max(s.t_end);
+            }
+            self.reach[j] = current;
         }
         Ok(())
     }
@@ -369,6 +503,89 @@ mod tests {
         let s = store(&[(0.0, 1.0)]);
         let err = TemporalIndex::build(&s, TemporalIndexConfig { bins: 0 }).unwrap_err();
         assert!(matches!(err, SearchError::InvalidConfig(_)));
+    }
+
+    fn assert_superset(idx: &TemporalIndex, s: &SegmentStore, q: &Segment) {
+        let range = idx.candidate_range(q);
+        for (pos, e) in s.iter().enumerate() {
+            let overlaps = e.t_start <= q.t_end && e.t_end >= q.t_start;
+            if overlaps {
+                let (lo, hi) = range.expect("overlapping entry demands a range");
+                assert!(
+                    (lo as usize..hi as usize).contains(&pos),
+                    "entry {pos} missed for query [{}, {}]",
+                    q.t_start,
+                    q.t_end
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn append_extends_bins_and_stays_a_superset() {
+        let base: Vec<(f64, f64)> =
+            (0..40).map(|i| (i as f64 * 0.5, i as f64 * 0.5 + 1.3)).collect();
+        let mut s = store(&base);
+        let mut idx = TemporalIndex::build(&s, TemporalIndexConfig { bins: 8 }).unwrap();
+        // Three ticks of time-ordered arrivals, far past the built extent.
+        for tick in 0..3 {
+            let tail: Vec<Segment> = (0..15)
+                .map(|i| {
+                    let t = 20.0 + tick as f64 * 9.0 + i as f64 * 0.6;
+                    seg(t, t + 1.1)
+                })
+                .collect();
+            let delta = s.append(&tail);
+            idx.append(&s, delta.from).unwrap();
+            assert!(idx.validate(&s).is_ok(), "tick {tick}");
+        }
+        assert!(idx.bins() > 8, "bins must have been appended");
+        for qi in 0..50 {
+            assert_superset(&idx, &s, &seg(qi as f64, qi as f64 + 2.0));
+        }
+    }
+
+    #[test]
+    fn append_into_existing_last_bin() {
+        let mut s = store(&[(0.0, 1.0), (4.0, 5.0)]);
+        let mut idx = TemporalIndex::build(&s, TemporalIndexConfig { bins: 4 }).unwrap();
+        // t = 4.5 lands inside the existing last bin.
+        let delta = s.append(&[seg(4.5, 6.0)]);
+        idx.append(&s, delta.from).unwrap();
+        assert!(idx.validate(&s).is_ok());
+        assert_superset(&idx, &s, &seg(5.5, 5.9));
+    }
+
+    #[test]
+    fn append_out_of_order_rejected() {
+        let mut s = store(&[(0.0, 1.0), (4.0, 5.0)]);
+        let mut idx = TemporalIndex::build(&s, TemporalIndexConfig { bins: 2 }).unwrap();
+        let delta = s.append(&[seg(1.0, 2.0)]); // before the previous last t_start
+        assert_eq!(idx.append(&s, delta.from), Err(SearchError::UnsortedDataset));
+        // A mismatched tail offset is rejected too.
+        assert!(matches!(idx.append(&s, 99), Err(SearchError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn expire_remaps_boundaries_and_recomputes_reach() {
+        let times: Vec<(f64, f64)> =
+            (0..30).map(|i| (i as f64, i as f64 + if i == 0 { 50.0 } else { 1.5 })).collect();
+        let mut s = store(&times);
+        let mut idx = TemporalIndex::build(&s, TemporalIndexConfig { bins: 6 }).unwrap();
+        // Entry 0 reaches t = 50; expiring it must shrink every bin's reach.
+        let delta = s.expire_before(20.0);
+        assert!(delta.removed.contains(&1), "short early entries expire");
+        assert!(!delta.removed.contains(&0), "the long entry survives");
+        idx.expire(&s, &delta).unwrap();
+        assert!(idx.validate(&s).is_ok());
+        for qi in 0..35 {
+            assert_superset(&idx, &s, &seg(qi as f64, qi as f64 + 1.0));
+        }
+        // And interleaving with a subsequent append keeps invariants.
+        let delta = s.append(&[seg(40.0, 41.0), seg(41.0, 42.5)]);
+        idx.append(&s, delta.from).unwrap();
+        assert!(idx.validate(&s).is_ok());
+        assert_superset(&idx, &s, &seg(41.5, 41.9));
     }
 
     #[test]

@@ -139,6 +139,7 @@ impl TileGenerator for TemporalTiles<'_> {
 pub struct GpuTemporalSearch {
     device: Arc<Device>,
     index: TemporalIndex,
+    generation: u64,
     dev_entries: DeviceSegments,
 }
 
@@ -163,8 +164,8 @@ impl GpuTemporalSearch {
         config: TemporalIndexConfig,
     ) -> Result<GpuTemporalSearch, SearchError> {
         let index = TemporalIndex::build_with_stats(store, stats, config)?;
-        let dev_entries = DeviceSegments::alloc(&device, store.segments())?;
-        Ok(GpuTemporalSearch { device, index, dev_entries })
+        let dev_entries = DeviceSegments::alloc_store(&device, store)?;
+        Ok(GpuTemporalSearch { device, index, generation: store.generation(), dev_entries })
     }
 
     /// The temporal index.
@@ -175,6 +176,38 @@ impl GpuTemporalSearch {
     /// The device this search runs on.
     pub fn device(&self) -> &Arc<Device> {
         &self.device
+    }
+
+    /// The store generation this index currently reflects.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Extend the bin directory over store entries `delta.from..` and grow
+    /// the device-resident database in place (offline; appends must arrive
+    /// time-ordered, continuing the store's global `t_start` order).
+    pub fn ingest(
+        &mut self,
+        store: &SegmentStore,
+        delta: &tdts_geom::AppendDelta,
+    ) -> Result<(), SearchError> {
+        self.index.append(store, delta.from)?;
+        self.dev_entries.extend(&store.segments()[delta.from..])?;
+        self.generation = delta.generation;
+        Ok(())
+    }
+
+    /// Drop expired entries from the bin directory and the device-resident
+    /// database.
+    pub fn expire(
+        &mut self,
+        store: &SegmentStore,
+        delta: &tdts_geom::ExpireDelta,
+    ) -> Result<(), SearchError> {
+        self.index.expire(store, delta)?;
+        self.dev_entries.remove_positions(&delta.removed);
+        self.generation = delta.generation;
+        Ok(())
     }
 
     /// Run the distance threshold search for `queries` at distance `d`,
@@ -528,6 +561,38 @@ mod tests {
         assert!(report.redo_rounds > 0, "expected redo rounds");
         let err = search.search(&queries, 5.0, 0).unwrap_err();
         assert!(matches!(err, SearchError::ResultCapacityTooSmall { .. }));
+    }
+
+    #[test]
+    fn ingest_and_expire_match_cold_rebuild() {
+        for make_dev in [device as fn() -> Arc<Device>, wpt_device as fn() -> Arc<Device>] {
+            let mut store = sorted_store(40);
+            let queries: SegmentStore = (0..15)
+                .map(|i| seg(i as f64 * 6.0 + 0.2, i as f64 * 1.7, 300 + i as u32))
+                .collect();
+            let cfg = TemporalIndexConfig { bins: 6 };
+            let mut search = GpuTemporalSearch::new(make_dev(), &store, cfg).unwrap();
+            // Three time-ordered ticks past the current extent.
+            for tick in 0..3u32 {
+                let t0 = 20.0 + tick as f64 * 2.0;
+                let delta = store.append(&[
+                    seg(tick as f64 * 4.0, t0, 700 + tick),
+                    seg(50.0, t0 + 1.0, 800 + tick),
+                ]);
+                search.ingest(&store, &delta).unwrap();
+            }
+            let exp = store.expire_before(5.0);
+            assert!(!exp.removed.is_empty());
+            search.expire(&store, &exp).unwrap();
+
+            let cold = GpuTemporalSearch::new(make_dev(), &store, cfg).unwrap();
+            for d in [0.5, 3.0, 12.0] {
+                let (warm, _) = search.search(&queries, d, 20_000).unwrap();
+                let (want, _) = cold.search(&queries, d, 20_000).unwrap();
+                assert_eq!(warm, want, "d = {d}");
+                assert_eq!(warm, brute(&store, &queries, d), "d = {d}");
+            }
+        }
     }
 
     #[test]

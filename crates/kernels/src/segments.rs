@@ -22,7 +22,9 @@
 //! [`DeviceConfig::segment_layout`]: tdts_gpu_sim::DeviceConfig
 
 use std::sync::Arc;
-use tdts_geom::{within_distance, Point3, SegId, Segment, SegmentColumns, TimeInterval, TrajId};
+use tdts_geom::{
+    within_distance, Point3, SegId, Segment, SegmentColumns, SegmentStore, TimeInterval, TrajId,
+};
 use tdts_gpu_sim::{
     ColumnarBuffer, Device, DeviceBuffer, Lane, OutOfDeviceMemory, SegmentLayout, Warp,
 };
@@ -70,6 +72,27 @@ impl DeviceSegments {
         }
     }
 
+    /// Place a whole [`SegmentStore`] in device memory *offline*, reading
+    /// the store's generation-tagged columnar mirror for the columnar
+    /// layout — repeated builds (or a compaction rebuild) at the same store
+    /// generation share one host-side transpose, and a mirror from a
+    /// previous generation can never be shipped (the tag forces a fresh
+    /// transpose after any mutation).
+    pub fn alloc_store(
+        device: &Arc<Device>,
+        store: &SegmentStore,
+    ) -> Result<DeviceSegments, OutOfDeviceMemory> {
+        match device.config().segment_layout {
+            SegmentLayout::Aos => {
+                Ok(DeviceSegments::Aos(device.alloc_from_host(store.segments().to_vec())?))
+            }
+            SegmentLayout::Columnar => {
+                let cols = store.columns();
+                Ok(DeviceSegments::Columnar(device.alloc_columns(&cols.f64_columns())?))
+            }
+        }
+    }
+
     /// Upload `segments` *online*, charging the host-to-device transfer for
     /// exactly the bytes the layout ships (72 per segment AoS, 64 columnar).
     pub fn upload(
@@ -82,6 +105,31 @@ impl DeviceSegments {
                 let cols = SegmentColumns::from_segments(segments);
                 Ok(DeviceSegments::Columnar(device.upload_columns(&cols.f64_columns())?))
             }
+        }
+    }
+
+    /// Append `segments` to the resident database in place, *offline* (no
+    /// transfer charge, like [`alloc`]) — only the new tail is copied,
+    /// existing rows stay put. The device side of generational ingestion.
+    ///
+    /// [`alloc`]: DeviceSegments::alloc
+    pub fn extend(&mut self, segments: &[Segment]) -> Result<(), OutOfDeviceMemory> {
+        match self {
+            DeviceSegments::Aos(buf) => buf.extend_from_host(segments),
+            DeviceSegments::Columnar(cols) => {
+                let tail = SegmentColumns::from_segments(segments);
+                cols.extend_columns(&tail.f64_columns())
+            }
+        }
+    }
+
+    /// Remove the rows at the ascending positions in `removed`, preserving
+    /// survivor order — the expire side of generational ingestion. Freed
+    /// device bytes are returned to the allocator.
+    pub fn remove_positions(&mut self, removed: &[u32]) {
+        match self {
+            DeviceSegments::Aos(buf) => buf.remove_positions(removed),
+            DeviceSegments::Columnar(cols) => cols.remove_positions(removed),
         }
     }
 
@@ -320,6 +368,30 @@ mod tests {
                 assert_eq!(lane.counters().gmem_read_bytes, 72, "whole struct");
             }
         });
+    }
+
+    #[test]
+    fn extend_and_remove_track_store_mutations() {
+        for layout in [SegmentLayout::Aos, SegmentLayout::Columnar] {
+            let dev = device(layout);
+            let mut store: SegmentStore =
+                (0..5).map(|i| seg(i as f64, i as f64 * 0.5, i)).collect();
+            let mut resident = DeviceSegments::alloc_store(&dev, &store).unwrap();
+            let delta = store.append(&[seg(9.0, 5.0, 9), seg(10.0, 6.0, 10)]);
+            resident.extend(&store.segments()[delta.from..]).unwrap();
+            assert_eq!(resident.len(), store.len());
+            let expired = store.expire_before(2.0);
+            assert!(!expired.removed.is_empty());
+            resident.remove_positions(&expired.removed);
+            assert_eq!(resident.len(), store.len());
+            for (i, s) in store.segments().iter().enumerate() {
+                let r = resident.host_segment(i);
+                assert_eq!(r.start, s.start, "{layout:?}");
+                assert_eq!(r.end, s.end, "{layout:?}");
+                assert_eq!(r.t_start, s.t_start, "{layout:?}");
+                assert_eq!(r.t_end, s.t_end, "{layout:?}");
+            }
+        }
     }
 
     #[test]

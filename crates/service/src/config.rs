@@ -57,6 +57,18 @@ pub struct ServiceConfig {
     /// Slab edge placement for the sharded primary (equal-width by
     /// default; `Balanced` equalises per-shard entry counts).
     pub slab_mode: SlabMode,
+    /// Sliding time-window retention, enabling streaming mode. With
+    /// `Some(w)`, [`advance_window`](crate::QueryService::advance_window)
+    /// ingests new segments into every worker's engines and (every
+    /// [`ServiceConfig::advance_every`] advances) expires segments ending
+    /// before `frontier - w`, where the frontier is the latest `t_end`
+    /// seen. Requires `shards == 1`: sharded indexes partition the store
+    /// by slab edges fixed at build time and cannot absorb deltas.
+    pub window: Option<f64>,
+    /// Apply the expiry cut once every this many window advances (ingest
+    /// still happens on every advance). Batching expiry amortises the
+    /// position-remap cost across ticks.
+    pub advance_every: usize,
 }
 
 impl ServiceConfig {
@@ -79,6 +91,8 @@ impl ServiceConfig {
                 partition: PartitionStrategy::default(),
                 routing: RoutingMode::default(),
                 slab_mode: SlabMode::default(),
+                window: None,
+                advance_every: 1,
             },
         }
     }
@@ -111,6 +125,23 @@ impl ServiceConfig {
         }
         if self.shards < 1 {
             return Err(TdtsError::InvalidConfig("shards must be at least 1".into()));
+        }
+        if let Some(window) = self.window {
+            if !(window > 0.0 && window.is_finite()) {
+                return Err(TdtsError::InvalidConfig(
+                    "window must be a positive finite duration".into(),
+                ));
+            }
+            if self.shards > 1 {
+                return Err(TdtsError::InvalidConfig(
+                    "sliding-window mode requires shards == 1 (sharded indexes cannot \
+                     absorb append/expire deltas)"
+                        .into(),
+                ));
+            }
+        }
+        if self.advance_every < 1 {
+            return Err(TdtsError::InvalidConfig("advance_every must be at least 1".into()));
         }
         Ok(())
     }
@@ -204,6 +235,18 @@ impl ServiceConfigBuilder {
     /// Slab edge placement for the sharded primary.
     pub fn slab_mode(mut self, mode: SlabMode) -> Self {
         self.config.slab_mode = mode;
+        self
+    }
+
+    /// Sliding time-window retention (enables streaming mode).
+    pub fn window(mut self, window: f64) -> Self {
+        self.config.window = Some(window);
+        self
+    }
+
+    /// Window advances between expiry cuts.
+    pub fn advance_every(mut self, n: usize) -> Self {
+        self.config.advance_every = n;
         self
     }
 

@@ -39,7 +39,7 @@ pub mod service;
 pub mod stats;
 
 pub use config::{ServiceConfig, ServiceConfigBuilder};
-pub use service::{QueryService, SearchResponse, SearchTicket};
+pub use service::{QueryService, SearchResponse, SearchTicket, WindowAdvance};
 pub use stats::ServiceStats;
 
 #[cfg(test)]
@@ -168,6 +168,117 @@ mod tests {
         assert!(!stats.per_shard.is_empty());
         assert!(stats.per_shard.iter().any(|s| s.searches > 0));
         assert!(stats.per_shard.windows(2).all(|w| w[0].shard < w[1].shard));
+    }
+
+    #[test]
+    fn advance_without_window_config_is_rejected() {
+        let service = QueryService::start(&dataset(20), base_config()).unwrap();
+        let err = service.advance_window(&[]).unwrap_err();
+        assert!(matches!(err, tdts_core::TdtsError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn window_config_rejects_sharding() {
+        let err = ServiceConfig::builder(Method::GpuTemporal(TemporalIndexConfig { bins: 8 }))
+            .window(5.0)
+            .shards(2)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, tdts_core::TdtsError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn sliding_window_streams_and_matches_cold_rebuild() {
+        use tdts_core::{PreparedDataset, SearchEngine};
+        use tdts_geom::{Point3, SegId, Segment, TrajId};
+
+        let data = dataset(20);
+        let t_max = data.store().iter().map(|s| s.t_end).fold(f64::MIN, f64::max);
+        let method = Method::GpuTemporal(TemporalIndexConfig { bins: 8 });
+        let config = ServiceConfig::builder(method)
+            .device(DeviceConfig::test_tiny())
+            .workers(2)
+            .max_batch(16)
+            .max_delay(Duration::from_millis(1))
+            .result_capacity(30_000)
+            .window(4.0)
+            .advance_every(2)
+            .build()
+            .unwrap();
+        let service = QueryService::start(&data, config).unwrap();
+        let initial_len = data.store().len();
+
+        let tick = |k: u32, t0: f64| -> Vec<Segment> {
+            (0..3)
+                .map(|i| {
+                    let t = t0 + i as f64 * 0.1;
+                    Segment::new(
+                        Point3::new(i as f64, 0.0, 0.0),
+                        Point3::new(i as f64 + 1.0, 1.0, 1.0),
+                        t,
+                        t + 1.0,
+                        SegId(1_000 + k * 10 + i),
+                        TrajId(k),
+                    )
+                })
+                .collect()
+        };
+
+        // Tick 1: ingest only (advance_every = 2 defers the expiry cut).
+        let adv1 = service.advance_window(&tick(1, t_max + 1.0)).unwrap();
+        assert_eq!((adv1.ingested, adv1.expired, adv1.cut), (3, 0, None));
+        // Tick 2: ingest further ahead; now the cut applies and the old
+        // dataset (ending more than `window` before the frontier) expires.
+        let adv2 = service.advance_window(&tick(2, t_max + 3.0)).unwrap();
+        assert_eq!(adv2.ingested, 3);
+        assert!(adv2.cut.is_some());
+        assert!(adv2.expired > 0, "window should have expired old segments");
+        assert!(adv2.generation > adv1.generation);
+
+        // The service's answers must be byte-identical to a cold engine
+        // built from the post-advance store snapshot.
+        let snapshot = service.store_snapshot();
+        assert!(snapshot.len() < initial_len + 6, "expiry must have shrunk the store");
+        let probe: tdts_geom::SegmentStore = tick(3, t_max + 2.0).into_iter().collect();
+        let got = service.submit(&probe, 5.0).unwrap().matches;
+        let cold_set = PreparedDataset::new(snapshot.as_ref().clone());
+        let cold = SearchEngine::build(
+            &cold_set,
+            method,
+            tdts_gpu_sim::Device::new(DeviceConfig::test_tiny()).unwrap(),
+        )
+        .unwrap();
+        let (want, _) = cold.search(&probe, 5.0, 30_000).unwrap();
+        assert_eq!(got, want, "streamed service must match cold rebuild");
+        assert!(!got.is_empty());
+
+        service.shutdown();
+        let stats = service.stats();
+        assert_eq!(stats.window_advances, 2);
+        assert_eq!(stats.segments_ingested, 6);
+        assert_eq!(stats.segments_expired, adv2.expired as u64);
+    }
+
+    #[test]
+    fn out_of_order_advance_is_rejected() {
+        let config = ServiceConfig::builder(Method::GpuTemporal(TemporalIndexConfig { bins: 8 }))
+            .device(DeviceConfig::test_tiny())
+            .workers(1)
+            .result_capacity(30_000)
+            .window(100.0)
+            .build()
+            .unwrap();
+        let service = QueryService::start(&dataset(10), config).unwrap();
+        let gen_before = service.generation();
+        // A segment starting before the stored frontier violates the
+        // time-ordered streaming contract.
+        let stale: Vec<tdts_geom::Segment> = queries(9).iter().take(1).copied().collect();
+        let mut stale = stale;
+        stale[0].t_start = -1.0;
+        stale[0].t_end = 0.0;
+        let err = service.advance_window(&stale).unwrap_err();
+        assert!(matches!(err, tdts_core::TdtsError::InvalidConfig(_)));
+        assert_eq!(service.generation(), gen_before, "failed advance must not mutate the store");
     }
 
     #[test]

@@ -30,7 +30,7 @@ use tdts_core::{
     PreparedDataset, QueryBatch, ShardStats, ShardedIndex, ShardedIndexConfig, TdtsError,
     TrajectoryIndex,
 };
-use tdts_geom::{MatchRecord, SegmentStore};
+use tdts_geom::{MatchRecord, Segment, SegmentStore};
 use tdts_gpu_sim::{Device, SearchError, SearchReport};
 
 use crate::config::ServiceConfig;
@@ -106,6 +106,31 @@ struct EnginePair {
     fallback: Box<dyn TrajectoryIndex>,
 }
 
+/// The canonical store behind streaming mode, advanced under one lock so
+/// window advances are serialised while queries keep flowing.
+struct StreamState {
+    store: Arc<SegmentStore>,
+    /// Latest `t_end` ever stored — the window's leading edge. Tracked
+    /// explicitly (not re-derived from the store) because expiry never
+    /// moves the frontier backwards.
+    frontier: f64,
+    /// Window advances so far, for the `advance_every` expiry cadence.
+    advances: u64,
+}
+
+/// What one [`QueryService::advance_window`] call did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowAdvance {
+    /// Segments appended this advance.
+    pub ingested: usize,
+    /// Segments expired this advance (0 on non-expiry ticks).
+    pub expired: usize,
+    /// The expiry cut applied, if this tick expired.
+    pub cut: Option<f64>,
+    /// Store generation after the advance.
+    pub generation: u64,
+}
+
 struct Shared {
     config: ServiceConfig,
     pending: Mutex<PendingQueue>,
@@ -139,6 +164,14 @@ pub struct QueryService {
     /// `config.shards == 1`), kept so [`QueryService::stats`] can fold
     /// per-shard work counters into the snapshot.
     shard_engines: Vec<Arc<ShardedIndex>>,
+    /// Each worker's engine pair, shared with its worker thread. A worker
+    /// locks its pair per batch; [`QueryService::advance_window`] locks
+    /// pairs one at a time, so an advance only ever stalls the one worker
+    /// whose engines it is updating.
+    engine_pairs: Vec<Arc<Mutex<EnginePair>>>,
+    /// Streaming-mode canonical store (window advances mutate it; query
+    /// batches never touch it).
+    stream: Mutex<StreamState>,
 }
 
 impl QueryService {
@@ -204,10 +237,13 @@ impl QueryService {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || batcher_loop(&shared))
         };
-        let workers = engines
-            .into_iter()
+        let engine_pairs: Vec<Arc<Mutex<EnginePair>>> =
+            engines.into_iter().map(|pair| Arc::new(Mutex::new(pair))).collect();
+        let workers = engine_pairs
+            .iter()
             .map(|pair| {
                 let shared = Arc::clone(&shared);
+                let pair = Arc::clone(pair);
                 std::thread::spawn(move || worker_loop(&shared, &pair))
             })
             .collect();
@@ -217,6 +253,12 @@ impl QueryService {
             batcher: Mutex::new(Some(batcher)),
             workers: Mutex::new(workers),
             shard_engines,
+            engine_pairs,
+            stream: Mutex::new(StreamState {
+                store: Arc::clone(&store),
+                frontier: stats.time_span.end,
+                advances: 0,
+            }),
         })
     }
 
@@ -244,6 +286,94 @@ impl QueryService {
         per_shard.sort_by_key(|s| s.shard);
         stats.per_shard = per_shard;
         stats
+    }
+
+    /// Advance the sliding time window: append `new_segments` to the
+    /// canonical store and every worker's engines, and — every
+    /// [`ServiceConfig::advance_every`] advances — expire segments ending
+    /// before `frontier - window`.
+    ///
+    /// Engines are updated one worker at a time, each under its own lock,
+    /// so batches already running on other workers are never stalled; a
+    /// batch that arrives at a worker mid-advance simply waits for that
+    /// worker's engines to reach the new generation. Queries racing an
+    /// advance see either the old or the new epoch — both are internally
+    /// consistent (epoch pinning: the pre-advance store stays alive behind
+    /// its `Arc` until the last reader drops it).
+    ///
+    /// `new_segments` must be sorted by `t_start` and start no earlier
+    /// than the newest stored segment (the streaming model: updates arrive
+    /// time-ordered). Fails with [`TdtsError::InvalidConfig`] when the
+    /// service was not configured with [`ServiceConfig::window`].
+    pub fn advance_window(&self, new_segments: &[Segment]) -> Result<WindowAdvance, TdtsError> {
+        let Some(window) = self.shared.config.window else {
+            return Err(TdtsError::InvalidConfig(
+                "advance_window requires a sliding window (ServiceConfig::window)".into(),
+            ));
+        };
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(TdtsError::ShuttingDown);
+        }
+        let mut stream = self.stream.lock().unwrap();
+        let mut sorted_ok = stream
+            .store
+            .segments()
+            .last()
+            .is_none_or(|prev| new_segments.first().is_none_or(|s| prev.t_start <= s.t_start));
+        sorted_ok &= new_segments.windows(2).all(|w| w[0].t_start <= w[1].t_start);
+        if !sorted_ok {
+            return Err(TdtsError::InvalidConfig(
+                "advance_window requires segments in t_start order".into(),
+            ));
+        }
+
+        let append = Arc::make_mut(&mut stream.store).append(new_segments);
+        // Snapshot the post-append epoch: ingest reads the appended tail
+        // from it even after the expiry below rewrites the canonical store.
+        let appended = Arc::clone(&stream.store);
+        for seg in new_segments {
+            stream.frontier = stream.frontier.max(seg.t_end);
+        }
+        stream.advances += 1;
+
+        let cut = stream
+            .advances
+            .is_multiple_of(self.shared.config.advance_every as u64)
+            .then_some(stream.frontier - window);
+        let expire = cut.map(|cut| Arc::make_mut(&mut stream.store).expire_before(cut));
+        let expired = expire.as_ref().map_or(0, |d| d.removed.len());
+
+        for pair in &self.engine_pairs {
+            let mut pair = pair.lock().unwrap();
+            let EnginePair { primary, fallback } = &mut *pair;
+            for engine in [primary, fallback] {
+                engine.ingest(&appended, &append)?;
+                if let Some(delta) = &expire {
+                    engine.expire_before(&stream.store, delta)?;
+                }
+            }
+        }
+
+        self.shared.stats.window_advances.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.segments_ingested.fetch_add(append.count as u64, Ordering::Relaxed);
+        self.shared.stats.segments_expired.fetch_add(expired as u64, Ordering::Relaxed);
+        Ok(WindowAdvance {
+            ingested: append.count,
+            expired,
+            cut,
+            generation: stream.store.generation(),
+        })
+    }
+
+    /// The streaming store's current generation (0 until the first
+    /// mutation; the build generation of a freshly started service).
+    pub fn generation(&self) -> u64 {
+        self.stream.lock().unwrap().store.generation()
+    }
+
+    /// A snapshot handle of the streaming store's current epoch.
+    pub fn store_snapshot(&self) -> Arc<SegmentStore> {
+        Arc::clone(&self.stream.lock().unwrap().store)
     }
 
     /// Submit one request and block for its response, applying
@@ -415,7 +545,7 @@ fn batcher_loop(shared: &Shared) {
     }
 }
 
-fn worker_loop(shared: &Shared, engines: &EnginePair) {
+fn worker_loop(shared: &Shared, engines: &Mutex<EnginePair>) {
     loop {
         let batch = {
             let mut batches = shared.batches.lock().unwrap();
@@ -436,7 +566,7 @@ fn worker_loop(shared: &Shared, engines: &EnginePair) {
     }
 }
 
-fn run_batch(shared: &Shared, engines: &EnginePair, batch: Batch) {
+fn run_batch(shared: &Shared, engines: &Mutex<EnginePair>, batch: Batch) {
     // Expired requests are answered (and released from the in-flight
     // budget) without costing kernel time.
     let now = Instant::now();
@@ -467,6 +597,10 @@ fn run_batch(shared: &Shared, engines: &EnginePair, batch: Batch) {
 
     let query_batch =
         QueryBatch { queries: &merged, d: batch.d, result_capacity: shared.config.result_capacity };
+    // Hold this worker's engine lock for the whole batch: a window advance
+    // mutating these engines must not interleave with the search (other
+    // workers' engines have their own locks and keep serving).
+    let engines = engines.lock().unwrap();
     let mut used_fallback = shared.stats.degraded.load(Ordering::SeqCst);
     let result = if used_fallback {
         engines.fallback.search(&query_batch)
@@ -488,6 +622,7 @@ fn run_batch(shared: &Shared, engines: &EnginePair, batch: Batch) {
             }
         }
     };
+    drop(engines);
 
     match result {
         Ok(outcome) => {

@@ -22,6 +22,9 @@ pub(crate) struct StatsInner {
     pub(crate) batch_latency_nanos: AtomicU64,
     pub(crate) max_queue_depth: AtomicU64,
     pub(crate) degraded: AtomicBool,
+    pub(crate) window_advances: AtomicU64,
+    pub(crate) segments_ingested: AtomicU64,
+    pub(crate) segments_expired: AtomicU64,
     pub(crate) cumulative: Mutex<SearchReport>,
 }
 
@@ -53,6 +56,9 @@ impl StatsInner {
             },
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
+            window_advances: self.window_advances.load(Ordering::Relaxed),
+            segments_ingested: self.segments_ingested.load(Ordering::Relaxed),
+            segments_expired: self.segments_expired.load(Ordering::Relaxed),
             cumulative: *self.cumulative.lock().unwrap(),
             shards: 1,
             duplicates_dropped: 0,
@@ -87,6 +93,12 @@ pub struct ServiceStats {
     pub max_queue_depth: u64,
     /// Whether the service has permanently degraded to the fallback engine.
     pub degraded: bool,
+    /// Sliding-window advances applied (0 unless streaming mode).
+    pub window_advances: u64,
+    /// Segments ingested across all window advances.
+    pub segments_ingested: u64,
+    /// Segments expired across all window advances.
+    pub segments_expired: u64,
     /// Every executed batch's [`SearchReport`] merged together — phase
     /// timings, comparison counts, and aggregated `LoadBalance` metrics.
     pub cumulative: SearchReport,

@@ -7,6 +7,8 @@
 //! tdts-cli info     --dataset merger --scale 0.01
 //! tdts-cli serve    --dataset merger --scale 0.01 --method temporal --d 5
 //! tdts-cli replay   --dataset merger --scale 0.01 --queries 64 --clients 64
+//! tdts-cli stream   --dataset merger --scale 0.01 --method spatial --d 5 \
+//!                   --ticks 10 --tick-segments 200 --verify
 //! ```
 
 use std::sync::Arc;
@@ -25,6 +27,9 @@ fn usage() -> ! {
          \u{20}  serve      run the query service over per-trajectory requests\n\
          \u{20}  replay     replay concurrent clients through the service and\n\
          \u{20}             compare with sequential single-request engine calls\n\
+         \u{20}  stream     stream object updates through a generational index:\n\
+         \u{20}             per-tick append + sliding-window expiry with repeated\n\
+         \u{20}             queries, reporting ingest/search/compaction cost\n\
          \n\
          options:\n\
          \u{20}  --dataset <random|dense|merger>   (default random)\n\
@@ -61,7 +66,14 @@ fn usage() -> ! {
          \u{20}  --deadline-ms <f>                 per-request deadline (default none)\n\
          \u{20}  --queue-capacity <n>              admission bound (default 1024)\n\
          \u{20}  --out <path>                      output file for generate\n\
-         \u{20}  --verify                          check results against brute force"
+         \u{20}  --ticks <n>                       stream ticks to run (default 8)\n\
+         \u{20}  --tick-segments <n>               segments appended per tick (default\n\
+         \u{20}                                    0 = 5% of the base dataset)\n\
+         \u{20}  --window <f>                      sliding retention window (default\n\
+         \u{20}                                    half the base time span)\n\
+         \u{20}  --advance-every <n>               ticks between expiry cuts (default 1)\n\
+         \u{20}  --verify                          check results against brute force\n\
+         \u{20}                                    (stream: against a cold rebuild)"
     );
     std::process::exit(2);
 }
@@ -97,6 +109,10 @@ struct Opts {
     deadline_ms: Option<f64>,
     queue_capacity: usize,
     out: Option<String>,
+    ticks: usize,
+    tick_segments: usize,
+    window: Option<f64>,
+    advance_every: usize,
     verify: bool,
 }
 
@@ -129,6 +145,10 @@ fn parse() -> Opts {
         deadline_ms: None,
         queue_capacity: 1024,
         out: None,
+        ticks: 8,
+        tick_segments: 0,
+        window: None,
+        advance_every: 1,
         verify: false,
     };
     while let Some(a) = args.next() {
@@ -181,6 +201,17 @@ fn parse() -> Opts {
                 o.queue_capacity = val(&mut args).parse().unwrap_or_else(|_| usage())
             }
             "--out" => o.out = Some(val(&mut args)),
+            "--ticks" => o.ticks = val(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--tick-segments" => {
+                o.tick_segments = val(&mut args).parse().unwrap_or_else(|_| usage())
+            }
+            "--window" => o.window = Some(val(&mut args).parse().unwrap_or_else(|_| usage())),
+            "--advance-every" => {
+                o.advance_every = val(&mut args).parse().unwrap_or_else(|_| usage());
+                if o.advance_every == 0 {
+                    usage()
+                }
+            }
             "--verify" => o.verify = true,
             _ => usage(),
         }
@@ -278,7 +309,7 @@ fn main() {
             w.flush().unwrap();
             println!("wrote {} segments to {out}", store.len());
         }
-        "search" | "knn" | "serve" | "replay" => {
+        "search" | "knn" | "serve" | "replay" | "stream" => {
             let mut device_config = DeviceConfig::tesla_c2075();
             device_config.kernel_shape = o.kernel_shape;
             device_config.tile_size = o.tile_size;
@@ -309,6 +340,11 @@ fn main() {
 
             if o.command == "serve" || o.command == "replay" {
                 run_service(&o, &dataset, method, &device_config, &queries, cap);
+                return;
+            }
+
+            if o.command == "stream" {
+                run_stream(&o, &dataset, method, &device_config, &queries, cap);
                 return;
             }
 
@@ -524,6 +560,186 @@ fn print_stats(stats: &ServiceStats) {
                 s.comparisons
             );
         }
+    }
+}
+
+/// Synthesize one tick of time-ordered object updates: `count` short
+/// segments starting at `frontier`, positions drawn inside `bounds` from a
+/// cheap deterministic generator (splitmix-style).
+fn synth_tick(
+    bounds: &Mbb,
+    frontier: f64,
+    count: usize,
+    duration: f64,
+    state: &mut u64,
+    next_id: &mut u32,
+) -> Vec<Segment> {
+    let unit = |state: &mut u64| -> f64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*state >> 33) as f64) / ((1u64 << 31) as f64)
+    };
+    let extent = [
+        (bounds.hi.x - bounds.lo.x).max(1e-9),
+        (bounds.hi.y - bounds.lo.y).max(1e-9),
+        (bounds.hi.z - bounds.lo.z).max(1e-9),
+    ];
+    let dt = duration / 4.0;
+    (0..count)
+        .map(|i| {
+            let start = Point3::new(
+                bounds.lo.x + unit(state) * extent[0],
+                bounds.lo.y + unit(state) * extent[1],
+                bounds.lo.z + unit(state) * extent[2],
+            );
+            let step = duration * 0.1;
+            let end = Point3::new(
+                start.x + (unit(state) - 0.5) * step,
+                start.y + (unit(state) - 0.5) * step,
+                start.z + (unit(state) - 0.5) * step,
+            );
+            let t0 = frontier + i as f64 * dt;
+            let id = *next_id;
+            *next_id += 1;
+            Segment::new(start, end, t0, t0 + duration, SegId(id), TrajId(id % 97))
+        })
+        .collect()
+}
+
+/// Stream mode: per-tick append (+ periodic sliding-window expiry) against
+/// a generational index, with the same query set re-run each tick (shifted
+/// to sit inside the live window). Reports per-tick ingest, expiry, and
+/// search cost; with `--verify`, each tick's results are checked
+/// byte-identical against a cold rebuild at the same generation.
+fn run_stream(
+    o: &Opts,
+    dataset: &PreparedDataset,
+    method: Method,
+    device_config: &DeviceConfig,
+    queries: &SegmentStore,
+    cap: usize,
+) {
+    if o.shards > 1 {
+        fail("stream mode requires --shards 1 (sharded indexes cannot absorb deltas)");
+    }
+    let device = Device::new(device_config.clone()).unwrap_or_else(|e| fail(e));
+    let mut engine = SearchEngine::build(dataset, method, device).unwrap_or_else(|e| fail(e));
+    let stats = dataset.store().stats().expect("non-empty dataset");
+    let span = stats.time_span;
+    let window = o.window.unwrap_or((span.end - span.start).max(1.0) * 0.5);
+    let tick_segments =
+        if o.tick_segments > 0 { o.tick_segments } else { (dataset.store().len() / 20).max(16) };
+    let duration = stats.mean_duration.max(1e-3);
+    let q_min = queries.iter().map(|s| s.t_start).fold(f64::INFINITY, f64::min);
+
+    println!(
+        "stream: {} over {} base entries; {} ticks x {} segments, window {:.2}, \
+         expiry every {} tick(s){}",
+        method.name(),
+        dataset.store().len(),
+        o.ticks,
+        tick_segments,
+        window,
+        o.advance_every,
+        if o.verify { ", verifying against cold rebuilds" } else { "" }
+    );
+    println!(
+        "{:>4} {:>9} {:>8} {:>9} {:>11} {:>11} {:>11} {:>9} {:>8}",
+        "tick",
+        "entries",
+        "ingested",
+        "expired",
+        "ingest ms",
+        "expire ms",
+        "search ms",
+        "matches",
+        "compact"
+    );
+
+    let mut rng = 0x5eed_u64 ^ dataset.store().len() as u64;
+    let mut next_id = dataset.store().len() as u32 + 1_000_000;
+    let mut frontier = span.end;
+    let (mut total_ingest, mut total_expire, mut total_search) = (0.0f64, 0.0f64, 0.0f64);
+    for tick in 0..o.ticks {
+        let new =
+            synth_tick(&stats.bounds, frontier, tick_segments, duration, &mut rng, &mut next_id);
+        frontier = new.iter().map(|s| s.t_end).fold(frontier, f64::max);
+
+        let backlog_before = engine.delta_backlog();
+        let t = Instant::now();
+        engine.ingest(&new).unwrap_or_else(|e| fail(e));
+        let ingest_ms = t.elapsed().as_secs_f64() * 1e3;
+        let compacted = engine.delta_backlog() <= backlog_before && !new.is_empty();
+
+        let mut expired = 0usize;
+        let mut expire_ms = 0.0f64;
+        if (tick + 1) % o.advance_every == 0 {
+            let before = engine.store().len();
+            let t = Instant::now();
+            engine.expire_before(frontier - window).unwrap_or_else(|e| fail(e));
+            expire_ms = t.elapsed().as_secs_f64() * 1e3;
+            expired = before - engine.store().len();
+        }
+
+        // The repeated query set, shifted so it probes the live window.
+        let offset = (frontier - window * 0.5) - q_min;
+        let probe: SegmentStore = queries
+            .iter()
+            .map(|s| {
+                let mut s = *s;
+                s.t_start += offset;
+                s.t_end += offset;
+                s
+            })
+            .collect();
+        let t = Instant::now();
+        let (matches, _) = engine.search(&probe, o.d, cap).unwrap_or_else(|e| fail(e));
+        let search_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        total_ingest += ingest_ms;
+        total_expire += expire_ms;
+        total_search += search_ms;
+        println!(
+            "{:>4} {:>9} {:>8} {:>9} {:>11.3} {:>11.3} {:>11.3} {:>9} {:>8}",
+            tick,
+            engine.store().len(),
+            new.len(),
+            expired,
+            ingest_ms,
+            expire_ms,
+            search_ms,
+            matches.len(),
+            if compacted { "yes" } else { "-" }
+        );
+
+        if o.verify {
+            let cold_set = PreparedDataset::new(engine.store().clone());
+            let cold_device = Device::new(device_config.clone()).unwrap_or_else(|e| fail(e));
+            let cold =
+                SearchEngine::build(&cold_set, method, cold_device).unwrap_or_else(|e| fail(e));
+            let (want, _) = cold.search(&probe, o.d, cap).unwrap_or_else(|e| fail(e));
+            if matches != want {
+                eprintln!(
+                    "verification FAILED at tick {tick}: streamed index returned {} \
+                     matches, cold rebuild {} (generation {})",
+                    matches.len(),
+                    want.len(),
+                    engine.generation()
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "totals: {:.3} ms ingest, {:.3} ms expire, {:.3} ms search over {} ticks \
+         (generation {})",
+        total_ingest,
+        total_expire,
+        total_search,
+        o.ticks,
+        engine.generation()
+    );
+    if o.verify {
+        println!("verification: OK (all {} ticks byte-identical to cold rebuilds)", o.ticks);
     }
 }
 

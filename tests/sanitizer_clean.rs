@@ -37,6 +37,7 @@ fn methods() -> Vec<Method> {
         Method::GpuSpatial(GpuSpatialConfig {
             fsg: FsgConfig { cells_per_dim: 10 },
             total_scratch: 2_000_000,
+            compaction_threshold: 4_096,
         }),
         Method::GpuTemporal(TemporalIndexConfig { bins: 50 }),
         Method::GpuBatchedTemporal(BatchedConfig {

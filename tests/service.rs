@@ -104,8 +104,11 @@ fn degradation_reroutes_batches_to_fallback() {
     let (dataset, requests) = merger_requests();
     // A one-entry scratch buffer makes every GPUSpatial batch fail with
     // ScratchCapacityTooSmall; the service must reroute to the fallback.
-    let broken_spatial =
-        Method::GpuSpatial(GpuSpatialConfig { fsg: FsgConfig::default(), total_scratch: 1 });
+    let broken_spatial = Method::GpuSpatial(GpuSpatialConfig {
+        fsg: FsgConfig::default(),
+        total_scratch: 1,
+        compaction_threshold: 4_096,
+    });
     let config = ServiceConfig::builder(broken_spatial)
         .fallback_method(temporal())
         .device(DeviceConfig::test_tiny())

@@ -16,6 +16,7 @@ fn methods() -> Vec<Method> {
         Method::GpuSpatial(GpuSpatialConfig {
             fsg: FsgConfig { cells_per_dim: 10 },
             total_scratch: 500_000,
+            compaction_threshold: 4_096,
         }),
         Method::GpuTemporal(TemporalIndexConfig { bins: 40 }),
         Method::GpuBatchedTemporal(BatchedConfig {

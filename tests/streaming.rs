@@ -1,0 +1,209 @@
+//! Tier-1 streaming contract: after ANY interleaved append/expire sequence,
+//! every method's search results are byte-identical to a cold rebuild of
+//! the same method over the store at the same generation — for both kernel
+//! shapes. Also pins the FSG delta-overlay compaction threshold boundary.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tdts::prelude::*;
+
+fn device(shape: KernelShape) -> Arc<Device> {
+    let mut config = DeviceConfig::tesla_c2075();
+    config.kernel_shape = shape;
+    Device::new(config).unwrap()
+}
+
+fn all_methods(bins: usize, cells: usize, threshold: usize) -> Vec<Method> {
+    vec![
+        Method::CpuRTree(RTreeConfig::default()),
+        Method::GpuSpatial(GpuSpatialConfig {
+            fsg: FsgConfig { cells_per_dim: cells },
+            total_scratch: 500_000,
+            compaction_threshold: threshold,
+        }),
+        Method::GpuTemporal(TemporalIndexConfig { bins }),
+        Method::GpuBatchedTemporal(BatchedConfig {
+            index: TemporalIndexConfig { bins },
+            batch_size: 5,
+        }),
+        Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {
+            bins,
+            subbins: 3,
+            sort_by_selector: true,
+        }),
+    ]
+}
+
+/// A deterministic time-ordered segment: clustered positions so queries at
+/// moderate `d` produce non-empty result sets.
+fn seg(i: u32, t: f64) -> Segment {
+    Segment::new(
+        Point3::new((i % 9) as f64, (i % 5) as f64, (i % 3) as f64),
+        Point3::new((i % 9) as f64 + 1.0, (i % 5) as f64 + 1.0, (i % 3) as f64 + 0.5),
+        t,
+        t + 1.2,
+        SegId(i),
+        TrajId(i % 7),
+    )
+}
+
+fn base_store(n: usize) -> SegmentStore {
+    (0..n as u32).map(|i| seg(i, i as f64 * 0.25)).collect()
+}
+
+/// Assert the warm (incrementally maintained) engine answers exactly like a
+/// cold rebuild of the same method over the same store state.
+fn assert_matches_cold(warm: &SearchEngine, shape: KernelShape, queries: &SegmentStore, d: f64) {
+    let cold_set = PreparedDataset::new(warm.store().clone());
+    let cold = SearchEngine::build(&cold_set, warm.method(), device(shape)).unwrap();
+    let (got, _) = warm.search(queries, d, 500_000).unwrap();
+    let (want, _) = cold.search(queries, d, 500_000).unwrap();
+    assert_eq!(
+        got,
+        want,
+        "{} ({shape:?}) diverged from cold rebuild at generation {} (d = {d})",
+        warm.method().name(),
+        warm.generation()
+    );
+}
+
+#[test]
+fn interleaved_append_expire_matches_cold_rebuild() {
+    let queries: SegmentStore = (0..12u32).map(|i| seg(100 + i, 3.0 + i as f64 * 0.9)).collect();
+    for shape in [KernelShape::ThreadPerQuery, KernelShape::WarpPerTile] {
+        // Threshold 3 forces FSG delta compaction mid-sequence, so both the
+        // overlay path and the post-compaction path are exercised.
+        for method in all_methods(6, 5, 3) {
+            let dataset = PreparedDataset::new(base_store(48));
+            let mut engine = SearchEngine::build(&dataset, method, device(shape)).unwrap();
+            let t0 = 48.0 * 0.25;
+
+            // Tick 1: append past the frontier, then search.
+            let tick1: Vec<Segment> =
+                (0..4).map(|i| seg(200 + i, t0 + 1.0 + i as f64 * 0.1)).collect();
+            engine.ingest(&tick1).unwrap();
+            assert_matches_cold(&engine, shape, &queries, 2.5);
+
+            // Tick 2: expire the oldest prefix, then search.
+            engine.expire_before(4.0).unwrap();
+            assert_matches_cold(&engine, shape, &queries, 2.5);
+
+            // Tick 3: append again (tips GPUSpatial over its compaction
+            // threshold), expire again, then search at several distances.
+            let tick2: Vec<Segment> =
+                (0..3).map(|i| seg(300 + i, t0 + 2.0 + i as f64 * 0.1)).collect();
+            engine.ingest(&tick2).unwrap();
+            engine.expire_before(7.0).unwrap();
+            for d in [0.6, 2.5, 20.0] {
+                assert_matches_cold(&engine, shape, &queries, d);
+            }
+            assert_eq!(engine.generation(), engine.store().generation());
+        }
+    }
+}
+
+#[test]
+fn fsg_compaction_threshold_boundary() {
+    let threshold = 4;
+    let method = Method::GpuSpatial(GpuSpatialConfig {
+        fsg: FsgConfig { cells_per_dim: 5 },
+        total_scratch: 500_000,
+        compaction_threshold: threshold,
+    });
+    let queries: SegmentStore = (0..8u32).map(|i| seg(100 + i, 5.0 + i as f64)).collect();
+    let dataset = PreparedDataset::new(base_store(32));
+    let shape = KernelShape::ThreadPerQuery;
+    let mut engine = SearchEngine::build(&dataset, method, device(shape)).unwrap();
+    assert_eq!(engine.delta_backlog(), 0, "cold build has no delta overlay");
+
+    // Exactly `threshold` appended segments stay in the overlay: compaction
+    // fires strictly above the threshold, not at it.
+    let at: Vec<Segment> =
+        (0..threshold as u32).map(|i| seg(400 + i, 9.0 + i as f64 * 0.1)).collect();
+    engine.ingest(&at).unwrap();
+    assert_eq!(engine.delta_backlog(), threshold, "at the threshold the delta must survive");
+    assert_matches_cold(&engine, shape, &queries, 3.0);
+
+    // One more segment tips it over: the overlay folds into the base grid.
+    engine.ingest(&[seg(500, 10.0)]).unwrap();
+    assert_eq!(engine.delta_backlog(), 0, "past the threshold the delta must compact");
+    assert_matches_cold(&engine, shape, &queries, 3.0);
+
+    // Post-compaction appends start a fresh overlay.
+    engine.ingest(&[seg(501, 11.0)]).unwrap();
+    assert_eq!(engine.delta_backlog(), 1);
+    assert_matches_cold(&engine, shape, &queries, 3.0);
+}
+
+/// Time-ordered random base stores for the property test (`t_start`
+/// strictly increasing with position, positions in a small box).
+fn arb_ordered_store(max_segs: usize) -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
+    proptest::collection::vec((-8.0f64..8.0, -8.0f64..8.0, -8.0f64..8.0), 4..=max_segs)
+}
+
+fn build_ordered(points: &[(f64, f64, f64)], id0: u32, t0: f64) -> Vec<Segment> {
+    points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let t = t0 + i as f64 * 0.5;
+            Segment::new(
+                Point3::new(p.0, p.1, p.2),
+                Point3::new(p.0 + 1.0, p.1 + 0.5, p.2 - 0.5),
+                t,
+                t + 1.0,
+                SegId(id0 + i as u32),
+                TrajId((id0 + i as u32) % 5),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For random interleavings of append / expire / search, every method ×
+    /// kernel shape stays byte-identical to rebuild-then-search.
+    #[test]
+    fn append_then_search_equals_rebuild_then_search(
+        base in arb_ordered_store(20),
+        tick1 in arb_ordered_store(8),
+        tick2 in arb_ordered_store(8),
+        qpts in arb_ordered_store(6),
+        d in 1.0f64..25.0,
+        bins in 2usize..10,
+        cells in 2usize..8,
+        cut_frac in 0.1f64..0.9,
+    ) {
+        let base_len = base.len();
+        let store: SegmentStore = build_ordered(&base, 0, 0.0).into_iter().collect();
+        let t_end = base_len as f64 * 0.5 + 1.0;
+        let queries: SegmentStore =
+            build_ordered(&qpts, 1_000, t_end * cut_frac).into_iter().collect();
+        for shape in [KernelShape::ThreadPerQuery, KernelShape::WarpPerTile] {
+            // Threshold 4 so tick sizes straddle the compaction boundary.
+            for method in all_methods(bins, cells, 4) {
+                let dataset = PreparedDataset::new(store.clone());
+                let mut engine = SearchEngine::build(&dataset, method, device(shape)).unwrap();
+                engine.ingest(&build_ordered(&tick1, 2_000, t_end + 1.0)).unwrap();
+                engine.expire_before(t_end * cut_frac).unwrap();
+                engine.ingest(&build_ordered(&tick2, 3_000, t_end + 10.0)).unwrap();
+
+                let cold_set = PreparedDataset::new(engine.store().clone());
+                let cold = SearchEngine::build(&cold_set, method, device(shape)).unwrap();
+                let (got, _) = engine.search(&queries, d, 500_000).unwrap();
+                let (want, _) = cold.search(&queries, d, 500_000).unwrap();
+                prop_assert_eq!(
+                    &got,
+                    &want,
+                    "{} ({:?}) diverged after append/expire/append (d = {}, bins = {}, cells = {})",
+                    method.name(),
+                    shape,
+                    d,
+                    bins,
+                    cells
+                );
+            }
+        }
+    }
+}

@@ -18,6 +18,7 @@ fn gpu_methods() -> Vec<Method> {
         Method::GpuSpatial(GpuSpatialConfig {
             fsg: FsgConfig { cells_per_dim: 10 },
             total_scratch: 500_000,
+            compaction_threshold: 4_096,
         }),
         Method::GpuTemporal(TemporalIndexConfig { bins: 50 }),
         Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {
@@ -156,6 +157,7 @@ proptest! {
             Method::GpuSpatial(GpuSpatialConfig {
                 fsg: FsgConfig { cells_per_dim: cells },
                 total_scratch: 200_000,
+                compaction_threshold: 4_096,
             }),
             Method::GpuTemporal(TemporalIndexConfig { bins }),
             Method::GpuSpatioTemporal(SpatioTemporalIndexConfig {
