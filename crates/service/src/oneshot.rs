@@ -1,9 +1,13 @@
 //! A hand-rolled oneshot channel: one producer write, one consumer read,
-//! first write wins. Built on `std` primitives because the workspace
-//! carries no async runtime.
+//! first write wins. Built on the `tdts-sync` shim (plain `std`
+//! primitives in normal builds) because the workspace carries no async
+//! runtime; under `model-check` every wait and notify is a schedule
+//! point, and the [`tdts_sync::SendOnce`] tracker turns any
+//! second value store into a `double-send` finding.
 
-use std::sync::{Condvar, Mutex};
-use std::time::Instant;
+use tdts_sync::sync::{Condvar, Mutex};
+use tdts_sync::time::Instant;
+use tdts_sync::SendOnce;
 
 use tdts_core::TdtsError;
 
@@ -18,6 +22,7 @@ use crate::SearchResponse;
 pub(crate) struct ResponseSlot {
     state: Mutex<SlotState>,
     cv: Condvar,
+    sends: SendOnce,
 }
 
 enum SlotState {
@@ -30,7 +35,11 @@ enum SlotState {
 
 impl ResponseSlot {
     pub(crate) fn new() -> ResponseSlot {
-        ResponseSlot { state: Mutex::new(SlotState::Empty), cv: Condvar::new() }
+        ResponseSlot {
+            state: Mutex::new(SlotState::Empty),
+            cv: Condvar::new(),
+            sends: SendOnce::new(),
+        }
     }
 
     /// Write the result unless one is already present. Returns whether this
@@ -38,6 +47,10 @@ impl ResponseSlot {
     pub(crate) fn fulfill(&self, result: Result<SearchResponse, TdtsError>) -> bool {
         let mut state = self.state.lock().unwrap();
         if matches!(*state, SlotState::Empty) {
+            // Recorded exactly where a value is actually stored (not on
+            // the discarded-duplicate path): a second recorded send under
+            // model-check is a `double-send` finding.
+            self.sends.record_send();
             *state = SlotState::Filled(Box::new(result));
             self.cv.notify_all();
             true

@@ -20,11 +20,17 @@
 //! cannot be shared across concurrently running batches without
 //! interleaving their phase accounting.
 
+// All synchronisation goes through the tdts-sync shim: in normal builds
+// these are plain `std` re-exports (zero cost, byte-identical behavior);
+// under the `model-check` feature every lock/wait/notify/spawn/atomic-op
+// below becomes a schedule point the virtual scheduler can interleave.
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+
+use tdts_sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use tdts_sync::sync::{Condvar, Mutex};
+use tdts_sync::thread::{self, JoinHandle};
+use tdts_sync::time::{Duration, Instant};
 
 use tdts_core::{
     PreparedDataset, QueryBatch, ShardStats, ShardedIndex, ShardedIndexConfig, TdtsError,
@@ -220,6 +226,42 @@ impl QueryService {
             engines.push(EnginePair { primary, fallback });
         }
 
+        Ok(Self::launch(config, engines, shard_engines, store, stats.time_span.end))
+    }
+
+    /// Start the service over pre-built engine pairs, skipping every index
+    /// build. This is the model-check seam: harnesses inject cheap mock
+    /// engines so each of the checker's thousands of executions starts a
+    /// real service (real batcher, workers, admission, shutdown protocol)
+    /// in microseconds. `make_pair` is called once per worker and returns
+    /// `(primary, fallback)`.
+    #[cfg(feature = "model-check")]
+    pub fn start_with_engines<F>(
+        config: ServiceConfig,
+        store: Arc<SegmentStore>,
+        mut make_pair: F,
+    ) -> Result<QueryService, TdtsError>
+    where
+        F: FnMut() -> (Box<dyn TrajectoryIndex>, Box<dyn TrajectoryIndex>),
+    {
+        config.validate()?;
+        let frontier = store.stats().map_or(0.0, |s| s.time_span.end);
+        let engines: Vec<EnginePair> = (0..config.workers)
+            .map(|_| {
+                let (primary, fallback) = make_pair();
+                EnginePair { primary, fallback }
+            })
+            .collect();
+        Ok(Self::launch(config, engines, Vec::new(), store, frontier))
+    }
+
+    fn launch(
+        config: ServiceConfig,
+        engines: Vec<EnginePair>,
+        shard_engines: Vec<Arc<ShardedIndex>>,
+        store: Arc<SegmentStore>,
+        frontier: f64,
+    ) -> QueryService {
         let shared = Arc::new(Shared {
             config,
             pending: Mutex::new(PendingQueue::default()),
@@ -235,7 +277,7 @@ impl QueryService {
 
         let batcher = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || batcher_loop(&shared))
+            thread::spawn(move || batcher_loop(&shared))
         };
         let engine_pairs: Vec<Arc<Mutex<EnginePair>>> =
             engines.into_iter().map(|pair| Arc::new(Mutex::new(pair))).collect();
@@ -244,22 +286,18 @@ impl QueryService {
             .map(|pair| {
                 let shared = Arc::clone(&shared);
                 let pair = Arc::clone(pair);
-                std::thread::spawn(move || worker_loop(&shared, &pair))
+                thread::spawn(move || worker_loop(&shared, &pair))
             })
             .collect();
 
-        Ok(QueryService {
+        QueryService {
             shared,
             batcher: Mutex::new(Some(batcher)),
             workers: Mutex::new(workers),
             shard_engines,
             engine_pairs,
-            stream: Mutex::new(StreamState {
-                store: Arc::clone(&store),
-                frontier: stats.time_span.end,
-                advances: 0,
-            }),
-        })
+            stream: Mutex::new(StreamState { store, frontier, advances: 0 }),
+        }
     }
 
     /// The service configuration.
@@ -450,7 +488,17 @@ impl QueryService {
     /// Stop accepting requests, finish everything already admitted, and
     /// join all threads. Idempotent; also runs on drop.
     pub fn shutdown(&self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // The stop flag must be raised while holding the pending lock:
+        // the batcher checks it under that lock before parking, so an
+        // unlocked store could land (with its notify wasted) in the gap
+        // between the batcher's check and its wait, leaving the batcher
+        // asleep forever. Found by the model checker
+        // (`service/max-batch-flush`, lost-wakeup); same class as the
+        // `fixture/unlocked-done-store` defect.
+        {
+            let _pending = self.shared.pending.lock().unwrap();
+            self.shared.shutdown.store(true, Ordering::SeqCst);
+        }
         self.shared.pending_cv.notify_all();
         if let Some(handle) = self.batcher.lock().unwrap().take() {
             let _ = handle.join();
@@ -538,7 +586,18 @@ fn batcher_loop(shared: &Shared) {
             shared.batches_cv.notify_all();
         }
         if stopping {
-            shared.batcher_done.store(true, Ordering::SeqCst);
+            // The completion flag must be set while holding the batch-queue
+            // lock. Workers check it under that lock before waiting; a bare
+            // store can land in the gap between a worker's check and its
+            // wait registration, and the notify below then wakes nobody —
+            // the worker blocks forever. (Previously masked by shutdown()'s
+            // backstop notify after joining this thread; the model
+            // checker's `fixture/unlocked-done-store` reproduces the
+            // unmasked defect.)
+            {
+                let _batches = shared.batches.lock().unwrap();
+                shared.batcher_done.store(true, Ordering::SeqCst);
+            }
             shared.batches_cv.notify_all();
             return;
         }

@@ -2,11 +2,18 @@
 //! [`SearchReport`] (whose `LoadBalance` section aggregates across every
 //! batch the service executed).
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
+// Pure-observability counters stay on raw `std` atomics: they carry no
+// protocol decisions, and routing them through the tdts-sync shim would
+// only blow up the model checker's schedule space. The `degraded` flag
+// (drives the fallback-engine routing) and the cumulative-report lock go
+// through the shim.
+use std::sync::atomic::AtomicU64;
 use std::time::Duration;
+
 use tdts_core::ShardStats;
 use tdts_gpu_sim::SearchReport;
+use tdts_sync::atomic::{AtomicBool, Ordering};
+use tdts_sync::sync::Mutex;
 
 /// Lock-free counters the hot paths touch, plus the merged report.
 #[derive(Default)]

@@ -7,8 +7,9 @@
 //! A hand-rolled, std-only static pass over the workspace sources (no
 //! `syn`: this environment is offline, so the scanner works on text with
 //! just enough context tracking to skip comments, strings, and test
-//! modules). Four rules, each encoding an invariant the simulated GPU
-//! relies on:
+//! modules). Seven rules — four encoding invariants the simulated GPU
+//! relies on, three host-side concurrency rules guarding the query
+//! service (the static twin of the `tdts-sync` model checker):
 //!
 //! * `raw-device-access` — kernel-side code (the kernels crate and the
 //!   four index crates) must commit per-lane results through the warp
@@ -27,6 +28,19 @@
 //! * `unsafe-without-safety` — every `unsafe` token anywhere in the
 //!   workspace needs a `// SAFETY:` comment within the three preceding
 //!   lines (or on the same line).
+//! * `condvar-wait-loop` — a Condvar wait in `tdts-service` (receivers
+//!   named `*cv`/`cvar`/`condvar` by repo convention) must sit inside a
+//!   `while`/`loop` predicate re-check: an `if`-guarded wait turns a
+//!   spurious wakeup or stale predicate into a missed-signal hang.
+//! * `raw-std-sync` — `tdts-service` must take `Mutex`/`Condvar` from
+//!   the `tdts-sync` shim, never `std::sync` directly, so every lock and
+//!   wait stays visible to the model checker (`Arc` and plain
+//!   observability atomics are exempt).
+//! * `wall-clock-in-replay` — deterministic replay/merge paths (the
+//!   launch-redo schedule, the simulated-time ledger, report and result
+//!   merging) must not read `Instant::now`/`SystemTime::now`/`.elapsed()`;
+//!   time there comes from the simulated ledger or is threaded in, so
+//!   replays stay bit-identical.
 //!
 //! A finding is waived by `// lint: allow(<rule>)` on the offending line
 //! or the line directly above it (give a reason after the marker).
@@ -74,22 +88,29 @@ fn lint(root: &Path) -> ExitCode {
     }
     let mut findings = Vec::new();
     for rule in RULES {
+        let mut files: Vec<PathBuf> = Vec::new();
         for dir in rule.scan_dirs {
             let base = root.join(dir);
-            if !base.exists() {
-                continue;
+            if base.exists() {
+                files.extend(rust_files(&base));
             }
-            for file in rust_files(&base) {
-                let source = match std::fs::read_to_string(&file) {
-                    Ok(s) => s,
-                    Err(e) => {
-                        eprintln!("cannot read {}: {e}", file.display());
-                        return ExitCode::FAILURE;
-                    }
-                };
-                let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
-                findings.extend(scan_source(rule, &rel, &source));
+        }
+        for file in rule.scan_files {
+            let path = root.join(file);
+            if path.exists() {
+                files.push(path);
             }
+        }
+        for file in files {
+            let source = match std::fs::read_to_string(&file) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {}: {e}", file.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+            findings.extend(scan_source(rule, &rel, &source));
         }
     }
     if findings.is_empty() {
@@ -151,6 +172,9 @@ struct Rule {
     why: &'static str,
     /// Workspace-relative directories this rule scans.
     scan_dirs: &'static [&'static str],
+    /// Workspace-relative individual files this rule scans in addition to
+    /// `scan_dirs` (for rules pinned to specific replay/merge modules).
+    scan_files: &'static [&'static str],
     /// Line predicate over (code-only text, full original line).
     matches: fn(code: &str, raw: &str) -> bool,
     /// Whether the rule also applies inside `#[cfg(test)]` modules.
@@ -158,6 +182,9 @@ struct Rule {
     /// Whether a `// SAFETY:` comment in the three preceding lines
     /// discharges the finding (the unsafe rule).
     safety_comment_discharges: bool,
+    /// Optional context predicate over (all lines, finding index) that
+    /// discharges a match — e.g. "this wait sits inside a loop".
+    context_discharges: Option<fn(lines: &[&str], i: usize) -> bool>,
     /// A minimal source fragment the rule must flag (self-check).
     bad_fixture: &'static str,
 }
@@ -175,9 +202,11 @@ const RULES: &[Rule] = &[
         why: "raw per-lane scatter write bypasses the warp-stash seam; stage through \
               warp_stash()/ScatterStash instead",
         scan_dirs: KERNEL_CRATES,
+        scan_files: &[],
         matches: |code, _| code.contains(".write(lane"),
         include_tests: false,
         safety_comment_discharges: false,
+        context_discharges: None,
         bad_fixture: "fn k(lane: &mut Lane) { buf.write(lane, 0, item); }\n",
     },
     Rule {
@@ -185,9 +214,11 @@ const RULES: &[Rule] = &[
         why: "f64 ==/!= in interaction-test code; use epsilon or interval comparisons \
               (waive exact-zero algebraic guards explicitly)",
         scan_dirs: &["crates/geom/src", "crates/kernels/src"],
+        scan_files: &[],
         matches: |code, _| float_eq_comparison(code),
         include_tests: false,
         safety_comment_discharges: false,
+        context_discharges: None,
         bad_fixture: "fn f(d: f64) -> bool { d == 0.0 }\n",
     },
     Rule {
@@ -195,9 +226,11 @@ const RULES: &[Rule] = &[
         why: "HashMap/HashSet in a launch-replay/demux path; iteration order breaks \
               deterministic replay — use BTreeMap/BTreeSet/Vec",
         scan_dirs: &["crates/gpu-sim/src", "crates/service/src"],
+        scan_files: &[],
         matches: |code, _| ["HashMap", "HashSet"].iter().any(|t| contains_word(code, t)),
         include_tests: false,
         safety_comment_discharges: false,
+        context_discharges: None,
         bad_fixture: "use std::collections::HashMap;\n",
     },
     Rule {
@@ -218,12 +251,114 @@ const RULES: &[Rule] = &[
             "crates/bench/src",
             "xtask/src",
         ],
+        scan_files: &[],
         matches: |code, _| contains_word(code, "unsafe"),
         include_tests: true,
         safety_comment_discharges: true,
+        context_discharges: None,
         bad_fixture: "fn f() { unsafe { core::hint::unreachable_unchecked() } }\n",
     },
+    Rule {
+        name: "condvar-wait-loop",
+        why: "Condvar wait not inside a while/loop predicate re-check; a spurious wakeup \
+              or a stale predicate turns this into a missed-signal hang",
+        scan_dirs: &["crates/service/src"],
+        scan_files: &[],
+        matches: |code, _| condvar_wait(code),
+        include_tests: false,
+        safety_comment_discharges: false,
+        context_discharges: Some(inside_wait_loop),
+        bad_fixture: "fn f(cv: &Condvar, m: &Mutex<bool>) {\n    let mut g = m.lock().unwrap();\n    if !*g {\n        g = cv.wait(g).unwrap();\n    }\n}\n",
+    },
+    Rule {
+        name: "raw-std-sync",
+        why: "raw std::sync Mutex/Condvar in tdts-service; take them from the tdts-sync \
+              shim so every lock and wait stays visible to the model checker",
+        scan_dirs: &["crates/service/src"],
+        scan_files: &[],
+        matches: |code, _| {
+            code.contains("std::sync")
+                && ["Mutex", "MutexGuard", "Condvar", "RwLock"]
+                    .iter()
+                    .any(|t| contains_word(code, t))
+        },
+        include_tests: false,
+        safety_comment_discharges: false,
+        context_discharges: None,
+        bad_fixture: "use std::sync::{Condvar, Mutex};\n",
+    },
+    Rule {
+        name: "wall-clock-in-replay",
+        why: "wall-clock read in a deterministic replay/merge path; time here comes from \
+              the simulated ledger (or is threaded in) so replays stay bit-identical",
+        scan_dirs: &[],
+        scan_files: &[
+            "crates/gpu-sim/src/redo.rs",
+            "crates/gpu-sim/src/ledger.rs",
+            "crates/gpu-sim/src/report.rs",
+            "crates/geom/src/result.rs",
+            "crates/geom/src/shard.rs",
+        ],
+        matches: |code, _| {
+            code.contains("Instant::now(")
+                || code.contains("SystemTime::now(")
+                || code.contains(".elapsed()")
+        },
+        include_tests: false,
+        safety_comment_discharges: false,
+        context_discharges: None,
+        bad_fixture: "fn replay_step() { let t0 = std::time::Instant::now(); }\n",
+    },
 ];
+
+/// A Condvar wait by repo naming convention: `.wait(`/`.wait_timeout(` on
+/// a receiver whose identifier ends in `cv` (`cv`, `pending_cv`, …) or is
+/// `cvar`/`condvar`. Keying on the convention keeps ticket/slot `wait`
+/// methods out of scope.
+fn condvar_wait(code: &str) -> bool {
+    for needle in [".wait(", ".wait_timeout("] {
+        let mut start = 0;
+        while let Some(pos) = code[start..].find(needle) {
+            let at = start + pos;
+            let receiver: String = code[..at]
+                .chars()
+                .rev()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+                .collect();
+            if receiver.ends_with("cv")
+                || receiver.ends_with("cvar")
+                || receiver.ends_with("condvar")
+            {
+                return true;
+            }
+            start = at + needle.len();
+        }
+    }
+    false
+}
+
+/// Discharges `condvar-wait-loop`: walking up from the wait line, a
+/// `while`/`loop` keyword before the enclosing `fn` means the predicate
+/// is re-checked around the wait (the repo idiom is `loop { if pred
+/// { break } … cv.wait(…) }`).
+fn inside_wait_loop(lines: &[&str], i: usize) -> bool {
+    for j in (0..=i).rev() {
+        let code = code_only(lines[j]);
+        if contains_word(&code, "while") || contains_word(&code, "loop") {
+            return true;
+        }
+        if contains_word(&code, "fn") && j < i {
+            return false;
+        }
+        if i - j > 40 {
+            return false;
+        }
+    }
+    false
+}
 
 /// Recursively collect `.rs` files under `base`, sorted for deterministic
 /// output.
@@ -364,6 +499,9 @@ fn scan_source(rule: &Rule, file: &Path, source: &str) -> Vec<Finding> {
         if rule.safety_comment_discharges && has_safety_comment(&lines, i) {
             continue;
         }
+        if rule.context_discharges.is_some_and(|discharges| discharges(&lines, i)) {
+            continue;
+        }
         findings.push(Finding {
             rule: rule.name,
             file: file.to_path_buf(),
@@ -453,6 +591,56 @@ mod tests {
 
         let doc = "/// this type avoids `unsafe` aliasing\nstruct S;\n";
         assert!(scan("unsafe-without-safety", doc).is_empty(), "doc comments don't count");
+    }
+
+    #[test]
+    fn condvar_wait_requires_enclosing_loop() {
+        let bad = "fn f() {\n    let mut g = m.lock().unwrap();\n    if !*g {\n        \
+                   g = cv.wait(g).unwrap();\n    }\n}\n";
+        assert_eq!(scan("condvar-wait-loop", bad).len(), 1);
+
+        let looped = "fn f() {\n    let mut g = m.lock().unwrap();\n    while !*g {\n        \
+                      g = cv.wait(g).unwrap();\n    }\n}\n";
+        assert!(scan("condvar-wait-loop", looped).is_empty());
+
+        let repo_idiom = "fn f() {\n    let mut g = m.lock().unwrap();\n    loop {\n        \
+                          if *g { break; }\n        let (ng, _) = \
+                          pending_cv.wait_timeout(g, d).unwrap();\n        g = ng;\n    }\n}\n";
+        assert!(scan("condvar-wait-loop", repo_idiom).is_empty());
+
+        let not_a_condvar = "fn f() {\n    let r = ticket.wait();\n    let s = \
+                             slot.wait(deadline);\n}\n";
+        assert!(scan("condvar-wait-loop", not_a_condvar).is_empty());
+    }
+
+    #[test]
+    fn raw_std_sync_fires_on_primitive_imports_only() {
+        assert_eq!(scan("raw-std-sync", "use std::sync::{Condvar, Mutex};\n").len(), 1);
+        assert_eq!(scan("raw-std-sync", "let m: std::sync::Mutex<u32> = x;\n").len(), 1);
+        assert!(scan("raw-std-sync", "use std::sync::Arc;\n").is_empty(), "Arc is exempt");
+        assert!(
+            scan("raw-std-sync", "use std::sync::atomic::AtomicU64;\n").is_empty(),
+            "observability atomics are exempt"
+        );
+        assert!(
+            scan("raw-std-sync", "use tdts_sync::sync::{Condvar, Mutex};\n").is_empty(),
+            "the shim types are the fix, not a finding"
+        );
+    }
+
+    #[test]
+    fn wall_clock_in_replay_fires_on_every_read_form() {
+        assert_eq!(scan("wall-clock-in-replay", "let t = Instant::now();\n").len(), 1);
+        assert_eq!(
+            scan("wall-clock-in-replay", "let t = std::time::SystemTime::now();\n").len(),
+            1
+        );
+        assert_eq!(scan("wall-clock-in-replay", "let d = start.elapsed();\n").len(), 1);
+        assert!(scan("wall-clock-in-replay", "let t = ledger.now();\n").is_empty());
+        assert!(
+            scan("wall-clock-in-replay", "// Instant::now() is banned here\n").is_empty(),
+            "comments don't count"
+        );
     }
 
     #[test]
